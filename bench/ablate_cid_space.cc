@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: how large must the hardware Context ID space (the
+ * Ctable, paper §4.3) be?
+ *
+ * CIDs are "a short integer" and the Ctable "a short indexed
+ * table"; the paper defers management policy to [1].  When live
+ * activations exceed the hardware name space, software must
+ * virtualize it: flush an idle activation's registers, steal its
+ * CID, and rebind on demand.  This bench sweeps the CID count and
+ * reports the overhead cliff, answering how short the table may be.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: hardware Context ID space size (Ctable entries)",
+        "a CID space comfortably above the live-activation count "
+        "costs nothing; undersizing it forces software CID "
+        "stealing whose flush/rebind traffic erodes the NSF's "
+        "advantage");
+
+    std::uint64_t budget = bench::eventBudget(200'000);
+
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        std::printf("-- %s --\n", name);
+
+        stats::TextTable table;
+        table.header({"CIDs", "CID evictions", "Reloads/instr",
+                      "Cycles", "Slowdown vs ample"});
+
+        Cycles ample_cycles = 0;
+        bool ample_free = true;
+        bool cliff_seen = false;
+        for (ContextId cids : {4u, 6u, 8u, 12u, 16u, 32u, 1024u}) {
+            auto config = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config.cidCapacity = cids;
+            auto r = bench::runOn(profile, config, budget);
+
+            if (cids == 1024)
+                ample_cycles = r.cycles;
+            table.row(
+                {std::to_string(cids),
+                 stats::TextTable::integer(r.cidEvictions),
+                 r.reloadsPerInstr() == 0.0
+                     ? std::string("0")
+                     : stats::TextTable::scientific(
+                           r.reloadsPerInstr()),
+                 stats::TextTable::integer(r.cycles),
+                 "pending"});
+            if (cids <= 6 && r.cidEvictions > 0)
+                cliff_seen = true;
+            if (cids >= 32)
+                ample_free = ample_free && r.cidEvictions == 0;
+        }
+
+        // Second pass for the slowdown column now that the ample
+        // baseline is known.
+        stats::TextTable final_table;
+        final_table.header({"CIDs", "CID evictions",
+                            "Reloads/instr", "Cycles",
+                            "Slowdown vs ample"});
+        for (ContextId cids : {4u, 6u, 8u, 12u, 16u, 32u, 1024u}) {
+            auto config = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config.cidCapacity = cids;
+            auto r = bench::runOn(profile, config, budget);
+            final_table.row(
+                {std::to_string(cids),
+                 stats::TextTable::integer(r.cidEvictions),
+                 r.reloadsPerInstr() == 0.0
+                     ? std::string("0")
+                     : stats::TextTable::scientific(
+                           r.reloadsPerInstr()),
+                 stats::TextTable::integer(r.cycles),
+                 stats::TextTable::num(
+                     double(r.cycles) / double(ample_cycles), 2)});
+        }
+        std::printf("%s\n", final_table.render().c_str());
+
+        bench::verdict(std::string(name) +
+                           ": ample CID spaces (>=32) never steal",
+                       ample_free);
+        bench::verdict(std::string(name) +
+                           ": undersized CID spaces force stealing",
+                       cliff_seen);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension: cycle-by-cycle interleaving vs block multithreading
+ * (the two forms of §3: HEP/Monsoon interleave every instruction,
+ * Sparcle/APRIL run blocks).
+ *
+ * An interleaved processor switches contexts every instruction, so
+ * any organization that moves registers on a switch is hopeless
+ * unless every interleaved thread has its own frame.  The NSF
+ * supports interleaving natively: switches stay free, and the file
+ * simply holds the union of the hot registers.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+workload::BenchmarkProfile
+interleavedProfile(unsigned threads)
+{
+    // Gamteb-flavoured work, issued round-robin one instruction at
+    // a time across the pool.
+    auto profile = workload::profileByName("Gamteb");
+    profile.name = "interleaved-" + std::to_string(threads);
+    profile.executedInstructions = 300'000;
+    profile.instrPerSwitch = 1;
+    profile.targetThreads = threads;
+    profile.threadLifetime = 50'000; // long-lived worker threads
+    profile.coldSwitchFraction = 0.0;
+    profile.hotThreads = threads;    // uniform round robin
+    return profile;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Extension: cycle-by-cycle interleaving (HEP style) vs "
+        "register file organization",
+        "interleaving among more threads than frames destroys a "
+        "segmented file; the NSF interleaves for free as long as "
+        "the hot registers fit");
+
+    std::uint64_t budget = bench::eventBudget(200'000);
+
+    stats::TextTable table;
+    table.header({"Threads", "NSF rel/instr", "NSF overhead",
+                  "Segment rel/instr", "Segment overhead"});
+
+    bool nsf_cheap_when_fits = true;
+    bool segment_collapses = false;
+    for (unsigned threads : {2u, 4u, 6u, 8u, 12u}) {
+        auto profile = interleavedProfile(threads);
+
+        auto nsf_config = bench::paperConfig(
+            profile, regfile::Organization::NamedState);
+        auto nsf = bench::runOn(profile, nsf_config, budget);
+
+        auto seg_config = bench::paperConfig(
+            profile, regfile::Organization::Segmented);
+        auto seg = bench::runOn(profile, seg_config, budget);
+
+        // 128 registers, ~20 live per thread: up to ~6 threads'
+        // hot state fits outright.
+        if (threads <= 4) {
+            nsf_cheap_when_fits = nsf_cheap_when_fits &&
+                                  nsf.overheadFraction() < 0.02;
+        }
+        if (threads > 4) {
+            segment_collapses =
+                segment_collapses ||
+                seg.overheadFraction() >
+                    10 * std::max(nsf.overheadFraction(), 0.001);
+        }
+
+        table.row({std::to_string(threads),
+                   nsf.reloadsPerInstr() == 0.0
+                       ? std::string("0")
+                       : stats::TextTable::scientific(
+                             nsf.reloadsPerInstr()),
+                   stats::TextTable::percent(nsf.overheadFraction()),
+                   seg.reloadsPerInstr() == 0.0
+                       ? std::string("0")
+                       : stats::TextTable::scientific(
+                             seg.reloadsPerInstr()),
+                   stats::TextTable::percent(
+                       seg.overheadFraction())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    bench::verdict("NSF interleaves nearly for free while the hot "
+                   "registers fit (<=4 threads)",
+                   nsf_cheap_when_fits);
+    bench::verdict("the segmented file collapses once interleaved "
+                   "threads outnumber frames",
+                   segment_collapses);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: victim-selection policy for NSF line replacement.
+ *
+ * The paper simulates LRU but notes the victim "could [be picked]
+ * based on a number of different strategies" (§4.2).  This bench
+ * compares LRU, FIFO, and Random across the benchmark suite.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: NSF victim-selection policy (LRU vs FIFO vs "
+        "Random)",
+        "the paper simulates LRU; recency matters because phase "
+        "working sets are re-referenced");
+
+    std::uint64_t budget = bench::eventBudget(300'000);
+
+    const cam::ReplacementKind kinds[] = {
+        cam::ReplacementKind::Lru,
+        cam::ReplacementKind::Fifo,
+        cam::ReplacementKind::Random,
+    };
+
+    stats::TextTable table;
+    table.header({"Application", "LRU rel/instr", "FIFO rel/instr",
+                  "Random rel/instr", "best"});
+
+    double totals[3] = {0, 0, 0};
+    std::uint64_t instr_total = 0;
+    for (const auto &profile : workload::paperBenchmarks()) {
+        double rates[3];
+        std::uint64_t instrs = 0;
+        for (int k = 0; k < 3; ++k) {
+            auto config = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config.rf.replacement = kinds[k];
+            auto r = bench::runOn(profile, config, budget);
+            rates[k] = r.reloadsPerInstr();
+            totals[k] += double(r.regsReloaded);
+            instrs = r.instructions;
+        }
+        instr_total += instrs;
+        int best = 0;
+        for (int k = 1; k < 3; ++k) {
+            if (rates[k] < rates[best])
+                best = k;
+        }
+        auto cell = [](double rate) {
+            return rate == 0.0 ? std::string("0")
+                               : stats::TextTable::scientific(rate);
+        };
+        table.row({profile.name, cell(rates[0]), cell(rates[1]),
+                   cell(rates[2]),
+                   cam::replacementName(kinds[best])});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Aggregate reloads: LRU %.3g  FIFO %.3g  Random "
+                "%.3g (per %llu instructions each)\n\n",
+                totals[0], totals[1], totals[2],
+                static_cast<unsigned long long>(instr_total));
+
+    // The paper does not compare policies; the interesting finding
+    // is that victim selection is a second-order effect (note that
+    // Random can even beat LRU here: near-capacity files see
+    // cyclic re-reference patterns, LRU's worst case).
+    double lo = std::min({totals[0], totals[1], totals[2]});
+    double hi = std::max({totals[0], totals[1], totals[2]});
+    bench::verdict("victim policy is a second-order effect "
+                   "(policies within ~25% of each other)",
+                   lo > 0.0 ? hi / lo < 1.25 : true);
+    return 0;
+}

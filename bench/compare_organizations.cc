@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Extension: head-to-head comparison of every register file
+ * organization discussed in the paper's §3 and §5 — the NSF, the
+ * segmented file (plain and with background/dribble-back transfer,
+ * refs [23, 29]), SPARC-style register windows (refs [11, 17]), and
+ * a conventional single-context file — on one sequential and one
+ * parallel benchmark.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Extension: all register file organizations head to head",
+        "segmented variants and register windows inherit the same "
+        "coarse-binding disadvantages (§5); background transfer "
+        "hides latency but not traffic; the NSF wins on both");
+
+    std::uint64_t budget = bench::eventBudget(300'000);
+
+    struct Org
+    {
+        const char *label;
+        regfile::Organization org;
+        bool background = false;
+    };
+    const Org organizations[] = {
+        {"NSF", regfile::Organization::NamedState},
+        {"Segmented", regfile::Organization::Segmented},
+        {"Segmented+bg", regfile::Organization::Segmented, true},
+        {"Windows", regfile::Organization::Windowed},
+        {"Conventional", regfile::Organization::Conventional},
+    };
+
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        std::printf("-- %s (%s) --\n", name,
+                    profile.parallel ? "parallel" : "sequential");
+
+        stats::TextTable table;
+        table.header({"Organization", "Reloads/instr",
+                      "Stall/instr", "Overhead", "Utilization"});
+
+        double nsf_overhead = 0, win_overhead = 0;
+        double seg_traffic = 0, bg_traffic = 0;
+        double bg_overhead = 0, seg_overhead = 0;
+        for (const auto &entry : organizations) {
+            auto config = bench::paperConfig(profile, entry.org);
+            config.rf.backgroundTransfer = entry.background;
+            auto r = bench::runOn(profile, config, budget);
+
+            double stall_per_instr =
+                double(r.regStallCycles) / double(r.instructions);
+            if (entry.org == regfile::Organization::NamedState)
+                nsf_overhead = r.overheadFraction();
+            if (entry.org == regfile::Organization::Windowed)
+                win_overhead = r.overheadFraction();
+            if (entry.org == regfile::Organization::Segmented) {
+                if (entry.background) {
+                    bg_traffic = r.reloadsPerInstr();
+                    bg_overhead = r.overheadFraction();
+                } else {
+                    seg_traffic = r.reloadsPerInstr();
+                    seg_overhead = r.overheadFraction();
+                }
+            }
+
+            table.row({entry.label,
+                       r.reloadsPerInstr() == 0.0
+                           ? std::string("0")
+                           : stats::TextTable::scientific(
+                                 r.reloadsPerInstr()),
+                       stats::TextTable::num(stall_per_instr, 3),
+                       stats::TextTable::percent(
+                           r.overheadFraction()),
+                       stats::TextTable::percent(r.meanUtilization,
+                                                 0)});
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        bench::verdict(std::string(name) +
+                           ": NSF overhead below every alternative",
+                       nsf_overhead <= bg_overhead &&
+                           nsf_overhead <= win_overhead &&
+                           nsf_overhead <= seg_overhead);
+        bench::verdict(std::string(name) +
+                           ": background transfer hides stall "
+                           "cycles but moves identical traffic",
+                       bg_traffic == seg_traffic &&
+                           bg_overhead <= seg_overhead);
+        std::printf("\n");
+    }
+    return 0;
+}

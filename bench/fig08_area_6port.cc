@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8: area of six-ported (two write + four read) segmented
+ * and Named-State register files in 1.2 um CMOS.  The NSF's
+ * relative overhead shrinks as ports are added because the cell
+ * area grows quadratically with ports while the CAM decoder grows
+ * only linearly.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "nsrf/vlsi/area.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 8: Area of 6-ported register files in 1.2um CMOS",
+        "NSF 32x128 is 128% of the equivalent segmented file and "
+        "NSF 64x64 only 116%; the NSF penalty shrinks with ports");
+
+    vlsi::AreaModel model;
+
+    struct Entry
+    {
+        const char *label;
+        vlsi::Organization org;
+    };
+    const Entry entries[] = {
+        {"Segment 32x128",
+         vlsi::Organization::segmented(128, 32, 4, 2)},
+        {"Segment 64x64",
+         vlsi::Organization::segmented(64, 64, 4, 2)},
+        {"NSF 32x128",
+         vlsi::Organization::namedState(128, 32, 1, 4, 2)},
+        {"NSF 64x64",
+         vlsi::Organization::namedState(64, 64, 2, 4, 2)},
+    };
+
+    double baseline = model.estimate(entries[0].org).totalUm2();
+
+    stats::TextTable table;
+    table.header({"Organization", "Decode (um^2)", "Logic (um^2)",
+                  "Darray (um^2)", "Total (um^2)", "Ratio"});
+    double ratios[4];
+    for (int i = 0; i < 4; ++i) {
+        auto a = model.estimate(entries[i].org);
+        ratios[i] = a.totalUm2() / baseline;
+        table.row({entries[i].label,
+                   stats::TextTable::scientific(a.decodeUm2),
+                   stats::TextTable::scientific(a.logicUm2),
+                   stats::TextTable::scientific(a.darrayUm2),
+                   stats::TextTable::scientific(a.totalUm2()),
+                   stats::TextTable::percent(ratios[i], 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double nsf128 = ratios[2] / ratios[0];
+    double nsf64 = ratios[3] / ratios[1];
+    std::printf("NSF/Segment at 32x128: %.0f%%   at 64x64: %.0f%%\n\n",
+                nsf128 * 100.0, nsf64 * 100.0);
+
+    bench::verdict("NSF 32x128 is ~128% of the segmented file "
+                   "(paper: 128%)",
+                   nsf128 > 1.21 && nsf128 < 1.35);
+    bench::verdict("NSF 64x64 is ~116% of its segmented file "
+                   "(paper: 116%)",
+                   nsf64 > 1.10 && nsf64 < 1.22);
+
+    // Compare against the 3-ported ratios for the shrink claim.
+    vlsi::AreaModel m3;
+    double r3 =
+        m3.estimate(vlsi::Organization::namedState(128, 32, 1))
+            .totalUm2() /
+        m3.estimate(vlsi::Organization::segmented(128, 32))
+            .totalUm2();
+    bench::verdict("relative NSF overhead shrinks from 3 to 6 "
+                   "ports",
+                   nsf128 < r3);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 9: percentage of NSF and segmented registers that contain
+ * active data, per application (NSF max, NSF average, segmented
+ * average).  80 registers for sequential runs, 128 for parallel.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 9: Percentage of registers containing active data",
+        "NSF holds active data in most of its registers: 2-3x the "
+        "segmented file on sequential programs, 1.3-1.5x on busy "
+        "parallel programs; AS and Wavefront fill neither file");
+
+    std::uint64_t budget = bench::eventBudget();
+
+    stats::TextTable table;
+    table.header({"Application", "Type", "NSF max", "NSF avg",
+                  "Segment avg", "NSF/Segment"});
+
+    stats::BarChart chart("Active registers (avg %, NSF vs Segment)",
+                          "%");
+
+    bool seq_ratio_holds = true;
+    bool par_ratio_holds = true;
+    for (const auto &profile : workload::paperBenchmarks()) {
+        auto nsf = bench::runOn(
+            profile,
+            bench::paperConfig(profile,
+                               regfile::Organization::NamedState),
+            budget);
+        auto seg = bench::runOn(
+            profile,
+            bench::paperConfig(profile,
+                               regfile::Organization::Segmented),
+            budget);
+
+        double ratio = nsf.meanUtilization / seg.meanUtilization;
+        bool busy = profile.name != "AS" &&
+                    profile.name != "Wavefront";
+        if (!profile.parallel) {
+            seq_ratio_holds =
+                seq_ratio_holds && ratio > 1.7 && ratio < 3.5;
+        } else if (busy) {
+            par_ratio_holds =
+                par_ratio_holds && ratio > 1.1 && ratio < 1.9;
+        }
+
+        table.row({profile.name,
+                   profile.parallel ? "Parallel" : "Sequential",
+                   stats::TextTable::percent(nsf.maxUtilization, 0),
+                   stats::TextTable::percent(nsf.meanUtilization, 0),
+                   stats::TextTable::percent(seg.meanUtilization, 0),
+                   stats::TextTable::num(ratio, 2)});
+        chart.bar(profile.name + " NSF",
+                  nsf.meanUtilization * 100.0);
+        chart.bar(profile.name + " Seg",
+                  seg.meanUtilization * 100.0);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n", chart.render().c_str());
+
+    bench::verdict("sequential NSF/segment utilization ratio in "
+                   "the paper's 2-3x band",
+                   seq_ratio_holds);
+    bench::verdict("busy-parallel NSF/segment utilization ratio in "
+                   "the paper's 1.3-1.5x band",
+                   par_ratio_holds);
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 11: average contexts resident in various sizes of
+ * segmented and NSF register files.  Size is swept in context-sized
+ * frames (20 registers sequential, 32 parallel) from 2 to 10, using
+ * the paper's two representative applications: GateSim (sequential)
+ * and Gamteb (parallel).
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 11: Average resident contexts vs register file size",
+        "segmented files hold ~0.7N contexts; the NSF holds more "
+        "than the segmented file at every size - far more for "
+        "sequential code (>1.5N), somewhat more for parallel");
+
+    std::uint64_t budget = bench::eventBudget(300'000);
+
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        unsigned frame_regs = profile.regsPerContext;
+
+        std::printf("-- %s (%s, %u-register contexts) --\n", name,
+                    profile.parallel ? "parallel" : "sequential",
+                    frame_regs);
+
+        stats::TextTable table;
+        table.header({"Frames (N)", "Registers", "NSF contexts",
+                      "Segment contexts", "Segment/N", "NSF/Segment"});
+
+        bool nsf_wins = true;
+        bool seg_fraction_sane = true;
+        for (unsigned frames = 2; frames <= 10; ++frames) {
+            auto config_nsf = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config_nsf.rf.totalRegs = frames * frame_regs;
+            auto nsf = bench::runOn(profile, config_nsf, budget);
+
+            auto config_seg = bench::paperConfig(
+                profile, regfile::Organization::Segmented);
+            config_seg.rf.totalRegs = frames * frame_regs;
+            auto seg = bench::runOn(profile, config_seg, budget);
+
+            double seg_frac =
+                seg.meanResidentContexts / double(frames);
+            nsf_wins = nsf_wins && nsf.meanResidentContexts >=
+                                       seg.meanResidentContexts *
+                                           0.98;
+            // The paper's 0.7N holds while the workload has enough
+            // parallelism/depth to fill the file.
+            if (frames <= 6) {
+                seg_fraction_sane = seg_fraction_sane &&
+                                    seg_frac > 0.45 &&
+                                    seg_frac <= 1.0;
+            }
+
+            table.row(
+                {std::to_string(frames),
+                 std::to_string(frames * frame_regs),
+                 stats::TextTable::num(nsf.meanResidentContexts, 1),
+                 stats::TextTable::num(seg.meanResidentContexts, 1),
+                 stats::TextTable::num(seg_frac, 2),
+                 stats::TextTable::num(nsf.meanResidentContexts /
+                                           seg.meanResidentContexts,
+                                       2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        bench::verdict(std::string(name) +
+                           ": NSF holds at least as many contexts "
+                           "as the segmented file at every size",
+                       nsf_wins);
+        bench::verdict(std::string(name) +
+                           ": segmented file holds roughly 0.5-1.0N "
+                           "while the workload fills it",
+                       seg_fraction_sane);
+        std::printf("\n");
+    }
+    return 0;
+}

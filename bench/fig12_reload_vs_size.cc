@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 12: registers reloaded as a percentage of instructions on
+ * different sizes of NSF and segmented register files (2-10
+ * context-sized frames), for GateSim and Gamteb.
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "support.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 12: Reload traffic vs register file size",
+        "a small NSF out-reloads much larger segmented files: "
+        "sequential NSF traffic is negligible at every size; "
+        "parallel NSF beats a segmented file twice its size");
+
+    std::uint64_t budget = bench::eventBudget(300'000);
+
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        unsigned frame_regs = profile.regsPerContext;
+
+        std::printf("-- %s --\n", name);
+        stats::TextTable table;
+        table.header({"Frames (N)", "Registers", "NSF rel/instr",
+                      "Segment rel/instr", "Segment/NSF"});
+
+        std::vector<double> nsf_rates, seg_rates;
+        for (unsigned frames = 2; frames <= 10; ++frames) {
+            auto config_nsf = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config_nsf.rf.totalRegs = frames * frame_regs;
+            auto nsf = bench::runOn(profile, config_nsf, budget);
+
+            auto config_seg = bench::paperConfig(
+                profile, regfile::Organization::Segmented);
+            config_seg.rf.totalRegs = frames * frame_regs;
+            auto seg = bench::runOn(profile, config_seg, budget);
+
+            nsf_rates.push_back(nsf.reloadsPerInstr());
+            seg_rates.push_back(seg.reloadsPerInstr());
+
+            auto cell = [](double rate) {
+                return rate == 0.0
+                           ? std::string("0")
+                           : stats::TextTable::scientific(rate);
+            };
+            table.row(
+                {std::to_string(frames),
+                 std::to_string(frames * frame_regs),
+                 cell(nsf.reloadsPerInstr()),
+                 cell(seg.reloadsPerInstr()),
+                 nsf.reloadsPerInstr() > 0
+                     ? stats::TextTable::num(seg.reloadsPerInstr() /
+                                                 nsf.reloadsPerInstr(),
+                                             1)
+                     : std::string("inf")});
+        }
+        std::printf("%s\n", table.render().c_str());
+
+        // NSF at size N beats the segmented file at size 2N
+        // wherever the segmented file still misses.
+        bool beats_double = true;
+        for (std::size_t i = 0; i + 2 < seg_rates.size(); ++i) {
+            if (seg_rates[i + 2] > 1e-6)
+                beats_double = beats_double &&
+                               nsf_rates[i] < seg_rates[i + 2];
+        }
+        bool always_fewer = true;
+        for (std::size_t i = 0; i < seg_rates.size(); ++i) {
+            always_fewer = always_fewer &&
+                           nsf_rates[i] <= seg_rates[i] + 1e-12;
+        }
+
+        bench::verdict(std::string(name) +
+                           ": NSF reloads fewer registers than a "
+                           "segmented file of twice its size",
+                       beats_double);
+        bench::verdict(std::string(name) +
+                           ": NSF reloads fewer registers at every "
+                           "size",
+                       always_fewer);
+        std::printf("\n");
+    }
+    return 0;
+}

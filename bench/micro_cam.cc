@@ -1,0 +1,91 @@
+/**
+ * @file
+ * google-benchmark micro benches for the associative decoder and
+ * replacement policies (simulator throughput).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/random.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+void
+BM_DecoderMatchHit(benchmark::State &state)
+{
+    auto lines = static_cast<std::size_t>(state.range(0));
+    cam::AssociativeDecoder decoder(lines);
+    for (std::size_t i = 0; i < lines; ++i) {
+        decoder.program(i, static_cast<ContextId>(i / 32),
+                        static_cast<RegIndex>(i % 32));
+    }
+    Random rng(1);
+    for (auto _ : state) {
+        auto line = decoder.match(
+            static_cast<ContextId>(rng.uniform(lines / 32)),
+            static_cast<RegIndex>(rng.uniform(32)));
+        benchmark::DoNotOptimize(line);
+    }
+}
+
+void
+BM_DecoderMatchMiss(benchmark::State &state)
+{
+    auto lines = static_cast<std::size_t>(state.range(0));
+    cam::AssociativeDecoder decoder(lines);
+    for (std::size_t i = 0; i < lines; ++i) {
+        decoder.program(i, static_cast<ContextId>(i / 32),
+                        static_cast<RegIndex>(i % 32));
+    }
+    for (auto _ : state) {
+        auto line = decoder.match(9999, 0);
+        benchmark::DoNotOptimize(line);
+    }
+}
+
+void
+BM_DecoderProgramInvalidate(benchmark::State &state)
+{
+    auto lines = static_cast<std::size_t>(state.range(0));
+    cam::AssociativeDecoder decoder(lines);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        std::size_t line = decoder.findFree();
+        decoder.program(line, 1, static_cast<RegIndex>(i % 32));
+        decoder.invalidate(line);
+        ++i;
+    }
+}
+
+void
+BM_ReplacementVictim(benchmark::State &state)
+{
+    auto kind = static_cast<cam::ReplacementKind>(state.range(0));
+    const std::size_t slots = 128;
+    cam::ReplacementState repl(slots, kind, 5);
+    for (std::size_t s = 0; s < slots; ++s)
+        repl.insert(s);
+    Random rng(2);
+    for (auto _ : state) {
+        repl.touch(rng.uniform(slots));
+        auto victim = repl.victim();
+        benchmark::DoNotOptimize(victim);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_DecoderMatchHit)->Arg(128)->Arg(1024);
+BENCHMARK(BM_DecoderMatchMiss)->Arg(128)->Arg(1024);
+BENCHMARK(BM_DecoderProgramInvalidate)->Arg(128);
+BENCHMARK(BM_ReplacementVictim)
+    ->Arg(static_cast<int>(cam::ReplacementKind::Lru))
+    ->Arg(static_cast<int>(cam::ReplacementKind::Fifo))
+    ->Arg(static_cast<int>(cam::ReplacementKind::Random));
+
+BENCHMARK_MAIN();

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark micro benches: cost of the register file
+ * operations themselves (simulator throughput, not modelled
+ * hardware time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+regfile::RegFileConfig
+configFor(regfile::Organization org, unsigned regs_per_line = 1)
+{
+    regfile::RegFileConfig config;
+    config.org = org;
+    config.totalRegs = 128;
+    config.regsPerContext = 32;
+    config.regsPerLine = regs_per_line;
+    return config;
+}
+
+void
+setupContexts(regfile::RegisterFile &rf, unsigned count)
+{
+    for (ContextId c = 0; c < count; ++c)
+        rf.allocContext(c, 0x100000 + c * 0x100);
+}
+
+void
+BM_ReadHit(benchmark::State &state)
+{
+    auto org = static_cast<regfile::Organization>(state.range(0));
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(configFor(org), memsys);
+    setupContexts(*rf, 4);
+    for (ContextId c = 0; c < 4; ++c)
+        for (RegIndex r = 0; r < 32; ++r)
+            rf->write(c, r, r);
+    Random rng(1);
+    Word v;
+    for (auto _ : state) {
+        rf->read(0, static_cast<RegIndex>(rng.uniform(32)), v);
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+void
+BM_WriteHit(benchmark::State &state)
+{
+    auto org = static_cast<regfile::Organization>(state.range(0));
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(configFor(org), memsys);
+    setupContexts(*rf, 4);
+    for (ContextId c = 0; c < 4; ++c)
+        for (RegIndex r = 0; r < 32; ++r)
+            rf->write(c, r, r);
+    Random rng(2);
+    for (auto _ : state)
+        rf->write(1, static_cast<RegIndex>(rng.uniform(32)), 7);
+}
+
+void
+BM_SwitchResident(benchmark::State &state)
+{
+    auto org = static_cast<regfile::Organization>(state.range(0));
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(configFor(org), memsys);
+    setupContexts(*rf, 4);
+    for (ContextId c = 0; c < 4; ++c)
+        rf->write(c, 0, c);
+    ContextId next = 0;
+    for (auto _ : state) {
+        rf->switchTo(next);
+        next = (next + 1) % 4;
+    }
+}
+
+void
+BM_SwitchThrash(benchmark::State &state)
+{
+    // Eight contexts through a four-frame file: every switch spills
+    // for the segmented file, none for the NSF.
+    auto org = static_cast<regfile::Organization>(state.range(0));
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(configFor(org), memsys);
+    setupContexts(*rf, 8);
+    for (ContextId c = 0; c < 8; ++c)
+        for (RegIndex r = 0; r < 20; ++r)
+            rf->write(c, r, r);
+    ContextId next = 0;
+    Word v;
+    for (auto _ : state) {
+        rf->switchTo(next);
+        rf->read(next, 3, v);
+        benchmark::DoNotOptimize(v);
+        next = (next + 1) % 8;
+    }
+}
+
+void
+BM_NsfMissReload(benchmark::State &state)
+{
+    // Repeatedly touch a working set larger than the file.
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(
+        configFor(regfile::Organization::NamedState,
+                  static_cast<unsigned>(state.range(0))),
+        memsys);
+    setupContexts(*rf, 8);
+    Random rng(3);
+    Word v;
+    for (auto _ : state) {
+        ContextId c = static_cast<ContextId>(rng.uniform(8));
+        RegIndex r = static_cast<RegIndex>(rng.uniform(32));
+        rf->write(c, r, 1);
+        rf->read(c, r, v);
+        benchmark::DoNotOptimize(v);
+    }
+}
+
+constexpr auto conv =
+    static_cast<int>(regfile::Organization::Conventional);
+constexpr auto seg =
+    static_cast<int>(regfile::Organization::Segmented);
+constexpr auto nsf =
+    static_cast<int>(regfile::Organization::NamedState);
+
+} // namespace
+
+BENCHMARK(BM_ReadHit)->Arg(conv)->Arg(seg)->Arg(nsf);
+BENCHMARK(BM_WriteHit)->Arg(conv)->Arg(seg)->Arg(nsf);
+BENCHMARK(BM_SwitchResident)->Arg(seg)->Arg(nsf);
+BENCHMARK(BM_SwitchThrash)->Arg(seg)->Arg(nsf);
+BENCHMARK(BM_NsfMissReload)->Arg(1)->Arg(2)->Arg(4);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#include "support.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nsrf::bench
+{
+
+std::uint64_t
+eventBudget(std::uint64_t default_events)
+{
+    if (const char *env = std::getenv("NSRF_BENCH_EVENTS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return v;
+    }
+    return default_events;
+}
+
+std::unique_ptr<sim::TraceGenerator>
+makeGenerator(const workload::BenchmarkProfile &profile,
+              std::uint64_t events)
+{
+    std::uint64_t len = std::min(profile.executedInstructions,
+                                 events);
+    if (profile.parallel) {
+        return std::make_unique<workload::ParallelWorkload>(profile,
+                                                            len);
+    }
+    return std::make_unique<workload::SequentialWorkload>(profile,
+                                                          len);
+}
+
+sim::SimConfig
+paperConfig(const workload::BenchmarkProfile &profile,
+            regfile::Organization org)
+{
+    sim::SimConfig config;
+    config.rf.org = org;
+    config.rf.totalRegs = profile.parallel ? 128 : 80;
+    config.rf.regsPerContext = profile.regsPerContext;
+    return config;
+}
+
+sim::RunResult
+runOn(const workload::BenchmarkProfile &profile,
+      const sim::SimConfig &config, std::uint64_t events)
+{
+    auto gen = makeGenerator(profile, events);
+    return sim::runTrace(config, *gen);
+}
+
+void
+banner(const std::string &exhibit, const std::string &claim)
+{
+    std::printf("=================================================="
+                "====================\n");
+    std::printf("%s\n", exhibit.c_str());
+    std::printf("Paper claim: %s\n", claim.c_str());
+    std::printf("=================================================="
+                "====================\n\n");
+}
+
+void
+verdict(const std::string &what, bool holds)
+{
+    std::printf("  [%s] %s\n", holds ? "HOLDS" : "DIFFERS",
+                what.c_str());
+}
+
+} // namespace nsrf::bench

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: generator and
+ * configuration construction, run-length control, and the
+ * paper-vs-measured verdict lines every bench prints.
+ */
+
+#ifndef NSRF_BENCH_SUPPORT_HH
+#define NSRF_BENCH_SUPPORT_HH
+
+#include <memory>
+#include <string>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf::bench
+{
+
+/**
+ * @return the per-run event budget: NSRF_BENCH_EVENTS when set,
+ * otherwise @p default_events.
+ */
+std::uint64_t eventBudget(std::uint64_t default_events = 600'000);
+
+/** Build the right generator for @p profile. */
+std::unique_ptr<sim::TraceGenerator> makeGenerator(
+    const workload::BenchmarkProfile &profile, std::uint64_t events);
+
+/**
+ * The paper's §7.1 configuration for @p profile: 80 registers for
+ * sequential programs, 128 for parallel, context-sized frames.
+ */
+sim::SimConfig paperConfig(const workload::BenchmarkProfile &profile,
+                           regfile::Organization org);
+
+/** Run @p profile on @p config. */
+sim::RunResult runOn(const workload::BenchmarkProfile &profile,
+                     const sim::SimConfig &config,
+                     std::uint64_t events);
+
+/** Print the bench banner. */
+void banner(const std::string &exhibit, const std::string &claim);
+
+/** Print one paper-vs-measured verdict line. */
+void verdict(const std::string &what, bool holds);
+
+} // namespace nsrf::bench
+
+#endif // NSRF_BENCH_SUPPORT_HH

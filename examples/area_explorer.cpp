@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Scenario: VLSI cost exploration with the area/timing models.
+ *
+ * Sweeps register file shapes and port counts to answer the
+ * implementation questions of the paper's §6: what does the
+ * associative decoder cost as the file scales, and when does the
+ * NSF overhead stop mattering?
+ *
+ * Build & run:
+ *     ./build/examples/area_explorer
+ */
+
+#include <cstdio>
+
+#include "nsrf/stats/table.hh"
+#include "nsrf/vlsi/area.hh"
+#include "nsrf/vlsi/timing.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    vlsi::AreaModel area;
+    vlsi::TimingModel timing;
+
+    std::printf("NSF vs segmented cost across file sizes "
+                "(3-ported, 1-word lines)\n\n");
+    {
+        stats::TextTable table;
+        table.header({"Lines x bits", "Seg area (Mum^2)",
+                      "NSF area (Mum^2)", "NSF/Seg",
+                      "Seg access (ns)", "NSF access (ns)",
+                      "Penalty"});
+        for (unsigned rows : {32u, 64u, 128u, 256u}) {
+            auto seg = vlsi::Organization::segmented(rows, 32);
+            auto nsf = vlsi::Organization::namedState(rows, 32, 1);
+            double seg_area = area.estimate(seg).totalUm2() / 1e6;
+            double nsf_area = area.estimate(nsf).totalUm2() / 1e6;
+            double seg_ns = timing.estimate(seg).totalNs();
+            double nsf_ns = timing.estimate(nsf).totalNs();
+            table.row({std::to_string(rows) + "x32",
+                       stats::TextTable::num(seg_area),
+                       stats::TextTable::num(nsf_area),
+                       stats::TextTable::num(nsf_area / seg_area, 2),
+                       stats::TextTable::num(seg_ns),
+                       stats::TextTable::num(nsf_ns),
+                       stats::TextTable::percent(
+                           nsf_ns / seg_ns - 1.0, 1)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Port scaling at 128x32 (the superscalar "
+                "question, paper Figures 7-8)\n\n");
+    {
+        stats::TextTable table;
+        table.header({"Read+write ports", "Seg area (Mum^2)",
+                      "NSF area (Mum^2)", "NSF/Seg"});
+        for (unsigned ports = 3; ports <= 9; ports += 2) {
+            unsigned writes = ports / 3;
+            unsigned reads = ports - writes;
+            auto seg = vlsi::Organization::segmented(128, 32, reads,
+                                                     writes);
+            auto nsf = vlsi::Organization::namedState(
+                128, 32, 1, reads, writes);
+            double seg_area = area.estimate(seg).totalUm2() / 1e6;
+            double nsf_area = area.estimate(nsf).totalUm2() / 1e6;
+            table.row({std::to_string(reads) + "R+" +
+                           std::to_string(writes) + "W",
+                       stats::TextTable::num(seg_area),
+                       stats::TextTable::num(nsf_area),
+                       stats::TextTable::num(nsf_area / seg_area,
+                                             2)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Line width vs decoder cost at 128 registers "
+                "(3-ported)\n\n");
+    {
+        stats::TextTable table;
+        table.header({"Regs/line", "Lines", "Tag bits",
+                      "Decoder (Mum^2)", "Total (Mum^2)"});
+        for (unsigned width : {1u, 2u, 4u}) {
+            unsigned rows = 128 / width;
+            auto nsf = vlsi::Organization::namedState(
+                rows, 32 * width, width);
+            auto a = area.estimate(nsf);
+            table.row({std::to_string(width), std::to_string(rows),
+                       std::to_string(nsf.tagBits()),
+                       stats::TextTable::num(a.decodeUm2 / 1e6),
+                       stats::TextTable::num(a.totalUm2() / 1e6)});
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf("Wider lines shrink the decoder, but Figure 13 "
+                "shows they multiply reload\ntraffic - the paper "
+                "concludes single-word lines earn their area.\n");
+    return 0;
+}

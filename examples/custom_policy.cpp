@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Scenario: exploring NSF design points through the public
+ * configuration surface — line sizes, miss policies, write
+ * policies, and replacement strategies — on one workload.
+ *
+ * This is the experiment a designer would run before committing to
+ * a line width (the paper's §7.3 question).
+ *
+ * Build & run:
+ *     ./build/examples/custom_policy
+ */
+
+#include <cstdio>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/stats/table.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+sim::RunResult
+runConfig(unsigned regs_per_line, regfile::MissPolicy miss,
+          regfile::WritePolicy write, cam::ReplacementKind repl)
+{
+    const auto &profile = workload::profileByName("Gamteb");
+    workload::ParallelWorkload gen(profile, 200'000);
+
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    config.rf.regsPerLine = regs_per_line;
+    config.rf.missPolicy = miss;
+    config.rf.writePolicy = write;
+    config.rf.replacement = repl;
+    return sim::runTrace(config, gen);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NSF design-point exploration on the Gamteb "
+                "workload (128 registers)\n\n");
+
+    stats::TextTable table;
+    table.header({"Configuration", "Reloads/instr", "Spills/instr",
+                  "Utilization", "Overhead"});
+
+    struct Point
+    {
+        const char *label;
+        unsigned line;
+        regfile::MissPolicy miss;
+        regfile::WritePolicy write;
+        cam::ReplacementKind repl;
+    };
+    const Point points[] = {
+        {"1-word lines, single reload (paper)", 1,
+         regfile::MissPolicy::ReloadSingle,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Lru},
+        {"2-word lines, single reload", 2,
+         regfile::MissPolicy::ReloadSingle,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Lru},
+        {"4-word lines, live reload", 4,
+         regfile::MissPolicy::ReloadLive,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Lru},
+        {"4-word lines, full-line reload", 4,
+         regfile::MissPolicy::ReloadLine,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Lru},
+        {"4-word lines, fetch-on-write", 4,
+         regfile::MissPolicy::ReloadLive,
+         regfile::WritePolicy::FetchOnWrite,
+         cam::ReplacementKind::Lru},
+        {"1-word lines, FIFO victims", 1,
+         regfile::MissPolicy::ReloadSingle,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Fifo},
+        {"1-word lines, random victims", 1,
+         regfile::MissPolicy::ReloadSingle,
+         regfile::WritePolicy::WriteAllocate,
+         cam::ReplacementKind::Random},
+    };
+
+    for (const auto &point : points) {
+        auto r = runConfig(point.line, point.miss, point.write,
+                           point.repl);
+        table.row({point.label,
+                   stats::TextTable::scientific(
+                       r.reloadsPerInstr()),
+                   stats::TextTable::scientific(
+                       double(r.regsSpilled) /
+                       double(r.instructions)),
+                   stats::TextTable::percent(r.meanUtilization, 0),
+                   stats::TextTable::percent(
+                       r.overheadFraction())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Single-word lines with demand reload are the "
+                "paper's design point: every widening\nof the line "
+                "or the reload unit buys bandwidth waste without "
+                "helping hit rate.\n");
+    return 0;
+}

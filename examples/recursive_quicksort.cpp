@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Scenario: a real recursive program on the cycle-level processor.
+ *
+ * Assembles the SRISC quicksort (one context per activation — the
+ * sequential programming model of the paper's §4.3), runs it on
+ * each register file organization, verifies the array is sorted,
+ * and shows where the cycles went.
+ *
+ * Build & run:
+ *     ./build/examples/recursive_quicksort
+ */
+
+#include <cstdio>
+
+#include "nsrf/cpu/processor.hh"
+#include "nsrf/isa/isa.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/stats/table.hh"
+#include "nsrf/workload/programs.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    auto program = workload::programs::assembleOrDie(
+        workload::programs::quicksortSource);
+
+    std::printf("Assembled quicksort: %u words.  Entry code:\n",
+                program.size());
+    for (Addr pc = program.entry;
+         pc < program.entry + 6 && pc < program.size(); ++pc) {
+        std::printf("  %3u: %s\n", pc,
+                    isa::disassemble(program.fetch(pc)).c_str());
+    }
+    std::printf("\n");
+
+    stats::TextTable table;
+    table.header({"Register file", "Instr", "Cycles", "CPI",
+                  "Reg stalls", "Ctx switches", "Sorted?"});
+
+    for (auto org : {regfile::Organization::NamedState,
+                     regfile::Organization::Segmented,
+                     regfile::Organization::Conventional}) {
+        mem::MemorySystem memsys;
+        regfile::RegFileConfig config;
+        config.org = org;
+        config.totalRegs = 128;
+        config.regsPerContext = 32;
+        auto rf = regfile::makeRegisterFile(config, memsys);
+
+        cpu::Processor proc(program, *rf, memsys);
+        const auto &stats = proc.run();
+
+        bool sorted = true;
+        Addr base = workload::programs::quicksortArrayAddr;
+        for (unsigned i = 1;
+             i < workload::programs::quicksortArrayLen; ++i) {
+            sorted = sorted && memsys.peek(base + 4 * (i - 1)) <=
+                                   memsys.peek(base + 4 * i);
+        }
+
+        table.row({rf->describe(),
+                   stats::TextTable::integer(stats.instructions),
+                   stats::TextTable::integer(stats.cycles),
+                   stats::TextTable::num(stats.cpi(), 2),
+                   stats::TextTable::integer(stats.regStallCycles),
+                   stats::TextTable::integer(stats.contextSwitches),
+                   sorted ? "yes" : "NO"});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("Each CTXCALL allocates a fresh context; RET frees "
+                "it.  The NSF keeps the\nwhole call chain resident, "
+                "so recursion costs no register traffic at all.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario: the trace-once, replay-everywhere workflow (how the
+ * paper's own evaluation was run: traces cross-compiled once, then
+ * replayed against every register file organization).
+ *
+ * Captures a Gamteb trace to a binary file, replays it against
+ * four organizations, and prints a gem5-style statistics dump for
+ * the winner.
+ *
+ * Build & run:
+ *     ./build/examples/trace_workflow
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "nsrf/regfile/statsdump.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/tracefile.hh"
+#include "nsrf/stats/table.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+using namespace nsrf;
+
+int
+main()
+{
+    const char *path = "/tmp/nsrf_example_gamteb.trc";
+    const auto &profile = workload::profileByName("Gamteb");
+
+    // Capture once.
+    workload::ParallelWorkload gen(profile, 120'000);
+    std::uint64_t events = sim::captureTrace(gen, path);
+    std::printf("captured %llu events of %s to %s\n\n",
+                static_cast<unsigned long long>(events),
+                profile.name.c_str(), path);
+
+    // Replay against every organization - bit-identical input.
+    stats::TextTable table;
+    table.header({"Organization", "Cycles", "Reloads/instr",
+                  "Overhead"});
+    for (auto org : {regfile::Organization::NamedState,
+                     regfile::Organization::Segmented,
+                     regfile::Organization::Windowed,
+                     regfile::Organization::Conventional}) {
+        sim::FileTraceGenerator replay(path);
+        sim::SimConfig config;
+        config.rf.org = org;
+        config.rf.totalRegs = 128;
+        config.rf.regsPerContext = 32;
+        auto r = sim::runTrace(config, replay);
+        table.row({r.regfileDescription,
+                   stats::TextTable::integer(r.cycles),
+                   stats::TextTable::scientific(
+                       r.reloadsPerInstr()),
+                   stats::TextTable::percent(r.overheadFraction())});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Full statistics for the NSF run, gem5 style.
+    sim::FileTraceGenerator replay(path);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    sim::TraceSimulator simulator(config);
+    simulator.run(replay);
+    regfile::dumpStats(simulator.registerFile(), stdout,
+                       "system.rf");
+
+    std::remove(path);
+    return 0;
+}

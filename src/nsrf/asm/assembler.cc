@@ -1,0 +1,415 @@
+#include "nsrf/asm/assembler.hh"
+
+#include <cctype>
+#include <sstream>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::assembler
+{
+
+isa::Instruction
+Program::fetch(Addr pc) const
+{
+    nsrf_assert(pc < code.size(), "fetch past end of program (pc=%u)",
+                pc);
+    auto inst = isa::decode(code[pc]);
+    nsrf_assert(inst.has_value(), "illegal instruction at pc=%u", pc);
+    return *inst;
+}
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Strip "; ..." and "# ..." comments. */
+std::string
+stripComment(const std::string &s)
+{
+    std::size_t pos = s.find_first_of(";#");
+    return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+bool
+isLabelChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.';
+}
+
+bool
+parseInteger(const std::string &text, std::int64_t &out)
+{
+    if (text.empty())
+        return false;
+    std::size_t pos = 0;
+    try {
+        out = std::stoll(text, &pos, 0); // handles 0x..., decimal
+    } catch (...) {
+        return false;
+    }
+    return pos == text.size();
+}
+
+/** Split a comma-separated operand list. */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == ',') {
+            parts.push_back(trim(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    std::string last = trim(current);
+    if (!last.empty() || !parts.empty())
+        parts.push_back(last);
+    return parts;
+}
+
+} // namespace
+
+void
+Assembler::error(int line, const std::string &message)
+{
+    errors_.push_back({line, message});
+}
+
+bool
+Assembler::parseOperand(int line, const std::string &text,
+                        Operand &out)
+{
+    std::string t = trim(text);
+    if (t.empty()) {
+        error(line, "empty operand");
+        return false;
+    }
+
+    // Register: rN.
+    if ((t[0] == 'r' || t[0] == 'R') && t.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(t[1]))) {
+        std::int64_t n;
+        if (parseInteger(t.substr(1), n) && n >= 0 &&
+            n < isa::regsPerContext) {
+            out.kind = Operand::Kind::Reg;
+            out.reg = static_cast<RegIndex>(n);
+            return true;
+        }
+    }
+
+    // Memory reference: imm(reg).
+    std::size_t open = t.find('(');
+    if (open != std::string::npos && t.back() == ')') {
+        std::string off = trim(t.substr(0, open));
+        std::string base =
+            trim(t.substr(open + 1, t.size() - open - 2));
+        std::int64_t imm = 0;
+        if (!off.empty() && !parseInteger(off, imm)) {
+            error(line, "bad memory offset '" + off + "'");
+            return false;
+        }
+        Operand base_op;
+        if (!parseOperand(line, base, base_op) ||
+            base_op.kind != Operand::Kind::Reg) {
+            error(line, "bad base register in '" + t + "'");
+            return false;
+        }
+        out.kind = Operand::Kind::MemRef;
+        out.reg = base_op.reg;
+        out.imm = imm;
+        return true;
+    }
+
+    // Immediate.
+    std::int64_t imm;
+    if (parseInteger(t, imm)) {
+        out.kind = Operand::Kind::Imm;
+        out.imm = imm;
+        return true;
+    }
+
+    // Label.
+    for (char c : t) {
+        if (!isLabelChar(c)) {
+            error(line, "bad operand '" + t + "'");
+            return false;
+        }
+    }
+    out.kind = Operand::Kind::Label;
+    out.label = t;
+    return true;
+}
+
+bool
+Assembler::parseLine(int number, const std::string &raw,
+                     std::vector<SourceLine> &out, Addr &pc,
+                     std::unordered_map<std::string, Addr> &symbols)
+{
+    std::string text = trim(stripComment(raw));
+
+    // Peel off leading labels ("foo: bar: inst").
+    for (;;) {
+        std::size_t colon = text.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string head = trim(text.substr(0, colon));
+        bool label_like = !head.empty();
+        for (char c : head)
+            label_like = label_like && isLabelChar(c);
+        if (!label_like)
+            break;
+        if (symbols.count(head)) {
+            error(number, "duplicate label '" + head + "'");
+            return false;
+        }
+        symbols[head] = pc;
+        text = trim(text.substr(colon + 1));
+    }
+
+    if (text.empty())
+        return true;
+
+    // Split mnemonic from operands.
+    std::size_t space = text.find_first_of(" \t");
+    SourceLine line;
+    line.number = number;
+    line.mnemonic = lower(
+        space == std::string::npos ? text : text.substr(0, space));
+    std::string rest =
+        space == std::string::npos ? "" : trim(text.substr(space));
+
+    if (!rest.empty()) {
+        for (const std::string &part : splitOperands(rest)) {
+            Operand op;
+            if (!parseOperand(number, part, op))
+                return false;
+            line.operands.push_back(op);
+        }
+    }
+
+    line.address = pc;
+    // Directives and instructions each occupy one word, except
+    // .entry which emits nothing.
+    if (line.mnemonic != ".entry")
+        ++pc;
+    out.push_back(std::move(line));
+    return true;
+}
+
+std::int64_t
+Assembler::resolve(const SourceLine &line, const Operand &op,
+                   const std::unordered_map<std::string, Addr>
+                       &symbols,
+                   bool &ok)
+{
+    if (op.kind == Operand::Kind::Imm)
+        return op.imm;
+    if (op.kind == Operand::Kind::Label) {
+        auto it = symbols.find(op.label);
+        if (it == symbols.end()) {
+            error(line.number, "undefined label '" + op.label + "'");
+            ok = false;
+            return 0;
+        }
+        return it->second;
+    }
+    error(line.number, "expected an immediate or label");
+    ok = false;
+    return 0;
+}
+
+Program
+Assembler::assemble(const std::string &source)
+{
+    errors_.clear();
+    Program program;
+
+    // Pass 1: labels and addresses.
+    std::vector<SourceLine> lines;
+    Addr pc = 0;
+    {
+        std::istringstream in(source);
+        std::string text;
+        int number = 0;
+        while (std::getline(in, text)) {
+            ++number;
+            parseLine(number, text, lines, pc, program.symbols);
+        }
+    }
+    if (!errors_.empty())
+        return {};
+
+    // Pass 2: encode.
+    program.code.assign(pc, 0);
+    for (const SourceLine &line : lines) {
+        bool ok = true;
+
+        if (line.mnemonic == ".word") {
+            if (line.operands.size() != 1 ||
+                line.operands[0].kind != Operand::Kind::Imm) {
+                error(line.number, ".word needs one integer");
+                continue;
+            }
+            program.code[line.address] =
+                static_cast<Word>(line.operands[0].imm);
+            continue;
+        }
+        if (line.mnemonic == ".entry") {
+            if (line.operands.size() != 1) {
+                error(line.number, ".entry needs one label");
+                continue;
+            }
+            program.entry = static_cast<Addr>(resolve(
+                line, line.operands[0], program.symbols, ok));
+            continue;
+        }
+
+        auto op = isa::opcodeByName(line.mnemonic);
+        if (!op) {
+            error(line.number,
+                  "unknown mnemonic '" + line.mnemonic + "'");
+            continue;
+        }
+
+        isa::Instruction inst;
+        inst.op = *op;
+        const isa::OpInfo &info = isa::opInfo(*op);
+        const auto &ops = line.operands;
+
+        auto want = [&](std::size_t n) {
+            if (ops.size() != n) {
+                error(line.number,
+                      line.mnemonic + " expects " +
+                          std::to_string(n) + " operand(s)");
+                return false;
+            }
+            return true;
+        };
+        auto reg = [&](std::size_t i, RegIndex &out_reg) {
+            if (ops[i].kind != Operand::Kind::Reg) {
+                error(line.number, "operand " + std::to_string(i + 1) +
+                                       " must be a register");
+                return false;
+            }
+            out_reg = ops[i].reg;
+            return true;
+        };
+
+        switch (info.format) {
+          case isa::Format::None:
+            if (!want(0))
+                continue;
+            break;
+          case isa::Format::R3:
+            if (!want(3) || !reg(0, inst.rd) || !reg(1, inst.rs1) ||
+                !reg(2, inst.rs2)) {
+                continue;
+            }
+            break;
+          case isa::Format::R2:
+            if (!want(2) || !reg(0, inst.rd) || !reg(1, inst.rs1))
+                continue;
+            break;
+          case isa::Format::R1:
+            if (!want(1) || !reg(0, inst.rs1))
+                continue;
+            break;
+          case isa::Format::Rd:
+            if (!want(1) || !reg(0, inst.rd))
+                continue;
+            break;
+          case isa::Format::I2:
+            if (!want(3) || !reg(0, inst.rd) || !reg(1, inst.rs1))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[2], program.symbols, ok));
+            break;
+          case isa::Format::Mem:
+            if (!want(2) || !reg(0, inst.rd))
+                continue;
+            if (ops[1].kind != Operand::Kind::MemRef) {
+                error(line.number, "expected imm(reg) operand");
+                continue;
+            }
+            inst.rs1 = ops[1].reg;
+            inst.imm = static_cast<std::int32_t>(ops[1].imm);
+            break;
+          case isa::Format::RdImm:
+            if (!want(2) || !reg(0, inst.rd))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[1], program.symbols, ok));
+            break;
+          case isa::Format::RsImm:
+            if (!want(2) || !reg(0, inst.rs1))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[1], program.symbols, ok));
+            break;
+          case isa::Format::Branch: {
+              if (!want(3) || !reg(0, inst.rs1) || !reg(1, inst.rs2))
+                  continue;
+              std::int64_t target =
+                  resolve(line, ops[2], program.symbols, ok);
+              // Label targets become offsets relative to the next
+              // instruction; immediates are taken literally.
+              if (ops[2].kind == Operand::Kind::Label) {
+                  target -= static_cast<std::int64_t>(line.address) +
+                            1;
+              }
+              inst.imm = static_cast<std::int32_t>(target);
+              break;
+          }
+          case isa::Format::Jump:
+            if (!want(1))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[0], program.symbols, ok));
+            break;
+          case isa::Format::JumpRd:
+            if (!want(2) || !reg(0, inst.rd))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[1], program.symbols, ok));
+            break;
+          case isa::Format::JumpRs:
+            if (!want(2) || !reg(0, inst.rs1))
+                continue;
+            inst.imm = static_cast<std::int32_t>(
+                resolve(line, ops[1], program.symbols, ok));
+            break;
+        }
+        if (!ok)
+            continue;
+
+        program.code[line.address] = isa::encode(inst);
+    }
+
+    if (!errors_.empty())
+        return {};
+    return program;
+}
+
+} // namespace nsrf::assembler

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A two-pass assembler for SRISC.
+ *
+ * Examples and tests write real programs (quicksort, towers,
+ * wavefront) instead of hand-encoding words.  Syntax:
+ *
+ *     ; comment                # comment
+ *     label:
+ *         addi  r1, r0, 10     ; registers are r0..r31
+ *         ld    r2, 8(r3)      ; memory operands are imm(reg)
+ *         beq   r1, r2, done   ; branch targets are labels
+ *         jal   r31, func      ; jump targets are labels
+ *     done:
+ *         halt
+ *         .word 42             ; literal data word
+ *         .entry main          ; program entry point (default 0)
+ *
+ * Pass 1 assigns one word per instruction or .word and collects
+ * labels; pass 2 encodes.  Branch immediates are word offsets
+ * relative to the following instruction; jump immediates are
+ * absolute word addresses.
+ */
+
+#ifndef NSRF_ASM_ASSEMBLER_HH
+#define NSRF_ASM_ASSEMBLER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/isa/isa.hh"
+
+namespace nsrf::assembler
+{
+
+/** An assembled program image. */
+struct Program
+{
+    std::vector<Word> code;                         //!< one word each
+    std::unordered_map<std::string, Addr> symbols;  //!< label -> word
+    Addr entry = 0;                                 //!< start word
+
+    /** @return the decoded instruction at word @p pc. */
+    isa::Instruction fetch(Addr pc) const;
+
+    /** @return program size in words. */
+    Addr size() const { return static_cast<Addr>(code.size()); }
+};
+
+/** One assembly diagnostic. */
+struct AsmError
+{
+    int line = 0;
+    std::string message;
+};
+
+/** The assembler; create one per compilation. */
+class Assembler
+{
+  public:
+    /**
+     * Assemble @p source.  On failure the returned program is empty
+     * and errors() is non-empty.
+     */
+    Program assemble(const std::string &source);
+
+    /** @return diagnostics from the last assemble() call. */
+    const std::vector<AsmError> &errors() const { return errors_; }
+
+    /** @return true when the last assemble() succeeded. */
+    bool ok() const { return errors_.empty(); }
+
+  private:
+    struct Operand
+    {
+        enum class Kind { Reg, Imm, Label, MemRef } kind;
+        RegIndex reg = 0;      //!< Reg, and base register of MemRef
+        std::int64_t imm = 0;  //!< Imm, and offset of MemRef
+        std::string label;     //!< Label
+    };
+
+    struct SourceLine
+    {
+        int number = 0;
+        std::string mnemonic; //!< instruction or directive
+        std::vector<Operand> operands;
+        Addr address = 0;     //!< assigned in pass 1
+    };
+
+    void error(int line, const std::string &message);
+    bool parseLine(int number, const std::string &text,
+                   std::vector<SourceLine> &out, Addr &pc,
+                   std::unordered_map<std::string, Addr> &symbols);
+    bool parseOperand(int line, const std::string &text,
+                      Operand &out);
+    std::int64_t resolve(const SourceLine &line, const Operand &op,
+                         const std::unordered_map<std::string, Addr>
+                             &symbols,
+                         bool &ok);
+
+    std::vector<AsmError> errors_;
+};
+
+} // namespace nsrf::assembler
+
+#endif // NSRF_ASM_ASSEMBLER_HH

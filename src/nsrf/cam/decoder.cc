@@ -1,0 +1,111 @@
+#include "nsrf/cam/decoder.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::cam
+{
+
+AssociativeDecoder::AssociativeDecoder(std::size_t line_count)
+    : tags_(line_count), valid_(line_count, false)
+{
+    nsrf_assert(line_count > 0, "decoder needs at least one line");
+    index_.reserve(line_count);
+    freeList_.reserve(line_count);
+    // Keep the free list sorted descending so findFree() pops the
+    // lowest index, making allocation order deterministic.
+    for (std::size_t i = line_count; i-- > 0;)
+        freeList_.push_back(i);
+    std::reverse(freeList_.begin(), freeList_.end());
+}
+
+std::size_t
+AssociativeDecoder::match(ContextId cid, RegIndex line_offset)
+{
+    ++stats_.searches;
+    std::size_t line = peek(cid, line_offset);
+    if (line != npos)
+        ++stats_.hits;
+    return line;
+}
+
+std::size_t
+AssociativeDecoder::peek(ContextId cid, RegIndex line_offset) const
+{
+    auto it = index_.find(Tag{cid, line_offset});
+    return it == index_.end() ? npos : it->second;
+}
+
+void
+AssociativeDecoder::program(std::size_t line, ContextId cid,
+                            RegIndex line_offset)
+{
+    nsrf_assert(line < valid_.size(), "line %zu out of range", line);
+    nsrf_assert(!valid_[line], "line %zu is already programmed", line);
+    Tag t{cid, line_offset};
+    nsrf_assert(index_.find(t) == index_.end(),
+                "duplicate tag <%u:%u> would match two lines", cid,
+                line_offset);
+    tags_[line] = t;
+    valid_[line] = true;
+    index_.emplace(t, line);
+    freeList_.erase(std::remove(freeList_.begin(), freeList_.end(),
+                                line),
+                    freeList_.end());
+    ++stats_.programs;
+}
+
+void
+AssociativeDecoder::invalidate(std::size_t line)
+{
+    nsrf_assert(line < valid_.size(), "line %zu out of range", line);
+    if (!valid_[line])
+        return;
+    index_.erase(tags_[line]);
+    valid_[line] = false;
+    // Insert keeping the free list sorted ascending.
+    auto pos = std::lower_bound(freeList_.begin(), freeList_.end(),
+                                line);
+    freeList_.insert(pos, line);
+    ++stats_.invalidates;
+}
+
+std::vector<std::size_t>
+AssociativeDecoder::invalidateContext(ContextId cid)
+{
+    std::vector<std::size_t> freed;
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        if (valid_[i] && tags_[i].cid == cid)
+            freed.push_back(i);
+    }
+    for (std::size_t line : freed)
+        invalidate(line);
+    return freed;
+}
+
+const Tag &
+AssociativeDecoder::tag(std::size_t line) const
+{
+    nsrf_assert(line < valid_.size() && valid_[line],
+                "tag() on invalid line %zu", line);
+    return tags_[line];
+}
+
+std::size_t
+AssociativeDecoder::findFree() const
+{
+    return freeList_.empty() ? npos : freeList_.front();
+}
+
+void
+AssociativeDecoder::forEachContextLine(
+    ContextId cid, const std::function<void(std::size_t)> &fn) const
+{
+    for (std::size_t i = 0; i < valid_.size(); ++i) {
+        if (valid_[i] && tags_[i].cid == cid)
+            fn(i);
+    }
+}
+
+} // namespace nsrf::cam

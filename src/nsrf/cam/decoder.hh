@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The fully-associative address decoder at the heart of the NSF.
+ *
+ * Each line of the decoder holds a content-addressable tag wide
+ * enough for a register address, the concatenation of a Context ID
+ * and a line-aligned register offset (paper §4.1).  A register read
+ * or write broadcasts its address; the line whose programmed tag
+ * matches drives its word line.  Programming a line binds a register
+ * name to a physical line; invalidating it frees the line.
+ *
+ * The model enforces the hardware invariant that at most one valid
+ * line matches any address (duplicate tags would short two word
+ * lines together).
+ */
+
+#ifndef NSRF_CAM_DECODER_HH
+#define NSRF_CAM_DECODER_HH
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::cam
+{
+
+/** The content-addressable tag programmed into one decoder line. */
+struct Tag
+{
+    ContextId cid = invalidContext;
+    /** Register offset of the first word of the line. */
+    RegIndex lineOffset = invalidReg;
+
+    bool
+    operator==(const Tag &other) const
+    {
+        return cid == other.cid && lineOffset == other.lineOffset;
+    }
+};
+
+/** Activity counters for energy/behaviour analysis. */
+struct DecoderStats
+{
+    stats::Counter searches;   //!< address broadcasts
+    stats::Counter hits;       //!< broadcasts that matched a line
+    stats::Counter programs;   //!< tag writes (line allocations)
+    stats::Counter invalidates;
+};
+
+/** A fully-associative decoder over a fixed number of lines. */
+class AssociativeDecoder
+{
+  public:
+    /** Sentinel line index meaning "no match". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** @param line_count number of decoder (and register-array) lines */
+    explicit AssociativeDecoder(std::size_t line_count);
+
+    /** @return total number of lines. */
+    std::size_t size() const { return valid_.size(); }
+
+    /** @return number of currently programmed (valid) lines. */
+    std::size_t validCount() const { return index_.size(); }
+
+    /** @return true when every line is programmed. */
+    bool full() const { return validCount() == size(); }
+
+    /**
+     * Broadcast an address; @return the matching line or npos.
+     * Counts as one CAM search.
+     */
+    std::size_t match(ContextId cid, RegIndex line_offset);
+
+    /** As match(), but without perturbing the activity counters. */
+    std::size_t peek(ContextId cid, RegIndex line_offset) const;
+
+    /**
+     * Program @p line with a tag, binding the register name to it.
+     * The line must be free and the tag must not already be mapped.
+     */
+    void program(std::size_t line, ContextId cid, RegIndex line_offset);
+
+    /** Free @p line; harmless if the line is already free. */
+    void invalidate(std::size_t line);
+
+    /**
+     * Free every line belonging to @p cid (the NSF's bulk context
+     * deallocation, paper §4.2).  @return the freed line indices.
+     */
+    std::vector<std::size_t> invalidateContext(ContextId cid);
+
+    /** @return true when @p line holds a valid tag. */
+    bool lineValid(std::size_t line) const { return valid_.at(line); }
+
+    /** @return the tag programmed into @p line (line must be valid). */
+    const Tag &tag(std::size_t line) const;
+
+    /** @return the lowest free line, or npos when full. */
+    std::size_t findFree() const;
+
+    /** Call @p fn with each valid line index owned by @p cid. */
+    void forEachContextLine(
+        ContextId cid,
+        const std::function<void(std::size_t)> &fn) const;
+
+    /** @return the activity counters. */
+    const DecoderStats &stats() const { return stats_; }
+
+  private:
+    struct TagHash
+    {
+        std::size_t
+        operator()(const Tag &t) const
+        {
+            return std::hash<std::uint64_t>()(
+                (static_cast<std::uint64_t>(t.cid) << 32) |
+                t.lineOffset);
+        }
+    };
+
+    std::vector<Tag> tags_;
+    std::vector<bool> valid_;
+    /**
+     * Behavioural shortcut for the parallel CAM search: maps a tag to
+     * its line.  The hardware compares all lines simultaneously; the
+     * map keeps the model O(1) while the invariants stay identical.
+     */
+    std::unordered_map<Tag, std::size_t, TagHash> index_;
+    std::vector<std::size_t> freeList_;
+    DecoderStats stats_;
+};
+
+} // namespace nsrf::cam
+
+#endif // NSRF_CAM_DECODER_HH

@@ -1,0 +1,103 @@
+#include "nsrf/cam/replacement.hh"
+
+#include <limits>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::cam
+{
+
+const char *
+replacementName(ReplacementKind kind)
+{
+    switch (kind) {
+      case ReplacementKind::Lru: return "lru";
+      case ReplacementKind::Fifo: return "fifo";
+      case ReplacementKind::Random: return "random";
+    }
+    return "?";
+}
+
+ReplacementKind
+parseReplacement(const std::string &name)
+{
+    if (name == "lru")
+        return ReplacementKind::Lru;
+    if (name == "fifo")
+        return ReplacementKind::Fifo;
+    if (name == "random")
+        return ReplacementKind::Random;
+    nsrf_fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+ReplacementState::ReplacementState(std::size_t slot_count,
+                                   ReplacementKind kind,
+                                   std::uint64_t seed)
+    : kind_(kind), held_(slot_count, false), stamp_(slot_count, 0),
+      rng_(seed)
+{
+    nsrf_assert(slot_count > 0, "need at least one slot");
+}
+
+void
+ReplacementState::insert(std::size_t slot)
+{
+    nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
+    if (!held_[slot]) {
+        held_[slot] = true;
+        ++heldCount_;
+    }
+    stamp_[slot] = ++clock_;
+}
+
+void
+ReplacementState::touch(std::size_t slot)
+{
+    nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
+    nsrf_assert(held_[slot], "touch() on free slot %zu", slot);
+    if (kind_ == ReplacementKind::Lru)
+        stamp_[slot] = ++clock_;
+}
+
+void
+ReplacementState::release(std::size_t slot)
+{
+    nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
+    if (held_[slot]) {
+        held_[slot] = false;
+        --heldCount_;
+    }
+}
+
+std::size_t
+ReplacementState::victim()
+{
+    nsrf_assert(heldCount_ > 0, "victim() with no held slots");
+
+    if (kind_ == ReplacementKind::Random) {
+        // Uniform pick among held slots.
+        auto target = rng_.uniform(heldCount_);
+        for (std::size_t i = 0; i < held_.size(); ++i) {
+            if (held_[i]) {
+                if (target == 0)
+                    return i;
+                --target;
+            }
+        }
+        nsrf_panic("held slot accounting is inconsistent");
+    }
+
+    // LRU and FIFO both evict the oldest stamp; they differ in
+    // whether touch() refreshes it.
+    std::size_t best = 0;
+    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < held_.size(); ++i) {
+        if (held_[i] && stamp_[i] < best_stamp) {
+            best_stamp = stamp_[i];
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace nsrf::cam

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Victim-selection policies shared by the NSF (line replacement) and
+ * the segmented file (frame replacement).
+ *
+ * The paper simulates LRU (§4.2: "This study simulates a least
+ * recently used (LRU) strategy") but notes the victim "could [be
+ * picked] based on a number of different strategies"; FIFO and Random
+ * are provided for the ablation bench.
+ */
+
+#ifndef NSRF_CAM_REPLACEMENT_HH
+#define NSRF_CAM_REPLACEMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+
+namespace nsrf::cam
+{
+
+/** Which replacement strategy a ReplacementState implements. */
+enum class ReplacementKind { Lru, Fifo, Random };
+
+/** @return a human-readable policy name. */
+const char *replacementName(ReplacementKind kind);
+
+/** Parse a policy name ("lru", "fifo", "random"). */
+ReplacementKind parseReplacement(const std::string &name);
+
+/**
+ * Tracks recency/insertion order over a fixed set of slots and picks
+ * eviction victims.  Slots are "held" (in use) or free; only held
+ * slots are candidates.
+ */
+class ReplacementState
+{
+  public:
+    /**
+     * @param slot_count number of replaceable slots
+     * @param kind       the policy
+     * @param seed       seed for the Random policy
+     */
+    ReplacementState(std::size_t slot_count, ReplacementKind kind,
+                     std::uint64_t seed = 1);
+
+    /** Mark @p slot as just inserted (becomes MRU / queue tail). */
+    void insert(std::size_t slot);
+
+    /** Mark @p slot as just accessed (LRU promotes; FIFO ignores). */
+    void touch(std::size_t slot);
+
+    /** Mark @p slot as free; it is no longer a victim candidate. */
+    void release(std::size_t slot);
+
+    /**
+     * @return the victim slot among held slots.  At least one slot
+     * must be held.
+     */
+    std::size_t victim();
+
+    /** @return true when @p slot is held. */
+    bool held(std::size_t slot) const { return held_.at(slot); }
+
+    /** @return number of held slots. */
+    std::size_t heldCount() const { return heldCount_; }
+
+    ReplacementKind kind() const { return kind_; }
+
+  private:
+    ReplacementKind kind_;
+    std::vector<bool> held_;
+    std::size_t heldCount_ = 0;
+    /** Logical timestamp of last insert/touch, per slot. */
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
+    Random rng_;
+};
+
+} // namespace nsrf::cam
+
+#endif // NSRF_CAM_REPLACEMENT_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by decoders and the ISA.
+ */
+
+#ifndef NSRF_COMMON_BITUTIL_HH
+#define NSRF_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf
+{
+
+/** @return true when @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return ceil(log2(v)); log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    unsigned bits = 0;
+    std::uint64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** @return floor(log2(v)); requires v != 0. */
+constexpr unsigned
+log2Floor(std::uint64_t v)
+{
+    unsigned bits = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/**
+ * Extract the bit field [lo, hi] (inclusive, hi >= lo) from @p v.
+ */
+constexpr std::uint32_t
+bits(std::uint32_t v, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (v >> lo) & mask;
+}
+
+/**
+ * Insert @p field into bit positions [lo, hi] of @p v and return the
+ * result.  Bits of @p field above the width are discarded.
+ */
+constexpr std::uint32_t
+insertBits(std::uint32_t v, unsigned hi, unsigned lo, std::uint32_t field)
+{
+    unsigned width = hi - lo + 1;
+    std::uint32_t mask =
+        width >= 32 ? ~0u : ((1u << width) - 1u);
+    return (v & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low @p width bits of @p v to 32 bits. */
+constexpr std::int32_t
+signExtend(std::uint32_t v, unsigned width)
+{
+    unsigned shift = 32 - width;
+    return static_cast<std::int32_t>(v << shift) >> shift;
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_BITUTIL_HH

@@ -1,0 +1,75 @@
+#include "nsrf/common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace nsrf
+{
+
+namespace
+{
+
+bool verboseFlag = true;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Panic: return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+namespace detail
+{
+
+void
+logLine(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    if (level == LogLevel::Panic || level == LogLevel::Fatal) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                     msg.c_str(), file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+    }
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0) {
+        va_end(args);
+        return "<format error>";
+    }
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace detail
+
+} // namespace nsrf

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated: a simulator bug.
+ *            Prints and aborts (may dump core).
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments).  Prints and
+ *            exits with status 1.
+ * warn()   - something is suspicious but simulation continues.
+ * inform() - normal operating status.
+ */
+
+#ifndef NSRF_COMMON_LOGGING_HH
+#define NSRF_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nsrf
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Info, Warn, Fatal, Panic };
+
+namespace detail
+{
+
+/** Print one formatted log line to stderr. */
+void logLine(LogLevel level, const char *file, int line,
+             const std::string &msg);
+
+/** Printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/**
+ * Toggle warn()/inform() output (panic/fatal always print).
+ * Benches silence informational chatter with this.
+ */
+void setVerbose(bool verbose);
+
+/** @return whether warn()/inform() output is enabled. */
+bool verbose();
+
+#define nsrf_panic(...)                                                 \
+    do {                                                                \
+        ::nsrf::detail::logLine(::nsrf::LogLevel::Panic, __FILE__,      \
+                                __LINE__,                               \
+                                ::nsrf::detail::format(__VA_ARGS__));   \
+        std::abort();                                                   \
+    } while (0)
+
+#define nsrf_fatal(...)                                                 \
+    do {                                                                \
+        ::nsrf::detail::logLine(::nsrf::LogLevel::Fatal, __FILE__,      \
+                                __LINE__,                               \
+                                ::nsrf::detail::format(__VA_ARGS__));   \
+        std::exit(1);                                                   \
+    } while (0)
+
+#define nsrf_warn(...)                                                  \
+    do {                                                                \
+        if (::nsrf::verbose()) {                                        \
+            ::nsrf::detail::logLine(::nsrf::LogLevel::Warn, __FILE__,   \
+                                    __LINE__,                           \
+                                    ::nsrf::detail::format(             \
+                                        __VA_ARGS__));                  \
+        }                                                               \
+    } while (0)
+
+#define nsrf_inform(...)                                                \
+    do {                                                                \
+        if (::nsrf::verbose()) {                                        \
+            ::nsrf::detail::logLine(::nsrf::LogLevel::Info, __FILE__,   \
+                                    __LINE__,                           \
+                                    ::nsrf::detail::format(             \
+                                        __VA_ARGS__));                  \
+        }                                                               \
+    } while (0)
+
+/** Internal-invariant check that survives NDEBUG builds. */
+#define nsrf_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            nsrf_panic("assertion failed: %s: %s", #cond,               \
+                       ::nsrf::detail::format(__VA_ARGS__).c_str());    \
+        }                                                               \
+    } while (0)
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_LOGGING_HH

@@ -1,0 +1,126 @@
+#include "nsrf/common/random.hh"
+
+#include <cmath>
+
+namespace nsrf
+{
+
+namespace
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Random::Random(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Random::seed(std::uint64_t seed_value)
+{
+    std::uint64_t sm = seed_value;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Random::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Random::uniform(std::uint64_t bound)
+{
+    nsrf_assert(bound > 0, "uniform() needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Random::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    nsrf_assert(hi >= lo, "uniformRange() needs hi >= lo");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double
+Random::real()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return real() < p;
+}
+
+std::uint64_t
+Random::geometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Geometric with success probability 1/mean, support {1, 2, ...}.
+    double p = 1.0 / mean;
+    double u = real();
+    double value = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+    if (value < 1.0)
+        value = 1.0;
+    return static_cast<std::uint64_t>(value);
+}
+
+std::size_t
+Random::weightedPick(const double *weights, std::size_t count)
+{
+    nsrf_assert(count > 0, "weightedPick() needs at least one weight");
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        total += weights[i];
+    if (total <= 0.0)
+        return 0;
+    double target = real() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    return count - 1;
+}
+
+} // namespace nsrf

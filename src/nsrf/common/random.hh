@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for workload generation.
+ *
+ * All simulated randomness flows through this class so that every
+ * experiment is exactly reproducible from its seed.  The generator is
+ * xoshiro256**, seeded with SplitMix64, which is both fast and of far
+ * higher quality than the workload models require.
+ */
+
+#ifndef NSRF_COMMON_RANDOM_HH
+#define NSRF_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf
+{
+
+/** Deterministic, seedable random number generator. */
+class Random
+{
+  public:
+    /** Construct with an explicit seed; equal seeds, equal streams. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Reseed, restarting the stream. */
+    void seed(std::uint64_t seed);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t uniform(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive; hi >= lo. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return uniform real in [0, 1). */
+    double real();
+
+    /** @return true with probability @p p (clamped to [0, 1]). */
+    bool chance(double p);
+
+    /**
+     * @return a sample from a geometric-flavoured distribution with
+     * the given mean, always at least 1.  Models run lengths such as
+     * "instructions until the next call".
+     */
+    std::uint64_t geometric(double mean);
+
+    /**
+     * Pick an index in [0, weights.size()) with probability
+     * proportional to the weights.  Zero total weight picks index 0.
+     */
+    std::size_t weightedPick(const double *weights, std::size_t count);
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_RANDOM_HH

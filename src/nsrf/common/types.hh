@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every NSRF subsystem.
+ *
+ * The simulator models a 32-bit SPARC-flavoured machine, so machine
+ * words and virtual addresses are 32 bits wide.  Cycle counters are 64
+ * bits so that long traces never overflow.
+ */
+
+#ifndef NSRF_COMMON_TYPES_HH
+#define NSRF_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace nsrf
+{
+
+/** A 32-bit machine word: the contents of one register. */
+using Word = std::uint32_t;
+
+/** A 32-bit virtual (or physical) byte address. */
+using Addr = std::uint32_t;
+
+/** Simulation time measured in processor cycles. */
+using Cycles = std::uint64_t;
+
+/**
+ * A Context ID names one procedure or thread activation (paper §4.2).
+ *
+ * CIDs are short integers drawn from a small hardware name space; the
+ * Ctable translates a CID to the virtual address of the context's
+ * backing frame.  They are neither virtual addresses nor global thread
+ * identifiers.
+ */
+using ContextId = std::uint32_t;
+
+/** A compiled register offset within a context (typically 0..31). */
+using RegIndex = std::uint32_t;
+
+/** Distinguished value meaning "no context". */
+inline constexpr ContextId invalidContext =
+    std::numeric_limits<ContextId>::max();
+
+/** Distinguished value meaning "no register". */
+inline constexpr RegIndex invalidReg =
+    std::numeric_limits<RegIndex>::max();
+
+/** Distinguished value meaning "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Bytes per machine word. */
+inline constexpr Addr wordBytes = 4;
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_TYPES_HH

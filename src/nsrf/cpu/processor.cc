@@ -1,0 +1,462 @@
+#include "nsrf/cpu/processor.hh"
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::cpu
+{
+
+const char *
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Halted: return "halted";
+      case StopReason::AllExited: return "all-exited";
+      case StopReason::Deadlock: return "deadlock";
+      case StopReason::LimitReached: return "limit-reached";
+      case StopReason::Fault: return "fault";
+    }
+    return "?";
+}
+
+Processor::Processor(const assembler::Program &program,
+                     regfile::RegisterFile &rf,
+                     mem::MemorySystem &memsys,
+                     const CpuConfig &config)
+    : program_(program), rf_(rf), memsys_(memsys), config_(config)
+{
+    if (config_.icache)
+        icache_ = std::make_unique<mem::DataCache>(*config_.icache);
+
+    // The main thread starts at the program entry with a fresh
+    // activation.
+    ContextId cid = newContext();
+    nsrf_assert(cid != invalidContext, "no CID for the main thread");
+    sched_.create(program_.entry, cid);
+}
+
+ContextId
+Processor::newContext()
+{
+    ContextId cid = cids_.alloc();
+    if (cid == invalidContext)
+        return invalidContext;
+    Addr frame = frames_.alloc();
+    frameOf_[cid] = frame;
+    rf_.allocContext(cid, frame);
+    return cid;
+}
+
+void
+Processor::releaseContext(ContextId cid)
+{
+    rf_.freeContext(cid);
+    auto it = frameOf_.find(cid);
+    nsrf_assert(it != frameOf_.end(), "context %u has no frame", cid);
+    frames_.free(it->second);
+    frameOf_.erase(it);
+    cids_.free(cid);
+}
+
+Word
+Processor::readReg(ContextId cid, RegIndex off)
+{
+    Word value = 0;
+    auto res = rf_.read(cid, off, value);
+    now_ += res.stall;
+    stats_.regStallCycles += res.stall;
+    return value;
+}
+
+void
+Processor::writeReg(ContextId cid, RegIndex off, Word value)
+{
+    auto res = rf_.write(cid, off, value);
+    now_ += res.stall;
+    stats_.regStallCycles += res.stall;
+}
+
+Word
+Processor::inspectReg(ContextId cid, RegIndex off)
+{
+    Word value = 0;
+    rf_.read(cid, off, value);
+    return value;
+}
+
+void
+Processor::fault(const std::string &message)
+{
+    stats_.stopReason = StopReason::Fault;
+    stats_.faultMessage = message;
+    running_ = false;
+}
+
+const CpuStats &
+Processor::run()
+{
+    running_ = true;
+    runtime::Thread *t = sched_.pickNext(now_);
+    if (t)
+        rf_.switchTo(t->cid);
+
+    while (running_ && t) {
+        if (stats_.instructions >= config_.maxInstructions ||
+            now_ >= config_.maxCycles) {
+            stats_.stopReason = StopReason::LimitReached;
+            break;
+        }
+
+        step(*t);
+
+        if (!running_)
+            break;
+
+        if (sched_.current() == nullptr) {
+            // The thread blocked, exited, or yielded: switch.
+            t = sched_.pickNext(now_);
+            if (!t) {
+                stats_.stopReason = sched_.liveCount() == 0
+                                        ? StopReason::AllExited
+                                        : StopReason::Deadlock;
+                break;
+            }
+            auto res = rf_.switchTo(t->cid);
+            now_ += res.stall + config_.switchCost;
+            stats_.regStallCycles += res.stall;
+            ++stats_.contextSwitches;
+        }
+    }
+
+    stats_.cycles = now_;
+    rf_.finalize();
+    return stats_;
+}
+
+void
+Processor::step(runtime::Thread &t)
+{
+    if (t.pc >= program_.size()) {
+        fault("pc out of range");
+        return;
+    }
+    auto decoded = isa::decode(program_.code[t.pc]);
+    if (!decoded) {
+        fault("illegal instruction at pc=" + std::to_string(t.pc));
+        return;
+    }
+    const isa::Instruction inst = *decoded;
+    ContextId cid = t.cid;
+    Addr next_pc = t.pc + 1;
+
+    ++stats_.instructions;
+    now_ += 1; // base cycle
+
+    if (icache_) {
+        // Fetch: hits overlap with execution, misses stall.
+        Cycles lat = icache_->access(t.pc * wordBytes, false);
+        Cycles hit = config_.icache->hitLatency;
+        if (lat > hit) {
+            now_ += lat - hit;
+            stats_.fetchStallCycles += lat - hit;
+        }
+    }
+
+    using isa::Opcode;
+    auto s32 = [](Word w) { return static_cast<std::int32_t>(w); };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+
+      case Opcode::Halt:
+        stats_.stopReason = StopReason::Halted;
+        running_ = false;
+        return;
+
+      case Opcode::Add:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) +
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::Sub:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) -
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::And:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) &
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::Or:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) |
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::Xor:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) ^
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::Sll:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1)
+                                   << (readReg(cid, inst.rs2) & 31));
+        break;
+      case Opcode::Srl:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) >>
+                                   (readReg(cid, inst.rs2) & 31));
+        break;
+      case Opcode::Sra:
+        writeReg(cid, inst.rd,
+                 static_cast<Word>(s32(readReg(cid, inst.rs1)) >>
+                                   (readReg(cid, inst.rs2) & 31)));
+        break;
+      case Opcode::Slt:
+        writeReg(cid, inst.rd,
+                 s32(readReg(cid, inst.rs1)) <
+                         s32(readReg(cid, inst.rs2))
+                     ? 1
+                     : 0);
+        break;
+      case Opcode::Mul:
+        now_ += config_.mulExtra;
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) *
+                                   readReg(cid, inst.rs2));
+        break;
+      case Opcode::Div: {
+          now_ += config_.divExtra;
+          Word denom = readReg(cid, inst.rs2);
+          if (denom == 0) {
+              fault("divide by zero at pc=" + std::to_string(t.pc));
+              return;
+          }
+          writeReg(cid, inst.rd, readReg(cid, inst.rs1) / denom);
+          break;
+      }
+
+      case Opcode::Addi:
+        writeReg(cid, inst.rd,
+                 readReg(cid, inst.rs1) +
+                     static_cast<Word>(inst.imm));
+        break;
+      case Opcode::Andi:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) &
+                                   static_cast<Word>(inst.imm));
+        break;
+      case Opcode::Ori:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) |
+                                   static_cast<Word>(inst.imm));
+        break;
+      case Opcode::Xori:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1) ^
+                                   static_cast<Word>(inst.imm));
+        break;
+      case Opcode::Slli:
+        writeReg(cid, inst.rd, readReg(cid, inst.rs1)
+                                   << (inst.imm & 31));
+        break;
+      case Opcode::Srli:
+        writeReg(cid, inst.rd,
+                 readReg(cid, inst.rs1) >> (inst.imm & 31));
+        break;
+      case Opcode::Slti:
+        writeReg(cid, inst.rd,
+                 s32(readReg(cid, inst.rs1)) < inst.imm ? 1 : 0);
+        break;
+      case Opcode::Lui:
+        writeReg(cid, inst.rd,
+                 static_cast<Word>(inst.imm) << 16);
+        break;
+
+      case Opcode::Ld: {
+          Addr addr = readReg(cid, inst.rs1) +
+                      static_cast<Word>(inst.imm);
+          Word value;
+          Cycles lat = memsys_.readWord(addr & ~3u, value);
+          now_ += lat;
+          stats_.memCycles += lat;
+          ++stats_.loads;
+          writeReg(cid, inst.rd, value);
+          break;
+      }
+      case Opcode::St: {
+          Addr addr = readReg(cid, inst.rs1) +
+                      static_cast<Word>(inst.imm);
+          Word value = readReg(cid, inst.rd);
+          Cycles lat = memsys_.writeWord(addr & ~3u, value);
+          now_ += lat;
+          stats_.memCycles += lat;
+          ++stats_.stores;
+          break;
+      }
+
+      case Opcode::Beq:
+        if (readReg(cid, inst.rs1) == readReg(cid, inst.rs2)) {
+            next_pc = t.pc + 1 + static_cast<Addr>(inst.imm);
+            now_ += config_.takenBranchExtra;
+        }
+        break;
+      case Opcode::Bne:
+        if (readReg(cid, inst.rs1) != readReg(cid, inst.rs2)) {
+            next_pc = t.pc + 1 + static_cast<Addr>(inst.imm);
+            now_ += config_.takenBranchExtra;
+        }
+        break;
+      case Opcode::Blt:
+        if (s32(readReg(cid, inst.rs1)) <
+            s32(readReg(cid, inst.rs2))) {
+            next_pc = t.pc + 1 + static_cast<Addr>(inst.imm);
+            now_ += config_.takenBranchExtra;
+        }
+        break;
+      case Opcode::Bge:
+        if (s32(readReg(cid, inst.rs1)) >=
+            s32(readReg(cid, inst.rs2))) {
+            next_pc = t.pc + 1 + static_cast<Addr>(inst.imm);
+            now_ += config_.takenBranchExtra;
+        }
+        break;
+
+      case Opcode::Jmp:
+        next_pc = static_cast<Addr>(inst.imm);
+        now_ += config_.takenBranchExtra;
+        break;
+      case Opcode::Jal:
+        writeReg(cid, inst.rd, t.pc + 1);
+        next_pc = static_cast<Addr>(inst.imm);
+        now_ += config_.takenBranchExtra;
+        break;
+      case Opcode::Jr:
+        next_pc = readReg(cid, inst.rs1);
+        now_ += config_.takenBranchExtra;
+        break;
+
+      case Opcode::CtxNew: {
+          now_ += config_.ctxNewCost;
+          ContextId fresh = newContext();
+          if (fresh == invalidContext) {
+              fault("context ID space exhausted");
+              return;
+          }
+          writeReg(cid, inst.rd, fresh);
+          break;
+      }
+      case Opcode::CtxFree:
+        releaseContext(readReg(cid, inst.rs1));
+        break;
+      case Opcode::GetCid:
+        writeReg(cid, inst.rd, cid);
+        break;
+      case Opcode::CtxSw: {
+          ContextId target = readReg(cid, inst.rs1);
+          auto res = rf_.switchTo(target);
+          now_ += res.stall;
+          stats_.regStallCycles += res.stall;
+          ++stats_.contextSwitches;
+          t.cid = target;
+          break;
+      }
+      case Opcode::Xst: {
+          // xst rS, rC, off: ctx[rC].reg[off] := reg[rS].
+          Word value = readReg(cid, inst.rd);
+          ContextId target = readReg(cid, inst.rs1);
+          writeReg(target, static_cast<RegIndex>(inst.imm), value);
+          break;
+      }
+      case Opcode::Xld: {
+          // xld rD, rC, off: reg[rD] := ctx[rC].reg[off].
+          ContextId source = readReg(cid, inst.rs1);
+          Word value =
+              readReg(source, static_cast<RegIndex>(inst.imm));
+          writeReg(cid, inst.rd, value);
+          break;
+      }
+      case Opcode::CtxCall: {
+          // Callee CID in rs1; target PC in imm.  The hardware
+          // deposits the return linkage in the callee's context and
+          // switches to it.
+          ContextId callee = readReg(cid, inst.rs1);
+          writeReg(callee, isa::linkCidReg, cid);
+          writeReg(callee, isa::linkPcReg, t.pc + 1);
+          auto res = rf_.switchTo(callee);
+          now_ += res.stall;
+          stats_.regStallCycles += res.stall;
+          ++stats_.contextSwitches;
+          t.cid = callee;
+          next_pc = static_cast<Addr>(inst.imm);
+          break;
+      }
+      case Opcode::Ret: {
+          ContextId ret_cid = readReg(cid, isa::linkCidReg);
+          Addr ret_pc = readReg(cid, isa::linkPcReg);
+          releaseContext(cid);
+          auto res = rf_.switchTo(ret_cid);
+          now_ += res.stall;
+          stats_.regStallCycles += res.stall;
+          ++stats_.contextSwitches;
+          t.cid = ret_cid;
+          next_pc = ret_pc;
+          break;
+      }
+
+      case Opcode::Spawn: {
+          now_ += config_.spawnCost;
+          ContextId fresh = newContext();
+          if (fresh == invalidContext) {
+              fault("context ID space exhausted on spawn");
+              return;
+          }
+          sched_.create(static_cast<Addr>(inst.imm), fresh);
+          writeReg(cid, inst.rd, fresh);
+          break;
+      }
+      case Opcode::Exit:
+        releaseContext(cid);
+        t.pc = next_pc;
+        sched_.exitCurrent();
+        return;
+      case Opcode::Yield:
+        t.pc = next_pc;
+        sched_.yield();
+        return;
+      case Opcode::Remote: {
+          // Split-phase remote access: the value arrives after the
+          // network round trip; the thread blocks and the processor
+          // switches to another (Figure 1 of the paper).
+          Addr addr = readReg(cid, inst.rs1) +
+                      static_cast<Word>(inst.imm);
+          Word value;
+          memsys_.readWord(addr & ~3u, value);
+          writeReg(cid, inst.rd, value);
+          ++stats_.remoteAccesses;
+          t.pc = next_pc;
+          sched_.blockUntil(now_ + config_.remoteLatency);
+          return;
+      }
+      case Opcode::SyncWait: {
+          Addr addr = readReg(cid, inst.rs1);
+          if (!sched_.trySyncWait(addr)) {
+              t.pc = next_pc;
+              sched_.blockOnSync(addr);
+              return;
+          }
+          break;
+      }
+      case Opcode::SyncSig:
+        sched_.signalSync(readReg(cid, inst.rs1));
+        break;
+
+      case Opcode::RegFree:
+        rf_.freeRegister(cid, inst.rs1);
+        break;
+
+      case Opcode::Li:
+        writeReg(cid, inst.rd, static_cast<Word>(inst.imm));
+        break;
+
+      default:
+        fault("unimplemented opcode");
+        return;
+    }
+
+    t.pc = next_pc;
+}
+
+} // namespace nsrf::cpu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The cycle-level SRISC processor.
+ *
+ * A single-issue, in-order core in the SPARC-2 mould (the paper's §8
+ * takes instruction and memory timings from a Sparc2 emulator).
+ * Every instruction costs a base cycle; loads/stores add the memory
+ * system's latency; register file misses stall the pipeline for
+ * whatever the register file charges.  Threads are block
+ * multithreaded: the core runs one thread until it blocks on a
+ * remote access or synchronization point, exits, or yields.
+ *
+ * The processor owns the Context ID and backing-frame allocators and
+ * drives the register file's allocContext/freeContext exactly as the
+ * CTXNEW/CTXFREE/CTXCALL/RET/SPAWN instructions demand, so the full
+ * named-state machinery is exercised by real programs.
+ */
+
+#ifndef NSRF_CPU_PROCESSOR_HH
+#define NSRF_CPU_PROCESSOR_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "nsrf/asm/assembler.hh"
+#include "nsrf/mem/cache.hh"
+#include "nsrf/runtime/allocators.hh"
+#include "nsrf/runtime/scheduler.hh"
+
+namespace nsrf::mem
+{
+class MemorySystem;
+} // namespace nsrf::mem
+
+namespace nsrf::regfile
+{
+class RegisterFile;
+} // namespace nsrf::regfile
+
+namespace nsrf::cpu
+{
+
+/** Fixed instruction timings (cycles beyond the base cycle). */
+struct CpuConfig
+{
+    Cycles mulExtra = 3;
+    Cycles divExtra = 10;
+    Cycles takenBranchExtra = 1;
+    Cycles ctxNewCost = 2;    //!< allocator work for CTXNEW/SPAWN
+    Cycles spawnCost = 8;     //!< thread creation overhead
+    Cycles switchCost = 2;    //!< pipeline refill on a thread switch
+    Cycles remoteLatency = 100; //!< network round trip (paper §2)
+    /** Instruction cache; nullopt = ideal single-cycle fetch. */
+    std::optional<mem::CacheConfig> icache = mem::CacheConfig{
+        8 * 1024, 32, 2, 1, 26};
+    std::uint64_t maxInstructions = 100'000'000;
+    std::uint64_t maxCycles = 1'000'000'000;
+};
+
+/** Why run() returned. */
+enum class StopReason
+{
+    Halted,        //!< a HALT instruction retired
+    AllExited,     //!< every thread has exited
+    Deadlock,      //!< all remaining threads wait on sync variables
+    LimitReached,  //!< instruction or cycle budget exhausted
+    Fault,         //!< illegal instruction or CID exhaustion
+};
+
+/** @return a human-readable stop reason. */
+const char *stopReasonName(StopReason reason);
+
+/** End-of-run statistics. */
+struct CpuStats
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    Cycles regStallCycles = 0; //!< charged by the register file
+    Cycles memCycles = 0;      //!< data loads and stores
+    Cycles fetchStallCycles = 0; //!< instruction cache misses
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t remoteAccesses = 0;
+    std::uint64_t contextSwitches = 0;
+    StopReason stopReason = StopReason::Halted;
+    std::string faultMessage;
+
+    double
+    cpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : double(cycles) / double(instructions);
+    }
+};
+
+/** The processor. */
+class Processor
+{
+  public:
+    /**
+     * @param program  assembled image (instruction memory)
+     * @param rf       register file under evaluation
+     * @param memsys   data memory (shared with register spills)
+     * @param config   timing parameters
+     */
+    Processor(const assembler::Program &program,
+              regfile::RegisterFile &rf, mem::MemorySystem &memsys,
+              const CpuConfig &config = {});
+
+    /** Run until halt, exit, deadlock, or budget; @return stats. */
+    const CpuStats &run();
+
+    /** Functional register read for tests (no timing effects). */
+    Word inspectReg(ContextId cid, RegIndex off);
+
+    const CpuStats &stats() const { return stats_; }
+    const runtime::Scheduler &scheduler() const { return sched_; }
+
+    /** @return the instruction cache, or nullptr when ideal. */
+    const mem::DataCache *icache() const { return icache_.get(); }
+
+  private:
+    /** Execute one instruction of the current thread. */
+    void step(runtime::Thread &t);
+
+    Word readReg(ContextId cid, RegIndex off);
+    void writeReg(ContextId cid, RegIndex off, Word value);
+
+    /** Allocate a context+frame pair; fault on exhaustion. */
+    ContextId newContext();
+
+    /** Free a context and its backing frame. */
+    void releaseContext(ContextId cid);
+
+    void fault(const std::string &message);
+
+    const assembler::Program &program_;
+    regfile::RegisterFile &rf_;
+    mem::MemorySystem &memsys_;
+    CpuConfig config_;
+
+    runtime::Scheduler sched_;
+    runtime::CidAllocator cids_;
+    runtime::FrameAllocator frames_;
+    std::unordered_map<ContextId, Addr> frameOf_;
+    std::unique_ptr<mem::DataCache> icache_;
+
+    Cycles now_ = 0;
+    CpuStats stats_;
+    bool running_ = false;
+};
+
+} // namespace nsrf::cpu
+
+#endif // NSRF_CPU_PROCESSOR_HH

@@ -1,0 +1,336 @@
+#include "nsrf/isa/isa.hh"
+
+#include <array>
+#include <cstdio>
+#include <unordered_map>
+
+#include "nsrf/common/bitutil.hh"
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::isa
+{
+
+namespace
+{
+
+constexpr std::size_t opcodeCount =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+constexpr std::array<OpInfo, opcodeCount> opTable = {{
+    {"nop", Format::None},      // Nop
+    {"halt", Format::None},     // Halt
+    {"add", Format::R3},        // Add
+    {"sub", Format::R3},        // Sub
+    {"and", Format::R3},        // And
+    {"or", Format::R3},         // Or
+    {"xor", Format::R3},        // Xor
+    {"sll", Format::R3},        // Sll
+    {"srl", Format::R3},        // Srl
+    {"sra", Format::R3},        // Sra
+    {"slt", Format::R3},        // Slt
+    {"mul", Format::R3},        // Mul
+    {"div", Format::R3},        // Div
+    {"addi", Format::I2},       // Addi
+    {"andi", Format::I2},       // Andi
+    {"ori", Format::I2},        // Ori
+    {"xori", Format::I2},       // Xori
+    {"slli", Format::I2},       // Slli
+    {"srli", Format::I2},       // Srli
+    {"slti", Format::I2},       // Slti
+    {"lui", Format::RdImm},     // Lui
+    {"ld", Format::Mem},        // Ld
+    {"st", Format::Mem},        // St
+    {"beq", Format::Branch},    // Beq
+    {"bne", Format::Branch},    // Bne
+    {"blt", Format::Branch},    // Blt
+    {"bge", Format::Branch},    // Bge
+    {"jmp", Format::Jump},      // Jmp
+    {"jal", Format::JumpRd},    // Jal
+    {"jr", Format::R1},         // Jr
+    {"ctxnew", Format::Rd},     // CtxNew
+    {"ctxfree", Format::R1},    // CtxFree
+    {"ctxsw", Format::R1},      // CtxSw
+    {"getcid", Format::Rd},     // GetCid
+    {"xst", Format::I2},        // Xst: xst rd(src), rs1(ctx), imm
+    {"xld", Format::I2},        // Xld: xld rd(dst), rs1(ctx), imm
+    {"ctxcall", Format::JumpRs},// CtxCall
+    {"ret", Format::None},      // Ret
+    {"spawn", Format::JumpRd},  // Spawn
+    {"exit", Format::None},     // Exit
+    {"yield", Format::None},    // Yield
+    {"remote", Format::Mem},    // Remote: remote rd, imm(rs1)
+    {"syncwait", Format::R1},   // SyncWait
+    {"syncsig", Format::R1},    // SyncSig
+    {"regfree", Format::R1},    // RegFree: frees register rs1 itself
+    {"li", Format::RdImm},      // Li: rd := sign-extended imm16
+}};
+
+const std::unordered_map<std::string, Opcode> &
+mnemonicMap()
+{
+    static const auto *map = [] {
+        auto *m = new std::unordered_map<std::string, Opcode>;
+        for (std::size_t i = 0; i < opcodeCount; ++i)
+            m->emplace(opTable[i].mnemonic, static_cast<Opcode>(i));
+        return m;
+    }();
+    return *map;
+}
+
+constexpr unsigned opShift = 26;
+constexpr unsigned rdHi = 25, rdLo = 21;
+constexpr unsigned rs1Hi = 20, rs1Lo = 16;
+constexpr unsigned rs2Hi = 15, rs2Lo = 11;
+constexpr unsigned imm16Hi = 15, imm16Lo = 0;
+constexpr unsigned imm21Hi = 20, imm21Lo = 0;
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    nsrf_assert(idx < opcodeCount, "bad opcode %zu", idx);
+    return opTable[idx];
+}
+
+std::optional<Opcode>
+opcodeByName(const std::string &name)
+{
+    auto it = mnemonicMap().find(name);
+    if (it == mnemonicMap().end())
+        return std::nullopt;
+    return it->second;
+}
+
+Word
+encode(const Instruction &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    Word w = static_cast<Word>(inst.op) << opShift;
+
+    auto check_reg = [](RegIndex r) {
+        nsrf_assert(r < regsPerContext, "register %u out of range", r);
+    };
+
+    switch (info.format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        check_reg(inst.rd);
+        check_reg(inst.rs1);
+        check_reg(inst.rs2);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs1);
+        w = insertBits(w, rs2Hi, rs2Lo, inst.rs2);
+        break;
+      case Format::R2:
+        check_reg(inst.rd);
+        check_reg(inst.rs1);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs1);
+        break;
+      case Format::R1:
+        check_reg(inst.rs1);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs1);
+        break;
+      case Format::Rd:
+        check_reg(inst.rd);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        break;
+      case Format::I2:
+      case Format::Mem:
+        check_reg(inst.rd);
+        check_reg(inst.rs1);
+        nsrf_assert(inst.imm >= -32768 && inst.imm <= 32767,
+                    "imm16 %d out of range", inst.imm);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs1);
+        w = insertBits(w, imm16Hi, imm16Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::RdImm:
+        check_reg(inst.rd);
+        nsrf_assert(inst.imm >= -32768 && inst.imm <= 32767,
+                    "imm16 %d out of range", inst.imm);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        w = insertBits(w, imm16Hi, imm16Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::RsImm:
+        check_reg(inst.rs1);
+        nsrf_assert(inst.imm >= -32768 && inst.imm <= 32767,
+                    "imm16 %d out of range", inst.imm);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs1);
+        w = insertBits(w, imm16Hi, imm16Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::Branch:
+        // Branches carry imm16 in [15:0], so the two source
+        // registers use the rd and rs1 slots.
+        check_reg(inst.rs1);
+        check_reg(inst.rs2);
+        nsrf_assert(inst.imm >= -32768 && inst.imm <= 32767,
+                    "branch offset %d out of range", inst.imm);
+        w = insertBits(w, rdHi, rdLo, inst.rs1);
+        w = insertBits(w, rs1Hi, rs1Lo, inst.rs2);
+        w = insertBits(w, imm16Hi, imm16Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::Jump:
+        nsrf_assert(inst.imm >= -(1 << 20) && inst.imm < (1 << 20),
+                    "imm21 %d out of range", inst.imm);
+        w = insertBits(w, imm21Hi, imm21Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::JumpRd:
+        check_reg(inst.rd);
+        nsrf_assert(inst.imm >= -(1 << 20) && inst.imm < (1 << 20),
+                    "imm21 %d out of range", inst.imm);
+        w = insertBits(w, rdHi, rdLo, inst.rd);
+        w = insertBits(w, imm21Hi, imm21Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Format::JumpRs:
+        check_reg(inst.rs1);
+        // rs1 sits above imm21's top bit?  No: JumpRs steals the rd
+        // field for rs1 so the 21-bit immediate stays intact.
+        w = insertBits(w, rdHi, rdLo, inst.rs1);
+        nsrf_assert(inst.imm >= 0 && inst.imm < (1 << 21),
+                    "imm21 %d out of range", inst.imm);
+        w = insertBits(w, imm21Hi, imm21Lo,
+                       static_cast<std::uint32_t>(inst.imm));
+        break;
+    }
+    return w;
+}
+
+std::optional<Instruction>
+decode(Word word)
+{
+    auto op_raw = bits(word, 31, opShift);
+    if (op_raw >= opcodeCount)
+        return std::nullopt;
+
+    Instruction inst;
+    inst.op = static_cast<Opcode>(op_raw);
+    const OpInfo &info = opInfo(inst.op);
+
+    switch (info.format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        inst.rd = bits(word, rdHi, rdLo);
+        inst.rs1 = bits(word, rs1Hi, rs1Lo);
+        inst.rs2 = bits(word, rs2Hi, rs2Lo);
+        break;
+      case Format::R2:
+        inst.rd = bits(word, rdHi, rdLo);
+        inst.rs1 = bits(word, rs1Hi, rs1Lo);
+        break;
+      case Format::R1:
+        inst.rs1 = bits(word, rs1Hi, rs1Lo);
+        break;
+      case Format::Rd:
+        inst.rd = bits(word, rdHi, rdLo);
+        break;
+      case Format::I2:
+      case Format::Mem:
+        inst.rd = bits(word, rdHi, rdLo);
+        inst.rs1 = bits(word, rs1Hi, rs1Lo);
+        inst.imm = signExtend(bits(word, imm16Hi, imm16Lo), 16);
+        break;
+      case Format::RdImm:
+        inst.rd = bits(word, rdHi, rdLo);
+        inst.imm = signExtend(bits(word, imm16Hi, imm16Lo), 16);
+        break;
+      case Format::RsImm:
+        inst.rs1 = bits(word, rs1Hi, rs1Lo);
+        inst.imm = signExtend(bits(word, imm16Hi, imm16Lo), 16);
+        break;
+      case Format::Branch:
+        inst.rs1 = bits(word, rdHi, rdLo);
+        inst.rs2 = bits(word, rs1Hi, rs1Lo);
+        inst.imm = signExtend(bits(word, imm16Hi, imm16Lo), 16);
+        break;
+      case Format::Jump:
+        inst.imm = signExtend(bits(word, imm21Hi, imm21Lo), 21);
+        break;
+      case Format::JumpRd:
+        inst.rd = bits(word, rdHi, rdLo);
+        inst.imm = signExtend(bits(word, imm21Hi, imm21Lo), 21);
+        break;
+      case Format::JumpRs:
+        inst.rs1 = bits(word, rdHi, rdLo);
+        inst.imm =
+            static_cast<std::int32_t>(bits(word, imm21Hi, imm21Lo));
+        break;
+    }
+    return inst;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &info = opInfo(inst.op);
+    char buf[96];
+    switch (info.format) {
+      case Format::None:
+        std::snprintf(buf, sizeof(buf), "%s", info.mnemonic);
+        break;
+      case Format::R3:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, r%u",
+                      info.mnemonic, inst.rd, inst.rs1, inst.rs2);
+        break;
+      case Format::R2:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u", info.mnemonic,
+                      inst.rd, inst.rs1);
+        break;
+      case Format::R1:
+        std::snprintf(buf, sizeof(buf), "%s r%u", info.mnemonic,
+                      inst.rs1);
+        break;
+      case Format::Rd:
+        std::snprintf(buf, sizeof(buf), "%s r%u", info.mnemonic,
+                      inst.rd);
+        break;
+      case Format::I2:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d",
+                      info.mnemonic, inst.rd, inst.rs1, inst.imm);
+        break;
+      case Format::Mem:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d(r%u)",
+                      info.mnemonic, inst.rd, inst.imm, inst.rs1);
+        break;
+      case Format::RdImm:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d", info.mnemonic,
+                      inst.rd, inst.imm);
+        break;
+      case Format::RsImm:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d", info.mnemonic,
+                      inst.rs1, inst.imm);
+        break;
+      case Format::Branch:
+        std::snprintf(buf, sizeof(buf), "%s r%u, r%u, %d",
+                      info.mnemonic, inst.rs1, inst.rs2, inst.imm);
+        break;
+      case Format::Jump:
+        std::snprintf(buf, sizeof(buf), "%s %d", info.mnemonic,
+                      inst.imm);
+        break;
+      case Format::JumpRd:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d", info.mnemonic,
+                      inst.rd, inst.imm);
+        break;
+      case Format::JumpRs:
+        std::snprintf(buf, sizeof(buf), "%s r%u, %d", info.mnemonic,
+                      inst.rs1, inst.imm);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s ?", info.mnemonic);
+        break;
+    }
+    return buf;
+}
+
+} // namespace nsrf::isa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SRISC: the 32-bit load/store mini-ISA executed by the cycle-level
+ * processor.
+ *
+ * The paper cross-compiles SPARC assembly (sequential) and TAM
+ * dataflow code (parallel) into its register file simulator.  SRISC
+ * plays both roles here: a conventional RISC core plus the context
+ * and thread operations a multithreaded processor with a
+ * register-name space needs:
+ *
+ *  - CTXNEW/CTXFREE allocate and free Context IDs at run time (the
+ *    paper's "compiler may allocate a new CID for each procedure
+ *    invocation", §4.3);
+ *  - XST/XLD move values across contexts (argument/result passing);
+ *  - CTXCALL/RET implement the cross-context procedure linkage:
+ *    CTXCALL writes the caller's CID and return PC into the callee's
+ *    r30/r31 and switches; RET reverses it and frees the activation;
+ *  - CTXSW switches the running context explicitly (thread
+ *    scheduling);
+ *  - SPAWN/EXIT/YIELD/REMOTE/SYNCWAIT/SYNCSIG drive the block
+ *    multithreading model (§3): REMOTE models a split-phase remote
+ *    access that blocks the issuing thread for the network round
+ *    trip, and SYNC* model data-dependent synchronization;
+ *  - REGFREE deallocates a single register, the NSF's fine-grain
+ *    hint (§4.2).
+ *
+ * Encoding: fixed 32-bit words, opcode in [31:26], rd [25:21],
+ * rs1 [20:16], rs2 [15:11]; I-format uses a signed imm16 in [15:0];
+ * J-format uses a signed imm21 in [20:0].
+ */
+
+#ifndef NSRF_ISA_ISA_HH
+#define NSRF_ISA_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::isa
+{
+
+/** Every SRISC operation. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // ALU register-register.
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Mul, Div,
+
+    // ALU register-immediate.
+    Addi, Andi, Ori, Xori, Slli, Srli, Slti, Lui,
+
+    // Memory.
+    Ld, St,
+
+    // Control: branches are PC-relative (word offsets), jumps
+    // absolute (word addresses).
+    Beq, Bne, Blt, Bge, Jmp, Jal, Jr,
+
+    // Context management.
+    CtxNew, CtxFree, CtxSw, GetCid, Xst, Xld, CtxCall, Ret,
+
+    // Threads and synchronization.
+    Spawn, Exit, Yield, Remote, SyncWait, SyncSig,
+
+    // Register lifetime hint.
+    RegFree,
+
+    // Load immediate (writes rd without reading any register).
+    Li,
+
+    NumOpcodes
+};
+
+/** Operand layout of an opcode. */
+enum class Format : std::uint8_t
+{
+    None,   //!< no operands (nop, halt, ret, exit, yield)
+    R3,     //!< rd, rs1, rs2
+    R2,     //!< rd, rs1
+    R1,     //!< rs1
+    Rd,     //!< rd only
+    I2,     //!< rd, rs1, imm16
+    RdImm,  //!< rd, imm16
+    RsImm,  //!< rs1, imm16
+    Mem,    //!< rd/rs2, imm16(rs1)
+    Branch, //!< rs1, rs2, imm16
+    Jump,   //!< imm21
+    JumpRd, //!< rd, imm21 (jal, spawn)
+    JumpRs, //!< rs1, imm21 (ctxcall)
+};
+
+/** A decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegIndex rd = 0;
+    RegIndex rs1 = 0;
+    RegIndex rs2 = 0;
+    std::int32_t imm = 0;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    Format format;
+};
+
+/** @return the table entry for @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** @return the opcode whose mnemonic is @p name, if any. */
+std::optional<Opcode> opcodeByName(const std::string &name);
+
+/** Encode @p inst into a machine word. */
+Word encode(const Instruction &inst);
+
+/**
+ * Decode @p word.  Undefined opcodes decode to std::nullopt; the
+ * processor treats them as an illegal-instruction fault.
+ */
+std::optional<Instruction> decode(Word word);
+
+/** Render @p inst as assembly text. */
+std::string disassemble(const Instruction &inst);
+
+/** Number of architectural registers per context. */
+inline constexpr RegIndex regsPerContext = 32;
+
+/** Register receiving the caller's CID on CTXCALL. */
+inline constexpr RegIndex linkCidReg = 30;
+
+/** Register receiving the return PC on CTXCALL. */
+inline constexpr RegIndex linkPcReg = 31;
+
+} // namespace nsrf::isa
+
+#endif // NSRF_ISA_ISA_HH

@@ -1,0 +1,91 @@
+#include "nsrf/mem/cache.hh"
+
+#include "nsrf/common/bitutil.hh"
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::mem
+{
+
+DataCache::DataCache(const CacheConfig &config) : config_(config)
+{
+    nsrf_assert(config.lineBytes >= wordBytes &&
+                    isPowerOfTwo(config.lineBytes),
+                "bad cache line size %u", config.lineBytes);
+    nsrf_assert(config.ways > 0, "cache needs at least one way");
+    Addr line_count = config.sizeBytes / config.lineBytes;
+    nsrf_assert(line_count >= config.ways,
+                "cache too small for its associativity");
+    sets_ = line_count / config.ways;
+    nsrf_assert(sets_ > 0 && isPowerOfTwo(sets_),
+                "cache set count must be a power of two");
+    lines_.resize(sets_ * config.ways);
+}
+
+Cycles
+DataCache::access(Addr addr, bool is_write)
+{
+    ++stats_.accesses;
+    ++clock_;
+
+    Addr line_addr = lineFor(addr);
+    std::size_t set = setFor(line_addr);
+    Line *base = &lines_[set * config_.ways];
+
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == line_addr) {
+            ++stats_.hits;
+            line.lastUse = clock_;
+            line.dirty = line.dirty || is_write;
+            return config_.hitLatency;
+        }
+    }
+
+    // Miss: choose the LRU way, write back if dirty, fill.
+    ++stats_.misses;
+    Line *victim = base;
+    for (unsigned w = 1; w < config_.ways; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    Cycles penalty = config_.missPenalty;
+    if (victim->valid && victim->dirty) {
+        ++stats_.writebacks;
+        // Write-back shares the fill transaction; charge half a miss.
+        penalty += config_.missPenalty / 2;
+    }
+
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->lastUse = clock_;
+    return config_.hitLatency + penalty;
+}
+
+bool
+DataCache::probe(Addr addr) const
+{
+    Addr line_addr = lineFor(addr);
+    std::size_t set = setFor(line_addr);
+    const Line *base = &lines_[set * config_.ways];
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+DataCache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace nsrf::mem

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Write-back, write-allocate set-associative data cache (timing
+ * model).
+ *
+ * The NSF spills registers "directly into the data cache" (paper
+ * §4.3, Figure 4), so spill/reload latency depends on cache
+ * behaviour.  Data always lives in MainMemory; the cache tracks tags
+ * and dirty bits and charges latency.  This tag-only organization is
+ * the standard trace-simulator structure: functional data and timing
+ * state never disagree.
+ */
+
+#ifndef NSRF_MEM_CACHE_HH
+#define NSRF_MEM_CACHE_HH
+
+#include <vector>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::mem
+{
+
+/** Geometry and timing of a DataCache. */
+struct CacheConfig
+{
+    Addr sizeBytes = 64 * 1024;  //!< total capacity
+    Addr lineBytes = 32;         //!< line size
+    unsigned ways = 4;           //!< associativity
+    Cycles hitLatency = 1;       //!< cycles for a hit
+    Cycles missPenalty = 26;     //!< extra cycles to fill from memory
+};
+
+/** Hit/miss counters for the cache. */
+struct CacheStats
+{
+    stats::Counter accesses;
+    stats::Counter hits;
+    stats::Counter misses;
+    stats::Counter writebacks;
+
+    double
+    missRate() const
+    {
+        return misses.fractionOf(accesses.value());
+    }
+};
+
+/** Set-associative write-back cache, tags only. */
+class DataCache
+{
+  public:
+    explicit DataCache(const CacheConfig &config);
+
+    /**
+     * Model one access.
+     * @param addr     byte address
+     * @param is_write true for stores
+     * @return cycles charged for the access
+     */
+    Cycles access(Addr addr, bool is_write);
+
+    /** @return true if @p addr currently hits (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate everything (writes back nothing; timing model). */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineFor(Addr addr) const { return addr / config_.lineBytes; }
+    std::size_t setFor(Addr line_addr) const
+    {
+        return line_addr % sets_;
+    }
+
+    CacheConfig config_;
+    std::size_t sets_;
+    std::vector<Line> lines_; // sets_ x ways, row major
+    std::uint64_t clock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace nsrf::mem
+
+#endif // NSRF_MEM_CACHE_HH

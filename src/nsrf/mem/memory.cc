@@ -1,0 +1,45 @@
+#include "nsrf/mem/memory.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::mem
+{
+
+MainMemory::MainMemory(Cycles latency) : latency_(latency)
+{
+}
+
+MainMemory::Page &
+MainMemory::page(Addr addr)
+{
+    Addr page_num = addr >> pageShift;
+    auto it = pages_.find(page_num);
+    if (it == pages_.end()) {
+        auto fresh = std::make_unique<Page>();
+        fresh->fill(0);
+        it = pages_.emplace(page_num, std::move(fresh)).first;
+    }
+    return *it->second;
+}
+
+Word
+MainMemory::readWord(Addr addr)
+{
+    nsrf_assert(addr % wordBytes == 0, "unaligned read at 0x%08x",
+                addr);
+    ++stats_.reads;
+    Addr word_in_page = (addr >> 2) & (pageWords - 1);
+    return page(addr)[word_in_page];
+}
+
+void
+MainMemory::writeWord(Addr addr, Word value)
+{
+    nsrf_assert(addr % wordBytes == 0, "unaligned write at 0x%08x",
+                addr);
+    ++stats_.writes;
+    Addr word_in_page = (addr >> 2) & (pageWords - 1);
+    page(addr)[word_in_page] = value;
+}
+
+} // namespace nsrf::mem

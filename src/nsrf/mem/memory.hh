@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sparse 32-bit main memory.
+ *
+ * Storage is allocated page-at-a-time on first touch, so a simulation
+ * can scatter thread backing frames across the whole address space
+ * without cost.  Data is word-addressed internally; all register
+ * spill/reload traffic is whole words.
+ */
+
+#ifndef NSRF_MEM_MEMORY_HH
+#define NSRF_MEM_MEMORY_HH
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::mem
+{
+
+/** Access counters for the memory. */
+struct MemoryStats
+{
+    stats::Counter reads;
+    stats::Counter writes;
+};
+
+/** Word-granularity sparse memory covering the full 32-bit space. */
+class MainMemory
+{
+  public:
+    /** @param latency cycles for one access that reaches memory */
+    explicit MainMemory(Cycles latency = 20);
+
+    /** @return the word at @p addr (word aligned); 0 if untouched. */
+    Word readWord(Addr addr);
+
+    /** Store @p value at word-aligned @p addr. */
+    void writeWord(Addr addr, Word value);
+
+    /** @return the fixed access latency in cycles. */
+    Cycles latency() const { return latency_; }
+
+    const MemoryStats &stats() const { return stats_; }
+
+    /** @return number of pages that have been touched. */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+  private:
+    static constexpr unsigned pageShift = 12; // 4 KiB pages
+    static constexpr Addr pageWords = (1u << pageShift) / wordBytes;
+
+    using Page = std::array<Word, pageWords>;
+
+    Page &page(Addr addr);
+
+    Cycles latency_;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    MemoryStats stats_;
+};
+
+} // namespace nsrf::mem
+
+#endif // NSRF_MEM_MEMORY_HH

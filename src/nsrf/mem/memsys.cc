@@ -1,0 +1,32 @@
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::mem
+{
+
+MemorySystem::MemorySystem(std::optional<CacheConfig> cache_config,
+                           Cycles mem_latency)
+    : memory_(mem_latency)
+{
+    if (cache_config)
+        cache_ = std::make_unique<DataCache>(*cache_config);
+}
+
+Cycles
+MemorySystem::readWord(Addr addr, Word &value)
+{
+    value = memory_.readWord(addr);
+    if (cache_)
+        return cache_->access(addr, false);
+    return memory_.latency();
+}
+
+Cycles
+MemorySystem::writeWord(Addr addr, Word value)
+{
+    memory_.writeWord(addr, value);
+    if (cache_)
+        return cache_->access(addr, true);
+    return memory_.latency();
+}
+
+} // namespace nsrf::mem

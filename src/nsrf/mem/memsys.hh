@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The memory system seen by the register files and the processor:
+ * a data cache in front of main memory (Figure 4 of the paper).
+ */
+
+#ifndef NSRF_MEM_MEMSYS_HH
+#define NSRF_MEM_MEMSYS_HH
+
+#include <memory>
+#include <optional>
+
+#include "nsrf/mem/cache.hh"
+#include "nsrf/mem/memory.hh"
+
+namespace nsrf::mem
+{
+
+/** Cache + memory; the single port used for all data traffic. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param cache_config cache geometry; pass std::nullopt for an
+     *                     uncached system (every access pays memory
+     *                     latency)
+     * @param mem_latency  main memory access latency in cycles
+     */
+    explicit MemorySystem(
+        std::optional<CacheConfig> cache_config = CacheConfig{},
+        Cycles mem_latency = 20);
+
+    /** Load a word; @return latency in cycles. */
+    Cycles readWord(Addr addr, Word &value);
+
+    /** Store a word; @return latency in cycles. */
+    Cycles writeWord(Addr addr, Word value);
+
+    /** Functional (zero-time) access for checkers and loaders. */
+    Word peek(Addr addr) { return memory_.readWord(addr); }
+    void poke(Addr addr, Word value) { memory_.writeWord(addr, value); }
+
+    /** @return the cache, or nullptr when uncached. */
+    DataCache *cache() { return cache_ ? cache_.get() : nullptr; }
+    const DataCache *cache() const
+    {
+        return cache_ ? cache_.get() : nullptr;
+    }
+
+    MainMemory &memory() { return memory_; }
+    const MainMemory &memory() const { return memory_; }
+
+  private:
+    MainMemory memory_;
+    std::unique_ptr<DataCache> cache_;
+};
+
+} // namespace nsrf::mem
+
+#endif // NSRF_MEM_MEMSYS_HH

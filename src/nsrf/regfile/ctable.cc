@@ -1,0 +1,51 @@
+#include "nsrf/regfile/ctable.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::regfile
+{
+
+Ctable::Ctable(std::size_t entries)
+    : frames_(entries, invalidAddr), valid_(entries, false)
+{
+    nsrf_assert(entries > 0, "Ctable needs at least one entry");
+}
+
+void
+Ctable::set(ContextId cid, Addr frame_base)
+{
+    nsrf_assert(cid < frames_.size(),
+                "CID %u exceeds Ctable capacity %zu", cid,
+                frames_.size());
+    if (!valid_[cid])
+        ++mapped_;
+    frames_[cid] = frame_base;
+    valid_[cid] = true;
+}
+
+void
+Ctable::clear(ContextId cid)
+{
+    nsrf_assert(cid < frames_.size(),
+                "CID %u exceeds Ctable capacity %zu", cid,
+                frames_.size());
+    if (valid_[cid])
+        --mapped_;
+    valid_[cid] = false;
+    frames_[cid] = invalidAddr;
+}
+
+bool
+Ctable::has(ContextId cid) const
+{
+    return cid < frames_.size() && valid_[cid];
+}
+
+Addr
+Ctable::lookup(ContextId cid) const
+{
+    nsrf_assert(has(cid), "Ctable lookup of unmapped CID %u", cid);
+    return frames_[cid];
+}
+
+} // namespace nsrf::regfile

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Ctable: a short indexed table translating Context IDs to the
+ * virtual addresses of their backing frames (paper §4.3, Figure 4).
+ *
+ * The table is hardware of fixed size; the programming model decides
+ * what to put in it ("A user program or thread scheduler may use any
+ * strategy for mapping register contexts to structures in memory,
+ * simply by writing the translation into the Ctable").
+ */
+
+#ifndef NSRF_REGFILE_CTABLE_HH
+#define NSRF_REGFILE_CTABLE_HH
+
+#include <vector>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::regfile
+{
+
+/** CID -> backing-frame virtual address translation table. */
+class Ctable
+{
+  public:
+    /** @param entries hardware table size; CIDs must be < entries */
+    explicit Ctable(std::size_t entries = 1024);
+
+    /** Program the translation for @p cid. */
+    void set(ContextId cid, Addr frame_base);
+
+    /** Remove the translation for @p cid. */
+    void clear(ContextId cid);
+
+    /** @return true when @p cid has a translation. */
+    bool has(ContextId cid) const;
+
+    /**
+     * @return the backing frame base for @p cid.  Looking up an
+     * unmapped CID is a programming error (the hardware would spill
+     * to a wild address) and panics.
+     */
+    Addr lookup(ContextId cid) const;
+
+    /** @return the backing address of register <cid:off>. */
+    Addr
+    regAddr(ContextId cid, RegIndex off) const
+    {
+        return lookup(cid) + off * wordBytes;
+    }
+
+    /** @return hardware table capacity. */
+    std::size_t capacity() const { return frames_.size(); }
+
+    /** @return number of programmed entries. */
+    std::size_t mappedCount() const { return mapped_; }
+
+  private:
+    std::vector<Addr> frames_;
+    std::vector<bool> valid_;
+    std::size_t mapped_ = 0;
+};
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_CTABLE_HH

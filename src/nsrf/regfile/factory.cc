@@ -1,0 +1,71 @@
+#include "nsrf/regfile/factory.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::regfile
+{
+
+std::unique_ptr<RegisterFile>
+makeRegisterFile(const RegFileConfig &config,
+                 mem::MemorySystem &backing)
+{
+    switch (config.org) {
+      case Organization::Conventional:
+        return std::make_unique<ConventionalRegisterFile>(
+            config.totalRegs, backing, config.mechanism,
+            config.costs);
+
+      case Organization::Segmented: {
+          nsrf_assert(config.totalRegs % config.regsPerContext == 0,
+                      "file size %u is not a whole number of frames",
+                      config.totalRegs);
+          SegmentedRegisterFile::Config seg;
+          seg.frames = config.frames();
+          seg.regsPerFrame = config.regsPerContext;
+          seg.trackValid = config.trackValid;
+          seg.mechanism = config.mechanism;
+          seg.backgroundTransfer = config.backgroundTransfer;
+          seg.replacement = config.replacement;
+          seg.costs = config.costs;
+          seg.seed = config.seed;
+          return std::make_unique<SegmentedRegisterFile>(seg,
+                                                         backing);
+      }
+
+      case Organization::NamedState: {
+          nsrf_assert(config.totalRegs % config.regsPerLine == 0,
+                      "file size %u is not a whole number of lines",
+                      config.totalRegs);
+          NamedStateRegisterFile::Config nsf;
+          nsf.lines = config.lines();
+          nsf.regsPerLine = config.regsPerLine;
+          nsf.maxRegsPerContext = config.regsPerContext;
+          nsf.missPolicy = config.missPolicy;
+          nsf.writePolicy = config.writePolicy;
+          nsf.replacement = config.replacement;
+          nsf.spillDirtyOnly = config.spillDirtyOnly;
+          nsf.costs = config.costs;
+          nsf.seed = config.seed;
+          return std::make_unique<NamedStateRegisterFile>(nsf,
+                                                          backing);
+      }
+
+      case Organization::Windowed: {
+          nsrf_assert(config.totalRegs % config.regsPerContext == 0,
+                      "file size %u is not a whole number of "
+                      "windows",
+                      config.totalRegs);
+          WindowedRegisterFile::Config win;
+          win.windows = config.frames();
+          win.regsPerWindow = config.regsPerContext;
+          win.spillBatch = config.windowSpillBatch;
+          win.trapOverhead = config.costs.swTrapOverhead;
+          win.perRegExtra = config.costs.swPerRegExtra;
+          return std::make_unique<WindowedRegisterFile>(win,
+                                                        backing);
+      }
+    }
+    nsrf_panic("unknown register file organization");
+}
+
+} // namespace nsrf::regfile

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Construction of register files from a single experiment-level
+ * description.  The simulator and every bench build their register
+ * files through this factory so that an organization is always
+ * described the same way.
+ */
+
+#ifndef NSRF_REGFILE_FACTORY_HH
+#define NSRF_REGFILE_FACTORY_HH
+
+#include <memory>
+
+#include "nsrf/regfile/named_state.hh"
+#include "nsrf/regfile/segmented.hh"
+#include "nsrf/regfile/windowed.hh"
+
+namespace nsrf::regfile
+{
+
+/** Everything needed to build any register file organization. */
+struct RegFileConfig
+{
+    Organization org = Organization::NamedState;
+    /** Total physical registers (80 sequential / 128 parallel in the
+     * paper's §7.1 experiments). */
+    unsigned totalRegs = 128;
+    /** Context/frame size (20 sequential, 32 parallel). */
+    unsigned regsPerContext = 32;
+    /** NSF line width in registers. */
+    unsigned regsPerLine = 1;
+    MissPolicy missPolicy = MissPolicy::ReloadSingle;
+    WritePolicy writePolicy = WritePolicy::WriteAllocate;
+    cam::ReplacementKind replacement = cam::ReplacementKind::Lru;
+    /** Segmented: per-register valid bits. */
+    bool trackValid = false;
+    /** Segmented: spill engine vs trap handler. */
+    SpillMechanism mechanism = SpillMechanism::HardwareAssist;
+    /** Segmented: overlap spill/reload with execution (the
+     * dribble-back / background-transfer schemes of the paper's
+     * §5 related work). */
+    bool backgroundTransfer = false;
+    /** NSF ablation: spill only dirty registers. */
+    bool spillDirtyOnly = false;
+    /** Windowed: windows spilled per overflow trap. */
+    unsigned windowSpillBatch = 2;
+    CostParams costs{};
+    std::uint64_t seed = 1;
+
+    /** @return frames for a segmented file of this size. */
+    unsigned
+    frames() const
+    {
+        return totalRegs / regsPerContext;
+    }
+
+    /** @return NSF line count for this size. */
+    unsigned
+    lines() const
+    {
+        return totalRegs / regsPerLine;
+    }
+};
+
+/** Build the configured register file over @p backing. */
+std::unique_ptr<RegisterFile> makeRegisterFile(
+    const RegFileConfig &config, mem::MemorySystem &backing);
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_FACTORY_HH

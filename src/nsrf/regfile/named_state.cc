@@ -1,0 +1,427 @@
+#include "nsrf/regfile/named_state.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::regfile
+{
+
+NamedStateRegisterFile::NamedStateRegisterFile(
+    const Config &config, mem::MemorySystem &backing)
+    : RegisterFile(config.lines * config.regsPerLine, backing),
+      config_(config), decoder_(config.lines),
+      repl_(config.lines, config.replacement, config.seed)
+{
+    nsrf_assert(config.regsPerLine > 0,
+                "NSF lines must hold at least one register");
+    nsrf_assert(config.maxRegsPerContext > 0,
+                "contexts need at least one register");
+    array_.assign(config.lines * config.regsPerLine, 0);
+    valid_.assign(array_.size(), false);
+    dirty_.assign(array_.size(), false);
+}
+
+NamedStateRegisterFile::ContextState &
+NamedStateRegisterFile::state(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "access to unallocated context %u", cid);
+    return it->second;
+}
+
+void
+NamedStateRegisterFile::allocContext(ContextId cid, Addr backing_frame)
+{
+    nsrf_assert(contexts_.find(cid) == contexts_.end(),
+                "context %u is already allocated", cid);
+    ContextState fresh;
+    fresh.validInMem.assign(config_.maxRegsPerContext, false);
+    contexts_.emplace(cid, std::move(fresh));
+    ctable_.set(cid, backing_frame);
+}
+
+void
+NamedStateRegisterFile::freeContext(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "freeing unallocated context %u", cid);
+
+    // Bulk-deallocate every resident line — no writeback, the data
+    // is dead (paper §4.2).
+    auto freed = decoder_.invalidateContext(cid);
+    for (std::size_t line : freed) {
+        for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+            std::size_t slot = line * config_.regsPerLine + w;
+            if (valid_[slot]) {
+                valid_[slot] = false;
+                --activeCount_;
+            }
+            dirty_[slot] = false;
+        }
+        repl_.release(line);
+    }
+    if (it->second.residentLines > 0)
+        --residentCtxCount_;
+    contexts_.erase(it);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+    updateOccupancy();
+}
+
+AccessResult
+NamedStateRegisterFile::flushContext(ContextId cid)
+{
+    tick();
+    AccessResult res;
+    // Spill every resident line of the context, then release its
+    // name; the backing frame now holds the full architectural
+    // state and the CID is free for reuse.
+    std::vector<std::size_t> lines;
+    decoder_.forEachContextLine(
+        cid, [&](std::size_t line) { lines.push_back(line); });
+    for (std::size_t line : lines)
+        evictLine(line, res);
+    contexts_.erase(cid);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+void
+NamedStateRegisterFile::restoreContext(ContextId cid,
+                                       Addr backing_frame)
+{
+    allocContext(cid, backing_frame);
+    // The frame holds the activation's full state; demand misses
+    // must treat every offset as live in memory.
+    auto &ctx = contexts_.at(cid);
+    std::fill(ctx.validInMem.begin(), ctx.validInMem.end(), true);
+}
+
+bool
+NamedStateRegisterFile::residentValid(ContextId cid,
+                                      RegIndex off) const
+{
+    std::size_t line = decoder_.peek(cid, off - off %
+                                              config_.regsPerLine);
+    if (line == cam::AssociativeDecoder::npos)
+        return false;
+    return valid_[line * config_.regsPerLine +
+                  off % config_.regsPerLine];
+}
+
+unsigned
+NamedStateRegisterFile::residentLines(ContextId cid) const
+{
+    auto it = contexts_.find(cid);
+    return it == contexts_.end() ? 0 : it->second.residentLines;
+}
+
+void
+NamedStateRegisterFile::markValid(std::size_t line, ContextId cid,
+                                  RegIndex off)
+{
+    std::size_t slot = slotOf(line, off);
+    if (!valid_[slot]) {
+        valid_[slot] = true;
+        ++activeCount_;
+        ContextState &ctx = state(cid);
+        if (ctx.residentLiveRegs == 0 && ctx.residentLines == 0) {
+            // Becoming resident is tracked via residentLines; this
+            // path cannot happen because markValid follows a line
+            // allocation.  Keep the check as an invariant.
+            nsrf_panic("valid register outside any resident line");
+        }
+        ++ctx.residentLiveRegs;
+    }
+}
+
+std::size_t
+NamedStateRegisterFile::allocateLine(ContextId cid,
+                                     RegIndex line_off,
+                                     AccessResult &res)
+{
+    std::size_t line = decoder_.findFree();
+    if (line == cam::AssociativeDecoder::npos) {
+        line = repl_.victim();
+        evictLine(line, res);
+    }
+
+    decoder_.program(line, cid, line_off);
+    repl_.insert(line);
+    ++stats_.lineAllocs;
+
+    ContextState &ctx = state(cid);
+    if (ctx.residentLines == 0)
+        ++residentCtxCount_;
+    ++ctx.residentLines;
+    return line;
+}
+
+void
+NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
+{
+    const cam::Tag &tag = decoder_.tag(line);
+    ContextState &ctx = state(tag.cid);
+    Addr base = ctable_.lookup(tag.cid);
+
+    for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+        std::size_t slot = line * config_.regsPerLine + w;
+        if (!valid_[slot])
+            continue;
+        RegIndex off = tag.lineOffset + w;
+        bool must_write = !config_.spillDirtyOnly || dirty_[slot];
+        if (must_write) {
+            Cycles lat = backing_.writeWord(base + off * wordBytes,
+                                            array_[slot]);
+            res.stall += lat;
+            ++res.spilled;
+            ++stats_.regsSpilled;
+            ++stats_.liveRegsSpilled;
+        }
+        ctx.validInMem[off] = true;
+        valid_[slot] = false;
+        dirty_[slot] = false;
+        --activeCount_;
+        --ctx.residentLiveRegs;
+    }
+
+    decoder_.invalidate(line);
+    repl_.release(line);
+    ++stats_.lineEvictions;
+    --ctx.residentLines;
+    if (ctx.residentLines == 0)
+        --residentCtxCount_;
+}
+
+void
+NamedStateRegisterFile::reloadWord(std::size_t line, ContextId cid,
+                                   RegIndex off, AccessResult &res)
+{
+    ContextState &ctx = state(cid);
+    Addr base = ctable_.lookup(cid);
+    Word value;
+    Cycles lat = backing_.readWord(base + off * wordBytes, value);
+    res.stall += lat + config_.costs.nsfMissExtra;
+    std::size_t slot = slotOf(line, off);
+    array_[slot] = value;
+    dirty_[slot] = false;
+    ++res.reloaded;
+    ++stats_.regsReloaded;
+    if (ctx.validInMem[off])
+        ++stats_.liveRegsReloaded;
+    markValid(line, cid, off);
+}
+
+void
+NamedStateRegisterFile::reloadLine(std::size_t line, ContextId cid,
+                                   RegIndex line_off,
+                                   RegIndex demand_off,
+                                   MissPolicy policy,
+                                   AccessResult &res)
+{
+    ContextState &ctx = state(cid);
+    for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+        RegIndex off = line_off + w;
+        if (off >= config_.maxRegsPerContext)
+            break;
+        bool demand = off == demand_off;
+        bool wanted;
+        switch (policy) {
+          case MissPolicy::ReloadSingle:
+            wanted = demand;
+            break;
+          case MissPolicy::ReloadLive:
+            wanted = demand || ctx.validInMem[off];
+            break;
+          case MissPolicy::ReloadLine:
+            wanted = true;
+            break;
+          default:
+            wanted = demand;
+            break;
+        }
+        if (wanted)
+            reloadWord(line, cid, off, res);
+    }
+}
+
+AccessResult
+NamedStateRegisterFile::read(ContextId cid, RegIndex off, Word &value)
+{
+    nsrf_assert(off < config_.maxRegsPerContext,
+                "offset %u exceeds context size %u", off,
+                config_.maxRegsPerContext);
+    tick();
+    ++stats_.reads;
+    AccessResult res;
+
+    RegIndex line_off = lineOffsetOf(off);
+    std::size_t line = decoder_.match(cid, line_off);
+
+    if (line == cam::AssociativeDecoder::npos) {
+        // Full miss: no line holds this name.  Stall, allocate a
+        // line, and reload on demand (paper §4.2).
+        ++stats_.readMisses;
+        res.hit = false;
+        res.stall += config_.costs.missDetect;
+        line = allocateLine(cid, line_off, res);
+        reloadLine(line, cid, line_off, off, config_.missPolicy,
+                   res);
+    } else if (!valid_[slotOf(line, off)]) {
+        // The line is resident but this register is not (a neighbour
+        // allocated the line).  Reload just this word.
+        ++stats_.readMisses;
+        res.hit = false;
+        res.stall += config_.costs.missDetect;
+        reloadWord(line, cid, off, res);
+        repl_.touch(line);
+    } else {
+        repl_.touch(line);
+    }
+
+    value = array_[slotOf(line, off)];
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+AccessResult
+NamedStateRegisterFile::write(ContextId cid, RegIndex off, Word value)
+{
+    nsrf_assert(off < config_.maxRegsPerContext,
+                "offset %u exceeds context size %u", off,
+                config_.maxRegsPerContext);
+    tick();
+    ++stats_.writes;
+    AccessResult res;
+
+    RegIndex line_off = lineOffsetOf(off);
+    std::size_t line = decoder_.match(cid, line_off);
+
+    if (line == cam::AssociativeDecoder::npos) {
+        // The first write to a new register allocates it in the
+        // array (paper §4.2).
+        ++stats_.writeMisses;
+        res.hit = false;
+        line = allocateLine(cid, line_off, res);
+        if (config_.writePolicy == WritePolicy::FetchOnWrite) {
+            res.stall += config_.costs.missDetect;
+            // Fetch the rest of the line; the written word itself
+            // needs no reload.
+            ContextState &ctx = state(cid);
+            for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+                RegIndex other = line_off + w;
+                if (other == off ||
+                    other >= config_.maxRegsPerContext) {
+                    continue;
+                }
+                bool wanted =
+                    config_.missPolicy == MissPolicy::ReloadLine ||
+                    (config_.missPolicy == MissPolicy::ReloadLive &&
+                     ctx.validInMem[other]);
+                if (wanted)
+                    reloadWord(line, cid, other, res);
+            }
+        }
+    } else {
+        repl_.touch(line);
+    }
+
+    std::size_t slot = slotOf(line, off);
+    array_[slot] = value;
+    dirty_[slot] = true;
+    markValid(line, cid, off);
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+AccessResult
+NamedStateRegisterFile::switchTo(ContextId cid)
+{
+    // The NSF neither spills nor reloads on a switch; instructions
+    // from the new context simply start issuing (paper §4.2).
+    tick();
+    ++stats_.contextSwitches;
+    current_ = cid;
+    return {};
+}
+
+AccessResult
+NamedStateRegisterFile::freeRegister(ContextId cid, RegIndex off)
+{
+    nsrf_assert(off < config_.maxRegsPerContext,
+                "offset %u exceeds context size %u", off,
+                config_.maxRegsPerContext);
+    tick();
+    AccessResult res;
+    ContextState &ctx = state(cid);
+    ctx.validInMem[off] = false;
+
+    RegIndex line_off = lineOffsetOf(off);
+    std::size_t line = decoder_.peek(cid, line_off);
+    if (line != cam::AssociativeDecoder::npos) {
+        std::size_t slot = slotOf(line, off);
+        if (valid_[slot]) {
+            valid_[slot] = false;
+            dirty_[slot] = false;
+            --activeCount_;
+            --ctx.residentLiveRegs;
+        }
+        // If the whole line is now empty, free it with no traffic.
+        bool any = false;
+        for (unsigned w = 0; w < config_.regsPerLine; ++w)
+            any = any || valid_[line * config_.regsPerLine + w];
+        if (!any) {
+            decoder_.invalidate(line);
+            repl_.release(line);
+            --ctx.residentLines;
+            if (ctx.residentLines == 0)
+                --residentCtxCount_;
+        }
+        updateOccupancy();
+    }
+    return res;
+}
+
+void
+NamedStateRegisterFile::updateOccupancy()
+{
+    noteOccupancy(activeCount_, residentCtxCount_);
+}
+
+std::string
+NamedStateRegisterFile::describe() const
+{
+    std::string out = "nsf(";
+    out += std::to_string(config_.lines) + "x" +
+           std::to_string(config_.regsPerLine);
+    out += ",";
+    out += cam::replacementName(config_.replacement);
+    switch (config_.missPolicy) {
+      case MissPolicy::ReloadSingle:
+        out += ",single";
+        break;
+      case MissPolicy::ReloadLive:
+        out += ",live";
+        break;
+      case MissPolicy::ReloadLine:
+        out += ",line";
+        break;
+    }
+    if (config_.writePolicy == WritePolicy::FetchOnWrite)
+        out += ",fow";
+    out += ")";
+    return out;
+}
+
+} // namespace nsrf::regfile

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The Named-State Register File (paper §4, Figure 3).
+ *
+ * A fully-associative register file with very small lines.  Each line
+ * carries a CAM tag <Context ID : line-aligned offset> in the
+ * associative decoder and a valid bit per register.  A thread's
+ * registers may sit anywhere in the array; any number of contexts can
+ * be resident at once.
+ *
+ * Operation (paper §4.2):
+ *  - the first write to a register name allocates a line by
+ *    programming the decoder (write-allocate), or additionally
+ *    fetches the rest of the line (fetch-on-write);
+ *  - a read that misses stalls and reloads on demand — a single
+ *    register, the live registers of the line, or the whole line,
+ *    depending on MissPolicy (the three strategies of Figure 13);
+ *  - when a write needs a line and the file is full, a victim line is
+ *    spilled to its context's backing frame (LRU by default);
+ *  - context switches neither spill nor reload anything;
+ *  - contexts and individual registers can be deallocated explicitly,
+ *    freeing lines with no memory traffic.
+ */
+
+#ifndef NSRF_REGFILE_NAMED_STATE_HH
+#define NSRF_REGFILE_NAMED_STATE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/regfile/ctable.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::regfile
+{
+
+/** The fine-grain associative register file. */
+class NamedStateRegisterFile : public RegisterFile
+{
+  public:
+    /** Configuration of an NSF. */
+    struct Config
+    {
+        unsigned lines = 128;      //!< decoder/array lines
+        unsigned regsPerLine = 1;  //!< unit of associativity (1..4+)
+        /** Largest register offset a context may use + 1. */
+        unsigned maxRegsPerContext = 32;
+        MissPolicy missPolicy = MissPolicy::ReloadSingle;
+        WritePolicy writePolicy = WritePolicy::WriteAllocate;
+        cam::ReplacementKind replacement = cam::ReplacementKind::Lru;
+        /** Spill only modified registers (dirty bits).  The paper's
+         * design spills every valid register of the victim line; the
+         * dirty-bit variant is an ablation. */
+        bool spillDirtyOnly = false;
+        CostParams costs{};
+        std::uint64_t seed = 1; //!< for Random replacement
+    };
+
+    NamedStateRegisterFile(const Config &config,
+                           mem::MemorySystem &backing);
+
+    AccessResult read(ContextId cid, RegIndex off,
+                      Word &value) override;
+    AccessResult write(ContextId cid, RegIndex off,
+                       Word value) override;
+    AccessResult switchTo(ContextId cid) override;
+    void allocContext(ContextId cid, Addr backing_frame) override;
+    void freeContext(ContextId cid) override;
+    AccessResult freeRegister(ContextId cid, RegIndex off) override;
+    AccessResult flushContext(ContextId cid) override;
+    void restoreContext(ContextId cid, Addr backing_frame) override;
+    std::string describe() const override;
+
+    const Config &config() const { return config_; }
+
+    /** @return true when <cid:off> is resident with valid data. */
+    bool residentValid(ContextId cid, RegIndex off) const;
+
+    /** @return number of resident lines owned by @p cid. */
+    unsigned residentLines(ContextId cid) const;
+
+    /** @return the associative decoder (for tests and benches). */
+    const cam::AssociativeDecoder &decoder() const { return decoder_; }
+
+    /** @return the Ctable used for backing-frame translation. */
+    const Ctable &ctable() const { return ctable_; }
+
+  private:
+    /** Software-visible state of one activation. */
+    struct ContextState
+    {
+        /** Live registers whose values sit in the backing frame. */
+        std::vector<bool> validInMem;
+        unsigned residentLines = 0;
+        unsigned residentLiveRegs = 0;
+    };
+
+    ContextState &state(ContextId cid);
+
+    RegIndex lineOffsetOf(RegIndex off) const
+    {
+        return off - off % config_.regsPerLine;
+    }
+
+    std::size_t
+    slotOf(std::size_t line, RegIndex off) const
+    {
+        return line * config_.regsPerLine + off % config_.regsPerLine;
+    }
+
+    /**
+     * Find a line for <cid:line_off>, evicting a victim when the
+     * file is full, and program the decoder.  @return the line.
+     */
+    std::size_t allocateLine(ContextId cid, RegIndex line_off,
+                             AccessResult &res);
+
+    /** Spill line @p line back to its owner's backing frame. */
+    void evictLine(std::size_t line, AccessResult &res);
+
+    /**
+     * Reload words of @p line (owned by @p cid, base offset
+     * @p line_off) according to @p policy.  @p demand_off is the
+     * offset that must be present afterwards.
+     */
+    void reloadLine(std::size_t line, ContextId cid,
+                    RegIndex line_off, RegIndex demand_off,
+                    MissPolicy policy, AccessResult &res);
+
+    /** Reload the single word <cid:off> into @p line. */
+    void reloadWord(std::size_t line, ContextId cid, RegIndex off,
+                    AccessResult &res);
+
+    /** Mark <line:off> valid, maintaining the occupancy counters. */
+    void markValid(std::size_t line, ContextId cid, RegIndex off);
+
+    void updateOccupancy();
+
+    Config config_;
+    cam::AssociativeDecoder decoder_;
+    cam::ReplacementState repl_;
+    Ctable ctable_;
+    std::vector<Word> array_;  //!< lines * regsPerLine words
+    std::vector<bool> valid_;  //!< per physical register
+    std::vector<bool> dirty_;  //!< modified since load
+    std::unordered_map<ContextId, ContextState> contexts_;
+    std::size_t activeCount_ = 0;
+    std::size_t residentCtxCount_ = 0;
+};
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_NAMED_STATE_HH

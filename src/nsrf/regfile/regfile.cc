@@ -1,0 +1,55 @@
+#include "nsrf/regfile/regfile.hh"
+
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::regfile
+{
+
+RegisterFile::RegisterFile(unsigned total_regs,
+                           mem::MemorySystem &backing)
+    : totalRegs_(total_regs), backing_(backing)
+{
+    nsrf_assert(total_regs > 0, "register file needs registers");
+    // Occupancy starts at zero at time zero.
+    stats_.activeRegs.record(0, 0.0);
+    stats_.residentContexts.record(0, 0.0);
+}
+
+AccessResult
+RegisterFile::freeRegister(ContextId, RegIndex)
+{
+    return {};
+}
+
+void
+RegisterFile::finalize()
+{
+    stats_.activeRegs.finish(clock_);
+    stats_.residentContexts.finish(clock_);
+}
+
+double
+RegisterFile::meanUtilization() const
+{
+    return stats_.activeRegs.mean() / double(totalRegs_);
+}
+
+double
+RegisterFile::maxUtilization() const
+{
+    return stats_.activeRegs.max() / double(totalRegs_);
+}
+
+const char *
+organizationName(Organization org)
+{
+    switch (org) {
+      case Organization::Conventional: return "conventional";
+      case Organization::Segmented: return "segmented";
+      case Organization::NamedState: return "nsf";
+      case Organization::Windowed: return "windowed";
+    }
+    return "?";
+}
+
+} // namespace nsrf::regfile

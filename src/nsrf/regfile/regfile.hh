@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The register file abstraction shared by every organization.
+ *
+ * All organizations name registers with a <Context ID : offset> pair
+ * (paper §4.2).  A conventional or segmented file restricts which
+ * contexts may be resident; the Named-State file caches any subset of
+ * the register name space.  Backing storage for spilled registers is
+ * a mem::MemorySystem; the virtual address of a context's backing
+ * frame comes from the Ctable.
+ *
+ * The central correctness contract, enforced by the property tests:
+ * a read of <cid:off> returns the most recently written value for
+ * that name, no matter what spills, reloads, or context switches
+ * happened in between.
+ */
+
+#ifndef NSRF_REGFILE_REGFILE_HH
+#define NSRF_REGFILE_REGFILE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/types.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::mem
+{
+class MemorySystem;
+} // namespace nsrf::mem
+
+namespace nsrf::regfile
+{
+
+/** What one read/write/switch cost and caused. */
+struct AccessResult
+{
+    bool hit = true;            //!< no miss processing was needed
+    std::uint32_t spilled = 0;  //!< registers written to backing store
+    std::uint32_t reloaded = 0; //!< registers read from backing store
+    Cycles stall = 0;           //!< pipeline stall cycles charged
+};
+
+/** How a read (or fetch-on-write) miss refills a line (paper §7.3). */
+enum class MissPolicy
+{
+    ReloadLine,   //!< reload every register of the missing line
+    ReloadLive,   //!< reload only registers holding live data
+    ReloadSingle, //!< reload only the register that missed
+};
+
+/** What a write miss does (paper §4.2). */
+enum class WritePolicy
+{
+    WriteAllocate, //!< allocate the line, write only the new word
+    FetchOnWrite,  //!< allocate and also reload the rest of the line
+};
+
+/** How a segmented file moves frames (Figure 14's two baselines). */
+enum class SpillMechanism
+{
+    HardwareAssist, //!< dedicated spill engine, pipelined transfers
+    SoftwareTrap,   //!< trap handler loops over the frame
+};
+
+/**
+ * Fixed cycle costs of miss and switch processing.
+ *
+ * The paper takes instruction and memory timings from a Sparc2
+ * emulator (§8).  These defaults are calibrated so the Figure 14
+ * overhead decomposition reproduces the paper's cost structure:
+ * a hardware spill engine streams a frame at ~2 cycles/register,
+ * a software trap handler adds loop overhead per register plus a
+ * fixed trap cost, and an isolated NSF single-register reload
+ * cannot amortize a cache line fill the way a sequential frame
+ * burst can.
+ */
+struct CostParams
+{
+    /** NSF: detect a miss and stall the issuing instruction. */
+    Cycles missDetect = 1;
+    /** NSF: extra cycles per demand-reloaded register (scattered
+     * access; no line-fill amortization). */
+    Cycles nsfMissExtra = 5;
+    /** Segmented/HW: start the spill engine on a switch miss. */
+    Cycles hwSwitchOverhead = 4;
+    /** Segmented/HW: extra cycles per register streamed (cache tag
+     * + write port occupancy beyond the raw access). */
+    Cycles hwPerRegExtra = 1;
+    /** Segmented/SW: trap entry + dispatch + return. */
+    Cycles swTrapOverhead = 30;
+    /** Segmented/SW: extra cycles per register moved by the handler
+     * (address arithmetic and loop control around the ld/st). */
+    Cycles swPerRegExtra = 2;
+};
+
+/** Statistics every organization maintains. */
+struct RegFileStats
+{
+    stats::Counter reads;
+    stats::Counter writes;
+    stats::Counter readMisses;
+    stats::Counter writeMisses;
+    stats::Counter contextSwitches; //!< switchTo() calls
+    stats::Counter switchMisses;    //!< switches to non-resident ctxs
+    stats::Counter regsSpilled;     //!< registers pushed to memory
+    stats::Counter regsReloaded;    //!< registers pulled from memory
+    stats::Counter liveRegsSpilled; //!< ...of those, holding live data
+    stats::Counter liveRegsReloaded;
+    stats::Counter lineAllocs;
+    stats::Counter lineEvictions;
+    Cycles stallCycles = 0;
+
+    /** Valid registers resident, weighted by access-op time. */
+    stats::TimeWeightedMean activeRegs;
+    /** Contexts with at least one resident register. */
+    stats::TimeWeightedMean residentContexts;
+
+    std::uint64_t
+    accesses() const
+    {
+        return reads.value() + writes.value();
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        return readMisses.value() + writeMisses.value();
+    }
+};
+
+/** Abstract register file. */
+class RegisterFile
+{
+  public:
+    /**
+     * @param total_regs physical registers in the file
+     * @param backing    memory system for spills and reloads
+     */
+    RegisterFile(unsigned total_regs, mem::MemorySystem &backing);
+
+    virtual ~RegisterFile() = default;
+
+    RegisterFile(const RegisterFile &) = delete;
+    RegisterFile &operator=(const RegisterFile &) = delete;
+
+    /** Read register <cid:off> into @p value. */
+    virtual AccessResult read(ContextId cid, RegIndex off,
+                              Word &value) = 0;
+
+    /** Write @p value to register <cid:off>. */
+    virtual AccessResult write(ContextId cid, RegIndex off,
+                               Word value) = 0;
+
+    /**
+     * Make @p cid the running context.  Free for the NSF; may spill
+     * and reload a frame for segmented organizations.
+     */
+    virtual AccessResult switchTo(ContextId cid) = 0;
+
+    /**
+     * Register a new activation: binds the context's backing frame
+     * address into the Ctable.  No registers are allocated yet.
+     */
+    virtual void allocContext(ContextId cid, Addr backing_frame) = 0;
+
+    /**
+     * Destroy an activation: resident registers are discarded without
+     * writeback (the data is dead) and the name may be reused.
+     */
+    virtual void freeContext(ContextId cid) = 0;
+
+    /**
+     * Explicitly deallocate one register (paper §4.2).  Organizations
+     * without fine-grain deallocation treat this as a no-op.
+     */
+    virtual AccessResult freeRegister(ContextId cid, RegIndex off);
+
+    /**
+     * Write every resident register of @p cid back to its backing
+     * frame and release the context's resources, preserving the
+     * values in memory.  This is the software operation a runtime
+     * needs to *virtualize* the small hardware Context ID space
+     * (paper §4.3 / [1]): after a flush, the CID can be reassigned
+     * to a different activation, and the flushed activation can
+     * later be rebound to any CID — its registers reload on demand
+     * from the frame.
+     */
+    virtual AccessResult flushContext(ContextId cid) = 0;
+
+    /**
+     * Rebind a previously flushed activation to @p cid.  Unlike
+     * allocContext, the backing frame already holds the
+     * activation's architectural state, so misses must reload from
+     * it rather than treat the context as fresh.
+     */
+    virtual void restoreContext(ContextId cid,
+                                Addr backing_frame) = 0;
+
+    /** @return a short description, e.g. "nsf(128x1,lru)". */
+    virtual std::string describe() const = 0;
+
+    /** @return currently running context. */
+    ContextId currentContext() const { return current_; }
+
+    /** @return number of physical registers. */
+    unsigned totalRegs() const { return totalRegs_; }
+
+    /** Close time-weighted statistics; call once after a run. */
+    void finalize();
+
+    const RegFileStats &stats() const { return stats_; }
+
+    /** Mean fraction of registers holding live data (Figure 9). */
+    double meanUtilization() const;
+
+    /** Peak fraction of registers holding live data (Figure 9). */
+    double maxUtilization() const;
+
+  protected:
+    /** Advance the statistics clock by one operation. */
+    std::uint64_t tick() { return ++clock_; }
+
+    /** Record occupancy after it changed. */
+    void
+    noteOccupancy(std::uint64_t active_regs,
+                  std::uint64_t resident_ctxs)
+    {
+        stats_.activeRegs.record(clock_, double(active_regs));
+        stats_.residentContexts.record(clock_, double(resident_ctxs));
+    }
+
+    unsigned totalRegs_;
+    mem::MemorySystem &backing_;
+    ContextId current_ = invalidContext;
+    RegFileStats stats_;
+    std::uint64_t clock_ = 0;
+};
+
+/** Names for the register file organizations. */
+enum class Organization
+{
+    Conventional,
+    Segmented,
+    NamedState,
+    Windowed,
+};
+
+const char *organizationName(Organization org);
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_REGFILE_HH

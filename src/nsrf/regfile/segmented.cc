@@ -1,0 +1,371 @@
+#include "nsrf/regfile/segmented.hh"
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::regfile
+{
+
+SegmentedRegisterFile::SegmentedRegisterFile(
+    const Config &config, mem::MemorySystem &backing)
+    : RegisterFile(config.frames * config.regsPerFrame, backing),
+      config_(config),
+      repl_(config.frames, config.replacement, config.seed)
+{
+    nsrf_assert(config.frames > 0 && config.regsPerFrame > 0,
+                "segmented file needs frames and registers");
+    frames_.resize(config.frames);
+    for (auto &frame : frames_)
+        frame.regs.assign(config.regsPerFrame, 0);
+}
+
+SegmentedRegisterFile::ContextState &
+SegmentedRegisterFile::state(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "access to unallocated context %u", cid);
+    return it->second;
+}
+
+void
+SegmentedRegisterFile::allocContext(ContextId cid, Addr backing_frame)
+{
+    nsrf_assert(contexts_.find(cid) == contexts_.end(),
+                "context %u is already allocated", cid);
+    ContextState fresh;
+    fresh.live.assign(config_.regsPerFrame, false);
+    fresh.validInMem.assign(config_.regsPerFrame, false);
+    contexts_.emplace(cid, std::move(fresh));
+    ctable_.set(cid, backing_frame);
+}
+
+void
+SegmentedRegisterFile::freeContext(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "freeing unallocated context %u", cid);
+
+    auto res_it = residentFrame_.find(cid);
+    if (res_it != residentFrame_.end()) {
+        std::size_t f = res_it->second;
+        activeCount_ -= it->second.liveCount;
+        frames_[f] = Frame{};
+        frames_[f].regs.assign(config_.regsPerFrame, 0);
+        repl_.release(f);
+        residentFrame_.erase(res_it);
+        updateOccupancy();
+    }
+    contexts_.erase(it);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+}
+
+bool
+SegmentedRegisterFile::resident(ContextId cid) const
+{
+    return residentFrame_.find(cid) != residentFrame_.end();
+}
+
+void
+SegmentedRegisterFile::restoreContext(ContextId cid,
+                                      Addr backing_frame)
+{
+    allocContext(cid, backing_frame);
+    // The whole frame reloads when the context next becomes
+    // resident; with valid-bit tracking every word counts as live.
+    auto &ctx = contexts_.at(cid);
+    ctx.everSpilled = true;
+    std::fill(ctx.validInMem.begin(), ctx.validInMem.end(), true);
+}
+
+AccessResult
+SegmentedRegisterFile::flushContext(ContextId cid)
+{
+    tick();
+    AccessResult res;
+    auto it = residentFrame_.find(cid);
+    if (it != residentFrame_.end())
+        spillFrame(it->second, res);
+    contexts_.erase(cid);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+void
+SegmentedRegisterFile::chargeTransfer(Cycles mem_latency,
+                                      AccessResult &res)
+{
+    if (config_.mechanism == SpillMechanism::HardwareAssist) {
+        // The spill engine streams registers through the cache
+        // port: the access latency plus tag/port occupancy.
+        res.stall += mem_latency + config_.costs.hwPerRegExtra;
+    } else {
+        // A trap handler wraps each move in address arithmetic and
+        // loop control.
+        res.stall += mem_latency + config_.costs.swPerRegExtra;
+    }
+}
+
+void
+SegmentedRegisterFile::chargeSwitchOverhead(AccessResult &res)
+{
+    if (config_.mechanism == SpillMechanism::HardwareAssist)
+        res.stall += config_.costs.hwSwitchOverhead;
+    else
+        res.stall += config_.costs.swTrapOverhead;
+}
+
+void
+SegmentedRegisterFile::spillFrame(std::size_t f, AccessResult &res)
+{
+    Frame &frame = frames_[f];
+    nsrf_assert(frame.inUse, "spilling an empty frame");
+    ContextState &ctx = state(frame.cid);
+    Addr base = ctable_.lookup(frame.cid);
+
+    for (RegIndex off = 0; off < config_.regsPerFrame; ++off) {
+        bool live = ctx.live[off];
+        if (config_.trackValid && !live)
+            continue; // valid bits let the hardware skip dead words
+        Cycles lat = backing_.writeWord(base + off * wordBytes,
+                                        frame.regs[off]);
+        chargeTransfer(lat, res);
+        ++res.spilled;
+        ++stats_.regsSpilled;
+        if (live) {
+            ++stats_.liveRegsSpilled;
+            ctx.validInMem[off] = true;
+        }
+    }
+
+    ctx.everSpilled = true;
+    activeCount_ -= ctx.liveCount;
+    residentFrame_.erase(frame.cid);
+    repl_.release(f);
+    frame.inUse = false;
+    frame.cid = invalidContext;
+}
+
+void
+SegmentedRegisterFile::loadFrame(std::size_t f, ContextId cid,
+                                 AccessResult &res)
+{
+    Frame &frame = frames_[f];
+    nsrf_assert(!frame.inUse, "loading into an occupied frame");
+    ContextState &ctx = state(cid);
+    Addr base = ctable_.lookup(cid);
+
+    // A brand-new activation has nothing to restore; the frame is
+    // simply assigned.  A previously spilled context is reloaded —
+    // the whole frame, or just the live registers with valid bits.
+    if (ctx.everSpilled) {
+        for (RegIndex off = 0; off < config_.regsPerFrame; ++off) {
+            bool in_mem = ctx.validInMem[off];
+            if (config_.trackValid && !in_mem)
+                continue;
+            Word value;
+            Cycles lat =
+                backing_.readWord(base + off * wordBytes, value);
+            chargeTransfer(lat, res);
+            frame.regs[off] = value;
+            ++res.reloaded;
+            ++stats_.regsReloaded;
+            if (in_mem)
+                ++stats_.liveRegsReloaded;
+        }
+    }
+
+    frame.inUse = true;
+    frame.cid = cid;
+    residentFrame_[cid] = f;
+    repl_.insert(f);
+    activeCount_ += ctx.liveCount;
+}
+
+void
+SegmentedRegisterFile::ensureResident(ContextId cid, AccessResult &res)
+{
+    if (resident(cid)) {
+        repl_.touch(residentFrame_[cid]);
+        return;
+    }
+
+    ++stats_.switchMisses;
+    res.hit = false;
+
+    // Find a free frame, or spill the victim.
+    std::size_t target = frames_.size();
+    for (std::size_t f = 0; f < frames_.size(); ++f) {
+        if (!frames_[f].inUse) {
+            target = f;
+            break;
+        }
+    }
+
+    // A fresh activation landing in a free frame moves no data;
+    // that is frame-pointer bookkeeping, not a spill/reload event.
+    bool needs_spill = target == frames_.size();
+    bool needs_reload = state(cid).everSpilled;
+    if (needs_spill || needs_reload) {
+        chargeSwitchOverhead(res);
+    } else {
+        res.stall +=
+            config_.mechanism == SpillMechanism::HardwareAssist
+                ? 2
+                : 6;
+    }
+
+    Cycles stall_before = res.stall;
+    if (needs_spill) {
+        target = repl_.victim();
+        spillFrame(target, res);
+    }
+    loadFrame(target, cid, res);
+    if (config_.backgroundTransfer) {
+        // The spill engine works behind the pipeline: the victim
+        // drains in the background and the new frame streams in
+        // while execution resumes, hiding about half the transfer.
+        res.stall = stall_before + (res.stall - stall_before) / 2;
+    }
+    updateOccupancy();
+}
+
+AccessResult
+SegmentedRegisterFile::switchTo(ContextId cid)
+{
+    tick();
+    ++stats_.contextSwitches;
+    AccessResult res;
+    ensureResident(cid, res);
+    current_ = cid;
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+AccessResult
+SegmentedRegisterFile::read(ContextId cid, RegIndex off, Word &value)
+{
+    nsrf_assert(off < config_.regsPerFrame,
+                "offset %u exceeds frame size %u", off,
+                config_.regsPerFrame);
+    tick();
+    ++stats_.reads;
+    AccessResult res;
+    ensureResident(cid, res);
+    if (!res.hit)
+        ++stats_.readMisses;
+    value = frames_[residentFrame_[cid]].regs[off];
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+AccessResult
+SegmentedRegisterFile::write(ContextId cid, RegIndex off, Word value)
+{
+    nsrf_assert(off < config_.regsPerFrame,
+                "offset %u exceeds frame size %u", off,
+                config_.regsPerFrame);
+    tick();
+    ++stats_.writes;
+    AccessResult res;
+    ensureResident(cid, res);
+    if (!res.hit)
+        ++stats_.writeMisses;
+
+    ContextState &ctx = state(cid);
+    frames_[residentFrame_[cid]].regs[off] = value;
+    if (!ctx.live[off]) {
+        ctx.live[off] = true;
+        ++ctx.liveCount;
+        ++activeCount_;
+        updateOccupancy();
+    }
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+AccessResult
+SegmentedRegisterFile::freeRegister(ContextId cid, RegIndex off)
+{
+    nsrf_assert(off < config_.regsPerFrame,
+                "offset %u exceeds frame size %u", off,
+                config_.regsPerFrame);
+    tick();
+    ContextState &ctx = state(cid);
+    if (ctx.live[off]) {
+        ctx.live[off] = false;
+        --ctx.liveCount;
+        ctx.validInMem[off] = false;
+        if (resident(cid)) {
+            --activeCount_;
+            updateOccupancy();
+        }
+    }
+    return {};
+}
+
+void
+SegmentedRegisterFile::updateOccupancy()
+{
+    noteOccupancy(activeCount_, residentFrame_.size());
+}
+
+std::string
+SegmentedRegisterFile::describe() const
+{
+    std::string out = "segmented(";
+    out += std::to_string(config_.frames) + "x" +
+           std::to_string(config_.regsPerFrame);
+    if (config_.trackValid)
+        out += ",valid";
+    out += config_.mechanism == SpillMechanism::HardwareAssist
+               ? ",hw"
+               : ",sw";
+    if (config_.backgroundTransfer)
+        out += ",bg";
+    out += ",";
+    out += cam::replacementName(config_.replacement);
+    out += ")";
+    return out;
+}
+
+namespace
+{
+
+SegmentedRegisterFile::Config
+conventionalConfig(unsigned total_regs, SpillMechanism mechanism,
+                   const CostParams &costs)
+{
+    SegmentedRegisterFile::Config config;
+    config.frames = 1;
+    config.regsPerFrame = total_regs;
+    config.trackValid = false;
+    config.mechanism = mechanism;
+    config.costs = costs;
+    return config;
+}
+
+} // namespace
+
+ConventionalRegisterFile::ConventionalRegisterFile(
+    unsigned total_regs, mem::MemorySystem &backing,
+    SpillMechanism mechanism, const CostParams &costs)
+    : SegmentedRegisterFile(
+          conventionalConfig(total_regs, mechanism, costs), backing)
+{
+}
+
+std::string
+ConventionalRegisterFile::describe() const
+{
+    return "conventional(" + std::to_string(totalRegs()) + ")";
+}
+
+} // namespace nsrf::regfile

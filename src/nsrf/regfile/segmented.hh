@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The segmented register file baseline (paper §3.1, Figure 2).
+ *
+ * The file is statically partitioned into equal-sized frames, one per
+ * resident context.  A frame pointer selects the running frame, so a
+ * switch among resident contexts is free.  Switching to a
+ * non-resident context evicts a victim frame: the victim's registers
+ * are spilled to its backing frame and the new context's registers
+ * are reloaded in their place — whole frames at a time, which is
+ * exactly the inefficiency the NSF removes.
+ *
+ * Options model the design points the paper compares against:
+ *  - trackValid: per-register valid bits so only registers holding
+ *    live data move (the "Segment live reg" curves of Figures 10/13);
+ *  - SpillMechanism: a hardware spill engine vs a software trap
+ *    handler (the two baseline bars of Figure 14).
+ */
+
+#ifndef NSRF_REGFILE_SEGMENTED_HH
+#define NSRF_REGFILE_SEGMENTED_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/regfile/ctable.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::regfile
+{
+
+/** Register file divided into fixed frames. */
+class SegmentedRegisterFile : public RegisterFile
+{
+  public:
+    /** Configuration of a segmented file. */
+    struct Config
+    {
+        unsigned frames = 4;        //!< number of frames
+        unsigned regsPerFrame = 32; //!< registers per frame
+        bool trackValid = false;    //!< per-register valid bits
+        SpillMechanism mechanism = SpillMechanism::HardwareAssist;
+        /** Overlap frame transfers with execution: victim frames
+         * spill in the background and reloads stream while the
+         * pipeline restarts, halving the visible stall (the
+         * dribble-back and context-preload schemes of the paper's
+         * §5 related work [23, 29]).  Traffic is unchanged — the
+         * NSF's bandwidth advantage remains. */
+        bool backgroundTransfer = false;
+        cam::ReplacementKind replacement = cam::ReplacementKind::Lru;
+        CostParams costs{};
+        std::uint64_t seed = 1;     //!< for Random replacement
+    };
+
+    SegmentedRegisterFile(const Config &config,
+                          mem::MemorySystem &backing);
+
+    AccessResult read(ContextId cid, RegIndex off,
+                      Word &value) override;
+    AccessResult write(ContextId cid, RegIndex off,
+                       Word value) override;
+    AccessResult switchTo(ContextId cid) override;
+    void allocContext(ContextId cid, Addr backing_frame) override;
+    void freeContext(ContextId cid) override;
+    AccessResult freeRegister(ContextId cid, RegIndex off) override;
+    AccessResult flushContext(ContextId cid) override;
+    void restoreContext(ContextId cid, Addr backing_frame) override;
+    std::string describe() const override;
+
+    const Config &config() const { return config_; }
+
+    /** @return true when @p cid currently owns a frame. */
+    bool resident(ContextId cid) const;
+
+    /** @return the Ctable used for backing-frame translation. */
+    const Ctable &ctable() const { return ctable_; }
+
+  private:
+    /** One physical frame. */
+    struct Frame
+    {
+        bool inUse = false;
+        ContextId cid = invalidContext;
+        std::vector<Word> regs;
+    };
+
+    /** Software-visible state of one activation. */
+    struct ContextState
+    {
+        /** Registers holding live data (written, not freed). */
+        std::vector<bool> live;
+        unsigned liveCount = 0;
+        /** Live registers whose values sit in the backing frame. */
+        std::vector<bool> validInMem;
+        /** The context has been spilled at least once. */
+        bool everSpilled = false;
+    };
+
+    ContextState &state(ContextId cid);
+
+    /** Make @p cid own a frame, spilling a victim if needed. */
+    void ensureResident(ContextId cid, AccessResult &res);
+
+    /** Spill frame @p f back to its context's backing frame. */
+    void spillFrame(std::size_t f, AccessResult &res);
+
+    /** Load @p cid into (free) frame @p f. */
+    void loadFrame(std::size_t f, ContextId cid, AccessResult &res);
+
+    /** Charge the cost of moving one register. */
+    void chargeTransfer(Cycles mem_latency, AccessResult &res);
+
+    /** Charge the fixed cost of starting a frame miss. */
+    void chargeSwitchOverhead(AccessResult &res);
+
+    void updateOccupancy();
+
+    Config config_;
+    std::vector<Frame> frames_;
+    cam::ReplacementState repl_;
+    Ctable ctable_;
+    std::unordered_map<ContextId, ContextState> contexts_;
+    std::unordered_map<ContextId, std::size_t> residentFrame_;
+    std::size_t activeCount_ = 0;
+};
+
+/**
+ * A conventional single-context register file: the degenerate
+ * segmented file with exactly one frame spanning the whole array.
+ * Every context switch spills and reloads the entire file.
+ */
+class ConventionalRegisterFile : public SegmentedRegisterFile
+{
+  public:
+    ConventionalRegisterFile(unsigned total_regs,
+                             mem::MemorySystem &backing,
+                             SpillMechanism mechanism =
+                                 SpillMechanism::SoftwareTrap,
+                             const CostParams &costs = {});
+
+    std::string describe() const override;
+};
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_SEGMENTED_HH

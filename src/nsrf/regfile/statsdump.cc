@@ -1,0 +1,89 @@
+#include "nsrf/regfile/statsdump.hh"
+
+namespace nsrf::regfile
+{
+
+namespace
+{
+
+void
+line(std::string &out, const std::string &prefix, const char *name,
+     double value, const char *comment)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-40s %20.6f  # %s\n",
+                  (prefix + "." + name).c_str(), value, comment);
+    out += buf;
+}
+
+void
+line(std::string &out, const std::string &prefix, const char *name,
+     std::uint64_t value, const char *comment)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-40s %20llu  # %s\n",
+                  (prefix + "." + name).c_str(),
+                  static_cast<unsigned long long>(value), comment);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+statsToString(const RegisterFile &rf, const std::string &prefix)
+{
+    const RegFileStats &s = rf.stats();
+    std::string out;
+    out += "---------- " + rf.describe() + " ----------\n";
+
+    line(out, prefix, "reads", s.reads.value(),
+         "register read operations");
+    line(out, prefix, "writes", s.writes.value(),
+         "register write operations");
+    line(out, prefix, "readMisses", s.readMisses.value(),
+         "reads that missed in the file");
+    line(out, prefix, "writeMisses", s.writeMisses.value(),
+         "writes that missed in the file");
+    line(out, prefix, "contextSwitches",
+         s.contextSwitches.value(), "switchTo operations");
+    line(out, prefix, "switchMisses", s.switchMisses.value(),
+         "switches to non-resident contexts");
+    line(out, prefix, "regsSpilled", s.regsSpilled.value(),
+         "registers written to backing store");
+    line(out, prefix, "regsReloaded", s.regsReloaded.value(),
+         "registers read from backing store");
+    line(out, prefix, "liveRegsSpilled",
+         s.liveRegsSpilled.value(),
+         "...of spills, holding live data");
+    line(out, prefix, "liveRegsReloaded",
+         s.liveRegsReloaded.value(),
+         "...of reloads, holding live data");
+    line(out, prefix, "lineAllocs", s.lineAllocs.value(),
+         "lines/frames allocated");
+    line(out, prefix, "lineEvictions", s.lineEvictions.value(),
+         "lines/frames evicted");
+    line(out, prefix, "stallCycles", s.stallCycles,
+         "pipeline stall cycles charged");
+    line(out, prefix, "activeRegs.mean", s.activeRegs.mean(),
+         "time-weighted live registers resident");
+    line(out, prefix, "activeRegs.max", s.activeRegs.max(),
+         "peak live registers resident");
+    line(out, prefix, "residentContexts.mean",
+         s.residentContexts.mean(),
+         "time-weighted resident contexts");
+    line(out, prefix, "utilization.mean", rf.meanUtilization(),
+         "activeRegs.mean / totalRegs");
+    line(out, prefix, "utilization.max", rf.maxUtilization(),
+         "activeRegs.max / totalRegs");
+    return out;
+}
+
+void
+dumpStats(const RegisterFile &rf, std::FILE *out,
+          const std::string &prefix)
+{
+    std::string text = statsToString(rf, prefix);
+    std::fwrite(text.data(), 1, text.size(), out);
+}
+
+} // namespace nsrf::regfile

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * gem5-style plain-text statistics dump for register files.
+ *
+ * Prints every counter with a dotted hierarchical name so runs can
+ * be diffed, grepped, and post-processed — the format simulator
+ * users already script against.
+ */
+
+#ifndef NSRF_REGFILE_STATSDUMP_HH
+#define NSRF_REGFILE_STATSDUMP_HH
+
+#include <cstdio>
+#include <string>
+
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::regfile
+{
+
+/**
+ * Write @p rf's statistics to @p out, one `name value # comment`
+ * line per stat, prefixed with @p prefix (e.g. "system.rf").
+ */
+void dumpStats(const RegisterFile &rf, std::FILE *out,
+               const std::string &prefix = "rf");
+
+/** As dumpStats, but returned as a string (for tests and logs). */
+std::string statsToString(const RegisterFile &rf,
+                          const std::string &prefix = "rf");
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_STATSDUMP_HH

@@ -1,0 +1,278 @@
+#include "nsrf/regfile/windowed.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::regfile
+{
+
+WindowedRegisterFile::WindowedRegisterFile(
+    const Config &config, mem::MemorySystem &backing)
+    : RegisterFile(config.windows * config.regsPerWindow, backing),
+      config_(config)
+{
+    nsrf_assert(config.windows > 0 && config.regsPerWindow > 0,
+                "windowed file needs windows and registers");
+    nsrf_assert(config.spillBatch > 0 &&
+                    config.spillBatch <= config.windows,
+                "spill batch must be 1..windows");
+    windows_.resize(config.windows);
+    for (auto &window : windows_)
+        window.regs.assign(config.regsPerWindow, 0);
+}
+
+WindowedRegisterFile::ContextState &
+WindowedRegisterFile::state(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "access to unallocated context %u", cid);
+    return it->second;
+}
+
+bool
+WindowedRegisterFile::resident(ContextId cid) const
+{
+    return residentWindow_.find(cid) != residentWindow_.end();
+}
+
+void
+WindowedRegisterFile::spillWindow(std::size_t w, AccessResult &res)
+{
+    Window &window = windows_[w];
+    nsrf_assert(window.inUse, "spilling an empty window");
+    ContextState &ctx = state(window.cid);
+    Addr base = ctable_.lookup(window.cid);
+
+    // The trap handler stores the whole window; it has no
+    // per-register valid bits.
+    for (RegIndex off = 0; off < config_.regsPerWindow; ++off) {
+        Cycles lat = backing_.writeWord(base + off * wordBytes,
+                                        window.regs[off]);
+        res.stall += lat + config_.perRegExtra;
+        ++res.spilled;
+        ++stats_.regsSpilled;
+        if (ctx.live[off])
+            ++stats_.liveRegsSpilled;
+    }
+
+    ctx.everSpilled = true;
+    activeCount_ -= ctx.liveCount;
+    residentWindow_.erase(window.cid);
+    window.inUse = false;
+    window.cid = invalidContext;
+}
+
+void
+WindowedRegisterFile::overflowSpill(AccessResult &res)
+{
+    ++overflows_;
+    res.stall += config_.trapOverhead;
+
+    // Spill the oldest (deepest) resident activations, batch-wise.
+    std::vector<std::size_t> in_use;
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+        if (windows_[w].inUse)
+            in_use.push_back(w);
+    }
+    std::sort(in_use.begin(), in_use.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return state(windows_[a].cid).order <
+                         state(windows_[b].cid).order;
+              });
+    std::size_t count =
+        std::min<std::size_t>(config_.spillBatch, in_use.size());
+    for (std::size_t i = 0; i < count; ++i)
+        spillWindow(in_use[i], res);
+}
+
+void
+WindowedRegisterFile::loadWindow(std::size_t w, ContextId cid,
+                                 AccessResult &res)
+{
+    Window &window = windows_[w];
+    nsrf_assert(!window.inUse, "loading into an occupied window");
+    ContextState &ctx = state(cid);
+
+    if (ctx.everSpilled) {
+        Addr base = ctable_.lookup(cid);
+        for (RegIndex off = 0; off < config_.regsPerWindow; ++off) {
+            Word value;
+            Cycles lat =
+                backing_.readWord(base + off * wordBytes, value);
+            res.stall += lat + config_.perRegExtra;
+            window.regs[off] = value;
+            ++res.reloaded;
+            ++stats_.regsReloaded;
+            if (ctx.live[off])
+                ++stats_.liveRegsReloaded;
+        }
+    }
+
+    window.inUse = true;
+    window.cid = cid;
+    residentWindow_[cid] = w;
+    activeCount_ += ctx.liveCount;
+}
+
+std::size_t
+WindowedRegisterFile::acquireWindow(AccessResult &res)
+{
+    for (;;) {
+        for (std::size_t w = 0; w < windows_.size(); ++w) {
+            if (!windows_[w].inUse)
+                return w;
+        }
+        overflowSpill(res);
+    }
+}
+
+void
+WindowedRegisterFile::ensureResident(ContextId cid,
+                                     AccessResult &res)
+{
+    if (resident(cid))
+        return;
+
+    // Underflow (a return found its window spilled) or a thread
+    // switch to a context with no window: trap and reload.
+    ++underflows_;
+    ++stats_.switchMisses;
+    res.hit = false;
+    res.stall += config_.trapOverhead;
+    std::size_t w = acquireWindow(res);
+    loadWindow(w, cid, res);
+    updateOccupancy();
+}
+
+void
+WindowedRegisterFile::allocContext(ContextId cid, Addr backing_frame)
+{
+    nsrf_assert(contexts_.find(cid) == contexts_.end(),
+                "context %u is already allocated", cid);
+    ContextState fresh;
+    fresh.live.assign(config_.regsPerWindow, false);
+    fresh.order = nextOrder_++;
+    contexts_.emplace(cid, std::move(fresh));
+    ctable_.set(cid, backing_frame);
+}
+
+void
+WindowedRegisterFile::freeContext(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "freeing unallocated context %u", cid);
+    auto res_it = residentWindow_.find(cid);
+    if (res_it != residentWindow_.end()) {
+        std::size_t w = res_it->second;
+        activeCount_ -= it->second.liveCount;
+        windows_[w].inUse = false;
+        windows_[w].cid = invalidContext;
+        residentWindow_.erase(res_it);
+        updateOccupancy();
+    }
+    contexts_.erase(it);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+}
+
+void
+WindowedRegisterFile::restoreContext(ContextId cid,
+                                     Addr backing_frame)
+{
+    allocContext(cid, backing_frame);
+    contexts_.at(cid).everSpilled = true;
+}
+
+AccessResult
+WindowedRegisterFile::flushContext(ContextId cid)
+{
+    tick();
+    AccessResult res;
+    auto it = residentWindow_.find(cid);
+    if (it != residentWindow_.end()) {
+        res.stall += config_.trapOverhead;
+        spillWindow(it->second, res);
+    }
+    contexts_.erase(cid);
+    ctable_.clear(cid);
+    if (current_ == cid)
+        current_ = invalidContext;
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+AccessResult
+WindowedRegisterFile::switchTo(ContextId cid)
+{
+    tick();
+    ++stats_.contextSwitches;
+    AccessResult res;
+    ensureResident(cid, res);
+    current_ = cid;
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+AccessResult
+WindowedRegisterFile::read(ContextId cid, RegIndex off, Word &value)
+{
+    nsrf_assert(off < config_.regsPerWindow,
+                "offset %u exceeds window size %u", off,
+                config_.regsPerWindow);
+    tick();
+    ++stats_.reads;
+    AccessResult res;
+    ensureResident(cid, res);
+    if (!res.hit)
+        ++stats_.readMisses;
+    value = windows_[residentWindow_[cid]].regs[off];
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+AccessResult
+WindowedRegisterFile::write(ContextId cid, RegIndex off, Word value)
+{
+    nsrf_assert(off < config_.regsPerWindow,
+                "offset %u exceeds window size %u", off,
+                config_.regsPerWindow);
+    tick();
+    ++stats_.writes;
+    AccessResult res;
+    ensureResident(cid, res);
+    if (!res.hit)
+        ++stats_.writeMisses;
+
+    ContextState &ctx = state(cid);
+    windows_[residentWindow_[cid]].regs[off] = value;
+    if (!ctx.live[off]) {
+        ctx.live[off] = true;
+        ++ctx.liveCount;
+        ++activeCount_;
+        updateOccupancy();
+    }
+    stats_.stallCycles += res.stall;
+    return res;
+}
+
+void
+WindowedRegisterFile::updateOccupancy()
+{
+    noteOccupancy(activeCount_, residentWindow_.size());
+}
+
+std::string
+WindowedRegisterFile::describe() const
+{
+    return "windowed(" + std::to_string(config_.windows) + "x" +
+           std::to_string(config_.regsPerWindow) + ",batch" +
+           std::to_string(config_.spillBatch) + ")";
+}
+
+} // namespace nsrf::regfile

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A SPARC-style windowed register file (the related-work baseline
+ * of the paper's §5: Keppel and Hidaka run threads in the register
+ * windows of a SPARC by modifying the window trap handlers).
+ *
+ * The file is a circular buffer of fixed windows.  Procedure calls
+ * claim the next window; when none is free an *overflow trap* fires
+ * and a software handler spills a batch of the oldest windows to
+ * memory.  Returns that find their window spilled take an
+ * *underflow trap* to reload it.  Switching to a context with no
+ * resident window (a thread switch) is the expensive case the paper
+ * criticizes: the handler must evict somebody and reload the whole
+ * window.
+ *
+ * Mapped onto the common RegisterFile interface:
+ *  - allocContext pushes the activation onto the window stack
+ *    (overflow-trapping when the file is full);
+ *  - freeContext pops it (any order is allowed, but only the
+ *    LIFO discipline is cheap);
+ *  - switchTo a resident context just moves the current-window
+ *    pointer; a non-resident one takes an underflow trap.
+ */
+
+#ifndef NSRF_REGFILE_WINDOWED_HH
+#define NSRF_REGFILE_WINDOWED_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/regfile/ctable.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::regfile
+{
+
+/** Circular-buffer register windows with trap-based spilling. */
+class WindowedRegisterFile : public RegisterFile
+{
+  public:
+    /** Configuration of a windowed file. */
+    struct Config
+    {
+        unsigned windows = 8;        //!< number of windows
+        unsigned regsPerWindow = 16; //!< registers per window
+        /** Windows spilled per overflow trap (SPARC handlers spill
+         * in batches to amortize the trap cost). */
+        unsigned spillBatch = 2;
+        /** Trap entry + dispatch + return (software handler). */
+        Cycles trapOverhead = 30;
+        /** Handler cycles per register moved beyond the access. */
+        Cycles perRegExtra = 2;
+    };
+
+    WindowedRegisterFile(const Config &config,
+                         mem::MemorySystem &backing);
+
+    AccessResult read(ContextId cid, RegIndex off,
+                      Word &value) override;
+    AccessResult write(ContextId cid, RegIndex off,
+                       Word value) override;
+    AccessResult switchTo(ContextId cid) override;
+    void allocContext(ContextId cid, Addr backing_frame) override;
+    void freeContext(ContextId cid) override;
+    AccessResult flushContext(ContextId cid) override;
+    void restoreContext(ContextId cid, Addr backing_frame) override;
+    std::string describe() const override;
+
+    const Config &config() const { return config_; }
+
+    /** @return true when @p cid currently owns a window. */
+    bool resident(ContextId cid) const;
+
+    /** @return overflow traps taken so far. */
+    std::uint64_t overflowTraps() const { return overflows_; }
+
+    /** @return underflow traps taken so far. */
+    std::uint64_t underflowTraps() const { return underflows_; }
+
+  private:
+    struct Window
+    {
+        bool inUse = false;
+        ContextId cid = invalidContext;
+        std::vector<Word> regs;
+    };
+
+    struct ContextState
+    {
+        std::vector<bool> live;
+        unsigned liveCount = 0;
+        bool everSpilled = false;
+        /** Position in the activation order (stack depth). */
+        std::uint64_t order = 0;
+    };
+
+    ContextState &state(ContextId cid);
+
+    /** Spill the oldest resident windows (overflow handler). */
+    void overflowSpill(AccessResult &res);
+
+    /** Spill one specific window. */
+    void spillWindow(std::size_t w, AccessResult &res);
+
+    /** Load @p cid into free window @p w (reloading if needed). */
+    void loadWindow(std::size_t w, ContextId cid,
+                    AccessResult &res);
+
+    /** Find a free window, trapping to make room if necessary. */
+    std::size_t acquireWindow(AccessResult &res);
+
+    /** Bring @p cid's window back (underflow / thread switch). */
+    void ensureResident(ContextId cid, AccessResult &res);
+
+    void updateOccupancy();
+
+    Config config_;
+    std::vector<Window> windows_;
+    Ctable ctable_;
+    std::unordered_map<ContextId, ContextState> contexts_;
+    std::unordered_map<ContextId, std::size_t> residentWindow_;
+    std::uint64_t nextOrder_ = 0;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t underflows_ = 0;
+    std::size_t activeCount_ = 0;
+};
+
+} // namespace nsrf::regfile
+
+#endif // NSRF_REGFILE_WINDOWED_HH

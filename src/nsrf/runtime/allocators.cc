@@ -1,0 +1,72 @@
+#include "nsrf/runtime/allocators.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::runtime
+{
+
+CidAllocator::CidAllocator(ContextId capacity)
+    : capacity_(capacity), live_(capacity, false)
+{
+    nsrf_assert(capacity > 0, "CID space must be non-empty");
+}
+
+ContextId
+CidAllocator::alloc()
+{
+    ContextId cid;
+    if (!freeList_.empty()) {
+        cid = freeList_.back();
+        freeList_.pop_back();
+    } else if (next_ < capacity_) {
+        cid = next_++;
+    } else {
+        return invalidContext;
+    }
+    live_[cid] = true;
+    ++inUse_;
+    return cid;
+}
+
+void
+CidAllocator::free(ContextId cid)
+{
+    nsrf_assert(cid < capacity_ && live_[cid],
+                "freeing CID %u that is not live", cid);
+    live_[cid] = false;
+    --inUse_;
+    freeList_.push_back(cid);
+}
+
+FrameAllocator::FrameAllocator(Addr base, Addr frame_bytes)
+    : base_(base), frameBytes_(frame_bytes), next_(base)
+{
+    nsrf_assert(frame_bytes > 0 && frame_bytes % wordBytes == 0,
+                "frame size must be a word multiple");
+}
+
+Addr
+FrameAllocator::alloc()
+{
+    Addr frame;
+    if (!freeList_.empty()) {
+        frame = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        frame = next_;
+        next_ += frameBytes_;
+    }
+    ++inUse_;
+    return frame;
+}
+
+void
+FrameAllocator::free(Addr frame)
+{
+    nsrf_assert(frame >= base_ && (frame - base_) % frameBytes_ == 0,
+                "freeing a bad frame address 0x%08x", frame);
+    --inUse_;
+    freeList_.push_back(frame);
+}
+
+} // namespace nsrf::runtime

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Run-time allocators for Context IDs and backing frames.
+ *
+ * Context IDs are a small hardware name space (paper §4.2): the
+ * allocator recycles freed IDs.  Backing frames are fixed-size
+ * activation records carved from a dedicated region of the virtual
+ * address space; the Ctable maps a CID to its frame (paper §4.3).
+ */
+
+#ifndef NSRF_RUNTIME_ALLOCATORS_HH
+#define NSRF_RUNTIME_ALLOCATORS_HH
+
+#include <vector>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::runtime
+{
+
+/** Recycling allocator over the hardware Context ID space. */
+class CidAllocator
+{
+  public:
+    /** @param capacity number of distinct CIDs the hardware names */
+    explicit CidAllocator(ContextId capacity = 1024);
+
+    /**
+     * @return a free CID, or invalidContext when the name space is
+     * exhausted (the caller must then wait for an activation to
+     * finish, exactly as a real runtime would).
+     */
+    ContextId alloc();
+
+    /** Return @p cid to the free pool. */
+    void free(ContextId cid);
+
+    /** @return number of live CIDs. */
+    std::size_t inUse() const { return inUse_; }
+
+    /** @return capacity of the name space. */
+    ContextId capacity() const { return capacity_; }
+
+  private:
+    ContextId capacity_;
+    ContextId next_ = 0;          //!< high-water mark
+    std::vector<ContextId> freeList_;
+    std::vector<bool> live_;
+    std::size_t inUse_ = 0;
+};
+
+/** Fixed-size frame allocator for context backing stores. */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param base        first byte of the frame region
+     * @param frame_bytes bytes per frame (word multiple)
+     */
+    explicit FrameAllocator(Addr base = 0x80000000u,
+                            Addr frame_bytes = 128);
+
+    /** @return the base address of a fresh frame. */
+    Addr alloc();
+
+    /** Return @p frame to the free pool. */
+    void free(Addr frame);
+
+    /** @return number of live frames. */
+    std::size_t inUse() const { return inUse_; }
+
+    Addr frameBytes() const { return frameBytes_; }
+
+  private:
+    Addr base_;
+    Addr frameBytes_;
+    Addr next_;
+    std::vector<Addr> freeList_;
+    std::size_t inUse_ = 0;
+};
+
+} // namespace nsrf::runtime
+
+#endif // NSRF_RUNTIME_ALLOCATORS_HH

@@ -1,0 +1,165 @@
+#include "nsrf/runtime/scheduler.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::runtime
+{
+
+Thread &
+Scheduler::create(Addr pc, ContextId cid)
+{
+    auto thread = std::make_unique<Thread>();
+    thread->tid = static_cast<unsigned>(threads_.size());
+    thread->cid = cid;
+    thread->pc = pc;
+    thread->state = ThreadState::Ready;
+    Thread &ref = *thread;
+    threads_.push_back(std::move(thread));
+    ready_.push_back(ref.tid);
+    ++live_;
+    ++stats_.spawned;
+    return ref;
+}
+
+Thread &
+Scheduler::thread(unsigned tid)
+{
+    nsrf_assert(tid < threads_.size(), "bad tid %u", tid);
+    return *threads_[tid];
+}
+
+Thread *
+Scheduler::pickNext(Cycles &now)
+{
+    for (;;) {
+        if (!ready_.empty()) {
+            unsigned tid = ready_.front();
+            ready_.pop_front();
+            Thread &t = *threads_[tid];
+            nsrf_assert(t.state == ThreadState::Ready,
+                        "tid %u on ready queue in state %d", tid,
+                        static_cast<int>(t.state));
+            t.state = ThreadState::Running;
+            if (current_ != &t)
+                ++stats_.switches;
+            current_ = &t;
+            return current_;
+        }
+
+        // No thread ready: wake the earliest time-blocked thread.
+        Cycles earliest = 0;
+        bool found = false;
+        for (const auto &t : threads_) {
+            if (t->state == ThreadState::Blocked &&
+                t->waitAddr == invalidAddr) {
+                if (!found || t->wakeAt < earliest) {
+                    earliest = t->wakeAt;
+                    found = true;
+                }
+            }
+        }
+        if (!found) {
+            // Only sync-blocked (deadlock) or all done.
+            current_ = nullptr;
+            return nullptr;
+        }
+
+        if (earliest > now) {
+            stats_.idleCycles += earliest - now;
+            now = earliest;
+        }
+        for (const auto &t : threads_) {
+            if (t->state == ThreadState::Blocked &&
+                t->waitAddr == invalidAddr && t->wakeAt <= now) {
+                t->state = ThreadState::Ready;
+                ready_.push_back(t->tid);
+            }
+        }
+    }
+}
+
+void
+Scheduler::yield()
+{
+    nsrf_assert(current_, "yield with no running thread");
+    current_->state = ThreadState::Ready;
+    ready_.push_back(current_->tid);
+    current_ = nullptr;
+}
+
+void
+Scheduler::blockUntil(Cycles wake_at)
+{
+    nsrf_assert(current_, "block with no running thread");
+    current_->state = ThreadState::Blocked;
+    current_->wakeAt = wake_at;
+    current_->waitAddr = invalidAddr;
+    current_ = nullptr;
+    ++stats_.remoteBlocks;
+}
+
+void
+Scheduler::blockOnSync(Addr addr)
+{
+    nsrf_assert(current_, "block with no running thread");
+    current_->state = ThreadState::Blocked;
+    current_->waitAddr = addr;
+    syncVars_[addr].waiters.push_back(current_->tid);
+    current_ = nullptr;
+    ++stats_.syncBlocks;
+}
+
+bool
+Scheduler::trySyncWait(Addr addr)
+{
+    SyncVar &sv = syncVars_[addr];
+    if (sv.banked > 0) {
+        --sv.banked;
+        return true;
+    }
+    return false;
+}
+
+void
+Scheduler::signalSync(Addr addr)
+{
+    SyncVar &sv = syncVars_[addr];
+    if (!sv.waiters.empty()) {
+        unsigned tid = sv.waiters.front();
+        sv.waiters.pop_front();
+        Thread &t = *threads_[tid];
+        nsrf_assert(t.state == ThreadState::Blocked &&
+                        t.waitAddr == addr,
+                    "woken thread %u was not waiting on 0x%08x", tid,
+                    addr);
+        t.state = ThreadState::Ready;
+        t.waitAddr = invalidAddr;
+        ready_.push_back(tid);
+    } else {
+        ++sv.banked;
+    }
+}
+
+void
+Scheduler::exitCurrent()
+{
+    nsrf_assert(current_, "exit with no running thread");
+    current_->state = ThreadState::Done;
+    current_ = nullptr;
+    --live_;
+    ++stats_.exited;
+}
+
+bool
+Scheduler::anySyncBlocked() const
+{
+    return std::any_of(threads_.begin(), threads_.end(),
+                       [](const auto &t) {
+                           return t->state == ThreadState::Blocked &&
+                                  t->waitAddr != invalidAddr;
+                       });
+}
+
+} // namespace nsrf::runtime

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Threads, synchronization variables, and the block-multithreading
+ * scheduler (paper §3).
+ *
+ * The processor runs one thread until it blocks on a remote access
+ * or a synchronization point, exits, or yields; the scheduler then
+ * hands over the next ready thread (Figure 1 of the paper).  Remote
+ * accesses block for a fixed network round trip; synchronization
+ * variables are counting semaphores keyed by virtual address.
+ */
+
+#ifndef NSRF_RUNTIME_SCHEDULER_HH
+#define NSRF_RUNTIME_SCHEDULER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::runtime
+{
+
+/** Life-cycle state of a thread. */
+enum class ThreadState { Ready, Running, Blocked, Done };
+
+/** One thread of control. */
+struct Thread
+{
+    unsigned tid = 0;
+    ContextId cid = invalidContext;
+    Addr pc = 0;
+    ThreadState state = ThreadState::Ready;
+    /** When Blocked on time (remote access): wake-up cycle. */
+    Cycles wakeAt = 0;
+    /** When Blocked on a sync variable: its address. */
+    Addr waitAddr = invalidAddr;
+};
+
+/** Scheduler statistics. */
+struct SchedulerStats
+{
+    stats::Counter spawned;
+    stats::Counter exited;
+    stats::Counter switches;     //!< thread-to-thread handoffs
+    stats::Counter remoteBlocks;
+    stats::Counter syncBlocks;
+    Cycles idleCycles = 0;       //!< no thread was runnable
+};
+
+/** FIFO block-multithreading scheduler. */
+class Scheduler
+{
+  public:
+    Scheduler() = default;
+
+    /** Create a thread; it joins the back of the ready queue. */
+    Thread &create(Addr pc, ContextId cid);
+
+    /** @return the running thread, or nullptr. */
+    Thread *current() { return current_; }
+
+    /**
+     * Pick the next thread.  If no thread is ready but some are
+     * blocked on time, advances @p now to the earliest wake-up and
+     * accounts the gap as idle.  @return nullptr when no thread can
+     * ever run again (all done, or deadlocked on sync variables).
+     */
+    Thread *pickNext(Cycles &now);
+
+    /** Move the running thread to the back of the ready queue. */
+    void yield();
+
+    /** Block the running thread until cycle @p wake_at. */
+    void blockUntil(Cycles wake_at);
+
+    /** Block the running thread on sync variable @p addr. */
+    void blockOnSync(Addr addr);
+
+    /**
+     * Signal sync variable @p addr: wakes the oldest waiter, or
+     * banks the signal for a future waiter.
+     */
+    void signalSync(Addr addr);
+
+    /**
+     * @return true if a SyncWait on @p addr would consume a banked
+     * signal (and consumes it).  Otherwise the caller must block.
+     */
+    bool trySyncWait(Addr addr);
+
+    /** Terminate the running thread. */
+    void exitCurrent();
+
+    /** @return number of threads not yet Done. */
+    std::size_t liveCount() const { return live_; }
+
+    /** @return true when some thread is blocked on a sync var. */
+    bool anySyncBlocked() const;
+
+    const SchedulerStats &stats() const { return stats_; }
+
+    /** @return thread by id (must exist). */
+    Thread &thread(unsigned tid);
+
+  private:
+    struct SyncVar
+    {
+        std::uint64_t banked = 0;       //!< signals with no waiter
+        std::deque<unsigned> waiters;   //!< blocked tids, FIFO
+    };
+
+    std::vector<std::unique_ptr<Thread>> threads_;
+    std::deque<unsigned> ready_;
+    std::unordered_map<Addr, SyncVar> syncVars_;
+    Thread *current_ = nullptr;
+    std::size_t live_ = 0;
+    SchedulerStats stats_;
+};
+
+} // namespace nsrf::runtime
+
+#endif // NSRF_RUNTIME_SCHEDULER_HH

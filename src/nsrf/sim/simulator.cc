@@ -1,0 +1,286 @@
+#include "nsrf/sim/simulator.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::sim
+{
+
+TraceSimulator::TraceSimulator(const SimConfig &config)
+    : config_(config), dataRng_(config.dataSeed),
+      memsys_(config.cache, config.memLatency),
+      cids_(config.cidCapacity),
+      frames_(0x80000000u,
+              config.rf.regsPerContext * wordBytes)
+{
+    rf_ = regfile::makeRegisterFile(config_.rf, memsys_);
+}
+
+Cycles
+TraceSimulator::dataAccess()
+{
+    // Program data lives well away from the backing frames at
+    // 0x80000000.
+    constexpr Addr data_base = 0x40000000u;
+    Addr offset;
+    if (dataRng_.chance(config_.hotFraction)) {
+        offset = static_cast<Addr>(
+            dataRng_.uniform(config_.hotRegionBytes / wordBytes));
+    } else {
+        offset = static_cast<Addr>(
+            config_.hotRegionBytes / wordBytes +
+            dataRng_.uniform(config_.dataRegionBytes / wordBytes));
+    }
+    Addr addr = data_base + offset * wordBytes;
+    bool is_store = dataRng_.chance(0.3);
+    if (is_store)
+        return memsys_.writeWord(addr, 0);
+    Word value;
+    return memsys_.readWord(addr, value);
+}
+
+ContextId
+TraceSimulator::stealCid(Cycles &cycles)
+{
+    // Flush the least-recently-run bound activation (never the
+    // most recent: the trace is about to run it) and reuse its
+    // hardware CID — the software CID-virtualization path of the
+    // paper's §4.3.
+    CtxHandle victim = invalidHandle;
+    std::uint64_t oldest = ~0ull;
+    std::uint64_t newest = 0;
+    CtxHandle newest_handle = invalidHandle;
+    std::size_t bound = 0;
+    for (const auto &[handle, state] : handles_) {
+        if (state.cid == invalidContext)
+            continue;
+        ++bound;
+        if (state.lastUse < oldest) {
+            oldest = state.lastUse;
+            victim = handle;
+        }
+        if (state.lastUse >= newest) {
+            newest = state.lastUse;
+            newest_handle = handle;
+        }
+    }
+    // Never steal from the running activation (the one mapped most
+    // recently) — the trace is still issuing its instructions.
+    nsrf_assert(victim != invalidHandle && bound > 1 &&
+                    victim != newest_handle,
+                "CID space too small for the running set; raise "
+                "SimConfig::cidCapacity above 1");
+
+    HandleState &state = handles_[victim];
+    ContextId cid = state.cid;
+    auto res = rf_->flushContext(cid);
+    cycles += res.stall;
+    state.cid = invalidContext; // parked; values live in the frame
+    cidToHandle_.erase(cid);
+    ++cidEvictions_;
+    return cid;
+}
+
+ContextId
+TraceSimulator::createContext(CtxHandle handle, Cycles &cycles)
+{
+    ContextId cid = cids_.alloc();
+    if (cid == invalidContext) {
+        cid = stealCid(cycles);
+        cids_.free(cid);
+        cid = cids_.alloc();
+    }
+    HandleState state;
+    state.cid = cid;
+    state.frame = frames_.alloc();
+    state.lastUse = ++useClock_;
+    rf_->allocContext(cid, state.frame);
+    auto [it, fresh] = handles_.emplace(handle, state);
+    nsrf_assert(fresh, "context handle %llu reused while live",
+                static_cast<unsigned long long>(handle));
+    (void)it;
+    cidToHandle_[cid] = handle;
+    return cid;
+}
+
+ContextId
+TraceSimulator::mapContext(CtxHandle handle, Cycles &cycles)
+{
+    auto it = handles_.find(handle);
+    nsrf_assert(it != handles_.end(),
+                "trace refers to unmapped context handle %llu",
+                static_cast<unsigned long long>(handle));
+    HandleState &state = it->second;
+    state.lastUse = ++useClock_;
+
+    if (state.cid == invalidContext) {
+        // Parked: rebind to a (possibly stolen) hardware CID.  Its
+        // registers reload on demand from the preserved frame.
+        ContextId cid = cids_.alloc();
+        if (cid == invalidContext) {
+            cid = stealCid(cycles);
+            cids_.free(cid);
+            cid = cids_.alloc();
+        }
+        state.cid = cid;
+        rf_->restoreContext(cid, state.frame);
+        cidToHandle_[cid] = handle;
+    }
+    return state.cid;
+}
+
+void
+TraceSimulator::unmapContext(CtxHandle handle)
+{
+    auto it = handles_.find(handle);
+    nsrf_assert(it != handles_.end(),
+                "trace frees unmapped context handle %llu",
+                static_cast<unsigned long long>(handle));
+    HandleState &state = it->second;
+    if (state.cid != invalidContext) {
+        rf_->freeContext(state.cid);
+        cidToHandle_.erase(state.cid);
+        cids_.free(state.cid);
+    }
+    frames_.free(state.frame);
+    handles_.erase(it);
+}
+
+RunResult
+TraceSimulator::run(TraceGenerator &gen)
+{
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    ContextId current = invalidContext;
+    CtxHandle current_handle = invalidHandle;
+    Word scratch = 0;
+
+    TraceEvent ev;
+    while (gen.next(ev)) {
+        if (ev.kind == EventKind::End)
+            break;
+        if (config_.maxInstructions &&
+            instructions >= config_.maxInstructions) {
+            break;
+        }
+
+        switch (ev.kind) {
+          case EventKind::Instr: {
+              nsrf_assert(current != invalidContext,
+                          "instruction with no current context");
+              ++instructions;
+              cycles += 1;
+              if (ev.memRef) {
+                  cycles += config_.modelDataTraffic
+                                ? dataAccess()
+                                : config_.memRefExtra;
+              }
+              for (std::uint8_t i = 0; i < ev.srcCount; ++i) {
+                  auto res = rf_->read(current, ev.src[i], scratch);
+                  cycles += res.stall;
+              }
+              if (ev.hasDst) {
+                  auto res = rf_->write(current, ev.dst, scratch + 1);
+                  cycles += res.stall;
+              }
+              break;
+          }
+
+          case EventKind::Call: {
+              ++instructions;
+              cycles += 1;
+              ContextId callee = createContext(ev.ctx, cycles);
+              auto res = rf_->switchTo(callee);
+              cycles += res.stall;
+              current = callee;
+              current_handle = ev.ctx;
+              break;
+          }
+
+          case EventKind::Return: {
+              ++instructions;
+              cycles += 1;
+              nsrf_assert(current != invalidContext,
+                          "return with no current context");
+              // Free the returning activation, then resume the
+              // caller.
+              nsrf_assert(current_handle != invalidHandle,
+                          "current context has no handle");
+              unmapContext(current_handle);
+              ContextId caller = mapContext(ev.ctx, cycles);
+              auto res = rf_->switchTo(caller);
+              cycles += res.stall;
+              current = caller;
+              current_handle = ev.ctx;
+              break;
+          }
+
+          case EventKind::Spawn:
+            ++instructions;
+            cycles += 1;
+            createContext(ev.ctx, cycles);
+            break;
+
+          case EventKind::Terminate:
+            ++instructions;
+            cycles += 1;
+            nsrf_assert(!handles_.count(ev.ctx) ||
+                            handles_[ev.ctx].cid != current,
+                        "terminating the current context");
+            unmapContext(ev.ctx);
+            break;
+
+          case EventKind::Switch: {
+              ++instructions;
+              cycles += 1;
+              ContextId target = mapContext(ev.ctx, cycles);
+              auto res = rf_->switchTo(target);
+              cycles += res.stall;
+              current = target;
+              current_handle = ev.ctx;
+              break;
+          }
+
+          case EventKind::FreeReg:
+            nsrf_assert(current != invalidContext,
+                        "freereg with no current context");
+            ++instructions;
+            cycles += 1;
+            rf_->freeRegister(current, ev.dst);
+            break;
+
+          case EventKind::End:
+            break;
+        }
+    }
+
+    rf_->finalize();
+
+    const auto &stats = rf_->stats();
+    RunResult out;
+    out.regfileDescription = rf_->describe();
+    out.instructions = instructions;
+    out.contextSwitches = stats.contextSwitches.value();
+    out.cycles = cycles;
+    out.regStallCycles = stats.stallCycles;
+    out.regsSpilled = stats.regsSpilled.value();
+    out.regsReloaded = stats.regsReloaded.value();
+    out.liveRegsReloaded = stats.liveRegsReloaded.value();
+    out.readMisses = stats.readMisses.value();
+    out.writeMisses = stats.writeMisses.value();
+    out.cidEvictions = cidEvictions_;
+    out.meanActiveRegs = stats.activeRegs.mean();
+    out.maxActiveRegs = stats.activeRegs.max();
+    out.meanResidentContexts = stats.residentContexts.mean();
+    out.meanUtilization = rf_->meanUtilization();
+    out.maxUtilization = rf_->maxUtilization();
+    return out;
+}
+
+RunResult
+runTrace(const SimConfig &config, TraceGenerator &gen)
+{
+    TraceSimulator simulator(config);
+    return simulator.run(gen);
+}
+
+} // namespace nsrf::sim

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The trace-driven register file simulator (paper §7).
+ *
+ * Feeds a TraceGenerator's event stream into a register file built
+ * by the factory, charging a simple cycle model:
+ *
+ *   cycles = instructions                  (base CPI of 1)
+ *          + memRefExtra per memory ref    (cache-hit data access)
+ *          + every stall the register file charges for misses,
+ *            spills, reloads, and context-switch processing.
+ *
+ * The spill/reload overhead fraction of Figure 14 is
+ * regfile-stall-cycles / total cycles.
+ */
+
+#ifndef NSRF_SIM_SIMULATOR_HH
+#define NSRF_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/runtime/allocators.hh"
+#include "nsrf/sim/trace.hh"
+
+namespace nsrf::sim
+{
+
+/** Cycle-model and plumbing parameters for one simulation. */
+struct SimConfig
+{
+    regfile::RegFileConfig rf;
+    /** Data cache in front of the backing store; nullopt = uncached. */
+    std::optional<mem::CacheConfig> cache = mem::CacheConfig{};
+    Cycles memLatency = 20;
+    /** Extra cycles per memory-referencing instruction when data
+     * traffic modelling is off. */
+    Cycles memRefExtra = 1;
+    /**
+     * Optionally model the program's own loads and stores as real
+     * cache accesses so they compete with register spill/reload
+     * traffic for cache space.  Off by default: the fixed
+     * memRefExtra keeps the base CPI in the lean 1.3-1.6 range the
+     * paper's Sparc2 emulator produces, which is what the Figure 14
+     * overhead fractions are measured against.
+     */
+    bool modelDataTraffic = false;
+    Addr dataRegionBytes = 1u << 20;   //!< cold region size
+    Addr hotRegionBytes = 16u << 10;   //!< hot region size
+    double hotFraction = 0.85;         //!< refs hitting the hot set
+    std::uint64_t dataSeed = 0xd1ce;
+    /** Hardware CID space for handle mapping.  When live
+     * activations exceed it, the simulator virtualizes the name
+     * space (paper §4.3 / [1]): the least-recently-run activation
+     * is flushed to its backing frame, its CID reassigned, and the
+     * parked activation rebound on demand. */
+    ContextId cidCapacity = 4096;
+    /** Stop after this many instructions (0 = trace length). */
+    std::uint64_t maxInstructions = 0;
+};
+
+/** Everything a run produced. */
+struct RunResult
+{
+    std::string regfileDescription;
+    std::uint64_t instructions = 0;
+    std::uint64_t contextSwitches = 0;
+    Cycles cycles = 0;
+    Cycles regStallCycles = 0;
+
+    std::uint64_t regsSpilled = 0;
+    std::uint64_t regsReloaded = 0;
+    std::uint64_t liveRegsReloaded = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    /** Activations flushed to virtualize the CID space. */
+    std::uint64_t cidEvictions = 0;
+
+    double meanActiveRegs = 0;   //!< registers holding live data
+    double maxActiveRegs = 0;
+    double meanResidentContexts = 0;
+    double meanUtilization = 0;  //!< meanActiveRegs / totalRegs
+    double maxUtilization = 0;
+
+    /** Reloads as a fraction of instructions (Figures 10, 12, 13). */
+    double
+    reloadsPerInstr() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : double(regsReloaded) / double(instructions);
+    }
+
+    /** Live reloads as a fraction of instructions. */
+    double
+    liveReloadsPerInstr() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : double(liveRegsReloaded) / double(instructions);
+    }
+
+    /** Spill/reload overhead fraction of run time (Figure 14). */
+    double
+    overheadFraction() const
+    {
+        return cycles == 0 ? 0.0
+                           : double(regStallCycles) / double(cycles);
+    }
+
+    /** Instructions per context switch (Table 1). */
+    double
+    instrPerSwitch() const
+    {
+        return contextSwitches == 0
+                   ? double(instructions)
+                   : double(instructions) / double(contextSwitches);
+    }
+};
+
+/** Drives one register file with one trace. */
+class TraceSimulator
+{
+  public:
+    explicit TraceSimulator(const SimConfig &config);
+
+    /** Consume @p gen until End (or the instruction cap). */
+    RunResult run(TraceGenerator &gen);
+
+    /** @return the register file (valid after construction). */
+    regfile::RegisterFile &registerFile() { return *rf_; }
+
+    /** @return the backing memory system. */
+    mem::MemorySystem &memorySystem() { return memsys_; }
+
+  private:
+    /** Per-activation bookkeeping for CID virtualization. */
+    struct HandleState
+    {
+        ContextId cid = invalidContext; //!< bound hardware CID
+        Addr frame = invalidAddr;       //!< backing frame
+        std::uint64_t lastUse = 0;
+    };
+
+    /** @return the bound CID for @p handle, rebinding if parked. */
+    ContextId mapContext(CtxHandle handle, Cycles &cycles);
+    void unmapContext(CtxHandle handle);
+
+    /** Create and bind a fresh activation. */
+    ContextId createContext(CtxHandle handle, Cycles &cycles);
+
+    /** Flush the coldest bound activation to free a CID. */
+    ContextId stealCid(Cycles &cycles);
+
+    /** One modelled program load/store; @return its latency. */
+    Cycles dataAccess();
+
+    SimConfig config_;
+    Random dataRng_;
+    mem::MemorySystem memsys_;
+    std::unique_ptr<regfile::RegisterFile> rf_;
+    runtime::CidAllocator cids_;
+    runtime::FrameAllocator frames_;
+    std::unordered_map<CtxHandle, HandleState> handles_;
+    std::unordered_map<ContextId, CtxHandle> cidToHandle_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t cidEvictions_ = 0;
+};
+
+/** Convenience: build a simulator from @p config and run @p gen. */
+RunResult runTrace(const SimConfig &config, TraceGenerator &gen);
+
+} // namespace nsrf::sim
+
+#endif // NSRF_SIM_SIMULATOR_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The register-reference trace the workload generators produce and
+ * the trace-driven simulator consumes.
+ *
+ * The paper's evaluation (§7) drives a "flexible register file
+ * simulator" with register-reference streams cross-compiled from
+ * SPARC (sequential) and TAM (parallel) programs.  Register file
+ * behaviour depends only on this event stream: which registers of
+ * which contexts are read and written, and where activations are
+ * created, destroyed, and switched.  TraceEvent is exactly that
+ * stream.
+ *
+ * Context handles are generator-assigned virtual names; the
+ * simulator maps them onto hardware Context IDs with the same
+ * recycling allocator the runtime uses.
+ */
+
+#ifndef NSRF_SIM_TRACE_HH
+#define NSRF_SIM_TRACE_HH
+
+#include <cstdint>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::sim
+{
+
+/** A generator-scoped context name. */
+using CtxHandle = std::uint64_t;
+
+/** Distinguished handle meaning "none". */
+inline constexpr CtxHandle invalidHandle =
+    static_cast<CtxHandle>(-1);
+
+/** What one trace event is. */
+enum class EventKind : std::uint8_t
+{
+    /** One instruction of the current context: up to two register
+     * sources and one destination. */
+    Instr,
+    /** Procedure call: create context @c ctx and switch to it. */
+    Call,
+    /** Procedure return: destroy the current context and switch to
+     * @c ctx (the caller). */
+    Return,
+    /** Thread creation: create context @c ctx, stay in the current
+     * one. */
+    Spawn,
+    /** Thread termination: destroy context @c ctx (never the
+     * current one). */
+    Terminate,
+    /** Context switch to the existing context @c ctx. */
+    Switch,
+    /** Deallocate register @c dst of the current context. */
+    FreeReg,
+    /** End of trace. */
+    End,
+};
+
+/** One event. */
+struct TraceEvent
+{
+    EventKind kind = EventKind::Instr;
+    CtxHandle ctx = invalidHandle; //!< Call/Return/Spawn/Term/Switch
+    std::uint8_t srcCount = 0;     //!< Instr: number of sources
+    RegIndex src[2] = {0, 0};      //!< Instr: source registers
+    bool hasDst = false;           //!< Instr: writes a register
+    RegIndex dst = 0;              //!< Instr dest, FreeReg target
+    bool memRef = false;           //!< Instr touches data memory
+
+    /** Shorthand constructors. */
+    static TraceEvent
+    instr(std::uint8_t src_count, RegIndex s0, RegIndex s1,
+          bool has_dst, RegIndex dst_reg, bool mem_ref = false)
+    {
+        TraceEvent ev;
+        ev.kind = EventKind::Instr;
+        ev.srcCount = src_count;
+        ev.src[0] = s0;
+        ev.src[1] = s1;
+        ev.hasDst = has_dst;
+        ev.dst = dst_reg;
+        ev.memRef = mem_ref;
+        return ev;
+    }
+
+    static TraceEvent
+    marker(EventKind kind, CtxHandle ctx = invalidHandle)
+    {
+        TraceEvent ev;
+        ev.kind = kind;
+        ev.ctx = ctx;
+        return ev;
+    }
+};
+
+/** Pull-based trace source. */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /**
+     * Produce the next event.  @return false after the End event
+     * has been produced (the End event itself returns true).
+     */
+    virtual bool next(TraceEvent &ev) = 0;
+
+    /** Restart the trace from the beginning (same stream). */
+    virtual void reset() = 0;
+};
+
+} // namespace nsrf::sim
+
+#endif // NSRF_SIM_TRACE_HH

@@ -1,0 +1,141 @@
+#include "nsrf/sim/tracefile.hh"
+
+#include <array>
+#include <cstring>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::sim
+{
+
+namespace
+{
+
+constexpr char magic[8] = {'N', 'S', 'R', 'F',
+                           'T', 'R', 'C', '1'};
+constexpr std::size_t recordBytes = 16;
+
+std::array<unsigned char, recordBytes>
+pack(const TraceEvent &ev)
+{
+    std::array<unsigned char, recordBytes> rec{};
+    rec[0] = static_cast<unsigned char>(ev.kind);
+    rec[1] = ev.srcCount;
+    rec[2] = static_cast<unsigned char>((ev.hasDst ? 1 : 0) |
+                                        (ev.memRef ? 2 : 0));
+    rec[3] = static_cast<unsigned char>(ev.src[0]);
+    rec[4] = static_cast<unsigned char>(ev.src[1]);
+    rec[5] = static_cast<unsigned char>(ev.dst);
+    std::uint64_t ctx = ev.ctx;
+    std::memcpy(rec.data() + 8, &ctx, 8);
+    return rec;
+}
+
+TraceEvent
+unpack(const std::array<unsigned char, recordBytes> &rec)
+{
+    TraceEvent ev;
+    ev.kind = static_cast<EventKind>(rec[0]);
+    ev.srcCount = rec[1];
+    ev.hasDst = (rec[2] & 1) != 0;
+    ev.memRef = (rec[2] & 2) != 0;
+    ev.src[0] = rec[3];
+    ev.src[1] = rec[4];
+    ev.dst = rec[5];
+    std::uint64_t ctx;
+    std::memcpy(&ctx, rec.data() + 8, 8);
+    ev.ctx = ctx;
+    return ev;
+}
+
+} // namespace
+
+std::uint64_t
+captureTrace(TraceGenerator &gen, const std::string &path,
+             std::uint64_t max_events)
+{
+    std::FILE *out = std::fopen(path.c_str(), "wb");
+    if (!out)
+        nsrf_fatal("cannot open trace file '%s' for writing",
+                   path.c_str());
+
+    // Header: magic + count placeholder (patched at the end).
+    std::fwrite(magic, 1, sizeof(magic), out);
+    std::uint64_t count = 0;
+    std::fwrite(&count, sizeof(count), 1, out);
+
+    TraceEvent ev;
+    while (gen.next(ev)) {
+        if (ev.kind == EventKind::End)
+            break;
+        nsrf_assert(ev.srcCount <= 2 && ev.src[0] < 256 &&
+                        ev.src[1] < 256 && ev.dst < 256,
+                    "register index too wide for the trace format");
+        auto rec = pack(ev);
+        std::fwrite(rec.data(), 1, rec.size(), out);
+        ++count;
+        if (max_events && count >= max_events)
+            break;
+    }
+
+    std::fseek(out, sizeof(magic), SEEK_SET);
+    std::fwrite(&count, sizeof(count), 1, out);
+    std::fclose(out);
+    return count;
+}
+
+FileTraceGenerator::FileTraceGenerator(const std::string &path)
+{
+    std::FILE *in = std::fopen(path.c_str(), "rb");
+    if (!in)
+        nsrf_fatal("cannot open trace file '%s'", path.c_str());
+
+    char head[8];
+    if (std::fread(head, 1, sizeof(head), in) != sizeof(head) ||
+        std::memcmp(head, magic, sizeof(magic)) != 0) {
+        std::fclose(in);
+        nsrf_fatal("'%s' is not an NSRF trace file", path.c_str());
+    }
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, in) != 1) {
+        std::fclose(in);
+        nsrf_fatal("'%s' has a truncated header", path.c_str());
+    }
+
+    events_.reserve(count);
+    std::array<unsigned char, recordBytes> rec;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(rec.data(), 1, rec.size(), in) !=
+            rec.size()) {
+            std::fclose(in);
+            nsrf_fatal("'%s' is truncated at event %llu",
+                       path.c_str(),
+                       static_cast<unsigned long long>(i));
+        }
+        events_.push_back(unpack(rec));
+    }
+    std::fclose(in);
+}
+
+bool
+FileTraceGenerator::next(TraceEvent &ev)
+{
+    if (done_)
+        return false;
+    if (pos_ == events_.size()) {
+        ev = TraceEvent::marker(EventKind::End);
+        done_ = true;
+        return true;
+    }
+    ev = events_[pos_++];
+    return true;
+}
+
+void
+FileTraceGenerator::reset()
+{
+    pos_ = 0;
+    done_ = false;
+}
+
+} // namespace nsrf::sim

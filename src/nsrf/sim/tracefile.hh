@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Binary trace capture and replay.
+ *
+ * The paper's experiments were driven by traces cross-compiled
+ * once and replayed against many register file organizations.
+ * These helpers provide the same workflow: capture any
+ * TraceGenerator's stream to a compact binary file, then replay it
+ * bit-identically as many times as needed (or ship it to someone
+ * else's machine).
+ *
+ * Format: a 16-byte header ("NSRFTRC1", version, event count)
+ * followed by fixed 16-byte records:
+ *
+ *     u8  kind        u8 srcCount   u8 flags (1=hasDst, 2=memRef)
+ *     u8  src0        u8 src1       u8 dst
+ *     u16 reserved    u64 ctx
+ */
+
+#ifndef NSRF_SIM_TRACEFILE_HH
+#define NSRF_SIM_TRACEFILE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nsrf/sim/trace.hh"
+
+namespace nsrf::sim
+{
+
+/**
+ * Drain @p gen (up to @p max_events, 0 = until End) into @p path.
+ * @return the number of events written (excluding the End marker).
+ */
+std::uint64_t captureTrace(TraceGenerator &gen,
+                           const std::string &path,
+                           std::uint64_t max_events = 0);
+
+/** Replays a trace file written by captureTrace(). */
+class FileTraceGenerator : public TraceGenerator
+{
+  public:
+    /** Opens and validates @p path; fatal on a malformed file. */
+    explicit FileTraceGenerator(const std::string &path);
+
+    bool next(TraceEvent &ev) override;
+    void reset() override;
+
+    /** @return events in the file (excluding the End marker). */
+    std::uint64_t size() const { return events_.size(); }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::size_t pos_ = 0;
+    bool done_ = false;
+};
+
+} // namespace nsrf::sim
+
+#endif // NSRF_SIM_TRACEFILE_HH

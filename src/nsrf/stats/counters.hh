@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * These are deliberately simple value types: a counter, a running
+ * (streaming) mean/variance, a min/max tracker, and a time-weighted
+ * mean used for quantities sampled over simulated cycles (such as
+ * register file occupancy, Figure 9 of the paper).
+ */
+
+#ifndef NSRF_STATS_COUNTERS_HH
+#define NSRF_STATS_COUNTERS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nsrf::stats
+{
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    /** @return the accumulated count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** @return this counter as a fraction of @p denom (0 if empty). */
+    double
+    fractionOf(std::uint64_t denom) const
+    {
+        return denom == 0 ? 0.0
+                          : static_cast<double>(value_) /
+                                static_cast<double>(denom);
+    }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Streaming mean and variance (Welford's algorithm). */
+class RunningMean
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++count_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        count_ = 0;
+        mean_ = 0.0;
+        m2_ = 0.0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Mean of a piecewise-constant signal weighted by the simulated time
+ * each value was held.  record(t, v) says "the value became v at time
+ * t"; finish(t_end) closes the last interval.
+ */
+class TimeWeightedMean
+{
+  public:
+    /** Record that the tracked value changed to @p value at @p now. */
+    void
+    record(std::uint64_t now, double value)
+    {
+        accumulate(now);
+        current_ = value;
+        max_ = std::max(max_, value);
+    }
+
+    /** Close the final interval at @p now. */
+    void finish(std::uint64_t now) { accumulate(now); }
+
+    /** @return the time-weighted mean over all closed intervals. */
+    double
+    mean() const
+    {
+        return elapsed_ == 0
+                   ? current_
+                   : weighted_ / static_cast<double>(elapsed_);
+    }
+
+    /** @return the largest value ever recorded. */
+    double max() const { return max_; }
+
+  private:
+    void
+    accumulate(std::uint64_t now)
+    {
+        if (started_ && now > last_) {
+            weighted_ += current_ * static_cast<double>(now - last_);
+            elapsed_ += now - last_;
+        }
+        last_ = now;
+        started_ = true;
+    }
+
+    bool started_ = false;
+    std::uint64_t last_ = 0;
+    std::uint64_t elapsed_ = 0;
+    double weighted_ = 0.0;
+    double current_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace nsrf::stats
+
+#endif // NSRF_STATS_COUNTERS_HH

@@ -1,0 +1,91 @@
+#include "nsrf/stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count)
+    : lo_(lo), hi_(hi), buckets_(bucket_count, 0)
+{
+    nsrf_assert(hi > lo, "histogram range must be non-empty");
+    nsrf_assert(bucket_count > 0, "histogram needs at least one bucket");
+    width_ = (hi - lo) / static_cast<double>(bucket_count);
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_));
+    std::uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto b : buckets_)
+        peak = std::max(peak, b);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        double b_lo = lo_ + width_ * static_cast<double>(i);
+        auto bar_len = static_cast<std::size_t>(
+            static_cast<double>(buckets_[i]) /
+            static_cast<double>(peak) * static_cast<double>(width));
+        std::snprintf(line, sizeof(line), "%10.2f |%-*s %llu\n", b_lo,
+                      static_cast<int>(width),
+                      std::string(bar_len, '#').c_str(),
+                      static_cast<unsigned long long>(buckets_[i]));
+        out += line;
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace nsrf::stats

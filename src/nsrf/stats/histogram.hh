@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fixed-bucket histogram for distributions such as call depth or run
+ * length between context switches.
+ */
+
+#ifndef NSRF_STATS_HISTOGRAM_HH
+#define NSRF_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsrf::stats
+{
+
+/** Histogram over [lo, hi) with equal-width buckets plus overflow. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo        lowest representable value
+     * @param hi        upper bound (exclusive) of the binned range
+     * @param bucket_count number of equal-width buckets
+     */
+    Histogram(double lo, double hi, std::size_t bucket_count);
+
+    /** Add one sample; out-of-range samples land in under/overflow. */
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+
+    /** @return samples in bucket @p i (0-based). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return the value at the given quantile q in [0, 1]. */
+    double quantile(double q) const;
+
+    /** Render as a compact multi-line ASCII chart. */
+    std::string render(std::size_t width = 40) const;
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace nsrf::stats
+
+#endif // NSRF_STATS_HISTOGRAM_HH

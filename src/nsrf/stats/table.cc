@@ -1,0 +1,187 @@
+#include "nsrf/stats/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace nsrf::stats
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.cells.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_) {
+        if (!r.is_separator)
+            measure(r.cells);
+    }
+
+    auto emit = [&](const std::vector<std::string> &cells,
+                    std::string &out) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            out += "| ";
+            out += cell;
+            out += std::string(width[i] - cell.size() + 1, ' ');
+        }
+        out += "|\n";
+    };
+
+    std::string rule = "+";
+    for (std::size_t i = 0; i < cols; ++i)
+        rule += std::string(width[i] + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out = rule;
+    if (!header_.empty()) {
+        emit(header_, out);
+        out += rule;
+    }
+    for (const auto &r : rows_) {
+        if (r.is_separator)
+            out += rule;
+        else
+            emit(r.cells, out);
+    }
+    out += rule;
+    return out;
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::integer(std::uint64_t v)
+{
+    // Group thousands for readability, as the paper's Table 1 does.
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out += ',';
+        out += *it;
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::scientific(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+BarChart::BarChart(std::string title, std::string unit, bool log_scale)
+    : title_(std::move(title)), unit_(std::move(unit)),
+      logScale_(log_scale)
+{
+}
+
+void
+BarChart::bar(const std::string &label, double value)
+{
+    bars_.emplace_back(label, value);
+}
+
+std::string
+BarChart::render(std::size_t width) const
+{
+    std::string out = title_ + "\n";
+    if (bars_.empty())
+        return out;
+
+    std::size_t label_width = 0;
+    for (const auto &[label, value] : bars_)
+        label_width = std::max(label_width, label.size());
+
+    double peak = 0.0;
+    double floor_log = 0.0;
+    if (logScale_) {
+        // Map [min positive / 10, max] logarithmically onto the bar.
+        double min_pos = 0.0;
+        for (const auto &[label, value] : bars_) {
+            if (value > 0.0 && (min_pos == 0.0 || value < min_pos))
+                min_pos = value;
+            peak = std::max(peak, value);
+        }
+        if (min_pos == 0.0)
+            min_pos = 1.0;
+        floor_log = std::log10(min_pos) - 1.0;
+    } else {
+        for (const auto &[label, value] : bars_)
+            peak = std::max(peak, value);
+    }
+    if (peak <= 0.0)
+        peak = 1.0;
+
+    char line[256];
+    for (const auto &[label, value] : bars_) {
+        double frac;
+        if (logScale_) {
+            frac = value <= 0.0
+                       ? 0.0
+                       : (std::log10(value) - floor_log) /
+                             (std::log10(peak) - floor_log);
+        } else {
+            frac = value / peak;
+        }
+        frac = std::clamp(frac, 0.0, 1.0);
+        auto len = static_cast<std::size_t>(
+            frac * static_cast<double>(width));
+        std::snprintf(line, sizeof(line), "  %-*s |%-*s %.4g %s\n",
+                      static_cast<int>(label_width), label.c_str(),
+                      static_cast<int>(width),
+                      std::string(len, '#').c_str(), value,
+                      unit_.c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace nsrf::stats

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * ASCII table and bar-chart rendering for the benchmark harness.
+ *
+ * Every bench binary reproduces a table or figure from the paper;
+ * TextTable prints aligned rows and BarChart prints horizontal bars
+ * (with optional log scale, matching the paper's log-axis figures).
+ */
+
+#ifndef NSRF_STATS_TABLE_HH
+#define NSRF_STATS_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsrf::stats
+{
+
+/** Column-aligned ASCII table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render the whole table. */
+    std::string render() const;
+
+    /** Format helpers for cells. */
+    static std::string num(double v, int precision = 2);
+    static std::string integer(std::uint64_t v);
+    static std::string percent(double fraction, int precision = 2);
+    static std::string scientific(double v, int precision = 2);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool is_separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** Horizontal ASCII bar chart, one bar per labelled value. */
+class BarChart
+{
+  public:
+    /**
+     * @param title     printed above the chart
+     * @param unit      appended to each value
+     * @param log_scale use log10 bar lengths (for Figure 10/12 style)
+     */
+    BarChart(std::string title, std::string unit, bool log_scale = false);
+
+    /** Add one bar. */
+    void bar(const std::string &label, double value);
+
+    /** Render the chart. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    std::string title_;
+    std::string unit_;
+    bool logScale_;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+} // namespace nsrf::stats
+
+#endif // NSRF_STATS_TABLE_HH

@@ -1,0 +1,53 @@
+#include "nsrf/vlsi/area.hh"
+
+namespace nsrf::vlsi
+{
+
+AreaModel::AreaModel(const LayoutRules &rules) : rules_(rules)
+{
+}
+
+AreaBreakdown
+AreaModel::estimate(const Organization &org) const
+{
+    const LayoutRules &r = rules_;
+    unsigned ports = org.ports();
+    double row_h = r.cellHeight(ports);
+    double cell_w = r.cellWidth(ports);
+    double um2_per_lambda2 = r.lambdaUm * r.lambdaUm;
+
+    AreaBreakdown out;
+    out.darrayUm2 = double(org.rows) * double(org.bitsPerRow) *
+                    cell_w * row_h * um2_per_lambda2;
+
+    double dec_width;
+    double logic_width;
+    if (org.kind == ArrayKind::Segmented) {
+        dec_width = double(ports) *
+                    (r.segDecPerBit * org.addrBits() + r.segDecBase);
+        logic_width = r.segLogicWidth;
+    } else {
+        dec_width = double(org.tagBits()) * r.camCellWidth +
+                    double(ports) * r.camPortWidth;
+        logic_width = r.nsfLogicBase +
+                      r.nsfLogicPerReg * double(org.regsPerLine);
+    }
+
+    out.decodeUm2 =
+        double(org.rows) * dec_width * row_h * um2_per_lambda2;
+    out.logicUm2 =
+        double(org.rows) * logic_width * row_h * um2_per_lambda2;
+    return out;
+}
+
+double
+AreaModel::processorAreaFraction(const Organization &org,
+                                 const Organization &baseline,
+                                 double conventional_fraction) const
+{
+    double ratio =
+        estimate(org).totalUm2() / estimate(baseline).totalUm2();
+    return conventional_fraction * ratio;
+}
+
+} // namespace nsrf::vlsi

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Analytic chip-area model for register file organizations
+ * (Figures 7 and 8 of the paper).
+ */
+
+#ifndef NSRF_VLSI_AREA_HH
+#define NSRF_VLSI_AREA_HH
+
+#include "nsrf/vlsi/geometry.hh"
+
+namespace nsrf::vlsi
+{
+
+/** Area of one organization, µm², split as the paper's figures. */
+struct AreaBreakdown
+{
+    double decodeUm2 = 0;  //!< row decoder (NAND or CAM)
+    double logicUm2 = 0;   //!< word line, valid bit, miss/spill logic
+    double darrayUm2 = 0;  //!< data array
+
+    double
+    totalUm2() const
+    {
+        return decodeUm2 + logicUm2 + darrayUm2;
+    }
+};
+
+/** λ-rule area estimator. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const LayoutRules &rules = LayoutRules{});
+
+    /** @return the area breakdown for @p org. */
+    AreaBreakdown estimate(const Organization &org) const;
+
+    /**
+     * @return estimated fraction of a typical processor die this
+     * file occupies, assuming a conventional file consumes
+     * @p conventional_fraction of the die (paper §6.2 uses < 10%).
+     */
+    double processorAreaFraction(
+        const Organization &org,
+        const Organization &baseline,
+        double conventional_fraction = 0.10) const;
+
+    const LayoutRules &rules() const { return rules_; }
+
+  private:
+    LayoutRules rules_;
+};
+
+} // namespace nsrf::vlsi
+
+#endif // NSRF_VLSI_AREA_HH

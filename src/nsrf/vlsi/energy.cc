@@ -1,0 +1,70 @@
+#include "nsrf/vlsi/energy.hh"
+
+namespace nsrf::vlsi
+{
+
+EnergyModel::EnergyModel(const EnergyRules &rules,
+                         const LayoutRules &layout)
+    : rules_(rules), layout_(layout)
+{
+}
+
+EnergyBreakdown
+EnergyModel::perAccess(const Organization &org) const
+{
+    const double v2 = rules_.supplyVolts * rules_.supplyVolts;
+    // fF * V^2 = fJ; divide by 1000 for pJ.
+    auto pj = [&](double ff) { return ff * v2 / 1000.0; };
+
+    unsigned ports = org.ports();
+    double row_height = layout_.cellHeight(ports);
+    double row_width_data =
+        double(org.bitsPerRow) * layout_.cellWidth(ports);
+
+    EnergyBreakdown out;
+    if (org.kind == ArrayKind::Segmented) {
+        // One predecode tree discharges; load scales with address
+        // bits and the column of row drivers.
+        double wire = double(org.rows) * row_height *
+                      rules_.wireFfPerLambda;
+        double devices = double(org.addrBits()) *
+                         rules_.nandDevicesPerBit * rules_.deviceFf;
+        out.decodePj = pj(wire + devices);
+    } else {
+        // Every line's comparator sees the broadcast address: the
+        // defining energy cost of full associativity.
+        double per_line =
+            double(org.tagBits()) * rules_.camDevicesPerBit *
+                rules_.deviceFf +
+            double(org.tagBits()) * layout_.camCellWidth *
+                rules_.wireFfPerLambda;
+        out.decodePj = pj(per_line * double(org.rows));
+    }
+
+    // One word line swings across the data row.
+    out.wordLinePj =
+        pj(row_width_data * rules_.wireFfPerLambda +
+           double(org.bitsPerRow) * rules_.deviceFf);
+
+    // Bit lines swing along the column height; a register is 32
+    // bits regardless of line width, and sense amplifiers limit
+    // the swing to roughly an eighth of the rail.
+    double column = double(org.rows) * row_height *
+                    rules_.wireFfPerLambda;
+    out.bitLinePj =
+        pj(32.0 * column / 8.0 + 32.0 * rules_.deviceFf);
+    return out;
+}
+
+double
+EnergyModel::runEnergyUj(const Organization &org,
+                         std::uint64_t accesses,
+                         std::uint64_t transfers) const
+{
+    double access_pj = perAccess(org).totalPj();
+    double total_pj = access_pj * double(accesses) +
+                      rules_.cacheWordPj * double(transfers);
+    return total_pj / 1e6;
+}
+
+} // namespace nsrf::vlsi

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * First-order access-energy model (extension beyond the paper).
+ *
+ * The paper evaluates area and delay (§6) but not power.  The
+ * associative decoder has an obvious energy cost the figures do not
+ * show: every access broadcasts the register address across all
+ * lines, so the CAM's tag comparators and match lines switch on
+ * every read and write, while a conventional NAND decoder only
+ * discharges one word line's worth of predecode.  On the other
+ * side of the ledger, every spilled/reloaded register costs a cache
+ * (and sometimes memory) transfer the NSF mostly avoids.
+ *
+ * The model is classic E = C V^2 switching arithmetic over the same
+ * λ geometry the area model uses, with 1.2 µm / 5 V constants.
+ * Absolute numbers are indicative; the interesting output is the
+ * crossover: the NSF pays more per access but saves traffic, so
+ * which organization costs less energy depends on the workload's
+ * switch rate — exactly the trade the energy bench explores.
+ */
+
+#ifndef NSRF_VLSI_ENERGY_HH
+#define NSRF_VLSI_ENERGY_HH
+
+#include <cstdint>
+
+#include "nsrf/vlsi/geometry.hh"
+
+namespace nsrf::vlsi
+{
+
+/** Switching-energy constants for the 1.2 µm, 5 V process. */
+struct EnergyRules
+{
+    double supplyVolts = 5.0;
+    /** Wire capacitance per λ of routed length, femtofarads. */
+    double wireFfPerLambda = 0.12;
+    /** Gate+junction load per transistor driven, femtofarads. */
+    double deviceFf = 8.0;
+    /** Transistors switched per CAM tag-bit comparator. */
+    double camDevicesPerBit = 4.0;
+    /** Transistors switched per NAND predecode output. */
+    double nandDevicesPerBit = 2.0;
+    /** Energy of one word transferred to/from the data cache,
+     * picojoules (SRAM access + bus). */
+    double cacheWordPj = 180.0;
+};
+
+/** Energy per event, picojoules. */
+struct EnergyBreakdown
+{
+    double decodePj = 0;   //!< address decode (CAM or NAND)
+    double wordLinePj = 0; //!< selected word line swing
+    double bitLinePj = 0;  //!< bit line swing + sense
+    double
+    totalPj() const
+    {
+        return decodePj + wordLinePj + bitLinePj;
+    }
+};
+
+/** Per-access and per-transfer energy estimator. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyRules &rules = EnergyRules{},
+                         const LayoutRules &layout = LayoutRules{});
+
+    /** @return energy of one register read or write in @p org. */
+    EnergyBreakdown perAccess(const Organization &org) const;
+
+    /** @return energy of moving one register to/from memory. */
+    double perTransferPj() const { return rules_.cacheWordPj; }
+
+    /**
+     * @return total register file + traffic energy for a run, in
+     * microjoules.
+     * @param org       the organization accessed
+     * @param accesses  register reads + writes
+     * @param transfers registers spilled + reloaded
+     */
+    double runEnergyUj(const Organization &org,
+                       std::uint64_t accesses,
+                       std::uint64_t transfers) const;
+
+  private:
+    EnergyRules rules_;
+    LayoutRules layout_;
+};
+
+} // namespace nsrf::vlsi
+
+#endif // NSRF_VLSI_ENERGY_HH

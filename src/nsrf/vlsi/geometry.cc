@@ -1,0 +1,55 @@
+#include "nsrf/vlsi/geometry.hh"
+
+#include "nsrf/common/bitutil.hh"
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::vlsi
+{
+
+unsigned
+Organization::tagBits() const
+{
+    // A register address is <CID:offset>; selecting a word within a
+    // multi-register line consumes low offset bits, which the CAM
+    // does not compare.
+    return cidBits + offsetBits - log2Ceil(regsPerLine);
+}
+
+unsigned
+Organization::addrBits() const
+{
+    return log2Ceil(rows);
+}
+
+Organization
+Organization::segmented(unsigned rows, unsigned bits,
+                        unsigned read_ports, unsigned write_ports)
+{
+    Organization org;
+    org.kind = ArrayKind::Segmented;
+    org.rows = rows;
+    org.bitsPerRow = bits;
+    org.regsPerLine = bits / 32;
+    org.readPorts = read_ports;
+    org.writePorts = write_ports;
+    return org;
+}
+
+Organization
+Organization::namedState(unsigned rows, unsigned bits,
+                         unsigned regs_per_line, unsigned read_ports,
+                         unsigned write_ports)
+{
+    nsrf_assert(regs_per_line >= 1 && bits >= 32 * regs_per_line,
+                "line must hold %u registers", regs_per_line);
+    Organization org;
+    org.kind = ArrayKind::NamedState;
+    org.rows = rows;
+    org.bitsPerRow = bits;
+    org.regsPerLine = regs_per_line;
+    org.readPorts = read_ports;
+    org.writePorts = write_ports;
+    return org;
+}
+
+} // namespace nsrf::vlsi

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Layout geometry shared by the area and timing models.
+ *
+ * The paper evaluates implementation cost with Spice simulations and
+ * a 2 µm prototype chip (§6).  This model replaces Spice with
+ * analytic λ-rule layout arithmetic for the same 1.2 µm CMOS process
+ * (λ = 0.6 µm):
+ *
+ *  - a multi-ported register cell grows by a wire pitch in each
+ *    dimension per port, so cell area is quadratic in ports (§6.2:
+ *    "The area of a multiported register cell increases as the
+ *    square of the number of ports");
+ *  - the segmented file uses a per-port two-level NAND row decoder
+ *    whose width grows with the number of address bits;
+ *  - the NSF row holds one CAM cell per tag bit plus per-port match
+ *    amplifiers and word-line drivers ("Decoder width increases in
+ *    proportion to the number of ports, while miss and spill logic
+ *    remains constant");
+ *  - the NSF additionally pays a valid-bit / miss / spill logic
+ *    strip per row, wider for wider lines.
+ *
+ * The constants below were calibrated once against the six relative
+ * areas the paper reports in Figures 7 and 8 (1.54/1.30/0.89 at
+ * three ports, 1.28/1.16/0.90 at six); the calibration is locked in
+ * by tests/test_vlsi.cc.
+ */
+
+#ifndef NSRF_VLSI_GEOMETRY_HH
+#define NSRF_VLSI_GEOMETRY_HH
+
+#include <cstdint>
+
+namespace nsrf::vlsi
+{
+
+/** Which decoder the organization uses. */
+enum class ArrayKind { Segmented, NamedState };
+
+/** A register file organization to be costed. */
+struct Organization
+{
+    ArrayKind kind = ArrayKind::NamedState;
+    unsigned rows = 128;       //!< array lines
+    unsigned bitsPerRow = 32;  //!< data bits per line
+    unsigned regsPerLine = 1;  //!< registers per line (NSF logic)
+    unsigned readPorts = 2;
+    unsigned writePorts = 1;
+    unsigned cidBits = 5;      //!< Context ID width (NSF tag)
+    unsigned offsetBits = 5;   //!< register offset width
+
+    /** @return total ports. */
+    unsigned ports() const { return readPorts + writePorts; }
+
+    /** @return CAM tag width: <CID:offset> minus in-line select. */
+    unsigned tagBits() const;
+
+    /** @return row-address bits for the conventional decoder. */
+    unsigned addrBits() const;
+
+    /** Convenience constructors for the paper's two shapes. */
+    static Organization segmented(unsigned rows, unsigned bits,
+                                  unsigned read_ports = 2,
+                                  unsigned write_ports = 1);
+    static Organization namedState(unsigned rows, unsigned bits,
+                                   unsigned regs_per_line,
+                                   unsigned read_ports = 2,
+                                   unsigned write_ports = 1);
+};
+
+/** λ-rule layout constants for the 1.2 µm process. */
+struct LayoutRules
+{
+    /** λ in micrometres for a 1.2 µm (drawn gate) process. */
+    double lambdaUm = 0.6;
+
+    // Register cell: (cellW0 + cellWP * ports) x
+    //                (cellH0 + cellHP * ports) λ.
+    double cellW0 = 4.0;
+    double cellWP = 11.6;
+    double cellH0 = 15.2;
+    double cellHP = 13.5;
+
+    // Segmented NAND decoder: per row, per port,
+    // width = segDecPerBit * addrBits + segDecBase λ.
+    double segDecPerBit = 6.0;
+    double segDecBase = 43.0;
+
+    // Segmented word-line and valid logic strip width λ.
+    double segLogicWidth = 61.0;
+
+    // NSF CAM decoder: per row, one CAM cell per tag bit
+    // (search ports are time-multiplexed through shared
+    // search lines, so the CAM cell width is port-independent)
+    // plus per-port match amplifier + word-line driver.
+    double camCellWidth = 68.0;
+    double camPortWidth = 80.0;
+
+    // NSF valid-bit / miss / spill logic strip:
+    // width = nsfLogicBase + nsfLogicPerReg * regsPerLine λ.
+    double nsfLogicBase = 182.0;
+    double nsfLogicPerReg = 48.0;
+
+    /** @return cell width in λ for @p ports. */
+    double cellWidth(unsigned ports) const
+    {
+        return cellW0 + cellWP * ports;
+    }
+
+    /** @return cell height (= row height) in λ for @p ports. */
+    double cellHeight(unsigned ports) const
+    {
+        return cellH0 + cellHP * ports;
+    }
+};
+
+} // namespace nsrf::vlsi
+
+#endif // NSRF_VLSI_GEOMETRY_HH

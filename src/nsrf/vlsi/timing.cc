@@ -1,0 +1,40 @@
+#include "nsrf/vlsi/timing.hh"
+
+namespace nsrf::vlsi
+{
+
+TimingModel::TimingModel(const TimingRules &rules,
+                         const LayoutRules &layout)
+    : rules_(rules), layout_(layout)
+{
+}
+
+TimingBreakdown
+TimingModel::estimate(const Organization &org) const
+{
+    const TimingRules &t = rules_;
+    unsigned ports = org.ports();
+
+    TimingBreakdown out;
+    if (org.kind == ArrayKind::Segmented) {
+        out.decodeNs =
+            t.segDecodeBase + t.segDecodePerBit * org.addrBits();
+    } else {
+        double tag = org.tagBits();
+        out.decodeNs = t.camComparePerBit * tag +
+                       t.camCombineBase + t.camCombinePerBit * tag;
+    }
+
+    double row_width_lambda =
+        double(org.bitsPerRow) * layout_.cellWidth(ports);
+    out.wordSelectNs =
+        t.wordSelectBase + t.wordSelectPerLambda * row_width_lambda;
+
+    double col_height_lambda =
+        double(org.rows) * layout_.cellHeight(ports);
+    out.dataReadNs =
+        t.dataReadBase + t.dataReadPerLambda * col_height_lambda;
+    return out;
+}
+
+} // namespace nsrf::vlsi

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytic access-time model (Figure 6 of the paper).
+ *
+ * Access time decomposes as the paper's figure does:
+ *
+ *   decode      - address decode: two-level NAND predecode for the
+ *                 segmented file (grows with address bits); CAM tag
+ *                 compare plus CID/offset match combining and
+ *                 word-line drive for the NSF (grows with tag bits).
+ *   word select - word line RC, proportional to row width.
+ *   data read   - bit line discharge plus sense amplifier,
+ *                 proportional to column height.
+ *
+ * Constants are first-order Elmore fits chosen so the conventional
+ * organizations land in the 6.5-7.5 ns range typical of 1.2 µm
+ * register files, and so the NSF penalty matches the paper's
+ * reported 5-6% (§6.1).  tests/test_vlsi.cc locks the shape in.
+ */
+
+#ifndef NSRF_VLSI_TIMING_HH
+#define NSRF_VLSI_TIMING_HH
+
+#include "nsrf/vlsi/geometry.hh"
+
+namespace nsrf::vlsi
+{
+
+/** Access time of one organization, ns, split as Figure 6. */
+struct TimingBreakdown
+{
+    double decodeNs = 0;
+    double wordSelectNs = 0;
+    double dataReadNs = 0;
+
+    double
+    totalNs() const
+    {
+        return decodeNs + wordSelectNs + dataReadNs;
+    }
+};
+
+/** Elmore-flavoured delay constants. */
+struct TimingRules
+{
+    // Segmented decode: base + perAddrBit * log2(rows) ns.
+    double segDecodeBase = 1.2;
+    double segDecodePerBit = 0.25;
+
+    // NSF decode: CAM compare perTagBit*t, then combining the CID
+    // and offset match signals and driving the word line
+    // (combineBase + combinePerBit*t).
+    double camComparePerBit = 0.24;
+    double camCombineBase = 0.45;
+    double camCombinePerBit = 0.05;
+
+    // Word line: base + perLambda * (bitsPerRow * cellWidth) ns.
+    double wordSelectBase = 0.6;
+    double wordSelectPerLambda = 0.0006;
+
+    // Bit line + sense: base + perLambda * (rows * cellHeight) ns.
+    double dataReadBase = 0.8;
+    double dataReadPerLambda = 0.0003;
+};
+
+/** Access-time estimator. */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const TimingRules &rules = TimingRules{},
+                         const LayoutRules &layout = LayoutRules{});
+
+    /** @return the access-time breakdown for @p org. */
+    TimingBreakdown estimate(const Organization &org) const;
+
+  private:
+    TimingRules rules_;
+    LayoutRules layout_;
+};
+
+} // namespace nsrf::vlsi
+
+#endif // NSRF_VLSI_TIMING_HH

@@ -1,0 +1,283 @@
+#include "nsrf/workload/parallel.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::workload
+{
+
+ParallelWorkload::ParallelWorkload(const BenchmarkProfile &profile,
+                                   std::uint64_t max_events)
+    : profile_(profile),
+      maxEvents_(max_events ? max_events : scaledRunLength(profile)),
+      rng_(profile.seed)
+{
+    nsrf_assert(profile.parallel,
+                "ParallelWorkload needs a parallel profile");
+    start();
+}
+
+void
+ParallelWorkload::reset()
+{
+    rng_.seed(profile_.seed);
+    threads_.clear();
+    pending_.clear();
+    currentIdx_ = 0;
+    nextHandle_ = 0;
+    emitted_ = 0;
+    runLeft_ = 0;
+    done_ = false;
+    start();
+}
+
+ParallelWorkload::ThreadCtx
+ParallelWorkload::makeThread()
+{
+    ThreadCtx t;
+    t.handle = nextHandle_++;
+
+    auto lo = static_cast<std::int64_t>(profile_.avgLiveRegs -
+                                        profile_.liveRegsSpread);
+    auto hi = static_cast<std::int64_t>(profile_.avgLiveRegs +
+                                        profile_.liveRegsSpread);
+    lo = std::max<std::int64_t>(lo, 2);
+    hi = std::min<std::int64_t>(hi, profile_.regsPerContext);
+    auto ws = static_cast<unsigned>(rng_.uniformRange(lo, hi));
+    t.workingSet.resize(ws);
+    for (unsigned i = 0; i < ws; ++i)
+        t.workingSet[i] = i;
+
+    // The TAM translator seeds most thread locals up front.
+    t.prologueLeft =
+        std::max<unsigned>(3, static_cast<unsigned>(ws * 0.6));
+    t.remainingLife = rng_.geometric(profile_.threadLifetime);
+    return t;
+}
+
+void
+ParallelWorkload::start()
+{
+    // The main thread spawns the initial pool.
+    ThreadCtx main_thread = makeThread();
+    pending_.push_back(sim::TraceEvent::marker(
+        sim::EventKind::Call, main_thread.handle));
+    threads_.push_back(std::move(main_thread));
+
+    for (unsigned i = 1; i < profile_.targetThreads; ++i) {
+        ThreadCtx t = makeThread();
+        pending_.push_back(sim::TraceEvent::marker(
+            sim::EventKind::Spawn, t.handle));
+        threads_.push_back(std::move(t));
+    }
+    currentIdx_ = 0;
+    runLeft_ = rng_.geometric(profile_.instrPerSwitch);
+}
+
+void
+ParallelWorkload::refreshPhase(ThreadCtx &t)
+{
+    // A run quantum touches a handful of the thread's registers
+    // (operands of the code block between suspension points).
+    t.phase.clear();
+    unsigned ws = static_cast<unsigned>(t.workingSet.size());
+    unsigned psize = std::min(
+        ws, profile_.phaseRegs +
+                static_cast<unsigned>(rng_.uniform(3)));
+    for (unsigned i = 0; i < psize; ++i)
+        t.phase.push_back(t.workingSet[rng_.uniform(ws)]);
+}
+
+std::size_t
+ParallelWorkload::pickNextIndex()
+{
+    // Hot/cold scheduling: synchronization usually resumes one of
+    // the recently run partner threads; occasionally a long-blocked
+    // thread finally receives its data and wakes (the expensive
+    // switches the paper's §3.1 worries about).
+    if (threads_.size() <= 1)
+        return 0;
+
+    bool cold = rng_.chance(profile_.coldSwitchFraction);
+    std::size_t best = currentIdx_;
+    if (cold) {
+        // Wake the coldest thread.
+        std::uint64_t oldest = ~0ull;
+        for (std::size_t i = 0; i < threads_.size(); ++i) {
+            if (i != currentIdx_ && threads_[i].lastRun < oldest) {
+                oldest = threads_[i].lastRun;
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    // Pick among the hottest few other threads.
+    unsigned hot = std::min<unsigned>(
+        profile_.hotThreads,
+        static_cast<unsigned>(threads_.size() - 1));
+    std::vector<std::size_t> order;
+    order.reserve(threads_.size());
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (i != currentIdx_)
+            order.push_back(i);
+    }
+    std::partial_sort(order.begin(), order.begin() + hot,
+                      order.end(), [&](std::size_t a, std::size_t b) {
+                          return threads_[a].lastRun >
+                                 threads_[b].lastRun;
+                      });
+    return order[rng_.uniform(hot)];
+}
+
+void
+ParallelWorkload::emitInstr(sim::TraceEvent &ev)
+{
+    ThreadCtx &t = threads_[currentIdx_];
+
+    if (t.prologueLeft > 0) {
+        RegIndex dst =
+            t.workingSet[t.writtenCount % t.workingSet.size()];
+        std::uint8_t nsrc = 0;
+        RegIndex s0 = 0;
+        if (t.writtenCount > 0) {
+            nsrc = 1;
+            s0 = t.workingSet[rng_.uniform(t.writtenCount)];
+        }
+        ev = sim::TraceEvent::instr(
+            nsrc, s0, 0, true, dst,
+            rng_.chance(profile_.memRefFraction));
+        if (t.writtenCount < t.workingSet.size())
+            ++t.writtenCount;
+        --t.prologueLeft;
+        return;
+    }
+
+    unsigned written = std::max(1u, t.writtenCount);
+    auto pick = [&]() -> RegIndex {
+        if (t.writtenCount >= t.workingSet.size() &&
+            !t.phase.empty() && rng_.chance(0.92)) {
+            return t.phase[rng_.uniform(t.phase.size())];
+        }
+        return t.workingSet[rng_.uniform(written)];
+    };
+    std::uint8_t nsrc = rng_.chance(0.6) ? 2 : 1;
+    RegIndex s0 = pick();
+    RegIndex s1 = nsrc > 1 ? pick() : 0;
+    bool has_dst = rng_.chance(0.7);
+    RegIndex dst = 0;
+    if (has_dst) {
+        if (t.writtenCount < t.workingSet.size()) {
+            dst = t.workingSet[t.writtenCount];
+            ++t.writtenCount;
+        } else {
+            dst = pick();
+        }
+    }
+    ev = sim::TraceEvent::instr(nsrc, s0, s1, has_dst, dst,
+                                rng_.chance(profile_.memRefFraction));
+}
+
+void
+ParallelWorkload::scheduleNext()
+{
+    ThreadCtx &cur = threads_[currentIdx_];
+    bool dying = cur.remainingLife == 0 && threads_.size() > 1;
+
+    if (threads_.size() == 1 && !dying) {
+        // A lone thread cannot switch away; give it another phase
+        // of work.
+        if (cur.remainingLife == 0)
+            cur.remainingLife = rng_.geometric(profile_.threadLifetime);
+        runLeft_ = rng_.geometric(profile_.instrPerSwitch);
+        return;
+    }
+
+    std::size_t next_idx = pickNextIndex();
+
+    if (threads_.size() > 1) {
+        pending_.push_back(sim::TraceEvent::marker(
+            sim::EventKind::Switch, threads_[next_idx].handle));
+    }
+
+    if (dying) {
+        sim::CtxHandle dead = cur.handle;
+        pending_.push_back(sim::TraceEvent::marker(
+            sim::EventKind::Terminate, dead));
+        std::size_t dead_idx = currentIdx_;
+        threads_.erase(threads_.begin() +
+                       static_cast<std::ptrdiff_t>(dead_idx));
+        if (next_idx > dead_idx)
+            --next_idx;
+
+        // Keep the pool near its target concurrency: most deaths
+        // spawn a replacement, occasionally none (a phase of lower
+        // parallelism), and when the pool has dipped below target a
+        // finishing thread forks extra work — the restoring force
+        // that keeps long traces from decaying to one thread.
+        unsigned births =
+            rng_.chance(profile_.respawnProbability) ? 1 : 0;
+        if (threads_.size() < profile_.targetThreads &&
+            rng_.chance(0.35)) {
+            ++births;
+        }
+        for (unsigned b = 0;
+             b < births && threads_.size() < profile_.targetThreads;
+             ++b) {
+            ThreadCtx t = makeThread();
+            pending_.push_back(sim::TraceEvent::marker(
+                sim::EventKind::Spawn, t.handle));
+            threads_.push_back(std::move(t));
+        }
+    }
+
+    currentIdx_ = next_idx % threads_.size();
+    ThreadCtx &next_thread = threads_[currentIdx_];
+    next_thread.lastRun = ++runStamp_;
+    refreshPhase(next_thread);
+    runLeft_ = rng_.geometric(profile_.instrPerSwitch);
+}
+
+bool
+ParallelWorkload::next(sim::TraceEvent &ev)
+{
+    if (done_)
+        return false;
+
+    if (!pending_.empty()) {
+        ev = pending_.front();
+        pending_.pop_front();
+        ++emitted_;
+        return true;
+    }
+
+    if (emitted_ >= maxEvents_) {
+        ev = sim::TraceEvent::marker(sim::EventKind::End);
+        done_ = true;
+        return true;
+    }
+
+    if (runLeft_ == 0 ||
+        threads_[currentIdx_].remainingLife == 0) {
+        scheduleNext();
+        if (!pending_.empty()) {
+            ev = pending_.front();
+            pending_.pop_front();
+            ++emitted_;
+            return true;
+        }
+        // Lone-thread case: fall through and keep executing.
+    }
+
+    ThreadCtx &t = threads_[currentIdx_];
+    emitInstr(ev);
+    if (runLeft_ > 0)
+        --runLeft_;
+    if (t.remainingLife > 0)
+        --t.remainingLife;
+    ++emitted_;
+    return true;
+}
+
+} // namespace nsrf::workload

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Synthetic parallel workload: a block-multithreaded thread pool.
+ *
+ * Models the paper's TAM-translated Id programs (§7): threads carry
+ * 18-22 live registers in 32-register contexts (the translator folds
+ * thread locals into the context without lifetime analysis), run for
+ * ~instrPerSwitch instructions between data-dependent suspension
+ * points (message sends, synchronization), and are replaced by newly
+ * spawned threads as they finish.  Programs like AS and Wavefront
+ * that "spawn very few parallel threads" get a small pool; Gamteb
+ * switches every 16 instructions across a dozen threads.
+ */
+
+#ifndef NSRF_WORKLOAD_PARALLEL_HH
+#define NSRF_WORKLOAD_PARALLEL_HH
+
+#include <deque>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/sim/trace.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace nsrf::workload
+{
+
+/** Thread-pool trace generator. */
+class ParallelWorkload : public sim::TraceGenerator
+{
+  public:
+    /**
+     * @param profile    calibration (must be a parallel profile)
+     * @param max_events trace length; 0 = profile's scaled length
+     */
+    explicit ParallelWorkload(const BenchmarkProfile &profile,
+                              std::uint64_t max_events = 0);
+
+    bool next(sim::TraceEvent &ev) override;
+    void reset() override;
+
+  private:
+    struct ThreadCtx
+    {
+        sim::CtxHandle handle;
+        std::vector<RegIndex> workingSet;
+        unsigned writtenCount = 0;
+        unsigned prologueLeft = 0;
+        std::uint64_t remainingLife; //!< instructions until done
+        /** Registers this run quantum concentrates on. */
+        std::vector<RegIndex> phase;
+        /** Recency stamp for hot/cold victim selection. */
+        std::uint64_t lastRun = 0;
+    };
+
+    void start();
+    ThreadCtx makeThread();
+    void emitInstr(sim::TraceEvent &ev);
+    void refreshPhase(ThreadCtx &t);
+    /** Queue the switch (and possible terminate/spawn) sequence. */
+    void scheduleNext();
+    /** Pick the thread to run next (hot/cold policy). */
+    std::size_t pickNextIndex();
+
+    BenchmarkProfile profile_;
+    std::uint64_t maxEvents_;
+    Random rng_;
+    std::vector<ThreadCtx> threads_;
+    std::size_t currentIdx_ = 0;
+    sim::CtxHandle nextHandle_ = 0;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t runLeft_ = 0; //!< instructions before next switch
+    std::uint64_t runStamp_ = 0;
+    bool done_ = false;
+    std::deque<sim::TraceEvent> pending_;
+};
+
+} // namespace nsrf::workload
+
+#endif // NSRF_WORKLOAD_PARALLEL_HH

@@ -1,0 +1,138 @@
+#include "nsrf/workload/profile.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::workload
+{
+
+namespace
+{
+
+BenchmarkProfile
+sequential(const std::string &name, std::uint32_t src,
+           std::uint32_t stat, std::uint64_t exec, double per_switch,
+           double depth, double spread, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.parallel = false;
+    p.sourceLines = src;
+    p.staticInstructions = stat;
+    p.executedInstructions = exec;
+    p.tableInstrPerSwitch = per_switch;
+    p.regsPerContext = 20;
+    p.avgLiveRegs = 9.5;   // §7.1.1: 8-10 active registers/procedure
+    p.liveRegsSpread = 2;
+    p.meanCallDepth = depth;
+    p.depthSpread = spread;
+    p.instrPerSwitch = per_switch;
+    p.memRefFraction = 0.30;
+    // A procedure's register allocator only keeps hot values in
+    // registers, so nearly the whole working set is referenced
+    // between calls.
+    p.phaseRegs = 7;
+    p.phaseLength = 45;
+    p.seed = seed;
+    return p;
+}
+
+BenchmarkProfile
+parallel(const std::string &name, std::uint32_t src,
+         std::uint32_t stat, std::uint64_t exec, double per_switch,
+         unsigned threads, double lifetime, double cold,
+         std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.parallel = true;
+    p.sourceLines = src;
+    p.staticInstructions = stat;
+    p.executedInstructions = exec;
+    p.tableInstrPerSwitch = per_switch;
+    p.regsPerContext = 32;
+    p.avgLiveRegs = 20;  // §7.1.1: 18-22 active registers/context
+    p.liveRegsSpread = 2;
+    p.instrPerSwitch = per_switch;
+    p.targetThreads = threads;
+    p.threadLifetime = lifetime;
+    p.coldSwitchFraction = cold;
+    p.memRefFraction = 0.35;
+    p.seed = seed;
+    return p;
+}
+
+const std::vector<BenchmarkProfile> &
+table()
+{
+    // Columns 2-5 are Table 1 verbatim; call-depth and thread-pool
+    // parameters are the calibration described in profile.hh.
+    static const std::vector<BenchmarkProfile> benchmarks = {
+        sequential("GateSim", 51032, 76009, 487'779'328, 39,
+                   8.5, 2, 101),
+        sequential("RTLSim", 30748, 46000, 54'055'907, 63,
+                   8.5, 2, 102),
+        sequential("ZipFile", 11148, 12400, 1'898'553, 53,
+                   8, 2, 103),
+        parallel("AS", 52, 1096, 265'158, 18940, 3, 60000, 0.5,
+                 201),
+        parallel("DTW", 104, 2213, 2'927'701, 421, 7, 8000, 0.25,
+                 202),
+        parallel("Gamteb", 653, 10721, 1'386'805, 16, 7, 3000, 0.06,
+                 203),
+        parallel("Paraffins", 175, 5016, 464'770, 76, 7, 4000, 0.10,
+                 204),
+        parallel("Quicksort", 40, 1137, 104'284, 20, 7, 2500, 0.10,
+                 205),
+        parallel("Wavefront", 109, 1425, 2'202'186, 8280, 3, 40000,
+                 0.5, 206),
+    };
+    return benchmarks;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+paperBenchmarks()
+{
+    return table();
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : table()) {
+        if (p.name == name)
+            return p;
+    }
+    nsrf_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<BenchmarkProfile>
+sequentialBenchmarks()
+{
+    std::vector<BenchmarkProfile> out;
+    std::copy_if(table().begin(), table().end(),
+                 std::back_inserter(out),
+                 [](const auto &p) { return !p.parallel; });
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+parallelBenchmarks()
+{
+    std::vector<BenchmarkProfile> out;
+    std::copy_if(table().begin(), table().end(),
+                 std::back_inserter(out),
+                 [](const auto &p) { return p.parallel; });
+    return out;
+}
+
+std::uint64_t
+scaledRunLength(const BenchmarkProfile &profile, std::uint64_t cap)
+{
+    return std::min(profile.executedInstructions, cap);
+}
+
+} // namespace nsrf::workload

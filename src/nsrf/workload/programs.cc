@@ -1,0 +1,496 @@
+#include "nsrf/workload/programs.hh"
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::workload::programs
+{
+
+// Calling convention used by all programs:
+//   - the caller CTXNEWs a context, XSTs arguments into its r1..,
+//     and CTXCALLs it (hardware fills callee r30 = caller CID,
+//     r31 = return PC);
+//   - the callee XSTs results into the caller's context through r30
+//     and RETs (freeing its own activation).
+
+const char *const fibSource = R"(
+; fib(n) with one context per activation.
+; arg: r1 = n.  result: written to caller's r2.
+fib:
+    li      r3, 2
+    blt     r1, r3, fib_base
+    addi    r5, r1, -1
+    ctxnew  r6
+    xst     r5, r6, 1
+    ctxcall r6, fib
+    addi    r7, r2, 0          ; save fib(n-1)
+    addi    r5, r1, -2
+    ctxnew  r6
+    xst     r5, r6, 1
+    ctxcall r6, fib
+    add     r9, r7, r2
+    xst     r9, r30, 2
+    ret
+fib_base:
+    xst     r1, r30, 2         ; fib(0)=0, fib(1)=1
+    ret
+
+main:
+    li      r1, 12
+    ctxnew  r6
+    xst     r1, r6, 1
+    ctxcall r6, fib
+    li      r3, 0x100
+    st      r2, 0(r3)
+    halt
+.entry main
+)";
+
+const char *const quicksortSource = R"(
+; In-place Lomuto quicksort over word addresses [r1, r2].
+qsort:
+    bge     r1, r2, qs_done
+    addi    r3, r1, -4         ; i = lo - 4
+    ld      r4, 0(r2)          ; pivot = A[hi]
+    addi    r5, r1, 0          ; j = lo
+qs_loop:
+    bge     r5, r2, qs_after
+    ld      r6, 0(r5)
+    bge     r6, r4, qs_skip
+    addi    r3, r3, 4
+    ld      r7, 0(r3)
+    st      r6, 0(r3)
+    st      r7, 0(r5)
+qs_skip:
+    addi    r5, r5, 4
+    jmp     qs_loop
+qs_after:
+    addi    r3, r3, 4          ; p = i + 4
+    ld      r7, 0(r3)
+    ld      r8, 0(r2)
+    st      r8, 0(r3)
+    st      r7, 0(r2)
+    addi    r9, r3, -4         ; qsort(lo, p-4)
+    ctxnew  r10
+    xst     r1, r10, 1
+    xst     r9, r10, 2
+    ctxcall r10, qsort
+    addi    r9, r3, 4          ; qsort(p+4, hi)
+    ctxnew  r10
+    xst     r9, r10, 1
+    xst     r2, r10, 2
+    ctxcall r10, qsort
+qs_done:
+    ret
+
+main:
+    li      r0, 0
+    li      r1, 0x400          ; array base
+    li      r2, 64             ; element count
+    addi    r3, r1, 0
+    addi    r4, r2, 0
+fill:
+    beq     r4, r0, fill_done
+    mul     r5, r4, r4         ; scrambled values
+    andi    r5, r5, 1023
+    st      r5, 0(r3)
+    addi    r3, r3, 4
+    addi    r4, r4, -1
+    jmp     fill
+fill_done:
+    addi    r5, r2, -1
+    li      r6, 4
+    mul     r5, r5, r6
+    add     r5, r1, r5         ; hi = base + (n-1)*4
+    ctxnew  r7
+    xst     r1, r7, 1
+    xst     r5, r7, 2
+    ctxcall r7, qsort
+    halt
+.entry main
+)";
+
+const char *const hanoiSource = R"(
+; hanoi(n, from, to, via); counts moves at 0x200.
+hanoi:
+    li      r5, 1
+    blt     r1, r5, h_done
+    beq     r1, r5, h_move
+    addi    r6, r1, -1         ; hanoi(n-1, from, via, to)
+    ctxnew  r7
+    xst     r6, r7, 1
+    xst     r2, r7, 2
+    xst     r4, r7, 3
+    xst     r3, r7, 4
+    ctxcall r7, hanoi
+    li      r8, 0x200          ; move the big disc
+    ld      r9, 0(r8)
+    addi    r9, r9, 1
+    st      r9, 0(r8)
+    addi    r6, r1, -1         ; hanoi(n-1, via, to, from)
+    ctxnew  r7
+    xst     r6, r7, 1
+    xst     r4, r7, 2
+    xst     r3, r7, 3
+    xst     r2, r7, 4
+    ctxcall r7, hanoi
+    ret
+h_move:
+    li      r8, 0x200
+    ld      r9, 0(r8)
+    addi    r9, r9, 1
+    st      r9, 0(r8)
+    ret
+h_done:
+    ret
+
+main:
+    li      r1, 7
+    li      r2, 1
+    li      r3, 3
+    li      r4, 2
+    ctxnew  r5
+    xst     r1, r5, 1
+    xst     r2, r5, 2
+    xst     r3, r5, 3
+    xst     r4, r5, 4
+    ctxcall r5, hanoi
+    halt
+.entry main
+)";
+
+const char *const parallelSumSource = R"(
+; Fork-join sum of 32 words at 0x400 by 4 worker threads.
+; worker args: r1 = chunk base, r2 = count, r3 = sync address,
+;              r4 = result slot.
+worker:
+    li      r5, 0              ; sum
+    addi    r6, r1, 0          ; ptr
+    addi    r7, r2, 0          ; remaining
+    li      r8, 0
+w_loop:
+    beq     r7, r8, w_done
+    remote  r9, 0(r6)          ; remote fetch: blocks this thread
+    add     r5, r5, r9
+    addi    r6, r6, 4
+    addi    r7, r7, -1
+    jmp     w_loop
+w_done:
+    st      r5, 0(r4)
+    syncsig r3
+    exit
+
+main:
+    li      r0, 0
+    li      r10, 0x300         ; sync variable
+    li      r11, 0x340         ; result slots
+    li      r1, 0x400          ; first chunk
+    li      r2, 8              ; words per chunk
+    li      r12, 4             ; workers
+    li      r3, 32             ; seed the data: A[i] = i+1
+    li      r4, 0x400
+    li      r5, 1
+m_fill:
+    beq     r3, r0, m_spawn
+    st      r5, 0(r4)
+    addi    r4, r4, 4
+    addi    r5, r5, 1
+    addi    r3, r3, -1
+    jmp     m_fill
+m_spawn:
+    beq     r12, r0, m_wait
+    spawn   r6, worker
+    xst     r1, r6, 1
+    xst     r2, r6, 2
+    xst     r10, r6, 3
+    xst     r11, r6, 4
+    li      r7, 32
+    add     r1, r1, r7
+    addi    r11, r11, 4
+    addi    r12, r12, -1
+    jmp     m_spawn
+m_wait:
+    li      r12, 4
+m_join:
+    beq     r12, r0, m_sum
+    syncwait r10
+    addi    r12, r12, -1
+    jmp     m_join
+m_sum:
+    li      r11, 0x340
+    li      r12, 4
+    li      r13, 0
+m_acc:
+    beq     r12, r0, m_end
+    ld      r14, 0(r11)
+    add     r13, r13, r14
+    addi    r11, r11, 4
+    addi    r12, r12, -1
+    jmp     m_acc
+m_end:
+    li      r15, 0x380
+    st      r13, 0(r15)
+    halt
+.entry main
+)";
+
+const char *const nqueensSource = R"(
+; N-queens (N=6) by recursive backtracking, one context per row.
+; arg: r1 = row.  columns at 0x500, solution count at 0x600.
+nq:
+    li      r2, 6
+    bne     r1, r2, nq_try
+    li      r3, 0x600          ; row == N: one more solution
+    ld      r4, 0(r3)
+    addi    r4, r4, 1
+    st      r4, 0(r3)
+    ret
+nq_try:
+    li      r5, 0              ; col = 0
+nq_loop:
+    li      r2, 6
+    bge     r5, r2, nq_done
+    li      r6, 0              ; i = 0: check rows above
+nq_chk:
+    bge     r6, r1, nq_place
+    li      r7, 0x500
+    slli    r8, r6, 2
+    add     r8, r7, r8
+    ld      r9, 0(r8)          ; column of row i
+    beq     r9, r5, nq_next    ; same column
+    sub     r10, r9, r5
+    li      r11, 0
+    bge     r10, r11, nq_abs
+    sub     r10, r11, r10      ; |c_i - col|
+nq_abs:
+    sub     r12, r1, r6        ; row - i
+    beq     r10, r12, nq_next  ; diagonal conflict
+    addi    r6, r6, 1
+    jmp     nq_chk
+nq_place:
+    li      r7, 0x500
+    slli    r8, r1, 2
+    add     r8, r7, r8
+    st      r5, 0(r8)
+    addi    r13, r1, 1         ; recurse on the next row
+    ctxnew  r14
+    xst     r13, r14, 1
+    ctxcall r14, nq
+nq_next:
+    addi    r5, r5, 1
+    jmp     nq_loop
+nq_done:
+    ret
+
+main:
+    li      r1, 0
+    ctxnew  r2
+    xst     r1, r2, 1
+    ctxcall r2, nq
+    halt
+.entry main
+)";
+
+const char *const pipelineSource = R"(
+; Three-stage pipeline chained through counting sync variables:
+; producer -> (P) -> filter -> (Q) -> consumer -> (DONE) -> main.
+; 16 items; consumer checksum (2 * sum 1..16 = 272) at 0x700.
+producer:
+    li      r1, 0x740          ; stage-1 buffer
+    li      r2, 1              ; value
+    li      r3, 16             ; remaining
+    li      r4, 0x720          ; sem P
+p_loop:
+    li      r5, 0
+    beq     r3, r5, p_done
+    st      r2, 0(r1)
+    syncsig r4
+    addi    r1, r1, 4
+    addi    r2, r2, 1
+    addi    r3, r3, -1
+    yield
+    jmp     p_loop
+p_done:
+    exit
+
+filter:
+    li      r1, 0x740
+    li      r2, 0x780          ; stage-2 buffer
+    li      r3, 16
+    li      r4, 0x720          ; P
+    li      r5, 0x724          ; Q
+f_loop:
+    li      r6, 0
+    beq     r3, r6, f_done
+    syncwait r4
+    ld      r7, 0(r1)
+    add     r7, r7, r7         ; the "filter": double it
+    st      r7, 0(r2)
+    syncsig r5
+    addi    r1, r1, 4
+    addi    r2, r2, 4
+    addi    r3, r3, -1
+    jmp     f_loop
+f_done:
+    exit
+
+consumer:
+    li      r1, 0x780
+    li      r2, 0              ; checksum
+    li      r3, 16
+    li      r5, 0x724          ; Q
+    li      r8, 0x728          ; DONE
+c_loop:
+    li      r6, 0
+    beq     r3, r6, c_done
+    syncwait r5
+    ld      r7, 0(r1)
+    add     r2, r2, r7
+    addi    r1, r1, 4
+    addi    r3, r3, -1
+    jmp     c_loop
+c_done:
+    li      r9, 0x700
+    st      r2, 0(r9)
+    syncsig r8
+    exit
+
+main:
+    spawn   r1, producer
+    spawn   r2, filter
+    spawn   r3, consumer
+    li      r4, 0x728
+    syncwait r4
+    halt
+.entry main
+)";
+
+const char *const matmulSource = R"(
+; C = A x B for 4x4 matrices, one worker thread per result row.
+; A at 0xA00 (A[i][j] = i+j+1), B = 2*I at 0xA40, C at 0xA80.
+; worker arg: r1 = row index.
+worker:
+    li      r2, 0xA00          ; A
+    li      r3, 0xA40          ; B
+    li      r4, 0xA80          ; C
+    slli    r5, r1, 4
+    add     r5, r2, r5         ; &A[row][0]
+    slli    r6, r1, 4
+    add     r6, r4, r6         ; &C[row][0]
+    li      r7, 0              ; j
+w_col:
+    li      r8, 4
+    bge     r7, r8, w_done
+    li      r9, 0              ; acc
+    li      r10, 0             ; k
+w_k:
+    bge     r10, r8, w_store
+    slli    r11, r10, 2
+    add     r11, r5, r11
+    ld      r12, 0(r11)        ; A[row][k]
+    slli    r13, r10, 4
+    add     r13, r3, r13
+    slli    r14, r7, 2
+    add     r14, r13, r14
+    ld      r15, 0(r14)        ; B[k][j]
+    mul     r16, r12, r15
+    add     r9, r9, r16
+    addi    r10, r10, 1
+    jmp     w_k
+w_store:
+    slli    r11, r7, 2
+    add     r11, r6, r11
+    st      r9, 0(r11)
+    addi    r7, r7, 1
+    jmp     w_col
+w_done:
+    li      r17, 0xAC0         ; row-done sync variable
+    syncsig r17
+    exit
+
+main:
+    li      r0, 0
+    li      r1, 0xA00          ; A[i][j] = i + j + 1
+    li      r2, 0
+m_i:
+    li      r3, 4
+    bge     r2, r3, m_b
+    li      r4, 0
+m_j:
+    bge     r4, r3, m_inext
+    add     r5, r2, r4
+    addi    r5, r5, 1
+    slli    r6, r2, 4
+    slli    r7, r4, 2
+    add     r6, r6, r7
+    add     r8, r1, r6
+    st      r5, 0(r8)
+    addi    r4, r4, 1
+    jmp     m_j
+m_inext:
+    addi    r2, r2, 1
+    jmp     m_i
+m_b:
+    li      r1, 0xA40          ; B = 2 * identity
+    li      r2, 0
+m_bi:
+    li      r3, 4
+    bge     r2, r3, m_spawn
+    slli    r6, r2, 4
+    slli    r7, r2, 2
+    add     r6, r6, r7
+    add     r8, r1, r6
+    li      r5, 2
+    st      r5, 0(r8)
+    addi    r2, r2, 1
+    jmp     m_bi
+m_spawn:
+    li      r9, 0
+m_sp:
+    li      r3, 4
+    bge     r9, r3, m_wait
+    spawn   r10, worker
+    xst     r9, r10, 1
+    addi    r9, r9, 1
+    jmp     m_sp
+m_wait:
+    li      r11, 0xAC0
+    li      r12, 4
+m_w:
+    li      r13, 0
+    beq     r12, r13, m_chk
+    syncwait r11
+    addi    r12, r12, -1
+    jmp     m_w
+m_chk:
+    li      r1, 0xA80          ; checksum C
+    li      r2, 16
+    li      r3, 0
+m_c:
+    li      r4, 0
+    beq     r2, r4, m_out
+    ld      r5, 0(r1)
+    add     r3, r3, r5
+    addi    r1, r1, 4
+    addi    r2, r2, -1
+    jmp     m_c
+m_out:
+    li      r6, 0xB00
+    st      r3, 0(r6)
+    halt
+.entry main
+)";
+
+assembler::Program
+assembleOrDie(const std::string &source)
+{
+    assembler::Assembler as;
+    assembler::Program program = as.assemble(source);
+    if (!as.ok()) {
+        for (const auto &e : as.errors())
+            nsrf_warn("asm:%d: %s", e.line, e.message.c_str());
+        nsrf_fatal("workload program failed to assemble");
+    }
+    return program;
+}
+
+} // namespace nsrf::workload::programs

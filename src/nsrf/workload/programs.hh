@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Real SRISC programs used by examples, tests, and the
+ * synthetic-vs-real validation bench.
+ *
+ * Each program allocates a fresh context per procedure activation
+ * (CTXNEW + CTXCALL/RET) or per thread (SPAWN), exactly the
+ * programming model the paper's §4.3 describes, so running them on
+ * the cycle-level processor exercises the full named-state
+ * machinery end to end.
+ */
+
+#ifndef NSRF_WORKLOAD_PROGRAMS_HH
+#define NSRF_WORKLOAD_PROGRAMS_HH
+
+#include <string>
+
+#include "nsrf/asm/assembler.hh"
+
+namespace nsrf::workload::programs
+{
+
+/** Recursive Fibonacci; leaves fib(n) in memory at resultAddr. */
+extern const char *const fibSource;
+
+/** In-place recursive quicksort of a 64-word array at 0x400. */
+extern const char *const quicksortSource;
+
+/** Towers of Hanoi; move count accumulates at 0x200. */
+extern const char *const hanoiSource;
+
+/**
+ * Fork-join parallel sum: four worker threads stream their chunks
+ * with REMOTE accesses and signal a sync variable; the main thread
+ * joins and stores the total at 0x380.
+ */
+extern const char *const parallelSumSource;
+
+/**
+ * N-queens (N=6) by recursive backtracking, one context per
+ * partial placement; solution count lands at 0x600.
+ */
+extern const char *const nqueensSource;
+
+/**
+ * A three-stage producer/filter/consumer pipeline chained through
+ * sync variables; the consumer's checksum lands at 0x700.
+ */
+extern const char *const pipelineSource;
+
+/**
+ * 4x4 matrix multiply (C = A x 2I) with one worker thread per
+ * result row; the checksum of C lands at 0xB00.
+ */
+extern const char *const matmulSource;
+
+/** Where fibSource leaves its result. */
+inline constexpr Addr fibResultAddr = 0x100;
+
+/** Where quicksortSource's array lives (64 words). */
+inline constexpr Addr quicksortArrayAddr = 0x400;
+inline constexpr unsigned quicksortArrayLen = 64;
+
+/** Where hanoiSource counts moves. */
+inline constexpr Addr hanoiCounterAddr = 0x200;
+
+/** Where parallelSumSource stores the total. */
+inline constexpr Addr parallelSumResultAddr = 0x380;
+
+/** Where nqueensSource stores the solution count (N=6 -> 4). */
+inline constexpr Addr nqueensResultAddr = 0x600;
+inline constexpr Word nqueensExpected = 4;
+
+/** Where pipelineSource stores its checksum. */
+inline constexpr Addr pipelineResultAddr = 0x700;
+
+/** Where matmulSource stores its checksum (2 * sum(A) = 128). */
+inline constexpr Addr matmulResultAddr = 0xB00;
+inline constexpr Word matmulExpected = 128;
+
+/** Assemble @p source, aborting with diagnostics on error. */
+assembler::Program assembleOrDie(const std::string &source);
+
+} // namespace nsrf::workload::programs
+
+#endif // NSRF_WORKLOAD_PROGRAMS_HH

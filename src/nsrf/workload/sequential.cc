@@ -1,0 +1,209 @@
+#include "nsrf/workload/sequential.hh"
+
+#include <algorithm>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::workload
+{
+
+SequentialWorkload::SequentialWorkload(
+    const BenchmarkProfile &profile, std::uint64_t max_events)
+    : profile_(profile),
+      maxEvents_(max_events ? max_events : scaledRunLength(profile)),
+      rng_(profile.seed)
+{
+    nsrf_assert(!profile.parallel,
+                "SequentialWorkload needs a sequential profile");
+    pushActivation();
+}
+
+void
+SequentialWorkload::reset()
+{
+    rng_.seed(profile_.seed);
+    stack_.clear();
+    pending_.clear();
+    nextHandle_ = 0;
+    emitted_ = 0;
+    burstLeft_ = 0;
+    done_ = false;
+    pushActivation();
+}
+
+unsigned
+SequentialWorkload::sampleWorkingSetSize()
+{
+    auto lo = static_cast<std::int64_t>(profile_.avgLiveRegs -
+                                        profile_.liveRegsSpread);
+    auto hi = static_cast<std::int64_t>(profile_.avgLiveRegs +
+                                        profile_.liveRegsSpread);
+    lo = std::max<std::int64_t>(lo, 2);
+    hi = std::min<std::int64_t>(hi, profile_.regsPerContext);
+    return static_cast<unsigned>(rng_.uniformRange(lo, hi));
+}
+
+void
+SequentialWorkload::pushActivation()
+{
+    Activation act;
+    act.handle = nextHandle_++;
+
+    // The register allocator packs a procedure's live values into
+    // the low registers of its context.
+    unsigned ws = sampleWorkingSetSize();
+    act.workingSet.resize(ws);
+    for (unsigned i = 0; i < ws; ++i)
+        act.workingSet[i] = i;
+
+    // Arguments plus early locals are written up front.
+    act.prologueLeft =
+        std::max<unsigned>(2, static_cast<unsigned>(ws * 0.4));
+
+    pending_.push_back(sim::TraceEvent::marker(
+        sim::EventKind::Call, act.handle));
+    stack_.push_back(std::move(act));
+}
+
+void
+SequentialWorkload::refreshPhase(Activation &act)
+{
+    // Code touches a handful of its live registers at a time; the
+    // phase set is what an activation actually references until the
+    // next phase change or resumption.
+    act.phase.clear();
+    unsigned ws = static_cast<unsigned>(act.workingSet.size());
+    unsigned psize = std::min(
+        ws, profile_.phaseRegs +
+                static_cast<unsigned>(rng_.uniform(3)));
+    for (unsigned i = 0; i < psize; ++i)
+        act.phase.push_back(act.workingSet[rng_.uniform(ws)]);
+    act.phaseLeft = rng_.geometric(profile_.phaseLength);
+}
+
+void
+SequentialWorkload::emitInstr(sim::TraceEvent &ev)
+{
+    Activation &act = stack_.back();
+
+    if (act.prologueLeft > 0) {
+        // Prologue: write the next not-yet-written register.
+        RegIndex dst = act.workingSet[act.writtenCount %
+                                      act.workingSet.size()];
+        std::uint8_t nsrc = 0;
+        RegIndex s0 = 0;
+        if (act.writtenCount > 0) {
+            nsrc = 1;
+            s0 = act.workingSet[rng_.uniform(act.writtenCount)];
+        }
+        ev = sim::TraceEvent::instr(
+            nsrc, s0, 0, true, dst,
+            rng_.chance(profile_.memRefFraction));
+        if (act.writtenCount < act.workingSet.size())
+            ++act.writtenCount;
+        --act.prologueLeft;
+        return;
+    }
+
+    // Body: read one or two registers, usually write one.  Until
+    // the working set is fully written, writes claim fresh
+    // registers; afterwards references concentrate on the phase
+    // set.
+    if (act.phaseLeft == 0)
+        refreshPhase(act);
+    --act.phaseLeft;
+
+    unsigned written = std::max(1u, act.writtenCount);
+    auto pick = [&]() -> RegIndex {
+        if (act.writtenCount >= act.workingSet.size() &&
+            !act.phase.empty() && rng_.chance(0.92)) {
+            return act.phase[rng_.uniform(act.phase.size())];
+        }
+        return act.workingSet[rng_.uniform(written)];
+    };
+    std::uint8_t nsrc = rng_.chance(0.6) ? 2 : 1;
+    RegIndex s0 = pick();
+    RegIndex s1 = nsrc > 1 ? pick() : 0;
+    bool has_dst = rng_.chance(0.7);
+    RegIndex dst = 0;
+    if (has_dst) {
+        if (act.writtenCount < act.workingSet.size()) {
+            dst = act.workingSet[act.writtenCount];
+            ++act.writtenCount;
+        } else {
+            dst = pick();
+        }
+    }
+    ev = sim::TraceEvent::instr(nsrc, s0, s1, has_dst, dst,
+                                rng_.chance(profile_.memRefFraction));
+}
+
+bool
+SequentialWorkload::next(sim::TraceEvent &ev)
+{
+    if (done_)
+        return false;
+
+    if (!pending_.empty()) {
+        ev = pending_.front();
+        pending_.pop_front();
+        ++emitted_;
+        return true;
+    }
+
+    if (emitted_ >= maxEvents_) {
+        ev = sim::TraceEvent::marker(sim::EventKind::End);
+        done_ = true;
+        return true;
+    }
+
+    // Every ~instrPerSwitch instructions the walk calls or returns.
+    if (rng_.chance(1.0 / profile_.instrPerSwitch)) {
+        double depth = static_cast<double>(stack_.size());
+        double p_call =
+            0.5 + (profile_.meanCallDepth - depth) /
+                      (2.0 * profile_.depthSpread);
+        p_call = std::clamp(p_call, 0.05, 0.95);
+        // Real call chains have a bounded depth: recursion bottoms
+        // out and loops call to a fixed depth.  Without the bound
+        // the geometric tail of the walk would blow past any
+        // register file size eventually.
+        if (depth >= profile_.meanCallDepth + 1.5)
+            p_call = 0.02;
+
+        // Rarely a deep recursive flurry (a library quicksort, a
+        // recursive-descent parse) pushes well past the usual
+        // depth.  These bursts are what generate the paper's tiny
+        // residual NSF spill traffic on sequential code.
+        if (burstLeft_ == 0 && rng_.chance(0.0002)) {
+            burstLeft_ =
+                3 + static_cast<unsigned>(rng_.uniform(3));
+        }
+        if (burstLeft_ > 0) {
+            --burstLeft_;
+            p_call = 1.0;
+        }
+
+        if (stack_.size() <= 1 || rng_.chance(p_call)) {
+            pushActivation();
+            ev = pending_.front();
+            pending_.pop_front();
+            ++emitted_;
+            return true;
+        }
+
+        stack_.pop_back();
+        // The resumed caller continues in a fresh code phase.
+        refreshPhase(stack_.back());
+        ev = sim::TraceEvent::marker(sim::EventKind::Return,
+                                     stack_.back().handle);
+        ++emitted_;
+        return true;
+    }
+
+    emitInstr(ev);
+    ++emitted_;
+    return true;
+}
+
+} // namespace nsrf::workload

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Synthetic sequential workload: a biased random walk over a call
+ * tree.
+ *
+ * Each procedure activation gets a fresh context (the paper's
+ * sequential compilation model, §4.3) with a working set of live
+ * registers drawn around the profile's average.  An activation
+ * first writes its arguments and locals (prologue), then issues
+ * compute instructions over its working set; every ~instrPerSwitch
+ * instructions it either calls (pushing a new activation) or
+ * returns (freeing its context), with the call probability biased
+ * so the walk oscillates around the profile's mean depth — the
+ * depth excursions past the segmented file's frame count are what
+ * generate its spill/reload traffic.
+ */
+
+#ifndef NSRF_WORKLOAD_SEQUENTIAL_HH
+#define NSRF_WORKLOAD_SEQUENTIAL_HH
+
+#include <deque>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/sim/trace.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace nsrf::workload
+{
+
+/** Call-tree random-walk trace generator. */
+class SequentialWorkload : public sim::TraceGenerator
+{
+  public:
+    /**
+     * @param profile    calibration (must be a sequential profile)
+     * @param max_events trace length; 0 = profile's scaled length
+     */
+    explicit SequentialWorkload(const BenchmarkProfile &profile,
+                                std::uint64_t max_events = 0);
+
+    bool next(sim::TraceEvent &ev) override;
+    void reset() override;
+
+  private:
+    struct Activation
+    {
+        sim::CtxHandle handle;
+        std::vector<RegIndex> workingSet;
+        /** Registers written so far (indices into workingSet). */
+        unsigned writtenCount = 0;
+        /** Prologue writes still owed. */
+        unsigned prologueLeft = 0;
+        /** The registers the current code phase concentrates on. */
+        std::vector<RegIndex> phase;
+        std::uint64_t phaseLeft = 0;
+    };
+
+    void pushActivation();
+    void emitInstr(sim::TraceEvent &ev);
+    void refreshPhase(Activation &act);
+    unsigned sampleWorkingSetSize();
+
+    BenchmarkProfile profile_;
+    std::uint64_t maxEvents_;
+    Random rng_;
+    std::vector<Activation> stack_;
+    sim::CtxHandle nextHandle_ = 0;
+    std::uint64_t emitted_ = 0;
+    /** Remaining forced calls of a deep-recursion burst. */
+    unsigned burstLeft_ = 0;
+    bool done_ = false;
+    /** Queued events (e.g. the Call marker before a prologue). */
+    std::deque<sim::TraceEvent> pending_;
+};
+
+} // namespace nsrf::workload
+
+#endif // NSRF_WORKLOAD_SEQUENTIAL_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Unit tests for the two-pass assembler: labels, directives,
+ * operand forms, branch offset computation, and diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/asm/assembler.hh"
+
+namespace nsrf::assembler
+{
+namespace
+{
+
+Program
+assembleOk(const std::string &source)
+{
+    Assembler as;
+    Program p = as.assemble(source);
+    EXPECT_TRUE(as.ok());
+    for (const auto &e : as.errors())
+        ADD_FAILURE() << "line " << e.line << ": " << e.message;
+    return p;
+}
+
+std::vector<AsmError>
+assembleFail(const std::string &source)
+{
+    Assembler as;
+    as.assemble(source);
+    EXPECT_FALSE(as.ok());
+    return as.errors();
+}
+
+TEST(Assembler, EmptySourceIsEmptyProgram)
+{
+    Program p = assembleOk("");
+    EXPECT_EQ(p.size(), 0u);
+    EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)
+{
+    Program p = assembleOk("; full line comment\n"
+                           "   # hash comment\n"
+                           "\n"
+                           "nop ; trailing\n");
+    EXPECT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.fetch(0).op, isa::Opcode::Nop);
+}
+
+TEST(Assembler, RTypeOperands)
+{
+    Program p = assembleOk("add r1, r2, r3\n");
+    auto in = p.fetch(0);
+    EXPECT_EQ(in.op, isa::Opcode::Add);
+    EXPECT_EQ(in.rd, 1u);
+    EXPECT_EQ(in.rs1, 2u);
+    EXPECT_EQ(in.rs2, 3u);
+}
+
+TEST(Assembler, ImmediateForms)
+{
+    Program p = assembleOk("addi r1, r2, -5\n"
+                           "li r3, 0x10\n"
+                           "lui r4, 255\n");
+    EXPECT_EQ(p.fetch(0).imm, -5);
+    EXPECT_EQ(p.fetch(1).imm, 16);
+    EXPECT_EQ(p.fetch(2).imm, 255);
+}
+
+TEST(Assembler, MemOperandSyntax)
+{
+    Program p = assembleOk("ld r1, 8(r2)\n"
+                           "st r3, -4(r4)\n"
+                           "ld r5, (r6)\n");
+    auto ld = p.fetch(0);
+    EXPECT_EQ(ld.rd, 1u);
+    EXPECT_EQ(ld.rs1, 2u);
+    EXPECT_EQ(ld.imm, 8);
+    EXPECT_EQ(p.fetch(1).imm, -4);
+    EXPECT_EQ(p.fetch(2).imm, 0);
+}
+
+TEST(Assembler, LabelsAndBranchOffsets)
+{
+    Program p = assembleOk("top:\n"
+                           "  nop\n"
+                           "  beq r1, r2, top\n"
+                           "  bne r1, r2, done\n"
+                           "done:\n"
+                           "  halt\n");
+    // beq at word 1 targets word 0: offset -2 (relative to pc+1).
+    EXPECT_EQ(p.fetch(1).imm, -2);
+    // bne at word 2 targets word 3: offset 0.
+    EXPECT_EQ(p.fetch(2).imm, 0);
+    EXPECT_EQ(p.symbols.at("top"), 0u);
+    EXPECT_EQ(p.symbols.at("done"), 3u);
+}
+
+TEST(Assembler, JumpTargetsAreAbsolute)
+{
+    Program p = assembleOk("nop\n"
+                           "func:\n"
+                           "  nop\n"
+                           "main:\n"
+                           "  jal r31, func\n"
+                           "  jmp main\n"
+                           ".entry main\n");
+    EXPECT_EQ(p.fetch(2).imm, 1);   // func at word 1
+    EXPECT_EQ(p.fetch(3).imm, 2);   // main at word 2
+    EXPECT_EQ(p.entry, 2u);
+}
+
+TEST(Assembler, MultipleLabelsOneLine)
+{
+    Program p = assembleOk("a: b: c: nop\n");
+    EXPECT_EQ(p.symbols.at("a"), 0u);
+    EXPECT_EQ(p.symbols.at("b"), 0u);
+    EXPECT_EQ(p.symbols.at("c"), 0u);
+}
+
+TEST(Assembler, LabelOnOwnLineBindsNextWord)
+{
+    Program p = assembleOk("nop\n"
+                           "here:\n"
+                           "nop\n");
+    EXPECT_EQ(p.symbols.at("here"), 1u);
+}
+
+TEST(Assembler, WordDirectiveEmitsData)
+{
+    Program p = assembleOk("data: .word 0x12345678\n"
+                           ".word -1\n");
+    EXPECT_EQ(p.code[0], 0x12345678u);
+    EXPECT_EQ(p.code[1], 0xffffffffu);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics)
+{
+    Program p = assembleOk("ADD r1, r2, r3\nNop\n");
+    EXPECT_EQ(p.fetch(0).op, isa::Opcode::Add);
+    EXPECT_EQ(p.fetch(1).op, isa::Opcode::Nop);
+}
+
+TEST(Assembler, ContextAndThreadOps)
+{
+    Program p = assembleOk("ctxnew r1\n"
+                           "xst r2, r1, 5\n"
+                           "ctxcall r1, 0\n"
+                           "ret\n"
+                           "spawn r3, 2\n"
+                           "syncwait r4\n"
+                           "regfree r5\n");
+    EXPECT_EQ(p.fetch(0).op, isa::Opcode::CtxNew);
+    auto xst = p.fetch(1);
+    EXPECT_EQ(xst.rd, 2u);
+    EXPECT_EQ(xst.rs1, 1u);
+    EXPECT_EQ(xst.imm, 5);
+    EXPECT_EQ(p.fetch(2).rs1, 1u);
+    EXPECT_EQ(p.fetch(4).op, isa::Opcode::Spawn);
+    EXPECT_EQ(p.fetch(6).rs1, 5u);
+}
+
+TEST(AssemblerErrors, UnknownMnemonic)
+{
+    auto errors = assembleFail("frobnicate r1\n");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].line, 1);
+    EXPECT_NE(errors[0].message.find("unknown mnemonic"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedLabel)
+{
+    auto errors = assembleFail("jmp nowhere\n");
+    EXPECT_NE(errors[0].message.find("undefined label"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel)
+{
+    auto errors = assembleFail("x: nop\nx: nop\n");
+    EXPECT_NE(errors[0].message.find("duplicate label"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount)
+{
+    auto errors = assembleFail("add r1, r2\n");
+    EXPECT_NE(errors[0].message.find("expects 3"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange)
+{
+    auto errors = assembleFail("add r1, r2, r32\n");
+    EXPECT_FALSE(errors.empty());
+}
+
+TEST(AssemblerErrors, NonRegisterWhereRegisterNeeded)
+{
+    auto errors = assembleFail("add r1, r2, 5\n");
+    EXPECT_NE(errors[0].message.find("must be a register"),
+              std::string::npos);
+}
+
+TEST(AssemblerErrors, ReportsLineNumbers)
+{
+    auto errors = assembleFail("nop\nnop\nbogus\n");
+    EXPECT_EQ(errors[0].line, 3);
+}
+
+TEST(AssemblerErrors, FailedAssemblyReturnsEmptyProgram)
+{
+    Assembler as;
+    Program p = as.assemble("bogus\n");
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Program, FetchPastEndPanics)
+{
+    Program p = assembleOk("nop\n");
+    EXPECT_DEATH(p.fetch(1), "past end");
+}
+
+TEST(Assembler, RoundTripThroughDisassembler)
+{
+    const char *source = "loop:\n"
+                         "  addi r1, r1, 1\n"
+                         "  slt r2, r1, r3\n"
+                         "  bne r2, r0, loop\n"
+                         "  halt\n";
+    Program p = assembleOk(source);
+    EXPECT_EQ(isa::disassemble(p.fetch(0)), "addi r1, r1, 1");
+    EXPECT_EQ(isa::disassemble(p.fetch(1)), "slt r2, r1, r3");
+    EXPECT_EQ(isa::disassemble(p.fetch(2)), "bne r2, r0, -3");
+    EXPECT_EQ(isa::disassemble(p.fetch(3)), "halt");
+}
+
+} // namespace
+} // namespace nsrf::assembler

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Accounting invariants for the baseline organizations (segmented,
+ * conventional, windowed) under stress, swept across geometries —
+ * the counterpart of test_nsf_invariants.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+struct BaselineCase
+{
+    std::string name;
+    RegFileConfig config;
+};
+
+std::vector<BaselineCase>
+baselineCases()
+{
+    std::vector<BaselineCase> cases;
+    for (unsigned frames : {2u, 4u, 8u}) {
+        for (bool valid : {false, true}) {
+            RegFileConfig c;
+            c.org = Organization::Segmented;
+            c.regsPerContext = 12;
+            c.totalRegs = frames * 12;
+            c.trackValid = valid;
+            cases.push_back({"seg_" + std::to_string(frames) +
+                                 (valid ? "f_valid" : "f_plain"),
+                             c});
+        }
+    }
+    for (unsigned windows : {2u, 4u, 8u}) {
+        RegFileConfig c;
+        c.org = Organization::Windowed;
+        c.regsPerContext = 12;
+        c.totalRegs = windows * 12;
+        c.windowSpillBatch = windows / 2 ? windows / 2 : 1;
+        cases.push_back(
+            {"win_" + std::to_string(windows) + "w", c});
+    }
+    {
+        RegFileConfig c;
+        c.org = Organization::Conventional;
+        c.regsPerContext = 12;
+        c.totalRegs = 12;
+        cases.push_back({"conventional", c});
+    }
+    return cases;
+}
+
+class BaselineInvariants
+    : public ::testing::TestWithParam<BaselineCase>
+{
+};
+
+TEST_P(BaselineInvariants, StressPreservesGoldenState)
+{
+    const auto &param = GetParam();
+    mem::MemorySystem memsys;
+    auto rf = makeRegisterFile(param.config, memsys);
+
+    Random rng(404);
+    std::map<ContextId, std::map<RegIndex, Word>> golden;
+    std::vector<ContextId> live;
+    std::vector<ContextId> free_cids;
+    for (ContextId c = 32; c-- > 0;)
+        free_cids.push_back(c);
+    Word next_value = 1;
+
+    auto check_counters = [&] {
+        const auto &s = rf->stats();
+        ASSERT_LE(s.liveRegsSpilled.value(),
+                  s.regsSpilled.value());
+        ASSERT_LE(s.liveRegsReloaded.value(),
+                  s.regsReloaded.value());
+        ASSERT_LE(s.switchMisses.value(),
+                  s.contextSwitches.value() + s.reads.value() +
+                      s.writes.value());
+        ASSERT_LE(s.activeRegs.max(),
+                  double(rf->totalRegs()) + 1e-9);
+    };
+
+    for (int step = 0; step < 12000; ++step) {
+        double roll = rng.real();
+        if (live.empty() ||
+            (roll < 0.06 && live.size() < 10 &&
+             !free_cids.empty())) {
+            ContextId cid = free_cids.back();
+            free_cids.pop_back();
+            rf->allocContext(cid, 0x200000 + cid * 0x100);
+            golden[cid];
+            live.push_back(cid);
+        } else if (roll < 0.45) {
+            ContextId cid = live[rng.uniform(live.size())];
+            RegIndex off = static_cast<RegIndex>(rng.uniform(12));
+            Word value = next_value++;
+            rf->write(cid, off, value);
+            golden[cid][off] = value;
+        } else if (roll < 0.85) {
+            ContextId cid = live[rng.uniform(live.size())];
+            auto &ctx = golden[cid];
+            if (ctx.empty())
+                continue;
+            auto it = ctx.begin();
+            std::advance(it, rng.uniform(ctx.size()));
+            Word v = 0;
+            rf->read(cid, it->first, v);
+            ASSERT_EQ(v, it->second)
+                << param.name << " step " << step;
+        } else if (roll < 0.92) {
+            rf->switchTo(live[rng.uniform(live.size())]);
+        } else if (roll < 0.96 && live.size() > 1) {
+            auto pos = rng.uniform(live.size());
+            ContextId dead = live[pos];
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+            rf->freeContext(dead);
+            golden.erase(dead);
+            free_cids.push_back(dead);
+        } else if (live.size() > 1) {
+            // Flush + immediate restore must be transparent.
+            auto pos = rng.uniform(live.size());
+            ContextId cid = live[pos];
+            rf->flushContext(cid);
+            rf->restoreContext(cid, 0x200000 + cid * 0x100);
+        }
+
+        if (step % 1000 == 0)
+            check_counters();
+    }
+
+    // Final readback of everything.
+    for (ContextId cid : live) {
+        for (const auto &[off, value] : golden[cid]) {
+            Word v = 0;
+            rf->read(cid, off, v);
+            ASSERT_EQ(v, value)
+                << param.name << " final ctx " << cid << " reg "
+                << off;
+        }
+    }
+    check_counters();
+}
+
+TEST_P(BaselineInvariants, SwitchStormNeverCorruptsState)
+{
+    const auto &param = GetParam();
+    mem::MemorySystem memsys;
+    auto rf = makeRegisterFile(param.config, memsys);
+
+    // Twice as many contexts as capacity, each with a signature.
+    const unsigned contexts = 2 * param.config.frames() + 2;
+    for (ContextId c = 0; c < contexts; ++c) {
+        rf->allocContext(c, 0x300000 + c * 0x100);
+        rf->switchTo(c);
+        for (RegIndex r = 0; r < 12; ++r)
+            rf->write(c, r, c * 1000 + r);
+    }
+
+    Random rng(55);
+    for (int i = 0; i < 3000; ++i) {
+        ContextId cid =
+            static_cast<ContextId>(rng.uniform(contexts));
+        rf->switchTo(cid);
+        RegIndex off = static_cast<RegIndex>(rng.uniform(12));
+        Word v = 0;
+        rf->read(cid, off, v);
+        ASSERT_EQ(v, cid * 1000 + off) << param.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BaselineInvariants,
+    ::testing::ValuesIn(baselineCases()),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace nsrf::regfile

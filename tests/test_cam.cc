@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the associative decoder and the replacement
+ * policies, including parameterized sweeps over policy kinds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/random.hh"
+
+namespace nsrf::cam
+{
+namespace
+{
+
+TEST(Decoder, StartsEmpty)
+{
+    AssociativeDecoder d(8);
+    EXPECT_EQ(d.size(), 8u);
+    EXPECT_EQ(d.validCount(), 0u);
+    EXPECT_FALSE(d.full());
+    EXPECT_EQ(d.match(1, 0), AssociativeDecoder::npos);
+}
+
+TEST(Decoder, ProgramThenMatch)
+{
+    AssociativeDecoder d(8);
+    d.program(3, 7, 16);
+    EXPECT_EQ(d.match(7, 16), 3u);
+    EXPECT_EQ(d.match(7, 17), AssociativeDecoder::npos);
+    EXPECT_EQ(d.match(8, 16), AssociativeDecoder::npos);
+    EXPECT_TRUE(d.lineValid(3));
+    EXPECT_EQ(d.tag(3).cid, 7u);
+    EXPECT_EQ(d.tag(3).lineOffset, 16u);
+}
+
+TEST(Decoder, FindFreeReturnsLowestLine)
+{
+    AssociativeDecoder d(4);
+    EXPECT_EQ(d.findFree(), 0u);
+    d.program(0, 1, 0);
+    EXPECT_EQ(d.findFree(), 1u);
+    d.program(1, 1, 1);
+    d.program(2, 1, 2);
+    d.program(3, 1, 3);
+    EXPECT_EQ(d.findFree(), AssociativeDecoder::npos);
+    EXPECT_TRUE(d.full());
+    d.invalidate(1);
+    EXPECT_EQ(d.findFree(), 1u);
+}
+
+TEST(Decoder, InvalidateFreesTheTag)
+{
+    AssociativeDecoder d(4);
+    d.program(2, 5, 8);
+    d.invalidate(2);
+    EXPECT_EQ(d.match(5, 8), AssociativeDecoder::npos);
+    EXPECT_FALSE(d.lineValid(2));
+    // Reprogramming the same tag elsewhere is now legal.
+    d.program(0, 5, 8);
+    EXPECT_EQ(d.match(5, 8), 0u);
+}
+
+TEST(Decoder, InvalidateIsIdempotent)
+{
+    AssociativeDecoder d(4);
+    d.program(1, 2, 3);
+    d.invalidate(1);
+    d.invalidate(1); // harmless
+    EXPECT_EQ(d.validCount(), 0u);
+    EXPECT_EQ(d.findFree(), 0u);
+}
+
+TEST(Decoder, DuplicateTagPanics)
+{
+    AssociativeDecoder d(4);
+    d.program(0, 1, 2);
+    EXPECT_DEATH(d.program(1, 1, 2), "duplicate tag");
+}
+
+TEST(Decoder, ProgramOccupiedLinePanics)
+{
+    AssociativeDecoder d(4);
+    d.program(0, 1, 2);
+    EXPECT_DEATH(d.program(0, 3, 4), "already programmed");
+}
+
+TEST(Decoder, InvalidateContextFreesAllItsLines)
+{
+    AssociativeDecoder d(8);
+    d.program(0, 1, 0);
+    d.program(1, 1, 4);
+    d.program(2, 2, 0);
+    d.program(5, 1, 8);
+    auto freed = d.invalidateContext(1);
+    EXPECT_EQ(freed.size(), 3u);
+    EXPECT_EQ(d.validCount(), 1u);
+    EXPECT_EQ(d.match(2, 0), 2u);
+    EXPECT_EQ(d.match(1, 0), AssociativeDecoder::npos);
+}
+
+TEST(Decoder, ForEachContextLine)
+{
+    AssociativeDecoder d(8);
+    d.program(0, 9, 0);
+    d.program(4, 9, 4);
+    d.program(6, 3, 0);
+    std::set<std::size_t> lines;
+    d.forEachContextLine(9, [&](std::size_t l) { lines.insert(l); });
+    EXPECT_EQ(lines, (std::set<std::size_t>{0, 4}));
+}
+
+TEST(Decoder, StatsCountActivity)
+{
+    AssociativeDecoder d(4);
+    d.match(1, 1);          // miss
+    d.program(0, 1, 1);
+    d.match(1, 1);          // hit
+    d.invalidate(0);
+    EXPECT_EQ(d.stats().searches.value(), 2u);
+    EXPECT_EQ(d.stats().hits.value(), 1u);
+    EXPECT_EQ(d.stats().programs.value(), 1u);
+    EXPECT_EQ(d.stats().invalidates.value(), 1u);
+}
+
+TEST(Decoder, PeekDoesNotCount)
+{
+    AssociativeDecoder d(4);
+    d.program(0, 1, 1);
+    d.peek(1, 1);
+    d.peek(2, 2);
+    EXPECT_EQ(d.stats().searches.value(), 0u);
+}
+
+TEST(Decoder, ManyContextsManyLines)
+{
+    AssociativeDecoder d(128);
+    for (ContextId c = 0; c < 16; ++c)
+        for (RegIndex o = 0; o < 8; ++o)
+            d.program(c * 8 + o, c, o);
+    EXPECT_TRUE(d.full());
+    for (ContextId c = 0; c < 16; ++c)
+        for (RegIndex o = 0; o < 8; ++o)
+            EXPECT_EQ(d.match(c, o), c * 8 + o);
+}
+
+TEST(Replacement, ParseAndName)
+{
+    EXPECT_EQ(parseReplacement("lru"), ReplacementKind::Lru);
+    EXPECT_EQ(parseReplacement("fifo"), ReplacementKind::Fifo);
+    EXPECT_EQ(parseReplacement("random"), ReplacementKind::Random);
+    EXPECT_STREQ(replacementName(ReplacementKind::Lru), "lru");
+    EXPECT_STREQ(replacementName(ReplacementKind::Fifo), "fifo");
+    EXPECT_STREQ(replacementName(ReplacementKind::Random), "random");
+}
+
+TEST(Replacement, LruEvictsLeastRecentlyTouched)
+{
+    ReplacementState r(3, ReplacementKind::Lru);
+    r.insert(0);
+    r.insert(1);
+    r.insert(2);
+    r.touch(0); // 1 is now the oldest
+    EXPECT_EQ(r.victim(), 1u);
+    r.touch(1);
+    EXPECT_EQ(r.victim(), 2u);
+}
+
+TEST(Replacement, FifoIgnoresTouch)
+{
+    ReplacementState r(3, ReplacementKind::Fifo);
+    r.insert(0);
+    r.insert(1);
+    r.insert(2);
+    r.touch(0);
+    r.touch(0);
+    EXPECT_EQ(r.victim(), 0u); // insertion order wins
+}
+
+TEST(Replacement, ReleaseRemovesCandidate)
+{
+    ReplacementState r(3, ReplacementKind::Lru);
+    r.insert(0);
+    r.insert(1);
+    r.release(0);
+    EXPECT_EQ(r.victim(), 1u);
+    EXPECT_EQ(r.heldCount(), 1u);
+    EXPECT_FALSE(r.held(0));
+}
+
+TEST(Replacement, ReinsertMakesMru)
+{
+    ReplacementState r(2, ReplacementKind::Lru);
+    r.insert(0);
+    r.insert(1);
+    r.release(0);
+    r.insert(0); // back, as MRU
+    EXPECT_EQ(r.victim(), 1u);
+}
+
+TEST(Replacement, RandomOnlyPicksHeld)
+{
+    ReplacementState r(8, ReplacementKind::Random, 99);
+    r.insert(2);
+    r.insert(5);
+    for (int i = 0; i < 100; ++i) {
+        auto v = r.victim();
+        EXPECT_TRUE(v == 2 || v == 5);
+    }
+}
+
+/** Property sweep: every policy returns only held slots and keeps
+ * heldCount consistent through random operation sequences. */
+class ReplacementPolicyTest
+    : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(ReplacementPolicyTest, RandomOpsKeepInvariants)
+{
+    const std::size_t slots = 16;
+    ReplacementState r(slots, GetParam(), 7);
+    Random rng(1234);
+    std::set<std::size_t> held;
+
+    for (int step = 0; step < 20000; ++step) {
+        double roll = rng.real();
+        if (roll < 0.4 && held.size() < slots) {
+            std::size_t s = rng.uniform(slots);
+            r.insert(s);
+            held.insert(s);
+        } else if (roll < 0.6 && !held.empty()) {
+            auto it = held.begin();
+            std::advance(it, rng.uniform(held.size()));
+            r.release(*it);
+            held.erase(it);
+        } else if (roll < 0.8 && !held.empty()) {
+            auto it = held.begin();
+            std::advance(it, rng.uniform(held.size()));
+            r.touch(*it);
+        } else if (!held.empty()) {
+            std::size_t v = r.victim();
+            EXPECT_TRUE(held.count(v))
+                << "victim " << v << " is not held";
+        }
+        ASSERT_EQ(r.heldCount(), held.size());
+        for (std::size_t s = 0; s < slots; ++s)
+            ASSERT_EQ(r.held(s), held.count(s) == 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementPolicyTest,
+                         ::testing::Values(ReplacementKind::Lru,
+                                           ReplacementKind::Fifo,
+                                           ReplacementKind::Random),
+                         [](const auto &info) {
+                             return replacementName(info.param);
+                         });
+
+} // namespace
+} // namespace nsrf::cam

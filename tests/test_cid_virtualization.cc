@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for Context ID virtualization: flushContext/restoreContext
+ * on every organization, and the trace simulator's CID stealing
+ * when the hardware name space is smaller than the set of live
+ * activations (paper §4.3 / [1]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+using regfile::Organization;
+
+class FlushRestore : public ::testing::TestWithParam<Organization>
+{
+};
+
+TEST_P(FlushRestore, ValuesSurviveFlushAndRestore)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    config.org = GetParam();
+    config.totalRegs = 64;
+    config.regsPerContext = 16;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+
+    rf->allocContext(3, 0x10000);
+    rf->switchTo(3);
+    for (RegIndex r = 0; r < 10; ++r)
+        rf->write(3, r, 300 + r);
+
+    // Flush: the CID becomes reusable, the frame holds the state.
+    rf->flushContext(3);
+    rf->allocContext(3, 0x20000); // another activation takes CID 3
+    rf->write(3, 0, 999);
+    rf->freeContext(3);
+
+    // Rebind the original activation (any CID would do).
+    rf->restoreContext(3, 0x10000);
+    rf->switchTo(3);
+    for (RegIndex r = 0; r < 10; ++r) {
+        Word v = 0;
+        rf->read(3, r, v);
+        EXPECT_EQ(v, 300 + r) << "reg " << r;
+    }
+}
+
+TEST_P(FlushRestore, FlushedRegistersLandInTheFrame)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    config.org = GetParam();
+    config.totalRegs = 64;
+    config.regsPerContext = 16;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+
+    rf->allocContext(0, 0x4000);
+    rf->switchTo(0);
+    rf->write(0, 2, 77);
+    rf->flushContext(0);
+    EXPECT_EQ(memsys.peek(0x4000 + 2 * 4), 77u);
+}
+
+TEST_P(FlushRestore, FlushOfCleanContextIsCheapForNsfOnly)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    config.org = GetParam();
+    config.totalRegs = 64;
+    config.regsPerContext = 16;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+
+    rf->allocContext(0, 0x4000);
+    // Never resident / never written: nothing to spill.
+    auto res = rf->flushContext(0);
+    EXPECT_EQ(res.spilled, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, FlushRestore,
+    ::testing::Values(Organization::Conventional,
+                      Organization::Segmented,
+                      Organization::NamedState,
+                      Organization::Windowed),
+    [](const auto &info) {
+        return std::string(regfile::organizationName(info.param));
+    });
+
+TEST(CidVirtualization, TinyCidSpaceStillRunsDeepChains)
+{
+    // GateSim holds ~10 live activations; a CID space of 6 forces
+    // constant stealing, but the run must complete and stay
+    // functionally consistent.
+    const auto &profile = workload::profileByName("GateSim");
+    workload::SequentialWorkload gen(profile, 60000);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 80;
+    config.rf.regsPerContext = 20;
+    config.cidCapacity = 6;
+    auto r = sim::runTrace(config, gen);
+    EXPECT_GT(r.instructions, 50000u);
+    EXPECT_GT(r.cidEvictions, 0u);
+}
+
+TEST(CidVirtualization, AmpleCidSpaceNeverSteals)
+{
+    const auto &profile = workload::profileByName("GateSim");
+    workload::SequentialWorkload gen(profile, 60000);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 80;
+    config.rf.regsPerContext = 20;
+    config.cidCapacity = 1024;
+    auto r = sim::runTrace(config, gen);
+    EXPECT_EQ(r.cidEvictions, 0u);
+}
+
+TEST(CidVirtualization, StealingCostsCyclesNotCorrectness)
+{
+    const auto &profile = workload::profileByName("Gamteb");
+
+    workload::ParallelWorkload gen_a(profile, 60000);
+    sim::SimConfig ample;
+    ample.rf.org = regfile::Organization::NamedState;
+    ample.rf.totalRegs = 128;
+    ample.rf.regsPerContext = 32;
+    ample.cidCapacity = 1024;
+    auto a = sim::runTrace(ample, gen_a);
+
+    workload::ParallelWorkload gen_b(profile, 60000);
+    sim::SimConfig tight = ample;
+    tight.cidCapacity = 5; // fewer CIDs than threads
+    auto b = sim::runTrace(tight, gen_b);
+
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_GT(b.cidEvictions, 0u);
+    EXPECT_GE(b.cycles, a.cycles); // virtualization is not free
+}
+
+TEST(CidVirtualization, WorksForSegmentedFilesToo)
+{
+    const auto &profile = workload::profileByName("Quicksort");
+    workload::ParallelWorkload gen(profile, 40000);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::Segmented;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    config.cidCapacity = 5;
+    auto r = sim::runTrace(config, gen);
+    EXPECT_GT(r.instructions, 30000u);
+    EXPECT_GT(r.cidEvictions, 0u);
+}
+
+} // namespace
+} // namespace nsrf

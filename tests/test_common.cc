@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for nsrf/common: bit utilities and the deterministic
+ * random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nsrf/common/bitutil.hh"
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/random.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(1022));
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(128), 7u);
+    EXPECT_EQ(log2Ceil(129), 8u);
+}
+
+TEST(BitUtil, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(128), 7u);
+    EXPECT_EQ(log2Floor(255), 7u);
+}
+
+TEST(BitUtil, BitsExtract)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 31, 16), 0xdeadu);
+    EXPECT_EQ(bits(0xdeadbeef, 15, 0), 0xbeefu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(bits(0xff, 3, 0), 0xfu);
+    EXPECT_EQ(bits(0b1010, 3, 3), 1u);
+}
+
+TEST(BitUtil, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 15, 0, 0xbeef), 0xbeefu);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 0, 0), 0xffff0000u);
+    EXPECT_EQ(insertBits(0, 31, 16, 0xdead), 0xdead0000u);
+    // Field wider than value: extra bits dropped.
+    EXPECT_EQ(insertBits(0, 3, 0, 0x1ff), 0xfu);
+}
+
+TEST(BitUtil, InsertThenExtractRoundTrips)
+{
+    for (unsigned lo = 0; lo < 28; lo += 5) {
+        std::uint32_t v = insertBits(0, lo + 4, lo, 0x15);
+        EXPECT_EQ(bits(v, lo + 4, lo), 0x15u) << "lo=" << lo;
+    }
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(0x7fff, 16), 32767);
+    EXPECT_EQ(signExtend(0x1f, 5), -1);
+    EXPECT_EQ(signExtend(0xf, 5), 15);
+}
+
+TEST(BitUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+}
+
+TEST(Random, DeterministicFromSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, ReseedRestartsStream)
+{
+    Random a(7);
+    std::uint64_t first = a.next();
+    a.next();
+    a.seed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Random, UniformInBounds)
+{
+    Random r(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(Random, UniformCoversRange)
+{
+    Random r(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.uniform(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformRangeInclusive)
+{
+    Random r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = r.uniformRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceEdgeCases)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+        EXPECT_FALSE(r.chance(-1.0));
+        EXPECT_TRUE(r.chance(2.0));
+    }
+}
+
+TEST(Random, ChanceMatchesProbability)
+{
+    Random r(17);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Random, GeometricMeanRoughlyCorrect)
+{
+    Random r(19);
+    double sum = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += double(r.geometric(40.0));
+    EXPECT_NEAR(sum / trials, 40.0, 1.5);
+}
+
+TEST(Random, GeometricAlwaysAtLeastOne)
+{
+    Random r(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.geometric(1.5), 1u);
+    // Degenerate mean clamps to 1.
+    EXPECT_EQ(r.geometric(0.5), 1u);
+}
+
+TEST(Random, WeightedPickRespectsWeights)
+{
+    Random r(29);
+    double weights[3] = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.weightedPick(weights, 3)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(double(counts[2]) / counts[1], 3.0, 0.25);
+}
+
+TEST(Random, WeightedPickZeroTotal)
+{
+    Random r(31);
+    double weights[2] = {0.0, 0.0};
+    EXPECT_EQ(r.weightedPick(weights, 2), 0u);
+}
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(detail::format("x=%d s=%s", 7, "hi"), "x=7 s=hi");
+    EXPECT_EQ(detail::format("%05u", 42u), "00042");
+}
+
+TEST(Logging, VerboseToggle)
+{
+    bool initial = verbose();
+    setVerbose(false);
+    EXPECT_FALSE(verbose());
+    setVerbose(true);
+    EXPECT_TRUE(verbose());
+    setVerbose(initial);
+}
+
+} // namespace
+} // namespace nsrf

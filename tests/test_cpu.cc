@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Tests for the cycle-level processor: per-instruction semantics
+ * via small assembled programs, context linkage, thread operations,
+ * and the real workload programs on every register file
+ * organization (parameterized).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/cpu/processor.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/workload/programs.hh"
+
+namespace nsrf::cpu
+{
+namespace
+{
+
+using regfile::Organization;
+using workload::programs::assembleOrDie;
+
+struct RunOutput
+{
+    CpuStats stats;
+    mem::MemorySystem memsys;
+    std::unique_ptr<regfile::RegisterFile> rf;
+};
+
+std::unique_ptr<RunOutput>
+run(const std::string &source,
+    Organization org = Organization::NamedState)
+{
+    auto out = std::make_unique<RunOutput>();
+    auto program = assembleOrDie(source);
+    regfile::RegFileConfig config;
+    config.org = org;
+    config.totalRegs = 128;
+    config.regsPerContext = 32;
+    out->rf = regfile::makeRegisterFile(config, out->memsys);
+    Processor proc(program, *out->rf, out->memsys);
+    out->stats = proc.run();
+    return out;
+}
+
+TEST(CpuBasic, HaltStopsTheMachine)
+{
+    auto out = run("halt\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->stats.instructions, 1u);
+}
+
+TEST(CpuBasic, ArithmeticAndStore)
+{
+    auto out = run("li r1, 6\n"
+                   "li r2, 7\n"
+                   "mul r3, r1, r2\n"
+                   "li r4, 0x100\n"
+                   "st r3, 0(r4)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 42u);
+}
+
+TEST(CpuBasic, AluOperations)
+{
+    auto out = run("li r1, 12\n"
+                   "li r2, 10\n"
+                   "sub r3, r1, r2\n"  // 2
+                   "and r4, r1, r2\n"  // 8
+                   "or  r5, r1, r2\n"  // 14
+                   "xor r6, r1, r2\n"  // 6
+                   "li r7, 2\n"
+                   "sll r8, r1, r7\n"  // 48
+                   "srl r9, r1, r7\n"  // 3
+                   "slt r10, r2, r1\n" // 1
+                   "div r11, r1, r7\n" // 6
+                   "li r20, 0x200\n"
+                   "st r3, 0(r20)\n"
+                   "st r4, 4(r20)\n"
+                   "st r5, 8(r20)\n"
+                   "st r6, 12(r20)\n"
+                   "st r8, 16(r20)\n"
+                   "st r9, 20(r20)\n"
+                   "st r10, 24(r20)\n"
+                   "st r11, 28(r20)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x200), 2u);
+    EXPECT_EQ(out->memsys.peek(0x204), 8u);
+    EXPECT_EQ(out->memsys.peek(0x208), 14u);
+    EXPECT_EQ(out->memsys.peek(0x20c), 6u);
+    EXPECT_EQ(out->memsys.peek(0x210), 48u);
+    EXPECT_EQ(out->memsys.peek(0x214), 3u);
+    EXPECT_EQ(out->memsys.peek(0x218), 1u);
+    EXPECT_EQ(out->memsys.peek(0x21c), 6u);
+}
+
+TEST(CpuBasic, SignedArithmetic)
+{
+    auto out = run("li r1, -8\n"
+                   "li r2, 2\n"
+                   "sra r3, r1, r2\n"   // -2
+                   "slt r4, r1, r2\n"   // 1 (signed)
+                   "slti r5, r1, 0\n"   // 1
+                   "li r6, 0x100\n"
+                   "st r3, 0(r6)\n"
+                   "st r4, 4(r6)\n"
+                   "st r5, 8(r6)\n"
+                   "halt\n");
+    EXPECT_EQ(static_cast<std::int32_t>(out->memsys.peek(0x100)),
+              -2);
+    EXPECT_EQ(out->memsys.peek(0x104), 1u);
+    EXPECT_EQ(out->memsys.peek(0x108), 1u);
+}
+
+TEST(CpuBasic, LoadStoreRoundTrip)
+{
+    auto out = run("li r1, 0x300\n"
+                   "li r2, 1234\n"
+                   "st r2, 0(r1)\n"
+                   "ld r3, 0(r1)\n"
+                   "addi r3, r3, 1\n"
+                   "st r3, 4(r1)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x304), 1235u);
+    EXPECT_EQ(out->stats.loads, 1u);
+    EXPECT_EQ(out->stats.stores, 2u);
+}
+
+TEST(CpuBasic, BranchesAndLoops)
+{
+    // Sum 1..10 with a loop.
+    auto out = run("li r1, 0\n"   // sum
+                   "li r2, 10\n"  // i
+                   "li r3, 0\n"
+                   "loop:\n"
+                   "beq r2, r3, done\n"
+                   "add r1, r1, r2\n"
+                   "addi r2, r2, -1\n"
+                   "jmp loop\n"
+                   "done:\n"
+                   "li r4, 0x100\n"
+                   "st r1, 0(r4)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 55u);
+}
+
+TEST(CpuBasic, JalAndJr)
+{
+    auto out = run("jmp main\n"
+                   "double:\n"
+                   "add r2, r1, r1\n"
+                   "jr r31\n"
+                   "main:\n"
+                   "li r1, 21\n"
+                   "jal r31, double\n"
+                   "li r3, 0x100\n"
+                   "st r2, 0(r3)\n"
+                   "halt\n"
+                   ".entry main\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 42u);
+}
+
+TEST(CpuBasic, LuiBuildsHighBits)
+{
+    auto out = run("lui r1, 0x1234\n"
+                   "ori r1, r1, 0x5678\n"
+                   "li r2, 0x100\n"
+                   "st r1, 0(r2)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 0x12345678u);
+}
+
+TEST(CpuBasic, IllegalInstructionFaults)
+{
+    assembler::Program program;
+    program.code = {0xffffffffu};
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+    Processor proc(program, *rf, memsys);
+    auto stats = proc.run();
+    EXPECT_EQ(stats.stopReason, StopReason::Fault);
+    EXPECT_NE(stats.faultMessage.find("illegal"),
+              std::string::npos);
+}
+
+TEST(CpuBasic, DivideByZeroFaults)
+{
+    auto out = run("li r1, 1\n"
+                   "li r2, 0\n"
+                   "div r3, r1, r2\n"
+                   "halt\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Fault);
+}
+
+TEST(CpuBasic, RunningOffTheEndFaults)
+{
+    auto out = run("nop\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Fault);
+}
+
+TEST(CpuBasic, InstructionLimitStops)
+{
+    auto program = assembleOrDie("loop: jmp loop\n");
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+    CpuConfig cpu_config;
+    cpu_config.maxInstructions = 1000;
+    Processor proc(program, *rf, memsys, cpu_config);
+    auto stats = proc.run();
+    EXPECT_EQ(stats.stopReason, StopReason::LimitReached);
+    EXPECT_LE(stats.instructions, 1000u);
+}
+
+TEST(CpuContext, CtxCallPassesLinkageAndReturns)
+{
+    auto out = run("jmp main\n"
+                   "callee:\n"
+                   "addi r2, r1, 100\n"
+                   "xst r2, r30, 9\n"  // result into caller r9
+                   "ret\n"
+                   "main:\n"
+                   "li r1, 5\n"
+                   "ctxnew r4\n"
+                   "xst r1, r4, 1\n"
+                   "ctxcall r4, callee\n"
+                   "li r5, 0x100\n"
+                   "st r9, 0(r5)\n"
+                   "halt\n"
+                   ".entry main\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 105u);
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    // Call + return both switch contexts.
+    EXPECT_GE(out->stats.contextSwitches, 2u);
+}
+
+TEST(CpuContext, GetCidAndCtxSw)
+{
+    auto out = run("getcid r1\n"
+                   "ctxnew r2\n"
+                   "xst r1, r2, 1\n"   // pass my cid
+                   "ctxsw r2\n"
+                   "getcid r3\n"
+                   "xld r4, r3, 0\n"   // no-op read of own r0? no:
+                   "ctxsw r1\n"        // back via... r1 is old cid
+                   "halt\n");
+    // The program switches away and we halt in the second context
+    // or after switching back; either way it must halt cleanly.
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+}
+
+TEST(CpuContext, ContextExhaustionFaults)
+{
+    auto program = assembleOrDie("loop:\n"
+                                 "ctxnew r1\n"
+                                 "jmp loop\n");
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+    Processor proc(program, *rf, memsys);
+    auto stats = proc.run();
+    EXPECT_EQ(stats.stopReason, StopReason::Fault);
+    EXPECT_NE(stats.faultMessage.find("exhausted"),
+              std::string::npos);
+}
+
+TEST(CpuContext, CtxFreeAllowsReuse)
+{
+    auto out = run("li r3, 2000\n"
+                   "loop:\n"
+                   "ctxnew r1\n"
+                   "ctxfree r1\n"
+                   "addi r3, r3, -1\n"
+                   "li r4, 0\n"
+                   "bne r3, r4, loop\n"
+                   "halt\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+}
+
+TEST(CpuThreads, SpawnAndJoin)
+{
+    auto out = run(workload::programs::parallelSumSource);
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->memsys.peek(
+                  workload::programs::parallelSumResultAddr),
+              528u);
+    EXPECT_GT(out->stats.remoteAccesses, 0u);
+    EXPECT_GT(out->stats.contextSwitches, 4u);
+}
+
+TEST(CpuThreads, YieldRoundRobins)
+{
+    auto out = run("spawn r1, other\n"
+                   "yield\n"
+                   "li r2, 0x100\n"
+                   "li r3, 1\n"
+                   "st r3, 0(r2)\n"
+                   "halt\n"
+                   "other:\n"
+                   "yield\n"
+                   "exit\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->memsys.peek(0x100), 1u);
+}
+
+TEST(CpuThreads, SyncDeadlockDetected)
+{
+    auto out = run("li r1, 0x40\n"
+                   "syncwait r1\n"
+                   "halt\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Deadlock);
+}
+
+TEST(CpuThreads, RemoteBlocksAndResumes)
+{
+    auto out = run("li r1, 0x100\n"
+                   "li r2, 77\n"
+                   "st r2, 0(r1)\n"
+                   "remote r3, 0(r1)\n"
+                   "st r3, 4(r1)\n"
+                   "halt\n");
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->memsys.peek(0x104), 77u);
+    // The remote round trip shows up in run time.
+    EXPECT_GT(out->stats.cycles, 100u);
+}
+
+TEST(CpuRegFree, HintDoesNotBreakSemantics)
+{
+    auto out = run("li r1, 11\n"
+                   "li r2, 22\n"
+                   "regfree r1\n"
+                   "li r3, 0x100\n"
+                   "st r2, 0(r3)\n"
+                   "halt\n");
+    EXPECT_EQ(out->memsys.peek(0x100), 22u);
+}
+
+/** The real programs must compute identical results on every
+ * register file organization. */
+class ProgramsOnAllOrgs : public ::testing::TestWithParam<Organization>
+{
+};
+
+TEST_P(ProgramsOnAllOrgs, Fib)
+{
+    auto out = run(workload::programs::fibSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->memsys.peek(workload::programs::fibResultAddr),
+              144u); // fib(12)
+}
+
+TEST_P(ProgramsOnAllOrgs, Quicksort)
+{
+    auto out = run(workload::programs::quicksortSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    Addr base = workload::programs::quicksortArrayAddr;
+    for (unsigned i = 1; i < workload::programs::quicksortArrayLen;
+         ++i) {
+        EXPECT_LE(out->memsys.peek(base + 4 * (i - 1)),
+                  out->memsys.peek(base + 4 * i))
+            << "element " << i;
+    }
+}
+
+TEST_P(ProgramsOnAllOrgs, Hanoi)
+{
+    auto out = run(workload::programs::hanoiSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(
+        out->memsys.peek(workload::programs::hanoiCounterAddr),
+        127u); // 2^7 - 1
+}
+
+TEST_P(ProgramsOnAllOrgs, ParallelSum)
+{
+    auto out = run(workload::programs::parallelSumSource,
+                   GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(out->memsys.peek(
+                  workload::programs::parallelSumResultAddr),
+              528u);
+}
+
+TEST_P(ProgramsOnAllOrgs, NQueens)
+{
+    auto out = run(workload::programs::nqueensSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(
+        out->memsys.peek(workload::programs::nqueensResultAddr),
+        workload::programs::nqueensExpected);
+}
+
+TEST_P(ProgramsOnAllOrgs, Pipeline)
+{
+    auto out = run(workload::programs::pipelineSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    // 2 * (1 + 2 + ... + 16) = 272.
+    EXPECT_EQ(
+        out->memsys.peek(workload::programs::pipelineResultAddr),
+        272u);
+}
+
+TEST_P(ProgramsOnAllOrgs, Matmul)
+{
+    auto out = run(workload::programs::matmulSource, GetParam());
+    EXPECT_EQ(out->stats.stopReason, StopReason::Halted);
+    EXPECT_EQ(
+        out->memsys.peek(workload::programs::matmulResultAddr),
+        workload::programs::matmulExpected);
+    // Spot-check one element: C[2][3] = 2 * A[2][3] = 2 * 6.
+    EXPECT_EQ(out->memsys.peek(0xA80 + 2 * 16 + 3 * 4), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, ProgramsOnAllOrgs,
+    ::testing::Values(Organization::Conventional,
+                      Organization::Segmented,
+                      Organization::NamedState),
+    [](const auto &info) {
+        return std::string(regfile::organizationName(info.param));
+    });
+
+TEST(CpuICache, MissesStallAndThenHit)
+{
+    auto program = assembleOrDie("li r1, 100\n"
+                                 "li r2, 0\n"
+                                 "loop:\n"
+                                 "addi r1, r1, -1\n"
+                                 "bne r1, r2, loop\n"
+                                 "halt\n");
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig rf_config;
+    auto rf = regfile::makeRegisterFile(rf_config, memsys);
+    Processor proc(program, *rf, memsys);
+    auto stats = proc.run();
+    ASSERT_NE(proc.icache(), nullptr);
+    // The whole loop fits in one or two lines: a couple of
+    // compulsory misses, then hits forever.
+    EXPECT_GT(stats.fetchStallCycles, 0u);
+    EXPECT_LE(proc.icache()->stats().misses.value(), 3u);
+    EXPECT_GT(proc.icache()->stats().hits.value(), 150u);
+}
+
+TEST(CpuICache, IdealFetchWhenDisabled)
+{
+    auto program = assembleOrDie("li r1, 5\nhalt\n");
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig rf_config;
+    auto rf = regfile::makeRegisterFile(rf_config, memsys);
+    CpuConfig config;
+    config.icache = std::nullopt;
+    Processor proc(program, *rf, memsys, config);
+    auto stats = proc.run();
+    EXPECT_EQ(proc.icache(), nullptr);
+    EXPECT_EQ(stats.fetchStallCycles, 0u);
+}
+
+TEST(CpuICache, DisabledCacheIsFasterOnColdCode)
+{
+    // Straight-line code never revisits a line: every fetch that
+    // opens a new line misses, so the ideal-fetch machine wins.
+    std::string source;
+    for (int i = 0; i < 200; ++i)
+        source += "addi r1, r1, 1\n";
+    source = "li r1, 0\n" + source + "halt\n";
+
+    auto run_with = [&](bool use_icache) {
+        auto program = assembleOrDie(source);
+        mem::MemorySystem memsys;
+        regfile::RegFileConfig rf_config;
+        auto rf = regfile::makeRegisterFile(rf_config, memsys);
+        CpuConfig config;
+        if (!use_icache)
+            config.icache = std::nullopt;
+        Processor proc(program, *rf, memsys, config);
+        return proc.run().cycles;
+    };
+    EXPECT_GT(run_with(true), run_with(false));
+}
+
+TEST(CpuComparison, NsfStallsLessThanSegmentedOnRecursion)
+{
+    auto nsf = run(workload::programs::fibSource,
+                   Organization::NamedState);
+    auto seg = run(workload::programs::fibSource,
+                   Organization::Segmented);
+    auto conv = run(workload::programs::fibSource,
+                    Organization::Conventional);
+    EXPECT_LT(nsf->stats.regStallCycles,
+              seg->stats.regStallCycles);
+    EXPECT_LT(seg->stats.regStallCycles,
+              conv->stats.regStallCycles);
+    EXPECT_LT(nsf->stats.cycles, seg->stats.cycles);
+}
+
+} // namespace
+} // namespace nsrf::cpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the Ctable (CID -> backing frame translation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/regfile/ctable.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+TEST(Ctable, StartsUnmapped)
+{
+    Ctable t(16);
+    EXPECT_EQ(t.capacity(), 16u);
+    EXPECT_EQ(t.mappedCount(), 0u);
+    EXPECT_FALSE(t.has(0));
+}
+
+TEST(Ctable, SetAndLookup)
+{
+    Ctable t(16);
+    t.set(3, 0x1000);
+    EXPECT_TRUE(t.has(3));
+    EXPECT_EQ(t.lookup(3), 0x1000u);
+    EXPECT_EQ(t.mappedCount(), 1u);
+}
+
+TEST(Ctable, RegAddrComputesWordOffsets)
+{
+    Ctable t(16);
+    t.set(2, 0x2000);
+    EXPECT_EQ(t.regAddr(2, 0), 0x2000u);
+    EXPECT_EQ(t.regAddr(2, 5), 0x2014u);
+    EXPECT_EQ(t.regAddr(2, 31), 0x2000u + 31 * 4);
+}
+
+TEST(Ctable, OverwriteKeepsCount)
+{
+    Ctable t(16);
+    t.set(1, 0x100);
+    t.set(1, 0x200);
+    EXPECT_EQ(t.mappedCount(), 1u);
+    EXPECT_EQ(t.lookup(1), 0x200u);
+}
+
+TEST(Ctable, ClearUnmaps)
+{
+    Ctable t(16);
+    t.set(4, 0x400);
+    t.clear(4);
+    EXPECT_FALSE(t.has(4));
+    EXPECT_EQ(t.mappedCount(), 0u);
+    // Clearing an unmapped entry is harmless.
+    t.clear(4);
+    EXPECT_EQ(t.mappedCount(), 0u);
+}
+
+TEST(Ctable, LookupUnmappedPanics)
+{
+    Ctable t(16);
+    EXPECT_DEATH(t.lookup(5), "unmapped");
+}
+
+TEST(Ctable, CidBeyondCapacityPanics)
+{
+    Ctable t(4);
+    EXPECT_DEATH(t.set(4, 0x100), "capacity");
+    EXPECT_FALSE(t.has(1000)); // has() is total
+}
+
+TEST(Ctable, ManyEntries)
+{
+    Ctable t(1024);
+    for (ContextId c = 0; c < 1024; ++c)
+        t.set(c, 0x1000 + c * 128);
+    EXPECT_EQ(t.mappedCount(), 1024u);
+    for (ContextId c = 0; c < 1024; ++c)
+        EXPECT_EQ(t.lookup(c), 0x1000 + c * 128);
+}
+
+} // namespace
+} // namespace nsrf::regfile

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the access-energy model (extension beyond the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/vlsi/energy.hh"
+
+namespace nsrf::vlsi
+{
+namespace
+{
+
+class EnergyTest : public ::testing::Test
+{
+  protected:
+    EnergyModel model;
+};
+
+TEST_F(EnergyTest, ComponentsArePositive)
+{
+    for (const auto &org : {Organization::segmented(128, 32),
+                            Organization::namedState(128, 32, 1)}) {
+        auto e = model.perAccess(org);
+        EXPECT_GT(e.decodePj, 0.0);
+        EXPECT_GT(e.wordLinePj, 0.0);
+        EXPECT_GT(e.bitLinePj, 0.0);
+        EXPECT_NEAR(e.totalPj(),
+                    e.decodePj + e.wordLinePj + e.bitLinePj, 1e-12);
+    }
+}
+
+TEST_F(EnergyTest, CamBroadcastDominatesNsfAccess)
+{
+    auto nsf = model.perAccess(Organization::namedState(128, 32, 1));
+    auto seg = model.perAccess(Organization::segmented(128, 32));
+    EXPECT_GT(nsf.decodePj, 5.0 * seg.decodePj);
+    EXPECT_GT(nsf.totalPj(), 2.0 * seg.totalPj());
+    // The non-decode components are identical geometry.
+    EXPECT_DOUBLE_EQ(nsf.wordLinePj, seg.wordLinePj);
+    EXPECT_DOUBLE_EQ(nsf.bitLinePj, seg.bitLinePj);
+}
+
+TEST_F(EnergyTest, CamEnergyScalesWithLines)
+{
+    auto small = model.perAccess(Organization::namedState(64, 32, 1));
+    auto large =
+        model.perAccess(Organization::namedState(256, 32, 1));
+    EXPECT_NEAR(large.decodePj / small.decodePj, 4.0, 0.3);
+}
+
+TEST_F(EnergyTest, SegmentedDecodeGrowsSlowly)
+{
+    auto small = model.perAccess(Organization::segmented(64, 32));
+    auto large = model.perAccess(Organization::segmented(256, 32));
+    // Word-line driver column grows linearly; predecode barely.
+    EXPECT_LT(large.decodePj / small.decodePj, 4.0);
+    EXPECT_GT(large.decodePj, small.decodePj);
+}
+
+TEST_F(EnergyTest, RunEnergyCombinesAccessAndTraffic)
+{
+    auto org = Organization::segmented(128, 32);
+    double base = model.runEnergyUj(org, 1000, 0);
+    double with_traffic = model.runEnergyUj(org, 1000, 100);
+    EXPECT_GT(with_traffic, base);
+    EXPECT_NEAR(with_traffic - base,
+                100.0 * model.perTransferPj() / 1e6, 1e-9);
+}
+
+TEST_F(EnergyTest, ZeroActivityZeroEnergy)
+{
+    auto org = Organization::namedState(128, 32, 1);
+    EXPECT_DOUBLE_EQ(model.runEnergyUj(org, 0, 0), 0.0);
+}
+
+TEST_F(EnergyTest, CustomRulesScaleResults)
+{
+    EnergyRules hot;
+    hot.supplyVolts = 10.0; // 4x the switching energy
+    EnergyModel scaled(hot);
+    auto org = Organization::segmented(128, 32);
+    EXPECT_NEAR(scaled.perAccess(org).totalPj() /
+                    model.perAccess(org).totalPj(),
+                4.0, 1e-9);
+}
+
+} // namespace
+} // namespace nsrf::vlsi

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the SRISC ISA: encode/decode round trips for every
+ * opcode and operand pattern, field limits, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/isa/isa.hh"
+
+namespace nsrf::isa
+{
+namespace
+{
+
+Instruction
+sample(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    switch (opInfo(op).format) {
+      case Format::None:
+        break;
+      case Format::R3:
+        in.rd = 1;
+        in.rs1 = 2;
+        in.rs2 = 3;
+        break;
+      case Format::R2:
+        in.rd = 4;
+        in.rs1 = 5;
+        break;
+      case Format::R1:
+        in.rs1 = 6;
+        break;
+      case Format::Rd:
+        in.rd = 7;
+        break;
+      case Format::I2:
+      case Format::Mem:
+        in.rd = 8;
+        in.rs1 = 9;
+        in.imm = -123;
+        break;
+      case Format::RdImm:
+        in.rd = 10;
+        in.imm = 456;
+        break;
+      case Format::RsImm:
+        in.rs1 = 11;
+        in.imm = -7;
+        break;
+      case Format::Branch:
+        in.rs1 = 12;
+        in.rs2 = 13;
+        in.imm = -500;
+        break;
+      case Format::Jump:
+        in.imm = 12345;
+        break;
+      case Format::JumpRd:
+        in.rd = 14;
+        in.imm = 54321;
+        break;
+      case Format::JumpRs:
+        in.rs1 = 15;
+        in.imm = 99999;
+        break;
+    }
+    return in;
+}
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIsIdentity)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    Instruction in = sample(op);
+    auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, in) << "opcode " << opInfo(op).mnemonic;
+}
+
+TEST_P(OpcodeRoundTrip, DisassemblyStartsWithMnemonic)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    std::string text = disassemble(sample(op));
+    EXPECT_EQ(text.rfind(opInfo(op).mnemonic, 0), 0u) << text;
+}
+
+TEST_P(OpcodeRoundTrip, MnemonicLookupIsInverse)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    auto found = opcodeByName(opInfo(op).mnemonic);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, OpcodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)),
+    [](const auto &info) {
+        return std::string(
+            opInfo(static_cast<Opcode>(info.param)).mnemonic);
+    });
+
+TEST(IsaEncoding, BranchRegistersSurviveWithImmediate)
+{
+    // Regression for the rs2/imm16 field overlap: branches must
+    // carry both source registers and a full 16-bit offset.
+    Instruction in;
+    in.op = Opcode::Blt;
+    in.rs1 = 31;
+    in.rs2 = 30;
+    in.imm = -32768;
+    auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->rs1, 31u);
+    EXPECT_EQ(out->rs2, 30u);
+    EXPECT_EQ(out->imm, -32768);
+}
+
+TEST(IsaEncoding, Imm16Limits)
+{
+    Instruction in;
+    in.op = Opcode::Addi;
+    in.rd = 1;
+    in.rs1 = 1;
+    in.imm = 32767;
+    EXPECT_EQ(decode(encode(in))->imm, 32767);
+    in.imm = -32768;
+    EXPECT_EQ(decode(encode(in))->imm, -32768);
+    in.imm = 32768;
+    EXPECT_DEATH(encode(in), "imm16");
+}
+
+TEST(IsaEncoding, Imm21Limits)
+{
+    Instruction in;
+    in.op = Opcode::Jmp;
+    in.imm = (1 << 20) - 1;
+    EXPECT_EQ(decode(encode(in))->imm, (1 << 20) - 1);
+    in.imm = 1 << 20;
+    EXPECT_DEATH(encode(in), "imm21");
+}
+
+TEST(IsaEncoding, RegisterRangeChecked)
+{
+    Instruction in;
+    in.op = Opcode::Add;
+    in.rd = 32;
+    EXPECT_DEATH(encode(in), "register");
+}
+
+TEST(IsaEncoding, UndefinedOpcodeDecodesToNullopt)
+{
+    Word bogus = 0xffu << 26;
+    EXPECT_FALSE(decode(bogus).has_value());
+}
+
+TEST(IsaEncoding, DistinctOpcodesDistinctWords)
+{
+    // Two no-operand instructions must differ in the opcode field.
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    Instruction ret;
+    ret.op = Opcode::Ret;
+    EXPECT_NE(encode(halt), encode(ret));
+}
+
+TEST(IsaDisassemble, MemFormat)
+{
+    Instruction in;
+    in.op = Opcode::Ld;
+    in.rd = 2;
+    in.rs1 = 3;
+    in.imm = 8;
+    EXPECT_EQ(disassemble(in), "ld r2, 8(r3)");
+}
+
+TEST(IsaDisassemble, BranchFormat)
+{
+    Instruction in;
+    in.op = Opcode::Beq;
+    in.rs1 = 1;
+    in.rs2 = 2;
+    in.imm = -4;
+    EXPECT_EQ(disassemble(in), "beq r1, r2, -4");
+}
+
+TEST(IsaDisassemble, LinkConventionConstants)
+{
+    EXPECT_EQ(linkCidReg, 30u);
+    EXPECT_EQ(linkPcReg, 31u);
+    EXPECT_EQ(regsPerContext, 32u);
+}
+
+TEST(IsaLookup, UnknownMnemonic)
+{
+    EXPECT_FALSE(opcodeByName("bogus").has_value());
+    EXPECT_FALSE(opcodeByName("").has_value());
+}
+
+} // namespace
+} // namespace nsrf::isa

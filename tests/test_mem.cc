@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: sparse memory, the
+ * write-back cache timing model, and the combined memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/mem/cache.hh"
+#include "nsrf/mem/memory.hh"
+#include "nsrf/mem/memsys.hh"
+
+namespace nsrf::mem
+{
+namespace
+{
+
+TEST(MainMemory, UntouchedReadsZero)
+{
+    MainMemory m;
+    EXPECT_EQ(m.readWord(0), 0u);
+    EXPECT_EQ(m.readWord(0xfffffffc), 0u);
+}
+
+TEST(MainMemory, ReadBackWhatWasWritten)
+{
+    MainMemory m;
+    m.writeWord(0x1000, 0xdeadbeef);
+    m.writeWord(0x1004, 42);
+    EXPECT_EQ(m.readWord(0x1000), 0xdeadbeefu);
+    EXPECT_EQ(m.readWord(0x1004), 42u);
+}
+
+TEST(MainMemory, SparsePagesAllocatedOnDemand)
+{
+    MainMemory m;
+    EXPECT_EQ(m.touchedPages(), 0u);
+    m.writeWord(0x0, 1);
+    m.writeWord(0x80000000, 2);
+    EXPECT_EQ(m.touchedPages(), 2u);
+    // Same page does not allocate again.
+    m.writeWord(0x4, 3);
+    EXPECT_EQ(m.touchedPages(), 2u);
+}
+
+TEST(MainMemory, DistantAddressesDoNotAlias)
+{
+    MainMemory m;
+    for (Addr a = 0; a < 64; ++a)
+        m.writeWord(a * 0x10000, a);
+    for (Addr a = 0; a < 64; ++a)
+        EXPECT_EQ(m.readWord(a * 0x10000), a);
+}
+
+TEST(MainMemory, UnalignedAccessPanics)
+{
+    MainMemory m;
+    EXPECT_DEATH(m.readWord(2), "unaligned");
+    EXPECT_DEATH(m.writeWord(1, 0), "unaligned");
+}
+
+TEST(MainMemory, CountsAccesses)
+{
+    MainMemory m;
+    m.writeWord(0, 1);
+    m.readWord(0);
+    m.readWord(4);
+    EXPECT_EQ(m.stats().writes.value(), 1u);
+    EXPECT_EQ(m.stats().reads.value(), 2u);
+}
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.sizeBytes = 1024;
+    c.lineBytes = 32;
+    c.ways = 2;
+    c.hitLatency = 1;
+    c.missPenalty = 20;
+    return c;
+}
+
+TEST(DataCache, FirstAccessMissesThenHits)
+{
+    DataCache c(smallCache());
+    EXPECT_EQ(c.access(0x100, false), 21u); // miss
+    EXPECT_EQ(c.access(0x100, false), 1u);  // hit
+    EXPECT_EQ(c.access(0x104, false), 1u);  // same line
+    EXPECT_EQ(c.stats().misses.value(), 1u);
+    EXPECT_EQ(c.stats().hits.value(), 2u);
+}
+
+TEST(DataCache, ProbeDoesNotDisturb)
+{
+    DataCache c(smallCache());
+    EXPECT_FALSE(c.probe(0x100));
+    c.access(0x100, false);
+    EXPECT_TRUE(c.probe(0x100));
+    EXPECT_EQ(c.stats().accesses.value(), 1u);
+}
+
+TEST(DataCache, LruEvictionWithinSet)
+{
+    DataCache c(smallCache());
+    // 1024/32/2 = 16 sets; addresses 32*16 apart share a set.
+    Addr stride = 32 * 16;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    c.access(0 * stride, false);      // 1*stride becomes LRU
+    c.access(2 * stride, false);      // evicts 1*stride
+    EXPECT_TRUE(c.probe(0 * stride));
+    EXPECT_FALSE(c.probe(1 * stride));
+    EXPECT_TRUE(c.probe(2 * stride));
+}
+
+TEST(DataCache, DirtyEvictionWritesBack)
+{
+    DataCache c(smallCache());
+    Addr stride = 32 * 16;
+    c.access(0 * stride, true); // dirty
+    c.access(1 * stride, false);
+    c.access(2 * stride, false); // evicts the dirty line
+    EXPECT_EQ(c.stats().writebacks.value(), 1u);
+}
+
+TEST(DataCache, CleanEvictionDoesNotWriteBack)
+{
+    DataCache c(smallCache());
+    Addr stride = 32 * 16;
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    c.access(2 * stride, false);
+    EXPECT_EQ(c.stats().writebacks.value(), 0u);
+}
+
+TEST(DataCache, FlushInvalidatesAll)
+{
+    DataCache c(smallCache());
+    c.access(0x40, false);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x40));
+}
+
+TEST(DataCache, MissRate)
+{
+    DataCache c(smallCache());
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    EXPECT_DOUBLE_EQ(c.stats().missRate(), 0.25);
+}
+
+TEST(MemorySystem, DataRoundTripsThroughCache)
+{
+    MemorySystem ms;
+    ms.writeWord(0x2000, 77);
+    Word v = 0;
+    ms.readWord(0x2000, v);
+    EXPECT_EQ(v, 77u);
+}
+
+TEST(MemorySystem, UncachedChargesMemoryLatency)
+{
+    MemorySystem ms(std::nullopt, 33);
+    Word v;
+    EXPECT_EQ(ms.readWord(0x100, v), 33u);
+    EXPECT_EQ(ms.writeWord(0x100, 1), 33u);
+    EXPECT_EQ(ms.cache(), nullptr);
+}
+
+TEST(MemorySystem, CachedFastPathAfterFill)
+{
+    MemorySystem ms;
+    Word v;
+    Cycles first = ms.readWord(0x300, v);
+    Cycles second = ms.readWord(0x300, v);
+    EXPECT_GT(first, second);
+    EXPECT_EQ(second, ms.cache()->config().hitLatency);
+}
+
+TEST(MemorySystem, PeekAndPokeAreFunctional)
+{
+    MemorySystem ms;
+    ms.poke(0x500, 123);
+    EXPECT_EQ(ms.peek(0x500), 123u);
+    // Functional access does not touch the cache.
+    EXPECT_FALSE(ms.cache()->probe(0x500));
+}
+
+/** Geometry sweep: every cache shape preserves the core
+ * invariants under a random access pattern. */
+struct CacheGeometry
+{
+    Addr sizeBytes;
+    Addr lineBytes;
+    unsigned ways;
+};
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(CacheGeometryTest, InvariantsUnderRandomTraffic)
+{
+    const auto &geometry = GetParam();
+    CacheConfig config;
+    config.sizeBytes = geometry.sizeBytes;
+    config.lineBytes = geometry.lineBytes;
+    config.ways = geometry.ways;
+    DataCache cache(config);
+
+    std::uint64_t x = 12345;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = static_cast<Addr>(next() % (1 << 20)) & ~3u;
+        bool is_write = next() % 4 == 0;
+        Cycles lat = cache.access(addr, is_write);
+        ASSERT_GE(lat, config.hitLatency);
+        // After an access the line is always resident.
+        ASSERT_TRUE(cache.probe(addr));
+        // An immediate re-access hits at the hit latency.
+        ASSERT_EQ(cache.access(addr, false), config.hitLatency);
+    }
+
+    const auto &stats = cache.stats();
+    EXPECT_EQ(stats.hits.value() + stats.misses.value(),
+              stats.accesses.value());
+    EXPECT_LE(stats.writebacks.value(), stats.misses.value());
+    // Working set (1 MiB) exceeds every configured cache, so there
+    // must be misses beyond the compulsory ones.
+    EXPECT_GT(stats.misses.value(), 100u);
+}
+
+TEST_P(CacheGeometryTest, SequentialStreamAmortizesMisses)
+{
+    const auto &geometry = GetParam();
+    CacheConfig config;
+    config.sizeBytes = geometry.sizeBytes;
+    config.lineBytes = geometry.lineBytes;
+    config.ways = geometry.ways;
+    DataCache cache(config);
+
+    // One pass over 4x the cache: exactly one miss per line.
+    Addr span = config.sizeBytes * 4;
+    for (Addr addr = 0; addr < span; addr += 4)
+        cache.access(addr, false);
+    EXPECT_EQ(cache.stats().misses.value(),
+              span / config.lineBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometryTest,
+    ::testing::Values(CacheGeometry{1024, 16, 1},
+                      CacheGeometry{1024, 32, 2},
+                      CacheGeometry{4096, 32, 4},
+                      CacheGeometry{8192, 64, 2},
+                      CacheGeometry{64 * 1024, 32, 4},
+                      CacheGeometry{512, 32, 16}),
+    [](const auto &info) {
+        return std::to_string(info.param.sizeBytes) + "B_" +
+               std::to_string(info.param.lineBytes) + "L_" +
+               std::to_string(info.param.ways) + "W";
+    });
+
+} // namespace
+} // namespace nsrf::mem

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * NSF accounting invariants under stress, swept across geometries
+ * and policies (TEST_P).  After any operation sequence:
+ *
+ *  - the decoder's valid-line count equals the number of resident
+ *    lines reachable through the public API;
+ *  - occupancy statistics stay within the physical file;
+ *  - line allocations = evictions + lines still resident + lines
+ *    freed by context/register deallocation;
+ *  - every read observes the golden value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/named_state.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+struct NsfCase
+{
+    std::string name;
+    unsigned lines;
+    unsigned regsPerLine;
+    MissPolicy miss;
+    WritePolicy write;
+    cam::ReplacementKind repl;
+};
+
+std::vector<NsfCase>
+nsfCases()
+{
+    std::vector<NsfCase> cases;
+    for (unsigned line : {1u, 2u, 4u, 8u}) {
+        for (auto miss : {MissPolicy::ReloadSingle,
+                          MissPolicy::ReloadLive,
+                          MissPolicy::ReloadLine}) {
+            NsfCase c;
+            c.lines = 48 / line;
+            c.regsPerLine = line;
+            c.miss = miss;
+            c.write = line > 1 ? WritePolicy::FetchOnWrite
+                               : WritePolicy::WriteAllocate;
+            c.repl = cam::ReplacementKind::Lru;
+            c.name = "l" + std::to_string(line) + "_" +
+                     (miss == MissPolicy::ReloadSingle ? "single"
+                      : miss == MissPolicy::ReloadLive ? "live"
+                                                       : "line");
+            cases.push_back(c);
+        }
+    }
+    return cases;
+}
+
+class NsfInvariants : public ::testing::TestWithParam<NsfCase>
+{
+};
+
+TEST_P(NsfInvariants, StressPreservesAccounting)
+{
+    const auto &param = GetParam();
+    NamedStateRegisterFile::Config config;
+    config.lines = param.lines;
+    config.regsPerLine = param.regsPerLine;
+    config.maxRegsPerContext = 16;
+    config.missPolicy = param.miss;
+    config.writePolicy = param.write;
+    config.replacement = param.repl;
+
+    mem::MemorySystem memsys;
+    NamedStateRegisterFile rf(config, memsys);
+
+    Random rng(909);
+    std::map<ContextId, std::map<RegIndex, Word>> golden;
+    std::vector<ContextId> live;
+    ContextId next_cid = 0;
+    Word next_value = 1;
+
+    auto check_invariants = [&] {
+        // Decoder lines == lines owned by live contexts.
+        std::size_t owned = 0;
+        for (ContextId cid : live)
+            owned += rf.residentLines(cid);
+        ASSERT_EQ(owned, rf.decoder().validCount());
+
+        // Resident-valid registers are a subset of golden state.
+        std::size_t resident_valid = 0;
+        for (ContextId cid : live) {
+            for (RegIndex off = 0; off < 16; ++off) {
+                if (rf.residentValid(cid, off))
+                    ++resident_valid;
+            }
+        }
+        ASSERT_LE(resident_valid,
+                  param.lines * param.regsPerLine);
+
+        // Allocation conservation.
+        const auto &s = rf.stats();
+        ASSERT_GE(s.lineAllocs.value(),
+                  s.lineEvictions.value() +
+                      rf.decoder().validCount());
+        ASSERT_LE(s.liveRegsReloaded.value(),
+                  s.regsReloaded.value());
+    };
+
+    for (int step = 0; step < 15000; ++step) {
+        double roll = rng.real();
+        if (live.empty() || (roll < 0.05 && live.size() < 8)) {
+            ContextId cid = next_cid++;
+            rf.allocContext(cid, 0x100000 + cid * 0x100);
+            golden[cid];
+            live.push_back(cid);
+        } else if (roll < 0.50) {
+            ContextId cid = live[rng.uniform(live.size())];
+            RegIndex off = static_cast<RegIndex>(rng.uniform(16));
+            Word value = next_value++;
+            rf.write(cid, off, value);
+            golden[cid][off] = value;
+        } else if (roll < 0.90) {
+            ContextId cid = live[rng.uniform(live.size())];
+            auto &ctx = golden[cid];
+            if (ctx.empty())
+                continue;
+            auto it = ctx.begin();
+            std::advance(it, rng.uniform(ctx.size()));
+            Word v = 0;
+            rf.read(cid, it->first, v);
+            ASSERT_EQ(v, it->second)
+                << param.name << " ctx " << cid << " reg "
+                << it->first;
+        } else if (roll < 0.94) {
+            ContextId cid = live[rng.uniform(live.size())];
+            auto &ctx = golden[cid];
+            if (ctx.empty())
+                continue;
+            auto it = ctx.begin();
+            std::advance(it, rng.uniform(ctx.size()));
+            rf.freeRegister(cid, it->first);
+            ctx.erase(it);
+        } else if (roll < 0.97 && live.size() > 1) {
+            auto pos = rng.uniform(live.size());
+            ContextId dead = live[pos];
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+            rf.freeContext(dead);
+            golden.erase(dead);
+        } else {
+            rf.switchTo(live[rng.uniform(live.size())]);
+        }
+
+        if (step % 500 == 0)
+            check_invariants();
+    }
+    check_invariants();
+
+    rf.finalize();
+    EXPECT_LE(rf.maxUtilization(), 1.0 + 1e-12);
+    EXPECT_GE(rf.meanUtilization(), 0.0);
+}
+
+TEST_P(NsfInvariants, FlushRestoreKeepsGoldenState)
+{
+    const auto &param = GetParam();
+    NamedStateRegisterFile::Config config;
+    config.lines = param.lines;
+    config.regsPerLine = param.regsPerLine;
+    config.maxRegsPerContext = 16;
+    config.missPolicy = param.miss;
+    config.writePolicy = param.write;
+
+    mem::MemorySystem memsys;
+    NamedStateRegisterFile rf(config, memsys);
+    Random rng(31337);
+
+    std::map<RegIndex, Word> golden;
+    rf.allocContext(5, 0x8000);
+    for (int round = 0; round < 40; ++round) {
+        for (int i = 0; i < 8; ++i) {
+            RegIndex off = static_cast<RegIndex>(rng.uniform(16));
+            Word value =
+                static_cast<Word>(round * 100 + i);
+            rf.write(5, off, value);
+            golden[off] = value;
+        }
+        rf.flushContext(5);
+        rf.restoreContext(5, 0x8000);
+        for (const auto &[off, value] : golden) {
+            Word v = 0;
+            rf.read(5, off, v);
+            ASSERT_EQ(v, value)
+                << param.name << " round " << round << " reg "
+                << off;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, NsfInvariants, ::testing::ValuesIn(nsfCases()),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace nsrf::regfile

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Property tests: every register file organization is a cache of
+ * the register name space.  Against a golden map of the most
+ * recently written value per <cid:offset>, random operation
+ * sequences must always read back the right value, and the
+ * occupancy/traffic counters must obey conservation laws.
+ *
+ * The sweep runs every organization x policy combination through
+ * the same randomized workload (TEST_P).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+struct PropertyCase
+{
+    std::string name;
+    RegFileConfig config;
+};
+
+std::vector<PropertyCase>
+propertyCases()
+{
+    std::vector<PropertyCase> cases;
+
+    auto base = [] {
+        RegFileConfig c;
+        c.totalRegs = 64;
+        c.regsPerContext = 16;
+        return c;
+    };
+
+    {
+        auto c = base();
+        c.org = Organization::Conventional;
+        cases.push_back({"conventional", c});
+    }
+    {
+        auto c = base();
+        c.org = Organization::Windowed;
+        cases.push_back({"windowed", c});
+    }
+    {
+        auto c = base();
+        c.org = Organization::Segmented;
+        c.backgroundTransfer = true;
+        cases.push_back({"segmented_bg", c});
+    }
+    for (bool valid : {false, true}) {
+        for (auto mech : {SpillMechanism::HardwareAssist,
+                          SpillMechanism::SoftwareTrap}) {
+            auto c = base();
+            c.org = Organization::Segmented;
+            c.trackValid = valid;
+            c.mechanism = mech;
+            std::string name = "segmented_";
+            name += valid ? "valid_" : "plain_";
+            name += mech == SpillMechanism::HardwareAssist ? "hw"
+                                                           : "sw";
+            cases.push_back({name, c});
+        }
+    }
+    for (unsigned line : {1u, 2u, 4u}) {
+        for (auto miss : {MissPolicy::ReloadSingle,
+                          MissPolicy::ReloadLive,
+                          MissPolicy::ReloadLine}) {
+            for (auto write : {WritePolicy::WriteAllocate,
+                               WritePolicy::FetchOnWrite}) {
+                auto c = base();
+                c.org = Organization::NamedState;
+                c.regsPerLine = line;
+                c.missPolicy = miss;
+                c.writePolicy = write;
+                std::string name = "nsf_l" + std::to_string(line);
+                name += miss == MissPolicy::ReloadSingle ? "_single"
+                        : miss == MissPolicy::ReloadLive ? "_live"
+                                                         : "_line";
+                name += write == WritePolicy::WriteAllocate ? "_wa"
+                                                            : "_fow";
+                cases.push_back({name, c});
+            }
+        }
+    }
+    for (auto repl : {cam::ReplacementKind::Fifo,
+                      cam::ReplacementKind::Random}) {
+        auto c = base();
+        c.org = Organization::NamedState;
+        c.replacement = repl;
+        cases.push_back(
+            {std::string("nsf_") + cam::replacementName(repl), c});
+    }
+    return cases;
+}
+
+class RegFileProperty : public ::testing::TestWithParam<PropertyCase>
+{
+};
+
+TEST_P(RegFileProperty, ReadsAlwaysReturnLastWrite)
+{
+    const auto &config = GetParam().config;
+    mem::MemorySystem memsys;
+    auto rf = makeRegisterFile(config, memsys);
+
+    Random rng(0xabcdef);
+    std::map<ContextId, std::map<RegIndex, Word>> golden;
+    std::vector<ContextId> live;
+    // The hardware CID space is small; recycle names the way a
+    // real runtime does.
+    std::vector<ContextId> free_cids;
+    for (ContextId c = 64; c-- > 0;)
+        free_cids.push_back(c);
+    Word next_value = 1;
+
+    auto alloc_ctx = [&] {
+        ContextId cid = free_cids.back();
+        free_cids.pop_back();
+        rf->allocContext(cid, 0x100000 + cid * 0x100);
+        golden[cid];
+        live.push_back(cid);
+        return cid;
+    };
+    for (int i = 0; i < 4; ++i)
+        alloc_ctx();
+
+    for (int step = 0; step < 60000; ++step) {
+        double roll = rng.real();
+        ContextId cid = live[rng.uniform(live.size())];
+        auto &ctx_golden = golden[cid];
+
+        if (roll < 0.45) {
+            RegIndex off = static_cast<RegIndex>(
+                rng.uniform(config.regsPerContext));
+            Word value = next_value++;
+            rf->write(cid, off, value);
+            ctx_golden[off] = value;
+        } else if (roll < 0.85) {
+            if (ctx_golden.empty())
+                continue;
+            auto it = ctx_golden.begin();
+            std::advance(it, rng.uniform(ctx_golden.size()));
+            Word value = 0;
+            rf->read(cid, it->first, value);
+            ASSERT_EQ(value, it->second)
+                << GetParam().name << " step " << step << " ctx "
+                << cid << " reg " << it->first;
+        } else if (roll < 0.90) {
+            rf->switchTo(cid);
+        } else if (roll < 0.94 && !ctx_golden.empty()) {
+            auto it = ctx_golden.begin();
+            std::advance(it, rng.uniform(ctx_golden.size()));
+            rf->freeRegister(cid, it->first);
+            ctx_golden.erase(it);
+        } else if (roll < 0.97 && live.size() > 2) {
+            // Destroy an activation.
+            auto pos = rng.uniform(live.size());
+            ContextId dead = live[pos];
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+            rf->freeContext(dead);
+            golden.erase(dead);
+            free_cids.push_back(dead);
+        } else if (live.size() < 12) {
+            alloc_ctx();
+        }
+    }
+
+    // Everything still live must read back exactly.
+    for (ContextId cid : live) {
+        for (const auto &[off, value] : golden[cid]) {
+            Word v = 0;
+            rf->read(cid, off, v);
+            ASSERT_EQ(v, value) << GetParam().name << " final ctx "
+                                << cid << " reg " << off;
+        }
+    }
+}
+
+TEST_P(RegFileProperty, CountersObeyConservation)
+{
+    const auto &config = GetParam().config;
+    mem::MemorySystem memsys;
+    auto rf = makeRegisterFile(config, memsys);
+
+    Random rng(42);
+    std::vector<ContextId> live;
+    for (ContextId c = 0; c < 8; ++c) {
+        rf->allocContext(c, 0x100000 + c * 0x100);
+        live.push_back(c);
+    }
+
+    std::uint64_t reads = 0, writes = 0, switches = 0;
+    for (int step = 0; step < 30000; ++step) {
+        ContextId cid = live[rng.uniform(live.size())];
+        double roll = rng.real();
+        if (roll < 0.5) {
+            rf->write(cid,
+                      static_cast<RegIndex>(
+                          rng.uniform(config.regsPerContext)),
+                      static_cast<Word>(step));
+            ++writes;
+        } else if (roll < 0.9) {
+            Word v;
+            rf->read(cid,
+                     static_cast<RegIndex>(
+                         rng.uniform(config.regsPerContext)),
+                     v);
+            ++reads;
+        } else {
+            rf->switchTo(cid);
+            ++switches;
+        }
+    }
+    rf->finalize();
+
+    const auto &s = rf->stats();
+    EXPECT_EQ(s.reads.value(), reads);
+    EXPECT_EQ(s.writes.value(), writes);
+    EXPECT_EQ(s.contextSwitches.value(), switches);
+    // Live traffic never exceeds raw traffic.
+    EXPECT_LE(s.liveRegsSpilled.value(), s.regsSpilled.value());
+    EXPECT_LE(s.liveRegsReloaded.value(), s.regsReloaded.value());
+    // Misses never exceed their access kind.
+    EXPECT_LE(s.readMisses.value(), s.reads.value());
+    EXPECT_LE(s.writeMisses.value(), s.writes.value());
+    // Occupancy stays within the physical file.
+    EXPECT_GE(rf->meanUtilization(), 0.0);
+    EXPECT_LE(rf->maxUtilization(), 1.0);
+    EXPECT_LE(s.activeRegs.max(), double(rf->totalRegs()));
+}
+
+TEST_P(RegFileProperty, DeterministicAcrossRuns)
+{
+    const auto &config = GetParam().config;
+
+    auto run = [&] {
+        mem::MemorySystem memsys;
+        auto rf = makeRegisterFile(config, memsys);
+        Random rng(7);
+        for (ContextId c = 0; c < 6; ++c)
+            rf->allocContext(c, 0x100000 + c * 0x100);
+        for (int step = 0; step < 20000; ++step) {
+            ContextId cid = rng.uniform(6);
+            if (rng.chance(0.5)) {
+                rf->write(cid,
+                          static_cast<RegIndex>(rng.uniform(
+                              config.regsPerContext)),
+                          static_cast<Word>(step));
+            } else {
+                Word v;
+                rf->read(cid,
+                         static_cast<RegIndex>(rng.uniform(
+                             config.regsPerContext)),
+                         v);
+            }
+        }
+        rf->finalize();
+        const auto &s = rf->stats();
+        return std::tuple(s.regsSpilled.value(),
+                          s.regsReloaded.value(), s.stallCycles,
+                          s.activeRegs.mean());
+    };
+
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrganizations, RegFileProperty,
+    ::testing::ValuesIn(propertyCases()),
+    [](const auto &info) { return info.param.name; });
+
+} // namespace
+} // namespace nsrf::regfile

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the segmented (and conventional) register file
+ * baselines: frame residency, whole-frame spill/reload, valid-bit
+ * optimization, and the two spill cost mechanisms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/segmented.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+SegmentedRegisterFile::Config
+config4x8(bool track_valid = false,
+          SpillMechanism mech = SpillMechanism::HardwareAssist)
+{
+    SegmentedRegisterFile::Config c;
+    c.frames = 4;
+    c.regsPerFrame = 8;
+    c.trackValid = track_valid;
+    c.mechanism = mech;
+    return c;
+}
+
+class SegmentedTest : public ::testing::Test
+{
+  protected:
+    SegmentedTest() : rf(config4x8(), mem) {}
+
+    void
+    allocAll(unsigned count)
+    {
+        for (ContextId c = 0; c < count; ++c)
+            rf.allocContext(c, 0x10000 + c * 0x100);
+    }
+
+    mem::MemorySystem mem;
+    SegmentedRegisterFile rf;
+};
+
+TEST_F(SegmentedTest, ReadBackAfterWrite)
+{
+    allocAll(1);
+    rf.switchTo(0);
+    rf.write(0, 3, 77);
+    Word v = 0;
+    rf.read(0, 3, v);
+    EXPECT_EQ(v, 77u);
+}
+
+TEST_F(SegmentedTest, SwitchAmongResidentIsFree)
+{
+    allocAll(4);
+    for (ContextId c = 0; c < 4; ++c)
+        rf.switchTo(c);
+    // All four fit; switching back costs nothing.
+    auto res = rf.switchTo(0);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.stall, 0u);
+    EXPECT_EQ(res.spilled, 0u);
+}
+
+TEST_F(SegmentedTest, FifthContextEvictsAFrame)
+{
+    allocAll(5);
+    for (ContextId c = 0; c < 4; ++c) {
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    auto res = rf.switchTo(4);
+    EXPECT_FALSE(res.hit);
+    // The victim's whole frame spills (no valid bits).
+    EXPECT_EQ(res.spilled, 8u);
+    EXPECT_FALSE(rf.resident(0)); // LRU victim
+    EXPECT_TRUE(rf.resident(4));
+}
+
+TEST_F(SegmentedTest, ValuesSurviveSpillAndReload)
+{
+    allocAll(6);
+    for (ContextId c = 0; c < 6; ++c) {
+        rf.switchTo(c);
+        for (RegIndex r = 0; r < 8; ++r)
+            rf.write(c, r, c * 100 + r);
+    }
+    // Contexts 0 and 1 were evicted; read them back.
+    for (ContextId c = 0; c < 6; ++c) {
+        rf.switchTo(c);
+        for (RegIndex r = 0; r < 8; ++r) {
+            Word v = 0;
+            rf.read(c, r, v);
+            EXPECT_EQ(v, c * 100 + r) << "c=" << c << " r=" << r;
+        }
+    }
+}
+
+TEST_F(SegmentedTest, ReloadMovesWholeFrame)
+{
+    allocAll(5);
+    rf.switchTo(0);
+    rf.write(0, 0, 1); // one live register
+    for (ContextId c = 1; c < 5; ++c)
+        rf.switchTo(c); // pushes 0 out
+    EXPECT_FALSE(rf.resident(0));
+    auto res = rf.switchTo(0);
+    // Without valid bits the entire 8-register frame reloads.
+    EXPECT_EQ(res.reloaded, 8u);
+    EXPECT_EQ(rf.stats().liveRegsReloaded.value(), 1u);
+}
+
+TEST_F(SegmentedTest, FreshContextLoadsNothing)
+{
+    allocAll(1);
+    auto res = rf.switchTo(0);
+    EXPECT_FALSE(res.hit); // not resident yet
+    EXPECT_EQ(res.reloaded, 0u);
+    EXPECT_EQ(res.spilled, 0u);
+}
+
+TEST_F(SegmentedTest, ImplicitSwitchOnAccess)
+{
+    allocAll(5);
+    for (ContextId c = 0; c < 5; ++c) {
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    // Context 0 is non-resident; a bare write faults it in.
+    auto res = rf.write(0, 1, 9);
+    EXPECT_FALSE(res.hit);
+    EXPECT_TRUE(rf.resident(0));
+    EXPECT_EQ(rf.stats().writeMisses.value(), 1u);
+}
+
+TEST_F(SegmentedTest, FreeContextReleasesFrame)
+{
+    allocAll(4);
+    for (ContextId c = 0; c < 4; ++c) {
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    rf.freeContext(2);
+    EXPECT_FALSE(rf.resident(2));
+    // A new context takes the free frame without spilling.
+    rf.allocContext(9, 0x20000);
+    auto res = rf.switchTo(9);
+    EXPECT_EQ(res.spilled, 0u);
+}
+
+TEST_F(SegmentedTest, FreeRegisterDropsLiveCount)
+{
+    allocAll(1);
+    rf.switchTo(0);
+    rf.write(0, 0, 5);
+    rf.write(0, 1, 6);
+    rf.freeRegister(0, 1);
+    rf.finalize();
+    // Only one live register remains in occupancy terms.
+    EXPECT_EQ(rf.stats().activeRegs.max(), 2.0);
+}
+
+TEST_F(SegmentedTest, DescribeMentionsShape)
+{
+    EXPECT_EQ(rf.describe(), "segmented(4x8,hw,lru)");
+}
+
+TEST_F(SegmentedTest, AccessToUnallocatedContextPanics)
+{
+    Word v;
+    EXPECT_DEATH(rf.read(42, 0, v), "unallocated");
+    EXPECT_DEATH(rf.switchTo(42), "unallocated");
+}
+
+TEST_F(SegmentedTest, OffsetBeyondFramePanics)
+{
+    allocAll(1);
+    EXPECT_DEATH(rf.write(0, 8, 1), "exceeds frame size");
+}
+
+TEST(SegmentedValid, SpillsOnlyLiveRegisters)
+{
+    mem::MemorySystem mem;
+    SegmentedRegisterFile rf(config4x8(true), mem);
+    for (ContextId c = 0; c < 5; ++c)
+        rf.allocContext(c, 0x10000 + c * 0x100);
+    rf.switchTo(0);
+    rf.write(0, 2, 22);
+    rf.write(0, 5, 55);
+    for (ContextId c = 1; c < 5; ++c)
+        rf.switchTo(c);
+    // Victim 0 had two live registers; only those moved.
+    EXPECT_EQ(rf.stats().regsSpilled.value(), 2u);
+    auto res = rf.switchTo(0);
+    EXPECT_EQ(res.reloaded, 2u);
+    Word v = 0;
+    rf.read(0, 2, v);
+    EXPECT_EQ(v, 22u);
+    rf.read(0, 5, v);
+    EXPECT_EQ(v, 55u);
+}
+
+TEST(SegmentedCosts, SoftwareTrapCostsMoreThanHardware)
+{
+    mem::MemorySystem mem_hw, mem_sw;
+    SegmentedRegisterFile hw(config4x8(false,
+                                       SpillMechanism::HardwareAssist),
+                             mem_hw);
+    SegmentedRegisterFile sw(config4x8(false,
+                                       SpillMechanism::SoftwareTrap),
+                             mem_sw);
+    for (auto *rf : {&hw, &sw}) {
+        for (ContextId c = 0; c < 5; ++c)
+            rf->allocContext(c, 0x10000 + c * 0x100);
+        for (ContextId c = 0; c < 5; ++c) {
+            rf->switchTo(c);
+            rf->write(c, 0, 1);
+        }
+        rf->switchTo(0); // forces spill + reload
+    }
+    EXPECT_GT(sw.stats().stallCycles, hw.stats().stallCycles);
+    // Same traffic either way; only the cycle cost differs.
+    EXPECT_EQ(sw.stats().regsSpilled.value(),
+              hw.stats().regsSpilled.value());
+}
+
+TEST(Conventional, SingleFrameSpillsOnEverySwitch)
+{
+    mem::MemorySystem mem;
+    ConventionalRegisterFile rf(16, mem);
+    rf.allocContext(0, 0x1000);
+    rf.allocContext(1, 0x2000);
+    rf.switchTo(0);
+    rf.write(0, 0, 10);
+    auto res = rf.switchTo(1);
+    EXPECT_EQ(res.spilled, 16u); // the whole file
+    rf.write(1, 0, 20);
+    res = rf.switchTo(0);
+    EXPECT_EQ(res.spilled, 16u);
+    EXPECT_EQ(res.reloaded, 16u);
+    Word v = 0;
+    rf.read(0, 0, v);
+    EXPECT_EQ(v, 10u);
+}
+
+TEST(Conventional, DescribeNamesItself)
+{
+    mem::MemorySystem mem;
+    ConventionalRegisterFile rf(128, mem);
+    EXPECT_EQ(rf.describe(), "conventional(128)");
+}
+
+TEST(SegmentedStats, UtilizationReflectsLiveRegisters)
+{
+    mem::MemorySystem mem;
+    SegmentedRegisterFile rf(config4x8(), mem);
+    rf.allocContext(0, 0x1000);
+    rf.switchTo(0);
+    for (RegIndex r = 0; r < 4; ++r)
+        rf.write(0, r, r);
+    for (int i = 0; i < 100; ++i) {
+        Word v;
+        rf.read(0, 0, v);
+    }
+    rf.finalize();
+    // 4 live of 32 total, after a long steady period.
+    EXPECT_NEAR(rf.meanUtilization(), 4.0 / 32.0, 0.02);
+}
+
+TEST(SegmentedStats, ResidentContextsTracked)
+{
+    mem::MemorySystem mem;
+    SegmentedRegisterFile rf(config4x8(), mem);
+    for (ContextId c = 0; c < 3; ++c) {
+        rf.allocContext(c, 0x1000 + c * 0x100);
+        rf.switchTo(c);
+        rf.write(c, 0, 1);
+    }
+    for (int i = 0; i < 200; ++i) {
+        Word v;
+        rf.read(2, 0, v);
+    }
+    rf.finalize();
+    EXPECT_NEAR(rf.stats().residentContexts.mean(), 3.0, 0.1);
+}
+
+} // namespace
+} // namespace nsrf::regfile

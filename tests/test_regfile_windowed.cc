@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the SPARC-style windowed register file (§5 related
+ * work baseline) and the background-transfer segmented option.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/regfile/windowed.hh"
+
+namespace nsrf::regfile
+{
+namespace
+{
+
+WindowedRegisterFile::Config
+config4x8()
+{
+    WindowedRegisterFile::Config c;
+    c.windows = 4;
+    c.regsPerWindow = 8;
+    c.spillBatch = 2;
+    return c;
+}
+
+class WindowedTest : public ::testing::Test
+{
+  protected:
+    WindowedTest() : rf(config4x8(), mem) {}
+
+    void
+    alloc(ContextId cid)
+    {
+        rf.allocContext(cid, 0x10000 + cid * 0x100);
+    }
+
+    mem::MemorySystem mem;
+    WindowedRegisterFile rf;
+};
+
+TEST_F(WindowedTest, ReadBackAfterWrite)
+{
+    alloc(0);
+    rf.switchTo(0);
+    rf.write(0, 3, 99);
+    Word v = 0;
+    rf.read(0, 3, v);
+    EXPECT_EQ(v, 99u);
+}
+
+TEST_F(WindowedTest, CallChainWithinWindowsIsCheap)
+{
+    for (ContextId c = 0; c < 4; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    EXPECT_EQ(rf.overflowTraps(), 0u);
+    // Switching back down the chain is free: windows resident.
+    auto res = rf.switchTo(1);
+    EXPECT_TRUE(res.hit);
+    EXPECT_EQ(res.stall, 0u);
+}
+
+TEST_F(WindowedTest, OverflowSpillsABatchOfOldWindows)
+{
+    for (ContextId c = 0; c < 5; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        rf.write(c, 0, 100 + c);
+    }
+    // The fifth activation overflowed: batch of 2 oldest spilled.
+    EXPECT_EQ(rf.overflowTraps(), 1u);
+    EXPECT_FALSE(rf.resident(0));
+    EXPECT_FALSE(rf.resident(1));
+    EXPECT_TRUE(rf.resident(2));
+    EXPECT_TRUE(rf.resident(4));
+    EXPECT_EQ(rf.stats().regsSpilled.value(), 16u); // 2 x 8 regs
+}
+
+TEST_F(WindowedTest, UnderflowReloadsTheWholeWindow)
+{
+    for (ContextId c = 0; c < 5; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        rf.write(c, 0, 100 + c);
+    }
+    auto traps_before = rf.underflowTraps();
+    auto res = rf.switchTo(0); // spilled earlier
+    EXPECT_GT(rf.underflowTraps(), traps_before);
+    EXPECT_EQ(res.reloaded, 8u); // whole window, no valid bits
+    Word v = 0;
+    rf.read(0, 0, v);
+    EXPECT_EQ(v, 100u);
+}
+
+TEST_F(WindowedTest, ValuesSurviveSpillReloadCycles)
+{
+    for (ContextId c = 0; c < 8; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        for (RegIndex r = 0; r < 8; ++r)
+            rf.write(c, r, c * 10 + r);
+    }
+    for (ContextId c = 0; c < 8; ++c) {
+        rf.switchTo(c);
+        for (RegIndex r = 0; r < 8; ++r) {
+            Word v = 0;
+            rf.read(c, r, v);
+            EXPECT_EQ(v, c * 10 + r) << "c=" << c << " r=" << r;
+        }
+    }
+}
+
+TEST_F(WindowedTest, TrapCostsAreCharged)
+{
+    for (ContextId c = 0; c < 5; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    auto res = rf.switchTo(0);
+    // Trap overhead + 8 reloads with per-reg extras at minimum.
+    EXPECT_GE(res.stall, rf.config().trapOverhead + 8u);
+}
+
+TEST_F(WindowedTest, FreeContextReleasesWindow)
+{
+    for (ContextId c = 0; c < 4; ++c) {
+        alloc(c);
+        rf.switchTo(c);
+        rf.write(c, 0, c);
+    }
+    rf.freeContext(3);
+    EXPECT_FALSE(rf.resident(3));
+    // A new activation slots in with no overflow.
+    alloc(9);
+    rf.switchTo(9);
+    EXPECT_EQ(rf.overflowTraps(), 0u);
+}
+
+TEST_F(WindowedTest, DescribeNamesItself)
+{
+    EXPECT_EQ(rf.describe(), "windowed(4x8,batch2)");
+}
+
+TEST_F(WindowedTest, PanicsOnBadUse)
+{
+    Word v;
+    EXPECT_DEATH(rf.read(42, 0, v), "unallocated");
+    alloc(0);
+    EXPECT_DEATH(rf.write(0, 8, 1), "exceeds window size");
+}
+
+TEST(WindowedFactory, BuildsThroughTheCommonConfig)
+{
+    mem::MemorySystem mem;
+    RegFileConfig config;
+    config.org = Organization::Windowed;
+    config.totalRegs = 128;
+    config.regsPerContext = 16;
+    config.windowSpillBatch = 4;
+    auto rf = makeRegisterFile(config, mem);
+    EXPECT_EQ(rf->describe(), "windowed(8x16,batch4)");
+    EXPECT_EQ(rf->totalRegs(), 128u);
+}
+
+TEST(WindowedVsNsf, ThreadSwitchingFavoursTheNsf)
+{
+    // Round-robin among more threads than windows: the windowed
+    // file traps on every switch, the NSF never moves a register.
+    mem::MemorySystem mem_win, mem_nsf;
+    RegFileConfig config;
+    config.totalRegs = 64;
+    config.regsPerContext = 16;
+
+    config.org = Organization::Windowed;
+    auto win = makeRegisterFile(config, mem_win);
+    config.org = Organization::NamedState;
+    auto nsf = makeRegisterFile(config, mem_nsf);
+
+    for (auto *rf : {win.get(), nsf.get()}) {
+        for (ContextId c = 0; c < 6; ++c) {
+            rf->allocContext(c, 0x10000 + c * 0x100);
+            rf->switchTo(c);
+            for (RegIndex r = 0; r < 10; ++r)
+                rf->write(c, r, r);
+        }
+        for (int round = 0; round < 20; ++round) {
+            for (ContextId c = 0; c < 6; ++c) {
+                rf->switchTo(c);
+                Word v;
+                rf->read(c, 2, v);
+            }
+        }
+    }
+    EXPECT_GT(win->stats().stallCycles,
+              10 * nsf->stats().stallCycles);
+    EXPECT_GT(win->stats().regsReloaded.value(),
+              nsf->stats().regsReloaded.value());
+}
+
+TEST(BackgroundTransfer, HalvesVisibleStallNotTraffic)
+{
+    mem::MemorySystem mem_fg, mem_bg;
+    SegmentedRegisterFile::Config base;
+    base.frames = 2;
+    base.regsPerFrame = 8;
+
+    SegmentedRegisterFile fg(base, mem_fg);
+    base.backgroundTransfer = true;
+    SegmentedRegisterFile bg(base, mem_bg);
+
+    for (auto *rf : {&fg, &bg}) {
+        for (ContextId c = 0; c < 4; ++c) {
+            rf->allocContext(c, 0x10000 + c * 0x100);
+            rf->switchTo(c);
+            rf->write(c, 0, c);
+        }
+        for (int round = 0; round < 10; ++round)
+            for (ContextId c = 0; c < 4; ++c)
+                rf->switchTo(c);
+    }
+
+    EXPECT_EQ(bg.stats().regsReloaded.value(),
+              fg.stats().regsReloaded.value());
+    EXPECT_LT(bg.stats().stallCycles, fg.stats().stallCycles);
+    EXPECT_GT(bg.stats().stallCycles,
+              fg.stats().stallCycles / 4);
+    EXPECT_EQ(bg.describe(), "segmented(2x8,hw,bg,lru)");
+}
+
+} // namespace
+} // namespace nsrf::regfile

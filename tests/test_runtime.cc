@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the runtime substrate: CID and frame allocators
+ * and the block-multithreading scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nsrf/runtime/allocators.hh"
+#include "nsrf/runtime/scheduler.hh"
+
+namespace nsrf::runtime
+{
+namespace
+{
+
+TEST(CidAllocator, AllocatesDistinctIds)
+{
+    CidAllocator a(16);
+    std::set<ContextId> seen;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(seen.insert(a.alloc()).second);
+    EXPECT_EQ(a.inUse(), 16u);
+}
+
+TEST(CidAllocator, ExhaustionReturnsInvalid)
+{
+    CidAllocator a(2);
+    a.alloc();
+    a.alloc();
+    EXPECT_EQ(a.alloc(), invalidContext);
+}
+
+TEST(CidAllocator, RecyclesFreedIds)
+{
+    CidAllocator a(2);
+    ContextId x = a.alloc();
+    a.alloc();
+    a.free(x);
+    EXPECT_EQ(a.alloc(), x);
+    EXPECT_EQ(a.alloc(), invalidContext);
+}
+
+TEST(CidAllocator, DoubleFreePanics)
+{
+    CidAllocator a(4);
+    ContextId x = a.alloc();
+    a.free(x);
+    EXPECT_DEATH(a.free(x), "not live");
+}
+
+TEST(CidAllocator, CapacityBound)
+{
+    CidAllocator a(1024);
+    for (int i = 0; i < 1024; ++i)
+        EXPECT_LT(a.alloc(), 1024u);
+}
+
+TEST(FrameAllocator, FramesAreDisjoint)
+{
+    FrameAllocator f(0x1000, 128);
+    Addr a = f.alloc();
+    Addr b = f.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ((b > a ? b - a : a - b) % 128, 0u);
+}
+
+TEST(FrameAllocator, RecyclesFrames)
+{
+    FrameAllocator f(0x1000, 64);
+    Addr a = f.alloc();
+    f.free(a);
+    EXPECT_EQ(f.alloc(), a);
+}
+
+TEST(FrameAllocator, BadFreePanics)
+{
+    FrameAllocator f(0x1000, 64);
+    EXPECT_DEATH(f.free(0x1001), "bad frame");
+    EXPECT_DEATH(f.free(0x0), "bad frame");
+}
+
+TEST(Scheduler, SingleThreadRuns)
+{
+    Scheduler s;
+    s.create(100, 5);
+    Cycles now = 0;
+    Thread *t = s.pickNext(now);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->pc, 100u);
+    EXPECT_EQ(t->cid, 5u);
+    EXPECT_EQ(t->state, ThreadState::Running);
+}
+
+TEST(Scheduler, FifoOrder)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    s.create(0, 2);
+    Cycles now = 0;
+    EXPECT_EQ(s.pickNext(now)->cid, 0u);
+    s.yield();
+    EXPECT_EQ(s.pickNext(now)->cid, 1u);
+    s.yield();
+    EXPECT_EQ(s.pickNext(now)->cid, 2u);
+    s.yield();
+    EXPECT_EQ(s.pickNext(now)->cid, 0u);
+}
+
+TEST(Scheduler, BlockUntilAdvancesTime)
+{
+    Scheduler s;
+    s.create(0, 0);
+    Cycles now = 10;
+    s.pickNext(now);
+    s.blockUntil(500);
+    Thread *t = s.pickNext(now);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(now, 500u);
+    EXPECT_EQ(s.stats().idleCycles, 490u);
+}
+
+TEST(Scheduler, BlockedThreadNotPickedEarly)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    Cycles now = 0;
+    s.pickNext(now); // thread 0
+    s.blockUntil(1000);
+    Thread *t = s.pickNext(now);
+    EXPECT_EQ(t->cid, 1u); // thread 1 runs while 0 sleeps
+    EXPECT_EQ(now, 0u);
+}
+
+TEST(Scheduler, ExitReducesLiveCount)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    Cycles now = 0;
+    s.pickNext(now);
+    EXPECT_EQ(s.liveCount(), 2u);
+    s.exitCurrent();
+    EXPECT_EQ(s.liveCount(), 1u);
+    s.pickNext(now);
+    s.exitCurrent();
+    EXPECT_EQ(s.pickNext(now), nullptr);
+}
+
+TEST(Scheduler, SyncSignalWakesWaiter)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    Cycles now = 0;
+    s.pickNext(now); // thread 0
+    s.blockOnSync(0x100);
+    Thread *t = s.pickNext(now); // thread 1
+    EXPECT_EQ(t->cid, 1u);
+    s.signalSync(0x100);
+    s.yield(); // thread 1 back to queue
+    t = s.pickNext(now);
+    EXPECT_EQ(t->cid, 0u); // woken waiter was queued first
+}
+
+TEST(Scheduler, BankedSignalConsumedByTryWait)
+{
+    Scheduler s;
+    s.create(0, 0);
+    Cycles now = 0;
+    s.pickNext(now);
+    s.signalSync(0x200); // no waiter: banked
+    EXPECT_TRUE(s.trySyncWait(0x200));
+    EXPECT_FALSE(s.trySyncWait(0x200));
+}
+
+TEST(Scheduler, SyncDeadlockReturnsNull)
+{
+    Scheduler s;
+    s.create(0, 0);
+    Cycles now = 0;
+    s.pickNext(now);
+    s.blockOnSync(0x300);
+    EXPECT_EQ(s.pickNext(now), nullptr);
+    EXPECT_TRUE(s.anySyncBlocked());
+    EXPECT_EQ(s.liveCount(), 1u);
+}
+
+TEST(Scheduler, SignalsWakeInFifoOrder)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    s.create(0, 2);
+    Cycles now = 0;
+    s.pickNext(now);
+    s.blockOnSync(0x10); // thread 0 waits first
+    s.pickNext(now);
+    s.blockOnSync(0x10); // thread 1 waits second
+    Thread *t = s.pickNext(now); // thread 2
+    s.signalSync(0x10);
+    s.signalSync(0x10);
+    (void)t;
+    s.exitCurrent();
+    EXPECT_EQ(s.pickNext(now)->cid, 0u);
+    s.exitCurrent();
+    EXPECT_EQ(s.pickNext(now)->cid, 1u);
+}
+
+TEST(Scheduler, StatsCountEvents)
+{
+    Scheduler s;
+    s.create(0, 0);
+    s.create(0, 1);
+    Cycles now = 0;
+    s.pickNext(now);
+    s.blockUntil(100);
+    s.pickNext(now);
+    s.blockOnSync(0x1);
+    s.signalSync(0x1);
+    s.pickNext(now);
+    EXPECT_EQ(s.stats().spawned.value(), 2u);
+    EXPECT_EQ(s.stats().remoteBlocks.value(), 1u);
+    EXPECT_EQ(s.stats().syncBlocks.value(), 1u);
+    EXPECT_GE(s.stats().switches.value(), 2u);
+}
+
+} // namespace
+} // namespace nsrf::runtime

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the trace-driven simulator: event plumbing, metric
+ * derivation, handle/CID mapping, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf::sim
+{
+namespace
+{
+
+/** A generator that replays a fixed list of events. */
+class ScriptedTrace : public TraceGenerator
+{
+  public:
+    explicit ScriptedTrace(std::vector<TraceEvent> events)
+        : events_(std::move(events))
+    {
+    }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (pos_ > events_.size())
+            return false;
+        if (pos_ == events_.size()) {
+            ev = TraceEvent::marker(EventKind::End);
+            ++pos_;
+            return true;
+        }
+        ev = events_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::size_t pos_ = 0;
+};
+
+SimConfig
+nsfConfig()
+{
+    SimConfig c;
+    c.rf.org = regfile::Organization::NamedState;
+    c.rf.totalRegs = 32;
+    c.rf.regsPerContext = 8;
+    // Deterministic fixed cost per memory reference for the unit
+    // tests; the data-traffic model is exercised separately.
+    c.modelDataTraffic = false;
+    return c;
+}
+
+TEST(TraceSimulator, CountsInstructions)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 1),
+        TraceEvent::instr(1, 1, 0, true, 2),
+        TraceEvent::instr(2, 1, 2, false, 0),
+    });
+    auto result = runTrace(nsfConfig(), trace);
+    EXPECT_EQ(result.instructions, 4u); // call counts as one
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(TraceSimulator, MemRefChargesExtra)
+{
+    ScriptedTrace plain({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 1, false),
+    });
+    ScriptedTrace memref({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 1, true),
+    });
+    auto a = runTrace(nsfConfig(), plain);
+    auto b = runTrace(nsfConfig(), memref);
+    EXPECT_EQ(b.cycles, a.cycles + 1);
+}
+
+TEST(TraceSimulator, DataTrafficModelChargesCacheLatencies)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 1, true),
+        TraceEvent::instr(0, 0, 0, true, 2, true),
+    });
+    SimConfig config = nsfConfig();
+    config.modelDataTraffic = true;
+    TraceSimulator simulator(config);
+    auto r = simulator.run(trace);
+    // Two data references: at least one cold miss plus base cycles.
+    EXPECT_GE(r.cycles, 3 + 1 + 26u);
+    EXPECT_GT(simulator.memorySystem().cache()->stats()
+                  .accesses.value(),
+              0u);
+}
+
+TEST(TraceSimulator, DataTrafficIsDeterministic)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Quicksort");
+    auto run_once = [&] {
+        workload::ParallelWorkload gen(profile, 30000);
+        SimConfig config;
+        config.rf.org = regfile::Organization::NamedState;
+        config.rf.totalRegs = 128;
+        config.rf.regsPerContext = 32;
+        config.modelDataTraffic = true;
+        return runTrace(config, gen).cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TraceSimulator, CallReturnLifecycle)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 1),
+        TraceEvent::marker(EventKind::Call, 1),
+        TraceEvent::instr(0, 0, 0, true, 2),
+        TraceEvent::marker(EventKind::Return, 0),
+        TraceEvent::instr(1, 1, 0, true, 3),
+    });
+    auto result = runTrace(nsfConfig(), trace);
+    EXPECT_EQ(result.instructions, 6u);
+    EXPECT_EQ(result.contextSwitches, 3u); // 2 calls + 1 return
+}
+
+TEST(TraceSimulator, SpawnSwitchTerminate)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Spawn, 1),
+        TraceEvent::marker(EventKind::Switch, 1),
+        TraceEvent::instr(0, 0, 0, true, 0),
+        TraceEvent::marker(EventKind::Switch, 0),
+        TraceEvent::marker(EventKind::Terminate, 1),
+    });
+    auto result = runTrace(nsfConfig(), trace);
+    EXPECT_EQ(result.instructions, 6u);
+}
+
+TEST(TraceSimulator, FreeRegEventReachesRegfile)
+{
+    SimConfig config = nsfConfig();
+    TraceSimulator simulator(config);
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::instr(0, 0, 0, true, 3),
+        [] {
+            TraceEvent ev = TraceEvent::marker(EventKind::FreeReg);
+            ev.dst = 3;
+            return ev;
+        }(),
+    });
+    auto result = simulator.run(trace);
+    (void)result;
+    // The freed register is no longer resident.
+    auto &rf = simulator.registerFile();
+    Word v;
+    auto res = rf.read(0, 3, v);
+    EXPECT_FALSE(res.hit);
+}
+
+TEST(TraceSimulator, TerminateCurrentPanics)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Terminate, 0),
+    });
+    SimConfig config = nsfConfig();
+    EXPECT_DEATH(runTrace(config, trace), "current context");
+}
+
+TEST(TraceSimulator, UnknownHandlePanics)
+{
+    ScriptedTrace trace({
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Switch, 42),
+    });
+    SimConfig config = nsfConfig();
+    EXPECT_DEATH(runTrace(config, trace), "unmapped context");
+}
+
+TEST(TraceSimulator, MaxInstructionsTruncates)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("ZipFile");
+    workload::SequentialWorkload gen(profile, 50000);
+    SimConfig config = nsfConfig();
+    config.rf.totalRegs = 80;
+    config.rf.regsPerContext = 20;
+    config.maxInstructions = 1000;
+    auto result = runTrace(config, gen);
+    EXPECT_LE(result.instructions, 1001u);
+}
+
+TEST(TraceSimulator, DerivedMetricsConsistent)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Gamteb");
+    workload::ParallelWorkload gen(profile, 60000);
+    SimConfig config;
+    config.rf.org = regfile::Organization::Segmented;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    auto r = runTrace(config, gen);
+
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GE(r.cycles, r.instructions);
+    EXPECT_NEAR(r.reloadsPerInstr(),
+                double(r.regsReloaded) / double(r.instructions),
+                1e-12);
+    EXPECT_LE(r.liveRegsReloaded, r.regsReloaded);
+    EXPECT_GE(r.overheadFraction(), 0.0);
+    EXPECT_LT(r.overheadFraction(), 1.0);
+    EXPECT_GT(r.meanUtilization, 0.0);
+    EXPECT_LE(r.maxUtilization, 1.0);
+    EXPECT_GT(r.meanResidentContexts, 0.0);
+    EXPECT_LE(r.meanResidentContexts, 4.0); // only 4 frames
+    EXPECT_EQ(r.regfileDescription, "segmented(4x32,hw,lru)");
+}
+
+TEST(TraceSimulator, DeterministicResults)
+{
+    auto run_once = [] {
+        workload::BenchmarkProfile profile =
+            workload::profileByName("Paraffins");
+        workload::ParallelWorkload gen(profile, 40000);
+        SimConfig config;
+        config.rf.org = regfile::Organization::NamedState;
+        config.rf.totalRegs = 128;
+        config.rf.regsPerContext = 32;
+        auto r = runTrace(config, gen);
+        return std::tuple(r.instructions, r.cycles, r.regsReloaded,
+                          r.regsSpilled, r.meanActiveRegs);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TraceSimulator, HandleRecyclingSurvivesLongTraces)
+{
+    // Thousands of short-lived activations must not exhaust the
+    // hardware CID space thanks to recycling.
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Gamteb");
+    workload::ParallelWorkload gen(profile, 200000);
+    SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    config.cidCapacity = 64; // tight on purpose
+    auto r = runTrace(config, gen);
+    EXPECT_GT(r.instructions, 100000u);
+}
+
+TEST(TraceSimulator, UncachedBackingStoreWorks)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Quicksort");
+    workload::ParallelWorkload gen(profile, 30000);
+    SimConfig config;
+    config.rf.org = regfile::Organization::Segmented;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = 32;
+    config.cache = std::nullopt; // every spill pays full latency
+    auto uncached = runTrace(config, gen);
+
+    gen.reset();
+    config.cache = mem::CacheConfig{};
+    auto cached = runTrace(config, gen);
+
+    EXPECT_EQ(uncached.regsReloaded, cached.regsReloaded);
+    EXPECT_GT(uncached.regStallCycles, cached.regStallCycles);
+}
+
+} // namespace
+} // namespace nsrf::sim

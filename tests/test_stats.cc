@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for nsrf/stats: counters, streaming statistics,
+ * histograms, and the table/chart renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/stats/counters.hh"
+#include "nsrf/stats/histogram.hh"
+#include "nsrf/stats/table.hh"
+
+namespace nsrf::stats
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, FractionOf)
+{
+    Counter c;
+    c += 25;
+    EXPECT_DOUBLE_EQ(c.fractionOf(100), 0.25);
+    EXPECT_DOUBLE_EQ(c.fractionOf(0), 0.0);
+}
+
+TEST(RunningMean, EmptyIsZero)
+{
+    RunningMean m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMean, MeanAndVariance)
+{
+    RunningMean m;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        m.add(x);
+    EXPECT_EQ(m.count(), 8u);
+    EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+    // Sample variance of the classic data set is 32/7.
+    EXPECT_NEAR(m.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.min(), 2.0);
+    EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(RunningMean, ResetForgets)
+{
+    RunningMean m;
+    m.add(100.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    m.add(2.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+}
+
+TEST(TimeWeightedMean, ConstantSignal)
+{
+    TimeWeightedMean t;
+    t.record(0, 5.0);
+    t.finish(100);
+    EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(t.max(), 5.0);
+}
+
+TEST(TimeWeightedMean, WeightsByDuration)
+{
+    TimeWeightedMean t;
+    t.record(0, 0.0);   // 0 for 10 ticks
+    t.record(10, 10.0); // 10 for 90 ticks
+    t.finish(100);
+    EXPECT_DOUBLE_EQ(t.mean(), 9.0);
+    EXPECT_DOUBLE_EQ(t.max(), 10.0);
+}
+
+TEST(TimeWeightedMean, RepeatedSameTimestamp)
+{
+    TimeWeightedMean t;
+    t.record(0, 1.0);
+    t.record(0, 2.0); // replaces the zero-length interval
+    t.record(0, 3.0);
+    t.finish(10);
+    EXPECT_DOUBLE_EQ(t.mean(), 3.0);
+}
+
+TEST(TimeWeightedMean, MaxSeesTransients)
+{
+    TimeWeightedMean t;
+    t.record(0, 1.0);
+    t.record(50, 99.0);
+    t.record(51, 1.0);
+    t.finish(1000);
+    EXPECT_DOUBLE_EQ(t.max(), 99.0);
+    EXPECT_LT(t.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndMean)
+{
+    Histogram h(0, 10, 10);
+    for (double x : {0.5, 1.5, 1.7, 9.5})
+        h.add(x);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_NEAR(h.mean(), (0.5 + 1.5 + 1.7 + 9.5) / 4.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0, 10, 5);
+    h.add(-1);
+    h.add(10);   // hi is exclusive
+    h.add(1e9);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(0, 100, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, RenderHasOneLinePerBucket)
+{
+    Histogram h(0, 4, 4);
+    h.add(1);
+    h.add(2);
+    std::string out = h.render();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0, 4, 4);
+    h.add(-5);
+    h.add(1);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22222"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha |"), std::string::npos);
+    // All lines are the same width.
+    std::size_t width = out.find('\n');
+    for (std::size_t pos = 0; pos < out.size();) {
+        std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(TextTable, HandlesRaggedRows)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"x", "extra"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::integer(1234567), "1,234,567");
+    EXPECT_EQ(TextTable::integer(12), "12");
+    EXPECT_EQ(TextTable::percent(0.0847, 2), "8.47%");
+    EXPECT_EQ(TextTable::scientific(0.000123, 2), "1.23e-04");
+}
+
+TEST(BarChart, LinearBarsScaleWithValue)
+{
+    BarChart c("title", "u");
+    c.bar("big", 100);
+    c.bar("small", 50);
+    std::string out = c.render(40);
+    auto count_hashes = [&](const char *label) {
+        std::size_t pos = out.find(label);
+        std::size_t bar = out.find('|', pos);
+        std::size_t n = 0;
+        while (out[bar + 1 + n] == '#')
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count_hashes("big"), 40u);
+    EXPECT_EQ(count_hashes("small"), 20u);
+}
+
+TEST(BarChart, LogScaleHandlesZero)
+{
+    BarChart c("t", "", true);
+    c.bar("zero", 0.0);
+    c.bar("tiny", 1e-6);
+    c.bar("one", 1.0);
+    std::string out = c.render();
+    EXPECT_NE(out.find("zero"), std::string::npos);
+    EXPECT_NE(out.find("one"), std::string::npos);
+}
+
+TEST(BarChart, EmptyChartRendersTitleOnly)
+{
+    BarChart c("only title", "");
+    EXPECT_EQ(c.render(), "only title\n");
+}
+
+} // namespace
+} // namespace nsrf::stats

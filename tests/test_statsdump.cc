@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the gem5-style statistics dump and golden encoding
+ * locks for the SRISC ISA (binary compatibility of trace files and
+ * assembled programs across revisions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/isa/isa.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/regfile/statsdump.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+TEST(StatsDump, ContainsEveryCounter)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+    rf->allocContext(0, 0x1000);
+    rf->write(0, 0, 1);
+    Word v;
+    rf->read(0, 0, v);
+    rf->switchTo(0);
+    rf->finalize();
+
+    std::string text = regfile::statsToString(*rf, "sys.rf");
+    for (const char *name :
+         {"sys.rf.reads", "sys.rf.writes", "sys.rf.readMisses",
+          "sys.rf.writeMisses", "sys.rf.contextSwitches",
+          "sys.rf.regsSpilled", "sys.rf.regsReloaded",
+          "sys.rf.stallCycles", "sys.rf.activeRegs.mean",
+          "sys.rf.utilization.mean"}) {
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+    }
+    EXPECT_NE(text.find(rf->describe()), std::string::npos);
+}
+
+TEST(StatsDump, ValuesMatchTheCounters)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig config;
+    auto rf = regfile::makeRegisterFile(config, memsys);
+    rf->allocContext(0, 0x1000);
+    for (int i = 0; i < 7; ++i)
+        rf->write(0, 0, i);
+    rf->finalize();
+
+    std::string text = regfile::statsToString(*rf);
+    EXPECT_NE(text.find("rf.writes"), std::string::npos);
+    // The writes line carries the count 7.
+    auto pos = text.find("rf.writes");
+    auto line_end = text.find('\n', pos);
+    std::string line = text.substr(pos, line_end - pos);
+    EXPECT_NE(line.find("7"), std::string::npos) << line;
+}
+
+/**
+ * Golden encodings: these exact words are written into binary trace
+ * files and assembled images; changing them silently would break
+ * every artifact users have saved.  Update deliberately only.
+ */
+TEST(GoldenEncodings, StableInstructionWords)
+{
+    using isa::Instruction;
+    using isa::Opcode;
+
+    struct Golden
+    {
+        Instruction inst;
+        Word word;
+    };
+    auto make = [](Opcode op, RegIndex rd, RegIndex rs1,
+                   RegIndex rs2, std::int32_t imm) {
+        Instruction in;
+        in.op = op;
+        in.rd = rd;
+        in.rs1 = rs1;
+        in.rs2 = rs2;
+        in.imm = imm;
+        return in;
+    };
+
+    const Golden goldens[] = {
+        {make(Opcode::Nop, 0, 0, 0, 0), 0x00000000u},
+        {make(Opcode::Halt, 0, 0, 0, 0), 0x04000000u},
+        {make(Opcode::Add, 1, 2, 3, 0), 0x08221800u},
+        {make(Opcode::Addi, 1, 2, 0, -1), 0x3422ffffu},
+        {make(Opcode::Ld, 2, 3, 0, 8), 0x54430008u},
+        {make(Opcode::Beq, 0, 1, 2, -4), 0x5c22fffcu},
+        {make(Opcode::Jmp, 0, 0, 0, 100), 0x6c000064u},
+        {make(Opcode::CtxNew, 7, 0, 0, 0), 0x78e00000u},
+        {make(Opcode::Ret, 0, 0, 0, 0), 0x94000000u},
+        {make(Opcode::Li, 4, 0, 0, 42), 0xb480002au},
+    };
+
+    for (const auto &golden : goldens) {
+        isa::Instruction in = golden.inst;
+        if (isa::opInfo(in.op).format == isa::Format::Branch) {
+            // Branch carries rs1/rs2, not rd.
+            in.rs1 = golden.inst.rs1;
+            in.rs2 = golden.inst.rs2;
+        }
+        EXPECT_EQ(isa::encode(in), golden.word)
+            << isa::opInfo(in.op).mnemonic;
+        auto back = isa::decode(golden.word);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(back->op, in.op);
+    }
+}
+
+} // namespace
+} // namespace nsrf

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for binary trace capture and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/tracefile.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf::sim
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        if (!path_.empty())
+            std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, CaptureThenReplayIsIdentical)
+{
+    path_ = tempPath("nsrf_roundtrip.trc");
+    const auto &profile = workload::profileByName("Quicksort");
+
+    workload::ParallelWorkload gen(profile, 20000);
+    std::uint64_t written = captureTrace(gen, path_);
+    EXPECT_EQ(written, 20000u);
+
+    workload::ParallelWorkload fresh(profile, 20000);
+    FileTraceGenerator replay(path_);
+    EXPECT_EQ(replay.size(), 20000u);
+
+    TraceEvent a, b;
+    std::uint64_t compared = 0;
+    while (fresh.next(a)) {
+        ASSERT_TRUE(replay.next(b));
+        ASSERT_EQ(static_cast<int>(a.kind),
+                  static_cast<int>(b.kind))
+            << "event " << compared;
+        ASSERT_EQ(a.ctx, b.ctx);
+        ASSERT_EQ(a.srcCount, b.srcCount);
+        ASSERT_EQ(a.src[0], b.src[0]);
+        ASSERT_EQ(a.src[1], b.src[1]);
+        ASSERT_EQ(a.hasDst, b.hasDst);
+        ASSERT_EQ(a.dst, b.dst);
+        ASSERT_EQ(a.memRef, b.memRef);
+        ++compared;
+        if (a.kind == EventKind::End)
+            break;
+    }
+    EXPECT_EQ(compared, 20001u); // events + End marker
+}
+
+TEST_F(TraceFileTest, ReplayProducesIdenticalSimulation)
+{
+    path_ = tempPath("nsrf_simequal.trc");
+    const auto &profile = workload::profileByName("GateSim");
+
+    workload::SequentialWorkload gen(profile, 30000);
+    captureTrace(gen, path_);
+
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 80;
+    config.rf.regsPerContext = 20;
+
+    workload::SequentialWorkload live(profile, 30000);
+    auto from_live = runTrace(config, live);
+
+    FileTraceGenerator replay(path_);
+    auto from_file = runTrace(config, replay);
+
+    EXPECT_EQ(from_file.instructions, from_live.instructions);
+    EXPECT_EQ(from_file.cycles, from_live.cycles);
+    EXPECT_EQ(from_file.regsReloaded, from_live.regsReloaded);
+    EXPECT_EQ(from_file.regsSpilled, from_live.regsSpilled);
+    EXPECT_DOUBLE_EQ(from_file.meanActiveRegs,
+                     from_live.meanActiveRegs);
+}
+
+TEST_F(TraceFileTest, ResetReplaysFromTheStart)
+{
+    path_ = tempPath("nsrf_reset.trc");
+    const auto &profile = workload::profileByName("ZipFile");
+    workload::SequentialWorkload gen(profile, 5000);
+    captureTrace(gen, path_);
+
+    FileTraceGenerator replay(path_);
+    TraceEvent first;
+    ASSERT_TRUE(replay.next(first));
+    TraceEvent ev;
+    while (replay.next(ev) && ev.kind != EventKind::End) {
+    }
+    EXPECT_FALSE(replay.next(ev));
+
+    replay.reset();
+    TraceEvent again;
+    ASSERT_TRUE(replay.next(again));
+    EXPECT_EQ(static_cast<int>(again.kind),
+              static_cast<int>(first.kind));
+    EXPECT_EQ(again.ctx, first.ctx);
+}
+
+TEST_F(TraceFileTest, CaptureRespectsEventCap)
+{
+    path_ = tempPath("nsrf_cap.trc");
+    const auto &profile = workload::profileByName("Gamteb");
+    workload::ParallelWorkload gen(profile, 100000);
+    EXPECT_EQ(captureTrace(gen, path_, 1234), 1234u);
+    FileTraceGenerator replay(path_);
+    EXPECT_EQ(replay.size(), 1234u);
+}
+
+TEST_F(TraceFileTest, RejectsGarbageFiles)
+{
+    path_ = tempPath("nsrf_garbage.trc");
+    std::FILE *out = std::fopen(path_.c_str(), "wb");
+    std::fputs("this is not a trace", out);
+    std::fclose(out);
+    EXPECT_DEATH(FileTraceGenerator bad(path_),
+                 "not an NSRF trace");
+}
+
+TEST_F(TraceFileTest, RejectsMissingFiles)
+{
+    EXPECT_DEATH(FileTraceGenerator bad("/nonexistent/nsrf.trc"),
+                 "cannot open");
+}
+
+} // namespace
+} // namespace nsrf::sim

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Locks the VLSI area and timing models to the relative numbers the
+ * paper reports in Figures 6-8 (the calibration contract described
+ * in geometry.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/vlsi/area.hh"
+#include "nsrf/vlsi/timing.hh"
+
+namespace nsrf::vlsi
+{
+namespace
+{
+
+TEST(Organization, TagBits)
+{
+    auto one = Organization::namedState(128, 32, 1);
+    EXPECT_EQ(one.tagBits(), 10u); // 5 CID + 5 offset
+    auto two = Organization::namedState(64, 64, 2);
+    EXPECT_EQ(two.tagBits(), 9u);  // one offset bit selects in-line
+    auto four = Organization::namedState(32, 128, 4);
+    EXPECT_EQ(four.tagBits(), 8u);
+}
+
+TEST(Organization, AddrBitsAndPorts)
+{
+    auto seg = Organization::segmented(128, 32);
+    EXPECT_EQ(seg.addrBits(), 7u);
+    EXPECT_EQ(seg.ports(), 3u);
+    auto six = Organization::segmented(64, 64, 4, 2);
+    EXPECT_EQ(six.addrBits(), 6u);
+    EXPECT_EQ(six.ports(), 6u);
+}
+
+class AreaFigures : public ::testing::Test
+{
+  protected:
+    double
+    ratio(const Organization &a, const Organization &b) const
+    {
+        return model.estimate(a).totalUm2() /
+               model.estimate(b).totalUm2();
+    }
+
+    AreaModel model;
+};
+
+// Figure 7: three-ported files (1W + 2R).
+TEST_F(AreaFigures, Fig7NsfOverSegment128Is154Percent)
+{
+    auto seg = Organization::segmented(128, 32);
+    auto nsf = Organization::namedState(128, 32, 1);
+    EXPECT_NEAR(ratio(nsf, seg), 1.54, 0.08);
+}
+
+TEST_F(AreaFigures, Fig7NsfOverSegment64Is130Percent)
+{
+    auto seg = Organization::segmented(64, 64);
+    auto nsf = Organization::namedState(64, 64, 2);
+    EXPECT_NEAR(ratio(nsf, seg), 1.30, 0.07);
+}
+
+TEST_F(AreaFigures, Fig7Segment64Is89PercentOfSegment128)
+{
+    auto seg128 = Organization::segmented(128, 32);
+    auto seg64 = Organization::segmented(64, 64);
+    EXPECT_NEAR(ratio(seg64, seg128), 0.89, 0.05);
+}
+
+// Figure 8: six-ported files (2W + 4R).
+TEST_F(AreaFigures, Fig8NsfOverSegment128Is128Percent)
+{
+    auto seg = Organization::segmented(128, 32, 4, 2);
+    auto nsf = Organization::namedState(128, 32, 1, 4, 2);
+    EXPECT_NEAR(ratio(nsf, seg), 1.28, 0.07);
+}
+
+TEST_F(AreaFigures, Fig8NsfOverSegment64Is116Percent)
+{
+    auto seg = Organization::segmented(64, 64, 4, 2);
+    auto nsf = Organization::namedState(64, 64, 2, 4, 2);
+    EXPECT_NEAR(ratio(nsf, seg), 1.16, 0.06);
+}
+
+TEST_F(AreaFigures, NsfPenaltyShrinksWithMorePorts)
+{
+    // §6.2: "As ports are added to the register file, the area of
+    // an NSF decreases relative to segmented register files."
+    auto seg3 = Organization::segmented(128, 32);
+    auto nsf3 = Organization::namedState(128, 32, 1);
+    auto seg6 = Organization::segmented(128, 32, 4, 2);
+    auto nsf6 = Organization::namedState(128, 32, 1, 4, 2);
+    EXPECT_LT(ratio(nsf6, seg6), ratio(nsf3, seg3));
+}
+
+TEST_F(AreaFigures, BreakdownComponentsArePositive)
+{
+    for (const auto &org : {Organization::segmented(128, 32),
+                            Organization::namedState(128, 32, 1)}) {
+        auto a = model.estimate(org);
+        EXPECT_GT(a.decodeUm2, 0.0);
+        EXPECT_GT(a.logicUm2, 0.0);
+        EXPECT_GT(a.darrayUm2, 0.0);
+        EXPECT_NEAR(a.totalUm2(),
+                    a.decodeUm2 + a.logicUm2 + a.darrayUm2, 1e-9);
+    }
+}
+
+TEST_F(AreaFigures, DataArrayDominates)
+{
+    auto a = model.estimate(Organization::segmented(128, 32));
+    EXPECT_GT(a.darrayUm2, a.decodeUm2 + a.logicUm2);
+}
+
+TEST_F(AreaFigures, AbsoluteAreaInPaperRange)
+{
+    // The paper's Figure 7 bars put the 3-ported 4K-bit files in
+    // the 3.5-7 Mum^2 range in 1.2 um CMOS.
+    auto seg = model.estimate(Organization::segmented(128, 32));
+    EXPECT_GT(seg.totalUm2(), 2.0e6);
+    EXPECT_LT(seg.totalUm2(), 8.0e6);
+    auto nsf =
+        model.estimate(Organization::namedState(128, 32, 1));
+    EXPECT_GT(nsf.totalUm2(), 4.0e6);
+    EXPECT_LT(nsf.totalUm2(), 9.0e6);
+}
+
+TEST_F(AreaFigures, PortGrowthIsQuadratic)
+{
+    // §6.2: cell area grows as the square of the port count.
+    auto seg3 = model.estimate(Organization::segmented(128, 32));
+    auto seg6 =
+        model.estimate(Organization::segmented(128, 32, 4, 2));
+    double growth = seg6.darrayUm2 / seg3.darrayUm2;
+    EXPECT_GT(growth, 2.0);
+    EXPECT_LT(growth, 4.5);
+}
+
+TEST_F(AreaFigures, ProcessorAreaFractionAbout5Percent)
+{
+    // §6.2: a conventional file is <10% of the die, so the NSF adds
+    // about 5%.
+    auto seg = Organization::segmented(128, 32);
+    auto nsf = Organization::namedState(128, 32, 1);
+    double fraction = model.processorAreaFraction(nsf, seg, 0.10);
+    EXPECT_NEAR(fraction, 0.154, 0.02);
+}
+
+class TimingFigures : public ::testing::Test
+{
+  protected:
+    TimingModel model;
+};
+
+TEST_F(TimingFigures, Fig6NsfPenaltyIs5To6Percent)
+{
+    // §6.1: "the time required to access the Named-State Register
+    // File was only 5% or 6% greater than for a conventional
+    // register file" — for both organizations.
+    auto seg128 = model.estimate(Organization::segmented(128, 32));
+    auto nsf128 =
+        model.estimate(Organization::namedState(128, 32, 1));
+    double penalty128 =
+        nsf128.totalNs() / seg128.totalNs() - 1.0;
+    EXPECT_GT(penalty128, 0.04);
+    EXPECT_LT(penalty128, 0.08);
+
+    auto seg64 = model.estimate(Organization::segmented(64, 64));
+    auto nsf64 =
+        model.estimate(Organization::namedState(64, 64, 2));
+    double penalty64 = nsf64.totalNs() / seg64.totalNs() - 1.0;
+    EXPECT_GT(penalty64, 0.04);
+    EXPECT_LT(penalty64, 0.08);
+}
+
+TEST_F(TimingFigures, PenaltyIsEntirelyInDecode)
+{
+    auto seg = model.estimate(Organization::segmented(128, 32));
+    auto nsf = model.estimate(Organization::namedState(128, 32, 1));
+    EXPECT_GT(nsf.decodeNs, seg.decodeNs);
+    EXPECT_DOUBLE_EQ(nsf.wordSelectNs, seg.wordSelectNs);
+    EXPECT_DOUBLE_EQ(nsf.dataReadNs, seg.dataReadNs);
+}
+
+TEST_F(TimingFigures, AbsoluteTimesPlausibleFor12umCmos)
+{
+    auto seg = model.estimate(Organization::segmented(128, 32));
+    EXPECT_GT(seg.totalNs(), 4.0);
+    EXPECT_LT(seg.totalNs(), 10.0);
+}
+
+TEST_F(TimingFigures, WiderRowsSlowWordSelect)
+{
+    auto narrow = model.estimate(Organization::segmented(128, 32));
+    auto wide = model.estimate(Organization::segmented(64, 64));
+    EXPECT_GT(wide.wordSelectNs, narrow.wordSelectNs);
+    EXPECT_LT(wide.dataReadNs, narrow.dataReadNs);
+}
+
+TEST_F(TimingFigures, ComponentsSumToTotal)
+{
+    auto t = model.estimate(Organization::namedState(128, 32, 1));
+    EXPECT_NEAR(t.totalNs(),
+                t.decodeNs + t.wordSelectNs + t.dataReadNs, 1e-12);
+}
+
+} // namespace
+} // namespace nsrf::vlsi

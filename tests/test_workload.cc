@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the workload generators: trace well-formedness, the
+ * calibration contract with Table 1, and determinism.  The
+ * well-formedness checker is shared and parameterized over all
+ * nine benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "nsrf/stats/counters.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf::workload
+{
+namespace
+{
+
+std::unique_ptr<sim::TraceGenerator>
+makeGenerator(const BenchmarkProfile &profile, std::uint64_t events)
+{
+    if (profile.parallel)
+        return std::make_unique<ParallelWorkload>(profile, events);
+    return std::make_unique<SequentialWorkload>(profile, events);
+}
+
+TEST(Profiles, TableOneValuesAreVerbatim)
+{
+    const auto &all = paperBenchmarks();
+    ASSERT_EQ(all.size(), 9u);
+    EXPECT_EQ(all[0].name, "GateSim");
+    EXPECT_EQ(all[0].sourceLines, 51032u);
+    EXPECT_EQ(all[0].staticInstructions, 76009u);
+    EXPECT_EQ(all[0].executedInstructions, 487'779'328u);
+    EXPECT_DOUBLE_EQ(all[0].tableInstrPerSwitch, 39.0);
+    EXPECT_EQ(all[8].name, "Wavefront");
+    EXPECT_DOUBLE_EQ(all[8].tableInstrPerSwitch, 8280.0);
+}
+
+TEST(Profiles, SequentialAndParallelSplit)
+{
+    EXPECT_EQ(sequentialBenchmarks().size(), 3u);
+    EXPECT_EQ(parallelBenchmarks().size(), 6u);
+    for (const auto &p : sequentialBenchmarks()) {
+        EXPECT_FALSE(p.parallel);
+        EXPECT_EQ(p.regsPerContext, 20u);
+    }
+    for (const auto &p : parallelBenchmarks()) {
+        EXPECT_TRUE(p.parallel);
+        EXPECT_EQ(p.regsPerContext, 32u);
+    }
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("Gamteb").targetThreads, 7u);
+    EXPECT_DEATH(profileByName("nope"), "unknown benchmark");
+}
+
+TEST(Profiles, ScaledRunLengthClamps)
+{
+    const auto &gatesim = profileByName("GateSim");
+    EXPECT_EQ(scaledRunLength(gatesim, 1000), 1000u);
+    const auto &qsort = profileByName("Quicksort");
+    EXPECT_EQ(scaledRunLength(qsort, 100'000'000),
+              qsort.executedInstructions);
+}
+
+/** Structural validity of a trace, for any profile. */
+class TraceWellFormed
+    : public ::testing::TestWithParam<BenchmarkProfile>
+{
+};
+
+TEST_P(TraceWellFormed, EventsAreConsistent)
+{
+    const auto &profile = GetParam();
+    auto gen = makeGenerator(profile, 120000);
+
+    std::set<sim::CtxHandle> live;
+    std::vector<sim::CtxHandle> stack; // sequential call chain
+    sim::CtxHandle current = sim::invalidHandle;
+    std::uint64_t events = 0;
+    bool saw_end = false;
+
+    sim::TraceEvent ev;
+    while (gen->next(ev)) {
+        ++events;
+        switch (ev.kind) {
+          case sim::EventKind::Instr:
+            ASSERT_NE(current, sim::invalidHandle);
+            ASSERT_LE(ev.srcCount, 2);
+            for (int i = 0; i < ev.srcCount; ++i) {
+                ASSERT_LT(ev.src[i], profile.regsPerContext);
+            }
+            if (ev.hasDst) {
+                ASSERT_LT(ev.dst, profile.regsPerContext);
+            }
+            break;
+          case sim::EventKind::Call:
+            ASSERT_TRUE(live.insert(ev.ctx).second)
+                << "call reuses a live handle";
+            stack.push_back(ev.ctx);
+            current = ev.ctx;
+            break;
+          case sim::EventKind::Return:
+            ASSERT_GE(stack.size(), 2u);
+            ASSERT_EQ(live.erase(stack.back()), 1u);
+            stack.pop_back();
+            ASSERT_EQ(ev.ctx, stack.back())
+                << "return target is not the caller";
+            current = ev.ctx;
+            break;
+          case sim::EventKind::Spawn:
+            ASSERT_TRUE(live.insert(ev.ctx).second);
+            break;
+          case sim::EventKind::Terminate:
+            ASSERT_NE(ev.ctx, current);
+            ASSERT_EQ(live.erase(ev.ctx), 1u);
+            break;
+          case sim::EventKind::Switch:
+            ASSERT_TRUE(live.count(ev.ctx))
+                << "switch to dead context";
+            current = ev.ctx;
+            break;
+          case sim::EventKind::FreeReg:
+            ASSERT_LT(ev.dst, profile.regsPerContext);
+            break;
+          case sim::EventKind::End:
+            saw_end = true;
+            break;
+        }
+        if (saw_end)
+            break;
+    }
+    EXPECT_TRUE(saw_end);
+    EXPECT_GE(events, 120000u);
+    EXPECT_FALSE(gen->next(ev)) << "next() after End must be false";
+}
+
+TEST_P(TraceWellFormed, ResetReproducesTheStream)
+{
+    const auto &profile = GetParam();
+    auto gen = makeGenerator(profile, 5000);
+
+    auto digest = [&] {
+        std::uint64_t h = 1469598103934665603ull;
+        sim::TraceEvent ev;
+        while (gen->next(ev)) {
+            h ^= static_cast<std::uint64_t>(ev.kind) * 31 +
+                 ev.ctx * 7 + ev.dst * 3 + ev.srcCount;
+            h *= 1099511628211ull;
+            if (ev.kind == sim::EventKind::End)
+                break;
+        }
+        return h;
+    };
+    auto first = digest();
+    gen->reset();
+    EXPECT_EQ(digest(), first);
+}
+
+TEST_P(TraceWellFormed, SwitchRateMatchesTableOne)
+{
+    const auto &profile = GetParam();
+    // Long traces for the rarely switching programs.
+    std::uint64_t len =
+        profile.instrPerSwitch > 1000 ? 400000 : 150000;
+    auto gen = makeGenerator(profile, len);
+
+    std::uint64_t instrs = 0, switches = 0;
+    sim::TraceEvent ev;
+    while (gen->next(ev) && ev.kind != sim::EventKind::End) {
+        ++instrs;
+        if (ev.kind == sim::EventKind::Call ||
+            ev.kind == sim::EventKind::Return ||
+            ev.kind == sim::EventKind::Switch) {
+            ++switches;
+        }
+    }
+    ASSERT_GT(switches, 0u);
+    double measured = double(instrs) / double(switches);
+    // Within a factor of two of the Table 1 column (these are
+    // stochastic processes, and the rare-switch programs only see
+    // a handful of switches at this length).
+    EXPECT_GT(measured, profile.tableInstrPerSwitch * 0.5)
+        << profile.name;
+    EXPECT_LT(measured, profile.tableInstrPerSwitch * 2.0)
+        << profile.name;
+}
+
+TEST_P(TraceWellFormed, LiveRegisterCalibration)
+{
+    const auto &profile = GetParam();
+    auto gen = makeGenerator(profile, 150000);
+
+    std::map<sim::CtxHandle, std::set<RegIndex>> written;
+    std::vector<sim::CtxHandle> stack;
+    sim::CtxHandle current = sim::invalidHandle;
+    stats::RunningMean live_at_death;
+
+    sim::TraceEvent ev;
+    while (gen->next(ev) && ev.kind != sim::EventKind::End) {
+        switch (ev.kind) {
+          case sim::EventKind::Instr:
+            if (ev.hasDst)
+                written[current].insert(ev.dst);
+            break;
+          case sim::EventKind::Call:
+            stack.push_back(ev.ctx);
+            current = ev.ctx;
+            break;
+          case sim::EventKind::Return:
+            live_at_death.add(
+                double(written[stack.back()].size()));
+            written.erase(stack.back());
+            stack.pop_back();
+            current = ev.ctx;
+            break;
+          case sim::EventKind::Terminate:
+            live_at_death.add(double(written[ev.ctx].size()));
+            written.erase(ev.ctx);
+            break;
+          case sim::EventKind::Switch:
+            current = ev.ctx;
+            break;
+          default:
+            break;
+        }
+    }
+    if (live_at_death.count() < 20)
+        GTEST_SKIP() << "too few completed activations to measure";
+    // §7.1.1: sequential procedures have ~8-10 live registers,
+    // parallel threads ~18-22.  Activations that die young drag the
+    // mean down a little, so accept a generous band.
+    if (profile.parallel) {
+        EXPECT_GT(live_at_death.mean(), 13.0) << profile.name;
+        EXPECT_LT(live_at_death.mean(), 23.0) << profile.name;
+    } else {
+        EXPECT_GT(live_at_death.mean(), 5.0) << profile.name;
+        EXPECT_LT(live_at_death.mean(), 11.5) << profile.name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TraceWellFormed,
+    ::testing::ValuesIn(paperBenchmarks()),
+    [](const auto &info) { return info.param.name; });
+
+TEST(SequentialWorkload, RejectsParallelProfile)
+{
+    EXPECT_DEATH(SequentialWorkload(profileByName("Gamteb")),
+                 "sequential profile");
+}
+
+TEST(ParallelWorkload, RejectsSequentialProfile)
+{
+    EXPECT_DEATH(ParallelWorkload(profileByName("GateSim")),
+                 "parallel profile");
+}
+
+TEST(ParallelWorkload, ConcurrencyApproachesTarget)
+{
+    const auto &profile = profileByName("Gamteb");
+    ParallelWorkload gen(profile, 100000);
+    std::set<sim::CtxHandle> live;
+    std::size_t peak = 0;
+    sim::TraceEvent ev;
+    std::vector<sim::CtxHandle> stack;
+    while (gen.next(ev) && ev.kind != sim::EventKind::End) {
+        if (ev.kind == sim::EventKind::Call ||
+            ev.kind == sim::EventKind::Spawn) {
+            live.insert(ev.ctx);
+        } else if (ev.kind == sim::EventKind::Terminate) {
+            live.erase(ev.ctx);
+        }
+        peak = std::max(peak, live.size());
+    }
+    EXPECT_GE(peak, profile.targetThreads - 1);
+    EXPECT_LE(peak, profile.targetThreads + 2);
+}
+
+} // namespace
+} // namespace nsrf::workload

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * nsrf_sim: command-line driver for the register file simulator.
+ *
+ * Runs any benchmark workload against any register file
+ * organization and prints the run metrics as a table or JSON, so
+ * experiments can be scripted without writing C++.
+ *
+ *     nsrf_sim --list
+ *     nsrf_sim --app Gamteb --org nsf --regs 128
+ *     nsrf_sim --app GateSim --org segmented --mech sw --events 1000000
+ *     nsrf_sim --app all --org windowed --json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/regfile/statsdump.hh"
+#include "nsrf/sim/tracefile.hh"
+#include "nsrf/stats/table.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+struct Options
+{
+    std::string app = "Gamteb";
+    regfile::Organization org = regfile::Organization::NamedState;
+    unsigned totalRegs = 0; // 0 = paper default for the app
+    unsigned regsPerLine = 1;
+    regfile::MissPolicy miss = regfile::MissPolicy::ReloadSingle;
+    regfile::WritePolicy write = regfile::WritePolicy::WriteAllocate;
+    cam::ReplacementKind repl = cam::ReplacementKind::Lru;
+    regfile::SpillMechanism mech =
+        regfile::SpillMechanism::HardwareAssist;
+    bool trackValid = false;
+    bool background = false;
+    std::uint64_t events = 600'000;
+    std::uint64_t seed = 0; // 0 = profile default
+    bool json = false;
+    bool list = false;
+    std::string record; //!< capture the trace to this file
+    std::string replay; //!< replay a trace file instead
+    bool stats = false; //!< dump gem5-style statistics
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: nsrf_sim [options]\n"
+        "  --list                 list benchmark workloads\n"
+        "  --app NAME|all         workload (default Gamteb)\n"
+        "  --org nsf|segmented|conventional|windowed\n"
+        "  --regs N               total registers (default: paper)\n"
+        "  --line W               NSF registers per line\n"
+        "  --miss single|live|line   NSF reload policy\n"
+        "  --write wa|fow         NSF write policy\n"
+        "  --repl lru|fifo|random victim selection\n"
+        "  --mech hw|sw           segmented spill mechanism\n"
+        "  --valid                segmented per-register valid bits\n"
+        "  --bg                   segmented background transfer\n"
+        "  --events N             trace length (default 600000)\n"
+        "  --seed N               workload seed override\n"
+        "  --record FILE          capture the trace to FILE\n"
+        "  --replay FILE          replay a captured trace\n"
+        "  --stats                dump per-counter statistics\n"
+        "  --json                 JSON output\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const char *value = nullptr;
+        if (arg == "--list") {
+            opt.list = true;
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--valid") {
+            opt.trackValid = true;
+        } else if (arg == "--bg") {
+            opt.background = true;
+        } else if (arg == "--app") {
+            if (!(value = need(i)))
+                return false;
+            opt.app = value;
+        } else if (arg == "--org") {
+            if (!(value = need(i)))
+                return false;
+            std::string v = value;
+            if (v == "nsf") {
+                opt.org = regfile::Organization::NamedState;
+            } else if (v == "segmented") {
+                opt.org = regfile::Organization::Segmented;
+            } else if (v == "conventional") {
+                opt.org = regfile::Organization::Conventional;
+            } else if (v == "windowed") {
+                opt.org = regfile::Organization::Windowed;
+            } else {
+                std::fprintf(stderr, "unknown org '%s'\n", value);
+                return false;
+            }
+        } else if (arg == "--regs") {
+            if (!(value = need(i)))
+                return false;
+            opt.totalRegs = static_cast<unsigned>(atoi(value));
+        } else if (arg == "--line") {
+            if (!(value = need(i)))
+                return false;
+            opt.regsPerLine = static_cast<unsigned>(atoi(value));
+        } else if (arg == "--miss") {
+            if (!(value = need(i)))
+                return false;
+            std::string v = value;
+            opt.miss = v == "line" ? regfile::MissPolicy::ReloadLine
+                       : v == "live"
+                           ? regfile::MissPolicy::ReloadLive
+                           : regfile::MissPolicy::ReloadSingle;
+        } else if (arg == "--write") {
+            if (!(value = need(i)))
+                return false;
+            opt.write = std::string(value) == "fow"
+                            ? regfile::WritePolicy::FetchOnWrite
+                            : regfile::WritePolicy::WriteAllocate;
+        } else if (arg == "--repl") {
+            if (!(value = need(i)))
+                return false;
+            opt.repl = cam::parseReplacement(value);
+        } else if (arg == "--mech") {
+            if (!(value = need(i)))
+                return false;
+            opt.mech = std::string(value) == "sw"
+                           ? regfile::SpillMechanism::SoftwareTrap
+                           : regfile::SpillMechanism::HardwareAssist;
+        } else if (arg == "--events") {
+            if (!(value = need(i)))
+                return false;
+            opt.events = strtoull(value, nullptr, 10);
+        } else if (arg == "--seed") {
+            if (!(value = need(i)))
+                return false;
+            opt.seed = strtoull(value, nullptr, 10);
+        } else if (arg == "--record") {
+            if (!(value = need(i)))
+                return false;
+            opt.record = value;
+        } else if (arg == "--replay") {
+            if (!(value = need(i)))
+                return false;
+            opt.replay = value;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+sim::RunResult
+runOne(const workload::BenchmarkProfile &profile_in,
+       const Options &opt)
+{
+    workload::BenchmarkProfile profile = profile_in;
+    if (opt.seed)
+        profile.seed = opt.seed;
+
+    std::unique_ptr<sim::TraceGenerator> gen;
+    std::uint64_t len =
+        std::min(profile.executedInstructions, opt.events);
+    if (!opt.replay.empty()) {
+        gen = std::make_unique<sim::FileTraceGenerator>(opt.replay);
+    } else if (profile.parallel) {
+        gen = std::make_unique<workload::ParallelWorkload>(profile,
+                                                           len);
+    } else {
+        gen = std::make_unique<workload::SequentialWorkload>(
+            profile, len);
+    }
+    if (!opt.record.empty()) {
+        std::uint64_t n = sim::captureTrace(*gen, opt.record, len);
+        std::fprintf(stderr, "captured %llu events to %s\n",
+                     static_cast<unsigned long long>(n),
+                     opt.record.c_str());
+        gen->reset();
+    }
+
+    sim::SimConfig config;
+    config.rf.org = opt.org;
+    config.rf.totalRegs =
+        opt.totalRegs ? opt.totalRegs
+                      : (profile.parallel ? 128u : 80u);
+    config.rf.regsPerContext = profile.regsPerContext;
+    config.rf.regsPerLine = opt.regsPerLine;
+    config.rf.missPolicy = opt.miss;
+    config.rf.writePolicy = opt.write;
+    config.rf.replacement = opt.repl;
+    config.rf.mechanism = opt.mech;
+    config.rf.trackValid = opt.trackValid;
+    config.rf.backgroundTransfer = opt.background;
+    sim::TraceSimulator simulator(config);
+    auto result = simulator.run(*gen);
+    if (opt.stats) {
+        regfile::dumpStats(simulator.registerFile(), stdout,
+                           "rf." + profile.name);
+        std::printf("\n");
+    }
+    return result;
+}
+
+void
+printJson(const std::string &app, const sim::RunResult &r,
+          bool last)
+{
+    std::printf(
+        "  {\"app\": \"%s\", \"regfile\": \"%s\", "
+        "\"instructions\": %llu, \"cycles\": %llu, "
+        "\"contextSwitches\": %llu, \"regsReloaded\": %llu, "
+        "\"regsSpilled\": %llu, \"reloadsPerInstr\": %.6e, "
+        "\"meanUtilization\": %.4f, \"maxUtilization\": %.4f, "
+        "\"meanResidentContexts\": %.3f, \"overheadFraction\": "
+        "%.5f}%s\n",
+        app.c_str(), r.regfileDescription.c_str(),
+        static_cast<unsigned long long>(r.instructions),
+        static_cast<unsigned long long>(r.cycles),
+        static_cast<unsigned long long>(r.contextSwitches),
+        static_cast<unsigned long long>(r.regsReloaded),
+        static_cast<unsigned long long>(r.regsSpilled),
+        r.reloadsPerInstr(), r.meanUtilization, r.maxUtilization,
+        r.meanResidentContexts, r.overheadFraction(),
+        last ? "" : ",");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+
+    if (opt.list) {
+        stats::TextTable table;
+        table.header({"Benchmark", "Type", "Instr/switch",
+                      "Executed instr (paper)"});
+        for (const auto &p : workload::paperBenchmarks()) {
+            table.row({p.name,
+                       p.parallel ? "parallel" : "sequential",
+                       stats::TextTable::num(p.tableInstrPerSwitch,
+                                             0),
+                       stats::TextTable::integer(
+                           p.executedInstructions)});
+        }
+        std::printf("%s", table.render().c_str());
+        return 0;
+    }
+
+    std::vector<workload::BenchmarkProfile> apps;
+    if (opt.app == "all") {
+        apps = workload::paperBenchmarks();
+    } else {
+        apps.push_back(workload::profileByName(opt.app));
+    }
+
+    if (opt.json)
+        std::printf("[\n");
+
+    stats::TextTable table;
+    table.header({"App", "Regfile", "Instr", "Cycles", "Switches",
+                  "Reloads/instr", "Util", "Overhead"});
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        auto r = runOne(apps[i], opt);
+        if (opt.json) {
+            printJson(apps[i].name, r, i + 1 == apps.size());
+        } else {
+            table.row({apps[i].name, r.regfileDescription,
+                       stats::TextTable::integer(r.instructions),
+                       stats::TextTable::integer(r.cycles),
+                       stats::TextTable::integer(r.contextSwitches),
+                       r.reloadsPerInstr() == 0.0
+                           ? std::string("0")
+                           : stats::TextTable::scientific(
+                                 r.reloadsPerInstr()),
+                       stats::TextTable::percent(r.meanUtilization,
+                                                 0),
+                       stats::TextTable::percent(
+                           r.overheadFraction())});
+        }
+    }
+
+    if (opt.json)
+        std::printf("]\n");
+    else
+        std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * nsrf_trace: inspect a captured binary trace.
+ *
+ * Prints the event mix, context statistics (activations, lifetime,
+ * concurrency), register-reference statistics, and optionally the
+ * first N events in readable form.
+ *
+ *     nsrf_sim --app Gamteb --events 100000 --record g.trc
+ *     nsrf_trace g.trc
+ *     nsrf_trace g.trc --dump 50
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "nsrf/sim/tracefile.hh"
+#include "nsrf/stats/counters.hh"
+#include "nsrf/stats/table.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+const char *
+kindName(sim::EventKind kind)
+{
+    switch (kind) {
+      case sim::EventKind::Instr: return "instr";
+      case sim::EventKind::Call: return "call";
+      case sim::EventKind::Return: return "return";
+      case sim::EventKind::Spawn: return "spawn";
+      case sim::EventKind::Terminate: return "terminate";
+      case sim::EventKind::Switch: return "switch";
+      case sim::EventKind::FreeReg: return "freereg";
+      case sim::EventKind::End: return "end";
+    }
+    return "?";
+}
+
+void
+dumpEvents(sim::FileTraceGenerator &trace, std::uint64_t count)
+{
+    sim::TraceEvent ev;
+    std::uint64_t n = 0;
+    while (n < count && trace.next(ev) &&
+           ev.kind != sim::EventKind::End) {
+        std::printf("%8llu  %-9s",
+                    static_cast<unsigned long long>(n),
+                    kindName(ev.kind));
+        if (ev.kind == sim::EventKind::Instr) {
+            std::printf(" srcs=[");
+            for (int i = 0; i < ev.srcCount; ++i)
+                std::printf("%sr%u", i ? "," : "", ev.src[i]);
+            std::printf("]");
+            if (ev.hasDst)
+                std::printf(" dst=r%u", ev.dst);
+            if (ev.memRef)
+                std::printf(" mem");
+        } else if (ev.ctx != sim::invalidHandle) {
+            std::printf(" ctx=%llu",
+                        static_cast<unsigned long long>(ev.ctx));
+        }
+        std::printf("\n");
+        ++n;
+    }
+    trace.reset();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: nsrf_trace FILE [--dump N]\n");
+        return 2;
+    }
+    std::string path = argv[1];
+    std::uint64_t dump = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::string(argv[i]) == "--dump" && i + 1 < argc)
+            dump = std::strtoull(argv[++i], nullptr, 10);
+    }
+
+    sim::FileTraceGenerator trace(path);
+    std::printf("%s: %llu events\n\n", path.c_str(),
+                static_cast<unsigned long long>(trace.size()));
+
+    if (dump) {
+        dumpEvents(trace, dump);
+        std::printf("\n");
+    }
+
+    // One pass of analysis.
+    std::map<int, std::uint64_t> kinds;
+    std::map<sim::CtxHandle, std::uint64_t> birth;
+    stats::RunningMean lifetime;
+    stats::RunningMean run_length;
+    std::set<sim::CtxHandle> live;
+    std::size_t peak_live = 0;
+    std::uint64_t reads = 0, writes = 0, mem_refs = 0;
+    std::uint64_t since_switch = 0;
+    std::uint64_t n = 0;
+
+    sim::TraceEvent ev;
+    while (trace.next(ev) && ev.kind != sim::EventKind::End) {
+        ++kinds[static_cast<int>(ev.kind)];
+        switch (ev.kind) {
+          case sim::EventKind::Instr:
+            reads += ev.srcCount;
+            writes += ev.hasDst ? 1 : 0;
+            mem_refs += ev.memRef ? 1 : 0;
+            ++since_switch;
+            break;
+          case sim::EventKind::Call:
+          case sim::EventKind::Spawn:
+            birth[ev.ctx] = n;
+            live.insert(ev.ctx);
+            peak_live = std::max(peak_live, live.size());
+            if (ev.kind == sim::EventKind::Call) {
+                run_length.add(double(since_switch));
+                since_switch = 0;
+            }
+            break;
+          case sim::EventKind::Return:
+          case sim::EventKind::Switch:
+            run_length.add(double(since_switch));
+            since_switch = 0;
+            break;
+          case sim::EventKind::Terminate:
+            break;
+          default:
+            break;
+        }
+        if (ev.kind == sim::EventKind::Return ||
+            ev.kind == sim::EventKind::Terminate) {
+            // The Return event names the *caller*; the dying context
+            // is whichever live context was born latest — good
+            // enough for lifetime statistics on sequential traces.
+            sim::CtxHandle dead = ev.ctx;
+            if (ev.kind == sim::EventKind::Return && !live.empty())
+                dead = *live.rbegin();
+            auto it = birth.find(dead);
+            if (it != birth.end()) {
+                lifetime.add(double(n - it->second));
+                birth.erase(it);
+            }
+            live.erase(dead);
+        }
+        ++n;
+    }
+
+    stats::TextTable mix;
+    mix.header({"Event", "Count", "Share"});
+    for (const auto &[kind, count] : kinds) {
+        mix.row({kindName(static_cast<sim::EventKind>(kind)),
+                 stats::TextTable::integer(count),
+                 stats::TextTable::percent(double(count) /
+                                           double(n))});
+    }
+    std::printf("%s\n", mix.render().c_str());
+
+    stats::TextTable summary;
+    summary.header({"Metric", "Value"});
+    summary.row({"register reads",
+                 stats::TextTable::integer(reads)});
+    summary.row({"register writes",
+                 stats::TextTable::integer(writes)});
+    summary.row({"memory-referencing instructions",
+                 stats::TextTable::integer(mem_refs)});
+    summary.row({"mean run length between switch points",
+                 stats::TextTable::num(run_length.mean(), 1)});
+    summary.row({"mean activation lifetime (events)",
+                 stats::TextTable::num(lifetime.mean(), 1)});
+    summary.row({"peak live contexts",
+                 stats::TextTable::integer(peak_live)});
+    summary.row({"contexts created",
+                 stats::TextTable::integer(
+                     kinds[static_cast<int>(
+                         sim::EventKind::Call)] +
+                     kinds[static_cast<int>(
+                         sim::EventKind::Spawn)])});
+    std::printf("%s", summary.render().c_str());
+    return 0;
+}
