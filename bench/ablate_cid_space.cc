@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "nsrf/stats/table.hh"
 #include "support.hh"
@@ -19,8 +20,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Ablation: hardware Context ID space size (Ctable entries)",
         "a CID space comfortably above the live-activation count "
@@ -30,51 +32,44 @@ main()
 
     std::uint64_t budget = bench::eventBudget(200'000);
 
+    const ContextId cid_sizes[] = {4u, 6u, 8u, 12u, 16u, 32u,
+                                   1024u};
+
+    bench::SweepSet sweep("ablate_cid_space", options);
     for (const char *name : {"GateSim", "Gamteb"}) {
         const auto &profile = workload::profileByName(name);
-        std::printf("-- %s --\n", name);
-
-        stats::TextTable table;
-        table.header({"CIDs", "CID evictions", "Reloads/instr",
-                      "Cycles", "Slowdown vs ample"});
-
-        Cycles ample_cycles = 0;
-        bool ample_free = true;
-        bool cliff_seen = false;
-        for (ContextId cids : {4u, 6u, 8u, 12u, 16u, 32u, 1024u}) {
+        for (ContextId cids : cid_sizes) {
             auto config = bench::paperConfig(
                 profile, regfile::Organization::NamedState);
             config.cidCapacity = cids;
-            auto r = bench::runOn(profile, config, budget);
-
-            if (cids == 1024)
-                ample_cycles = r.cycles;
-            table.row(
-                {std::to_string(cids),
-                 stats::TextTable::integer(r.cidEvictions),
-                 r.reloadsPerInstr() == 0.0
-                     ? std::string("0")
-                     : stats::TextTable::scientific(
-                           r.reloadsPerInstr()),
-                 stats::TextTable::integer(r.cycles),
-                 "pending"});
-            if (cids <= 6 && r.cidEvictions > 0)
-                cliff_seen = true;
-            if (cids >= 32)
-                ample_free = ample_free && r.cidEvictions == 0;
+            sweep.add(profile, config, budget);
         }
+    }
+    sweep.run();
 
-        // Second pass for the slowdown column now that the ample
-        // baseline is known.
+    std::size_t cell = 0;
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        std::printf("-- %s --\n", name);
+
+        // Each CID size is simulated once; the slowdown column
+        // divides by the ample (1024-CID) run, which is the last
+        // cell of this application's group.
+        std::size_t group = cell;
+        Cycles ample_cycles =
+            sweep.result(group + std::size(cid_sizes) - 1).cycles;
+
+        bool ample_free = true;
+        bool cliff_seen = false;
         stats::TextTable final_table;
         final_table.header({"CIDs", "CID evictions",
                             "Reloads/instr", "Cycles",
                             "Slowdown vs ample"});
-        for (ContextId cids : {4u, 6u, 8u, 12u, 16u, 32u, 1024u}) {
-            auto config = bench::paperConfig(
-                profile, regfile::Organization::NamedState);
-            config.cidCapacity = cids;
-            auto r = bench::runOn(profile, config, budget);
+        for (ContextId cids : cid_sizes) {
+            const auto &r = sweep.result(cell++);
+            if (cids <= 6 && r.cidEvictions > 0)
+                cliff_seen = true;
+            if (cids >= 32)
+                ample_free = ample_free && r.cidEvictions == 0;
             final_table.row(
                 {std::to_string(cids),
                  stats::TextTable::integer(r.cidEvictions),

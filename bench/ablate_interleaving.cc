@@ -40,8 +40,9 @@ interleavedProfile(unsigned threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Extension: cycle-by-cycle interleaving (HEP style) vs "
         "register file organization",
@@ -51,22 +52,30 @@ main()
 
     std::uint64_t budget = bench::eventBudget(200'000);
 
+    bench::SweepSet sweep("ablate_interleaving", options);
+    for (unsigned threads : {2u, 4u, 6u, 8u, 12u}) {
+        auto profile = interleavedProfile(threads);
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::NamedState),
+                  budget);
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::Segmented),
+                  budget);
+    }
+    sweep.run();
+
     stats::TextTable table;
     table.header({"Threads", "NSF rel/instr", "NSF overhead",
                   "Segment rel/instr", "Segment overhead"});
 
     bool nsf_cheap_when_fits = true;
     bool segment_collapses = false;
+    std::size_t cell = 0;
     for (unsigned threads : {2u, 4u, 6u, 8u, 12u}) {
-        auto profile = interleavedProfile(threads);
-
-        auto nsf_config = bench::paperConfig(
-            profile, regfile::Organization::NamedState);
-        auto nsf = bench::runOn(profile, nsf_config, budget);
-
-        auto seg_config = bench::paperConfig(
-            profile, regfile::Organization::Segmented);
-        auto seg = bench::runOn(profile, seg_config, budget);
+        const auto &nsf = sweep.result(cell++);
+        const auto &seg = sweep.result(cell++);
 
         // 128 registers, ~20 live per thread: up to ~6 threads'
         // hot state fits outright.

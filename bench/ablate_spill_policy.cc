@@ -16,8 +16,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Ablation: NSF victim-selection policy (LRU vs FIFO vs "
         "Random)",
@@ -32,20 +33,29 @@ main()
         cam::ReplacementKind::Random,
     };
 
+    bench::SweepSet sweep("ablate_spill_policy", options);
+    for (const auto &profile : workload::paperBenchmarks()) {
+        for (int k = 0; k < 3; ++k) {
+            auto config = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config.rf.replacement = kinds[k];
+            sweep.add(profile, config, budget);
+        }
+    }
+    sweep.run();
+
     stats::TextTable table;
     table.header({"Application", "LRU rel/instr", "FIFO rel/instr",
                   "Random rel/instr", "best"});
 
     double totals[3] = {0, 0, 0};
     std::uint64_t instr_total = 0;
+    std::size_t cell_idx = 0;
     for (const auto &profile : workload::paperBenchmarks()) {
         double rates[3];
         std::uint64_t instrs = 0;
         for (int k = 0; k < 3; ++k) {
-            auto config = bench::paperConfig(
-                profile, regfile::Organization::NamedState);
-            config.rf.replacement = kinds[k];
-            auto r = bench::runOn(profile, config, budget);
+            const auto &r = sweep.result(cell_idx++);
             rates[k] = r.reloadsPerInstr();
             totals[k] += double(r.regsReloaded);
             instrs = r.instructions;

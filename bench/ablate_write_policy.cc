@@ -16,8 +16,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Ablation: write policy (write-allocate vs fetch-on-write) "
         "and dirty-bit spills",
@@ -27,12 +28,7 @@ main()
     std::uint64_t budget = bench::eventBudget(250'000);
     const auto &profile = workload::profileByName("Gamteb");
 
-    stats::TextTable table;
-    table.header({"Line", "WA rel/instr", "FoW rel/instr",
-                  "WA spills/instr", "dirty-only spills/instr"});
-
-    bool wa_never_worse = true;
-    bool dirty_never_worse = true;
+    bench::SweepSet sweep("ablate_write_policy", options);
     for (unsigned line : {1u, 2u, 4u, 8u}) {
         auto base = bench::paperConfig(
             profile, regfile::Organization::NamedState);
@@ -41,15 +37,29 @@ main()
 
         auto wa = base;
         wa.rf.writePolicy = regfile::WritePolicy::WriteAllocate;
-        auto r_wa = bench::runOn(profile, wa, budget);
+        sweep.add(profile, wa, budget);
 
         auto fow = base;
         fow.rf.writePolicy = regfile::WritePolicy::FetchOnWrite;
-        auto r_fow = bench::runOn(profile, fow, budget);
+        sweep.add(profile, fow, budget);
 
         auto dirty = wa;
         dirty.rf.spillDirtyOnly = true;
-        auto r_dirty = bench::runOn(profile, dirty, budget);
+        sweep.add(profile, dirty, budget);
+    }
+    sweep.run();
+
+    stats::TextTable table;
+    table.header({"Line", "WA rel/instr", "FoW rel/instr",
+                  "WA spills/instr", "dirty-only spills/instr"});
+
+    bool wa_never_worse = true;
+    bool dirty_never_worse = true;
+    std::size_t cell = 0;
+    for (unsigned line : {1u, 2u, 4u, 8u}) {
+        const auto &r_wa = sweep.result(cell++);
+        const auto &r_fow = sweep.result(cell++);
+        const auto &r_dirty = sweep.result(cell++);
 
         double wa_rate = r_wa.reloadsPerInstr();
         double fow_rate = r_fow.reloadsPerInstr();

@@ -15,9 +15,30 @@
 
 using namespace nsrf;
 
-int
-main()
+namespace
 {
+
+struct Org
+{
+    const char *label;
+    regfile::Organization org;
+    bool background = false;
+};
+
+const Org organizations[] = {
+    {"NSF", regfile::Organization::NamedState},
+    {"Segmented", regfile::Organization::Segmented},
+    {"Segmented+bg", regfile::Organization::Segmented, true},
+    {"Windows", regfile::Organization::Windowed},
+    {"Conventional", regfile::Organization::Conventional},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Extension: all register file organizations head to head",
         "segmented variants and register windows inherit the same "
@@ -26,20 +47,18 @@ main()
 
     std::uint64_t budget = bench::eventBudget(300'000);
 
-    struct Org
-    {
-        const char *label;
-        regfile::Organization org;
-        bool background = false;
-    };
-    const Org organizations[] = {
-        {"NSF", regfile::Organization::NamedState},
-        {"Segmented", regfile::Organization::Segmented},
-        {"Segmented+bg", regfile::Organization::Segmented, true},
-        {"Windows", regfile::Organization::Windowed},
-        {"Conventional", regfile::Organization::Conventional},
-    };
+    bench::SweepSet sweep("compare_organizations", options);
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        for (const auto &entry : organizations) {
+            auto config = bench::paperConfig(profile, entry.org);
+            config.rf.backgroundTransfer = entry.background;
+            sweep.add(profile, config, budget);
+        }
+    }
+    sweep.run();
 
+    std::size_t cell = 0;
     for (const char *name : {"GateSim", "Gamteb"}) {
         const auto &profile = workload::profileByName(name);
         std::printf("-- %s (%s) --\n", name,
@@ -53,9 +72,7 @@ main()
         double seg_traffic = 0, bg_traffic = 0;
         double bg_overhead = 0, seg_overhead = 0;
         for (const auto &entry : organizations) {
-            auto config = bench::paperConfig(profile, entry.org);
-            config.rf.backgroundTransfer = entry.background;
-            auto r = bench::runOn(profile, config, budget);
+            const auto &r = sweep.result(cell++);
 
             double stall_per_instr =
                 double(r.regStallCycles) / double(r.instructions);

@@ -13,8 +13,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 9: Percentage of registers containing active data",
         "NSF holds active data in most of its registers: 2-3x the "
@@ -22,6 +23,19 @@ main()
         "parallel programs; AS and Wavefront fill neither file");
 
     std::uint64_t budget = bench::eventBudget();
+
+    bench::SweepSet sweep("fig09_utilization", options);
+    for (const auto &profile : workload::paperBenchmarks()) {
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::NamedState),
+                  budget);
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::Segmented),
+                  budget);
+    }
+    sweep.run();
 
     stats::TextTable table;
     table.header({"Application", "Type", "NSF max", "NSF avg",
@@ -32,17 +46,10 @@ main()
 
     bool seq_ratio_holds = true;
     bool par_ratio_holds = true;
+    std::size_t cell = 0;
     for (const auto &profile : workload::paperBenchmarks()) {
-        auto nsf = bench::runOn(
-            profile,
-            bench::paperConfig(profile,
-                               regfile::Organization::NamedState),
-            budget);
-        auto seg = bench::runOn(
-            profile,
-            bench::paperConfig(profile,
-                               regfile::Organization::Segmented),
-            budget);
+        const auto &nsf = sweep.result(cell++);
+        const auto &seg = sweep.result(cell++);
 
         double ratio = nsf.meanUtilization / seg.meanUtilization;
         bool busy = profile.name != "AS" &&

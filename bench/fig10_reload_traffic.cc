@@ -13,8 +13,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 10: Registers reloaded as % of instructions",
         "segmented reloads 1,000-10,000x the NSF on sequential "
@@ -22,6 +23,19 @@ main()
         "10-40x on parallel programs (6-7x live)");
 
     std::uint64_t budget = bench::eventBudget();
+
+    bench::SweepSet sweep("fig10_reload_traffic", options);
+    for (const auto &profile : workload::paperBenchmarks()) {
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::NamedState),
+                  budget);
+        sweep.add(profile,
+                  bench::paperConfig(
+                      profile, regfile::Organization::Segmented),
+                  budget);
+    }
+    sweep.run();
 
     stats::TextTable table;
     table.header({"Application", "NSF", "Segment", "Segment live",
@@ -32,17 +46,10 @@ main()
 
     bool seq_gap_holds = true;
     bool par_gap_holds = true;
+    std::size_t cell = 0;
     for (const auto &profile : workload::paperBenchmarks()) {
-        auto nsf = bench::runOn(
-            profile,
-            bench::paperConfig(profile,
-                               regfile::Organization::NamedState),
-            budget);
-        auto seg = bench::runOn(
-            profile,
-            bench::paperConfig(profile,
-                               regfile::Organization::Segmented),
-            budget);
+        const auto &nsf = sweep.result(cell++);
+        const auto &seg = sweep.result(cell++);
 
         double nsf_rate = nsf.reloadsPerInstr();
         double seg_rate = seg.reloadsPerInstr();

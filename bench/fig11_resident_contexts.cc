@@ -15,8 +15,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 11: Average resident contexts vs register file size",
         "segmented files hold ~0.7N contexts; the NSF holds more "
@@ -25,6 +26,26 @@ main()
 
     std::uint64_t budget = bench::eventBudget(300'000);
 
+    bench::SweepSet sweep("fig11_resident_contexts", options);
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        for (unsigned frames = 2; frames <= 10; ++frames) {
+            auto config_nsf = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config_nsf.rf.totalRegs =
+                frames * profile.regsPerContext;
+            sweep.add(profile, config_nsf, budget);
+
+            auto config_seg = bench::paperConfig(
+                profile, regfile::Organization::Segmented);
+            config_seg.rf.totalRegs =
+                frames * profile.regsPerContext;
+            sweep.add(profile, config_seg, budget);
+        }
+    }
+    sweep.run();
+
+    std::size_t cell = 0;
     for (const char *name : {"GateSim", "Gamteb"}) {
         const auto &profile = workload::profileByName(name);
         unsigned frame_regs = profile.regsPerContext;
@@ -40,15 +61,8 @@ main()
         bool nsf_wins = true;
         bool seg_fraction_sane = true;
         for (unsigned frames = 2; frames <= 10; ++frames) {
-            auto config_nsf = bench::paperConfig(
-                profile, regfile::Organization::NamedState);
-            config_nsf.rf.totalRegs = frames * frame_regs;
-            auto nsf = bench::runOn(profile, config_nsf, budget);
-
-            auto config_seg = bench::paperConfig(
-                profile, regfile::Organization::Segmented);
-            config_seg.rf.totalRegs = frames * frame_regs;
-            auto seg = bench::runOn(profile, config_seg, budget);
+            const auto &nsf = sweep.result(cell++);
+            const auto &seg = sweep.result(cell++);
 
             double seg_frac =
                 seg.meanResidentContexts / double(frames);

@@ -13,8 +13,9 @@
 using namespace nsrf;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 12: Reload traffic vs register file size",
         "a small NSF out-reloads much larger segmented files: "
@@ -23,6 +24,26 @@ main()
 
     std::uint64_t budget = bench::eventBudget(300'000);
 
+    bench::SweepSet sweep("fig12_reload_vs_size", options);
+    for (const char *name : {"GateSim", "Gamteb"}) {
+        const auto &profile = workload::profileByName(name);
+        for (unsigned frames = 2; frames <= 10; ++frames) {
+            auto config_nsf = bench::paperConfig(
+                profile, regfile::Organization::NamedState);
+            config_nsf.rf.totalRegs =
+                frames * profile.regsPerContext;
+            sweep.add(profile, config_nsf, budget);
+
+            auto config_seg = bench::paperConfig(
+                profile, regfile::Organization::Segmented);
+            config_seg.rf.totalRegs =
+                frames * profile.regsPerContext;
+            sweep.add(profile, config_seg, budget);
+        }
+    }
+    sweep.run();
+
+    std::size_t cell_idx = 0;
     for (const char *name : {"GateSim", "Gamteb"}) {
         const auto &profile = workload::profileByName(name);
         unsigned frame_regs = profile.regsPerContext;
@@ -34,15 +55,8 @@ main()
 
         std::vector<double> nsf_rates, seg_rates;
         for (unsigned frames = 2; frames <= 10; ++frames) {
-            auto config_nsf = bench::paperConfig(
-                profile, regfile::Organization::NamedState);
-            config_nsf.rf.totalRegs = frames * frame_regs;
-            auto nsf = bench::runOn(profile, config_nsf, budget);
-
-            auto config_seg = bench::paperConfig(
-                profile, regfile::Organization::Segmented);
-            config_seg.rf.totalRegs = frames * frame_regs;
-            auto seg = bench::runOn(profile, config_seg, budget);
+            const auto &nsf = sweep.result(cell_idx++);
+            const auto &seg = sweep.result(cell_idx++);
 
             nsf_rates.push_back(nsf.reloadsPerInstr());
             seg_rates.push_back(seg.reloadsPerInstr());

@@ -36,18 +36,28 @@ struct Totals
     }
 };
 
-Totals
-runSuite(const std::vector<workload::BenchmarkProfile> &suite,
+void
+addSuite(bench::SweepSet &sweep,
+         const std::vector<workload::BenchmarkProfile> &suite,
          unsigned line, regfile::MissPolicy policy,
          std::uint64_t budget)
 {
-    Totals totals;
     for (const auto &profile : suite) {
         auto config = bench::paperConfig(
             profile, regfile::Organization::NamedState);
         config.rf.regsPerLine = line;
         config.rf.missPolicy = policy;
-        auto r = bench::runOn(profile, config, budget);
+        sweep.add(profile, config, budget);
+    }
+}
+
+Totals
+suiteTotals(const bench::SweepSet &sweep, std::size_t &cell,
+            std::size_t count)
+{
+    Totals totals;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto &r = sweep.result(cell++);
         totals.reloads += r.regsReloaded;
         totals.instructions += r.instructions;
     }
@@ -57,8 +67,9 @@ runSuite(const std::vector<workload::BenchmarkProfile> &suite,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 13: Reload traffic vs line size (three miss "
         "strategies)",
@@ -83,7 +94,24 @@ main()
     double single_word[2][3]; // [suite][strategy]
     double two_word[2][3];
 
+    bench::SweepSet sweep("fig13_line_size", options);
+    for (bool parallel : {false, true}) {
+        auto suite = parallel ? workload::parallelBenchmarks()
+                              : workload::sequentialBenchmarks();
+        for (unsigned line : line_sizes) {
+            // Parallel contexts are 32 registers; sequential 20, so
+            // a 32-wide line only makes sense for parallel code.
+            if (!parallel && line > 16)
+                continue;
+            for (int s = 0; s < 3; ++s)
+                addSuite(sweep, suite, line, strategies[s].policy,
+                         budget);
+        }
+    }
+    sweep.run();
+
     int suite_idx = 0;
+    std::size_t cell = 0;
     for (bool parallel : {false, true}) {
         auto suite = parallel ? workload::parallelBenchmarks()
                               : workload::sequentialBenchmarks();
@@ -94,14 +122,12 @@ main()
         table.header({"Regs/line", "Reload", "Live reload",
                       "Active (single)"});
         for (unsigned line : line_sizes) {
-            // Parallel contexts are 32 registers; sequential 20, so
-            // a 32-wide line only makes sense for parallel code.
             if (!parallel && line > 16)
                 continue;
             std::vector<std::string> row{std::to_string(line)};
             for (int s = 0; s < 3; ++s) {
-                auto totals = runSuite(suite, line,
-                                       strategies[s].policy, budget);
+                auto totals =
+                    suiteTotals(sweep, cell, suite.size());
                 row.push_back(totals.rate() == 0.0
                                   ? std::string("0")
                                   : stats::TextTable::scientific(

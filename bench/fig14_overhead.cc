@@ -29,33 +29,22 @@ struct Totals
     }
 };
 
-Totals
-runSuite(const std::vector<workload::BenchmarkProfile> &suite,
-         regfile::Organization org,
-         regfile::SpillMechanism mechanism, std::uint64_t budget)
-{
-    Totals totals;
-    for (const auto &profile : suite) {
-        auto config = bench::paperConfig(profile, org);
-        config.rf.mechanism = mechanism;
-        // The paper's Figure 14 files hold 128 registers.  Our
-        // calibrated sequential call chains concentrate within six
-        // 20-register frames, so the serial runs keep the §7.1
-        // 80-register size to preserve the traffic the paper's
-        // deeper chains generate (see EXPERIMENTS.md).
-        config.rf.totalRegs = profile.parallel ? 128 : 80;
-        auto r = bench::runOn(profile, config, budget);
-        totals.stall += r.regStallCycles;
-        totals.cycles += r.cycles;
-    }
-    return totals;
-}
+constexpr std::pair<regfile::Organization, regfile::SpillMechanism>
+    kinds[] = {
+        {regfile::Organization::NamedState,
+         regfile::SpillMechanism::HardwareAssist},
+        {regfile::Organization::Segmented,
+         regfile::SpillMechanism::HardwareAssist},
+        {regfile::Organization::Segmented,
+         regfile::SpillMechanism::SoftwareTrap},
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto options = bench::BenchOptions::parse(argc, argv);
     bench::banner(
         "Figure 14: Spill/reload overhead as % of execution time",
         "serial: 0.01% (NSF) vs 8.47% (segment/HW) vs 15.54% "
@@ -63,29 +52,42 @@ main()
 
     std::uint64_t budget = bench::eventBudget(400'000);
 
+    // One cell per (application, file kind).  The paper's Figure 14
+    // files hold 128 registers; our calibrated sequential call
+    // chains concentrate within six 20-register frames, so the
+    // serial runs keep the §7.1 80-register size (paperConfig's
+    // default) to preserve the traffic the paper's deeper chains
+    // generate (see EXPERIMENTS.md).  The suite bars aggregate the
+    // same runs, so each cell is simulated once and reused.
+    bench::SweepSet sweep("fig14_overhead", options);
+    for (const auto &profile : workload::paperBenchmarks()) {
+        for (auto kind : kinds) {
+            auto config = bench::paperConfig(profile, kind.first);
+            config.rf.mechanism = kind.second;
+            sweep.add(profile, config, budget);
+        }
+    }
+    sweep.run();
+
     // Per-application breakdown first: the suite bars aggregate
     // total stall cycles over total cycles, so the rarely switching
     // programs (AS, Wavefront) dilute them — the busy applications
     // are the ones to compare against the paper's bars.
+    Totals totals[2][3];
     {
         stats::TextTable per_app;
         per_app.header({"Application", "NSF", "Segment (HW)",
                         "Segment (SW)"});
+        std::size_t cell = 0;
         for (const auto &profile : workload::paperBenchmarks()) {
             std::vector<std::string> row{profile.name};
-            for (auto kind :
-                 {std::pair(regfile::Organization::NamedState,
-                            regfile::SpillMechanism::HardwareAssist),
-                  std::pair(regfile::Organization::Segmented,
-                            regfile::SpillMechanism::HardwareAssist),
-                  std::pair(regfile::Organization::Segmented,
-                            regfile::SpillMechanism::SoftwareTrap)}) {
-                auto config =
-                    bench::paperConfig(profile, kind.first);
-                config.rf.mechanism = kind.second;
-                auto r = bench::runOn(profile, config, budget);
+            for (int k = 0; k < 3; ++k) {
+                const auto &r = sweep.result(cell++);
                 row.push_back(stats::TextTable::percent(
                     r.overheadFraction()));
+                auto &suite = totals[profile.parallel ? 1 : 0][k];
+                suite.stall += r.regStallCycles;
+                suite.cycles += r.cycles;
             }
             per_app.row(row);
         }
@@ -99,27 +101,12 @@ main()
     double fractions[2][3];
     int row = 0;
     for (bool parallel : {false, true}) {
-        auto suite = parallel ? workload::parallelBenchmarks()
-                              : workload::sequentialBenchmarks();
-
-        auto nsf =
-            runSuite(suite, regfile::Organization::NamedState,
-                     regfile::SpillMechanism::HardwareAssist,
-                     budget);
-        auto hw = runSuite(suite, regfile::Organization::Segmented,
-                           regfile::SpillMechanism::HardwareAssist,
-                           budget);
-        auto sw = runSuite(suite, regfile::Organization::Segmented,
-                           regfile::SpillMechanism::SoftwareTrap,
-                           budget);
-
-        fractions[row][0] = nsf.fraction();
-        fractions[row][1] = hw.fraction();
-        fractions[row][2] = sw.fraction();
+        for (int k = 0; k < 3; ++k)
+            fractions[row][k] = totals[row][k].fraction();
         table.row({parallel ? "Parallel" : "Serial",
-                   stats::TextTable::percent(nsf.fraction()),
-                   stats::TextTable::percent(hw.fraction()),
-                   stats::TextTable::percent(sw.fraction())});
+                   stats::TextTable::percent(fractions[row][0]),
+                   stats::TextTable::percent(fractions[row][1]),
+                   stats::TextTable::percent(fractions[row][2])});
         ++row;
     }
     std::printf("%s\n", table.render().c_str());

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "nsrf/common/logging.hh"
 
 namespace nsrf::bench
 {
@@ -49,6 +52,104 @@ runOn(const workload::BenchmarkProfile &profile,
 {
     auto gen = makeGenerator(profile, events);
     return sim::runTrace(config, *gen);
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv)
+{
+    BenchOptions options;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs" || arg == "-j") {
+            options.jobs =
+                static_cast<unsigned>(std::strtoul(need(), nullptr,
+                                                   10));
+            if (options.jobs == 0)
+                options.jobs = sim::SweepRunner::hardwareJobs();
+        } else if (arg == "--json") {
+            options.jsonPath = need();
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: %s [--jobs N] [--json PATH]\n"
+                "  --jobs N     run sweep cells on N threads "
+                "(0 = all cores; default 1)\n"
+                "  --json PATH  also write per-cell results as "
+                "JSON\n",
+                argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr,
+                         "unknown option '%s' (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return options;
+}
+
+SweepSet::SweepSet(std::string bench_name,
+                   const BenchOptions &options)
+    : name_(std::move(bench_name)), options_(options)
+{
+}
+
+std::size_t
+SweepSet::add(const workload::BenchmarkProfile &profile,
+              const sim::SimConfig &config, std::uint64_t events)
+{
+    nsrf_assert(!ran_, "SweepSet::add() after run()");
+    sim::SweepCell cell;
+    cell.label =
+        profile.name + "/" +
+        regfile::organizationName(config.rf.org);
+    cell.config = config;
+    // Copy the profile so the factory owns its seed and calibration
+    // — a fresh, identically-seeded generator per run is the sweep
+    // determinism contract.
+    cell.makeGenerator = [profile, events]() {
+        return makeGenerator(profile, events);
+    };
+    cell.provenance = {
+        {"app", profile.name},
+        {"events", std::to_string(events)},
+    };
+    cells_.push_back(std::move(cell));
+    return cells_.size() - 1;
+}
+
+void
+SweepSet::run()
+{
+    nsrf_assert(!ran_, "SweepSet::run() called twice");
+    sim::SweepRunner runner(options_.jobs);
+    results_ = runner.run(cells_);
+    ran_ = true;
+    if (!options_.jsonPath.empty()) {
+        if (sim::writeSweepResultsJson(options_.jsonPath, name_,
+                                       cells_, results_,
+                                       runner.jobs())) {
+            std::fprintf(stderr, "wrote %zu cells to %s\n",
+                         cells_.size(),
+                         options_.jsonPath.c_str());
+        }
+    }
+}
+
+const sim::RunResult &
+SweepSet::result(std::size_t i) const
+{
+    nsrf_assert(ran_, "SweepSet::result() before run()");
+    nsrf_assert(i < results_.size(), "cell index %zu out of range",
+                i);
+    return results_[i];
 }
 
 void

@@ -1,17 +1,22 @@
 /**
  * @file
  * Shared plumbing for the reproduction benches: generator and
- * configuration construction, run-length control, and the
- * paper-vs-measured verdict lines every bench prints.
+ * configuration construction, run-length control, command-line
+ * handling (--jobs/--json), the parallel sweep set every bench runs
+ * its cells through, and the paper-vs-measured verdict lines every
+ * bench prints.
  */
 
 #ifndef NSRF_BENCH_SUPPORT_HH
 #define NSRF_BENCH_SUPPORT_HH
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/sweep.hh"
 #include "nsrf/workload/parallel.hh"
 #include "nsrf/workload/profile.hh"
 #include "nsrf/workload/sequential.hh"
@@ -40,6 +45,59 @@ sim::SimConfig paperConfig(const workload::BenchmarkProfile &profile,
 sim::RunResult runOn(const workload::BenchmarkProfile &profile,
                      const sim::SimConfig &config,
                      std::uint64_t events);
+
+/** Flags shared by every bench binary. */
+struct BenchOptions
+{
+    /** Worker threads for the sweep (--jobs N; 0 = nproc). */
+    unsigned jobs = 1;
+    /** Write machine-readable results here (--json PATH). */
+    std::string jsonPath;
+
+    /**
+     * Parse the shared flags; exits with usage on unknown
+     * arguments, prints usage and exits 0 on --help.
+     */
+    static BenchOptions parse(int argc, char **argv);
+};
+
+/**
+ * A bench's full set of simulation cells, run through
+ * sim::SweepRunner.
+ *
+ * Usage is two-phase: add() every (profile, config) cell in the
+ * order the bench's tables consume them, call run() once, then read
+ * result(i) — indices are assigned sequentially by add().  Cells
+ * are independent and identically seeded regardless of --jobs, so
+ * per-cell results are bit-identical at any worker count.  run()
+ * also writes the structured JSON trajectory when --json was given.
+ */
+class SweepSet
+{
+  public:
+    SweepSet(std::string bench_name, const BenchOptions &options);
+
+    /** Queue one cell; @return its result index. */
+    std::size_t add(const workload::BenchmarkProfile &profile,
+                    const sim::SimConfig &config,
+                    std::uint64_t events);
+
+    /** Run all queued cells (and write --json, if requested). */
+    void run();
+
+    /** @return cell @p i's result; only valid after run(). */
+    const sim::RunResult &result(std::size_t i) const;
+
+    /** @return number of queued cells. */
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    std::string name_;
+    BenchOptions options_;
+    std::vector<sim::SweepCell> cells_;
+    std::vector<sim::RunResult> results_;
+    bool ran_ = false;
+};
 
 /** Print the bench banner. */
 void banner(const std::string &exhibit, const std::string &claim);

@@ -1,6 +1,6 @@
 #include "nsrf/cam/decoder.hh"
 
-#include <algorithm>
+#include <bit>
 
 #include "nsrf/common/logging.hh"
 
@@ -12,12 +12,29 @@ AssociativeDecoder::AssociativeDecoder(std::size_t line_count)
 {
     nsrf_assert(line_count > 0, "decoder needs at least one line");
     index_.reserve(line_count);
-    freeList_.reserve(line_count);
-    // Keep the free list sorted descending so findFree() pops the
-    // lowest index, making allocation order deterministic.
-    for (std::size_t i = line_count; i-- > 0;)
-        freeList_.push_back(i);
-    std::reverse(freeList_.begin(), freeList_.end());
+    // Every line starts free.  Trailing bits of the last word stay
+    // clear so findFree() never reports a line past the end.
+    freeWords_.assign((line_count + 63) / 64, 0);
+    freeSummary_.assign((freeWords_.size() + 63) / 64, 0);
+    for (std::size_t i = 0; i < line_count; ++i)
+        markFree(i);
+}
+
+void
+AssociativeDecoder::markFree(std::size_t line)
+{
+    freeWords_[line / 64] |= std::uint64_t{1} << (line % 64);
+    std::size_t word = line / 64;
+    freeSummary_[word / 64] |= std::uint64_t{1} << (word % 64);
+}
+
+void
+AssociativeDecoder::markUsed(std::size_t line)
+{
+    std::size_t word = line / 64;
+    freeWords_[word] &= ~(std::uint64_t{1} << (line % 64));
+    if (freeWords_[word] == 0)
+        freeSummary_[word / 64] &= ~(std::uint64_t{1} << (word % 64));
 }
 
 std::size_t
@@ -50,9 +67,7 @@ AssociativeDecoder::program(std::size_t line, ContextId cid,
     tags_[line] = t;
     valid_[line] = true;
     index_.emplace(t, line);
-    freeList_.erase(std::remove(freeList_.begin(), freeList_.end(),
-                                line),
-                    freeList_.end());
+    markUsed(line);
     ++stats_.programs;
 }
 
@@ -64,10 +79,7 @@ AssociativeDecoder::invalidate(std::size_t line)
         return;
     index_.erase(tags_[line]);
     valid_[line] = false;
-    // Insert keeping the free list sorted ascending.
-    auto pos = std::lower_bound(freeList_.begin(), freeList_.end(),
-                                line);
-    freeList_.insert(pos, line);
+    markFree(line);
     ++stats_.invalidates;
 }
 
@@ -95,7 +107,17 @@ AssociativeDecoder::tag(std::size_t line) const
 std::size_t
 AssociativeDecoder::findFree() const
 {
-    return freeList_.empty() ? npos : freeList_.front();
+    for (std::size_t s = 0; s < freeSummary_.size(); ++s) {
+        if (freeSummary_[s] == 0)
+            continue;
+        std::size_t word =
+            s * 64 +
+            static_cast<std::size_t>(std::countr_zero(freeSummary_[s]));
+        return word * 64 +
+               static_cast<std::size_t>(
+                   std::countr_zero(freeWords_[word]));
+    }
+    return npos;
 }
 
 void

@@ -18,6 +18,7 @@
 #define NSRF_CAM_DECODER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -131,8 +132,18 @@ class AssociativeDecoder
      * map keeps the model O(1) while the invariants stay identical.
      */
     std::unordered_map<Tag, std::size_t, TagHash> index_;
-    std::vector<std::size_t> freeList_;
+    /**
+     * Free lines as a two-level bitmap (bit set = line free).  A
+     * summary bit per 64-bit word lets findFree() locate the lowest
+     * free line with two find-first-set steps instead of walking the
+     * lines, keeping allocation O(1) for any realistic file size.
+     */
+    std::vector<std::uint64_t> freeWords_;
+    std::vector<std::uint64_t> freeSummary_;
     DecoderStats stats_;
+
+    void markFree(std::size_t line);
+    void markUsed(std::size_t line);
 };
 
 } // namespace nsrf::cam

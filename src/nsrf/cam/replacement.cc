@@ -1,6 +1,6 @@
 #include "nsrf/cam/replacement.hh"
 
-#include <limits>
+#include <algorithm>
 
 #include "nsrf/common/logging.hh"
 
@@ -33,21 +33,59 @@ parseReplacement(const std::string &name)
 ReplacementState::ReplacementState(std::size_t slot_count,
                                    ReplacementKind kind,
                                    std::uint64_t seed)
-    : kind_(kind), held_(slot_count, false), stamp_(slot_count, 0),
-      rng_(seed)
+    : kind_(kind), held_(slot_count, false),
+      next_(slot_count + 1), prev_(slot_count + 1), rng_(seed)
 {
     nsrf_assert(slot_count > 0, "need at least one slot");
+    // Empty list: the sentinel points at itself.
+    next_[slot_count] = slot_count;
+    prev_[slot_count] = slot_count;
+}
+
+void
+ReplacementState::moveToBack(std::size_t slot)
+{
+    std::size_t sentinel = held_.size();
+    if (held_[slot]) {
+        // Repeated hits on the hottest line dominate touch();
+        // skip the relink when the slot is already most recent.
+        if (next_[slot] == sentinel)
+            return;
+        unlink(slot);
+    }
+    std::size_t tail = prev_[sentinel];
+    next_[tail] = slot;
+    prev_[slot] = tail;
+    next_[slot] = sentinel;
+    prev_[sentinel] = slot;
+}
+
+void
+ReplacementState::unlink(std::size_t slot)
+{
+    next_[prev_[slot]] = next_[slot];
+    prev_[next_[slot]] = prev_[slot];
 }
 
 void
 ReplacementState::insert(std::size_t slot)
 {
     nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
+    if (kind_ == ReplacementKind::Random) {
+        if (!held_[slot]) {
+            auto pos = std::lower_bound(heldSlots_.begin(),
+                                        heldSlots_.end(), slot);
+            heldSlots_.insert(pos, slot);
+        }
+    } else {
+        // Inserting (or re-inserting) makes the slot most recent
+        // under both LRU and FIFO.
+        moveToBack(slot);
+    }
     if (!held_[slot]) {
         held_[slot] = true;
         ++heldCount_;
     }
-    stamp_[slot] = ++clock_;
 }
 
 void
@@ -55,8 +93,20 @@ ReplacementState::touch(std::size_t slot)
 {
     nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
     nsrf_assert(held_[slot], "touch() on free slot %zu", slot);
-    if (kind_ == ReplacementKind::Lru)
-        stamp_[slot] = ++clock_;
+    if (kind_ != ReplacementKind::Lru)
+        return;
+    // Hot path: the slot is held (asserted above), so skip
+    // moveToBack's held check; repeated hits on the hottest line
+    // are already at the tail.
+    std::size_t sentinel = held_.size();
+    if (next_[slot] == sentinel)
+        return;
+    unlink(slot);
+    std::size_t tail = prev_[sentinel];
+    next_[tail] = slot;
+    prev_[slot] = tail;
+    next_[slot] = sentinel;
+    prev_[sentinel] = slot;
 }
 
 void
@@ -64,6 +114,13 @@ ReplacementState::release(std::size_t slot)
 {
     nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
     if (held_[slot]) {
+        if (kind_ == ReplacementKind::Random) {
+            heldSlots_.erase(std::lower_bound(heldSlots_.begin(),
+                                              heldSlots_.end(),
+                                              slot));
+        } else {
+            unlink(slot);
+        }
         held_[slot] = false;
         --heldCount_;
     }
@@ -75,29 +132,14 @@ ReplacementState::victim()
     nsrf_assert(heldCount_ > 0, "victim() with no held slots");
 
     if (kind_ == ReplacementKind::Random) {
-        // Uniform pick among held slots.
-        auto target = rng_.uniform(heldCount_);
-        for (std::size_t i = 0; i < held_.size(); ++i) {
-            if (held_[i]) {
-                if (target == 0)
-                    return i;
-                --target;
-            }
-        }
-        nsrf_panic("held slot accounting is inconsistent");
+        // Uniform pick among held slots, in ascending index order
+        // to match the original full-array scan.
+        return heldSlots_[rng_.uniform(heldCount_)];
     }
 
-    // LRU and FIFO both evict the oldest stamp; they differ in
-    // whether touch() refreshes it.
-    std::size_t best = 0;
-    std::uint64_t best_stamp = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t i = 0; i < held_.size(); ++i) {
-        if (held_[i] && stamp_[i] < best_stamp) {
-            best_stamp = stamp_[i];
-            best = i;
-        }
-    }
-    return best;
+    // LRU and FIFO both evict the list head (the oldest
+    // insert/touch); they differ in whether touch() promotes.
+    return next_[held_.size()];
 }
 
 } // namespace nsrf::cam

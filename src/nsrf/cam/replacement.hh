@@ -71,12 +71,27 @@ class ReplacementState
     ReplacementKind kind() const { return kind_; }
 
   private:
+    /** Move @p slot to the MRU end of the recency list. */
+    void moveToBack(std::size_t slot);
+    /** Unlink @p slot from the recency list. */
+    void unlink(std::size_t slot);
+
     ReplacementKind kind_;
     std::vector<bool> held_;
     std::size_t heldCount_ = 0;
-    /** Logical timestamp of last insert/touch, per slot. */
-    std::vector<std::uint64_t> stamp_;
-    std::uint64_t clock_ = 0;
+    /**
+     * LRU/FIFO: intrusive doubly-linked recency list over the slots
+     * (head = victim, tail = most recent insert/touch), replacing
+     * the original O(slots) oldest-stamp scan.  Index slot_count is
+     * the sentinel node.
+     */
+    std::vector<std::size_t> next_;
+    std::vector<std::size_t> prev_;
+    /**
+     * Random: held slots in ascending index order, so the uniform
+     * pick selects the same slot the original full-array scan did.
+     */
+    std::vector<std::size_t> heldSlots_;
     Random rng_;
 };
 

@@ -187,7 +187,12 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
             ++stats_.regsSpilled;
             ++stats_.liveRegsSpilled;
         }
-        ctx.validInMem[off] = true;
+        // A clean word that was not already live in memory is a dead
+        // neighbour pulled in by ReloadLine/FetchOnWrite; spilling it
+        // must not promote it to "live", or every future reload of it
+        // would be miscounted as live traffic (Fig 10/13).
+        if (dirty_[slot])
+            ctx.validInMem[off] = true;
         valid_[slot] = false;
         dirty_[slot] = false;
         --activeCount_;

@@ -1,5 +1,8 @@
 #include "nsrf/sim/simulator.hh"
 
+#include <algorithm>
+#include <functional>
+
 #include "nsrf/common/logging.hh"
 
 namespace nsrf::sim
@@ -38,39 +41,56 @@ TraceSimulator::dataAccess()
     return memsys_.readWord(addr, value);
 }
 
+void
+TraceSimulator::noteUse(CtxHandle handle, std::uint64_t last_use)
+{
+    lruHeap_.emplace_back(last_use, handle);
+    std::push_heap(lruHeap_.begin(), lruHeap_.end(),
+                   std::greater<>{});
+    // Stale snapshots accumulate one per rebind/re-run; compact
+    // once they dominate so the heap stays linear in live state.
+    if (lruHeap_.size() > 2 * handles_.size() + 64) {
+        lruHeap_.clear();
+        for (const auto &[h, state] : handles_) {
+            if (state.cid != invalidContext)
+                lruHeap_.emplace_back(state.lastUse, h);
+        }
+        std::make_heap(lruHeap_.begin(), lruHeap_.end(),
+                       std::greater<>{});
+    }
+}
+
 ContextId
 TraceSimulator::stealCid(Cycles &cycles)
 {
     // Flush the least-recently-run bound activation (never the
     // most recent: the trace is about to run it) and reuse its
     // hardware CID — the software CID-virtualization path of the
-    // paper's §4.3.
-    CtxHandle victim = invalidHandle;
-    std::uint64_t oldest = ~0ull;
-    std::uint64_t newest = 0;
-    CtxHandle newest_handle = invalidHandle;
-    std::size_t bound = 0;
-    for (const auto &[handle, state] : handles_) {
-        if (state.cid == invalidContext)
-            continue;
-        ++bound;
-        if (state.lastUse < oldest) {
-            oldest = state.lastUse;
-            victim = handle;
-        }
-        if (state.lastUse >= newest) {
-            newest = state.lastUse;
-            newest_handle = handle;
-        }
-    }
-    // Never steal from the running activation (the one mapped most
-    // recently) — the trace is still issuing its instructions.
-    nsrf_assert(victim != invalidHandle && bound > 1 &&
-                    victim != newest_handle,
+    // paper's §4.3.  Pop heap entries until one still describes a
+    // bound activation; recency stamps are unique, so the first
+    // fresh entry is the oldest bound activation.
+    nsrf_assert(boundCount_ > 1,
                 "CID space too small for the running set; raise "
                 "SimConfig::cidCapacity above 1");
+    CtxHandle victim = invalidHandle;
+    while (true) {
+        nsrf_assert(!lruHeap_.empty(),
+                    "recency heap lost a bound activation");
+        auto [last_use, handle] = lruHeap_.front();
+        std::pop_heap(lruHeap_.begin(), lruHeap_.end(),
+                      std::greater<>{});
+        lruHeap_.pop_back();
+        auto it = handles_.find(handle);
+        if (it != handles_.end() &&
+            it->second.cid != invalidContext &&
+            it->second.lastUse == last_use) {
+            victim = handle;
+            break;
+        }
+    }
 
     HandleState &state = handles_[victim];
+    --boundCount_;
     ContextId cid = state.cid;
     auto res = rf_->flushContext(cid);
     cycles += res.stall;
@@ -99,6 +119,8 @@ TraceSimulator::createContext(CtxHandle handle, Cycles &cycles)
                 static_cast<unsigned long long>(handle));
     (void)it;
     cidToHandle_[cid] = handle;
+    ++boundCount_;
+    noteUse(handle, state.lastUse);
     return cid;
 }
 
@@ -124,7 +146,9 @@ TraceSimulator::mapContext(CtxHandle handle, Cycles &cycles)
         state.cid = cid;
         rf_->restoreContext(cid, state.frame);
         cidToHandle_[cid] = handle;
+        ++boundCount_;
     }
+    noteUse(handle, state.lastUse);
     return state.cid;
 }
 
@@ -140,6 +164,7 @@ TraceSimulator::unmapContext(CtxHandle handle)
         rf_->freeContext(state.cid);
         cidToHandle_.erase(state.cid);
         cids_.free(state.cid);
+        --boundCount_;
     }
     frames_.free(state.frame);
     handles_.erase(it);

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "nsrf/common/random.hh"
@@ -147,6 +148,9 @@ class TraceSimulator
         std::uint64_t lastUse = 0;
     };
 
+    /** Record a bound activation's recency for victim selection. */
+    void noteUse(CtxHandle handle, std::uint64_t last_use);
+
     /** @return the bound CID for @p handle, rebinding if parked. */
     ContextId mapContext(CtxHandle handle, Cycles &cycles);
     void unmapContext(CtxHandle handle);
@@ -168,6 +172,15 @@ class TraceSimulator
     runtime::FrameAllocator frames_;
     std::unordered_map<CtxHandle, HandleState> handles_;
     std::unordered_map<ContextId, CtxHandle> cidToHandle_;
+    /**
+     * Bound activations ordered by recency: a lazy min-heap of
+     * (lastUse, handle) snapshots.  Entries go stale when an
+     * activation is re-run, parked, or destroyed; stealCid() skips
+     * them on pop, so a steal is O(log n) instead of a linear scan
+     * of every live activation (quadratic under small CID spaces).
+     */
+    std::vector<std::pair<std::uint64_t, CtxHandle>> lruHeap_;
+    std::size_t boundCount_ = 0;
     std::uint64_t useClock_ = 0;
     std::uint64_t cidEvictions_ = 0;
 };

@@ -1,0 +1,210 @@
+#include "nsrf/sim/sweep.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/stats/json.hh"
+
+namespace nsrf::sim
+{
+
+namespace
+{
+
+const char *
+missPolicyName(regfile::MissPolicy policy)
+{
+    switch (policy) {
+      case regfile::MissPolicy::ReloadLine: return "line";
+      case regfile::MissPolicy::ReloadLive: return "live";
+      case regfile::MissPolicy::ReloadSingle: return "single";
+    }
+    return "?";
+}
+
+const char *
+writePolicyName(regfile::WritePolicy policy)
+{
+    return policy == regfile::WritePolicy::FetchOnWrite ? "fow"
+                                                        : "wa";
+}
+
+const char *
+mechanismName(regfile::SpillMechanism mechanism)
+{
+    return mechanism == regfile::SpillMechanism::SoftwareTrap ? "sw"
+                                                              : "hw";
+}
+
+void
+appendConfig(stats::JsonWriter &json, const SimConfig &config)
+{
+    const auto &rf = config.rf;
+    json.key("config").beginObject();
+    json.field("org", regfile::organizationName(rf.org));
+    json.field("totalRegs", rf.totalRegs);
+    json.field("regsPerContext", rf.regsPerContext);
+    json.field("regsPerLine", rf.regsPerLine);
+    json.field("missPolicy", missPolicyName(rf.missPolicy));
+    json.field("writePolicy", writePolicyName(rf.writePolicy));
+    json.field("replacement", cam::replacementName(rf.replacement));
+    json.field("mechanism", mechanismName(rf.mechanism));
+    json.field("trackValid", rf.trackValid);
+    json.field("backgroundTransfer", rf.backgroundTransfer);
+    json.field("spillDirtyOnly", rf.spillDirtyOnly);
+    json.field("seed", rf.seed);
+    json.field("memLatency", std::uint64_t(config.memLatency));
+    json.field("cidCapacity",
+               std::uint64_t(config.cidCapacity));
+    json.field("maxInstructions", config.maxInstructions);
+    json.endObject();
+}
+
+void
+appendResult(stats::JsonWriter &json, const RunResult &r)
+{
+    json.key("result").beginObject();
+    json.field("regfile", r.regfileDescription);
+    json.field("instructions", r.instructions);
+    json.field("contextSwitches", r.contextSwitches);
+    json.field("cycles", std::uint64_t(r.cycles));
+    json.field("regStallCycles", std::uint64_t(r.regStallCycles));
+    json.field("regsSpilled", r.regsSpilled);
+    json.field("regsReloaded", r.regsReloaded);
+    json.field("liveRegsReloaded", r.liveRegsReloaded);
+    json.field("readMisses", r.readMisses);
+    json.field("writeMisses", r.writeMisses);
+    json.field("cidEvictions", r.cidEvictions);
+    json.field("meanActiveRegs", r.meanActiveRegs);
+    json.field("maxActiveRegs", r.maxActiveRegs);
+    json.field("meanResidentContexts", r.meanResidentContexts);
+    json.field("meanUtilization", r.meanUtilization);
+    json.field("maxUtilization", r.maxUtilization);
+    json.field("reloadsPerInstr", r.reloadsPerInstr());
+    json.field("liveReloadsPerInstr", r.liveReloadsPerInstr());
+    json.field("overheadFraction", r.overheadFraction());
+    json.field("instrPerSwitch", r.instrPerSwitch());
+    json.endObject();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? hardwareJobs() : jobs)
+{
+}
+
+unsigned
+SweepRunner::hardwareJobs()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepCell> &cells) const
+{
+    std::vector<RunResult> results(cells.size());
+    if (cells.empty())
+        return results;
+
+    auto run_cell = [&](std::size_t i) {
+        const SweepCell &cell = cells[i];
+        nsrf_assert(cell.makeGenerator != nullptr,
+                    "sweep cell '%s' has no generator factory",
+                    cell.label.c_str());
+        auto gen = cell.makeGenerator();
+        results[i] = runTrace(cell.config, *gen);
+    };
+
+    unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, cells.size()));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            run_cell(i);
+        return results;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= cells.size())
+                    return;
+                try {
+                    run_cell(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+std::string
+sweepResultsJson(const std::string &bench_name,
+                 const std::vector<SweepCell> &cells,
+                 const std::vector<RunResult> &results, unsigned jobs)
+{
+    nsrf_assert(cells.size() == results.size(),
+                "sweep has %zu cells but %zu results", cells.size(),
+                results.size());
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("bench", bench_name);
+    json.field("jobs", jobs);
+    json.field("cellCount", std::uint64_t(cells.size()));
+    json.key("cells").beginArray();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        json.beginObject();
+        json.field("label", cells[i].label);
+        for (const auto &[key, value] : cells[i].provenance)
+            json.field(key, value);
+        appendConfig(json, cells[i].config);
+        appendResult(json, results[i]);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+bool
+writeSweepResultsJson(const std::string &path,
+                      const std::string &bench_name,
+                      const std::vector<SweepCell> &cells,
+                      const std::vector<RunResult> &results,
+                      unsigned jobs)
+{
+    std::string doc =
+        sweepResultsJson(bench_name, cells, results, jobs);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        nsrf_warn("cannot write sweep results to '%s'",
+                  path.c_str());
+        return false;
+    }
+    std::fputs(doc.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace nsrf::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Parallel sweep execution over independent simulation cells.
+ *
+ * Every figure and ablation bench is a sweep: a cross product of
+ * (workload, register file configuration, simulation parameters)
+ * cells, each of which is a completely independent trace-driven
+ * simulation.  SweepRunner runs those cells across a work-queue
+ * thread pool.
+ *
+ * Determinism contract: a cell carries its own SimConfig (with all
+ * seeds) and a generator *factory* that builds a fresh TraceGenerator
+ * per run, so no mutable state is shared between cells.  Results are
+ * written into a slot per cell, indexed by queue position.  Hence an
+ * N-thread run produces bit-identical RunResults to a 1-thread run —
+ * only completion order differs.  Tests pin this property.
+ *
+ * The structured results layer (sweepResultsJson) serializes each
+ * cell's configuration provenance and RunResult to JSON so bench
+ * trajectories (BENCH_*.json) can be diffed across commits.
+ */
+
+#ifndef NSRF_SIM_SWEEP_HH
+#define NSRF_SIM_SWEEP_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/trace.hh"
+
+namespace nsrf::sim
+{
+
+/** Builds a fresh generator for one run of a cell. */
+using GeneratorFactory =
+    std::function<std::unique_ptr<TraceGenerator>()>;
+
+/** One independent simulation in a sweep. */
+struct SweepCell
+{
+    /** Human-readable cell name, e.g. "GateSim/nsf". */
+    std::string label;
+    SimConfig config;
+    /** Must create a fresh, identically-seeded generator per call. */
+    GeneratorFactory makeGenerator;
+    /** Extra provenance recorded verbatim in the JSON output. */
+    std::vector<std::pair<std::string, std::string>> provenance;
+};
+
+/** Work-queue thread pool over sweep cells. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = one per hardware thread. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** @return the resolved worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** @return the hardware thread count (>= 1). */
+    static unsigned hardwareJobs();
+
+    /**
+     * Run every cell; @return one RunResult per cell, in cell
+     * order, independent of the worker count.
+     */
+    std::vector<RunResult> run(
+        const std::vector<SweepCell> &cells) const;
+
+  private:
+    unsigned jobs_;
+};
+
+/**
+ * Serialize a finished sweep — config provenance plus RunResult per
+ * cell — as a JSON document:
+ *
+ *   {"bench": ..., "jobs": N, "cells": [
+ *     {"label": ..., <provenance...>, "config": {...},
+ *      "result": {...}}, ...]}
+ */
+std::string sweepResultsJson(const std::string &bench_name,
+                             const std::vector<SweepCell> &cells,
+                             const std::vector<RunResult> &results,
+                             unsigned jobs);
+
+/**
+ * Write sweepResultsJson to @p path.  @return false (with a warning)
+ * when the file cannot be written.
+ */
+bool writeSweepResultsJson(const std::string &path,
+                           const std::string &bench_name,
+                           const std::vector<SweepCell> &cells,
+                           const std::vector<RunResult> &results,
+                           unsigned jobs);
+
+} // namespace nsrf::sim
+
+#endif // NSRF_SIM_SWEEP_HH

@@ -1,0 +1,185 @@
+#include "nsrf/stats/json.hh"
+
+#include <cstdio>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::stats
+{
+
+void
+JsonWriter::preValue()
+{
+    if (!stack_.empty() && stack_.back() == Frame::Object) {
+        nsrf_assert(pendingKey_,
+                    "JSON object values need a preceding key()");
+        pendingKey_ = false;
+        return;
+    }
+    nsrf_assert(!pendingKey_, "dangling JSON key outside an object");
+    if (!stack_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    out_ += '{';
+    stack_.push_back(Frame::Object);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    nsrf_assert(!stack_.empty() && stack_.back() == Frame::Object &&
+                    !pendingKey_,
+                "unbalanced endObject()");
+    out_ += '}';
+    stack_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    out_ += '[';
+    stack_.push_back(Frame::Array);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    nsrf_assert(!stack_.empty() && stack_.back() == Frame::Array,
+                "unbalanced endArray()");
+    out_ += ']';
+    stack_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    nsrf_assert(!stack_.empty() && stack_.back() == Frame::Object &&
+                    !pendingKey_,
+                "key() is only valid directly inside an object");
+    if (hasElement_.back())
+        out_ += ',';
+    hasElement_.back() = true;
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    char buf[40];
+    // %.17g round-trips any IEEE double.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    nsrf_assert(stack_.empty(),
+                "JSON document has %zu unclosed containers",
+                stack_.size());
+    return out_;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace nsrf::stats

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable results.
+ *
+ * The benches historically printed only ASCII tables; regression
+ * tracking needs a structured trajectory (BENCH_*.json) that tools
+ * can diff across commits.  This writer covers exactly the subset
+ * the results layer needs — objects, arrays, strings, integers,
+ * doubles, booleans — with correct string escaping and round-trip
+ * double formatting.  No reader is provided; results files are
+ * consumed by external tooling (jq, python) and by tests that grep
+ * specific fields.
+ */
+
+#ifndef NSRF_STATS_JSON_HH
+#define NSRF_STATS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nsrf::stats
+{
+
+/** Incremental JSON document builder. */
+class JsonWriter
+{
+  public:
+    /** Begin a JSON object ("{"). */
+    JsonWriter &beginObject();
+
+    /** Close the innermost object. */
+    JsonWriter &endObject();
+
+    /** Begin a JSON array ("["). */
+    JsonWriter &beginArray();
+
+    /** Close the innermost array. */
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value. */
+    JsonWriter &key(const std::string &name);
+
+    /** Scalar values. */
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** @return the document; all containers must be closed. */
+    const std::string &str() const;
+
+    /** JSON-escape @p s (no surrounding quotes). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Frame { Object, Array };
+
+    /** Comma/structure bookkeeping before emitting a value. */
+    void preValue();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+} // namespace nsrf::stats
+
+#endif // NSRF_STATS_JSON_HH

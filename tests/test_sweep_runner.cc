@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the parallel sweep runner: thread-count determinism
+ * (N workers produce bit-identical results to one), the structured
+ * JSON results layer, and a regression pinning the live-reload
+ * accounting fix in NamedStateRegisterFile::evictLine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/named_state.hh"
+#include "nsrf/sim/sweep.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+constexpr std::uint64_t testEvents = 20'000;
+
+std::unique_ptr<sim::TraceGenerator>
+generatorFor(const workload::BenchmarkProfile &profile,
+             std::uint64_t events)
+{
+    std::uint64_t len =
+        std::min(profile.executedInstructions, events);
+    if (profile.parallel) {
+        return std::make_unique<workload::ParallelWorkload>(profile,
+                                                            len);
+    }
+    return std::make_unique<workload::SequentialWorkload>(profile,
+                                                          len);
+}
+
+sim::SweepCell
+cellFor(const std::string &app, regfile::Organization org)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName(app);
+    sim::SweepCell cell;
+    cell.label =
+        app + "/" + regfile::organizationName(org);
+    cell.config.rf.org = org;
+    cell.config.rf.totalRegs = profile.parallel ? 128 : 80;
+    cell.config.rf.regsPerContext = profile.regsPerContext;
+    cell.makeGenerator = [profile]() {
+        return generatorFor(profile, testEvents);
+    };
+    cell.provenance = {{"app", app}};
+    return cell;
+}
+
+/** A small but non-trivial mixed sequential/parallel sweep. */
+std::vector<sim::SweepCell>
+smallSweep()
+{
+    std::vector<sim::SweepCell> cells;
+    for (const char *app : {"GateSim", "Gamteb"}) {
+        cells.push_back(
+            cellFor(app, regfile::Organization::NamedState));
+        cells.push_back(
+            cellFor(app, regfile::Organization::Segmented));
+    }
+    // One cell with a distinct NSF geometry so per-cell configs
+    // differ within the same sweep.
+    auto wide = cellFor("Gamteb",
+                        regfile::Organization::NamedState);
+    wide.config.rf.regsPerLine = 4;
+    wide.config.rf.missPolicy = regfile::MissPolicy::ReloadLive;
+    wide.label += "/line4";
+    cells.push_back(std::move(wide));
+    return cells;
+}
+
+void
+expectSameResult(const sim::RunResult &a, const sim::RunResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.regfileDescription, b.regfileDescription);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.regStallCycles, b.regStallCycles);
+    EXPECT_EQ(a.regsSpilled, b.regsSpilled);
+    EXPECT_EQ(a.regsReloaded, b.regsReloaded);
+    EXPECT_EQ(a.liveRegsReloaded, b.liveRegsReloaded);
+    EXPECT_EQ(a.readMisses, b.readMisses);
+    EXPECT_EQ(a.writeMisses, b.writeMisses);
+    EXPECT_EQ(a.cidEvictions, b.cidEvictions);
+    // Bit-identical, not approximately equal: the same cell must
+    // perform the same arithmetic regardless of the worker count.
+    EXPECT_EQ(a.meanActiveRegs, b.meanActiveRegs);
+    EXPECT_EQ(a.maxActiveRegs, b.maxActiveRegs);
+    EXPECT_EQ(a.meanResidentContexts, b.meanResidentContexts);
+    EXPECT_EQ(a.meanUtilization, b.meanUtilization);
+    EXPECT_EQ(a.maxUtilization, b.maxUtilization);
+}
+
+TEST(SweepRunner, ResolvesWorkerCount)
+{
+    EXPECT_EQ(sim::SweepRunner(1).jobs(), 1u);
+    EXPECT_EQ(sim::SweepRunner(3).jobs(), 3u);
+    EXPECT_GE(sim::SweepRunner(0).jobs(), 1u);
+    EXPECT_GE(sim::SweepRunner::hardwareJobs(), 1u);
+}
+
+TEST(SweepRunner, EmptySweepYieldsNoResults)
+{
+    EXPECT_TRUE(sim::SweepRunner(4).run({}).empty());
+}
+
+TEST(SweepRunner, ParallelRunMatchesSerialRun)
+{
+    auto cells = smallSweep();
+    auto serial = sim::SweepRunner(1).run(cells);
+    auto parallel = sim::SweepRunner(4).run(cells);
+
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectSameResult(serial[i], parallel[i], cells[i].label);
+}
+
+TEST(SweepRunner, RerunIsDeterministic)
+{
+    auto cells = smallSweep();
+    auto first = sim::SweepRunner(2).run(cells);
+    auto second = sim::SweepRunner(2).run(cells);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectSameResult(first[i], second[i], cells[i].label);
+}
+
+TEST(SweepRunner, ExceptionsPropagateAcrossThreads)
+{
+    auto cells = smallSweep();
+    cells[2].makeGenerator = []() -> std::unique_ptr<
+                                  sim::TraceGenerator> {
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(sim::SweepRunner(4).run(cells),
+                 std::runtime_error);
+}
+
+/** Extract the number following "key": in @p json after @p from. */
+std::uint64_t
+jsonUint(const std::string &json, const std::string &key,
+         std::size_t from = 0)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = json.find(needle, from);
+    EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(json.c_str() + pos + needle.size(),
+                         nullptr, 10);
+}
+
+TEST(SweepResultsJson, RoundTripsResultsAndProvenance)
+{
+    auto cells = smallSweep();
+    auto results = sim::SweepRunner(1).run(cells);
+    std::string json =
+        sim::sweepResultsJson("test_sweep", cells, results, 3);
+
+    EXPECT_NE(json.find("\"bench\":\"test_sweep\""),
+              std::string::npos);
+    EXPECT_EQ(jsonUint(json, "jobs"), 3u);
+    EXPECT_EQ(jsonUint(json, "cellCount"), cells.size());
+
+    // Every cell appears, in order, with its label, provenance,
+    // config, and result values.
+    std::size_t pos = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::size_t at =
+            json.find("\"label\":\"" + cells[i].label + "\"", pos);
+        ASSERT_NE(at, std::string::npos) << cells[i].label;
+        EXPECT_GE(at, pos);
+        pos = at;
+        EXPECT_NE(json.find("\"app\":", pos), std::string::npos);
+        EXPECT_EQ(jsonUint(json, "totalRegs", pos),
+                  cells[i].config.rf.totalRegs);
+        EXPECT_EQ(jsonUint(json, "instructions", pos),
+                  results[i].instructions);
+        EXPECT_EQ(jsonUint(json, "regsReloaded", pos),
+                  results[i].regsReloaded);
+        EXPECT_EQ(jsonUint(json, "cycles", pos),
+                  results[i].cycles);
+    }
+}
+
+TEST(SweepResultsJson, WritesFile)
+{
+    auto cells = smallSweep();
+    cells.resize(1);
+    auto results = sim::SweepRunner(1).run(cells);
+
+    std::string path = ::testing::TempDir() + "sweep_results.json";
+    ASSERT_TRUE(sim::writeSweepResultsJson(path, "file_test", cells,
+                                           results, 1));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(content,
+              sim::sweepResultsJson("file_test", cells, results, 1) +
+                  "\n");
+}
+
+/**
+ * Regression for the live-reload accounting fix: spilling a clean
+ * register that was never live in memory (a dead neighbour reloaded
+ * by MissPolicy::ReloadLine) must not mark it live, or its next
+ * reload is miscounted as live traffic.
+ */
+TEST(NsfAccounting, DeadNeighbourReloadIsNotLive)
+{
+    mem::MemorySystem mem;
+    regfile::NamedStateRegisterFile::Config c;
+    c.lines = 2;
+    c.regsPerLine = 2;
+    c.maxRegsPerContext = 32;
+    c.missPolicy = regfile::MissPolicy::ReloadLine;
+    regfile::NamedStateRegisterFile rf(c, mem);
+
+    rf.allocContext(0, 0x10000);
+    rf.allocContext(1, 0x20000);
+
+    rf.write(0, 0, 11);  // line A: <0:r0> dirty
+    rf.write(1, 0, 22);  // line B: <1:r0> dirty
+    rf.write(1, 2, 33);  // evicts LRU line A; <0:r0> spills dirty
+
+    // Demand miss on <0:r0> reloads the whole line: r0 is live in
+    // memory, its neighbour r1 never held data.
+    Word v = 0;
+    EXPECT_FALSE(rf.read(0, 0, v).hit);
+    EXPECT_EQ(v, 11u);
+    EXPECT_EQ(rf.stats().regsReloaded.value(), 2u);
+    EXPECT_EQ(rf.stats().liveRegsReloaded.value(), 1u);
+    EXPECT_TRUE(rf.residentValid(0, 1)); // dead neighbour resident
+
+    // Make context 1's line the LRU survivor, then evict context
+    // 0's clean line again.  Both words are clean, so the spill
+    // must not promote the dead neighbour r1 to live-in-memory.
+    EXPECT_TRUE(rf.read(1, 2, v).hit);
+    rf.write(1, 0, 44); // evicts context 0's clean line
+
+    // Reload the line once more: r0 still counts as live, the dead
+    // neighbour r1 still must not.  The pre-fix accounting marked
+    // r1 live during the clean spill and counted 3 here.
+    EXPECT_FALSE(rf.read(0, 1, v).hit);
+    EXPECT_EQ(rf.stats().regsReloaded.value(), 4u);
+    EXPECT_EQ(rf.stats().liveRegsReloaded.value(), 2u);
+
+    EXPECT_TRUE(rf.read(0, 0, v).hit);
+    EXPECT_EQ(v, 11u);
+}
+
+} // namespace
+} // namespace nsrf

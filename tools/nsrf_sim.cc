@@ -21,6 +21,7 @@
 #include "nsrf/common/logging.hh"
 #include "nsrf/sim/simulator.hh"
 #include "nsrf/regfile/statsdump.hh"
+#include "nsrf/sim/sweep.hh"
 #include "nsrf/sim/tracefile.hh"
 #include "nsrf/stats/table.hh"
 #include "nsrf/workload/parallel.hh"
@@ -47,6 +48,7 @@ struct Options
     bool background = false;
     std::uint64_t events = 600'000;
     std::uint64_t seed = 0; // 0 = profile default
+    unsigned jobs = 1;      // worker threads for --app all
     bool json = false;
     bool list = false;
     std::string record; //!< capture the trace to this file
@@ -72,6 +74,9 @@ usage()
         "  --bg                   segmented background transfer\n"
         "  --events N             trace length (default 600000)\n"
         "  --seed N               workload seed override\n"
+        "  --jobs N               run apps on N threads (0 = all\n"
+        "                         cores; ignored with --record,\n"
+        "                         --replay, or --stats)\n"
         "  --record FILE          capture the trace to FILE\n"
         "  --replay FILE          replay a captured trace\n"
         "  --stats                dump per-counter statistics\n"
@@ -162,6 +167,12 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(value = need(i)))
                 return false;
             opt.seed = strtoull(value, nullptr, 10);
+        } else if (arg == "--jobs") {
+            if (!(value = need(i)))
+                return false;
+            opt.jobs = static_cast<unsigned>(atoi(value));
+            if (opt.jobs == 0)
+                opt.jobs = sim::SweepRunner::hardwareJobs();
         } else if (arg == "--record") {
             if (!(value = need(i)))
                 return false;
@@ -182,34 +193,10 @@ parseArgs(int argc, char **argv, Options &opt)
     return true;
 }
 
-sim::RunResult
-runOne(const workload::BenchmarkProfile &profile_in,
-       const Options &opt)
+sim::SimConfig
+configFor(const workload::BenchmarkProfile &profile,
+          const Options &opt)
 {
-    workload::BenchmarkProfile profile = profile_in;
-    if (opt.seed)
-        profile.seed = opt.seed;
-
-    std::unique_ptr<sim::TraceGenerator> gen;
-    std::uint64_t len =
-        std::min(profile.executedInstructions, opt.events);
-    if (!opt.replay.empty()) {
-        gen = std::make_unique<sim::FileTraceGenerator>(opt.replay);
-    } else if (profile.parallel) {
-        gen = std::make_unique<workload::ParallelWorkload>(profile,
-                                                           len);
-    } else {
-        gen = std::make_unique<workload::SequentialWorkload>(
-            profile, len);
-    }
-    if (!opt.record.empty()) {
-        std::uint64_t n = sim::captureTrace(*gen, opt.record, len);
-        std::fprintf(stderr, "captured %llu events to %s\n",
-                     static_cast<unsigned long long>(n),
-                     opt.record.c_str());
-        gen->reset();
-    }
-
     sim::SimConfig config;
     config.rf.org = opt.org;
     config.rf.totalRegs =
@@ -223,7 +210,48 @@ runOne(const workload::BenchmarkProfile &profile_in,
     config.rf.mechanism = opt.mech;
     config.rf.trackValid = opt.trackValid;
     config.rf.backgroundTransfer = opt.background;
-    sim::TraceSimulator simulator(config);
+    return config;
+}
+
+std::unique_ptr<sim::TraceGenerator>
+workloadFor(const workload::BenchmarkProfile &profile,
+            std::uint64_t events)
+{
+    std::uint64_t len =
+        std::min(profile.executedInstructions, events);
+    if (profile.parallel) {
+        return std::make_unique<workload::ParallelWorkload>(profile,
+                                                            len);
+    }
+    return std::make_unique<workload::SequentialWorkload>(profile,
+                                                          len);
+}
+
+sim::RunResult
+runOne(const workload::BenchmarkProfile &profile_in,
+       const Options &opt)
+{
+    workload::BenchmarkProfile profile = profile_in;
+    if (opt.seed)
+        profile.seed = opt.seed;
+
+    std::unique_ptr<sim::TraceGenerator> gen;
+    if (!opt.replay.empty()) {
+        gen = std::make_unique<sim::FileTraceGenerator>(opt.replay);
+    } else {
+        gen = workloadFor(profile, opt.events);
+    }
+    if (!opt.record.empty()) {
+        std::uint64_t len =
+            std::min(profile.executedInstructions, opt.events);
+        std::uint64_t n = sim::captureTrace(*gen, opt.record, len);
+        std::fprintf(stderr, "captured %llu events to %s\n",
+                     static_cast<unsigned long long>(n),
+                     opt.record.c_str());
+        gen->reset();
+    }
+
+    sim::TraceSimulator simulator(configFor(profile, opt));
     auto result = simulator.run(*gen);
     if (opt.stats) {
         regfile::dumpStats(simulator.registerFile(), stdout,
@@ -231,6 +259,31 @@ runOne(const workload::BenchmarkProfile &profile_in,
         std::printf("\n");
     }
     return result;
+}
+
+/**
+ * Run the app list through sim::SweepRunner on opt.jobs threads.
+ * Only used when every run is an independent synthetic-workload
+ * cell: --record/--replay/--stats keep the serial path.
+ */
+std::vector<sim::RunResult>
+runParallel(const std::vector<workload::BenchmarkProfile> &apps,
+            const Options &opt)
+{
+    std::vector<sim::SweepCell> cells;
+    for (const auto &app : apps) {
+        workload::BenchmarkProfile profile = app;
+        if (opt.seed)
+            profile.seed = opt.seed;
+        sim::SweepCell cell;
+        cell.label = profile.name;
+        cell.config = configFor(profile, opt);
+        cell.makeGenerator = [profile, events = opt.events]() {
+            return workloadFor(profile, events);
+        };
+        cells.push_back(std::move(cell));
+    }
+    return sim::SweepRunner(opt.jobs).run(cells);
 }
 
 void
@@ -293,11 +346,17 @@ main(int argc, char **argv)
     if (opt.json)
         std::printf("[\n");
 
+    bool parallel_ok = opt.jobs > 1 && opt.record.empty() &&
+                       opt.replay.empty() && !opt.stats;
+    std::vector<sim::RunResult> results;
+    if (parallel_ok)
+        results = runParallel(apps, opt);
+
     stats::TextTable table;
     table.header({"App", "Regfile", "Instr", "Cycles", "Switches",
                   "Reloads/instr", "Util", "Overhead"});
     for (std::size_t i = 0; i < apps.size(); ++i) {
-        auto r = runOne(apps[i], opt);
+        auto r = parallel_ok ? results[i] : runOne(apps[i], opt);
         if (opt.json) {
             printJson(apps[i].name, r, i + 1 == apps.size());
         } else {

@@ -1,0 +1,74 @@
+#!/bin/sh
+# Run every figure/ablation bench with --json, collecting the ASCII
+# reports and the structured per-cell results under bench-results/.
+#
+#   tools/run_benches.sh [build-dir] [out-dir]
+#
+# Environment:
+#   NSRF_BENCH_EVENTS  per-run event budget override
+#   NSRF_BENCH_JOBS    worker threads per bench (default: all cores)
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-bench-results}
+jobs=${NSRF_BENCH_JOBS:-0}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: '$build_dir' is not a build tree (run:" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j)" >&2
+    exit 1
+fi
+
+mkdir -p "$out_dir"
+
+# Sweep benches: everything that takes --jobs/--json.
+sweep_benches="
+fig09_utilization
+fig10_reload_traffic
+fig11_resident_contexts
+fig12_reload_vs_size
+fig13_line_size
+fig14_overhead
+compare_organizations
+ablate_spill_policy
+ablate_write_policy
+ablate_interleaving
+ablate_cid_space
+"
+
+# Analytic/VLSI benches: no simulation sweep, ASCII report only.
+plain_benches="
+table1_benchmarks
+fig06_access_time
+fig07_area_3port
+fig08_area_6port
+energy_estimate
+"
+
+status=0
+for bench in $sweep_benches; do
+    exe="$build_dir/bench/$bench"
+    echo "== $bench =="
+    if "$exe" --jobs "$jobs" --json "$out_dir/$bench.json" \
+        > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log"; then
+        grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
+    else
+        echo "FAILED (see $out_dir/$bench.log)" >&2
+        status=1
+    fi
+done
+
+for bench in $plain_benches; do
+    exe="$build_dir/bench/$bench"
+    echo "== $bench =="
+    if "$exe" > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log"; then
+        grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
+    else
+        echo "FAILED (see $out_dir/$bench.log)" >&2
+        status=1
+    fi
+done
+
+echo
+echo "results in $out_dir/ (ASCII .txt, structured .json)"
+exit $status
