@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
 
 namespace nsrf::cam
@@ -69,6 +70,7 @@ AssociativeDecoder::program(std::size_t line, ContextId cid,
     index_.emplace(t, line);
     markUsed(line);
     ++stats_.programs;
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 void
@@ -81,6 +83,7 @@ AssociativeDecoder::invalidate(std::size_t line)
     valid_[line] = false;
     markFree(line);
     ++stats_.invalidates;
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 std::vector<std::size_t>
@@ -118,6 +121,79 @@ AssociativeDecoder::findFree() const
                    std::countr_zero(freeWords_[word]));
     }
     return npos;
+}
+
+bool
+AssociativeDecoder::auditInvariants(std::string *why) const
+{
+    using auditing::fail;
+    // The index and the valid tag array must mirror each other.
+    std::size_t valid_count = 0;
+    for (std::size_t line = 0; line < valid_.size(); ++line) {
+        if (!valid_[line])
+            continue;
+        ++valid_count;
+        auto it = index_.find(tags_[line]);
+        if (it == index_.end()) {
+            return fail(why,
+                            "valid line %zu tag <%u:%u> missing from "
+                            "the index",
+                            line, tags_[line].cid,
+                            tags_[line].lineOffset);
+        }
+        // A tag indexed to a different line means two valid lines
+        // share a tag: two word lines would fight the broadcast.
+        if (it->second != line) {
+            return fail(why,
+                            "tag <%u:%u> maps to line %zu but line "
+                            "%zu holds it too (duplicate tag)",
+                            tags_[line].cid, tags_[line].lineOffset,
+                            it->second, line);
+        }
+    }
+    if (index_.size() != valid_count) {
+        return fail(why,
+                        "index holds %zu tags but %zu lines are "
+                        "valid",
+                        index_.size(), valid_count);
+    }
+    for (const auto &[tag, line] : index_) {
+        if (line >= valid_.size() || !valid_[line]) {
+            return fail(why,
+                            "index tag <%u:%u> points at invalid "
+                            "line %zu",
+                            tag.cid, tag.lineOffset, line);
+        }
+    }
+
+    // The two-level free bitmap must agree bit-for-bit with line
+    // occupancy, including the trailing bits past the last line.
+    for (std::size_t word = 0; word < freeWords_.size(); ++word) {
+        for (unsigned bit = 0; bit < 64; ++bit) {
+            std::size_t line = word * 64 + bit;
+            bool marked_free =
+                (freeWords_[word] >> bit) & std::uint64_t{1};
+            bool is_free = line < valid_.size() && !valid_[line];
+            if (marked_free != is_free) {
+                return fail(why,
+                                "free bitmap disagrees with line %zu "
+                                "(marked %s, actually %s)",
+                                line, marked_free ? "free" : "used",
+                                is_free ? "free" : "used");
+            }
+        }
+        bool summary = (freeSummary_[word / 64] >> (word % 64)) &
+                       std::uint64_t{1};
+        if (summary != (freeWords_[word] != 0)) {
+            return fail(why,
+                            "free summary bit %zu disagrees with its "
+                            "word (summary %d, word 0x%llx)",
+                            word, int(summary),
+                            static_cast<unsigned long long>(
+                                freeWords_[word]));
+        }
+    }
+    return true;
 }
 
 void

@@ -23,8 +23,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include <string>
+
 #include "nsrf/common/types.hh"
 #include "nsrf/stats/counters.hh"
+
+namespace nsrf::check
+{
+struct TestAccess;
+} // namespace nsrf::check
 
 namespace nsrf::cam
 {
@@ -112,7 +119,20 @@ class AssociativeDecoder
     /** @return the activity counters. */
     const DecoderStats &stats() const { return stats_; }
 
+    /**
+     * Walk the live structures and verify the decoder's internal
+     * invariants: the tag index mirrors the valid tag array exactly
+     * (in particular, no two valid lines share a tag — the hardware
+     * "one match per broadcast" guarantee), and the two-level free
+     * bitmap agrees bit-for-bit with line occupancy.
+     *
+     * @return true when every invariant holds; otherwise false with
+     * the first violation described in @p why (when non-null).
+     */
+    bool auditInvariants(std::string *why = nullptr) const;
+
   private:
+    friend struct ::nsrf::check::TestAccess;
     struct TagHash
     {
         std::size_t

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
 
 namespace nsrf::cam
@@ -86,6 +87,7 @@ ReplacementState::insert(std::size_t slot)
         held_[slot] = true;
         ++heldCount_;
     }
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 void
@@ -107,6 +109,7 @@ ReplacementState::touch(std::size_t slot)
     prev_[slot] = tail;
     next_[slot] = sentinel;
     prev_[sentinel] = slot;
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 void
@@ -124,6 +127,7 @@ ReplacementState::release(std::size_t slot)
         held_[slot] = false;
         --heldCount_;
     }
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 std::size_t
@@ -140,6 +144,109 @@ ReplacementState::victim()
     // LRU and FIFO both evict the list head (the oldest
     // insert/touch); they differ in whether touch() promotes.
     return next_[held_.size()];
+}
+
+std::vector<std::size_t>
+ReplacementState::auditOrder() const
+{
+    if (kind_ == ReplacementKind::Random)
+        return heldSlots_;
+    std::vector<std::size_t> order;
+    order.reserve(heldCount_);
+    std::size_t sentinel = held_.size();
+    for (std::size_t slot = next_[sentinel];
+         slot != sentinel && order.size() <= heldCount_;
+         slot = next_[slot]) {
+        order.push_back(slot);
+    }
+    return order;
+}
+
+bool
+ReplacementState::auditInvariants(std::string *why) const
+{
+    using auditing::fail;
+    std::size_t held_count = 0;
+    for (std::size_t slot = 0; slot < held_.size(); ++slot)
+        held_count += held_[slot] ? 1 : 0;
+    if (held_count != heldCount_) {
+        return fail(why,
+                    "heldCount %zu disagrees with %zu held flags",
+                    heldCount_, held_count);
+    }
+
+    if (kind_ == ReplacementKind::Random) {
+        if (heldSlots_.size() != heldCount_) {
+            return fail(why,
+                        "candidate array holds %zu slots but %zu "
+                        "are held",
+                        heldSlots_.size(), heldCount_);
+        }
+        for (std::size_t i = 0; i < heldSlots_.size(); ++i) {
+            std::size_t slot = heldSlots_[i];
+            if (slot >= held_.size() || !held_[slot]) {
+                return fail(why,
+                            "candidate array entry %zu names free "
+                            "slot %zu",
+                            i, slot);
+            }
+            if (i > 0 && heldSlots_[i - 1] >= slot) {
+                return fail(why,
+                            "candidate array not in ascending order "
+                            "at entry %zu",
+                            i);
+            }
+        }
+        return true;
+    }
+
+    // LRU/FIFO: the recency list must visit every held slot exactly
+    // once, with mutually consistent forward and backward links.
+    std::size_t sentinel = held_.size();
+    std::vector<bool> seen(held_.size(), false);
+    std::size_t steps = 0;
+    std::size_t slot = next_[sentinel];
+    std::size_t prev = sentinel;
+    while (slot != sentinel) {
+        if (steps++ > heldCount_) {
+            return fail(why,
+                        "recency list longer than %zu held slots "
+                        "(cycle or stray link)",
+                        heldCount_);
+        }
+        if (slot > held_.size()) {
+            return fail(why, "recency list links to slot %zu out of "
+                             "range", slot);
+        }
+        if (!held_[slot]) {
+            return fail(why, "recency list links free slot %zu",
+                        slot);
+        }
+        if (seen[slot]) {
+            return fail(why, "recency list visits slot %zu twice",
+                        slot);
+        }
+        if (prev_[slot] != prev) {
+            return fail(why,
+                        "slot %zu's back link names %zu, expected "
+                        "%zu",
+                        slot, prev_[slot], prev);
+        }
+        seen[slot] = true;
+        prev = slot;
+        slot = next_[slot];
+    }
+    if (prev_[sentinel] != prev) {
+        return fail(why,
+                    "sentinel back link names %zu, expected %zu",
+                    prev_[sentinel], prev);
+    }
+    if (steps != heldCount_) {
+        return fail(why,
+                    "recency list visits %zu slots but %zu are held",
+                    steps, heldCount_);
+    }
+    return true;
 }
 
 } // namespace nsrf::cam

@@ -19,6 +19,11 @@
 
 #include "nsrf/common/random.hh"
 
+namespace nsrf::check
+{
+struct TestAccess;
+} // namespace nsrf::check
+
 namespace nsrf::cam
 {
 
@@ -70,7 +75,28 @@ class ReplacementState
 
     ReplacementKind kind() const { return kind_; }
 
+    /**
+     * @return the held slots in victim order (next victim first).
+     * For LRU/FIFO this is the recency list head to tail; for Random
+     * it is the ascending-index candidate array the uniform pick
+     * draws from.  For tests and audits.
+     */
+    std::vector<std::size_t> auditOrder() const;
+
+    /**
+     * Verify the structure's internal invariants: the held flags,
+     * the held count, and — for LRU/FIFO — the intrusive recency
+     * list (every held slot linked exactly once, mutually consistent
+     * next/prev, no cycles through free slots); for Random, the
+     * sorted candidate array.
+     *
+     * @return true when every invariant holds; otherwise false with
+     * the first violation described in @p why (when non-null).
+     */
+    bool auditInvariants(std::string *why = nullptr) const;
+
   private:
+    friend struct ::nsrf::check::TestAccess;
     /** Move @p slot to the MRU end of the recency list. */
     void moveToBack(std::size_t slot);
     /** Unlink @p slot from the recency list. */

@@ -1,0 +1,20 @@
+#include "nsrf/check/audit.hh"
+
+#include "nsrf/regfile/named_state.hh"
+
+namespace nsrf::check
+{
+
+AuditReport
+auditRegisterFile(const regfile::RegisterFile &rf)
+{
+    AuditReport report;
+    if (const auto *nsf =
+            dynamic_cast<const regfile::NamedStateRegisterFile *>(
+                &rf)) {
+        report.ok = nsf->auditInvariants(&report.why);
+    }
+    return report;
+}
+
+} // namespace nsrf::check

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Whole-model audit entry point.
+ *
+ * The audited structures each expose auditInvariants() (see
+ * common/audit.hh); this wrapper dispatches on the concrete register
+ * file organization and runs every audit that applies, returning a
+ * single report.  The fuzzer calls it after every executed operation;
+ * tests call it to prove corrupted structures are caught.
+ */
+
+#ifndef NSRF_CHECK_AUDIT_HH
+#define NSRF_CHECK_AUDIT_HH
+
+#include <string>
+
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::check
+{
+
+/** Outcome of one audit pass. */
+struct AuditReport
+{
+    bool ok = true;
+    /** First violated invariant, empty when ok. */
+    std::string why;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Audit @p rf with every check its concrete organization supports.
+ * The Named-State file runs the full cross-structure walk (decoder,
+ * replacement list, Ctable, occupancy counters, dirty-bit
+ * coherence); organizations without audit surface report ok.
+ */
+AuditReport auditRegisterFile(const regfile::RegisterFile &rf);
+
+} // namespace nsrf::check
+
+#endif // NSRF_CHECK_AUDIT_HH

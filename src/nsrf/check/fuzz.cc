@@ -1,0 +1,699 @@
+#include "nsrf/check/fuzz.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "nsrf/check/audit.hh"
+#include "nsrf/check/oracle.hh"
+#include "nsrf/check/testaccess.hh"
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/runtime/allocators.hh"
+
+namespace nsrf::check
+{
+
+namespace
+{
+
+const char *
+missName(regfile::MissPolicy policy)
+{
+    switch (policy) {
+      case regfile::MissPolicy::ReloadLine: return "line";
+      case regfile::MissPolicy::ReloadLive: return "live";
+      case regfile::MissPolicy::ReloadSingle: return "single";
+    }
+    return "?";
+}
+
+bool
+parseMiss(const std::string &name, regfile::MissPolicy *out)
+{
+    if (name == "line") *out = regfile::MissPolicy::ReloadLine;
+    else if (name == "live") *out = regfile::MissPolicy::ReloadLive;
+    else if (name == "single")
+        *out = regfile::MissPolicy::ReloadSingle;
+    else
+        return false;
+    return true;
+}
+
+const char *
+writeName(regfile::WritePolicy policy)
+{
+    return policy == regfile::WritePolicy::FetchOnWrite ? "fow"
+                                                        : "wa";
+}
+
+bool
+parseWrite(const std::string &name, regfile::WritePolicy *out)
+{
+    if (name == "wa") *out = regfile::WritePolicy::WriteAllocate;
+    else if (name == "fow") *out = regfile::WritePolicy::FetchOnWrite;
+    else
+        return false;
+    return true;
+}
+
+const char *
+mechName(regfile::SpillMechanism mech)
+{
+    return mech == regfile::SpillMechanism::SoftwareTrap ? "sw"
+                                                         : "hw";
+}
+
+bool
+parseMech(const std::string &name, regfile::SpillMechanism *out)
+{
+    if (name == "hw") *out = regfile::SpillMechanism::HardwareAssist;
+    else if (name == "sw") *out = regfile::SpillMechanism::SoftwareTrap;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseOrg(const std::string &name, regfile::Organization *out)
+{
+    using regfile::Organization;
+    if (name == "conventional") *out = Organization::Conventional;
+    else if (name == "segmented") *out = Organization::Segmented;
+    else if (name == "nsf") *out = Organization::NamedState;
+    else if (name == "windowed") *out = Organization::Windowed;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * The fixed seed->configuration matrix.  Deliberately tiny register
+ * files (two frames, a handful of lines) so two thousand ops churn
+ * through thousands of evictions, and NSF-heavy, since the CAM
+ * decoder, replacement list, and dirty bits are the structures the
+ * audits guard.
+ */
+const std::vector<FuzzConfig> &
+configMatrix()
+{
+    using cam::ReplacementKind;
+    using regfile::MissPolicy;
+    using regfile::Organization;
+    using regfile::SpillMechanism;
+    using regfile::WritePolicy;
+
+    static const std::vector<FuzzConfig> table = [] {
+        std::vector<FuzzConfig> t;
+        FuzzConfig base;
+        base.rf.regsPerContext = 8;
+        base.contextSlots = 6;
+        base.cidCapacity = 4;
+
+        for (unsigned total : {16u, 48u}) {
+            for (unsigned line : {1u, 2u, 4u}) {
+                for (MissPolicy miss :
+                     {MissPolicy::ReloadSingle, MissPolicy::ReloadLive,
+                      MissPolicy::ReloadLine}) {
+                    for (WritePolicy wp :
+                         {WritePolicy::WriteAllocate,
+                          WritePolicy::FetchOnWrite}) {
+                        for (ReplacementKind repl :
+                             {ReplacementKind::Lru,
+                              ReplacementKind::Fifo,
+                              ReplacementKind::Random}) {
+                            for (bool dirty : {false, true}) {
+                                FuzzConfig c = base;
+                                c.rf.org = Organization::NamedState;
+                                c.rf.totalRegs = total;
+                                c.rf.regsPerLine = line;
+                                c.rf.missPolicy = miss;
+                                c.rf.writePolicy = wp;
+                                c.rf.replacement = repl;
+                                c.rf.spillDirtyOnly = dirty;
+                                t.push_back(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (SpillMechanism mech : {SpillMechanism::HardwareAssist,
+                                    SpillMechanism::SoftwareTrap}) {
+            for (bool track : {false, true}) {
+                for (ReplacementKind repl :
+                     {ReplacementKind::Lru, ReplacementKind::Fifo,
+                      ReplacementKind::Random}) {
+                    FuzzConfig c = base;
+                    c.rf.org = Organization::Segmented;
+                    c.rf.totalRegs = 16;
+                    c.rf.mechanism = mech;
+                    c.rf.trackValid = track;
+                    c.rf.replacement = repl;
+                    t.push_back(c);
+                }
+            }
+        }
+        for (unsigned batch : {1u, 2u}) {
+            FuzzConfig c = base;
+            c.rf.org = Organization::Windowed;
+            c.rf.totalRegs = 16;
+            c.rf.windowSpillBatch = batch;
+            t.push_back(c);
+        }
+        for (SpillMechanism mech : {SpillMechanism::HardwareAssist,
+                                    SpillMechanism::SoftwareTrap}) {
+            FuzzConfig c = base;
+            c.rf.org = Organization::Conventional;
+            c.rf.totalRegs = 16;
+            c.rf.regsPerContext = 16;
+            c.rf.mechanism = mech;
+            t.push_back(c);
+        }
+        return t;
+    }();
+    return table;
+}
+
+} // namespace
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Alloc: return "alloc";
+      case OpKind::Free: return "free";
+      case OpKind::Flush: return "flush";
+      case OpKind::Restore: return "restore";
+      case OpKind::Switch: return "switch";
+      case OpKind::Write: return "write";
+      case OpKind::Read: return "read";
+      case OpKind::FreeReg: return "freereg";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+parseOpKind(const std::string &name, OpKind *out)
+{
+    for (OpKind kind :
+         {OpKind::Alloc, OpKind::Free, OpKind::Flush,
+          OpKind::Restore, OpKind::Switch, OpKind::Write,
+          OpKind::Read, OpKind::FreeReg}) {
+        if (name == opKindName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const char *
+injectionName(Injection inject)
+{
+    switch (inject) {
+      case Injection::None: return "none";
+      case Injection::SkipDirty: return "skip-dirty";
+    }
+    return "?";
+}
+
+bool
+parseInjection(const std::string &name, Injection *out)
+{
+    if (name == "none") *out = Injection::None;
+    else if (name == "skip-dirty") *out = Injection::SkipDirty;
+    else
+        return false;
+    return true;
+}
+
+std::size_t
+configMatrixSize()
+{
+    return configMatrix().size();
+}
+
+FuzzConfig
+configForSeed(std::uint64_t seed)
+{
+    const auto &table = configMatrix();
+    FuzzConfig config = table[seed % table.size()];
+    config.seed = seed;
+    // Distinct stream for the Random replacement policy, still a
+    // pure function of the fuzz seed.
+    config.rf.seed = seed * 2 + 1;
+    return config;
+}
+
+std::string
+describeConfig(const FuzzConfig &config)
+{
+    const auto &rf = config.rf;
+    std::ostringstream out;
+    out << regfile::organizationName(rf.org) << "(" << rf.totalRegs
+        << " regs, ctx " << rf.regsPerContext;
+    switch (rf.org) {
+      case regfile::Organization::NamedState:
+        out << ", line " << rf.regsPerLine << ", "
+            << missName(rf.missPolicy) << "/"
+            << writeName(rf.writePolicy) << ", "
+            << cam::replacementName(rf.replacement);
+        if (rf.spillDirtyOnly)
+            out << ", dirty-only";
+        break;
+      case regfile::Organization::Segmented:
+        out << ", " << mechName(rf.mechanism) << ", "
+            << cam::replacementName(rf.replacement);
+        if (rf.trackValid)
+            out << ", track-valid";
+        break;
+      case regfile::Organization::Windowed:
+        out << ", batch " << rf.windowSpillBatch;
+        break;
+      case regfile::Organization::Conventional:
+        out << ", " << mechName(rf.mechanism);
+        break;
+    }
+    out << ") slots " << config.contextSlots << ", cids "
+        << config.cidCapacity;
+    if (config.inject != Injection::None)
+        out << ", inject " << injectionName(config.inject);
+    return out.str();
+}
+
+std::vector<FuzzOp>
+generateOps(const FuzzConfig &config)
+{
+    Random rng(config.seed ^ 0x5eedf0cc5eedf0ccull);
+    std::vector<FuzzOp> ops;
+    ops.reserve(config.opCount);
+    for (unsigned i = 0; i < config.opCount; ++i) {
+        FuzzOp op;
+        // Weights favour the data path (writes/reads) while keeping
+        // enough lifecycle churn to recycle CIDs and frames.
+        std::uint64_t roll = rng.uniform(100);
+        if (roll < 10) op.kind = OpKind::Alloc;
+        else if (roll < 16) op.kind = OpKind::Free;
+        else if (roll < 22) op.kind = OpKind::Flush;
+        else if (roll < 28) op.kind = OpKind::Restore;
+        else if (roll < 40) op.kind = OpKind::Switch;
+        else if (roll < 65) op.kind = OpKind::Write;
+        else if (roll < 90) op.kind = OpKind::Read;
+        else op.kind = OpKind::FreeReg;
+        // Draw every field regardless of kind so the stream shape
+        // depends only on the seed, never on the weights above.
+        op.slot = static_cast<std::uint8_t>(
+            rng.uniform(config.contextSlots));
+        op.off = static_cast<RegIndex>(
+            rng.uniform(config.rf.regsPerContext));
+        // Small values collide across registers and contexts,
+        // catching mixed-up names that random words would mask.
+        op.value = rng.chance(0.25)
+                       ? static_cast<Word>(rng.uniform(4))
+                       : static_cast<Word>(rng.next());
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+namespace
+{
+
+/** Lifecycle of one modelled activation slot. */
+struct SlotState
+{
+    enum Kind { Free, Bound, Parked } kind = Free;
+    ContextId cid = invalidContext;
+    ActivationToken token = 0;
+    Addr frame = 0;
+};
+
+} // namespace
+
+FuzzResult
+runOps(const FuzzConfig &config, const std::vector<FuzzOp> &ops,
+       bool verbose)
+{
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(config.rf, memsys);
+    runtime::CidAllocator cids(config.cidCapacity);
+    runtime::FrameAllocator frames(
+        0x80000000u,
+        static_cast<Addr>(config.rf.regsPerContext) * wordBytes);
+    Oracle oracle;
+    std::vector<SlotState> slots(config.contextSlots);
+    int current = -1;
+
+    FuzzResult out;
+    auto fail = [&](std::size_t index, std::string reason) {
+        out.failed = true;
+        out.opIndex = index;
+        out.reason = std::move(reason);
+    };
+
+    for (std::size_t i = 0; i < ops.size() && !out.failed; ++i) {
+        const FuzzOp &op = ops[i];
+        int idx = static_cast<int>(op.slot % slots.size());
+        SlotState &slot = slots[static_cast<std::size_t>(idx)];
+        RegIndex off = op.off % config.rf.regsPerContext;
+        bool executed = false;
+        std::string why;
+
+        switch (op.kind) {
+          case OpKind::Alloc:
+            if (slot.kind == SlotState::Free) {
+                ContextId cid = cids.alloc();
+                if (cid != invalidContext) {
+                    slot.frame = frames.alloc();
+                    rf->allocContext(cid, slot.frame);
+                    oracle.alloc(cid);
+                    slot.cid = cid;
+                    slot.kind = SlotState::Bound;
+                    executed = true;
+                }
+            }
+            break;
+
+          case OpKind::Free:
+            if (slot.kind == SlotState::Bound) {
+                rf->freeContext(slot.cid);
+                oracle.free(slot.cid);
+                cids.free(slot.cid);
+                frames.free(slot.frame);
+                if (current == idx)
+                    current = -1;
+                slot = SlotState{};
+                executed = true;
+            }
+            break;
+
+          case OpKind::Flush:
+            if (slot.kind == SlotState::Bound) {
+                auto res = rf->flushContext(slot.cid);
+                oracle.note(res);
+                slot.token = oracle.flush(slot.cid);
+                cids.free(slot.cid);
+                if (current == idx)
+                    current = -1;
+                slot.cid = invalidContext;
+                slot.kind = SlotState::Parked;
+                executed = true;
+            }
+            break;
+
+          case OpKind::Restore:
+            if (slot.kind == SlotState::Parked) {
+                ContextId cid = cids.alloc();
+                if (cid != invalidContext) {
+                    rf->restoreContext(cid, slot.frame);
+                    oracle.restore(cid, slot.token);
+                    slot.cid = cid;
+                    slot.token = 0;
+                    slot.kind = SlotState::Bound;
+                    executed = true;
+                }
+            }
+            break;
+
+          case OpKind::Switch:
+            if (slot.kind == SlotState::Bound) {
+                auto res = rf->switchTo(slot.cid);
+                oracle.note(res);
+                current = idx;
+                executed = true;
+            }
+            break;
+
+          case OpKind::Write:
+            if (current >= 0) {
+                ContextId cid =
+                    slots[static_cast<std::size_t>(current)].cid;
+                auto res = rf->write(cid, off, op.value);
+                oracle.write(cid, off, op.value, res);
+                if (config.inject == Injection::SkipDirty) {
+                    if (auto *nsf = dynamic_cast<
+                            regfile::NamedStateRegisterFile *>(
+                            rf.get())) {
+                        TestAccess::clearDirty(*nsf, cid, off);
+                    }
+                }
+                executed = true;
+            }
+            break;
+
+          case OpKind::Read:
+            if (current >= 0) {
+                ContextId cid =
+                    slots[static_cast<std::size_t>(current)].cid;
+                Word value = 0;
+                auto res = rf->read(cid, off, value);
+                executed = true;
+                if (!oracle.checkRead(cid, off, value, res, &why))
+                    fail(i, "oracle: " + why);
+            }
+            break;
+
+          case OpKind::FreeReg:
+            if (current >= 0) {
+                ContextId cid =
+                    slots[static_cast<std::size_t>(current)].cid;
+                auto res = rf->freeRegister(cid, off);
+                oracle.freeRegister(cid, off, res);
+                executed = true;
+            }
+            break;
+        }
+
+        if (executed) {
+            ++out.executed;
+            if (verbose) {
+                std::printf("  [%zu] %s %d %u 0x%08x\n", i,
+                            opKindName(op.kind), idx, off, op.value);
+            }
+            if (!out.failed) {
+                AuditReport report = auditRegisterFile(*rf);
+                if (!report.ok)
+                    fail(i, "audit: " + report.why);
+            }
+        }
+    }
+
+    if (!out.failed) {
+        std::string why;
+        if (!oracle.checkConservation(rf->stats(), &why))
+            fail(ops.size(), "conservation: " + why);
+    }
+    return out;
+}
+
+std::vector<FuzzOp>
+shrinkOps(const FuzzConfig &config, std::vector<FuzzOp> ops)
+{
+    FuzzResult first = runOps(config, ops);
+    if (!first.failed)
+        return ops;
+
+    // Everything past the failing op is dead weight (the executor
+    // stops there), except for end-of-run conservation failures.
+    if (first.opIndex + 1 < ops.size())
+        ops.resize(first.opIndex + 1);
+
+    auto stillFails = [&](const std::vector<FuzzOp> &candidate) {
+        return runOps(config, candidate).failed;
+    };
+
+    bool improved = true;
+    while (improved && ops.size() > 1) {
+        improved = false;
+        std::size_t chunk = std::max<std::size_t>(1, ops.size() / 2);
+        for (; chunk >= 1; chunk /= 2) {
+            std::size_t start = 0;
+            while (start < ops.size()) {
+                std::size_t end =
+                    std::min(ops.size(), start + chunk);
+                std::vector<FuzzOp> candidate;
+                candidate.reserve(ops.size() - (end - start));
+                candidate.insert(candidate.end(), ops.begin(),
+                                 ops.begin() +
+                                     static_cast<std::ptrdiff_t>(
+                                         start));
+                candidate.insert(
+                    candidate.end(),
+                    ops.begin() +
+                        static_cast<std::ptrdiff_t>(end),
+                    ops.end());
+                if (candidate.size() < ops.size() &&
+                    stillFails(candidate)) {
+                    ops = std::move(candidate);
+                    improved = true;
+                    // Do not advance: the removed range's successor
+                    // now sits at `start`.
+                } else {
+                    start += chunk;
+                }
+            }
+        }
+    }
+    return ops;
+}
+
+std::string
+opsToTrace(const FuzzConfig &config, const std::vector<FuzzOp> &ops)
+{
+    const auto &rf = config.rf;
+    std::ostringstream out;
+    out << "# nsrf_fuzz reproducer: " << describeConfig(config)
+        << "\n";
+    out << "seed " << config.seed << "\n";
+    out << "org " << regfile::organizationName(rf.org) << "\n";
+    out << "totalRegs " << rf.totalRegs << "\n";
+    out << "regsPerContext " << rf.regsPerContext << "\n";
+    out << "regsPerLine " << rf.regsPerLine << "\n";
+    out << "miss " << missName(rf.missPolicy) << "\n";
+    out << "write " << writeName(rf.writePolicy) << "\n";
+    out << "repl " << cam::replacementName(rf.replacement) << "\n";
+    out << "mech " << mechName(rf.mechanism) << "\n";
+    out << "trackValid " << (rf.trackValid ? 1 : 0) << "\n";
+    out << "background " << (rf.backgroundTransfer ? 1 : 0) << "\n";
+    out << "dirtyOnly " << (rf.spillDirtyOnly ? 1 : 0) << "\n";
+    out << "windowBatch " << rf.windowSpillBatch << "\n";
+    out << "rfseed " << rf.seed << "\n";
+    out << "slots " << config.contextSlots << "\n";
+    out << "cids " << config.cidCapacity << "\n";
+    out << "inject " << injectionName(config.inject) << "\n";
+    for (const FuzzOp &op : ops) {
+        out << "op " << opKindName(op.kind) << " "
+            << static_cast<unsigned>(op.slot) << " " << op.off << " "
+            << op.value << "\n";
+    }
+    return out.str();
+}
+
+bool
+traceToOps(const std::string &text, FuzzConfig *config,
+           std::vector<FuzzOp> *ops, std::string *err)
+{
+    auto bad = [&](std::size_t line_no, const std::string &what) {
+        if (err) {
+            std::ostringstream msg;
+            msg << "trace line " << line_no << ": " << what;
+            *err = msg.str();
+        }
+        return false;
+    };
+
+    *config = FuzzConfig{};
+    ops->clear();
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "op") {
+            std::string kind;
+            unsigned slot = 0;
+            unsigned long long off = 0, value = 0;
+            fields >> kind >> slot >> off >> value;
+            if (fields.fail())
+                return bad(line_no, "malformed op");
+            FuzzOp op;
+            if (!parseOpKind(kind, &op.kind))
+                return bad(line_no, "unknown op kind '" + kind + "'");
+            op.slot = static_cast<std::uint8_t>(slot);
+            op.off = static_cast<RegIndex>(off);
+            op.value = static_cast<Word>(value);
+            ops->push_back(op);
+            continue;
+        }
+        std::string word;
+        unsigned long long number = 0;
+        auto &rf = config->rf;
+        if (key == "org" || key == "miss" || key == "write" ||
+            key == "repl" || key == "mech" || key == "inject") {
+            fields >> word;
+            if (fields.fail())
+                return bad(line_no, "missing value for " + key);
+            bool parsed =
+                key == "org" ? parseOrg(word, &rf.org)
+                : key == "miss" ? parseMiss(word, &rf.missPolicy)
+                : key == "write" ? parseWrite(word, &rf.writePolicy)
+                : key == "mech" ? parseMech(word, &rf.mechanism)
+                : key == "inject"
+                    ? parseInjection(word, &config->inject)
+                    : [&] {
+                          rf.replacement =
+                              cam::parseReplacement(word);
+                          return true;
+                      }();
+            if (!parsed)
+                return bad(line_no,
+                           "bad " + key + " value '" + word + "'");
+            continue;
+        }
+        fields >> number;
+        if (fields.fail())
+            return bad(line_no, "missing value for " + key);
+        if (key == "seed") config->seed = number;
+        else if (key == "totalRegs")
+            rf.totalRegs = static_cast<unsigned>(number);
+        else if (key == "regsPerContext")
+            rf.regsPerContext = static_cast<unsigned>(number);
+        else if (key == "regsPerLine")
+            rf.regsPerLine = static_cast<unsigned>(number);
+        else if (key == "trackValid") rf.trackValid = number != 0;
+        else if (key == "background")
+            rf.backgroundTransfer = number != 0;
+        else if (key == "dirtyOnly") rf.spillDirtyOnly = number != 0;
+        else if (key == "windowBatch")
+            rf.windowSpillBatch = static_cast<unsigned>(number);
+        else if (key == "rfseed") rf.seed = number;
+        else if (key == "slots")
+            config->contextSlots = static_cast<unsigned>(number);
+        else if (key == "cids")
+            config->cidCapacity =
+                static_cast<ContextId>(number);
+        else
+            return bad(line_no, "unknown key '" + key + "'");
+    }
+    if (config->contextSlots == 0)
+        return bad(line_no, "trace declares zero context slots");
+    config->opCount = static_cast<unsigned>(ops->size());
+    return true;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+bool
+readTextFile(const std::string &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    *out = buffer.str();
+    return true;
+}
+
+} // namespace nsrf::check

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential fuzzing of the register file organizations.
+ *
+ * A fuzz run is (seed -> configuration + op stream -> execution
+ * against the Oracle with a full audit after every operation).  The
+ * configuration comes from a fixed matrix indexed by the seed, so a
+ * seed alone reproduces everything: `nsrf_fuzz --replay S` rebuilds
+ * the same file, the same ops, and the same failure.
+ *
+ * The op stream is generated blindly; the executor validates each
+ * op's precondition against its own slot state machine and skips ops
+ * that do not apply (writing with no running context, restoring a
+ * slot that was never flushed).  Skipping instead of fixing up keeps
+ * every subsequence of a stream well-formed, which is what makes
+ * greedy shrinking sound: deleting ops can only skip more, never
+ * create an ill-formed stream.
+ *
+ * A failing stream is shrunk ddmin-style (drop exponentially smaller
+ * chunks while the failure persists) and written as a standalone
+ * trace file that replays without the seed.
+ */
+
+#ifndef NSRF_CHECK_FUZZ_HH
+#define NSRF_CHECK_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/regfile/factory.hh"
+
+namespace nsrf::check
+{
+
+/** The operations a fuzz stream is made of. */
+enum class OpKind : std::uint8_t
+{
+    Alloc,   //!< bind a fresh CID + frame to a free slot
+    Free,    //!< freeContext a bound slot
+    Flush,   //!< flushContext a bound slot (slot becomes parked)
+    Restore, //!< restoreContext a parked slot under a fresh CID
+    Switch,  //!< switchTo a bound slot
+    Write,   //!< write <current:off> = value
+    Read,    //!< read <current:off>, checked against the oracle
+    FreeReg, //!< freeRegister <current:off>
+};
+
+const char *opKindName(OpKind kind);
+
+/** One fuzz operation; unused fields are ignored by the executor. */
+struct FuzzOp
+{
+    OpKind kind = OpKind::Read;
+    std::uint8_t slot = 0; //!< context slot (Alloc..Switch)
+    RegIndex off = 0;      //!< register offset (Write/Read/FreeReg)
+    Word value = 0;        //!< payload (Write)
+};
+
+/** Model bugs the executor can inject to prove the checks bite. */
+enum class Injection : std::uint8_t
+{
+    None,
+    /** NSF: drop the dirty bit a write just set, as if the model
+     * forgot it — a silently lost store under spillDirtyOnly, and an
+     * immediate dirty-bit-coherence audit failure either way. */
+    SkipDirty,
+};
+
+const char *injectionName(Injection inject);
+bool parseInjection(const std::string &name, Injection *out);
+
+/** Everything one fuzz run needs besides the op stream. */
+struct FuzzConfig
+{
+    regfile::RegFileConfig rf;
+    unsigned contextSlots = 6;  //!< concurrent activations modelled
+    ContextId cidCapacity = 4;  //!< hardware CID name space
+    unsigned opCount = 2000;    //!< stream length to generate
+    Injection inject = Injection::None;
+    std::uint64_t seed = 0;     //!< provenance; drives generation
+};
+
+/** Outcome of executing one op stream. */
+struct FuzzResult
+{
+    bool failed = false;
+    /** Index of the failing op; ops.size() for end-of-run failures
+     * (conservation laws). */
+    std::size_t opIndex = 0;
+    std::string reason;
+    std::uint64_t executed = 0; //!< ops whose precondition held
+};
+
+/** @return the number of distinct configurations in the matrix. */
+std::size_t configMatrixSize();
+
+/**
+ * Deterministically map @p seed to a configuration: entry
+ * seed % configMatrixSize() of a fixed cross product of
+ * organizations, line sizes, miss/write policies, and replacement
+ * kinds (NSF-heavy, since that is the structure under test).
+ */
+FuzzConfig configForSeed(std::uint64_t seed);
+
+/** @return a one-line human-readable description of @p config. */
+std::string describeConfig(const FuzzConfig &config);
+
+/** Generate @p config.opCount ops from @p config.seed. */
+std::vector<FuzzOp> generateOps(const FuzzConfig &config);
+
+/**
+ * Execute @p ops against a fresh register file and oracle, auditing
+ * after every executed op.  @p verbose prints each executed op.
+ */
+FuzzResult runOps(const FuzzConfig &config,
+                  const std::vector<FuzzOp> &ops,
+                  bool verbose = false);
+
+/**
+ * Greedily shrink a failing stream to a (locally) minimal one that
+ * still fails.  Deterministic: equal inputs, equal output.  Returns
+ * @p ops unchanged when the stream does not fail.
+ */
+std::vector<FuzzOp> shrinkOps(const FuzzConfig &config,
+                              std::vector<FuzzOp> ops);
+
+/** Serialize a config + stream as a standalone reproducer trace. */
+std::string opsToTrace(const FuzzConfig &config,
+                       const std::vector<FuzzOp> &ops);
+
+/**
+ * Parse a reproducer trace.  @return true on success; on failure
+ * @p err (when non-null) describes the first bad line.
+ */
+bool traceToOps(const std::string &text, FuzzConfig *config,
+                std::vector<FuzzOp> *ops, std::string *err);
+
+/** Write @p text to @p path. @return false when the write fails. */
+bool writeTextFile(const std::string &path, const std::string &text);
+
+/** Read all of @p path into @p out. @return false when unreadable. */
+bool readTextFile(const std::string &path, std::string *out);
+
+} // namespace nsrf::check
+
+#endif // NSRF_CHECK_FUZZ_HH

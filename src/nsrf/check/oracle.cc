@@ -1,0 +1,206 @@
+#include "nsrf/check/oracle.hh"
+
+#include "nsrf/common/audit.hh"
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::check
+{
+
+void
+Oracle::alloc(ContextId cid)
+{
+    nsrf_assert(bound_.find(cid) == bound_.end(),
+                "oracle: CID %u allocated twice", cid);
+    bound_.emplace(cid, Values{});
+}
+
+void
+Oracle::free(ContextId cid)
+{
+    auto it = bound_.find(cid);
+    nsrf_assert(it != bound_.end(),
+                "oracle: freeing unknown CID %u", cid);
+    bound_.erase(it);
+}
+
+ActivationToken
+Oracle::flush(ContextId cid)
+{
+    auto it = bound_.find(cid);
+    nsrf_assert(it != bound_.end(),
+                "oracle: flushing unknown CID %u", cid);
+    ActivationToken token = nextToken_++;
+    parked_.emplace(token, std::move(it->second));
+    bound_.erase(it);
+    return token;
+}
+
+void
+Oracle::restore(ContextId cid, ActivationToken token)
+{
+    nsrf_assert(bound_.find(cid) == bound_.end(),
+                "oracle: restoring onto live CID %u", cid);
+    auto it = parked_.find(token);
+    nsrf_assert(it != parked_.end(),
+                "oracle: restoring unknown activation %llu",
+                static_cast<unsigned long long>(token));
+    bound_.emplace(cid, std::move(it->second));
+    parked_.erase(it);
+}
+
+void
+Oracle::write(ContextId cid, RegIndex off, Word value,
+              const regfile::AccessResult &res)
+{
+    auto it = bound_.find(cid);
+    nsrf_assert(it != bound_.end(),
+                "oracle: write to unknown CID %u", cid);
+    it->second[off] = value;
+    ++writes_;
+    note(res);
+}
+
+void
+Oracle::freeRegister(ContextId cid, RegIndex off,
+                     const regfile::AccessResult &res)
+{
+    auto it = bound_.find(cid);
+    nsrf_assert(it != bound_.end(),
+                "oracle: freeRegister on unknown CID %u", cid);
+    it->second.erase(off);
+    note(res);
+}
+
+bool
+Oracle::checkRead(ContextId cid, RegIndex off, Word observed,
+                  const regfile::AccessResult &res, std::string *why)
+{
+    ++reads_;
+    note(res);
+    auto it = bound_.find(cid);
+    if (it == bound_.end()) {
+        return auditing::fail(why,
+                              "read from CID %u the oracle never saw "
+                              "allocated",
+                              cid);
+    }
+    auto reg = it->second.find(off);
+    if (reg == it->second.end())
+        return true; // undefined name: any value is acceptable
+    if (observed != reg->second) {
+        return auditing::fail(
+            why,
+            "<%u:%u> read 0x%08x but the last write was 0x%08x", cid,
+            off, observed, reg->second);
+    }
+    return true;
+}
+
+void
+Oracle::note(const regfile::AccessResult &res)
+{
+    spilled_ += res.spilled;
+    reloaded_ += res.reloaded;
+    stall_ += res.stall;
+}
+
+bool
+Oracle::checkConservation(const regfile::RegFileStats &stats,
+                          std::string *why) const
+{
+    using auditing::fail;
+    if (reads_ != stats.reads.value()) {
+        return fail(why,
+                    "oracle issued %llu reads but the file counted "
+                    "%llu",
+                    static_cast<unsigned long long>(reads_),
+                    static_cast<unsigned long long>(
+                        stats.reads.value()));
+    }
+    if (writes_ != stats.writes.value()) {
+        return fail(why,
+                    "oracle issued %llu writes but the file counted "
+                    "%llu",
+                    static_cast<unsigned long long>(writes_),
+                    static_cast<unsigned long long>(
+                        stats.writes.value()));
+    }
+    if (spilled_ != stats.regsSpilled.value()) {
+        return fail(why,
+                    "per-access results spilled %llu registers but "
+                    "regsSpilled is %llu",
+                    static_cast<unsigned long long>(spilled_),
+                    static_cast<unsigned long long>(
+                        stats.regsSpilled.value()));
+    }
+    if (reloaded_ != stats.regsReloaded.value()) {
+        return fail(why,
+                    "per-access results reloaded %llu registers but "
+                    "regsReloaded is %llu",
+                    static_cast<unsigned long long>(reloaded_),
+                    static_cast<unsigned long long>(
+                        stats.regsReloaded.value()));
+    }
+    if (stall_ != stats.stallCycles) {
+        return fail(why,
+                    "per-access results charged %llu stall cycles "
+                    "but stallCycles is %llu",
+                    static_cast<unsigned long long>(stall_),
+                    static_cast<unsigned long long>(
+                        stats.stallCycles));
+    }
+    if (stats.liveRegsSpilled.value() > stats.regsSpilled.value()) {
+        return fail(why,
+                    "liveRegsSpilled %llu exceeds regsSpilled %llu",
+                    static_cast<unsigned long long>(
+                        stats.liveRegsSpilled.value()),
+                    static_cast<unsigned long long>(
+                        stats.regsSpilled.value()));
+    }
+    if (stats.liveRegsReloaded.value() >
+        stats.regsReloaded.value()) {
+        return fail(
+            why, "liveRegsReloaded %llu exceeds regsReloaded %llu",
+            static_cast<unsigned long long>(
+                stats.liveRegsReloaded.value()),
+            static_cast<unsigned long long>(
+                stats.regsReloaded.value()));
+    }
+    if (stats.readMisses.value() > stats.reads.value()) {
+        return fail(why, "readMisses %llu exceeds reads %llu",
+                    static_cast<unsigned long long>(
+                        stats.readMisses.value()),
+                    static_cast<unsigned long long>(
+                        stats.reads.value()));
+    }
+    if (stats.writeMisses.value() > stats.writes.value()) {
+        return fail(why, "writeMisses %llu exceeds writes %llu",
+                    static_cast<unsigned long long>(
+                        stats.writeMisses.value()),
+                    static_cast<unsigned long long>(
+                        stats.writes.value()));
+    }
+    return true;
+}
+
+bool
+Oracle::knows(ContextId cid, RegIndex off) const
+{
+    auto it = bound_.find(cid);
+    return it != bound_.end() &&
+           it->second.find(off) != it->second.end();
+}
+
+Word
+Oracle::value(ContextId cid, RegIndex off) const
+{
+    auto it = bound_.find(cid);
+    nsrf_assert(it != bound_.end(), "oracle: value of unknown CID %u",
+                cid);
+    auto reg = it->second.find(off);
+    nsrf_assert(reg != it->second.end(),
+                "oracle: value of undefined <%u:%u>", cid, off);
+    return reg->second;
+}
+
+} // namespace nsrf::check

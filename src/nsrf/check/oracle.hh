@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Differential oracle for the register file correctness contract.
+ *
+ * The contract (regfile.hh): a read of <cid:off> returns the most
+ * recently written value for that register name, no matter what
+ * spills, reloads, context switches, flushes, or restores happened
+ * in between.  The oracle is the simplest possible implementation of
+ * that contract — an unbounded map from register name to value with
+ * none of the hardware's structure — so any divergence is a bug in
+ * the model under test, not in the reference.
+ *
+ * Names survive CID reuse: flushing a context parks its values under
+ * an opaque activation token, and restoring binds them to whatever
+ * CID the runtime picked next.  Freeing a register or a context makes
+ * its names undefined; the oracle then accepts any value for them
+ * (organizations without fine-grain deallocation legitimately retain
+ * stale data).
+ *
+ * The oracle also accumulates every AccessResult it is shown and
+ * checks the conservation laws: the per-access spill/reload/stall
+ * charges must sum to exactly the aggregate RegFileStats counters.
+ * A model that double-counts (or forgets to count) work passes every
+ * value check and still fails here.
+ */
+
+#ifndef NSRF_CHECK_ORACLE_HH
+#define NSRF_CHECK_ORACLE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "nsrf/common/types.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::check
+{
+
+/** Opaque name for a flushed activation's preserved state. */
+using ActivationToken = std::uint64_t;
+
+/** Golden model of the register file correctness contract. */
+class Oracle
+{
+  public:
+    /** Mirror allocContext: @p cid starts with no defined names. */
+    void alloc(ContextId cid);
+
+    /** Mirror freeContext: every name of @p cid becomes undefined. */
+    void free(ContextId cid);
+
+    /**
+     * Mirror flushContext: park @p cid's values and release the CID.
+     * @return the token that names the parked activation.
+     */
+    ActivationToken flush(ContextId cid);
+
+    /** Mirror restoreContext: rebind a parked activation to @p cid. */
+    void restore(ContextId cid, ActivationToken token);
+
+    /** Mirror write: <cid:off> now holds @p value. */
+    void write(ContextId cid, RegIndex off, Word value,
+               const regfile::AccessResult &res);
+
+    /** Mirror freeRegister: <cid:off> becomes undefined. */
+    void freeRegister(ContextId cid, RegIndex off,
+                      const regfile::AccessResult &res);
+
+    /**
+     * Check a read: @p observed must equal the most recently written
+     * value when the oracle has one; undefined names accept anything.
+     * @return true when consistent, else false with @p why filled in
+     * (when non-null).
+     */
+    bool checkRead(ContextId cid, RegIndex off, Word observed,
+                   const regfile::AccessResult &res,
+                   std::string *why = nullptr);
+
+    /** Accumulate a result with no value semantics (switch, flush). */
+    void note(const regfile::AccessResult &res);
+
+    /**
+     * Check the conservation laws against the aggregate counters:
+     * accumulated spilled/reloaded/stall equal regsSpilled/
+     * regsReloaded/stallCycles, and the oracle saw every read and
+     * write the stats claim happened.
+     */
+    bool checkConservation(const regfile::RegFileStats &stats,
+                           std::string *why = nullptr) const;
+
+    /** @return true when the oracle holds a value for <cid:off>. */
+    bool knows(ContextId cid, RegIndex off) const;
+
+    /** @return the value of <cid:off>; knows() must be true. */
+    Word value(ContextId cid, RegIndex off) const;
+
+    /** @return number of currently bound contexts. */
+    std::size_t boundCount() const { return bound_.size(); }
+
+    /** @return number of parked (flushed, unrestored) activations. */
+    std::size_t parkedCount() const { return parked_.size(); }
+
+  private:
+    /** One activation's defined names. */
+    using Values = std::unordered_map<RegIndex, Word>;
+
+    std::unordered_map<ContextId, Values> bound_;
+    std::unordered_map<ActivationToken, Values> parked_;
+    ActivationToken nextToken_ = 1;
+
+    // Accumulated per-access charges (the conservation side).
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t spilled_ = 0;
+    std::uint64_t reloaded_ = 0;
+    Cycles stall_ = 0;
+};
+
+} // namespace nsrf::check
+
+#endif // NSRF_CHECK_ORACLE_HH

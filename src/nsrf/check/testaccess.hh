@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Deliberate corruption of the hardware models' private state.
+ *
+ * The audit layer is only trustworthy if every invariant it claims to
+ * enforce can actually be tripped.  TestAccess is a friend of the
+ * audited structures and provides one targeted corruption per
+ * invariant — flip a bit behind a counter's back, splice a list node,
+ * alias a tag — so tests can prove each audit catches its violation,
+ * and the fuzzer can inject realistic model bugs (a skipped dirty-bit
+ * update) into an otherwise correct build.
+ *
+ * Nothing here is compiled into the models themselves; linking this
+ * header into production code would be a review error, not a build
+ * error, so it lives in check/ next to its only users.
+ */
+
+#ifndef NSRF_CHECK_TESTACCESS_HH
+#define NSRF_CHECK_TESTACCESS_HH
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/regfile/ctable.hh"
+#include "nsrf/regfile/named_state.hh"
+
+namespace nsrf::check
+{
+
+/** Back door into the private state of the audited structures. */
+struct TestAccess
+{
+    // --- AssociativeDecoder -------------------------------------
+
+    /**
+     * Rewrite the tag of valid @p line to <cid:line_offset> without
+     * maintaining the tag index, breaking the index/tag-array mirror
+     * (and, when the new tag is already programmed elsewhere, the
+     * one-match-per-broadcast guarantee).
+     */
+    static void
+    corruptTag(cam::AssociativeDecoder &dec, std::size_t line,
+               ContextId cid, RegIndex line_offset)
+    {
+        dec.tags_[line] = cam::Tag{cid, line_offset};
+    }
+
+    /**
+     * Flip @p line's free-bitmap bit (leaving the summary level and
+     * the valid flag alone), so the bitmap no longer mirrors line
+     * occupancy.
+     */
+    static void
+    corruptFreeBit(cam::AssociativeDecoder &dec, std::size_t line)
+    {
+        dec.freeWords_[line / 64] ^= std::uint64_t(1) << (line % 64);
+    }
+
+    // --- ReplacementState ---------------------------------------
+
+    /** Bump the held count without holding anything. */
+    static void
+    corruptHeldCount(cam::ReplacementState &repl)
+    {
+        ++repl.heldCount_;
+    }
+
+    /**
+     * Make held @p slot's next pointer a self-loop, corrupting the
+     * intrusive recency list (LRU/FIFO only).
+     */
+    static void
+    corruptListLink(cam::ReplacementState &repl, std::size_t slot)
+    {
+        repl.next_[slot] = slot;
+    }
+
+    /**
+     * Splice held @p slot out of the recency list while it is still
+     * flagged held (LRU/FIFO only) — a "lost" victim candidate.
+     */
+    static void
+    dropFromList(cam::ReplacementState &repl, std::size_t slot)
+    {
+        repl.unlink(slot);
+    }
+
+    /** Drop the last Random-policy candidate behind the flags' back. */
+    static void
+    dropCandidate(cam::ReplacementState &repl)
+    {
+        repl.heldSlots_.pop_back();
+    }
+
+    // --- Ctable -------------------------------------------------
+
+    /** Bump the mapped count without mapping anything. */
+    static void
+    corruptMappedCount(regfile::Ctable &ct)
+    {
+        ++ct.mapped_;
+    }
+
+    /** Leave a frame address behind an invalid entry (no scrub). */
+    static void
+    ghostFrame(regfile::Ctable &ct, ContextId cid, Addr frame)
+    {
+        ct.frames_[cid] = frame;
+    }
+
+    /**
+     * Point mapped @p cid at the frame of mapped @p other, breaking
+     * the CID<->frame bijection while keeping the Ctable's own audit
+     * green (the table itself allows aliases; the register file's
+     * cross-structure audit must catch it).
+     */
+    static void
+    aliasFrame(regfile::Ctable &ct, ContextId cid, ContextId other)
+    {
+        ct.frames_[cid] = ct.frames_[other];
+    }
+
+    // --- NamedStateRegisterFile ---------------------------------
+
+    /**
+     * The injected model bug for the fuzzer: clear the dirty bit of
+     * resident register <cid:off> as if write() forgot to set it.
+     * The value in the array now differs from the "clean" copy the
+     * backing store is presumed to hold, and a later eviction under
+     * spillDirtyOnly would silently drop the write.
+     * @return true when a set dirty bit was cleared.
+     */
+    static bool
+    clearDirty(regfile::NamedStateRegisterFile &rf, ContextId cid,
+               RegIndex off)
+    {
+        std::size_t line = rf.decoder_.peek(
+            cid, off - off % rf.config_.regsPerLine);
+        if (line == cam::AssociativeDecoder::npos)
+            return false;
+        std::size_t slot = rf.slotOf(line, off);
+        if (!rf.valid_[slot] || !rf.dirty_[slot])
+            return false;
+        rf.dirty_[slot] = false;
+        return true;
+    }
+
+    /**
+     * Corrupt the array word of resident register <cid:off> without
+     * touching the dirty bit.  On a clean register this breaks
+     * dirty-bit coherence from the other side: the array no longer
+     * matches the backing store it claims to mirror.
+     * @return true when a valid word was corrupted.
+     */
+    static bool
+    corruptWord(regfile::NamedStateRegisterFile &rf, ContextId cid,
+                RegIndex off)
+    {
+        std::size_t line = rf.decoder_.peek(
+            cid, off - off % rf.config_.regsPerLine);
+        if (line == cam::AssociativeDecoder::npos)
+            return false;
+        std::size_t slot = rf.slotOf(line, off);
+        if (!rf.valid_[slot])
+            return false;
+        rf.array_[slot] ^= 0xa5a5a5a5u;
+        return true;
+    }
+
+    /**
+     * Set the valid bit of physical slot @p slot directly, bypassing
+     * the occupancy counters (and possibly landing under a free
+     * line).
+     */
+    static void
+    corruptValidBit(regfile::NamedStateRegisterFile &rf,
+                    std::size_t slot)
+    {
+        rf.valid_[slot] = true;
+    }
+
+    /** Bump the active-register count without activating anything. */
+    static void
+    corruptActiveCount(regfile::NamedStateRegisterFile &rf)
+    {
+        ++rf.activeCount_;
+    }
+
+    /** The register file's Ctable, mutable, for aliasFrame. */
+    static regfile::Ctable &
+    ctable(regfile::NamedStateRegisterFile &rf)
+    {
+        return rf.ctable_;
+    }
+};
+
+} // namespace nsrf::check
+
+#endif // NSRF_CHECK_TESTACCESS_HH

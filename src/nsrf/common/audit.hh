@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Self-audit hooks for the core hardware models.
+ *
+ * Each structure that backs a hardware invariant (the CAM decoder,
+ * the replacement list, the Ctable, the NSF itself) exposes an
+ * `auditInvariants(std::string *why)` method that walks its live
+ * state and reports the first violated invariant.  The check/
+ * subsystem and the fuzzer call those methods directly.
+ *
+ * In addition, a build configured with -DNSRF_AUDIT=ON compiles a
+ * hook into every mutating operation that re-runs the owner's audit
+ * and panics on the first violation, so any test, bench, or tool
+ * exercises the invariants continuously.  When the option is off the
+ * hook expands to nothing — zero code, zero cost.
+ */
+
+#ifndef NSRF_COMMON_AUDIT_HH
+#define NSRF_COMMON_AUDIT_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::auditing
+{
+
+/**
+ * Record the first violated invariant: format the explanation into
+ * @p why (when non-null) and @return false, so audit methods read
+ *   return auditing::fail(why, "....", ...);
+ */
+template <typename... Args>
+inline bool
+fail(std::string *why, const char *fmt, Args... args)
+{
+    if (why)
+        *why = detail::format(fmt, args...);
+    return false;
+}
+
+/**
+ * Audit sampling stride from NSRF_AUDIT_STRIDE (default 1: audit
+ * every mutation).  A full audit walks the whole structure, so
+ * per-mutation auditing is quadratic over a run; integration-scale
+ * jobs set a stride to keep hook coverage at bounded cost
+ * (tools/ci.sh does this for the sanitized full suite).
+ */
+inline bool
+due()
+{
+    static const unsigned stride = [] {
+        if (const char *env = std::getenv("NSRF_AUDIT_STRIDE")) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end && *end == '\0' && v >= 1)
+                return static_cast<unsigned>(v);
+        }
+        return 1u;
+    }();
+    thread_local unsigned countdown = 0;
+    if (++countdown >= stride) {
+        countdown = 0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace nsrf::auditing
+
+#ifndef NSRF_AUDIT
+#define NSRF_AUDIT 0
+#endif
+
+#if NSRF_AUDIT
+
+/**
+ * Run @p check (a call to some auditInvariants(&why)) after a
+ * mutating operation; panic with the structure's explanation when
+ * the invariant no longer holds.  Honors the NSRF_AUDIT_STRIDE
+ * sampling stride (violations are structural and persist, so a
+ * sampled audit still catches them, just a few mutations later).
+ */
+#define nsrf_audit_hook(check)                                          \
+    do {                                                                \
+        if (nsrf::auditing::due()) {                                    \
+            std::string nsrf_audit_why_;                                \
+            if (!(check)) {                                             \
+                nsrf_panic("audit failed after %s: %s", __func__,       \
+                           nsrf_audit_why_.c_str());                    \
+            }                                                           \
+        }                                                               \
+    } while (0)
+
+#else
+
+#define nsrf_audit_hook(check)                                          \
+    do {                                                                \
+    } while (0)
+
+#endif // NSRF_AUDIT
+
+#endif // NSRF_COMMON_AUDIT_HH

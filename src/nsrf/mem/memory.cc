@@ -32,6 +32,17 @@ MainMemory::readWord(Addr addr)
     return page(addr)[word_in_page];
 }
 
+Word
+MainMemory::peekWord(Addr addr) const
+{
+    nsrf_assert(addr % wordBytes == 0, "unaligned peek at 0x%08x",
+                addr);
+    auto it = pages_.find(addr >> pageShift);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[(addr >> 2) & (pageWords - 1)];
+}
+
 void
 MainMemory::writeWord(Addr addr, Word value)
 {

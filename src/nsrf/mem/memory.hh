@@ -41,6 +41,13 @@ class MainMemory
     /** Store @p value at word-aligned @p addr. */
     void writeWord(Addr addr, Word value);
 
+    /**
+     * Functional read with no side effects at all: no page
+     * allocation, no access counting.  For audits and checkers.
+     * @return the word at @p addr, 0 when the page is untouched.
+     */
+    Word peekWord(Addr addr) const;
+
     /** @return the fixed access latency in cycles. */
     Cycles latency() const { return latency_; }
 

@@ -1,5 +1,6 @@
 #include "nsrf/regfile/ctable.hh"
 
+#include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
 
 namespace nsrf::regfile
@@ -21,6 +22,7 @@ Ctable::set(ContextId cid, Addr frame_base)
         ++mapped_;
     frames_[cid] = frame_base;
     valid_[cid] = true;
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 void
@@ -33,6 +35,7 @@ Ctable::clear(ContextId cid)
         --mapped_;
     valid_[cid] = false;
     frames_[cid] = invalidAddr;
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 bool
@@ -46,6 +49,37 @@ Ctable::lookup(ContextId cid) const
 {
     nsrf_assert(has(cid), "Ctable lookup of unmapped CID %u", cid);
     return frames_[cid];
+}
+
+bool
+Ctable::auditInvariants(std::string *why) const
+{
+    using auditing::fail;
+    std::size_t mapped = 0;
+    for (std::size_t cid = 0; cid < frames_.size(); ++cid) {
+        if (valid_[cid]) {
+            ++mapped;
+            // set() never stores invalidAddr, so a valid entry
+            // holding one means the valid bit was corrupted.
+            if (frames_[cid] == invalidAddr) {
+                return fail(why,
+                            "mapped CID %zu translates to the "
+                            "invalid address",
+                            cid);
+            }
+        } else if (frames_[cid] != invalidAddr) {
+            return fail(why,
+                        "unmapped CID %zu still holds frame 0x%08x",
+                        cid, frames_[cid]);
+        }
+    }
+    if (mapped != mapped_) {
+        return fail(why,
+                    "mapped count %zu disagrees with %zu valid "
+                    "entries",
+                    mapped_, mapped);
+    }
+    return true;
 }
 
 } // namespace nsrf::regfile

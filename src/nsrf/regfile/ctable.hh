@@ -12,9 +12,15 @@
 #ifndef NSRF_REGFILE_CTABLE_HH
 #define NSRF_REGFILE_CTABLE_HH
 
+#include <string>
 #include <vector>
 
 #include "nsrf/common/types.hh"
+
+namespace nsrf::check
+{
+struct TestAccess;
+} // namespace nsrf::check
 
 namespace nsrf::regfile
 {
@@ -55,7 +61,29 @@ class Ctable
     /** @return number of programmed entries. */
     std::size_t mappedCount() const { return mapped_; }
 
+    /** Call @p fn with every (cid, frame) translation. */
+    template <typename Fn>
+    void
+    forEachMapping(Fn &&fn) const
+    {
+        for (std::size_t cid = 0; cid < frames_.size(); ++cid) {
+            if (valid_[cid])
+                fn(static_cast<ContextId>(cid), frames_[cid]);
+        }
+    }
+
+    /**
+     * Verify the table's internal invariants: the mapped count
+     * agrees with the valid bits, every valid entry holds a real
+     * frame address, and every invalid entry was scrubbed.
+     *
+     * @return true when every invariant holds; otherwise false with
+     * the first violation described in @p why (when non-null).
+     */
+    bool auditInvariants(std::string *why = nullptr) const;
+
   private:
+    friend struct ::nsrf::check::TestAccess;
     std::vector<Addr> frames_;
     std::vector<bool> valid_;
     std::size_t mapped_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
 #include "nsrf/mem/memsys.hh"
 
@@ -41,6 +42,7 @@ NamedStateRegisterFile::allocContext(ContextId cid, Addr backing_frame)
     fresh.validInMem.assign(config_.maxRegsPerContext, false);
     contexts_.emplace(cid, std::move(fresh));
     ctable_.set(cid, backing_frame);
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 void
@@ -104,6 +106,7 @@ NamedStateRegisterFile::restoreContext(ContextId cid,
     // must treat every offset as live in memory.
     auto &ctx = contexts_.at(cid);
     std::fill(ctx.validInMem.begin(), ctx.validInMem.end(), true);
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 bool
@@ -402,6 +405,183 @@ void
 NamedStateRegisterFile::updateOccupancy()
 {
     noteOccupancy(activeCount_, residentCtxCount_);
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
+}
+
+bool
+NamedStateRegisterFile::auditInvariants(std::string *why) const
+{
+    using auditing::fail;
+
+    // Component self-audits first: a broken decoder or list makes
+    // the cross-structure walk meaningless.
+    if (!decoder_.auditInvariants(why))
+        return false;
+    if (!repl_.auditInvariants(why))
+        return false;
+    if (!ctable_.auditInvariants(why))
+        return false;
+
+    // A line is a victim candidate iff its tag is valid, and every
+    // valid tag names a live, translated context.
+    for (std::size_t line = 0; line < decoder_.size(); ++line) {
+        if (decoder_.lineValid(line) != repl_.held(line)) {
+            return fail(why,
+                        "line %zu is %s in the decoder but %s in "
+                        "the replacement state",
+                        line,
+                        decoder_.lineValid(line) ? "valid" : "free",
+                        repl_.held(line) ? "held" : "free");
+        }
+        if (!decoder_.lineValid(line)) {
+            for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+                std::size_t slot = line * config_.regsPerLine + w;
+                if (valid_[slot] || dirty_[slot]) {
+                    return fail(why,
+                                "free line %zu holds a %s register "
+                                "at word %u",
+                                line,
+                                valid_[slot] ? "valid" : "dirty",
+                                w);
+                }
+            }
+            continue;
+        }
+        const cam::Tag &t = decoder_.tag(line);
+        if (contexts_.find(t.cid) == contexts_.end()) {
+            return fail(why,
+                        "line %zu belongs to unallocated context %u",
+                        line, t.cid);
+        }
+        if (!ctable_.has(t.cid)) {
+            return fail(why,
+                        "line %zu's context %u has no Ctable "
+                        "translation",
+                        line, t.cid);
+        }
+        if (t.lineOffset % config_.regsPerLine != 0 ||
+            t.lineOffset >= config_.maxRegsPerContext) {
+            return fail(why,
+                        "line %zu tag offset %u is misaligned or "
+                        "out of range",
+                        line, t.lineOffset);
+        }
+    }
+
+    // Recount registers and resident lines per context; the cached
+    // occupancy counters must agree, dirty must imply valid, and a
+    // clean valid register must equal its backing-store word.
+    std::size_t active = 0;
+    std::unordered_map<ContextId, unsigned> lines_of;
+    std::unordered_map<ContextId, unsigned> regs_of;
+    for (std::size_t line = 0; line < decoder_.size(); ++line) {
+        if (!decoder_.lineValid(line))
+            continue;
+        const cam::Tag &t = decoder_.tag(line);
+        ++lines_of[t.cid];
+        for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+            std::size_t slot = line * config_.regsPerLine + w;
+            if (dirty_[slot] && !valid_[slot]) {
+                return fail(why,
+                            "line %zu word %u is dirty but not "
+                            "valid",
+                            line, w);
+            }
+            if (!valid_[slot])
+                continue;
+            ++active;
+            ++regs_of[t.cid];
+            RegIndex off = t.lineOffset + w;
+            if (off >= config_.maxRegsPerContext) {
+                return fail(why,
+                            "line %zu word %u is valid past the "
+                            "context's last register",
+                            line, w);
+            }
+            if (!dirty_[slot]) {
+                Addr addr = ctable_.lookup(t.cid) + off * wordBytes;
+                Word in_mem = backing_.memory().peekWord(addr);
+                if (array_[slot] != in_mem) {
+                    return fail(why,
+                                "clean register <%u:%u> holds 0x%08x "
+                                "but its frame word holds 0x%08x "
+                                "(dirty bit lost?)",
+                                t.cid, off, array_[slot], in_mem);
+                }
+            }
+        }
+    }
+    if (active != activeCount_) {
+        return fail(why,
+                    "activeCount %zu disagrees with %zu valid "
+                    "registers",
+                    activeCount_, active);
+    }
+
+    std::size_t resident_ctxs = 0;
+    for (const auto &[cid, ctx] : contexts_) {
+        unsigned lines = 0, regs = 0;
+        if (auto it = lines_of.find(cid); it != lines_of.end())
+            lines = it->second;
+        if (auto it = regs_of.find(cid); it != regs_of.end())
+            regs = it->second;
+        if (ctx.residentLines != lines) {
+            return fail(why,
+                        "context %u caches %u resident lines but "
+                        "owns %u",
+                        cid, ctx.residentLines, lines);
+        }
+        if (ctx.residentLiveRegs != regs) {
+            return fail(why,
+                        "context %u caches %u resident registers "
+                        "but owns %u",
+                        cid, ctx.residentLiveRegs, regs);
+        }
+        resident_ctxs += lines > 0 ? 1 : 0;
+        if (ctx.validInMem.size() != config_.maxRegsPerContext) {
+            return fail(why,
+                        "context %u's live-in-memory map has %zu "
+                        "entries, expected %u",
+                        cid, ctx.validInMem.size(),
+                        config_.maxRegsPerContext);
+        }
+    }
+    if (resident_ctxs != residentCtxCount_) {
+        return fail(why,
+                    "residentCtxCount %zu disagrees with %zu "
+                    "contexts owning lines",
+                    residentCtxCount_, resident_ctxs);
+    }
+
+    // Contexts and Ctable entries are in bijection: one translation
+    // per allocated context, no stray translations, and no two
+    // contexts sharing a backing frame.
+    if (ctable_.mappedCount() != contexts_.size()) {
+        return fail(why,
+                    "Ctable maps %zu CIDs but %zu contexts are "
+                    "allocated",
+                    ctable_.mappedCount(), contexts_.size());
+    }
+    std::unordered_map<Addr, ContextId> frame_owner;
+    bool frames_ok = true;
+    ContextId dup_a = 0, dup_b = 0;
+    ctable_.forEachMapping([&](ContextId cid, Addr frame) {
+        if (contexts_.find(cid) == contexts_.end())
+            frames_ok = false;
+        auto [it, fresh] = frame_owner.emplace(frame, cid);
+        if (!fresh) {
+            frames_ok = false;
+            dup_a = it->second;
+            dup_b = cid;
+        }
+    });
+    if (!frames_ok) {
+        return fail(why,
+                    "Ctable is not a bijection: stray translation "
+                    "or contexts %u and %u share a frame",
+                    dup_a, dup_b);
+    }
+    return true;
 }
 
 std::string

@@ -25,6 +25,7 @@
 #ifndef NSRF_REGFILE_NAMED_STATE_HH
 #define NSRF_REGFILE_NAMED_STATE_HH
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -87,7 +88,36 @@ class NamedStateRegisterFile : public RegisterFile
     /** @return the Ctable used for backing-frame translation. */
     const Ctable &ctable() const { return ctable_; }
 
+    /** @return the replacement state (for tests and audits). */
+    const cam::ReplacementState &replacement() const { return repl_; }
+
+    /**
+     * Walk every live structure and verify the NSF's cross-structure
+     * invariants on top of the component self-audits:
+     *
+     *  - decoder, replacement state, and Ctable pass their own
+     *    audits;
+     *  - a line is a replacement candidate iff its tag is valid;
+     *  - every valid tag names an allocated context with a Ctable
+     *    translation, line-aligned and within the context's range;
+     *  - valid/dirty bits sit only under valid tags, dirty implies
+     *    valid, and the occupancy counters (activeCount, per-context
+     *    residentLines/residentLiveRegs, residentCtxCount) agree
+     *    with a full recount;
+     *  - contexts and Ctable entries are in bijection, and no two
+     *    contexts share a backing frame;
+     *  - a clean valid register equals its backing-store word
+     *    (dirty-bit coherence: clean means "not modified since
+     *    load", so eviction may skip the writeback under
+     *    spillDirtyOnly).
+     *
+     * @return true when every invariant holds; otherwise false with
+     * the first violation described in @p why (when non-null).
+     */
+    bool auditInvariants(std::string *why = nullptr) const;
+
   private:
+    friend struct ::nsrf::check::TestAccess;
     /** Software-visible state of one activation. */
     struct ContextState
     {

@@ -1,5 +1,6 @@
 #include "nsrf/sim/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <exception>
@@ -93,6 +94,50 @@ appendResult(stats::JsonWriter &json, const RunResult &r)
 
 } // namespace
 
+void
+parallelFor(unsigned jobs, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (jobs == 0)
+        jobs = SweepRunner::hardwareJobs();
+    unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            while (true) {
+                std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+    if (error)
+        std::rethrow_exception(error);
+}
+
 SweepRunner::SweepRunner(unsigned jobs)
     : jobs_(jobs == 0 ? hardwareJobs() : jobs)
 {
@@ -112,49 +157,14 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
     if (cells.empty())
         return results;
 
-    auto run_cell = [&](std::size_t i) {
+    parallelFor(jobs_, cells.size(), [&](std::size_t i) {
         const SweepCell &cell = cells[i];
         nsrf_assert(cell.makeGenerator != nullptr,
                     "sweep cell '%s' has no generator factory",
                     cell.label.c_str());
         auto gen = cell.makeGenerator();
         results[i] = runTrace(cell.config, *gen);
-    };
-
-    unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, cells.size()));
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            run_cell(i);
-        return results;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&]() {
-            while (true) {
-                std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= cells.size())
-                    return;
-                try {
-                    run_cell(i);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(error_mutex);
-                    if (!error)
-                        error = std::current_exception();
-                }
-            }
-        });
-    }
-    for (auto &thread : pool)
-        thread.join();
-    if (error)
-        std::rethrow_exception(error);
+    });
     return results;
 }
 

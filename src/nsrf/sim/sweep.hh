@@ -35,6 +35,22 @@
 namespace nsrf::sim
 {
 
+/**
+ * Run body(0..count-1) across a work-queue thread pool of @p jobs
+ * workers (0 = one per hardware thread; the pool never exceeds
+ * @p count).  Indices are claimed from an atomic counter, so each
+ * runs exactly once; with one worker the loop degenerates to a plain
+ * serial for.  The first exception thrown by any body is rethrown
+ * after every worker has drained.
+ *
+ * This is the execution core of SweepRunner, exposed so other
+ * embarrassingly-parallel drivers (the fuzzer's --jobs mode) share
+ * the same pool semantics.  The body must make each index
+ * independent — any cross-index state needs its own synchronization.
+ */
+void parallelFor(unsigned jobs, std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
 /** Builds a fresh generator for one run of a cell. */
 using GeneratorFactory =
     std::function<std::unique_ptr<TraceGenerator>()>;

@@ -1,0 +1,423 @@
+/**
+ * @file
+ * The checking layer checked: Oracle semantics, every structural
+ * audit proven to catch its deliberately injected corruption, and
+ * the fuzzer's determinism, shrinking, and trace round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nsrf/check/audit.hh"
+#include "nsrf/check/fuzz.hh"
+#include "nsrf/check/oracle.hh"
+#include "nsrf/check/testaccess.hh"
+#include "nsrf/mem/memsys.hh"
+
+using namespace nsrf;
+using check::TestAccess;
+
+// --- Oracle ------------------------------------------------------
+
+TEST(Oracle, ReadSeesLastWrite)
+{
+    check::Oracle oracle;
+    oracle.alloc(0);
+    oracle.write(0, 3, 17, {});
+    std::string why;
+    EXPECT_TRUE(oracle.checkRead(0, 3, 17, {}, &why)) << why;
+    EXPECT_FALSE(oracle.checkRead(0, 3, 18, {}, &why));
+    EXPECT_NE(why.find("0x00000012"), std::string::npos) << why;
+}
+
+TEST(Oracle, UndefinedNamesAcceptAnything)
+{
+    check::Oracle oracle;
+    oracle.alloc(0);
+    std::string why;
+    EXPECT_TRUE(oracle.checkRead(0, 5, 0xdeadbeef, {}, &why)) << why;
+    oracle.write(0, 5, 1, {});
+    oracle.freeRegister(0, 5, {});
+    EXPECT_TRUE(oracle.checkRead(0, 5, 12345, {}, &why)) << why;
+}
+
+TEST(Oracle, ValuesSurviveFlushRestoreAndCidReuse)
+{
+    check::Oracle oracle;
+    oracle.alloc(0);
+    oracle.write(0, 2, 7, {});
+    check::ActivationToken token = oracle.flush(0);
+
+    // A different activation reuses CID 0 while the first is parked.
+    oracle.alloc(0);
+    oracle.write(0, 2, 9, {});
+    std::string why;
+    EXPECT_TRUE(oracle.checkRead(0, 2, 9, {}, &why)) << why;
+
+    // The parked activation restores under a fresh CID and still
+    // sees its own value.
+    oracle.restore(1, token);
+    EXPECT_TRUE(oracle.checkRead(1, 2, 7, {}, &why)) << why;
+    EXPECT_FALSE(oracle.checkRead(1, 2, 9, {}, &why));
+    EXPECT_EQ(oracle.parkedCount(), 0u);
+}
+
+TEST(Oracle, ConservationCatchesUnaccountedWork)
+{
+    mem::MemorySystem memsys;
+    regfile::RegFileConfig rf_config;
+    rf_config.totalRegs = 16;
+    rf_config.regsPerContext = 8;
+    auto rf = regfile::makeRegisterFile(rf_config, memsys);
+
+    check::Oracle oracle;
+    std::string why;
+    EXPECT_TRUE(oracle.checkConservation(rf->stats(), &why)) << why;
+
+    // A result the register file never produced breaks the books.
+    regfile::AccessResult phantom;
+    phantom.spilled = 1;
+    oracle.note(phantom);
+    EXPECT_FALSE(oracle.checkConservation(rf->stats(), &why));
+    EXPECT_NE(why.find("spilled"), std::string::npos) << why;
+}
+
+// --- Decoder audit vs corruption ---------------------------------
+
+TEST(AuditCatches, DecoderTagIndexMismatch)
+{
+    cam::AssociativeDecoder dec(4);
+    dec.program(0, 1, 0);
+    dec.program(1, 1, 2);
+    std::string why;
+    ASSERT_TRUE(dec.auditInvariants(&why)) << why;
+
+    TestAccess::corruptTag(dec, 0, 1, 4);
+    EXPECT_FALSE(dec.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, DecoderDuplicateTag)
+{
+    cam::AssociativeDecoder dec(4);
+    dec.program(0, 1, 0);
+    dec.program(1, 1, 2);
+    // Line 1 now claims the same name as line 0: two word lines
+    // would drive at once.
+    TestAccess::corruptTag(dec, 1, 1, 0);
+    std::string why;
+    EXPECT_FALSE(dec.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, DecoderFreeBitmapDisagreement)
+{
+    cam::AssociativeDecoder dec(70); // spans two bitmap words
+    dec.program(0, 1, 0);
+    std::string why;
+    ASSERT_TRUE(dec.auditInvariants(&why)) << why;
+
+    TestAccess::corruptFreeBit(dec, 65);
+    EXPECT_FALSE(dec.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+// --- Replacement audit vs corruption -----------------------------
+
+TEST(AuditCatches, ReplacementHeldCountDrift)
+{
+    cam::ReplacementState repl(4, cam::ReplacementKind::Lru);
+    repl.insert(0);
+    repl.insert(2);
+    std::string why;
+    ASSERT_TRUE(repl.auditInvariants(&why)) << why;
+
+    TestAccess::corruptHeldCount(repl);
+    EXPECT_FALSE(repl.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, ReplacementListCycle)
+{
+    cam::ReplacementState repl(4, cam::ReplacementKind::Lru);
+    repl.insert(0);
+    repl.insert(1);
+    repl.insert(2);
+    TestAccess::corruptListLink(repl, 1);
+    std::string why;
+    EXPECT_FALSE(repl.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, ReplacementLostCandidate)
+{
+    cam::ReplacementState repl(4, cam::ReplacementKind::Fifo);
+    repl.insert(0);
+    repl.insert(3);
+    repl.insert(1);
+    TestAccess::dropFromList(repl, 3);
+    std::string why;
+    EXPECT_FALSE(repl.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, ReplacementRandomCandidateDrift)
+{
+    cam::ReplacementState repl(4, cam::ReplacementKind::Random, 7);
+    repl.insert(0);
+    repl.insert(2);
+    std::string why;
+    ASSERT_TRUE(repl.auditInvariants(&why)) << why;
+
+    TestAccess::dropCandidate(repl);
+    EXPECT_FALSE(repl.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+// --- Ctable audit vs corruption ----------------------------------
+
+TEST(AuditCatches, CtableMappedCountDrift)
+{
+    regfile::Ctable ct(8);
+    ct.set(1, 0x1000);
+    std::string why;
+    ASSERT_TRUE(ct.auditInvariants(&why)) << why;
+
+    TestAccess::corruptMappedCount(ct);
+    EXPECT_FALSE(ct.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, CtableGhostFrame)
+{
+    regfile::Ctable ct(8);
+    ct.set(1, 0x1000);
+    TestAccess::ghostFrame(ct, 3, 0x2000);
+    std::string why;
+    EXPECT_FALSE(ct.auditInvariants(&why));
+    EXPECT_NE(why.find("unmapped"), std::string::npos) << why;
+}
+
+// --- NSF cross-structure audit vs corruption ---------------------
+
+namespace
+{
+
+/** A tiny NSF with one bound context and a couple of live values. */
+struct NsfFixture
+{
+    mem::MemorySystem memsys;
+    regfile::NamedStateRegisterFile rf;
+
+    NsfFixture()
+        : rf(
+              [] {
+                  regfile::NamedStateRegisterFile::Config config;
+                  config.lines = 4;
+                  config.regsPerLine = 2;
+                  config.maxRegsPerContext = 8;
+                  return config;
+              }(),
+              memsys)
+    {
+        rf.allocContext(0, 0x8000);
+        rf.write(0, 0, 5);
+        rf.write(0, 3, 6);
+    }
+};
+
+} // namespace
+
+TEST(AuditCatches, NsfLostDirtyBit)
+{
+    NsfFixture f;
+    std::string why;
+    ASSERT_TRUE(f.rf.auditInvariants(&why)) << why;
+
+    ASSERT_TRUE(TestAccess::clearDirty(f.rf, 0, 0));
+    EXPECT_FALSE(f.rf.auditInvariants(&why));
+    EXPECT_NE(why.find("dirty bit lost"), std::string::npos) << why;
+}
+
+TEST(AuditCatches, NsfCorruptCleanWord)
+{
+    NsfFixture f;
+    // A read of a never-written register reloads (clean) from the
+    // untouched frame.
+    Word value = 0;
+    f.rf.read(0, 5, value);
+    EXPECT_EQ(value, 0u);
+    std::string why;
+    ASSERT_TRUE(f.rf.auditInvariants(&why)) << why;
+
+    ASSERT_TRUE(TestAccess::corruptWord(f.rf, 0, 5));
+    EXPECT_FALSE(f.rf.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, NsfValidBitUnderFreeLine)
+{
+    NsfFixture f;
+    // Both written offsets live on lines 0/1; line 3 is free.
+    TestAccess::corruptValidBit(f.rf, 3 * 2);
+    std::string why;
+    EXPECT_FALSE(f.rf.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, NsfActiveCountDrift)
+{
+    NsfFixture f;
+    TestAccess::corruptActiveCount(f.rf);
+    std::string why;
+    EXPECT_FALSE(f.rf.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(AuditCatches, NsfFrameAliasBreaksBijection)
+{
+    NsfFixture f;
+    f.rf.allocContext(1, 0x9000);
+    std::string why;
+    ASSERT_TRUE(f.rf.auditInvariants(&why)) << why;
+
+    TestAccess::aliasFrame(TestAccess::ctable(f.rf), 1, 0);
+    // The Ctable itself allows aliases...
+    EXPECT_TRUE(TestAccess::ctable(f.rf).auditInvariants(&why))
+        << why;
+    // ...so the register file's cross-structure audit must object.
+    EXPECT_FALSE(f.rf.auditInvariants(&why));
+    EXPECT_NE(why.find("frame"), std::string::npos) << why;
+}
+
+TEST(AuditDispatch, WrapsTheNamedStateAudit)
+{
+    NsfFixture f;
+    EXPECT_TRUE(check::auditRegisterFile(f.rf).ok);
+    ASSERT_TRUE(TestAccess::clearDirty(f.rf, 0, 3));
+    check::AuditReport report = check::auditRegisterFile(f.rf);
+    EXPECT_FALSE(report.ok);
+    EXPECT_FALSE(report.why.empty());
+}
+
+// --- Fuzz engine -------------------------------------------------
+
+namespace
+{
+
+bool
+sameOps(const std::vector<check::FuzzOp> &a,
+        const std::vector<check::FuzzOp> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].kind != b[i].kind || a[i].slot != b[i].slot ||
+            a[i].off != b[i].off || a[i].value != b[i].value) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(Fuzz, SeedIsDeterministic)
+{
+    check::FuzzConfig config = check::configForSeed(11);
+    config.opCount = 300;
+    auto ops = check::generateOps(config);
+    EXPECT_TRUE(sameOps(ops, check::generateOps(config)));
+
+    check::FuzzResult a = check::runOps(config, ops);
+    check::FuzzResult b = check::runOps(config, ops);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.executed, b.executed);
+    EXPECT_FALSE(a.failed) << a.reason;
+}
+
+TEST(Fuzz, InjectedDirtyBugIsCaughtAndShrinksSmall)
+{
+    check::FuzzConfig config = check::configForSeed(1);
+    ASSERT_EQ(config.rf.org, regfile::Organization::NamedState);
+    config.opCount = 400;
+    config.inject = check::Injection::SkipDirty;
+
+    auto ops = check::generateOps(config);
+    check::FuzzResult result = check::runOps(config, ops);
+    ASSERT_TRUE(result.failed);
+    EXPECT_NE(result.reason.find("audit"), std::string::npos)
+        << result.reason;
+
+    auto minimal = check::shrinkOps(config, ops);
+    EXPECT_LE(minimal.size(), 25u);
+    EXPECT_TRUE(check::runOps(config, minimal).failed);
+}
+
+TEST(Fuzz, ShrinkIsDeterministic)
+{
+    check::FuzzConfig config = check::configForSeed(1);
+    config.opCount = 400;
+    config.inject = check::Injection::SkipDirty;
+    auto ops = check::generateOps(config);
+    auto a = check::shrinkOps(config, ops);
+    auto b = check::shrinkOps(config, ops);
+    EXPECT_TRUE(sameOps(a, b));
+}
+
+TEST(Fuzz, ShrinkLeavesPassingStreamsAlone)
+{
+    check::FuzzConfig config = check::configForSeed(2);
+    config.opCount = 120;
+    auto ops = check::generateOps(config);
+    ASSERT_FALSE(check::runOps(config, ops).failed);
+    EXPECT_TRUE(sameOps(ops, check::shrinkOps(config, ops)));
+}
+
+TEST(Fuzz, TraceRoundTrips)
+{
+    check::FuzzConfig config = check::configForSeed(7);
+    config.opCount = 40;
+    config.inject = check::Injection::SkipDirty;
+    auto ops = check::generateOps(config);
+
+    std::string text = check::opsToTrace(config, ops);
+    check::FuzzConfig parsed;
+    std::vector<check::FuzzOp> parsed_ops;
+    std::string err;
+    ASSERT_TRUE(check::traceToOps(text, &parsed, &parsed_ops, &err))
+        << err;
+    EXPECT_TRUE(sameOps(ops, parsed_ops));
+    EXPECT_EQ(parsed.rf.org, config.rf.org);
+    EXPECT_EQ(parsed.rf.totalRegs, config.rf.totalRegs);
+    EXPECT_EQ(parsed.rf.regsPerLine, config.rf.regsPerLine);
+    EXPECT_EQ(parsed.rf.missPolicy, config.rf.missPolicy);
+    EXPECT_EQ(parsed.rf.writePolicy, config.rf.writePolicy);
+    EXPECT_EQ(parsed.rf.replacement, config.rf.replacement);
+    EXPECT_EQ(parsed.rf.spillDirtyOnly, config.rf.spillDirtyOnly);
+    EXPECT_EQ(parsed.rf.seed, config.rf.seed);
+    EXPECT_EQ(parsed.seed, config.seed);
+    EXPECT_EQ(parsed.contextSlots, config.contextSlots);
+    EXPECT_EQ(parsed.cidCapacity, config.cidCapacity);
+    EXPECT_EQ(parsed.inject, config.inject);
+
+    // The parsed reproducer behaves exactly like the original.
+    check::FuzzResult a = check::runOps(config, ops);
+    check::FuzzResult b = check::runOps(parsed, parsed_ops);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.opIndex, b.opIndex);
+    EXPECT_EQ(a.reason, b.reason);
+}
+
+TEST(Fuzz, TraceParserRejectsGarbage)
+{
+    check::FuzzConfig config;
+    std::vector<check::FuzzOp> ops;
+    std::string err;
+    EXPECT_FALSE(check::traceToOps("org martian\n", &config, &ops,
+                                   &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(check::traceToOps("op conjure 0 0 0\n", &config,
+                                   &ops, &err));
+    EXPECT_FALSE(
+        check::traceToOps("frobnicate 3\n", &config, &ops, &err));
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * CID virtualization under pressure: TraceSimulator::stealCid and
+ * its lazy recency heap.
+ *
+ * The heap holds (lastUse, handle) snapshots that go stale whenever
+ * an activation is re-run, parked, or destroyed; stealCid() must
+ * skip stale entries and still flush the genuinely coldest bound
+ * activation, and noteUse() must compact the heap before stale
+ * snapshots dominate.  These tests script exact event sequences
+ * against a 2-CID hardware space and pin eviction counts, CID reuse
+ * after kills, compaction survival, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/trace.hh"
+
+using namespace nsrf;
+using sim::EventKind;
+using sim::TraceEvent;
+
+namespace
+{
+
+/** Replays a fixed event vector. */
+class ScriptedTrace : public sim::TraceGenerator
+{
+  public:
+    explicit ScriptedTrace(std::vector<TraceEvent> events)
+        : events_(std::move(events))
+    {
+    }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (pos_ >= events_.size())
+            return false;
+        ev = events_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    std::size_t pos_ = 0;
+};
+
+sim::SimConfig
+tinyCidConfig()
+{
+    sim::SimConfig config;
+    config.cidCapacity = 2;
+    // NSF: switches are free, so every stall comes from the
+    // flush/reload traffic the steal path causes.
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 32;
+    config.rf.regsPerContext = 8;
+    return config;
+}
+
+TraceEvent
+write(RegIndex dst)
+{
+    return TraceEvent::instr(0, 0, 0, true, dst);
+}
+
+TraceEvent
+read(RegIndex src)
+{
+    return TraceEvent::instr(1, src, 0, false, 0);
+}
+
+} // namespace
+
+TEST(StealCid, FlushesColdestAndRebindsOnDemand)
+{
+    std::vector<TraceEvent> script = {
+        TraceEvent::marker(EventKind::Call, 0), // bind h0
+        write(1),
+        TraceEvent::marker(EventKind::Call, 1), // bind h1: space full
+        write(2),
+        // h2 needs a CID: h0 is the coldest bound -> steal #1.
+        TraceEvent::marker(EventKind::Call, 2),
+        write(3),
+        // h0 is parked; running it again steals from the coldest of
+        // {h1, h2} -> steal #2, and h0's registers reload from its
+        // preserved frame.
+        TraceEvent::marker(EventKind::Switch, 0),
+        read(1),
+        TraceEvent::marker(EventKind::End),
+    };
+    ScriptedTrace gen(script);
+    sim::RunResult result = sim::runTrace(tinyCidConfig(), gen);
+
+    EXPECT_EQ(result.cidEvictions, 2u);
+    // h0's reg 1 was flushed live and reloaded live on the re-read.
+    EXPECT_GE(result.regsSpilled, 1u);
+    EXPECT_GE(result.liveRegsReloaded, 1u);
+}
+
+TEST(StealCid, KillFreesTheCidWithoutStealing)
+{
+    std::vector<TraceEvent> script = {
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Call, 1), // space full
+        // Killing h0 returns its CID to the allocator...
+        TraceEvent::marker(EventKind::Terminate, 0),
+        // ...so h2 binds with no steal.
+        TraceEvent::marker(EventKind::Spawn, 2),
+        write(1),
+        TraceEvent::marker(EventKind::End),
+    };
+    ScriptedTrace gen(script);
+    sim::RunResult result = sim::runTrace(tinyCidConfig(), gen);
+    EXPECT_EQ(result.cidEvictions, 0u);
+}
+
+TEST(StealCid, StaleHeapEntriesAndCompactionSurviveChurn)
+{
+    // Three activations round-robin over two CIDs: every switch
+    // runs a parked activation, so every switch steals.  Each
+    // mapContext pushes a fresh recency snapshot, staling the old
+    // one; with handles_.size() == 3 the compaction threshold
+    // (2*3 + 64) is crossed well inside 200 switches, so the heap
+    // compacts repeatedly while steals continue to pick the true
+    // coldest activation (asserted internally: a lost bound
+    // activation would abort the run).
+    std::vector<TraceEvent> script = {
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Call, 1),
+        TraceEvent::marker(EventKind::Call, 2), // steal #1
+    };
+    constexpr unsigned switches = 200;
+    for (unsigned i = 0; i < switches; ++i) {
+        script.push_back(TraceEvent::marker(EventKind::Switch,
+                                            i % 3));
+        script.push_back(write(static_cast<RegIndex>(i % 8)));
+    }
+    script.push_back(TraceEvent::marker(EventKind::End));
+
+    ScriptedTrace gen(script);
+    sim::RunResult first = sim::runTrace(tinyCidConfig(), gen);
+    EXPECT_EQ(first.cidEvictions, 1u + switches);
+
+    // Deterministic: an identical re-run reproduces every counter.
+    gen.reset();
+    sim::RunResult second = sim::runTrace(tinyCidConfig(), gen);
+    EXPECT_EQ(first.cidEvictions, second.cidEvictions);
+    EXPECT_EQ(first.cycles, second.cycles);
+    EXPECT_EQ(first.regsSpilled, second.regsSpilled);
+    EXPECT_EQ(first.regsReloaded, second.regsReloaded);
+    EXPECT_EQ(first.instructions, second.instructions);
+}
+
+TEST(StealCid, CidIsReusedAfterKillUnderChurn)
+{
+    // Interleave kills with binds so stolen and freed CIDs both
+    // recycle: h0/h1 bound, kill h1, spawn h2 (reuses h1's CID,
+    // no steal), then switch to h2 and back to h0.
+    std::vector<TraceEvent> script = {
+        TraceEvent::marker(EventKind::Call, 0),
+        write(1),
+        TraceEvent::marker(EventKind::Call, 1),
+        TraceEvent::marker(EventKind::Terminate, 0),
+        TraceEvent::marker(EventKind::Spawn, 2),
+        TraceEvent::marker(EventKind::Switch, 2),
+        write(2),
+        // Bind a fourth activation: both CIDs are held by h1/h2,
+        // h1 is coldest -> exactly one steal.
+        TraceEvent::marker(EventKind::Spawn, 3),
+        TraceEvent::marker(EventKind::End),
+    };
+    ScriptedTrace gen(script);
+    sim::RunResult result = sim::runTrace(tinyCidConfig(), gen);
+    EXPECT_EQ(result.cidEvictions, 1u);
+}
+
+TEST(StealCidDeathTest, SingleCidSpaceCannotVirtualize)
+{
+    // With one CID and two live activations, stealing would flush
+    // the context the trace is about to run; the simulator refuses.
+    sim::SimConfig config = tinyCidConfig();
+    config.cidCapacity = 1;
+    std::vector<TraceEvent> script = {
+        TraceEvent::marker(EventKind::Call, 0),
+        TraceEvent::marker(EventKind::Call, 1),
+        TraceEvent::marker(EventKind::End),
+    };
+    ScriptedTrace gen(script);
+    EXPECT_DEATH(sim::runTrace(config, gen),
+                 "CID space too small");
+}

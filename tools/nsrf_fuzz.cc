@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Differential fuzzer for the register file organizations.
+ *
+ * Each seed deterministically selects a configuration from a fixed
+ * matrix and generates a random op stream; the stream runs against
+ * the Oracle golden model with a full structural audit after every
+ * operation (check/fuzz.hh).  On failure the seed is printed, the
+ * stream is shrunk to a minimal reproducer, and the reproducer is
+ * written as a standalone trace file.
+ *
+ *   nsrf_fuzz                         # default batch of seeds
+ *   nsrf_fuzz --seed 17 --runs 100    # a specific seed range
+ *   nsrf_fuzz --duration 30 --jobs 0  # time-boxed, all cores
+ *   nsrf_fuzz --replay 17             # deterministic re-run of 17
+ *   nsrf_fuzz --run-trace repro.trace # execute a reproducer
+ *   nsrf_fuzz --inject skip-dirty     # prove the checks bite
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nsrf/check/fuzz.hh"
+#include "nsrf/sim/sweep.hh"
+
+namespace
+{
+
+using namespace nsrf;
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    unsigned runs = 50;
+    unsigned ops = 2000;
+    unsigned jobs = 1;
+    unsigned durationSec = 0;  //!< 0 = run exactly `runs` seeds
+    bool replay = false;
+    bool verbose = false;
+    check::Injection inject = check::Injection::None;
+    std::string orgFilter;     //!< empty = all organizations
+    std::string traceOut;
+    std::string runTrace;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --runs N        seeds to run (default 50)\n"
+        "  --seed S        first seed (default 1)\n"
+        "  --replay S      re-run exactly seed S (then shrink on\n"
+        "                  failure); deterministic\n"
+        "  --ops N         ops per seed (default 2000)\n"
+        "  --jobs N        parallel workers (default 1, 0 = all\n"
+        "                  hardware threads)\n"
+        "  --duration SEC  keep starting seeds until SEC elapsed\n"
+        "  --inject NAME   none | skip-dirty (restricts seeds to\n"
+        "                  nsf configurations)\n"
+        "  --org NAME      only seeds with this organization\n"
+        "                  (conventional|segmented|nsf|windowed)\n"
+        "  --trace-out F   reproducer path (default\n"
+        "                  nsrf-fuzz-repro-<seed>.trace)\n"
+        "  --run-trace F   execute a reproducer trace file\n"
+        "  --verbose       print every executed op\n",
+        argv0);
+}
+
+bool
+parseOptions(int argc, char **argv, Options *opts)
+{
+    auto need = [&](int i) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            return false;
+        }
+        return true;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else if (arg == "--runs" && need(i)) {
+            opts->runs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--seed" && need(i)) {
+            opts->seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--replay" && need(i)) {
+            opts->seed = std::strtoull(argv[++i], nullptr, 0);
+            opts->replay = true;
+        } else if (arg == "--ops" && need(i)) {
+            opts->ops = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--jobs" && need(i)) {
+            opts->jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--duration" && need(i)) {
+            opts->durationSec = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--inject" && need(i)) {
+            if (!check::parseInjection(argv[++i], &opts->inject)) {
+                std::fprintf(stderr, "unknown injection '%s'\n",
+                             argv[i]);
+                return false;
+            }
+        } else if (arg == "--org" && need(i)) {
+            opts->orgFilter = argv[++i];
+        } else if (arg == "--trace-out" && need(i)) {
+            opts->traceOut = argv[++i];
+        } else if (arg == "--run-trace" && need(i)) {
+            opts->runTrace = argv[++i];
+        } else if (arg == "--verbose") {
+            opts->verbose = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (opts->ops == 0 || opts->runs == 0) {
+        std::fprintf(stderr, "--ops and --runs must be positive\n");
+        return false;
+    }
+    return true;
+}
+
+/** Does seed's configuration pass the CLI filters? */
+bool
+seedSelected(const Options &opts, std::uint64_t seed)
+{
+    check::FuzzConfig config = check::configForSeed(seed);
+    if (!opts.orgFilter.empty() &&
+        opts.orgFilter !=
+            regfile::organizationName(config.rf.org)) {
+        return false;
+    }
+    // Injection only bites the NSF; fuzzing other organizations
+    // with it would report spurious "passes".
+    if (opts.inject != check::Injection::None &&
+        config.rf.org != regfile::Organization::NamedState) {
+        return false;
+    }
+    return true;
+}
+
+check::FuzzConfig
+configFor(const Options &opts, std::uint64_t seed)
+{
+    check::FuzzConfig config = check::configForSeed(seed);
+    config.opCount = opts.ops;
+    config.inject = opts.inject;
+    return config;
+}
+
+/** Shrink a failing seed and write its reproducer trace. */
+void
+reportFailure(const Options &opts, std::uint64_t seed,
+              const check::FuzzResult &result)
+{
+    check::FuzzConfig config = configFor(opts, seed);
+    std::printf("\nFAILURE at seed %llu: %s\n",
+                static_cast<unsigned long long>(seed),
+                result.reason.c_str());
+    std::printf("  config: %s\n",
+                check::describeConfig(config).c_str());
+    std::printf("  replay: nsrf_fuzz --replay %llu --ops %u%s%s%s\n",
+                static_cast<unsigned long long>(seed), opts.ops,
+                opts.inject != check::Injection::None
+                    ? " --inject "
+                    : "",
+                opts.inject != check::Injection::None
+                    ? check::injectionName(opts.inject)
+                    : "",
+                "");
+
+    std::printf("  shrinking...\n");
+    std::vector<check::FuzzOp> minimal =
+        check::shrinkOps(config, check::generateOps(config));
+    check::FuzzResult small = check::runOps(config, minimal);
+    std::printf("  minimal reproducer: %zu ops (%s)\n",
+                minimal.size(), small.reason.c_str());
+    for (std::size_t i = 0; i < minimal.size(); ++i) {
+        std::printf("    %s %u %u 0x%08x\n",
+                    check::opKindName(minimal[i].kind),
+                    unsigned(minimal[i].slot), minimal[i].off,
+                    minimal[i].value);
+    }
+
+    std::string path = opts.traceOut;
+    if (path.empty()) {
+        path = "nsrf-fuzz-repro-" + std::to_string(seed) + ".trace";
+    }
+    if (check::writeTextFile(path,
+                             check::opsToTrace(config, minimal))) {
+        std::printf("  reproducer written: %s\n", path.c_str());
+        std::printf("  re-run it: nsrf_fuzz --run-trace %s\n",
+                    path.c_str());
+    } else {
+        std::fprintf(stderr, "  cannot write reproducer to %s\n",
+                     path.c_str());
+    }
+}
+
+/** Run a batch of seeds (possibly in parallel); report in order. */
+bool
+runBatch(const Options &opts,
+         const std::vector<std::uint64_t> &seeds)
+{
+    std::vector<check::FuzzResult> results(seeds.size());
+    sim::parallelFor(
+        opts.jobs == 0 ? 0 : opts.jobs, seeds.size(),
+        [&](std::size_t i) {
+            check::FuzzConfig config = configFor(opts, seeds[i]);
+            results[i] = check::runOps(
+                config, check::generateOps(config),
+                opts.verbose && seeds.size() == 1);
+        });
+
+    bool ok = true;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+        check::FuzzConfig config = configFor(opts, seeds[i]);
+        std::printf("seed %llu: %s: %llu/%u ops: %s\n",
+                    static_cast<unsigned long long>(seeds[i]),
+                    check::describeConfig(config).c_str(),
+                    static_cast<unsigned long long>(
+                        results[i].executed),
+                    opts.ops,
+                    results[i].failed ? "FAIL" : "ok");
+        if (results[i].failed && ok) {
+            ok = false;
+            reportFailure(opts, seeds[i], results[i]);
+        }
+    }
+    return ok;
+}
+
+int
+runTraceFile(const Options &opts)
+{
+    std::string text;
+    if (!check::readTextFile(opts.runTrace, &text)) {
+        std::fprintf(stderr, "cannot read trace '%s'\n",
+                     opts.runTrace.c_str());
+        return 2;
+    }
+    check::FuzzConfig config;
+    std::vector<check::FuzzOp> ops;
+    std::string err;
+    if (!check::traceToOps(text, &config, &ops, &err)) {
+        std::fprintf(stderr, "%s: %s\n", opts.runTrace.c_str(),
+                     err.c_str());
+        return 2;
+    }
+    std::printf("trace %s: %zu ops, %s\n", opts.runTrace.c_str(),
+                ops.size(), check::describeConfig(config).c_str());
+    check::FuzzResult result =
+        check::runOps(config, ops, opts.verbose);
+    if (result.failed) {
+        std::printf("FAIL at op %zu: %s\n", result.opIndex,
+                    result.reason.c_str());
+        return 1;
+    }
+    std::printf("ok: %llu/%zu ops executed\n",
+                static_cast<unsigned long long>(result.executed),
+                ops.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseOptions(argc, argv, &opts))
+        return 2;
+
+    if (!opts.runTrace.empty())
+        return runTraceFile(opts);
+
+    if (opts.replay) {
+        std::printf("replaying seed %llu\n",
+                    static_cast<unsigned long long>(opts.seed));
+        return runBatch(opts, {opts.seed}) ? 0 : 1;
+    }
+
+    // Collect seeds passing the filters.  The scan is bounded: one
+    // pass over the whole configuration matrix per requested run
+    // finds a match if the filter can ever match.
+    auto collect = [&](std::uint64_t from, unsigned count,
+                       std::vector<std::uint64_t> *out) {
+        std::uint64_t seed = from;
+        std::uint64_t limit =
+            from + (std::uint64_t(count) + 1) *
+                       check::configMatrixSize();
+        while (out->size() < count && seed < limit) {
+            if (seedSelected(opts, seed))
+                out->push_back(seed);
+            ++seed;
+        }
+        return seed;
+    };
+
+    if (opts.durationSec > 0) {
+        auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::seconds(opts.durationSec);
+        std::uint64_t next = opts.seed;
+        unsigned batch =
+            std::max(1u, (opts.jobs == 0
+                              ? sim::SweepRunner::hardwareJobs()
+                              : opts.jobs)) *
+            4;
+        std::uint64_t total = 0;
+        while (std::chrono::steady_clock::now() < deadline) {
+            std::vector<std::uint64_t> seeds;
+            next = collect(next, batch, &seeds);
+            if (seeds.empty()) {
+                std::fprintf(stderr,
+                             "no seed matches the filters\n");
+                return 2;
+            }
+            if (!runBatch(opts, seeds))
+                return 1;
+            total += seeds.size();
+        }
+        std::printf("fuzzed %llu seeds in %u s: all ok\n",
+                    static_cast<unsigned long long>(total),
+                    opts.durationSec);
+        return 0;
+    }
+
+    std::vector<std::uint64_t> seeds;
+    collect(opts.seed, opts.runs, &seeds);
+    if (seeds.empty()) {
+        std::fprintf(stderr, "no seed matches the filters\n");
+        return 2;
+    }
+    return runBatch(opts, seeds) ? 0 : 1;
+}

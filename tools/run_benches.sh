@@ -5,8 +5,16 @@
 #   tools/run_benches.sh [build-dir] [out-dir]
 #
 # Environment:
-#   NSRF_BENCH_EVENTS  per-run event budget override
+#   NSRF_BENCH_EVENTS  per-run event budget override (positive int);
+#                      exported to every bench, including the no-flag
+#                      ones (table1_benchmarks, validate_synthetic)
 #   NSRF_BENCH_JOBS    worker threads per bench (default: all cores)
+#
+# The run is all-or-nothing: an INCOMPLETE marker sits in the output
+# directory from the first bench until the last one succeeds, and the
+# script stops at the first failure.  A directory containing
+# INCOMPLETE (or no MANIFEST) must not be treated as a full result
+# set.
 set -eu
 
 build_dir=${1:-build}
@@ -19,7 +27,24 @@ if [ ! -d "$build_dir/bench" ]; then
     exit 1
 fi
 
+# An invalid budget would be silently ignored by the benches (they
+# fall back to per-bench defaults), making the sweep inconsistent —
+# reject it up front instead.
+events=${NSRF_BENCH_EVENTS:-}
+if [ -n "$events" ]; then
+    case $events in
+        *[!0-9]* | '' | 0)
+            echo "error: NSRF_BENCH_EVENTS='$events' is not a" \
+                 "positive integer" >&2
+            exit 1
+            ;;
+    esac
+    export NSRF_BENCH_EVENTS
+fi
+
 mkdir -p "$out_dir"
+rm -f "$out_dir/MANIFEST"
+: > "$out_dir/INCOMPLETE"
 
 # Sweep benches: everything that takes --jobs/--json.
 sweep_benches="
@@ -36,39 +61,48 @@ ablate_interleaving
 ablate_cid_space
 "
 
-# Analytic/VLSI benches: no simulation sweep, ASCII report only.
+# No-flag benches: analytic/VLSI reports plus the flagless
+# simulation checks; budget comes only from NSRF_BENCH_EVENTS.
 plain_benches="
 table1_benchmarks
+validate_synthetic
 fig06_access_time
 fig07_area_3port
 fig08_area_6port
 energy_estimate
 "
 
-status=0
+fail()
+{
+    echo "FAILED: $1 (see $out_dir/$1.log)" >&2
+    echo "$out_dir/ is partial — INCOMPLETE marker left in place" >&2
+    exit 1
+}
+
 for bench in $sweep_benches; do
     exe="$build_dir/bench/$bench"
     echo "== $bench =="
-    if "$exe" --jobs "$jobs" --json "$out_dir/$bench.json" \
-        > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log"; then
-        grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
-    else
-        echo "FAILED (see $out_dir/$bench.log)" >&2
-        status=1
-    fi
+    "$exe" --jobs "$jobs" --json "$out_dir/$bench.json" \
+        > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log" \
+        || fail "$bench"
+    grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
 done
 
 for bench in $plain_benches; do
     exe="$build_dir/bench/$bench"
     echo "== $bench =="
-    if "$exe" > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log"; then
-        grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
-    else
-        echo "FAILED (see $out_dir/$bench.log)" >&2
-        status=1
-    fi
+    "$exe" > "$out_dir/$bench.txt" 2> "$out_dir/$bench.log" \
+        || fail "$bench"
+    grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
 done
 
+{
+    echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    echo "events: ${NSRF_BENCH_EVENTS:-default}"
+    echo "jobs: $jobs"
+    echo "benches: $(echo $sweep_benches $plain_benches | wc -w)"
+} > "$out_dir/MANIFEST"
+rm -f "$out_dir/INCOMPLETE"
+
 echo
-echo "results in $out_dir/ (ASCII .txt, structured .json)"
-exit $status
+echo "results in $out_dir/ (ASCII .txt, structured .json, MANIFEST)"
