@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark micro benches for the timeline tracing layer:
+ * the raw cost of Tracer::emit, the cost of an instrumented
+ * register file hit with and without a bound tracer, and the hook
+ * overhead in builds with NSRF_TRACE=OFF (where the hooks compile
+ * to nothing — compare BM_ReadHit here against micro_regfile's).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nsrf/common/random.hh"
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/factory.hh"
+#include "nsrf/trace/hooks.hh"
+#include "nsrf/trace/tracer.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+void
+BM_TracerEmit(benchmark::State &state)
+{
+    trace::Tracer tracer(
+        static_cast<std::size_t>(state.range(0)));
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        tracer.setTime(++t);
+        tracer.emit(trace::Kind::ReadHit, 1, 7, 0);
+    }
+    state.counters["dropped"] =
+        static_cast<double>(tracer.dropped());
+}
+BENCHMARK(BM_TracerEmit)->Arg(1 << 10)->Arg(1 << 20);
+
+void
+BM_TracerCounters(benchmark::State &state)
+{
+    trace::Tracer tracer(1 << 16);
+    std::uint32_t x = 0;
+    for (auto _ : state) {
+        // Alternate so half the samples dedupe, half emit.
+        tracer.counters(x & 1, 1, 0);
+        ++x;
+    }
+}
+BENCHMARK(BM_TracerCounters);
+
+regfile::RegFileConfig
+nsfConfig()
+{
+    regfile::RegFileConfig config;
+    config.org = regfile::Organization::NamedState;
+    config.totalRegs = 128;
+    config.regsPerContext = 32;
+    return config;
+}
+
+/** Instrumented read-hit path with no tracer bound: the cost the
+ * hooks add to a default run of a tracing build. */
+void
+BM_ReadHitUnbound(benchmark::State &state)
+{
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(nsfConfig(), memsys);
+    rf->allocContext(0, 0x100000);
+    for (RegIndex r = 0; r < 32; ++r)
+        rf->write(0, r, r);
+    Random rng(1);
+    Word v;
+    for (auto _ : state) {
+        rf->read(0, static_cast<RegIndex>(rng.uniform(32)), v);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_ReadHitUnbound);
+
+/** Same path with a live tracer: hit events + occupancy samples. */
+void
+BM_ReadHitTraced(benchmark::State &state)
+{
+    trace::Tracer tracer(1 << 16);
+    trace::Session session(tracer);
+    mem::MemorySystem memsys;
+    auto rf = regfile::makeRegisterFile(nsfConfig(), memsys);
+    rf->allocContext(0, 0x100000);
+    for (RegIndex r = 0; r < 32; ++r)
+        rf->write(0, r, r);
+    Random rng(1);
+    Word v;
+    for (auto _ : state) {
+        rf->read(0, static_cast<RegIndex>(rng.uniform(32)), v);
+        benchmark::DoNotOptimize(v);
+    }
+    state.counters["emitted"] =
+        static_cast<double>(tracer.emitted());
+    state.counters["hooksCompiledIn"] =
+        trace::compiledIn ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ReadHitTraced);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -4,6 +4,7 @@
 
 #include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::cam
 {
@@ -70,6 +71,9 @@ AssociativeDecoder::program(std::size_t line, ContextId cid,
     index_.emplace(t, line);
     markUsed(line);
     ++stats_.programs;
+    nsrf_trace_hook(emit(trace::Kind::CamProgram, cid,
+                         static_cast<std::uint32_t>(line),
+                         line_offset));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
@@ -79,6 +83,9 @@ AssociativeDecoder::invalidate(std::size_t line)
     nsrf_assert(line < valid_.size(), "line %zu out of range", line);
     if (!valid_[line])
         return;
+    nsrf_trace_hook(emit(trace::Kind::CamInvalidate, tags_[line].cid,
+                         static_cast<std::uint32_t>(line),
+                         tags_[line].lineOffset));
     index_.erase(tags_[line]);
     valid_[line] = false;
     markFree(line);

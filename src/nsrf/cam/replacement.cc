@@ -4,6 +4,7 @@
 
 #include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::cam
 {
@@ -135,15 +136,19 @@ ReplacementState::victim()
 {
     nsrf_assert(heldCount_ > 0, "victim() with no held slots");
 
+    std::size_t slot;
     if (kind_ == ReplacementKind::Random) {
         // Uniform pick among held slots, in ascending index order
         // to match the original full-array scan.
-        return heldSlots_[rng_.uniform(heldCount_)];
+        slot = heldSlots_[rng_.uniform(heldCount_)];
+    } else {
+        // LRU and FIFO both evict the list head (the oldest
+        // insert/touch); they differ in whether touch() promotes.
+        slot = next_[held_.size()];
     }
-
-    // LRU and FIFO both evict the list head (the oldest
-    // insert/touch); they differ in whether touch() promotes.
-    return next_[held_.size()];
+    nsrf_trace_hook(emit(trace::Kind::VictimSelect, invalidContext,
+                         static_cast<std::uint32_t>(slot)));
+    return slot;
 }
 
 std::vector<std::size_t>

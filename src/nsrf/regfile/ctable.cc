@@ -2,6 +2,7 @@
 
 #include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::regfile
 {
@@ -22,6 +23,7 @@ Ctable::set(ContextId cid, Addr frame_base)
         ++mapped_;
     frames_[cid] = frame_base;
     valid_[cid] = true;
+    nsrf_trace_hook(emit(trace::Kind::CtableSet, cid, frame_base));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
@@ -35,6 +37,7 @@ Ctable::clear(ContextId cid)
         --mapped_;
     valid_[cid] = false;
     frames_[cid] = invalidAddr;
+    nsrf_trace_hook(emit(trace::Kind::CtableClear, cid));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 

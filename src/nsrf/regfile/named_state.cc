@@ -5,6 +5,7 @@
 #include "nsrf/common/audit.hh"
 #include "nsrf/common/logging.hh"
 #include "nsrf/mem/memsys.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::regfile
 {
@@ -42,6 +43,7 @@ NamedStateRegisterFile::allocContext(ContextId cid, Addr backing_frame)
     fresh.validInMem.assign(config_.maxRegsPerContext, false);
     contexts_.emplace(cid, std::move(fresh));
     ctable_.set(cid, backing_frame);
+    nsrf_trace_hook(emit(trace::Kind::CtxCreate, cid, backing_frame));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
@@ -62,10 +64,12 @@ NamedStateRegisterFile::freeContext(ContextId cid)
                 valid_[slot] = false;
                 --activeCount_;
             }
+            nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
             dirty_[slot] = false;
         }
         repl_.release(line);
     }
+    nsrf_trace_hook(emit(trace::Kind::CtxDestroy, cid));
     if (it->second.residentLines > 0)
         --residentCtxCount_;
     contexts_.erase(it);
@@ -88,6 +92,7 @@ NamedStateRegisterFile::flushContext(ContextId cid)
         cid, [&](std::size_t line) { lines.push_back(line); });
     for (std::size_t line : lines)
         evictLine(line, res);
+    nsrf_trace_hook(emit(trace::Kind::CtxFlush, cid));
     contexts_.erase(cid);
     ctable_.clear(cid);
     if (current_ == cid)
@@ -106,6 +111,8 @@ NamedStateRegisterFile::restoreContext(ContextId cid,
     // must treat every offset as live in memory.
     auto &ctx = contexts_.at(cid);
     std::fill(ctx.validInMem.begin(), ctx.validInMem.end(), true);
+    nsrf_trace_hook(emit(trace::Kind::CtxRestore, cid,
+                         backing_frame));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
@@ -161,6 +168,9 @@ NamedStateRegisterFile::allocateLine(ContextId cid,
     decoder_.program(line, cid, line_off);
     repl_.insert(line);
     ++stats_.lineAllocs;
+    nsrf_trace_hook(emit(trace::Kind::LineAlloc, cid,
+                         static_cast<std::uint32_t>(line),
+                         line_off));
 
     ContextState &ctx = state(cid);
     if (ctx.residentLines == 0)
@@ -175,6 +185,7 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
     const cam::Tag &tag = decoder_.tag(line);
     ContextState &ctx = state(tag.cid);
     Addr base = ctable_.lookup(tag.cid);
+    nsrf_trace_stmt(std::uint32_t trace_spilled = 0;)
 
     for (unsigned w = 0; w < config_.regsPerLine; ++w) {
         std::size_t slot = line * config_.regsPerLine + w;
@@ -189,6 +200,7 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
             ++res.spilled;
             ++stats_.regsSpilled;
             ++stats_.liveRegsSpilled;
+            nsrf_trace_stmt(++trace_spilled;)
         }
         // A clean word that was not already live in memory is a dead
         // neighbour pulled in by ReloadLine/FetchOnWrite; spilling it
@@ -197,11 +209,15 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
         if (dirty_[slot])
             ctx.validInMem[off] = true;
         valid_[slot] = false;
+        nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
         dirty_[slot] = false;
         --activeCount_;
         --ctx.residentLiveRegs;
     }
 
+    nsrf_trace_hook(emit(trace::Kind::LineEvict, tag.cid,
+                         static_cast<std::uint32_t>(line),
+                         trace_spilled));
     decoder_.invalidate(line);
     repl_.release(line);
     ++stats_.lineEvictions;
@@ -226,6 +242,8 @@ NamedStateRegisterFile::reloadWord(std::size_t line, ContextId cid,
     ++stats_.regsReloaded;
     if (ctx.validInMem[off])
         ++stats_.liveRegsReloaded;
+    nsrf_trace_hook(emit(trace::Kind::WordReload, cid, off,
+                         ctx.validInMem[off] ? 1 : 0));
     markValid(line, cid, off);
 }
 
@@ -281,6 +299,7 @@ NamedStateRegisterFile::read(ContextId cid, RegIndex off, Word &value)
         ++stats_.readMisses;
         res.hit = false;
         res.stall += config_.costs.missDetect;
+        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 0));
         line = allocateLine(cid, line_off, res);
         reloadLine(line, cid, line_off, off, config_.missPolicy,
                    res);
@@ -290,9 +309,11 @@ NamedStateRegisterFile::read(ContextId cid, RegIndex off, Word &value)
         ++stats_.readMisses;
         res.hit = false;
         res.stall += config_.costs.missDetect;
+        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 1));
         reloadWord(line, cid, off, res);
         repl_.touch(line);
     } else {
+        nsrf_trace_hook(emit(trace::Kind::ReadHit, cid, off));
         repl_.touch(line);
     }
 
@@ -320,6 +341,7 @@ NamedStateRegisterFile::write(ContextId cid, RegIndex off, Word value)
         // array (paper §4.2).
         ++stats_.writeMisses;
         res.hit = false;
+        nsrf_trace_hook(emit(trace::Kind::WriteMiss, cid, off));
         line = allocateLine(cid, line_off, res);
         if (config_.writePolicy == WritePolicy::FetchOnWrite) {
             res.stall += config_.costs.missDetect;
@@ -341,11 +363,13 @@ NamedStateRegisterFile::write(ContextId cid, RegIndex off, Word value)
             }
         }
     } else {
+        nsrf_trace_hook(emit(trace::Kind::WriteHit, cid, off));
         repl_.touch(line);
     }
 
     std::size_t slot = slotOf(line, off);
     array_[slot] = value;
+    nsrf_trace_stmt(if (!dirty_[slot]) ++traceDirtyWords_;)
     dirty_[slot] = true;
     markValid(line, cid, off);
     stats_.stallCycles += res.stall;
@@ -360,6 +384,7 @@ NamedStateRegisterFile::switchTo(ContextId cid)
     // from the new context simply start issuing (paper §4.2).
     tick();
     ++stats_.contextSwitches;
+    nsrf_trace_hook(emit(trace::Kind::CtxSwitch, cid, current_));
     current_ = cid;
     return {};
 }
@@ -374,6 +399,7 @@ NamedStateRegisterFile::freeRegister(ContextId cid, RegIndex off)
     AccessResult res;
     ContextState &ctx = state(cid);
     ctx.validInMem[off] = false;
+    nsrf_trace_hook(emit(trace::Kind::FreeReg, cid, off));
 
     RegIndex line_off = lineOffsetOf(off);
     std::size_t line = decoder_.peek(cid, line_off);
@@ -381,6 +407,7 @@ NamedStateRegisterFile::freeRegister(ContextId cid, RegIndex off)
         std::size_t slot = slotOf(line, off);
         if (valid_[slot]) {
             valid_[slot] = false;
+            nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
             dirty_[slot] = false;
             --activeCount_;
             --ctx.residentLiveRegs;
@@ -405,6 +432,10 @@ void
 NamedStateRegisterFile::updateOccupancy()
 {
     noteOccupancy(activeCount_, residentCtxCount_);
+    nsrf_trace_hook(counters(
+        static_cast<std::uint32_t>(activeCount_),
+        static_cast<std::uint32_t>(residentCtxCount_),
+        static_cast<std::uint32_t>(traceDirtyWords_)));
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 

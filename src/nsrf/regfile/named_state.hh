@@ -178,6 +178,10 @@ class NamedStateRegisterFile : public RegisterFile
     std::unordered_map<ContextId, ContextState> contexts_;
     std::size_t activeCount_ = 0;
     std::size_t residentCtxCount_ = 0;
+    /** Dirty registers, counted at the dirty-bit flip sites.  Only
+     * maintained (and only read) in NSRF_TRACE builds, feeding the
+     * dirty-line counter track; stays 0 otherwise. */
+    std::size_t traceDirtyWords_ = 0;
 };
 
 } // namespace nsrf::regfile

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "nsrf/common/logging.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::sim
 {
@@ -92,6 +93,9 @@ TraceSimulator::stealCid(Cycles &cycles)
     HandleState &state = handles_[victim];
     --boundCount_;
     ContextId cid = state.cid;
+    nsrf_trace_hook(emit(trace::Kind::CidSteal, cid,
+                         static_cast<std::uint32_t>(victim),
+                         static_cast<std::uint32_t>(victim >> 32)));
     auto res = rf_->flushContext(cid);
     cycles += res.stall;
     state.cid = invalidContext; // parked; values live in the frame
@@ -187,6 +191,9 @@ TraceSimulator::run(TraceGenerator &gen)
             instructions >= config_.maxInstructions) {
             break;
         }
+        // Timestamp trace events with the simulated cycle count so
+        // the exported timeline lines up with the model's time base.
+        nsrf_trace_hook(setTime(cycles));
 
         switch (ev.kind) {
           case EventKind::Instr: {

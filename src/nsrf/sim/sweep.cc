@@ -9,6 +9,8 @@
 
 #include "nsrf/common/logging.hh"
 #include "nsrf/stats/json.hh"
+#include "nsrf/trace/export.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::sim
 {
@@ -163,7 +165,25 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
                     "sweep cell '%s' has no generator factory",
                     cell.label.c_str());
         auto gen = cell.makeGenerator();
-        results[i] = runTrace(cell.config, *gen);
+        if (!cell.traceOut.empty() && trace::compiledIn) {
+            // Bind a tracer to this worker thread for the duration
+            // of the run; concurrent cells each get their own.
+            trace::Tracer tracer;
+            trace::Session session(tracer);
+            results[i] = runTrace(cell.config, *gen);
+            trace::writePerfettoJson(tracer, cell.traceOut,
+                                     cell.label);
+            trace::writeMetricsText(tracer,
+                                    cell.traceOut + ".metrics",
+                                    cell.traceWindow);
+        } else {
+            if (!cell.traceOut.empty()) {
+                nsrf_warn("cell '%s' requests a trace but this "
+                          "build has NSRF_TRACE=OFF",
+                          cell.label.c_str());
+            }
+            results[i] = runTrace(cell.config, *gen);
+        }
     });
     return results;
 }

@@ -65,6 +65,17 @@ struct SweepCell
     GeneratorFactory makeGenerator;
     /** Extra provenance recorded verbatim in the JSON output. */
     std::vector<std::pair<std::string, std::string>> provenance;
+    /**
+     * When non-empty (and the build has NSRF_TRACE=ON), capture this
+     * cell's timeline and export it as Perfetto JSON here, plus a
+     * windowed metrics snapshot at "<traceOut>.metrics".  Each cell
+     * traces into its own thread-bound buffer, so per-cell traces
+     * work under any --jobs count.  Ignored (with a warning) in
+     * builds without the tracing hooks.
+     */
+    std::string traceOut;
+    /** Metrics window in cycles (0 = one whole-run window). */
+    std::uint64_t traceWindow = 0;
 };
 
 /** Work-queue thread pool over sweep cells. */

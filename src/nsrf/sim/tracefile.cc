@@ -13,6 +13,7 @@ namespace
 
 constexpr char magic[8] = {'N', 'S', 'R', 'F',
                            'T', 'R', 'C', '1'};
+constexpr std::size_t headerBytes = 16;
 constexpr std::size_t recordBytes = 16;
 
 std::array<unsigned char, recordBytes>
@@ -29,6 +30,32 @@ pack(const TraceEvent &ev)
     std::uint64_t ctx = ev.ctx;
     std::memcpy(rec.data() + 8, &ctx, 8);
     return rec;
+}
+
+/**
+ * Reject a record whose fixed-width fields cannot have been written
+ * by pack(): the simulator indexes arrays with them, so replaying a
+ * corrupt record would corrupt the run rather than fail it.
+ */
+void
+validateRecord(const std::array<unsigned char, recordBytes> &rec,
+               const std::string &path, std::uint64_t index)
+{
+    if (rec[0] > static_cast<unsigned char>(EventKind::End)) {
+        nsrf_fatal("'%s' event %llu has invalid kind %u",
+                   path.c_str(),
+                   static_cast<unsigned long long>(index), rec[0]);
+    }
+    if (rec[1] > 2) {
+        nsrf_fatal("'%s' event %llu has srcCount %u (max 2)",
+                   path.c_str(),
+                   static_cast<unsigned long long>(index), rec[1]);
+    }
+    if (rec[2] & ~0x3u) {
+        nsrf_fatal("'%s' event %llu has unknown flag bits 0x%02x",
+                   path.c_str(),
+                   static_cast<unsigned long long>(index), rec[2]);
+    }
 }
 
 TraceEvent
@@ -59,10 +86,21 @@ captureTrace(TraceGenerator &gen, const std::string &path,
         nsrf_fatal("cannot open trace file '%s' for writing",
                    path.c_str());
 
+    // A short write (disk full, quota, I/O error) must not leave a
+    // plausible-looking partial file behind: remove it and die.
+    auto fail = [&](const char *what) {
+        std::fclose(out);
+        std::remove(path.c_str());
+        nsrf_fatal("%s while writing trace file '%s'", what,
+                   path.c_str());
+    };
+
     // Header: magic + count placeholder (patched at the end).
-    std::fwrite(magic, 1, sizeof(magic), out);
+    if (std::fwrite(magic, 1, sizeof(magic), out) != sizeof(magic))
+        fail("short write");
     std::uint64_t count = 0;
-    std::fwrite(&count, sizeof(count), 1, out);
+    if (std::fwrite(&count, sizeof(count), 1, out) != 1)
+        fail("short write");
 
     TraceEvent ev;
     while (gen.next(ev)) {
@@ -72,15 +110,26 @@ captureTrace(TraceGenerator &gen, const std::string &path,
                         ev.src[1] < 256 && ev.dst < 256,
                     "register index too wide for the trace format");
         auto rec = pack(ev);
-        std::fwrite(rec.data(), 1, rec.size(), out);
+        if (std::fwrite(rec.data(), 1, rec.size(), out) !=
+            rec.size()) {
+            fail("short write");
+        }
         ++count;
         if (max_events && count >= max_events)
             break;
     }
 
-    std::fseek(out, sizeof(magic), SEEK_SET);
-    std::fwrite(&count, sizeof(count), 1, out);
-    std::fclose(out);
+    if (std::fseek(out, sizeof(magic), SEEK_SET) != 0)
+        fail("seek failure");
+    if (std::fwrite(&count, sizeof(count), 1, out) != 1)
+        fail("short write");
+    if (std::fclose(out) != 0) {
+        // fclose flushes the stdio buffer; a failure here is still a
+        // short write.
+        std::remove(path.c_str());
+        nsrf_fatal("close failure while writing trace file '%s'",
+                   path.c_str());
+    }
     return count;
 }
 
@@ -102,6 +151,36 @@ FileTraceGenerator::FileTraceGenerator(const std::string &path)
         nsrf_fatal("'%s' has a truncated header", path.c_str());
     }
 
+    // Never trust the header's count: a corrupt (or malicious)
+    // value would make the reserve() below attempt a giant
+    // allocation before the truncation check ever ran.  Bound it by
+    // what the file can actually hold.
+    if (std::fseek(in, 0, SEEK_END) != 0) {
+        std::fclose(in);
+        nsrf_fatal("cannot size trace file '%s'", path.c_str());
+    }
+    long file_bytes = std::ftell(in);
+    if (file_bytes < 0) {
+        std::fclose(in);
+        nsrf_fatal("cannot size trace file '%s'", path.c_str());
+    }
+    std::uint64_t payload =
+        static_cast<std::uint64_t>(file_bytes) > headerBytes
+            ? static_cast<std::uint64_t>(file_bytes) - headerBytes
+            : 0;
+    if (count > payload / recordBytes) {
+        std::fclose(in);
+        nsrf_fatal("'%s' claims %llu events but holds at most %llu",
+                   path.c_str(),
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(
+                       payload / recordBytes));
+    }
+    if (std::fseek(in, headerBytes, SEEK_SET) != 0) {
+        std::fclose(in);
+        nsrf_fatal("cannot rewind trace file '%s'", path.c_str());
+    }
+
     events_.reserve(count);
     std::array<unsigned char, recordBytes> rec;
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -112,6 +191,7 @@ FileTraceGenerator::FileTraceGenerator(const std::string &path)
                        path.c_str(),
                        static_cast<unsigned long long>(i));
         }
+        validateRecord(rec, path, i);
         events_.push_back(unpack(rec));
     }
     std::fclose(in);

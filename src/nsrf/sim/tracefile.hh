@@ -15,6 +15,18 @@
  *     u8  kind        u8 srcCount   u8 flags (1=hasDst, 2=memRef)
  *     u8  src0        u8 src1       u8 dst
  *     u16 reserved    u64 ctx
+ *
+ * The multi-byte fields (the header's event count and each record's
+ * ctx handle) are written in host byte order: trace files are
+ * portable between machines of the same endianness only.  Every
+ * platform this project targets is little-endian; a big-endian
+ * reader would fail the count-vs-size check below rather than
+ * silently replaying garbage.
+ *
+ * A reader never trusts the file: the header count is clamped
+ * against the actual file size, and every record's kind, srcCount,
+ * and flag bits are validated before it is replayed (fatal on the
+ * first violation).
  */
 
 #ifndef NSRF_SIM_TRACEFILE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Timeline trace events: what the instrumentation hooks record.
+ *
+ * The aggregate counters in RegFileStats say *how much* the NSF
+ * spilled and reloaded; they cannot say *when* it thrashed, which
+ * activation caused an eviction storm, or how the resident set
+ * evolved over a run.  The trace layer records a compact stream of
+ * timestamped events from the register file, the CAM decoder, the
+ * replacement logic, the Ctable, and the CID-virtualizing
+ * simulator, and exports it as a Perfetto/chrome://tracing timeline
+ * plus windowed metrics (see export.hh).
+ *
+ * Events are fixed-size PODs so the per-thread ring stays cache
+ * friendly; the two payload words are interpreted per Kind as
+ * documented below.
+ */
+
+#ifndef NSRF_TRACE_EVENTS_HH
+#define NSRF_TRACE_EVENTS_HH
+
+#include <cstdint>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::trace
+{
+
+/**
+ * What one trace event is.  Payload conventions (`cid`, `a`, `b`
+ * are the Event fields):
+ *
+ *   ReadHit/WriteHit      cid, a = register offset
+ *   ReadMiss              cid, a = offset, b = 1 for a word miss in
+ *                         a resident line (0 = full line miss)
+ *   WriteMiss             cid, a = offset
+ *   LineAlloc             cid = owner, a = line, b = line offset
+ *   LineEvict             cid = victim owner, a = line,
+ *                         b = registers spilled
+ *   WordReload            cid, a = offset, b = 1 when the register
+ *                         was live in memory
+ *   CtxCreate             cid, a = backing frame address
+ *   CtxDestroy            cid
+ *   CtxSwitch             cid = new context, a = previous context
+ *   CtxFlush              cid flushed to its frame (CID freed)
+ *   CtxRestore            cid rebound from its frame
+ *   CidSteal              cid = stolen hardware CID, a/b = low/high
+ *                         half of the parked activation's handle
+ *   CtableSet             cid, a = frame address
+ *   CtableClear           cid
+ *   FreeReg               cid, a = offset
+ *   CamProgram            cid, a = line, b = line offset
+ *   CamInvalidate         cid = old owner, a = line, b = line offset
+ *   VictimSelect          a = chosen slot (cid unused)
+ *   Occupancy             a = valid registers, b = resident
+ *                         contexts, cid = dirty registers (counter
+ *                         sample; cid reused as a third payload)
+ */
+enum class Kind : std::uint8_t
+{
+    ReadHit,
+    ReadMiss,
+    WriteHit,
+    WriteMiss,
+    LineAlloc,
+    LineEvict,
+    WordReload,
+    CtxCreate,
+    CtxDestroy,
+    CtxSwitch,
+    CtxFlush,
+    CtxRestore,
+    CidSteal,
+    CtableSet,
+    CtableClear,
+    FreeReg,
+    CamProgram,
+    CamInvalidate,
+    VictimSelect,
+    Occupancy,
+};
+
+/** Number of Kind values (for per-kind accumulator arrays). */
+inline constexpr unsigned kindCount =
+    static_cast<unsigned>(Kind::Occupancy) + 1;
+
+/** @return a short stable name, e.g. "read_miss". */
+const char *kindName(Kind kind);
+
+/** One recorded event. */
+struct Event
+{
+    std::uint64_t ts = 0; //!< simulated cycle the event occurred at
+    Kind kind = Kind::ReadHit;
+    ContextId cid = invalidContext;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+};
+
+} // namespace nsrf::trace
+
+#endif // NSRF_TRACE_EVENTS_HH

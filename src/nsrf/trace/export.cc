@@ -1,0 +1,685 @@
+#include "nsrf/trace/export.hh"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/stats/json.hh"
+
+namespace nsrf::trace
+{
+
+namespace
+{
+
+// Track layout: one Perfetto "thread" per hardware context, plus a
+// dedicated track for CAM/Ctable activity.  Context IDs map to
+// tid = cid + 2 so neither collides with the cam track.
+constexpr unsigned pidRun = 1;
+constexpr unsigned tidCam = 1;
+
+unsigned
+tidOf(ContextId cid)
+{
+    return cid == invalidContext ? tidCam
+                                 : static_cast<unsigned>(cid) + 2;
+}
+
+/** Append one pre-formatted event object as its own line. */
+void
+put(std::string &out, bool &first, const std::string &line)
+{
+    out += first ? "\n" : ",\n";
+    out += line;
+    first = false;
+}
+
+std::string
+metaEvent(const char *what, unsigned tid, const std::string &name)
+{
+    return detail::format("{\"name\":\"%s\",\"ph\":\"M\","
+                          "\"pid\":%u,\"tid\":%u,"
+                          "\"args\":{\"name\":\"%s\"}}",
+                          what, pidRun, tid,
+                          stats::JsonWriter::escape(name).c_str());
+}
+
+std::string
+beginEvent(const char *name, std::uint64_t ts, unsigned tid)
+{
+    return detail::format("{\"name\":\"%s\",\"cat\":\"ctx\","
+                          "\"ph\":\"B\",\"ts\":%llu,"
+                          "\"pid\":%u,\"tid\":%u}",
+                          name,
+                          static_cast<unsigned long long>(ts),
+                          pidRun, tid);
+}
+
+std::string
+endEvent(const char *name, std::uint64_t ts, unsigned tid)
+{
+    return detail::format("{\"name\":\"%s\",\"cat\":\"ctx\","
+                          "\"ph\":\"E\",\"ts\":%llu,"
+                          "\"pid\":%u,\"tid\":%u}",
+                          name,
+                          static_cast<unsigned long long>(ts),
+                          pidRun, tid);
+}
+
+std::string
+instantEvent(const char *name, const char *cat, std::uint64_t ts,
+             unsigned tid, const std::string &args)
+{
+    return detail::format("{\"name\":\"%s\",\"cat\":\"%s\","
+                          "\"ph\":\"i\",\"s\":\"t\",\"ts\":%llu,"
+                          "\"pid\":%u,\"tid\":%u,\"args\":{%s}}",
+                          name, cat,
+                          static_cast<unsigned long long>(ts),
+                          pidRun, tid, args.c_str());
+}
+
+std::string
+counterEvent(const char *name, std::uint64_t ts, const char *series,
+             std::uint32_t value)
+{
+    return detail::format("{\"name\":\"%s\",\"ph\":\"C\","
+                          "\"ts\":%llu,\"pid\":%u,"
+                          "\"args\":{\"%s\":%u}}",
+                          name,
+                          static_cast<unsigned long long>(ts),
+                          pidRun, series, value);
+}
+
+} // namespace
+
+std::string
+perfettoJson(const Tracer &tracer, const std::string &process_name)
+{
+    std::vector<Event> events = tracer.snapshot();
+
+    std::string out = "{\n\"traceEvents\": [";
+    bool first = true;
+    put(out, first, metaEvent("process_name", 0, process_name));
+    put(out, first, metaEvent("thread_name", tidCam, "cam"));
+
+    // Name every context track up front so Perfetto labels them
+    // even when the first event on a track is an instant.
+    std::set<ContextId> cids;
+    for (const Event &ev : events) {
+        if (ev.kind == Kind::VictimSelect ||
+            ev.kind == Kind::Occupancy) {
+            continue;
+        }
+        if (ev.cid != invalidContext)
+            cids.insert(ev.cid);
+    }
+    for (ContextId cid : cids) {
+        put(out, first,
+            metaEvent("thread_name", tidOf(cid),
+                      detail::format("ctx %u", cid)));
+    }
+
+    // Reconstruct balanced duration spans: "live" brackets a
+    // context's create→destroy lifetime, "run" brackets the periods
+    // it is the current context.  Run always nests inside live on
+    // the same track, and every span still open at the end of the
+    // stream is closed at the last timestamp, so B/E pairs balance
+    // by construction even when the ring dropped early history.
+    ContextId run_open = invalidContext;
+    std::set<ContextId> live_open;
+    std::uint64_t last_ts = 0;
+
+    auto close_run = [&](std::uint64_t ts) {
+        if (run_open != invalidContext) {
+            put(out, first, endEvent("run", ts, tidOf(run_open)));
+            run_open = invalidContext;
+        }
+    };
+
+    for (const Event &ev : events) {
+        last_ts = ev.ts;
+        switch (ev.kind) {
+          case Kind::CtxCreate:
+            if (live_open.insert(ev.cid).second) {
+                put(out, first,
+                    beginEvent("live", ev.ts, tidOf(ev.cid)));
+            }
+            break;
+
+          case Kind::CtxSwitch:
+            if (ev.cid == run_open)
+                break;
+            close_run(ev.ts);
+            put(out, first, beginEvent("run", ev.ts, tidOf(ev.cid)));
+            run_open = ev.cid;
+            break;
+
+          case Kind::CtxDestroy:
+          case Kind::CtxFlush:
+            if (ev.kind == Kind::CtxFlush) {
+                put(out, first,
+                    instantEvent("flush", "ctx", ev.ts,
+                                 tidOf(ev.cid), ""));
+            }
+            if (run_open == ev.cid)
+                close_run(ev.ts);
+            if (live_open.erase(ev.cid)) {
+                put(out, first,
+                    endEvent("live", ev.ts, tidOf(ev.cid)));
+            }
+            break;
+
+          case Kind::CtxRestore:
+            put(out, first,
+                instantEvent("restore", "ctx", ev.ts, tidOf(ev.cid),
+                             ""));
+            break;
+
+          case Kind::ReadMiss:
+            put(out, first,
+                instantEvent("miss.read", "reg", ev.ts,
+                             tidOf(ev.cid),
+                             detail::format("\"reg\":%u,"
+                                            "\"wordMiss\":%u",
+                                            ev.a, ev.b)));
+            break;
+
+          case Kind::WriteMiss:
+            put(out, first,
+                instantEvent("miss.write", "reg", ev.ts,
+                             tidOf(ev.cid),
+                             detail::format("\"reg\":%u", ev.a)));
+            break;
+
+          case Kind::WordReload:
+            put(out, first,
+                instantEvent("reload", "reg", ev.ts, tidOf(ev.cid),
+                             detail::format("\"reg\":%u,\"live\":%u",
+                                            ev.a, ev.b)));
+            break;
+
+          case Kind::LineAlloc:
+            put(out, first,
+                instantEvent("line.alloc", "reg", ev.ts,
+                             tidOf(ev.cid),
+                             detail::format("\"line\":%u,\"off\":%u",
+                                            ev.a, ev.b)));
+            break;
+
+          case Kind::LineEvict:
+            put(out, first,
+                instantEvent("evict", "reg", ev.ts, tidOf(ev.cid),
+                             detail::format("\"line\":%u,"
+                                            "\"spilled\":%u,"
+                                            "\"victimCid\":%u",
+                                            ev.a, ev.b, ev.cid)));
+            break;
+
+          case Kind::CidSteal:
+            put(out, first,
+                instantEvent("cid.steal", "ctx", ev.ts,
+                             tidOf(ev.cid),
+                             detail::format(
+                                 "\"handle\":%llu",
+                                 static_cast<unsigned long long>(
+                                     (std::uint64_t(ev.b) << 32) |
+                                     ev.a))));
+            break;
+
+          case Kind::FreeReg:
+            put(out, first,
+                instantEvent("freereg", "reg", ev.ts, tidOf(ev.cid),
+                             detail::format("\"reg\":%u", ev.a)));
+            break;
+
+          case Kind::CtableSet:
+            put(out, first,
+                instantEvent("ctable.set", "cam", ev.ts, tidCam,
+                             detail::format("\"cid\":%u,"
+                                            "\"frame\":%u",
+                                            ev.cid, ev.a)));
+            break;
+
+          case Kind::CtableClear:
+            put(out, first,
+                instantEvent("ctable.clear", "cam", ev.ts, tidCam,
+                             detail::format("\"cid\":%u", ev.cid)));
+            break;
+
+          case Kind::CamProgram:
+            put(out, first,
+                instantEvent("cam.program", "cam", ev.ts, tidCam,
+                             detail::format("\"line\":%u,\"cid\":%u,"
+                                            "\"off\":%u",
+                                            ev.a, ev.cid, ev.b)));
+            break;
+
+          case Kind::CamInvalidate:
+            put(out, first,
+                instantEvent("cam.invalidate", "cam", ev.ts, tidCam,
+                             detail::format("\"line\":%u,\"cid\":%u",
+                                            ev.a, ev.cid)));
+            break;
+
+          case Kind::VictimSelect:
+            put(out, first,
+                instantEvent("cam.victim", "cam", ev.ts, tidCam,
+                             detail::format("\"line\":%u", ev.a)));
+            break;
+
+          case Kind::Occupancy:
+            put(out, first,
+                counterEvent("occupancy", ev.ts, "activeRegs",
+                             ev.a));
+            put(out, first,
+                counterEvent("residentContexts", ev.ts, "contexts",
+                             ev.b));
+            put(out, first,
+                counterEvent("dirtyRegs", ev.ts, "dirty",
+                             static_cast<std::uint32_t>(ev.cid)));
+            break;
+
+          case Kind::ReadHit:
+          case Kind::WriteHit:
+            // Summarized by the windowed metrics; one instant per
+            // hit would dwarf everything else in the timeline.
+            break;
+        }
+    }
+
+    close_run(last_ts);
+    for (ContextId cid : live_open)
+        put(out, first, endEvent("live", last_ts, tidOf(cid)));
+
+    out += detail::format(
+        "\n],\n\"displayTimeUnit\": \"ns\",\n"
+        "\"otherData\": {\"generator\": \"nsrf_trace\", "
+        "\"emitted\": %llu, \"dropped\": %llu}\n}\n",
+        static_cast<unsigned long long>(tracer.emitted()),
+        static_cast<unsigned long long>(tracer.dropped()));
+    return out;
+}
+
+bool
+writePerfettoJson(const Tracer &tracer, const std::string &path,
+                  const std::string &process_name)
+{
+    std::string doc = perfettoJson(tracer, process_name);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        nsrf_warn("cannot write trace to '%s'", path.c_str());
+        return false;
+    }
+    bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        nsrf_warn("short write while tracing to '%s'", path.c_str());
+        std::remove(path.c_str());
+    }
+    return ok;
+}
+
+std::string
+metricsText(const Tracer &tracer, std::uint64_t window)
+{
+    // Per-window event-kind counts, keyed by window index.  The map
+    // is sparse: quiet windows simply have no samples.
+    std::map<std::uint64_t, std::array<std::uint64_t, kindCount>>
+        windows;
+    bool have_occ = false;
+    std::uint32_t active = 0, resident = 0, dirty = 0;
+    tracer.forEach([&](const Event &ev) {
+        std::uint64_t w = window ? ev.ts / window : 0;
+        ++windows[w][static_cast<unsigned>(ev.kind)];
+        if (ev.kind == Kind::Occupancy) {
+            have_occ = true;
+            active = ev.a;
+            resident = ev.b;
+            dirty = static_cast<std::uint32_t>(ev.cid);
+        }
+    });
+
+    std::string out = detail::format(
+        "# nsrf_trace windowed metrics; window = %llu cycles "
+        "(0 = whole run)\n",
+        static_cast<unsigned long long>(window));
+    out += detail::format(
+        "# TYPE nsrf_trace_events_total counter\n"
+        "nsrf_trace_events_total %llu\n"
+        "# TYPE nsrf_trace_events_dropped_total counter\n"
+        "nsrf_trace_events_dropped_total %llu\n",
+        static_cast<unsigned long long>(tracer.emitted()),
+        static_cast<unsigned long long>(tracer.dropped()));
+
+    for (unsigned k = 0; k < kindCount; ++k) {
+        Kind kind = static_cast<Kind>(k);
+        if (kind == Kind::Occupancy)
+            continue;
+        std::uint64_t total = 0;
+        for (const auto &[w, counts] : windows)
+            total += counts[k];
+        if (total == 0)
+            continue;
+        out += detail::format("# TYPE nsrf_%s_total counter\n",
+                              kindName(kind));
+        for (const auto &[w, counts] : windows) {
+            if (counts[k] == 0)
+                continue;
+            out += detail::format(
+                "nsrf_%s_total{window=\"%llu\","
+                "start_cycle=\"%llu\"} %llu\n",
+                kindName(kind), static_cast<unsigned long long>(w),
+                static_cast<unsigned long long>(w * window),
+                static_cast<unsigned long long>(counts[k]));
+        }
+    }
+
+    if (have_occ) {
+        out += detail::format(
+            "# TYPE nsrf_active_regs gauge\n"
+            "nsrf_active_regs %u\n"
+            "# TYPE nsrf_resident_contexts gauge\n"
+            "nsrf_resident_contexts %u\n"
+            "# TYPE nsrf_dirty_regs gauge\n"
+            "nsrf_dirty_regs %u\n",
+            active, resident, dirty);
+    }
+    return out;
+}
+
+bool
+writeMetricsText(const Tracer &tracer, const std::string &path,
+                 std::uint64_t window)
+{
+    std::string doc = metricsText(tracer, window);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        nsrf_warn("cannot write metrics to '%s'", path.c_str());
+        return false;
+    }
+    bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        nsrf_warn("short write while writing metrics to '%s'",
+                  path.c_str());
+        std::remove(path.c_str());
+    }
+    return ok;
+}
+
+namespace
+{
+
+// ---- minimal JSON structural parser (validation only) ----
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string *why;
+
+    bool
+    fail(const char *what)
+    {
+        if (why) {
+            *why = detail::format(
+                "%s at offset %zu", what,
+                static_cast<std::size_t>(p - start));
+        }
+        return false;
+    }
+
+    const char *start;
+
+    void
+    ws()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r')) {
+            ++p;
+        }
+    }
+
+    bool
+    literal(const char *text)
+    {
+        for (const char *t = text; *t; ++t, ++p) {
+            if (p >= end || *p != *t)
+                return fail("bad literal");
+        }
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (static_cast<unsigned char>(*p) < 0x20)
+                return fail("control character in string");
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"': case '\\': case '/': case 'b':
+                  case 'f': case 'n': case 'r': case 't':
+                    ++p;
+                    break;
+                  case 'u':
+                    ++p;
+                    for (int i = 0; i < 4; ++i, ++p) {
+                        if (p >= end || !std::isxdigit(
+                                            static_cast<unsigned char>(
+                                                *p))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                    break;
+                  default:
+                    return fail("bad escape");
+                }
+            } else {
+                ++p;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        if (p < end && *p == '-')
+            ++p;
+        if (p >= end || !std::isdigit(static_cast<unsigned char>(*p)))
+            return fail("bad number");
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+            ++p;
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p))) {
+                return fail("bad fraction");
+            }
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p))) {
+                ++p;
+            }
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p))) {
+                return fail("bad exponent");
+            }
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p))) {
+                ++p;
+            }
+        }
+        return true;
+    }
+
+    bool
+    value(int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        ws();
+        if (p >= end)
+            return fail("unexpected end of document");
+        switch (*p) {
+          case '{': {
+              ++p;
+              ws();
+              if (p < end && *p == '}') {
+                  ++p;
+                  return true;
+              }
+              while (true) {
+                  ws();
+                  if (!string())
+                      return false;
+                  ws();
+                  if (p >= end || *p != ':')
+                      return fail("expected ':'");
+                  ++p;
+                  if (!value(depth + 1))
+                      return false;
+                  ws();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == '}') {
+                      ++p;
+                      return true;
+                  }
+                  return fail("expected ',' or '}'");
+              }
+          }
+          case '[': {
+              ++p;
+              ws();
+              if (p < end && *p == ']') {
+                  ++p;
+                  return true;
+              }
+              while (true) {
+                  if (!value(depth + 1))
+                      return false;
+                  ws();
+                  if (p < end && *p == ',') {
+                      ++p;
+                      continue;
+                  }
+                  if (p < end && *p == ']') {
+                      ++p;
+                      return true;
+                  }
+                  return fail("expected ',' or ']'");
+              }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+};
+
+} // namespace
+
+bool
+validatePerfettoJson(const std::string &doc, std::string *why)
+{
+    Parser parser;
+    parser.p = doc.data();
+    parser.end = doc.data() + doc.size();
+    parser.start = doc.data();
+    parser.why = why;
+    if (!parser.value(0))
+        return false;
+    parser.ws();
+    if (parser.p != parser.end)
+        return parser.fail("trailing garbage after document");
+
+    if (doc.find("\"traceEvents\"") == std::string::npos) {
+        if (why)
+            *why = "document has no traceEvents array";
+        return false;
+    }
+
+    // B/E balance per track.  perfettoJson() writes one event per
+    // line with fixed key order, so a line scan is reliable for
+    // documents this exporter produced.
+    std::map<long, long> depth;
+    std::size_t pos = 0;
+    std::size_t line_no = 0;
+    while (pos < doc.size()) {
+        std::size_t nl = doc.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = doc.size();
+        ++line_no;
+        std::string line = doc.substr(pos, nl - pos);
+        pos = nl + 1;
+
+        int delta = 0;
+        if (line.find("\"ph\":\"B\"") != std::string::npos)
+            delta = 1;
+        else if (line.find("\"ph\":\"E\"") != std::string::npos)
+            delta = -1;
+        else
+            continue;
+        std::size_t t = line.find("\"tid\":");
+        if (t == std::string::npos) {
+            if (why) {
+                *why = detail::format(
+                    "line %zu: B/E event without a tid", line_no);
+            }
+            return false;
+        }
+        long tid = std::strtol(line.c_str() + t + 6, nullptr, 10);
+        depth[tid] += delta;
+        if (depth[tid] < 0) {
+            if (why) {
+                *why = detail::format(
+                    "line %zu: E without matching B on tid %ld",
+                    line_no, tid);
+            }
+            return false;
+        }
+    }
+    for (const auto &[tid, d] : depth) {
+        if (d != 0) {
+            if (why) {
+                *why = detail::format(
+                    "tid %ld ends with %ld unclosed B events", tid,
+                    d);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace nsrf::trace

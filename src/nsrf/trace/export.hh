@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Exporters for a captured timeline trace.
+ *
+ * perfettoJson() renders the event stream as Chrome/Perfetto
+ * `trace_event` JSON (load it in https://ui.perfetto.dev or
+ * chrome://tracing): one track per hardware context carrying
+ * nested "live" (create→destroy) and "run" (switch-in→switch-out)
+ * duration spans plus instant markers for misses, reloads,
+ * evictions (with victim identity), and CID steals; one "cam"
+ * track for decoder/replacement/Ctable activity; and counter
+ * tracks for occupancy, dirty registers, and resident contexts.
+ * Register *hits* are deliberately not rendered as instants — they
+ * dominate the stream and belong in the windowed metrics.
+ *
+ * metricsText() aggregates the stream into Prometheus-style text:
+ * one counter sample per (metric, time window), so a scrape or a
+ * diff shows when a run thrashed without opening a UI.
+ *
+ * validatePerfettoJson() is the structural self-check the tests
+ * and `nsrf_trace --check-perfetto` use: the document must parse
+ * as JSON and every "B" begin event must balance with an "E" end
+ * event on the same track.
+ */
+
+#ifndef NSRF_TRACE_EXPORT_HH
+#define NSRF_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nsrf/trace/tracer.hh"
+
+namespace nsrf::trace
+{
+
+/** Render @p tracer as Perfetto trace_event JSON. */
+std::string perfettoJson(const Tracer &tracer,
+                         const std::string &process_name);
+
+/**
+ * Write perfettoJson() to @p path.  @return false (with a warning)
+ * when the file cannot be written.
+ */
+bool writePerfettoJson(const Tracer &tracer, const std::string &path,
+                       const std::string &process_name);
+
+/**
+ * Aggregate @p tracer into Prometheus-style text, one sample per
+ * @p window cycles (0 = a single whole-run window).
+ */
+std::string metricsText(const Tracer &tracer, std::uint64_t window);
+
+/** Write metricsText() to @p path; warns and returns false on IO
+ * failure. */
+bool writeMetricsText(const Tracer &tracer, const std::string &path,
+                      std::uint64_t window);
+
+/**
+ * Structurally validate a Perfetto JSON document produced by
+ * perfettoJson(): the text must parse as JSON, contain a
+ * "traceEvents" array, and balance its B/E begin/end pairs per
+ * track.  @return true when valid; otherwise false with the first
+ * problem described in @p why (when non-null).
+ */
+bool validatePerfettoJson(const std::string &doc,
+                          std::string *why = nullptr);
+
+} // namespace nsrf::trace
+
+#endif // NSRF_TRACE_EXPORT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Instrumentation hooks, following the NSRF_AUDIT pattern
+ * (common/audit.hh): a build configured with -DNSRF_TRACE=ON
+ * compiles an emit call into the instrumented operations; when the
+ * option is off the hooks expand to nothing — zero code, zero cost
+ * on the hot paths bench/micro_regfile measures.
+ *
+ *   nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off));
+ *       Call the member on the thread's bound tracer, if any.
+ *
+ *   nsrf_trace_stmt(++traceDirtyWords_;)
+ *       Compile the statement only in tracing builds (for cheap
+ *       bookkeeping that exists solely to feed counter samples).
+ */
+
+#ifndef NSRF_TRACE_HOOKS_HH
+#define NSRF_TRACE_HOOKS_HH
+
+#ifndef NSRF_TRACE
+#define NSRF_TRACE 0
+#endif
+
+namespace nsrf::trace
+{
+
+/** Whether this build compiles the tracing hooks in. */
+inline constexpr bool compiledIn = NSRF_TRACE != 0;
+
+} // namespace nsrf::trace
+
+#if NSRF_TRACE
+
+#include "nsrf/trace/tracer.hh"
+
+#define nsrf_trace_hook(...)                                            \
+    do {                                                                \
+        if (::nsrf::trace::Tracer *nsrf_tracer_ =                       \
+                ::nsrf::trace::current()) {                             \
+            nsrf_tracer_->__VA_ARGS__;                                  \
+        }                                                               \
+    } while (0)
+
+#define nsrf_trace_stmt(...) __VA_ARGS__
+
+#else
+
+#define nsrf_trace_hook(...)                                            \
+    do {                                                                \
+    } while (0)
+
+#define nsrf_trace_stmt(...)
+
+#endif // NSRF_TRACE
+
+#endif // NSRF_TRACE_HOOKS_HH

@@ -1,0 +1,134 @@
+#include "nsrf/trace/tracer.hh"
+
+#include <cstdlib>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::trace
+{
+
+namespace
+{
+
+thread_local Tracer *g_current = nullptr;
+
+} // namespace
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::ReadHit: return "read_hit";
+      case Kind::ReadMiss: return "read_miss";
+      case Kind::WriteHit: return "write_hit";
+      case Kind::WriteMiss: return "write_miss";
+      case Kind::LineAlloc: return "line_alloc";
+      case Kind::LineEvict: return "line_evict";
+      case Kind::WordReload: return "word_reload";
+      case Kind::CtxCreate: return "ctx_create";
+      case Kind::CtxDestroy: return "ctx_destroy";
+      case Kind::CtxSwitch: return "ctx_switch";
+      case Kind::CtxFlush: return "ctx_flush";
+      case Kind::CtxRestore: return "ctx_restore";
+      case Kind::CidSteal: return "cid_steal";
+      case Kind::CtableSet: return "ctable_set";
+      case Kind::CtableClear: return "ctable_clear";
+      case Kind::FreeReg: return "free_reg";
+      case Kind::CamProgram: return "cam_program";
+      case Kind::CamInvalidate: return "cam_invalidate";
+      case Kind::VictimSelect: return "victim_select";
+      case Kind::Occupancy: return "occupancy";
+    }
+    return "?";
+}
+
+std::size_t
+Tracer::defaultCapacity()
+{
+    static const std::size_t capacity = [] {
+        if (const char *env = std::getenv("NSRF_TRACE_CAPACITY")) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end && *end == '\0' && v >= 1)
+                return static_cast<std::size_t>(v);
+        }
+        return std::size_t{1} << 20;
+    }();
+    return capacity;
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity ? capacity : defaultCapacity())
+{
+    nsrf_assert(capacity_ > 0, "tracer needs a non-empty ring");
+}
+
+void
+Tracer::emit(Kind kind, ContextId cid, std::uint32_t a,
+             std::uint32_t b)
+{
+    Event ev;
+    ev.ts = now_;
+    ev.kind = kind;
+    ev.cid = cid;
+    ev.a = a;
+    ev.b = b;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(ev);
+    } else {
+        ring_[head_] = ev;
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++emitted_;
+}
+
+void
+Tracer::counters(std::uint32_t active_regs,
+                 std::uint32_t resident_ctxs,
+                 std::uint32_t dirty_regs)
+{
+    if (haveOccupancy_ && active_regs == lastActive_ &&
+        resident_ctxs == lastResident_ && dirty_regs == lastDirty_) {
+        return;
+    }
+    haveOccupancy_ = true;
+    lastActive_ = active_regs;
+    lastResident_ = resident_ctxs;
+    lastDirty_ = dirty_regs;
+    emit(Kind::Occupancy, static_cast<ContextId>(dirty_regs),
+         active_regs, resident_ctxs);
+}
+
+void
+Tracer::forEach(const std::function<void(const Event &)> &fn) const
+{
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        fn(ring_[(head_ + i) % ring_.size()]);
+}
+
+std::vector<Event>
+Tracer::snapshot() const
+{
+    std::vector<Event> out;
+    out.reserve(ring_.size());
+    forEach([&](const Event &ev) { out.push_back(ev); });
+    return out;
+}
+
+Tracer *
+current()
+{
+    return g_current;
+}
+
+Session::Session(Tracer &tracer) : prev_(g_current)
+{
+    g_current = &tracer;
+}
+
+Session::~Session()
+{
+    g_current = prev_;
+}
+
+} // namespace nsrf::trace

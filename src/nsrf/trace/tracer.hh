@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The per-thread event tracer the instrumentation hooks feed.
+ *
+ * A Tracer owns a bounded ring of Events: emit() is an O(1) append,
+ * and once the ring is full the oldest events are overwritten (the
+ * tail of a long run is usually the interesting part; `dropped()`
+ * reports how much history was lost).  The ring capacity defaults
+ * to one million events and can be overridden with the
+ * NSRF_TRACE_CAPACITY environment variable.
+ *
+ * Hooks find the active tracer through a thread-local pointer bound
+ * by a Session, so concurrent sweep cells (`--jobs N`) each trace
+ * into their own buffer with no synchronization:
+ *
+ *     trace::Tracer tracer;
+ *     trace::Session session(tracer);   // binds on this thread
+ *     ... run a simulation ...
+ *     trace::writePerfettoJson(tracer, "run.json", "label");
+ *
+ * A Tracer is single-threaded by design: bind it on the thread that
+ * runs the simulation and read it after the run.
+ */
+
+#ifndef NSRF_TRACE_TRACER_HH
+#define NSRF_TRACE_TRACER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "nsrf/trace/events.hh"
+
+namespace nsrf::trace
+{
+
+/** Bounded ring of trace events. */
+class Tracer
+{
+  public:
+    /** Ring capacity: NSRF_TRACE_CAPACITY or one million events. */
+    static std::size_t defaultCapacity();
+
+    /** @param capacity ring size in events; 0 = defaultCapacity(). */
+    explicit Tracer(std::size_t capacity = 0);
+
+    /** Stamp subsequent events with simulated cycle @p now. */
+    void setTime(std::uint64_t now) { now_ = now; }
+
+    /** @return the current timestamp. */
+    std::uint64_t time() const { return now_; }
+
+    /** Record one event at the current timestamp. */
+    void emit(Kind kind, ContextId cid, std::uint32_t a = 0,
+              std::uint32_t b = 0);
+
+    /**
+     * Record an Occupancy counter sample, deduplicating consecutive
+     * identical samples (occupancy is sampled after every register
+     * file operation but usually only changes on misses).
+     */
+    void counters(std::uint32_t active_regs,
+                  std::uint32_t resident_ctxs,
+                  std::uint32_t dirty_regs);
+
+    /** @return events currently held (<= capacity). */
+    std::size_t size() const { return ring_.size(); }
+
+    /** @return ring capacity in events. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** @return total events emitted over the tracer's lifetime. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** @return events overwritten because the ring filled up. */
+    std::uint64_t dropped() const { return emitted_ - ring_.size(); }
+
+    /** Visit the held events oldest-first. */
+    void forEach(const std::function<void(const Event &)> &fn) const;
+
+    /** @return the held events oldest-first. */
+    std::vector<Event> snapshot() const;
+
+  private:
+    std::vector<Event> ring_; //!< grows to capacity_, then wraps
+    std::size_t capacity_;
+    std::size_t head_ = 0; //!< oldest event once the ring wrapped
+    std::uint64_t emitted_ = 0;
+    std::uint64_t now_ = 0;
+    bool haveOccupancy_ = false;
+    std::uint32_t lastActive_ = 0;
+    std::uint32_t lastResident_ = 0;
+    std::uint32_t lastDirty_ = 0;
+};
+
+/** @return the tracer bound to this thread, or nullptr. */
+Tracer *current();
+
+/**
+ * RAII binding of a Tracer to the calling thread.  Nesting restores
+ * the previous binding on destruction.
+ */
+class Session
+{
+  public:
+    explicit Session(Tracer &tracer);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+} // namespace nsrf::trace
+
+#endif // NSRF_TRACE_TRACER_HH

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Hardening tests for the binary trace pipeline and the timeline
+ * exporters: corrupt/hostile trace files must die with a clear
+ * message (never index out of range or attempt a giant allocation),
+ * capture must not leave partial files behind on I/O failure, and
+ * the Perfetto/metrics exporters must produce structurally valid
+ * output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <vector>
+
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/tracefile.hh"
+#include "nsrf/trace/export.hh"
+#include "nsrf/trace/hooks.hh"
+#include "nsrf/trace/tracer.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    const char *dir = std::getenv("TMPDIR");
+    return std::string(dir ? dir : "/tmp") + "/" + name;
+}
+
+constexpr std::size_t recordBytes = 16;
+
+void
+writeHeader(std::FILE *f, std::uint64_t count)
+{
+    std::fwrite("NSRFTRC1", 1, 8, f);
+    std::fwrite(&count, sizeof(count), 1, f);
+}
+
+/** One 16-byte record with the given control bytes, rest zero. */
+void
+writeRecord(std::FILE *f, unsigned char kind,
+            unsigned char src_count, unsigned char flags)
+{
+    unsigned char rec[recordBytes] = {};
+    rec[0] = kind;
+    rec[1] = src_count;
+    rec[2] = flags;
+    std::fwrite(rec, 1, sizeof(rec), f);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+class CorruptTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        if (!path_.empty())
+            std::remove(path_.c_str());
+    }
+
+    /** Write a file: header claiming @p count + @p records. */
+    void
+    makeFile(std::uint64_t claimed,
+             const std::vector<std::array<unsigned char, 3>> &recs)
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        writeHeader(f, claimed);
+        for (const auto &r : recs)
+            writeRecord(f, r[0], r[1], r[2]);
+        std::fclose(f);
+    }
+
+    std::string path_;
+};
+
+TEST_F(CorruptTraceTest, RejectsBadMagic)
+{
+    path_ = tempPath("nsrf_badmagic.trc");
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NSRFTRC2________", 1, 16, f);
+    std::fclose(f);
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_),
+                 "not an NSRF trace");
+}
+
+TEST_F(CorruptTraceTest, RejectsTruncatedHeader)
+{
+    path_ = tempPath("nsrf_shorthead.trc");
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NSRFTRC1", 1, 8, f); // magic only, no count
+    std::fclose(f);
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_),
+                 "truncated header");
+}
+
+TEST_F(CorruptTraceTest, RejectsOversizedCount)
+{
+    // The classic attack: a tiny file whose header claims 2^60
+    // events.  Pre-fix this reserve()d 16 EiB before ever reading a
+    // record; now it must die on the count-vs-size check.
+    path_ = tempPath("nsrf_hugecount.trc");
+    makeFile(std::uint64_t{1} << 60, {{0, 2, 3}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_), "claims");
+}
+
+TEST_F(CorruptTraceTest, RejectsCountPastEndOfFile)
+{
+    // Off-by-a-little variant: claims 3 events, holds 2.
+    path_ = tempPath("nsrf_shortbody.trc");
+    makeFile(3, {{0, 0, 0}, {0, 0, 0}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_), "claims");
+}
+
+TEST_F(CorruptTraceTest, RejectsTruncatedRecord)
+{
+    // Count matches whole records, but a partial record follows a
+    // valid one: claims 2 with 1.5 records present.
+    path_ = tempPath("nsrf_halfrec.trc");
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    writeHeader(f, 2);
+    writeRecord(f, 0, 0, 0);
+    std::fwrite("12345678", 1, 8, f); // half a record
+    std::fclose(f);
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_), "claims");
+}
+
+TEST_F(CorruptTraceTest, RejectsOutOfRangeKind)
+{
+    // EventKind::End is the last valid kind; 200 would be cast to
+    // an EventKind no switch handles.
+    path_ = tempPath("nsrf_badkind.trc");
+    makeFile(1, {{200, 0, 0}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_),
+                 "invalid kind");
+}
+
+TEST_F(CorruptTraceTest, RejectsKindJustPastEnd)
+{
+    unsigned char past =
+        static_cast<unsigned char>(sim::EventKind::End) + 1;
+    path_ = tempPath("nsrf_badkind2.trc");
+    makeFile(1, {{past, 0, 0}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_),
+                 "invalid kind");
+}
+
+TEST_F(CorruptTraceTest, RejectsBadSrcCount)
+{
+    // srcCount indexes TraceEvent::src[2]; 3 would read past it.
+    path_ = tempPath("nsrf_badsrc.trc");
+    makeFile(1, {{0, 3, 0}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_), "srcCount");
+}
+
+TEST_F(CorruptTraceTest, RejectsUnknownFlagBits)
+{
+    // Only bits 0x1 (hasDst) and 0x2 (memRef) are defined.
+    path_ = tempPath("nsrf_badflags.trc");
+    makeFile(1, {{0, 0, 0x84}});
+    EXPECT_DEATH(sim::FileTraceGenerator bad(path_),
+                 "unknown flag bits");
+}
+
+TEST_F(CorruptTraceTest, AcceptsBoundaryValues)
+{
+    // End kind, srcCount 2, both flag bits: all at their maximum
+    // legal values — must load, not die.
+    path_ = tempPath("nsrf_boundary.trc");
+    unsigned char end_kind =
+        static_cast<unsigned char>(sim::EventKind::End);
+    makeFile(2, {{0, 2, 0x3}, {end_kind, 0, 0}});
+    sim::FileTraceGenerator ok(path_);
+    EXPECT_EQ(ok.size(), 2u);
+}
+
+TEST_F(CorruptTraceTest, CaptureFatalsAndRemovesFileOnShortWrite)
+{
+    // Simulate a full disk with RLIMIT_FSIZE: writes past 100 bytes
+    // fail with EFBIG (SIGXFSZ ignored so fwrite reports the error
+    // instead of killing the child with a signal).  captureTrace
+    // must die via nsrf_fatal — and remove the partial file first.
+    path_ = tempPath("nsrf_diskfull.trc");
+    const auto &profile = workload::profileByName("Quicksort");
+    EXPECT_DEATH(
+        {
+            struct rlimit lim;
+            lim.rlim_cur = 100;
+            lim.rlim_max = 100;
+            ::setrlimit(RLIMIT_FSIZE, &lim);
+            std::signal(SIGXFSZ, SIG_IGN);
+            workload::ParallelWorkload gen(profile, 20000);
+            sim::captureTrace(gen, path_);
+        },
+        "short write");
+    // The death-test child shares the filesystem: the fatal path
+    // must have unlinked its partial output.
+    EXPECT_FALSE(fileExists(path_));
+}
+
+TEST_F(CorruptTraceTest, CaptureReplayRoundTripIsExact)
+{
+    path_ = tempPath("nsrf_hardened_roundtrip.trc");
+    const auto &profile = workload::profileByName("Gamteb");
+
+    workload::ParallelWorkload gen(profile, 5000);
+    std::uint64_t written = sim::captureTrace(gen, path_, 5000);
+    EXPECT_EQ(written, 5000u);
+
+    workload::ParallelWorkload fresh(profile, 5000);
+    sim::FileTraceGenerator replay(path_);
+    ASSERT_EQ(replay.size(), 5000u);
+
+    sim::TraceEvent a, b;
+    std::uint64_t compared = 0;
+    while (compared < written && fresh.next(a) &&
+           a.kind != sim::EventKind::End) {
+        ASSERT_TRUE(replay.next(b));
+        ASSERT_EQ(static_cast<int>(a.kind),
+                  static_cast<int>(b.kind))
+            << "event " << compared;
+        ASSERT_EQ(a.ctx, b.ctx);
+        ASSERT_EQ(a.srcCount, b.srcCount);
+        ASSERT_EQ(a.src[0], b.src[0]);
+        ASSERT_EQ(a.src[1], b.src[1]);
+        ASSERT_EQ(a.hasDst, b.hasDst);
+        ASSERT_EQ(a.dst, b.dst);
+        ASSERT_EQ(a.memRef, b.memRef);
+        ++compared;
+    }
+    EXPECT_EQ(compared, written);
+}
+
+// ---- timeline tracer + exporters ----
+
+TEST(TracerTest, RingKeepsTheNewestEvents)
+{
+    trace::Tracer tracer(4);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        tracer.setTime(i);
+        tracer.emit(trace::Kind::ReadHit, 0, i);
+    }
+    EXPECT_EQ(tracer.size(), 4u);
+    EXPECT_EQ(tracer.emitted(), 6u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    auto events = tracer.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first, holding the newest four emits (2..5).
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].a, i + 2);
+}
+
+TEST(TracerTest, CountersDedupeIdenticalSamples)
+{
+    trace::Tracer tracer(16);
+    tracer.counters(5, 2, 1);
+    tracer.counters(5, 2, 1); // identical: no event
+    tracer.counters(6, 2, 1);
+    EXPECT_EQ(tracer.emitted(), 2u);
+}
+
+TEST(PerfettoExportTest, JsonParsesAndBalances)
+{
+    trace::Tracer tracer(1024);
+    tracer.setTime(0);
+    tracer.emit(trace::Kind::CtxCreate, 1, 0x1000);
+    tracer.emit(trace::Kind::CtxSwitch, 1, invalidContext);
+    tracer.setTime(5);
+    tracer.emit(trace::Kind::ReadMiss, 1, 3, 0);
+    tracer.emit(trace::Kind::LineAlloc, 1, 7, 0);
+    tracer.counters(4, 1, 2);
+    tracer.setTime(20);
+    tracer.emit(trace::Kind::CtxCreate, 2, 0x2000);
+    tracer.emit(trace::Kind::CtxSwitch, 2, 1);
+    tracer.setTime(40);
+    tracer.emit(trace::Kind::LineEvict, 1, 7, 4);
+    tracer.emit(trace::Kind::CtxDestroy, 2);
+    // Context 1 is left live and running: the exporter must close
+    // both spans at the final timestamp to balance the file.
+
+    std::string doc = trace::perfettoJson(tracer, "unit-test");
+    std::string why;
+    EXPECT_TRUE(trace::validatePerfettoJson(doc, &why)) << why;
+
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("ctx 1"), std::string::npos);
+    EXPECT_NE(doc.find("ctx 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"occupancy\""), std::string::npos);
+    EXPECT_NE(doc.find("\"evict\""), std::string::npos);
+
+    // B and E must pair up exactly.
+    std::size_t begins = 0, ends = 0, pos = 0;
+    while ((pos = doc.find("\"ph\":\"B\"", pos)) !=
+           std::string::npos) {
+        ++begins;
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = doc.find("\"ph\":\"E\"", pos)) !=
+           std::string::npos) {
+        ++ends;
+        ++pos;
+    }
+    EXPECT_GT(begins, 0u);
+    EXPECT_EQ(begins, ends);
+}
+
+TEST(PerfettoExportTest, ValidatorRejectsUnbalancedSpans)
+{
+    std::string doc =
+        "{\n\"traceEvents\": [\n"
+        "{\"name\":\"run\",\"cat\":\"ctx\",\"ph\":\"B\",\"ts\":1,"
+        "\"pid\":1,\"tid\":3}\n"
+        "]\n}\n";
+    std::string why;
+    EXPECT_FALSE(trace::validatePerfettoJson(doc, &why));
+    EXPECT_NE(why.find("unclosed"), std::string::npos) << why;
+}
+
+TEST(PerfettoExportTest, ValidatorRejectsEndWithoutBegin)
+{
+    std::string doc =
+        "{\n\"traceEvents\": [\n"
+        "{\"name\":\"run\",\"cat\":\"ctx\",\"ph\":\"E\",\"ts\":1,"
+        "\"pid\":1,\"tid\":3}\n"
+        "]\n}\n";
+    std::string why;
+    EXPECT_FALSE(trace::validatePerfettoJson(doc, &why));
+    EXPECT_NE(why.find("without matching B"), std::string::npos)
+        << why;
+}
+
+TEST(PerfettoExportTest, ValidatorRejectsMalformedJson)
+{
+    std::string why;
+    EXPECT_FALSE(
+        trace::validatePerfettoJson("{\"traceEvents\": [", &why));
+    EXPECT_FALSE(trace::validatePerfettoJson("", &why));
+    EXPECT_FALSE(trace::validatePerfettoJson("{} trailing", &why));
+    // Valid JSON but not a trace document.
+    EXPECT_FALSE(trace::validatePerfettoJson("{\"a\": 1}", &why));
+}
+
+TEST(MetricsExportTest, WindowedCountsAndGauges)
+{
+    trace::Tracer tracer(1024);
+    tracer.setTime(3);
+    tracer.emit(trace::Kind::ReadMiss, 1, 0, 0);
+    tracer.setTime(25);
+    tracer.emit(trace::Kind::ReadMiss, 1, 1, 0);
+    tracer.emit(trace::Kind::WordReload, 1, 1, 1);
+    tracer.counters(8, 2, 3);
+
+    std::string text = trace::metricsText(tracer, 10);
+    // Window 0 ([0,10)) and window 2 ([20,30)) each hold a read
+    // miss; the reload and the occupancy gauges follow.
+    EXPECT_NE(text.find("# TYPE nsrf_read_miss_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("nsrf_read_miss_total{window=\"0\","
+                        "start_cycle=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("nsrf_read_miss_total{window=\"2\","
+                        "start_cycle=\"20\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("nsrf_word_reload_total"),
+              std::string::npos);
+    EXPECT_NE(text.find("nsrf_active_regs 8"), std::string::npos);
+    EXPECT_NE(text.find("nsrf_resident_contexts 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("nsrf_dirty_regs 3"), std::string::npos);
+    EXPECT_NE(text.find("nsrf_trace_events_total 4"),
+              std::string::npos);
+}
+
+TEST(TraceHooksTest, SimulationEmitsBalancedTimelineWhenCompiledIn)
+{
+    if (!trace::compiledIn)
+        GTEST_SKIP() << "NSRF_TRACE=OFF build: hooks compiled out";
+
+    trace::Tracer tracer;
+    trace::Session session(tracer);
+
+    const auto &profile = workload::profileByName("Quicksort");
+    workload::ParallelWorkload gen(profile, 20000);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 128;
+    config.rf.regsPerContext = profile.regsPerContext;
+    auto result = sim::runTrace(config, gen);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_GT(tracer.emitted(), 0u);
+
+    std::string doc = trace::perfettoJson(tracer, "e2e");
+    std::string why;
+    EXPECT_TRUE(trace::validatePerfettoJson(doc, &why)) << why;
+
+    std::string metrics = trace::metricsText(tracer, 10000);
+    EXPECT_NE(metrics.find("nsrf_trace_events_total"),
+              std::string::npos);
+}
+
+TEST(TraceHooksTest, NoTracerMeansNoEvents)
+{
+    // Even in an NSRF_TRACE=ON build, a thread with no bound
+    // Session must record nothing (and not crash).
+    EXPECT_EQ(trace::current(), nullptr);
+    const auto &profile = workload::profileByName("Gamteb");
+    workload::ParallelWorkload gen(profile, 2000);
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 80;
+    config.rf.regsPerContext = profile.regsPerContext;
+    auto result = sim::runTrace(config, gen);
+    EXPECT_GT(result.instructions, 0u);
+}
+
+} // namespace
+} // namespace nsrf

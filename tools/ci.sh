@@ -6,9 +6,11 @@
 #
 # Stages (all fail-fast):
 #   1. release   — RelWithDebInfo build, full ctest suite
-#   2. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
-#   3. tsan      — TSan build, sweep-runner thread-pool tests
-#   4. fuzz      — time-boxed differential fuzz on the audit build
+#   2. trace     — NSRF_TRACE=ON build, full suite incl. the
+#                  trace_smoke → Perfetto-validate pipeline
+#   3. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
+#   4. tsan      — TSan build, sweep-runner thread-pool tests
+#   5. fuzz      — time-boxed differential fuzz on the audit build
 #
 # Environment:
 #   NSRF_CI_FUZZ_SECONDS  fuzz stage budget (default 30)
@@ -31,6 +33,14 @@ stage "release build + full test suite"
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
+
+stage "trace build (NSRF_TRACE=ON) + full test suite"
+cmake --preset trace > /dev/null
+cmake --build --preset trace -j "$jobs"
+# The trace preset additionally registers trace_smoke (runs
+# nsrf_sim --trace-out on a small synthetic app) and
+# trace_smoke_validate (structural check of the Perfetto JSON).
+ctest --preset trace -j "$jobs"
 
 stage "asan+ubsan build (audits on) + full test suite"
 cmake --preset asan > /dev/null

@@ -24,6 +24,8 @@
 #include "nsrf/sim/sweep.hh"
 #include "nsrf/sim/tracefile.hh"
 #include "nsrf/stats/table.hh"
+#include "nsrf/trace/export.hh"
+#include "nsrf/trace/hooks.hh"
 #include "nsrf/workload/parallel.hh"
 #include "nsrf/workload/profile.hh"
 #include "nsrf/workload/sequential.hh"
@@ -54,6 +56,8 @@ struct Options
     std::string record; //!< capture the trace to this file
     std::string replay; //!< replay a trace file instead
     bool stats = false; //!< dump gem5-style statistics
+    std::string traceOut;         //!< Perfetto timeline output
+    std::uint64_t traceWindow = 0; //!< metrics window in cycles
 };
 
 void
@@ -80,6 +84,11 @@ usage()
         "  --record FILE          capture the trace to FILE\n"
         "  --replay FILE          replay a captured trace\n"
         "  --stats                dump per-counter statistics\n"
+        "  --trace-out PATH       write a Perfetto timeline trace\n"
+        "                         (needs an NSRF_TRACE=ON build;\n"
+        "                         with --app all, one file per app)\n"
+        "  --trace-window N       metrics window in cycles for\n"
+        "                         PATH.metrics (0 = whole run)\n"
         "  --json                 JSON output\n");
 }
 
@@ -181,6 +190,14 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!(value = need(i)))
                 return false;
             opt.replay = value;
+        } else if (arg == "--trace-out") {
+            if (!(value = need(i)))
+                return false;
+            opt.traceOut = value;
+        } else if (arg == "--trace-window") {
+            if (!(value = need(i)))
+                return false;
+            opt.traceWindow = strtoull(value, nullptr, 10);
         } else if (arg == "--help" || arg == "-h") {
             usage();
             std::exit(0);
@@ -227,9 +244,29 @@ workloadFor(const workload::BenchmarkProfile &profile,
                                                           len);
 }
 
+/**
+ * Per-app output path for --trace-out: with multiple apps the app
+ * name is inserted before the extension ("g.json" -> "g.Gamteb.json")
+ * so concurrent runs never clobber each other's files.
+ */
+std::string
+tracePathFor(const std::string &base, const std::string &app,
+             bool multiple)
+{
+    if (!multiple)
+        return base;
+    std::size_t dot = base.rfind('.');
+    std::size_t slash = base.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return base + "." + app;
+    }
+    return base.substr(0, dot) + "." + app + base.substr(dot);
+}
+
 sim::RunResult
 runOne(const workload::BenchmarkProfile &profile_in,
-       const Options &opt)
+       const Options &opt, const std::string &trace_out)
 {
     workload::BenchmarkProfile profile = profile_in;
     if (opt.seed)
@@ -252,7 +289,19 @@ runOne(const workload::BenchmarkProfile &profile_in,
     }
 
     sim::TraceSimulator simulator(configFor(profile, opt));
-    auto result = simulator.run(*gen);
+    sim::RunResult result;
+    if (!trace_out.empty() && trace::compiledIn) {
+        trace::Tracer tracer;
+        trace::Session session(tracer);
+        result = simulator.run(*gen);
+        trace::writePerfettoJson(tracer, trace_out, profile.name);
+        trace::writeMetricsText(tracer, trace_out + ".metrics",
+                                opt.traceWindow);
+        std::fprintf(stderr, "wrote timeline trace to %s\n",
+                     trace_out.c_str());
+    } else {
+        result = simulator.run(*gen);
+    }
     if (opt.stats) {
         regfile::dumpStats(simulator.registerFile(), stdout,
                            "rf." + profile.name);
@@ -281,6 +330,11 @@ runParallel(const std::vector<workload::BenchmarkProfile> &apps,
         cell.makeGenerator = [profile, events = opt.events]() {
             return workloadFor(profile, events);
         };
+        if (!opt.traceOut.empty()) {
+            cell.traceOut = tracePathFor(opt.traceOut, profile.name,
+                                         apps.size() > 1);
+            cell.traceWindow = opt.traceWindow;
+        }
         cells.push_back(std::move(cell));
     }
     return sim::SweepRunner(opt.jobs).run(cells);
@@ -343,6 +397,12 @@ main(int argc, char **argv)
         apps.push_back(workload::profileByName(opt.app));
     }
 
+    if (!opt.traceOut.empty() && !trace::compiledIn) {
+        std::fprintf(stderr,
+                     "warning: --trace-out ignored; this build has "
+                     "NSRF_TRACE=OFF (use the 'trace' preset)\n");
+    }
+
     if (opt.json)
         std::printf("[\n");
 
@@ -356,7 +416,13 @@ main(int argc, char **argv)
     table.header({"App", "Regfile", "Instr", "Cycles", "Switches",
                   "Reloads/instr", "Util", "Overhead"});
     for (std::size_t i = 0; i < apps.size(); ++i) {
-        auto r = parallel_ok ? results[i] : runOne(apps[i], opt);
+        std::string trace_out =
+            opt.traceOut.empty()
+                ? std::string()
+                : tracePathFor(opt.traceOut, apps[i].name,
+                               apps.size() > 1);
+        auto r = parallel_ok ? results[i]
+                             : runOne(apps[i], opt, trace_out);
         if (opt.json) {
             printJson(apps[i].name, r, i + 1 == apps.size());
         } else {

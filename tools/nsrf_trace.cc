@@ -9,6 +9,12 @@
  *     nsrf_sim --app Gamteb --events 100000 --record g.trc
  *     nsrf_trace g.trc
  *     nsrf_trace g.trc --dump 50
+ *
+ * With --check-perfetto it instead validates a timeline JSON file
+ * written by `nsrf_sim --trace-out` (structure + balanced B/E
+ * spans), for CI and scripts:
+ *
+ *     nsrf_trace --check-perfetto g.json
  */
 
 #include <algorithm>
@@ -21,6 +27,7 @@
 #include "nsrf/sim/tracefile.hh"
 #include "nsrf/stats/counters.hh"
 #include "nsrf/stats/table.hh"
+#include "nsrf/trace/export.hh"
 
 using namespace nsrf;
 
@@ -72,6 +79,32 @@ dumpEvents(sim::FileTraceGenerator &trace, std::uint64_t count)
     trace.reset();
 }
 
+/** Validate a Perfetto JSON document written by --trace-out. */
+int
+checkPerfetto(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 1;
+    }
+    std::string doc;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        doc.append(buf, got);
+    std::fclose(f);
+
+    std::string why;
+    if (!trace::validatePerfettoJson(doc, &why)) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                     why.c_str());
+        return 1;
+    }
+    std::printf("%s: OK (%zu bytes)\n", path.c_str(), doc.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -79,8 +112,17 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: nsrf_trace FILE [--dump N]\n");
+                     "usage: nsrf_trace FILE [--dump N]\n"
+                     "       nsrf_trace --check-perfetto FILE\n");
         return 2;
+    }
+    if (std::string(argv[1]) == "--check-perfetto") {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "usage: nsrf_trace --check-perfetto FILE\n");
+            return 2;
+        }
+        return checkPerfetto(argv[2]);
     }
     std::string path = argv[1];
     std::uint64_t dump = 0;
