@@ -1,0 +1,134 @@
+/**
+ * @file
+ * google-benchmark micro benches for the serving layer: the cost of
+ * fingerprinting a cell, the exact result codec in both directions,
+ * a memory-tier cache hit, cache insertion under eviction pressure,
+ * and parsing a protocol request line.  These bound the per-request
+ * overhead the daemon adds on top of simulation itself.
+ */
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/sim/simulator.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+serve::Provenance
+provenance()
+{
+    return {
+        {"app", "Quicksort"},
+        {"events", "600000"},
+        {"profileSeed", "1"},
+        {"generator", "synthetic-v1"},
+    };
+}
+
+sim::RunResult
+sampleResult()
+{
+    sim::RunResult r;
+    r.regfileDescription = "NSF 128 regs, line 4";
+    r.instructions = 600'000;
+    r.cycles = 812'345;
+    return r;
+}
+
+void
+BM_FingerprintCell(benchmark::State &state)
+{
+    sim::SimConfig config;
+    serve::Provenance prov = provenance();
+    for (auto _ : state) {
+        serve::Fingerprint fp =
+            serve::fingerprintCell(config, prov);
+        benchmark::DoNotOptimize(fp);
+    }
+}
+BENCHMARK(BM_FingerprintCell);
+
+void
+BM_EncodeResult(benchmark::State &state)
+{
+    sim::RunResult r = sampleResult();
+    for (auto _ : state) {
+        std::string payload = serve::encodeRunResult(r);
+        benchmark::DoNotOptimize(payload);
+    }
+}
+BENCHMARK(BM_EncodeResult);
+
+void
+BM_DecodeResult(benchmark::State &state)
+{
+    std::string payload = serve::encodeRunResult(sampleResult());
+    for (auto _ : state) {
+        sim::RunResult r;
+        std::string why;
+        bool ok = serve::decodeRunResult(payload, &r, &why);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_DecodeResult);
+
+/** Memory-tier hit: the fast path a warm daemon serves from. */
+void
+BM_CacheMemoryHit(benchmark::State &state)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    serve::Fingerprint key = serve::hashString("warm-cell");
+    cache.put(key, serve::encodeRunResult(sampleResult()));
+    for (auto _ : state) {
+        auto payload = cache.get(key);
+        benchmark::DoNotOptimize(payload);
+    }
+}
+BENCHMARK(BM_CacheMemoryHit);
+
+/** Insert with the LRU at capacity, so every put evicts. */
+void
+BM_CachePutEvicting(benchmark::State &state)
+{
+    serve::ResultCacheConfig config;
+    config.maxEntries = 64;
+    serve::ResultCache cache(config);
+    std::string payload = serve::encodeRunResult(sampleResult());
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        cache.put(serve::hashString(std::to_string(++n)), payload);
+    }
+    state.counters["evictions"] =
+        static_cast<double>(cache.stats().evictions);
+}
+BENCHMARK(BM_CachePutEvicting);
+
+void
+BM_ParseSubmitRequest(benchmark::State &state)
+{
+    const std::string line =
+        "{\"op\":\"submit\",\"cells\":[{\"app\":\"Quicksort\","
+        "\"org\":\"nsf\",\"events\":600000,\"valid\":true}]}";
+    for (auto _ : state) {
+        serve::json::Value v;
+        std::string why;
+        bool ok = serve::json::parse(line, &v, &why);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_ParseSubmitRequest);
+
+} // namespace
+
+BENCHMARK_MAIN();

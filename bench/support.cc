@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "nsrf/common/logging.hh"
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/scheduler.hh"
 
 namespace nsrf::bench
 {
@@ -58,6 +60,10 @@ BenchOptions
 BenchOptions::parse(int argc, char **argv)
 {
     BenchOptions options;
+    if (const char *env = std::getenv("NSRF_BENCH_CACHE")) {
+        if (env[0] != '\0')
+            options.cacheDir = env;
+    }
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto need = [&]() -> const char * {
@@ -76,13 +82,18 @@ BenchOptions::parse(int argc, char **argv)
                 options.jobs = sim::SweepRunner::hardwareJobs();
         } else if (arg == "--json") {
             options.jsonPath = need();
+        } else if (arg == "--cache") {
+            options.cacheDir = need();
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: %s [--jobs N] [--json PATH]\n"
+                "usage: %s [--jobs N] [--json PATH] [--cache DIR]\n"
                 "  --jobs N     run sweep cells on N threads "
                 "(0 = all cores; default 1)\n"
                 "  --json PATH  also write per-cell results as "
-                "JSON\n",
+                "JSON\n"
+                "  --cache DIR  serve repeated cells from a "
+                "content-addressed result cache\n"
+                "               (or set NSRF_BENCH_CACHE)\n",
                 argv[0]);
             std::exit(0);
         } else {
@@ -117,9 +128,14 @@ SweepSet::add(const workload::BenchmarkProfile &profile,
     cell.makeGenerator = [profile, events]() {
         return makeGenerator(profile, events);
     };
+    // The provenance (with the config) is the cache identity: the
+    // seed and generator scheme must participate so a calibration
+    // change misses instead of aliasing a stale result.
     cell.provenance = {
         {"app", profile.name},
         {"events", std::to_string(events)},
+        {"profileSeed", std::to_string(profile.seed)},
+        {"generator", "synthetic-v1"},
     };
     cells_.push_back(std::move(cell));
     return cells_.size() - 1;
@@ -130,7 +146,20 @@ SweepSet::run()
 {
     nsrf_assert(!ran_, "SweepSet::run() called twice");
     sim::SweepRunner runner(options_.jobs);
-    results_ = runner.run(cells_);
+    if (!options_.cacheDir.empty()) {
+        serve::ResultCacheConfig cache_config;
+        cache_config.dir = options_.cacheDir;
+        serve::ResultCache cache(cache_config);
+        serve::CachedRunStats stats = serve::runCellsCached(
+            &cache, runner.jobs(), cells_, &results_);
+        std::fprintf(stderr,
+                     "%s: cache %llu hits, %llu misses\n",
+                     name_.c_str(),
+                     static_cast<unsigned long long>(stats.hits),
+                     static_cast<unsigned long long>(stats.misses));
+    } else {
+        results_ = runner.run(cells_);
+    }
     ran_ = true;
     if (!options_.jsonPath.empty()) {
         if (sim::writeSweepResultsJson(options_.jsonPath, name_,

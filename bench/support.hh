@@ -53,6 +53,12 @@ struct BenchOptions
     unsigned jobs = 1;
     /** Write machine-readable results here (--json PATH). */
     std::string jsonPath;
+    /**
+     * Content-addressed result cache directory (--cache DIR, or the
+     * NSRF_BENCH_CACHE environment variable; the flag wins).  Empty
+     * means every cell simulates.
+     */
+    std::string cacheDir;
 
     /**
      * Parse the shared flags; exits with usage on unknown

@@ -23,13 +23,24 @@ replacementName(ReplacementKind kind)
 ReplacementKind
 parseReplacement(const std::string &name)
 {
+    ReplacementKind kind;
+    if (!tryParseReplacement(name, &kind))
+        nsrf_fatal("unknown replacement policy '%s'", name.c_str());
+    return kind;
+}
+
+bool
+tryParseReplacement(const std::string &name, ReplacementKind *out)
+{
     if (name == "lru")
-        return ReplacementKind::Lru;
-    if (name == "fifo")
-        return ReplacementKind::Fifo;
-    if (name == "random")
-        return ReplacementKind::Random;
-    nsrf_fatal("unknown replacement policy '%s'", name.c_str());
+        *out = ReplacementKind::Lru;
+    else if (name == "fifo")
+        *out = ReplacementKind::Fifo;
+    else if (name == "random")
+        *out = ReplacementKind::Random;
+    else
+        return false;
+    return true;
 }
 
 ReplacementState::ReplacementState(std::size_t slot_count,

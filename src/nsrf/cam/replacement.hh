@@ -36,6 +36,11 @@ const char *replacementName(ReplacementKind kind);
 /** Parse a policy name ("lru", "fifo", "random"). */
 ReplacementKind parseReplacement(const std::string &name);
 
+/** Non-fatal parseReplacement; @return false on an unknown name.
+ * The serving daemon rejects bad requests instead of exiting. */
+bool tryParseReplacement(const std::string &name,
+                         ReplacementKind *out);
+
 /**
  * Tracks recency/insertion order over a fixed set of slots and picks
  * eviction victims.  Slots are "held" (in use) or free; only held

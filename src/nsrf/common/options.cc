@@ -1,0 +1,56 @@
+#include "nsrf/common/options.hh"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::common
+{
+
+std::uint64_t
+parseU64(const std::string &flag, const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        nsrf_fatal("%s: empty numeric value", flag.c_str());
+    // strtoull accepts a leading minus by wrapping; reject it (and
+    // stray whitespace) explicitly.
+    if (text[0] == '-' || text[0] == '+' || text[0] == ' ')
+        nsrf_fatal("%s: '%s' is not an unsigned integer",
+                   flag.c_str(), text);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 0);
+    if (errno == ERANGE)
+        nsrf_fatal("%s: '%s' is out of range", flag.c_str(), text);
+    if (end == text || *end != '\0')
+        nsrf_fatal("%s: '%s' is not an unsigned integer",
+                   flag.c_str(), text);
+    return v;
+}
+
+unsigned
+parseU32(const std::string &flag, const char *text)
+{
+    std::uint64_t v = parseU64(flag, text);
+    if (v > UINT_MAX)
+        nsrf_fatal("%s: '%s' is out of range", flag.c_str(), text);
+    return static_cast<unsigned>(v);
+}
+
+const char *
+OptionScanner::value()
+{
+    if (i_ + 1 >= argc_)
+        nsrf_fatal("missing value for %s", arg_.c_str());
+    return argv_[++i_];
+}
+
+void
+OptionScanner::unknown() const
+{
+    nsrf_fatal("unknown option '%s' (try --help)", arg_.c_str());
+}
+
+} // namespace nsrf::common

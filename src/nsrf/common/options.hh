@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Shared command-line scanning and checked numeric parsing for the
+ * CLI tools.
+ *
+ * Every tool historically hand-rolled the same `--flag value` argv
+ * walk with unchecked atoi/strtoul conversions, so a typo such as
+ * `--jobs fast` silently became 0 ("all threads") and `--events 1e6`
+ * became 1.  OptionScanner centralizes the walk and the parse
+ * helpers fatal() on garbage instead of guessing; nsrf_sim,
+ * nsrf_fuzz, nsrf_trace, nsrf_serve, and nsrf_request all parse
+ * through this header.
+ */
+
+#ifndef NSRF_COMMON_OPTIONS_HH
+#define NSRF_COMMON_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nsrf::common
+{
+
+/**
+ * Parse @p text as an unsigned decimal (or 0x-prefixed hex) integer.
+ * fatal()s — naming @p flag — on empty input, trailing garbage,
+ * negative numbers, and overflow.  No silent zero: the historical
+ * atoi paths turned typos into "0", which several flags interpret as
+ * "all cores" or "unlimited".
+ */
+std::uint64_t parseU64(const std::string &flag, const char *text);
+
+/** parseU64 restricted to the unsigned-int range. */
+unsigned parseU32(const std::string &flag, const char *text);
+
+/**
+ * One pass over argv.  Usage:
+ *
+ *   common::OptionScanner scan(argc, argv);
+ *   while (scan.next()) {
+ *       if (scan.is("--jobs"))        opt.jobs = scan.u32();
+ *       else if (scan.is("--json"))   opt.json = true;
+ *       else if (scan.is("--out"))    opt.out = scan.value();
+ *       else scan.unknown();          // or custom handling
+ *   }
+ *
+ * value()/u64()/u32() consume the following argv slot and fatal()
+ * when it is missing, so `tool --jobs` can never read past argv.
+ */
+class OptionScanner
+{
+  public:
+    OptionScanner(int argc, char **argv) : argc_(argc), argv_(argv) {}
+
+    /** Advance to the next argument; @return false at the end. */
+    bool
+    next()
+    {
+        if (i_ + 1 >= argc_)
+            return false;
+        arg_ = argv_[++i_];
+        return true;
+    }
+
+    /** @return the current argument. */
+    const std::string &arg() const { return arg_; }
+
+    /** @return whether the current argument equals @p name. */
+    bool is(const char *name) const { return arg_ == name; }
+
+    /** Consume and @return the current flag's value; fatal if absent. */
+    const char *value();
+
+    /** Consume the value and parse it as a checked integer. */
+    std::uint64_t u64() { return parseU64(arg_, value()); }
+    unsigned u32() { return parseU32(arg_, value()); }
+
+    /** fatal() with an "unknown option" message for arg(). */
+    [[noreturn]] void unknown() const;
+
+  private:
+    int argc_;
+    char **argv_;
+    int i_ = 0;
+    std::string arg_;
+};
+
+} // namespace nsrf::common
+
+#endif // NSRF_COMMON_OPTIONS_HH

@@ -1,0 +1,341 @@
+#include "nsrf/serve/cache.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::serve
+{
+
+namespace
+{
+
+constexpr const char *kEntryMagic = "NSRFRESULT";
+
+/** mkdir -p for the store directory (one level is enough in
+ * practice, but parents cost nothing to handle). */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    for (std::size_t i = 0; i <= dir.size(); ++i) {
+        if (i < dir.size() && dir[i] != '/') {
+            partial += dir[i];
+            continue;
+        }
+        if (i < dir.size())
+            partial += '/';
+        if (partial.empty() || partial == "/")
+            continue;
+        if (mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+bool
+readWholeFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out->clear();
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, got);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+ResultCache::ResultCache(ResultCacheConfig config)
+    : config_(std::move(config)),
+      shards_(std::max(1u, config_.shards))
+{
+    std::size_t n = shards_.size();
+    shardMaxEntries_ = std::max<std::size_t>(
+        1, config_.maxEntries == 0 ? 1 : config_.maxEntries / n);
+    shardMaxBytes_ = std::max<std::size_t>(
+        1, config_.maxBytes == 0 ? 1 : config_.maxBytes / n);
+
+    if (config_.dir.empty())
+        return;
+    if (!makeDirs(config_.dir)) {
+        nsrf_fatal("result cache: cannot create directory '%s': %s",
+                   config_.dir.c_str(), std::strerror(errno));
+    }
+    // Sweep temp files a crashed writer may have left behind; they
+    // were never visible under a final name, so removal is safe.
+    if (DIR *d = opendir(config_.dir.c_str())) {
+        while (struct dirent *ent = readdir(d)) {
+            std::string name = ent->d_name;
+            if (name.find(".tmp.") != std::string::npos)
+                ::unlink((config_.dir + "/" + name).c_str());
+        }
+        closedir(d);
+    }
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(const Fingerprint &key)
+{
+    return shards_[static_cast<std::size_t>(key.lo) %
+                   shards_.size()];
+}
+
+std::string
+ResultCache::entryPath(const Fingerprint &key) const
+{
+    if (config_.dir.empty())
+        return "";
+    return config_.dir + "/" + key.hex() + ".res";
+}
+
+std::string
+ResultCache::encodeEntry(const Fingerprint &key,
+                         const std::string &payload)
+{
+    Fingerprint sum = hashString(payload);
+    char header[128];
+    std::snprintf(header, sizeof(header), "%s %u %s %zu %s\n",
+                  kEntryMagic, kSchemaVersion, key.hex().c_str(),
+                  payload.size(), sum.hex().c_str());
+    return std::string(header) + payload;
+}
+
+std::optional<std::string>
+ResultCache::readEntryFile(const std::string &path,
+                           const Fingerprint &key)
+{
+    std::string raw;
+    if (!readWholeFile(path, &raw))
+        return std::nullopt;
+
+    std::size_t nl = raw.find('\n');
+    if (nl == std::string::npos)
+        return std::nullopt;
+    std::string header = raw.substr(0, nl);
+
+    char magic[32], key_hex[64], sum_hex[64];
+    unsigned version = 0;
+    unsigned long long size = 0;
+    if (std::sscanf(header.c_str(), "%31s %u %63s %llu %63s", magic,
+                    &version, key_hex, &size, sum_hex) != 5) {
+        return std::nullopt;
+    }
+    if (std::strcmp(magic, kEntryMagic) != 0 ||
+        version != kSchemaVersion) {
+        return std::nullopt;
+    }
+    Fingerprint stored_key, stored_sum;
+    if (!Fingerprint::fromHex(key_hex, &stored_key) ||
+        !Fingerprint::fromHex(sum_hex, &stored_sum) ||
+        !(stored_key == key)) {
+        return std::nullopt;
+    }
+    std::string payload = raw.substr(nl + 1);
+    if (payload.size() != size ||
+        !(hashString(payload) == stored_sum)) {
+        return std::nullopt;
+    }
+    return payload;
+}
+
+std::optional<std::string>
+ResultCache::get(const Fingerprint &key)
+{
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru,
+                             it->second);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            memoryHits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second->payload;
+        }
+    }
+
+    if (!config_.dir.empty()) {
+        std::string path = entryPath(key);
+        auto payload = readEntryFile(path, key);
+        if (payload) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            insertLocked(shard, key, *payload);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            diskHits_.fetch_add(1, std::memory_order_relaxed);
+            return payload;
+        }
+        // A present-but-unusable file is corrupt (or from another
+        // schema): evict so it cannot shadow a future write.
+        if (::access(path.c_str(), F_OK) == 0)
+            dropCorrupt(path);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+}
+
+void
+ResultCache::insertLocked(Shard &shard, const Fingerprint &key,
+                          const std::string &payload)
+{
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        shard.bytes -= it->second->payload.size();
+        shard.bytes += payload.size();
+        it->second->payload = payload;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+        shard.lru.push_front(Entry{key, payload});
+        shard.index[key] = shard.lru.begin();
+        shard.bytes += payload.size();
+    }
+    while (shard.lru.size() > 1 &&
+           (shard.lru.size() > shardMaxEntries_ ||
+            shard.bytes > shardMaxBytes_)) {
+        Entry &victim = shard.lru.back();
+        shard.bytes -= victim.payload.size();
+        shard.index.erase(victim.key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+ResultCache::put(const Fingerprint &key, const std::string &payload)
+{
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        insertLocked(shard, key, payload);
+    }
+    if (!config_.dir.empty()) {
+        writeEntry(key, payload);
+        if (config_.maxDiskBytes)
+            enforceDiskBudget();
+    }
+}
+
+void
+ResultCache::writeEntry(const Fingerprint &key,
+                        const std::string &payload)
+{
+    std::string final_path = entryPath(key);
+    char suffix[64];
+    std::snprintf(
+        suffix, sizeof(suffix), ".tmp.%ld.%llu",
+        static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            tmpSeq_.fetch_add(1, std::memory_order_relaxed)));
+    std::string tmp_path = final_path + suffix;
+
+    std::string blob = encodeEntry(key, payload);
+    std::FILE *f = std::fopen(tmp_path.c_str(), "wb");
+    if (!f) {
+        diskWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+        nsrf_warn("result cache: cannot create '%s': %s",
+                  tmp_path.c_str(), std::strerror(errno));
+        return;
+    }
+    bool ok =
+        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok || std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+        diskWriteFailures_.fetch_add(1, std::memory_order_relaxed);
+        nsrf_warn("result cache: cannot write '%s': %s",
+                  final_path.c_str(), std::strerror(errno));
+        ::unlink(tmp_path.c_str());
+    }
+}
+
+void
+ResultCache::dropCorrupt(const std::string &path)
+{
+    corruptDropped_.fetch_add(1, std::memory_order_relaxed);
+    nsrf_warn("result cache: dropping unusable entry '%s'",
+              path.c_str());
+    ::unlink(path.c_str());
+}
+
+void
+ResultCache::enforceDiskBudget()
+{
+    std::lock_guard<std::mutex> lock(diskMutex_);
+    struct FileInfo
+    {
+        std::string path;
+        std::uint64_t bytes;
+        time_t mtime;
+    };
+    std::vector<FileInfo> files;
+    std::uint64_t total = 0;
+    DIR *d = opendir(config_.dir.c_str());
+    if (!d)
+        return;
+    while (struct dirent *ent = readdir(d)) {
+        std::string name = ent->d_name;
+        if (name.size() < 4 ||
+            name.compare(name.size() - 4, 4, ".res") != 0) {
+            continue;
+        }
+        std::string path = config_.dir + "/" + name;
+        struct stat st;
+        if (stat(path.c_str(), &st) != 0)
+            continue;
+        files.push_back({path,
+                         static_cast<std::uint64_t>(st.st_size),
+                         st.st_mtime});
+        total += static_cast<std::uint64_t>(st.st_size);
+    }
+    closedir(d);
+    if (total <= config_.maxDiskBytes)
+        return;
+    std::sort(files.begin(), files.end(),
+              [](const FileInfo &a, const FileInfo &b) {
+                  return a.mtime < b.mtime;
+              });
+    for (const FileInfo &file : files) {
+        if (total <= config_.maxDiskBytes)
+            break;
+        if (::unlink(file.path.c_str()) == 0) {
+            total -= file.bytes;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.memoryHits = memoryHits_.load(std::memory_order_relaxed);
+    s.diskHits = diskHits_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.corruptDropped =
+        corruptDropped_.load(std::memory_order_relaxed);
+    s.diskWriteFailures =
+        diskWriteFailures_.load(std::memory_order_relaxed);
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        s.entries += shard.lru.size();
+        s.bytes += shard.bytes;
+    }
+    return s;
+}
+
+} // namespace nsrf::serve

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Content-addressed result cache: a sharded in-memory LRU over the
+ * encoded RunResult payloads, backed by an optional on-disk store.
+ *
+ * Disk layout is one file per fingerprint, `<dir>/<hex32>.res`,
+ * written atomically (temp file + rename) so a crashed or
+ * concurrent writer can never leave a half-written entry under the
+ * final name.  Every entry carries a header naming the schema
+ * version, the key, the payload length, and a payload hash; a file
+ * that fails any of those checks — truncated, garbage, version
+ * skew, wrong key — is treated as a miss and evicted (unlinked),
+ * never served.  Leftover `*.tmp.*` files from crashed writers are
+ * swept at startup.
+ *
+ * The in-memory tier is bounded by entry count and by payload
+ * bytes; the optional disk budget evicts oldest-modified entries
+ * first.  All methods are thread-safe; shards keep the hot get()
+ * path from serializing on one lock.
+ */
+
+#ifndef NSRF_SERVE_CACHE_HH
+#define NSRF_SERVE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/serve/fingerprint.hh"
+
+namespace nsrf::serve
+{
+
+/** Sizing and placement of one ResultCache. */
+struct ResultCacheConfig
+{
+    /** On-disk store directory; empty = memory-only. */
+    std::string dir;
+    /** In-memory entry bound (whole cache, not per shard). */
+    std::size_t maxEntries = 4096;
+    /** In-memory payload-byte bound. */
+    std::size_t maxBytes = 64u << 20;
+    /** Disk payload-byte bound; 0 = unbounded. */
+    std::uint64_t maxDiskBytes = 0;
+    /** Lock shards (clamped to >= 1). */
+    unsigned shards = 8;
+};
+
+/** Point-in-time counter snapshot (Prometheus export feeds on it). */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;        //!< get() served (memory or disk)
+    std::uint64_t misses = 0;      //!< get() found nothing usable
+    std::uint64_t memoryHits = 0;  //!< ...of hits, from the LRU
+    std::uint64_t diskHits = 0;    //!< ...of hits, loaded from disk
+    std::uint64_t insertions = 0;  //!< put() calls
+    std::uint64_t evictions = 0;   //!< LRU/byte-budget removals
+    std::uint64_t corruptDropped = 0; //!< bad disk entries unlinked
+    std::uint64_t diskWriteFailures = 0;
+    std::uint64_t entries = 0;     //!< resident LRU entries
+    std::uint64_t bytes = 0;       //!< resident LRU payload bytes
+};
+
+/** Thread-safe content-addressed store of encoded results. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(ResultCacheConfig config);
+
+    /**
+     * @return the payload for @p key, consulting memory then disk
+     * (a disk hit is promoted into the LRU); nullopt on miss.
+     */
+    std::optional<std::string> get(const Fingerprint &key);
+
+    /** Insert @p payload under @p key (memory + disk). */
+    void put(const Fingerprint &key, const std::string &payload);
+
+    /** @return a counter snapshot. */
+    ResultCacheStats stats() const;
+
+    /** @return whether a disk store is configured. */
+    bool persistent() const { return !config_.dir.empty(); }
+
+    /** @return the on-disk path for @p key ("" when memory-only). */
+    std::string entryPath(const Fingerprint &key) const;
+
+    /**
+     * Serialize @p payload with the entry header used on disk.
+     * Exposed (with readEntryFile) so tests can fabricate
+     * corrupted/mismatched entries.
+     */
+    static std::string encodeEntry(const Fingerprint &key,
+                                   const std::string &payload);
+
+    /**
+     * Read and validate one entry file.  @return the payload, or
+     * nullopt when the file is missing, truncated, corrupt, carries
+     * another schema version, or names a different key.
+     */
+    static std::optional<std::string> readEntryFile(
+        const std::string &path, const Fingerprint &key);
+
+  private:
+    struct Entry
+    {
+        Fingerprint key;
+        std::string payload;
+    };
+
+    /** One LRU shard: list front = most recently used. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru;
+        std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                           FingerprintHash>
+            index;
+        std::size_t bytes = 0;
+    };
+
+    Shard &shardFor(const Fingerprint &key);
+
+    /** Insert into @p shard, evicting to the per-shard budgets.
+     * Caller holds the shard lock. */
+    void insertLocked(Shard &shard, const Fingerprint &key,
+                      const std::string &payload);
+
+    /** Write the entry file atomically (temp + rename). */
+    void writeEntry(const Fingerprint &key,
+                    const std::string &payload);
+
+    /** Delete a bad entry file and count it. */
+    void dropCorrupt(const std::string &path);
+
+    /** Enforce the disk byte budget (oldest mtime first). */
+    void enforceDiskBudget();
+
+    ResultCacheConfig config_;
+    std::size_t shardMaxEntries_;
+    std::size_t shardMaxBytes_;
+    std::vector<Shard> shards_;
+
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    mutable std::atomic<std::uint64_t> memoryHits_{0};
+    mutable std::atomic<std::uint64_t> diskHits_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    mutable std::atomic<std::uint64_t> corruptDropped_{0};
+    std::atomic<std::uint64_t> diskWriteFailures_{0};
+    std::atomic<std::uint64_t> tmpSeq_{0};
+    std::mutex diskMutex_; //!< serializes budget enforcement
+};
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_CACHE_HH

@@ -1,0 +1,232 @@
+#include "nsrf/serve/codec.hh"
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+
+namespace nsrf::serve
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "nsrf-result 1";
+
+void
+putU64(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+putDouble(std::string &out, const char *key, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%016llx\n", key,
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(v)));
+    out += buf;
+}
+
+/** Escape newlines/backslashes in the one free-text field. */
+std::string
+escapeText(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+bool
+unescapeText(const std::string &s, std::string *out)
+{
+    out->clear();
+    out->reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\') {
+            *out += s[i];
+            continue;
+        }
+        if (++i >= s.size())
+            return false;
+        if (s[i] == '\\')
+            *out += '\\';
+        else if (s[i] == 'n')
+            *out += '\n';
+        else
+            return false;
+    }
+    return true;
+}
+
+bool
+parseU64Field(const std::string &v, std::uint64_t *out)
+{
+    if (v.empty() || v.size() > 20)
+        return false;
+    std::uint64_t acc = 0;
+    for (char c : v) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (acc > (UINT64_MAX - digit) / 10)
+            return false;
+        acc = acc * 10 + digit;
+    }
+    *out = acc;
+    return true;
+}
+
+bool
+parseDoubleField(const std::string &v, double *out)
+{
+    if (v.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : v) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a' + 10);
+        else
+            return false;
+        bits = (bits << 4) | digit;
+    }
+    *out = std::bit_cast<double>(bits);
+    return true;
+}
+
+bool
+fail(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+} // namespace
+
+std::string
+encodeRunResult(const sim::RunResult &r)
+{
+    std::string out;
+    out.reserve(640);
+    out += kMagic;
+    out += '\n';
+    out += "regfileDescription=";
+    out += escapeText(r.regfileDescription);
+    out += '\n';
+    putU64(out, "instructions", r.instructions);
+    putU64(out, "contextSwitches", r.contextSwitches);
+    putU64(out, "cycles", r.cycles);
+    putU64(out, "regStallCycles", r.regStallCycles);
+    putU64(out, "regsSpilled", r.regsSpilled);
+    putU64(out, "regsReloaded", r.regsReloaded);
+    putU64(out, "liveRegsReloaded", r.liveRegsReloaded);
+    putU64(out, "readMisses", r.readMisses);
+    putU64(out, "writeMisses", r.writeMisses);
+    putU64(out, "cidEvictions", r.cidEvictions);
+    putDouble(out, "meanActiveRegs", r.meanActiveRegs);
+    putDouble(out, "maxActiveRegs", r.maxActiveRegs);
+    putDouble(out, "meanResidentContexts", r.meanResidentContexts);
+    putDouble(out, "meanUtilization", r.meanUtilization);
+    putDouble(out, "maxUtilization", r.maxUtilization);
+    return out;
+}
+
+bool
+decodeRunResult(const std::string &text, sim::RunResult *out,
+                std::string *why)
+{
+    std::map<std::string, std::string> fields;
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return fail(why, "unterminated line");
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (first) {
+            if (line != kMagic)
+                return fail(why, "bad magic '" + line + "'");
+            first = false;
+            continue;
+        }
+        std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail(why, "malformed line '" + line + "'");
+        std::string key = line.substr(0, eq);
+        if (!fields.emplace(key, line.substr(eq + 1)).second)
+            return fail(why, "duplicate field '" + key + "'");
+    }
+    if (first)
+        return fail(why, "empty payload");
+    if (pos != text.size())
+        return fail(why, "trailing bytes");
+
+    sim::RunResult r;
+    auto take = [&](const char *key, std::string *v) {
+        auto it = fields.find(key);
+        if (it == fields.end())
+            return false;
+        *v = it->second;
+        fields.erase(it);
+        return true;
+    };
+    auto takeU64 = [&](const char *key, std::uint64_t *dst) {
+        std::string v;
+        return take(key, &v) && parseU64Field(v, dst);
+    };
+    auto takeDouble = [&](const char *key, double *dst) {
+        std::string v;
+        return take(key, &v) && parseDoubleField(v, dst);
+    };
+
+    std::string desc;
+    if (!take("regfileDescription", &desc) ||
+        !unescapeText(desc, &r.regfileDescription)) {
+        return fail(why, "bad regfileDescription");
+    }
+    if (!takeU64("instructions", &r.instructions) ||
+        !takeU64("contextSwitches", &r.contextSwitches) ||
+        !takeU64("cycles", &r.cycles) ||
+        !takeU64("regStallCycles", &r.regStallCycles) ||
+        !takeU64("regsSpilled", &r.regsSpilled) ||
+        !takeU64("regsReloaded", &r.regsReloaded) ||
+        !takeU64("liveRegsReloaded", &r.liveRegsReloaded) ||
+        !takeU64("readMisses", &r.readMisses) ||
+        !takeU64("writeMisses", &r.writeMisses) ||
+        !takeU64("cidEvictions", &r.cidEvictions)) {
+        return fail(why, "missing or malformed counter field");
+    }
+    if (!takeDouble("meanActiveRegs", &r.meanActiveRegs) ||
+        !takeDouble("maxActiveRegs", &r.maxActiveRegs) ||
+        !takeDouble("meanResidentContexts",
+                    &r.meanResidentContexts) ||
+        !takeDouble("meanUtilization", &r.meanUtilization) ||
+        !takeDouble("maxUtilization", &r.maxUtilization)) {
+        return fail(why, "missing or malformed double field");
+    }
+    if (!fields.empty()) {
+        return fail(why,
+                    "unknown field '" + fields.begin()->first + "'");
+    }
+    *out = r;
+    return true;
+}
+
+} // namespace nsrf::serve

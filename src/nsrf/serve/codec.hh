@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Exact, versioned serialization of sim::RunResult for the result
+ * cache.
+ *
+ * Cached results must round-trip bit-identically: the acceptance
+ * bar for the serving layer is that a warm `nsrf_sim --json` run
+ * emits byte-identical output to the cold run it replays.  Doubles
+ * are therefore stored bit-cast (not shortest-form decimal), and
+ * decode is strict — any unknown, missing, or malformed field fails
+ * the decode so the cache treats the entry as a miss instead of
+ * serving a half-parsed result.
+ */
+
+#ifndef NSRF_SERVE_CODEC_HH
+#define NSRF_SERVE_CODEC_HH
+
+#include <string>
+
+#include "nsrf/sim/simulator.hh"
+
+namespace nsrf::serve
+{
+
+/** Serialize @p result as the cache payload text. */
+std::string encodeRunResult(const sim::RunResult &result);
+
+/**
+ * Parse an encodeRunResult payload.  @return false (with @p why set
+ * when non-null) on any structural problem; @p out is unspecified
+ * then.
+ */
+bool decodeRunResult(const std::string &text, sim::RunResult *out,
+                     std::string *why = nullptr);
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_CODEC_HH

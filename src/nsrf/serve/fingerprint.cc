@@ -1,0 +1,197 @@
+#include "nsrf/serve/fingerprint.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/regfile/regfile.hh"
+
+namespace nsrf::serve
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: full-avalanche mix of one 64-bit lane. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+void
+appendU64(std::string &out, const char *key, std::uint64_t v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%llu\n", key,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+void
+appendStr(std::string &out, const char *key, const std::string &v)
+{
+    // Length-prefixed so no value can masquerade as another field.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s=%zu:", key, v.size());
+    out += buf;
+    out += v;
+    out += '\n';
+}
+
+void
+appendBool(std::string &out, const char *key, bool v)
+{
+    out += key;
+    out += v ? "=1\n" : "=0\n";
+}
+
+void
+appendDouble(std::string &out, const char *key, double v)
+{
+    // Bit-cast: the canonical text must be exact, not shortest-form.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%016llx\n", key,
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(v)));
+    out += buf;
+}
+
+} // namespace
+
+std::string
+Fingerprint::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+bool
+Fingerprint::fromHex(const std::string &text, Fingerprint *out)
+{
+    if (text.size() != 32)
+        return false;
+    std::uint64_t words[2] = {0, 0};
+    for (int w = 0; w < 2; ++w) {
+        for (int i = 0; i < 16; ++i) {
+            char c = text[static_cast<std::size_t>(w * 16 + i)];
+            std::uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<std::uint64_t>(c - 'a' + 10);
+            else
+                return false;
+            words[w] = (words[w] << 4) | digit;
+        }
+    }
+    out->hi = words[0];
+    out->lo = words[1];
+    return true;
+}
+
+Fingerprint
+hashBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    // Two independent lanes: FNV-1a and a golden-ratio polynomial
+    // hash, each finalized with a full-avalanche mix of the length.
+    std::uint64_t a = 0xcbf29ce484222325ull;
+    std::uint64_t b = 0x9e3779b97f4a7c15ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        a = (a ^ bytes[i]) * 0x100000001b3ull;
+        b = b * 0x9e3779b97f4a7c15ull + bytes[i] + 1;
+    }
+    Fingerprint f;
+    f.hi = mix64(a ^ mix64(size));
+    f.lo = mix64(b + mix64(size ^ 0x5bd1e995ull));
+    return f;
+}
+
+Fingerprint
+hashString(const std::string &text)
+{
+    return hashBytes(text.data(), text.size());
+}
+
+std::string
+canonicalCellText(const sim::SimConfig &config,
+                  const Provenance &provenance)
+{
+    const regfile::RegFileConfig &rf = config.rf;
+    std::string out;
+    out.reserve(1024);
+    appendU64(out, "schema", kSchemaVersion);
+
+    appendStr(out, "rf.org", regfile::organizationName(rf.org));
+    appendU64(out, "rf.totalRegs", rf.totalRegs);
+    appendU64(out, "rf.regsPerContext", rf.regsPerContext);
+    appendU64(out, "rf.regsPerLine", rf.regsPerLine);
+    appendU64(out, "rf.missPolicy",
+              static_cast<std::uint64_t>(rf.missPolicy));
+    appendU64(out, "rf.writePolicy",
+              static_cast<std::uint64_t>(rf.writePolicy));
+    appendStr(out, "rf.replacement",
+              cam::replacementName(rf.replacement));
+    appendBool(out, "rf.trackValid", rf.trackValid);
+    appendU64(out, "rf.mechanism",
+              static_cast<std::uint64_t>(rf.mechanism));
+    appendBool(out, "rf.backgroundTransfer", rf.backgroundTransfer);
+    appendBool(out, "rf.spillDirtyOnly", rf.spillDirtyOnly);
+    appendU64(out, "rf.windowSpillBatch", rf.windowSpillBatch);
+    appendU64(out, "rf.seed", rf.seed);
+
+    const regfile::CostParams &costs = rf.costs;
+    appendU64(out, "cost.missDetect", costs.missDetect);
+    appendU64(out, "cost.nsfMissExtra", costs.nsfMissExtra);
+    appendU64(out, "cost.hwSwitchOverhead", costs.hwSwitchOverhead);
+    appendU64(out, "cost.hwPerRegExtra", costs.hwPerRegExtra);
+    appendU64(out, "cost.swTrapOverhead", costs.swTrapOverhead);
+    appendU64(out, "cost.swPerRegExtra", costs.swPerRegExtra);
+
+    appendBool(out, "cache.present", config.cache.has_value());
+    if (config.cache) {
+        appendU64(out, "cache.sizeBytes", config.cache->sizeBytes);
+        appendU64(out, "cache.lineBytes", config.cache->lineBytes);
+        appendU64(out, "cache.ways", config.cache->ways);
+        appendU64(out, "cache.hitLatency", config.cache->hitLatency);
+        appendU64(out, "cache.missPenalty",
+                  config.cache->missPenalty);
+    }
+
+    appendU64(out, "sim.memLatency", config.memLatency);
+    appendU64(out, "sim.memRefExtra", config.memRefExtra);
+    appendBool(out, "sim.modelDataTraffic", config.modelDataTraffic);
+    appendU64(out, "sim.dataRegionBytes", config.dataRegionBytes);
+    appendU64(out, "sim.hotRegionBytes", config.hotRegionBytes);
+    appendDouble(out, "sim.hotFraction", config.hotFraction);
+    appendU64(out, "sim.dataSeed", config.dataSeed);
+    appendU64(out, "sim.cidCapacity", config.cidCapacity);
+    appendU64(out, "sim.maxInstructions", config.maxInstructions);
+
+    Provenance sorted = provenance;
+    std::stable_sort(sorted.begin(), sorted.end());
+    for (const auto &[key, value] : sorted) {
+        appendStr(out, "p", key);
+        appendStr(out, "v", value);
+    }
+    return out;
+}
+
+Fingerprint
+fingerprintCell(const sim::SimConfig &config,
+                const Provenance &provenance)
+{
+    return hashString(canonicalCellText(config, provenance));
+}
+
+} // namespace nsrf::serve

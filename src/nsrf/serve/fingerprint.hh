@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Content-addressed identity for sweep cells (the serving layer's
+ * cache key).
+ *
+ * A sweep cell is fully determined by its SimConfig (every register
+ * file, cycle-model, and data-traffic parameter), the provenance of
+ * its trace generator (workload name, seed, event budget), and the
+ * result-schema version of the code that ran it.  canonicalCellText
+ * lays all of that out as an unambiguous length-prefixed key=value
+ * text; fingerprintCell hashes it to a 128-bit identity that is
+ * stable across process restarts and machines, so results cached on
+ * disk survive daemon restarts and can be shared between the
+ * offline (`nsrf_sim --cache`) and serving (`nsrf_serve`) paths.
+ *
+ * kSchemaVersion must be bumped whenever the meaning of a config
+ * field, the synthetic workload generators, or the RunResult codec
+ * changes — old cache entries then miss instead of serving stale
+ * results (the SweepRunner determinism contract makes anything that
+ * *does* hit provably identical to a re-simulation).
+ */
+
+#ifndef NSRF_SERVE_FINGERPRINT_HH
+#define NSRF_SERVE_FINGERPRINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nsrf/sim/simulator.hh"
+
+namespace nsrf::serve
+{
+
+/**
+ * Version of the (canonical text, generator semantics, result
+ * codec) triple.  Part of every fingerprint and of every cache
+ * entry header.
+ */
+inline constexpr unsigned kSchemaVersion = 1;
+
+/** A 128-bit content hash. */
+struct Fingerprint
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Fingerprint &) const = default;
+
+    /** @return 32 lowercase hex digits (hi then lo). */
+    std::string hex() const;
+
+    /** Parse hex(); @return false on malformed input. */
+    static bool fromHex(const std::string &text, Fingerprint *out);
+};
+
+/** Hash functor for unordered containers keyed by Fingerprint. */
+struct FingerprintHash
+{
+    std::size_t
+    operator()(const Fingerprint &f) const
+    {
+        return static_cast<std::size_t>(f.hi ^ (f.lo * 0x9e3779b9u));
+    }
+};
+
+/** Hash @p size bytes at @p data into a 128-bit fingerprint. */
+Fingerprint hashBytes(const void *data, std::size_t size);
+
+/** hashBytes over a string. */
+Fingerprint hashString(const std::string &text);
+
+/** Key/value pairs describing a cell's trace generator. */
+using Provenance =
+    std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * The canonical text a cell fingerprint hashes: schema version,
+ * every SimConfig field (doubles bit-cast so the text is exact),
+ * and the provenance pairs sorted by key.  Exposed for tests and
+ * for debugging cache mismatches.
+ */
+std::string canonicalCellText(const sim::SimConfig &config,
+                              const Provenance &provenance);
+
+/** @return the content-addressed identity of one sweep cell. */
+Fingerprint fingerprintCell(const sim::SimConfig &config,
+                            const Provenance &provenance);
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_FINGERPRINT_HH

@@ -1,0 +1,329 @@
+#include "nsrf/serve/json_in.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nsrf::serve::json
+{
+
+namespace
+{
+
+constexpr int kMaxDepth = 64;
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " at byte %zu", pos);
+        error = msg + buf;
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out->clear();
+        while (true) {
+            if (pos >= text.size())
+                return fail("unterminated string");
+            unsigned char c =
+                static_cast<unsigned char>(text[pos++]);
+            if (c == '"')
+                return true;
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                *out += static_cast<char>(c);
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("unterminated escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (pos >= text.size())
+                        return fail("truncated \\u escape");
+                    char h = text[pos++];
+                    unsigned digit;
+                    if (h >= '0' && h <= '9')
+                        digit = static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        digit = static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        digit = static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                    code = (code << 4) | digit;
+                }
+                // UTF-8 encode; surrogates are passed through as
+                // replacement characters — the protocol never
+                // needs astral-plane text.
+                if (code >= 0xd800 && code <= 0xdfff)
+                    code = 0xfffd;
+                if (code < 0x80) {
+                    *out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    *out += static_cast<char>(0xc0 | (code >> 6));
+                    *out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    *out += static_cast<char>(0xe0 | (code >> 12));
+                    *out += static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3f));
+                    *out +=
+                        static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value *out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            return fail("expected number");
+        std::string token = text.substr(start, pos - start);
+        std::size_t digit0 = token[0] == '-' ? 1 : 0;
+        if (digit0 + 1 < token.size() && token[digit0] == '0' &&
+            std::isdigit(static_cast<unsigned char>(
+                token[digit0 + 1]))) {
+            pos = start;
+            return fail("leading zero in number");
+        }
+        char *end = nullptr;
+        double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() ||
+            !std::isfinite(v)) {
+            pos = start;
+            return fail("malformed number");
+        }
+        out->kind = Value::Kind::Number;
+        out->number = v;
+        return true;
+    }
+
+    bool
+    parseValue(Value *out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out->kind = Value::Kind::Object;
+            skipSpace();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipSpace();
+                std::string key;
+                if (!parseString(&key))
+                    return false;
+                for (const auto &member : out->object) {
+                    if (member.first == key)
+                        return fail("duplicate key '" + key + "'");
+                }
+                skipSpace();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                Value member;
+                if (!parseValue(&member, depth + 1))
+                    return false;
+                out->object.emplace_back(std::move(key),
+                                         std::move(member));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out->kind = Value::Kind::Array;
+            skipSpace();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                Value element;
+                if (!parseValue(&element, depth + 1))
+                    return false;
+                out->array.push_back(std::move(element));
+                skipSpace();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out->kind = Value::Kind::String;
+            return parseString(&out->string);
+        }
+        if (literal("true")) {
+            out->kind = Value::Kind::Bool;
+            out->boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out->kind = Value::Kind::Bool;
+            out->boolean = false;
+            return true;
+        }
+        if (literal("null")) {
+            out->kind = Value::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : object) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+bool
+Value::getBool(const std::string &key, bool dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isBool() ? v->boolean : dflt;
+}
+
+double
+Value::getNumber(const std::string &key, double dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->number : dflt;
+}
+
+std::string
+Value::getString(const std::string &key,
+                 const std::string &dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->string : dflt;
+}
+
+bool
+Value::getU64(const std::string &key, std::uint64_t *out) const
+{
+    const Value *v = find(key);
+    if (!v || !v->isNumber())
+        return false;
+    if (v->number < 0 || v->number != std::floor(v->number) ||
+        v->number > 18446744073709549568.0) {
+        return false;
+    }
+    *out = static_cast<std::uint64_t>(v->number);
+    return true;
+}
+
+bool
+parse(const std::string &text, Value *out, std::string *why)
+{
+    Parser parser{text, 0, {}};
+    *out = Value{};
+    if (!parser.parseValue(out, 0)) {
+        if (why)
+            *why = parser.error;
+        return false;
+    }
+    parser.skipSpace();
+    if (parser.pos != text.size()) {
+        if (why) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf),
+                          "trailing bytes at %zu", parser.pos);
+            *why = buf;
+        }
+        return false;
+    }
+    return true;
+}
+
+} // namespace nsrf::serve::json

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON reader for the serving wire protocol.
+ *
+ * stats::JsonWriter deliberately ships no reader — results files
+ * are consumed by external tooling.  The daemon, however, must
+ * parse the line-delimited JSON requests clients send, so this is
+ * the matching reader: a strict recursive-descent parser into a
+ * small Value tree covering exactly the JSON subset the protocol
+ * uses (objects, arrays, strings, doubles, bools, null).  Depth is
+ * bounded and errors carry a byte offset so malformed requests get
+ * a useful rejection instead of a crash.
+ */
+
+#ifndef NSRF_SERVE_JSON_IN_HH
+#define NSRF_SERVE_JSON_IN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nsrf::serve::json
+{
+
+/** One parsed JSON value. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    /** Insertion-ordered; duplicate keys are a parse error. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** @return the member named @p key, or null (objects only). */
+    const Value *find(const std::string &key) const;
+
+    /** Typed member accessors with defaults (missing/mistyped
+     * members return @p dflt). */
+    bool getBool(const std::string &key, bool dflt) const;
+    double getNumber(const std::string &key, double dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    /**
+     * @return the member as an unsigned integer; false when
+     * missing.  fatal-free: mistyped/fractional/negative values
+     * also return false so the caller can reject the request.
+     */
+    bool getU64(const std::string &key, std::uint64_t *out) const;
+};
+
+/**
+ * Parse @p text (one complete JSON document, surrounding
+ * whitespace allowed).  @return false with @p why describing the
+ * problem and its byte offset.
+ */
+bool parse(const std::string &text, Value *out, std::string *why);
+
+} // namespace nsrf::serve::json
+
+#endif // NSRF_SERVE_JSON_IN_HH

@@ -1,0 +1,306 @@
+#include "nsrf/serve/scheduler.hh"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/serve/codec.hh"
+
+namespace nsrf::serve
+{
+
+bool
+CellJob::wait(std::chrono::milliseconds timeout) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [this] { return done_; });
+}
+
+bool
+CellJob::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+BatchScheduler::BatchScheduler(ResultCache *cache, Config config)
+    : cache_(cache), config_(config), paused_(config.startPaused)
+{
+    if (config_.maxBatch == 0)
+        config_.maxBatch = 1;
+    dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+BatchScheduler::~BatchScheduler()
+{
+    drain();
+}
+
+Ticket
+BatchScheduler::submit(sim::SweepCell cell)
+{
+    Fingerprint key = fingerprintCell(cell.config, cell.provenance);
+
+    // Cache first — a hit completes immediately and never touches
+    // the queue.  Lookup happens outside the scheduler lock (it may
+    // read disk); the small window where a concurrent simulation of
+    // the same cell finishes in between is harmless because results
+    // are deterministic.
+    if (cache_) {
+        if (auto payload = cache_->get(key)) {
+            sim::RunResult decoded;
+            std::string why;
+            if (decodeRunResult(*payload, &decoded, &why)) {
+                auto job = std::make_shared<CellJob>();
+                job->key_ = key;
+                job->label_ = cell.label;
+                job->result_ = decoded;
+                job->encoded_ = *payload;
+                job->done_ = true;
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++hits_;
+                return Ticket{Admission::Hit, std::move(job)};
+            }
+            nsrf_warn("serve: cached payload for %s undecodable "
+                      "(%s); re-simulating",
+                      key.hex().c_str(), why.c_str());
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+        return Ticket{Admission::Closed, nullptr};
+
+    auto inflight = inflight_.find(key);
+    if (inflight != inflight_.end()) {
+        ++merges_;
+        return Ticket{Admission::Merged, inflight->second};
+    }
+    if (queue_.size() >= config_.maxQueue) {
+        ++rejections_;
+        return Ticket{Admission::Rejected, nullptr};
+    }
+
+    auto job = std::make_shared<CellJob>();
+    job->key_ = key;
+    job->label_ = cell.label;
+    job->cell_ = std::move(cell);
+    queue_.push_back(job);
+    inflight_[key] = job;
+    ++scheduled_;
+    queueDepthPeak_ = std::max<std::uint64_t>(queueDepthPeak_,
+                                              queue_.size());
+    workCv_.notify_one();
+    return Ticket{Admission::Scheduled, std::move(job)};
+}
+
+void
+BatchScheduler::pause()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void
+BatchScheduler::resume()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    workCv_.notify_all();
+}
+
+void
+BatchScheduler::drain()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        closed_ = true;
+        paused_ = false; // a paused scheduler must still drain
+        workCv_.notify_all();
+        drainCv_.wait(lock, [this] {
+            return queue_.empty() && !dispatcherBusy_;
+        });
+    }
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+void
+BatchScheduler::completeJob(const std::shared_ptr<CellJob> &job,
+                            const sim::RunResult *result,
+                            const std::string &encoded,
+                            const std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(job->mutex_);
+        if (result) {
+            job->result_ = *result;
+            job->encoded_ = encoded;
+        } else {
+            job->failed_ = true;
+            job->error_ = error;
+        }
+        job->done_ = true;
+        job->cell_ = sim::SweepCell{}; // release the generator
+    }
+    job->cv_.notify_all();
+}
+
+void
+BatchScheduler::dispatcherLoop()
+{
+    while (true) {
+        std::vector<std::shared_ptr<CellJob>> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this] {
+                return !paused_ && (!queue_.empty() || closed_);
+            });
+            if (queue_.empty()) {
+                // closed_ and nothing left: finished.
+                drainCv_.notify_all();
+                return;
+            }
+            std::size_t n =
+                std::min(config_.maxBatch, queue_.size());
+            batch.assign(queue_.begin(),
+                         queue_.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+            queue_.erase(queue_.begin(),
+                         queue_.begin() +
+                             static_cast<std::ptrdiff_t>(n));
+            dispatcherBusy_ = true;
+        }
+
+        std::vector<sim::SweepCell> cells;
+        cells.reserve(batch.size());
+        for (const auto &job : batch)
+            cells.push_back(job->cell_);
+
+        std::vector<sim::RunResult> results;
+        std::string error;
+        bool ok = true;
+        try {
+            results = sim::SweepRunner(config_.jobs).run(cells);
+        } catch (const std::exception &e) {
+            ok = false;
+            error = e.what();
+        } catch (...) {
+            ok = false;
+            error = "unknown simulation failure";
+        }
+
+        // Publish to the cache, retire the in-flight keys, and
+        // settle the counters BEFORE waking any waiter: a client
+        // that resubmits the same cell the instant wait() returns
+        // must observe a cache hit (never a merge against a retired
+        // job), and a stats read after wait() must already count
+        // this batch.
+        std::vector<std::string> encoded(batch.size());
+        if (ok) {
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                encoded[i] = encodeRunResult(results[i]);
+            if (cache_) {
+                for (std::size_t i = 0; i < batch.size(); ++i)
+                    cache_->put(batch[i]->key_, encoded[i]);
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++batches_;
+            if (ok)
+                simulations_ += batch.size();
+            else
+                failures_ += batch.size();
+            for (const auto &job : batch)
+                inflight_.erase(job->key_);
+        }
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            completeJob(batch[i], ok ? &results[i] : nullptr,
+                        encoded[i], error);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            dispatcherBusy_ = false;
+            drainCv_.notify_all();
+        }
+    }
+}
+
+SchedulerStats
+BatchScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SchedulerStats s;
+    s.hits = hits_;
+    s.scheduled = scheduled_;
+    s.merges = merges_;
+    s.rejections = rejections_;
+    s.simulations = simulations_;
+    s.batches = batches_;
+    s.failures = failures_;
+    s.queueDepth = queue_.size();
+    s.queueDepthPeak = queueDepthPeak_;
+    return s;
+}
+
+CachedRunStats
+runCellsCached(ResultCache *cache, unsigned jobs,
+               const std::vector<sim::SweepCell> &cells,
+               std::vector<sim::RunResult> *results)
+{
+    CachedRunStats stats;
+    results->assign(cells.size(), sim::RunResult{});
+    if (cells.empty())
+        return stats;
+    if (!cache) {
+        *results = sim::SweepRunner(jobs).run(cells);
+        stats.misses = cells.size();
+        return stats;
+    }
+
+    std::vector<sim::SweepCell> cold;
+    std::vector<std::size_t> coldIndex;
+    std::vector<Fingerprint> coldKeys;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        Fingerprint key =
+            fingerprintCell(cells[i].config, cells[i].provenance);
+        bool served = false;
+        if (auto payload = cache->get(key)) {
+            sim::RunResult decoded;
+            std::string why;
+            if (decodeRunResult(*payload, &decoded, &why)) {
+                (*results)[i] = decoded;
+                served = true;
+            } else {
+                nsrf_warn("cache: undecodable payload for cell "
+                          "'%s' (%s); re-simulating",
+                          cells[i].label.c_str(), why.c_str());
+            }
+        }
+        if (served) {
+            ++stats.hits;
+        } else {
+            ++stats.misses;
+            cold.push_back(cells[i]);
+            coldIndex.push_back(i);
+            coldKeys.push_back(key);
+        }
+    }
+
+    if (!cold.empty()) {
+        auto coldResults = sim::SweepRunner(jobs).run(cold);
+        for (std::size_t c = 0; c < cold.size(); ++c) {
+            (*results)[coldIndex[c]] = coldResults[c];
+            cache->put(coldKeys[c],
+                       encodeRunResult(coldResults[c]));
+        }
+    }
+    return stats;
+}
+
+} // namespace nsrf::serve

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Single-flight batch scheduler on top of sim::SweepRunner.
+ *
+ * Admission works on fingerprints: a submitted cell first consults
+ * the result cache (immediate completion on a hit), then the
+ * in-flight table — N concurrent requests for the same fingerprint
+ * share ONE CellJob and therefore trigger exactly one simulation
+ * (single-flight; the merge is counted).  New work enters a bounded
+ * queue; when the queue is full the submit is REJECTED rather than
+ * letting an overloaded daemon grow without bound.
+ *
+ * A dispatcher thread drains the queue in batches and runs each
+ * batch through sim::SweepRunner, so the serving path inherits the
+ * sweep determinism contract: a result produced under any batch
+ * shape or worker count is bit-identical to a cold 1-thread run,
+ * which is what makes cached results provably safe to serve.
+ *
+ * runCellsCached() is the offline face of the same machinery:
+ * `nsrf_sim --cache` and the bench SweepSet run their cells through
+ * it to get warm-start without a daemon.
+ */
+
+#ifndef NSRF_SERVE_SCHEDULER_HH
+#define NSRF_SERVE_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/sim/sweep.hh"
+
+namespace nsrf::serve
+{
+
+/** Completion record shared by every waiter of one fingerprint. */
+class CellJob
+{
+  public:
+    /** Block until the job completes or @p timeout elapses.
+     * @return false on timeout. */
+    bool wait(std::chrono::milliseconds timeout) const;
+
+    /** @return whether the job has completed (ok or failed). */
+    bool done() const;
+
+    /** Valid once done(): did the simulation fail? */
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    /** Valid once done() and !failed(). */
+    const sim::RunResult &result() const { return result_; }
+    /** The cache payload (encodeRunResult of result()). */
+    const std::string &encoded() const { return encoded_; }
+
+    const Fingerprint &key() const { return key_; }
+    const std::string &label() const { return label_; }
+
+  private:
+    friend class BatchScheduler;
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    bool done_ = false;
+    bool failed_ = false;
+    std::string error_;
+    sim::RunResult result_;
+    std::string encoded_;
+    Fingerprint key_;
+    std::string label_;
+    sim::SweepCell cell_; //!< pending work (unused once done)
+};
+
+/** How one submit was admitted. */
+enum class Admission
+{
+    Hit,       //!< served from the result cache, already done
+    Scheduled, //!< queued; this submit owns the simulation
+    Merged,    //!< attached to an identical in-flight cell
+    Rejected,  //!< queue full — try again later
+    Closed,    //!< scheduler is draining / shut down
+};
+
+/** One submit's handle: how it was admitted plus the shared job. */
+struct Ticket
+{
+    Admission admission = Admission::Rejected;
+    std::shared_ptr<const CellJob> job; //!< null when rejected/closed
+
+    bool accepted() const { return job != nullptr; }
+};
+
+/** Counter snapshot for the stats/metrics endpoints. */
+struct SchedulerStats
+{
+    std::uint64_t hits = 0;        //!< admissions served from cache
+    std::uint64_t scheduled = 0;   //!< admissions that queued work
+    std::uint64_t merges = 0;      //!< single-flight coalesced
+    std::uint64_t rejections = 0;  //!< bounced on a full queue
+    std::uint64_t simulations = 0; //!< cells actually simulated
+    std::uint64_t batches = 0;     //!< SweepRunner invocations
+    std::uint64_t failures = 0;    //!< cells whose simulation threw
+    std::uint64_t queueDepth = 0;  //!< current
+    std::uint64_t queueDepthPeak = 0;
+};
+
+/** Deduplicating, bounded, batching front-end to SweepRunner. */
+class BatchScheduler
+{
+  public:
+    struct Config
+    {
+        /** SweepRunner workers per batch (0 = all cores). */
+        unsigned jobs = 1;
+        /** Admission bound: queued-but-unstarted cells. */
+        std::size_t maxQueue = 256;
+        /** Cells drained per SweepRunner batch. */
+        std::size_t maxBatch = 32;
+        /** Start with the dispatcher gated (tests use this to
+         * assemble a deterministic queue before any batch runs). */
+        bool startPaused = false;
+    };
+
+    /** @param cache shared result store; may be null (no reuse). */
+    BatchScheduler(ResultCache *cache, Config config);
+
+    /** Drains and joins. */
+    ~BatchScheduler();
+
+    BatchScheduler(const BatchScheduler &) = delete;
+    BatchScheduler &operator=(const BatchScheduler &) = delete;
+
+    /** Admit one cell (cache → single-flight → bounded queue). */
+    Ticket submit(sim::SweepCell cell);
+
+    /** Gate / un-gate the dispatcher (test hook). */
+    void pause();
+    void resume();
+
+    /**
+     * Stop admitting (submit returns Closed), finish every queued
+     * and in-flight cell, and join the dispatcher.  Idempotent.
+     */
+    void drain();
+
+    SchedulerStats stats() const;
+
+  private:
+    void dispatcherLoop();
+    void completeJob(const std::shared_ptr<CellJob> &job,
+                     const sim::RunResult *result,
+                     const std::string &encoded,
+                     const std::string &error);
+
+    ResultCache *cache_;
+    Config config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_;   //!< dispatcher wakeups
+    std::condition_variable drainCv_;  //!< drain() completion
+    std::deque<std::shared_ptr<CellJob>> queue_;
+    std::unordered_map<Fingerprint, std::shared_ptr<CellJob>,
+                       FingerprintHash>
+        inflight_;
+    bool closed_ = false;
+    bool paused_ = false;
+    bool dispatcherBusy_ = false;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t scheduled_ = 0;
+    std::uint64_t merges_ = 0;
+    std::uint64_t rejections_ = 0;
+    std::uint64_t simulations_ = 0;
+    std::uint64_t batches_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t queueDepthPeak_ = 0;
+
+    std::thread dispatcher_;
+};
+
+/** Hit/miss split of one cached offline sweep. */
+struct CachedRunStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Run @p cells with warm-start: cells whose fingerprint is in
+ * @p cache are decoded instead of simulated; the rest run through
+ * one SweepRunner sweep (on @p jobs workers) and are inserted.
+ * With a null @p cache this is exactly SweepRunner::run.  Results
+ * keep cell order, and — because both the codec and the sweep are
+ * exact — are bit-identical whether served or simulated.
+ */
+CachedRunStats runCellsCached(ResultCache *cache, unsigned jobs,
+                              const std::vector<sim::SweepCell> &cells,
+                              std::vector<sim::RunResult> *results);
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_SCHEDULER_HH

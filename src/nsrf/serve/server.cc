@@ -1,0 +1,510 @@
+#include "nsrf/serve/server.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/spec.hh"
+#include "nsrf/stats/json.hh"
+
+namespace nsrf::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent,
+                           data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+appendMetric(std::string &out, const char *name, const char *type,
+             std::uint64_t value)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "# TYPE %s %s\n%s %llu\n", name,
+                  type, name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+} // namespace
+
+Server::Server(ServerConfig config, ResultCache *cache,
+               BatchScheduler *scheduler)
+    : config_(std::move(config)), cache_(cache),
+      scheduler_(scheduler)
+{
+}
+
+Server::~Server()
+{
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(config_.socketPath.c_str());
+    }
+}
+
+bool
+Server::start(std::string *why)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.empty() ||
+        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (why)
+            *why = "socket path empty or too long (max " +
+                   std::to_string(sizeof(addr.sun_path) - 1) +
+                   " bytes)";
+        return false;
+    }
+    std::memcpy(addr.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (why)
+            *why = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    // The daemon owns its socket path: a leftover node from a
+    // crashed instance would otherwise wedge every restart.
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (why)
+            *why = std::string("bind ") + config_.socketPath +
+                   ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        if (why)
+            *why = std::string("listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    return true;
+}
+
+int
+Server::serve()
+{
+    nsrf_assert(listenFd_ >= 0, "serve() before start()");
+    std::vector<std::thread> workers;
+    std::mutex workersMutex;
+
+    while (!stop_.load()) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1,
+                           static_cast<int>(config_.pollIntervalMs));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            nsrf_warn("serve: poll: %s", std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            nsrf_warn("serve: accept: %s", std::strerror(errno));
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++connections_;
+        }
+        std::lock_guard<std::mutex> lock(workersMutex);
+        workers.emplace_back(
+            [this, fd]() { handleConnection(fd); });
+    }
+
+    // Drain: no new connections; let the open ones notice stop_
+    // (their reads time out on pollIntervalMs) and finish.
+    ::close(listenFd_);
+    ::unlink(config_.socketPath.c_str());
+    listenFd_ = -1;
+    for (auto &worker : workers)
+        worker.join();
+    return 0;
+}
+
+void
+Server::handleConnection(int fd)
+{
+    timeval tv;
+    tv.tv_sec = config_.pollIntervalMs / 1000;
+    tv.tv_usec =
+        static_cast<long>(config_.pollIntervalMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string buffer;
+    char chunk[4096];
+    while (!stop_.load()) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR) {
+                continue; // poll tick: re-check stop_
+            }
+            break;
+        }
+        if (n == 0)
+            break; // client closed
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        if (buffer.size() > config_.maxLineBytes) {
+            sendAll(fd, errorReply("", "request line too long") +
+                            "\n");
+            break;
+        }
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            std::string reply = handleRequest(line);
+            if (!sendAll(fd, reply + "\n")) {
+                ::close(fd);
+                return;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+std::string
+Server::errorReply(const std::string &op,
+                   const std::string &message)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++badRequests_;
+    }
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", false);
+    if (!op.empty())
+        json.field("op", op);
+    json.field("error", message);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Server::handleRequest(const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++requests_;
+    }
+    json::Value request;
+    std::string why;
+    if (!json::parse(line, &request, &why))
+        return errorReply("", "bad JSON: " + why);
+    if (!request.isObject())
+        return errorReply("", "request must be an object");
+    std::string op = request.getString("op", "");
+    if (op == "ping") {
+        stats::JsonWriter json;
+        json.beginObject();
+        json.field("ok", true);
+        json.field("op", "ping");
+        json.field("schema", kSchemaVersion);
+        json.endObject();
+        return json.str();
+    }
+    if (op == "submit")
+        return handleSubmit(request);
+    if (op == "query")
+        return handleQuery(request);
+    if (op == "stats")
+        return handleStats();
+    if (op == "metrics") {
+        stats::JsonWriter json;
+        json.beginObject();
+        json.field("ok", true);
+        json.field("op", "metrics");
+        json.field("text", metricsText());
+        json.endObject();
+        return json.str();
+    }
+    if (op == "shutdown") {
+        requestStop();
+        stats::JsonWriter json;
+        json.beginObject();
+        json.field("ok", true);
+        json.field("op", "shutdown");
+        json.endObject();
+        return json.str();
+    }
+    return errorReply(op, "unknown op '" + op + "'");
+}
+
+std::string
+Server::handleSubmit(const json::Value &request)
+{
+    const json::Value *specs = request.find("cells");
+    if (!specs || !specs->isArray() || specs->array.empty())
+        return errorReply("submit",
+                          "submit needs a non-empty cells array");
+
+    std::vector<sim::SweepCell> cells;
+    for (const json::Value &spec : specs->array) {
+        CellParams params;
+        std::string why;
+        if (!paramsFromJson(spec, &params, &why))
+            return errorReply("submit", why);
+        std::vector<sim::SweepCell> expanded;
+        if (!cellsFromParams(params, &expanded, &why))
+            return errorReply("submit", why);
+        for (auto &cell : expanded)
+            cells.push_back(std::move(cell));
+        if (cells.size() > config_.maxCellsPerSubmit) {
+            return errorReply(
+                "submit",
+                "submit expands to more than " +
+                    std::to_string(config_.maxCellsPerSubmit) +
+                    " cells");
+        }
+    }
+
+    std::vector<Ticket> tickets;
+    tickets.reserve(cells.size());
+    std::vector<sim::SweepCell> cellCopies = cells;
+    for (auto &cell : cells)
+        tickets.push_back(scheduler_->submit(std::move(cell)));
+
+    Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::milliseconds(config_.requestTimeoutMs);
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "submit");
+    std::uint64_t cached = 0, merged = 0, rejected = 0,
+                  timedOut = 0, failed = 0;
+    json.key("cells").beginArray();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const Ticket &ticket = tickets[i];
+        json.beginObject();
+        json.field("label", cellCopies[i].label);
+        json.field("fingerprint",
+                   fingerprintCell(cellCopies[i].config,
+                                   cellCopies[i].provenance)
+                       .hex());
+        switch (ticket.admission) {
+          case Admission::Hit:
+            json.field("source", "cache");
+            ++cached;
+            break;
+          case Admission::Merged:
+            json.field("source", "merged");
+            ++merged;
+            break;
+          case Admission::Scheduled:
+            json.field("source", "simulated");
+            break;
+          case Admission::Rejected:
+          case Admission::Closed:
+            break;
+        }
+        if (!ticket.accepted()) {
+            json.field("error",
+                       ticket.admission == Admission::Rejected
+                           ? "rejected: queue full"
+                           : "rejected: shutting down");
+            ++rejected;
+            json.endObject();
+            continue;
+        }
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+        if (remaining.count() < 0)
+            remaining = std::chrono::milliseconds(0);
+        if (!ticket.job->wait(remaining)) {
+            json.field("error", "timeout");
+            ++timedOut;
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++timeouts_;
+        } else if (ticket.job->failed()) {
+            json.field("error",
+                       "simulation failed: " +
+                           ticket.job->error());
+            ++failed;
+        } else {
+            sim::appendResultJson(json, ticket.job->result());
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.field("cached", cached);
+    json.field("merged", merged);
+    json.field("rejected", rejected);
+    json.field("timeouts", timedOut);
+    json.field("failures", failed);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Server::handleQuery(const json::Value &request)
+{
+    std::string hex = request.getString("fingerprint", "");
+    Fingerprint key;
+    if (!Fingerprint::fromHex(hex, &key))
+        return errorReply("query", "bad fingerprint");
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "query");
+    json.field("fingerprint", hex);
+    std::optional<std::string> payload;
+    if (cache_)
+        payload = cache_->get(key);
+    sim::RunResult result;
+    if (payload && decodeRunResult(*payload, &result)) {
+        json.field("found", true);
+        sim::appendResultJson(json, result);
+    } else {
+        json.field("found", false);
+    }
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Server::handleStats()
+{
+    SchedulerStats sched = scheduler_->stats();
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "stats");
+    json.field("schema", kSchemaVersion);
+    json.key("scheduler").beginObject();
+    json.field("hits", sched.hits);
+    json.field("scheduled", sched.scheduled);
+    json.field("merges", sched.merges);
+    json.field("rejections", sched.rejections);
+    json.field("simulations", sched.simulations);
+    json.field("batches", sched.batches);
+    json.field("failures", sched.failures);
+    json.field("queueDepth", sched.queueDepth);
+    json.field("queueDepthPeak", sched.queueDepthPeak);
+    json.endObject();
+    if (cache_) {
+        ResultCacheStats cache = cache_->stats();
+        json.key("cache").beginObject();
+        json.field("hits", cache.hits);
+        json.field("misses", cache.misses);
+        json.field("memoryHits", cache.memoryHits);
+        json.field("diskHits", cache.diskHits);
+        json.field("insertions", cache.insertions);
+        json.field("evictions", cache.evictions);
+        json.field("corruptDropped", cache.corruptDropped);
+        json.field("diskWriteFailures", cache.diskWriteFailures);
+        json.field("entries", cache.entries);
+        json.field("bytes", cache.bytes);
+        json.endObject();
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        json.key("server").beginObject();
+        json.field("connections", connections_.value());
+        json.field("requests", requests_.value());
+        json.field("badRequests", badRequests_.value());
+        json.field("timeouts", timeouts_.value());
+        json.endObject();
+    }
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Server::metricsText() const
+{
+    std::string out;
+    SchedulerStats sched = scheduler_->stats();
+    appendMetric(out, "nsrf_serve_cache_admission_hits_total",
+                 "counter", sched.hits);
+    appendMetric(out, "nsrf_serve_scheduled_total", "counter",
+                 sched.scheduled);
+    appendMetric(out, "nsrf_serve_single_flight_merges_total",
+                 "counter", sched.merges);
+    appendMetric(out, "nsrf_serve_rejections_total", "counter",
+                 sched.rejections);
+    appendMetric(out, "nsrf_serve_simulations_total", "counter",
+                 sched.simulations);
+    appendMetric(out, "nsrf_serve_batches_total", "counter",
+                 sched.batches);
+    appendMetric(out, "nsrf_serve_failures_total", "counter",
+                 sched.failures);
+    appendMetric(out, "nsrf_serve_queue_depth", "gauge",
+                 sched.queueDepth);
+    appendMetric(out, "nsrf_serve_queue_depth_peak", "gauge",
+                 sched.queueDepthPeak);
+    if (cache_) {
+        ResultCacheStats cache = cache_->stats();
+        appendMetric(out, "nsrf_serve_cache_hits_total", "counter",
+                     cache.hits);
+        appendMetric(out, "nsrf_serve_cache_misses_total",
+                     "counter", cache.misses);
+        appendMetric(out, "nsrf_serve_cache_disk_hits_total",
+                     "counter", cache.diskHits);
+        appendMetric(out, "nsrf_serve_cache_evictions_total",
+                     "counter", cache.evictions);
+        appendMetric(out,
+                     "nsrf_serve_cache_corrupt_dropped_total",
+                     "counter", cache.corruptDropped);
+        appendMetric(out, "nsrf_serve_cache_entries", "gauge",
+                     cache.entries);
+        appendMetric(out, "nsrf_serve_cache_bytes", "gauge",
+                     cache.bytes);
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        appendMetric(out, "nsrf_serve_connections_total",
+                     "counter", connections_.value());
+        appendMetric(out, "nsrf_serve_requests_total", "counter",
+                     requests_.value());
+        appendMetric(out, "nsrf_serve_bad_requests_total",
+                     "counter", badRequests_.value());
+        appendMetric(out, "nsrf_serve_timeouts_total", "counter",
+                     timeouts_.value());
+    }
+    return out;
+}
+
+} // namespace nsrf::serve

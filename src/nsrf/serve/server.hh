@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The sweep-serving daemon: a Unix-domain-socket server speaking
+ * line-delimited JSON.
+ *
+ * Protocol (one JSON object per line, one reply line per request):
+ *
+ *   {"op":"ping"}
+ *   {"op":"submit","cells":[{"app":"Gamteb","org":"nsf",
+ *                            "events":20000}, ...]}
+ *   {"op":"query","fingerprint":"<32 hex digits>"}
+ *   {"op":"stats"}        – scheduler + cache counters as JSON
+ *   {"op":"metrics"}      – the same counters as Prometheus text
+ *   {"op":"shutdown"}     – ack, then drain and exit
+ *
+ * submit expands each cell spec (serve/spec.hh), admits every cell
+ * through the single-flight scheduler, and waits — bounded by the
+ * per-request timeout — for completion; the reply carries one entry
+ * per cell with its fingerprint, how it was admitted, and the same
+ * `"result":{...}` object the offline sweeps emit.  Rejected cells
+ * (queue full) and timeouts are reported per cell so a client can
+ * retry only what's missing.
+ *
+ * Shutdown is graceful: SIGINT (via requestStop) or a shutdown op
+ * stops the accept loop, lets every open connection finish, and
+ * leaves queued simulations to the scheduler's drain.
+ */
+
+#ifndef NSRF_SERVE_SERVER_HH
+#define NSRF_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/stats/counters.hh"
+
+namespace nsrf::serve
+{
+
+/** Daemon-level knobs (scheduler/cache size elsewhere). */
+struct ServerConfig
+{
+    std::string socketPath;
+    /** Budget for one request, submit waits included. */
+    unsigned requestTimeoutMs = 120'000;
+    /** Stop-flag poll granularity for accept/read loops. */
+    unsigned pollIntervalMs = 200;
+    /** A request line larger than this is rejected. */
+    std::size_t maxLineBytes = 1u << 20;
+    /** Cells one submit may expand to. */
+    std::size_t maxCellsPerSubmit = 256;
+};
+
+/** Serves the scheduler + cache over a Unix domain socket. */
+class Server
+{
+  public:
+    Server(ServerConfig config, ResultCache *cache,
+           BatchScheduler *scheduler);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen.  @return false with @p why on failure. */
+    bool start(std::string *why);
+
+    /**
+     * Accept and serve until requestStop() or a shutdown op; joins
+     * every connection before returning.  @return an exit code.
+     */
+    int serve();
+
+    /** Async-signal-safe stop request (the SIGINT handler). */
+    void requestStop() { stop_.store(true); }
+
+    /** Handle one request line (also the unit-test entry point). */
+    std::string handleRequest(const std::string &line);
+
+    /** The Prometheus-text form of every counter. */
+    std::string metricsText() const;
+
+  private:
+    void handleConnection(int fd);
+    std::string handleSubmit(const json::Value &request);
+    std::string handleQuery(const json::Value &request);
+    std::string handleStats();
+    std::string errorReply(const std::string &op,
+                           const std::string &message);
+
+    ServerConfig config_;
+    ResultCache *cache_;
+    BatchScheduler *scheduler_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+
+    mutable std::mutex statsMutex_;
+    stats::Counter connections_;
+    stats::Counter requests_;
+    stats::Counter badRequests_;
+    stats::Counter timeouts_;
+};
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_SERVER_HH

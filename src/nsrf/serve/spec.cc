@@ -1,0 +1,255 @@
+#include "nsrf/serve/spec.hh"
+
+#include <algorithm>
+
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf::serve
+{
+
+namespace
+{
+
+std::unique_ptr<sim::TraceGenerator>
+generatorFor(const workload::BenchmarkProfile &profile,
+             std::uint64_t events)
+{
+    std::uint64_t len =
+        std::min(profile.executedInstructions, events);
+    if (profile.parallel) {
+        return std::make_unique<workload::ParallelWorkload>(profile,
+                                                            len);
+    }
+    return std::make_unique<workload::SequentialWorkload>(profile,
+                                                          len);
+}
+
+} // namespace
+
+bool
+parseOrganization(const std::string &name,
+                  regfile::Organization *out)
+{
+    if (name == "nsf")
+        *out = regfile::Organization::NamedState;
+    else if (name == "segmented")
+        *out = regfile::Organization::Segmented;
+    else if (name == "conventional")
+        *out = regfile::Organization::Conventional;
+    else if (name == "windowed")
+        *out = regfile::Organization::Windowed;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseMissPolicy(const std::string &name, regfile::MissPolicy *out)
+{
+    if (name == "line")
+        *out = regfile::MissPolicy::ReloadLine;
+    else if (name == "live")
+        *out = regfile::MissPolicy::ReloadLive;
+    else if (name == "single")
+        *out = regfile::MissPolicy::ReloadSingle;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseWritePolicy(const std::string &name, regfile::WritePolicy *out)
+{
+    if (name == "fow")
+        *out = regfile::WritePolicy::FetchOnWrite;
+    else if (name == "wa")
+        *out = regfile::WritePolicy::WriteAllocate;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseMechanism(const std::string &name,
+               regfile::SpillMechanism *out)
+{
+    if (name == "sw")
+        *out = regfile::SpillMechanism::SoftwareTrap;
+    else if (name == "hw")
+        *out = regfile::SpillMechanism::HardwareAssist;
+    else
+        return false;
+    return true;
+}
+
+const char *
+missPolicyName(regfile::MissPolicy policy)
+{
+    switch (policy) {
+      case regfile::MissPolicy::ReloadLine: return "line";
+      case regfile::MissPolicy::ReloadLive: return "live";
+      case regfile::MissPolicy::ReloadSingle: return "single";
+    }
+    return "?";
+}
+
+const char *
+writePolicyName(regfile::WritePolicy policy)
+{
+    return policy == regfile::WritePolicy::FetchOnWrite ? "fow"
+                                                        : "wa";
+}
+
+const char *
+mechanismName(regfile::SpillMechanism mechanism)
+{
+    return mechanism == regfile::SpillMechanism::SoftwareTrap ? "sw"
+                                                              : "hw";
+}
+
+bool
+cellsFromParams(const CellParams &params,
+                std::vector<sim::SweepCell> *out, std::string *why)
+{
+    std::vector<workload::BenchmarkProfile> profiles;
+    if (params.app == "all") {
+        profiles = workload::paperBenchmarks();
+    } else {
+        bool found = false;
+        for (const auto &p : workload::paperBenchmarks()) {
+            if (p.name == params.app) {
+                profiles.push_back(p);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (why)
+                *why = "unknown workload '" + params.app + "'";
+            return false;
+        }
+    }
+
+    out->clear();
+    out->reserve(profiles.size());
+    for (auto &profile : profiles) {
+        if (params.seed)
+            profile.seed = params.seed;
+
+        sim::SimConfig config;
+        config.rf.org = params.org;
+        config.rf.totalRegs =
+            params.totalRegs ? params.totalRegs
+                             : (profile.parallel ? 128u : 80u);
+        config.rf.regsPerContext = profile.regsPerContext;
+        config.rf.regsPerLine = params.regsPerLine;
+        config.rf.missPolicy = params.miss;
+        config.rf.writePolicy = params.write;
+        config.rf.replacement = params.repl;
+        config.rf.mechanism = params.mech;
+        config.rf.trackValid = params.trackValid;
+        config.rf.backgroundTransfer = params.background;
+
+        sim::SweepCell cell;
+        cell.label = profile.name;
+        cell.config = config;
+        cell.makeGenerator = [profile,
+                              events = params.events]() {
+            return generatorFor(profile, events);
+        };
+        // The provenance (with the config) IS the cache identity:
+        // name the workload, its effective seed, the event budget,
+        // and the generator scheme so any change to one of them
+        // misses instead of aliasing.
+        cell.provenance = {
+            {"app", profile.name},
+            {"events", std::to_string(params.events)},
+            {"profileSeed", std::to_string(profile.seed)},
+            {"generator", "synthetic-v1"},
+        };
+        out->push_back(std::move(cell));
+    }
+    return true;
+}
+
+bool
+paramsFromJson(const json::Value &value, CellParams *out,
+               std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!value.isObject())
+        return fail("cell spec must be an object");
+
+    CellParams params;
+    for (const auto &[key, member] : value.object) {
+        if (key == "app") {
+            if (!member.isString())
+                return fail("app must be a string");
+            params.app = member.string;
+        } else if (key == "org") {
+            if (!member.isString() ||
+                !parseOrganization(member.string, &params.org)) {
+                return fail("bad org");
+            }
+        } else if (key == "regs") {
+            std::uint64_t v;
+            if (!value.getU64(key, &v) || v > 1u << 20)
+                return fail("bad regs");
+            params.totalRegs = static_cast<unsigned>(v);
+        } else if (key == "line") {
+            std::uint64_t v;
+            if (!value.getU64(key, &v) || v == 0 || v > 1u << 10)
+                return fail("bad line");
+            params.regsPerLine = static_cast<unsigned>(v);
+        } else if (key == "miss") {
+            if (!member.isString() ||
+                !parseMissPolicy(member.string, &params.miss)) {
+                return fail("bad miss policy");
+            }
+        } else if (key == "write") {
+            if (!member.isString() ||
+                !parseWritePolicy(member.string, &params.write)) {
+                return fail("bad write policy");
+            }
+        } else if (key == "repl") {
+            if (!member.isString() ||
+                !cam::tryParseReplacement(member.string,
+                                          &params.repl)) {
+                return fail("bad replacement");
+            }
+        } else if (key == "mech") {
+            if (!member.isString() ||
+                !parseMechanism(member.string, &params.mech)) {
+                return fail("bad mechanism");
+            }
+        } else if (key == "valid") {
+            if (!member.isBool())
+                return fail("valid must be a bool");
+            params.trackValid = member.boolean;
+        } else if (key == "bg") {
+            if (!member.isBool())
+                return fail("bg must be a bool");
+            params.background = member.boolean;
+        } else if (key == "events") {
+            if (!value.getU64(key, &params.events) ||
+                params.events == 0) {
+                return fail("bad events");
+            }
+        } else if (key == "seed") {
+            if (!value.getU64(key, &params.seed))
+                return fail("bad seed");
+        } else {
+            return fail("unknown cell field '" + key + "'");
+        }
+    }
+    *out = params;
+    return true;
+}
+
+} // namespace nsrf::serve

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The one description of a sweep cell shared by every entry point.
+ *
+ * `nsrf_sim`, the daemon's submit requests, and `nsrf_request`'s
+ * cell flags all name the same knobs (app/org/regs/line/miss/
+ * write/repl/mech/valid/bg/events/seed).  CellParams is that
+ * record; cellsFromParams expands it — honoring `app = "all"` and
+ * the paper's per-profile register default — into SweepCells whose
+ * provenance pins the generator identity (workload name, seed,
+ * event budget, generator scheme).  Because both the offline
+ * `--cache` path and the serving path build cells here, their
+ * fingerprints agree and they share one result store.
+ */
+
+#ifndef NSRF_SERVE_SPEC_HH
+#define NSRF_SERVE_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/sim/sweep.hh"
+
+namespace nsrf::serve
+{
+
+/** Every knob a cell request can set (nsrf_sim flag defaults). */
+struct CellParams
+{
+    std::string app = "Gamteb"; //!< workload name or "all"
+    regfile::Organization org = regfile::Organization::NamedState;
+    unsigned totalRegs = 0; //!< 0 = paper default for the app
+    unsigned regsPerLine = 1;
+    regfile::MissPolicy miss = regfile::MissPolicy::ReloadSingle;
+    regfile::WritePolicy write = regfile::WritePolicy::WriteAllocate;
+    cam::ReplacementKind repl = cam::ReplacementKind::Lru;
+    regfile::SpillMechanism mech =
+        regfile::SpillMechanism::HardwareAssist;
+    bool trackValid = false;
+    bool background = false;
+    std::uint64_t events = 600'000;
+    std::uint64_t seed = 0; //!< 0 = profile default
+};
+
+/** Enum <-> wire-name parsers shared by the CLIs and the daemon. */
+bool parseOrganization(const std::string &name,
+                       regfile::Organization *out);
+bool parseMissPolicy(const std::string &name,
+                     regfile::MissPolicy *out);
+bool parseWritePolicy(const std::string &name,
+                      regfile::WritePolicy *out);
+bool parseMechanism(const std::string &name,
+                    regfile::SpillMechanism *out);
+
+const char *missPolicyName(regfile::MissPolicy policy);
+const char *writePolicyName(regfile::WritePolicy policy);
+const char *mechanismName(regfile::SpillMechanism mechanism);
+
+/**
+ * Expand @p params into sweep cells (one per workload; "all" =
+ * every Table 1 benchmark), each with config, generator factory,
+ * and fingerprint-bearing provenance.  @return false with @p why
+ * on an unknown workload name.
+ */
+bool cellsFromParams(const CellParams &params,
+                     std::vector<sim::SweepCell> *out,
+                     std::string *why);
+
+/**
+ * Read CellParams from a request object such as
+ * `{"app":"Gamteb","org":"nsf","events":20000}` — unknown members,
+ * unknown enum names, and mistyped values are rejected.
+ */
+bool paramsFromJson(const json::Value &value, CellParams *out,
+                    std::string *why);
+
+} // namespace nsrf::serve
+
+#endif // NSRF_SERVE_SPEC_HH

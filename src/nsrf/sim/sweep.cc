@@ -43,8 +43,10 @@ mechanismName(regfile::SpillMechanism mechanism)
                                                               : "hw";
 }
 
+} // namespace
+
 void
-appendConfig(stats::JsonWriter &json, const SimConfig &config)
+appendConfigJson(stats::JsonWriter &json, const SimConfig &config)
 {
     const auto &rf = config.rf;
     json.key("config").beginObject();
@@ -68,7 +70,7 @@ appendConfig(stats::JsonWriter &json, const SimConfig &config)
 }
 
 void
-appendResult(stats::JsonWriter &json, const RunResult &r)
+appendResultJson(stats::JsonWriter &json, const RunResult &r)
 {
     json.key("result").beginObject();
     json.field("regfile", r.regfileDescription);
@@ -93,8 +95,6 @@ appendResult(stats::JsonWriter &json, const RunResult &r)
     json.field("instrPerSwitch", r.instrPerSwitch());
     json.endObject();
 }
-
-} // namespace
 
 void
 parallelFor(unsigned jobs, std::size_t count,
@@ -207,8 +207,8 @@ sweepResultsJson(const std::string &bench_name,
         json.field("label", cells[i].label);
         for (const auto &[key, value] : cells[i].provenance)
             json.field(key, value);
-        appendConfig(json, cells[i].config);
-        appendResult(json, results[i]);
+        appendConfigJson(json, cells[i].config);
+        appendResultJson(json, results[i]);
         json.endObject();
     }
     json.endArray();

@@ -32,6 +32,11 @@
 #include "nsrf/sim/simulator.hh"
 #include "nsrf/sim/trace.hh"
 
+namespace nsrf::stats
+{
+class JsonWriter;
+} // namespace nsrf::stats
+
 namespace nsrf::sim
 {
 
@@ -101,6 +106,18 @@ class SweepRunner
   private:
     unsigned jobs_;
 };
+
+/**
+ * Append `"config": {...}` for @p config to an open JSON object.
+ * Shared by sweepResultsJson and the serving layer's responses so
+ * a config always serializes the same way.
+ */
+void appendConfigJson(stats::JsonWriter &json,
+                      const SimConfig &config);
+
+/** Append `"result": {...}` for @p result (same sharing rationale:
+ * a served result must look exactly like a simulated one). */
+void appendResultJson(stats::JsonWriter &json, const RunResult &r);
 
 /**
  * Serialize a finished sweep — config provenance plus RunResult per

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Result-cache robustness and eviction-order tests.
+ *
+ * The cache's promise is "a hit is provably the cold result, and
+ * anything questionable is a miss": these tests fabricate every
+ * kind of damaged disk entry — truncated, garbage, wrong schema
+ * version, wrong key, a crashed writer's partial temp file — and
+ * pin that each loads as a miss (and is evicted, never served).
+ * The in-memory LRU and byte-budget eviction orders are pinned
+ * exactly.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/fingerprint.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using serve::Fingerprint;
+using serve::ResultCache;
+using serve::ResultCacheConfig;
+
+Fingerprint
+key(const std::string &name)
+{
+    return serve::hashString(name);
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+              content.size());
+    std::fclose(f);
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    std::string dir = ::testing::TempDir() + "nsrf_cache_" + name +
+                      "_" + std::to_string(::getpid());
+    return dir;
+}
+
+TEST(ServeCache, MemoryRoundTrip)
+{
+    ResultCache cache(ResultCacheConfig{});
+    EXPECT_FALSE(cache.get(key("a")).has_value());
+    cache.put(key("a"), "payload-a");
+    auto got = cache.get(key("a"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "payload-a");
+
+    serve::ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.bytes, 9u);
+}
+
+TEST(ServeCache, LruEvictionOrderPinned)
+{
+    // One shard makes the global recency order exact.
+    ResultCacheConfig config;
+    config.shards = 1;
+    config.maxEntries = 3;
+    ResultCache cache(config);
+
+    cache.put(key("k1"), "v1");
+    cache.put(key("k2"), "v2");
+    cache.put(key("k3"), "v3");
+    // Touch k1: recency now [k1, k3, k2].
+    EXPECT_TRUE(cache.get(key("k1")).has_value());
+
+    // Fourth insert evicts the least recently used — k2, not k1.
+    cache.put(key("k4"), "v4");
+    EXPECT_FALSE(cache.get(key("k2")).has_value());
+    EXPECT_TRUE(cache.get(key("k1")).has_value());
+    EXPECT_TRUE(cache.get(key("k3")).has_value());
+    EXPECT_TRUE(cache.get(key("k4")).has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // Recency after the gets: [k4, k3, k1]; the next insert evicts
+    // k1 even though it was hottest a moment ago.
+    cache.put(key("k5"), "v5");
+    EXPECT_FALSE(cache.get(key("k1")).has_value());
+    EXPECT_TRUE(cache.get(key("k3")).has_value());
+    EXPECT_EQ(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ServeCache, ByteBudgetEviction)
+{
+    ResultCacheConfig config;
+    config.shards = 1;
+    config.maxEntries = 1000;
+    config.maxBytes = 100;
+    ResultCache cache(config);
+
+    std::string forty(40, 'x');
+    cache.put(key("b1"), forty);
+    cache.put(key("b2"), forty);
+    EXPECT_EQ(cache.stats().bytes, 80u);
+
+    // 120 > 100: the oldest entry goes; never the newest (an entry
+    // larger than the whole budget must still be admitted).
+    cache.put(key("b3"), forty);
+    EXPECT_FALSE(cache.get(key("b1")).has_value());
+    EXPECT_TRUE(cache.get(key("b2")).has_value());
+    EXPECT_TRUE(cache.get(key("b3")).has_value());
+    EXPECT_EQ(cache.stats().bytes, 80u);
+
+    std::string huge(500, 'y');
+    cache.put(key("b4"), huge);
+    EXPECT_TRUE(cache.get(key("b4")).has_value());
+    EXPECT_FALSE(cache.get(key("b2")).has_value());
+    EXPECT_FALSE(cache.get(key("b3")).has_value());
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ServeCache, DiskPersistsAcrossInstances)
+{
+    std::string dir = tempDir("persist");
+    {
+        ResultCacheConfig config;
+        config.dir = dir;
+        ResultCache cache(config);
+        cache.put(key("p"), "persisted-payload");
+    }
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache reloaded(config);
+    auto got = reloaded.get(key("p"));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "persisted-payload");
+    EXPECT_EQ(reloaded.stats().diskHits, 1u);
+
+    // Promoted into memory: the second get is a memory hit.
+    EXPECT_TRUE(reloaded.get(key("p")).has_value());
+    EXPECT_EQ(reloaded.stats().memoryHits, 1u);
+}
+
+TEST(ServeCache, TruncatedEntryIsMissAndEvicted)
+{
+    std::string dir = tempDir("trunc");
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache cache(config);
+
+    std::string blob =
+        ResultCache::encodeEntry(key("t"), "truncated-payload");
+    std::string path = cache.entryPath(key("t"));
+    writeFile(path, blob.substr(0, blob.size() - 5));
+
+    EXPECT_FALSE(cache.get(key("t")).has_value());
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+    // Evicted: the bad file must not shadow a future write.
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ServeCache, GarbageEntryIsMiss)
+{
+    std::string dir = tempDir("garbage");
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache cache(config);
+
+    writeFile(cache.entryPath(key("g")),
+              "{\"this\": \"is not an entry\"}\n");
+    EXPECT_FALSE(cache.get(key("g")).has_value());
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+}
+
+TEST(ServeCache, VersionMismatchIsMiss)
+{
+    std::string dir = tempDir("version");
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache cache(config);
+
+    // A well-formed entry from a hypothetical newer schema.
+    std::string payload = "future-payload";
+    Fingerprint sum = serve::hashString(payload);
+    char header[160];
+    std::snprintf(header, sizeof(header), "NSRFRESULT %u %s %zu %s\n",
+                  serve::kSchemaVersion + 1,
+                  key("v").hex().c_str(), payload.size(),
+                  sum.hex().c_str());
+    writeFile(cache.entryPath(key("v")), header + payload);
+
+    EXPECT_FALSE(cache.get(key("v")).has_value());
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+}
+
+TEST(ServeCache, WrongKeyEntryIsMiss)
+{
+    std::string dir = tempDir("wrongkey");
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache cache(config);
+
+    // A valid entry for key X sitting at key Y's path (e.g. a
+    // botched manual copy) must not be served as Y.
+    writeFile(cache.entryPath(key("y")),
+              ResultCache::encodeEntry(key("x"), "x-payload"));
+    EXPECT_FALSE(cache.get(key("y")).has_value());
+    EXPECT_EQ(cache.stats().corruptDropped, 1u);
+}
+
+TEST(ServeCache, CrashedWriterTempFileIsSweptAndHarmless)
+{
+    std::string dir = tempDir("tmpsweep");
+    {
+        ResultCacheConfig config;
+        config.dir = dir;
+        ResultCache cache(config);
+        cache.put(key("w"), "good-payload");
+    }
+    // A concurrent writer that died mid-write leaves a partial temp
+    // file; it was never renamed, so it must never be served, and a
+    // restart sweeps it.
+    std::string partial =
+        dir + "/" + key("w2").hex() + ".res.tmp.99999.0";
+    writeFile(partial, "NSRFRESULT 1 partial");
+
+    ResultCacheConfig config;
+    config.dir = dir;
+    ResultCache cache(config);
+    EXPECT_NE(::access(partial.c_str(), F_OK), 0)
+        << "temp file survived the startup sweep";
+    EXPECT_FALSE(cache.get(key("w2")).has_value());
+    EXPECT_TRUE(cache.get(key("w")).has_value());
+}
+
+TEST(ServeCache, DiskByteBudgetEvictsOldestFirst)
+{
+    std::string dir = tempDir("diskbudget");
+    ResultCacheConfig config;
+    config.dir = dir;
+    config.shards = 1;
+    // Entries are 142 bytes with header; budget two of them.
+    config.maxDiskBytes = 300;
+    ResultCache cache(config);
+
+    std::string payload(60, 'd');
+    cache.put(key("d1"), payload);
+    // mtime granularity on some filesystems is one second; nudge
+    // the clock apart so "oldest" is well defined.
+    struct stat st;
+    ASSERT_EQ(stat(cache.entryPath(key("d1")).c_str(), &st), 0);
+    struct timespec times[2] = {{st.st_mtime - 10, 0},
+                                {st.st_mtime - 10, 0}};
+    ASSERT_EQ(utimensat(AT_FDCWD,
+                        cache.entryPath(key("d1")).c_str(), times,
+                        0),
+              0);
+    cache.put(key("d2"), payload);
+    cache.put(key("d3"), payload);
+
+    EXPECT_NE(::access(cache.entryPath(key("d3")).c_str(), F_OK),
+              -1);
+    EXPECT_NE(::access(cache.entryPath(key("d2")).c_str(), F_OK),
+              -1);
+    EXPECT_EQ(::access(cache.entryPath(key("d1")).c_str(), F_OK),
+              -1)
+        << "oldest entry should have been evicted";
+}
+
+TEST(ServeCodec, RoundTripIsExact)
+{
+    sim::RunResult r;
+    r.regfileDescription = "NSF 128 regs, line 4\nsecond \\ line";
+    r.instructions = 123456789;
+    r.contextSwitches = 4242;
+    r.cycles = 987654321;
+    r.regStallCycles = 1111;
+    r.regsSpilled = 17;
+    r.regsReloaded = 19;
+    r.liveRegsReloaded = 13;
+    r.readMisses = 7;
+    r.writeMisses = 5;
+    r.cidEvictions = 3;
+    r.meanActiveRegs = 12.3456789012345678;
+    r.maxActiveRegs = 128.0;
+    r.meanResidentContexts = 0.1 + 0.2; // deliberately inexact
+    r.meanUtilization = 1.0 / 3.0;
+    r.maxUtilization = 0.99999999999999989;
+
+    std::string blob = serve::encodeRunResult(r);
+    sim::RunResult back;
+    std::string why;
+    ASSERT_TRUE(serve::decodeRunResult(blob, &back, &why)) << why;
+
+    EXPECT_EQ(back.regfileDescription, r.regfileDescription);
+    EXPECT_EQ(back.instructions, r.instructions);
+    EXPECT_EQ(back.cycles, r.cycles);
+    // Bit-exact doubles, not approximately-equal.
+    EXPECT_EQ(std::memcmp(&back.meanActiveRegs, &r.meanActiveRegs,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&back.meanResidentContexts,
+                          &r.meanResidentContexts, sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&back.meanUtilization,
+                          &r.meanUtilization, sizeof(double)),
+              0);
+    // And the re-encoding is byte-identical.
+    EXPECT_EQ(serve::encodeRunResult(back), blob);
+}
+
+TEST(ServeCodec, StrictDecodeRejectsDamage)
+{
+    sim::RunResult r;
+    r.regfileDescription = "conventional";
+    std::string blob = serve::encodeRunResult(r);
+    sim::RunResult out;
+
+    EXPECT_FALSE(serve::decodeRunResult("", &out));
+    EXPECT_FALSE(serve::decodeRunResult("not a payload", &out));
+    EXPECT_FALSE(
+        serve::decodeRunResult(blob.substr(0, blob.size() / 2),
+                               &out));
+    EXPECT_FALSE(
+        serve::decodeRunResult(blob + "extraField=1\n", &out));
+    // Duplicated field: strict decode refuses to guess.
+    std::size_t line = blob.find("instructions=");
+    ASSERT_NE(line, std::string::npos);
+    std::size_t end = blob.find('\n', line);
+    std::string dup = blob + blob.substr(line, end - line + 1);
+    EXPECT_FALSE(serve::decodeRunResult(dup, &out));
+}
+
+TEST(ServeFingerprint, SensitiveToEveryInput)
+{
+    sim::SimConfig config;
+    serve::Provenance prov = {{"app", "Gamteb"},
+                              {"events", "600000"}};
+    Fingerprint base = serve::fingerprintCell(config, prov);
+
+    sim::SimConfig other = config;
+    other.rf.totalRegs += 1;
+    EXPECT_FALSE(serve::fingerprintCell(other, prov) == base);
+
+    other = config;
+    other.memLatency += 1;
+    EXPECT_FALSE(serve::fingerprintCell(other, prov) == base);
+
+    serve::Provenance prov2 = {{"app", "GateSim"},
+                               {"events", "600000"}};
+    EXPECT_FALSE(serve::fingerprintCell(config, prov2) == base);
+
+    // Provenance order must not matter (it is canonicalized).
+    serve::Provenance swapped = {{"events", "600000"},
+                                 {"app", "Gamteb"}};
+    EXPECT_TRUE(serve::fingerprintCell(config, swapped) == base);
+
+    // Stable across calls and round-trippable through hex.
+    EXPECT_TRUE(serve::fingerprintCell(config, prov) == base);
+    Fingerprint parsed;
+    ASSERT_TRUE(Fingerprint::fromHex(base.hex(), &parsed));
+    EXPECT_TRUE(parsed == base);
+    EXPECT_FALSE(Fingerprint::fromHex("zz", &parsed));
+    EXPECT_FALSE(Fingerprint::fromHex("", &parsed));
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Wire-protocol JSON reader and cell-spec parsing tests.
+ *
+ * The daemon must reject malformed requests with a useful error
+ * rather than crash or misparse: the strict parser (depth bound,
+ * duplicate-key rejection, byte-offset errors, trailing-bytes
+ * rejection) and the strict CellParams reader (unknown members,
+ * unknown enum names, mistyped values) are pinned here.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/serve/spec.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using serve::json::Value;
+
+Value
+parsed(const std::string &text)
+{
+    Value v;
+    std::string why;
+    EXPECT_TRUE(serve::json::parse(text, &v, &why))
+        << text << ": " << why;
+    return v;
+}
+
+bool
+fails(const std::string &text, std::string *why = nullptr)
+{
+    Value v;
+    std::string local;
+    return !serve::json::parse(text, &v, why ? why : &local);
+}
+
+TEST(ServeJson, ParsesTheProtocolSubset)
+{
+    Value v = parsed("{\"op\":\"submit\",\"cells\":[{\"app\":"
+                     "\"Gamteb\",\"events\":20000,\"valid\":true,"
+                     "\"x\":null,\"f\":-1.5e3}]}");
+    EXPECT_EQ(v.getString("op", ""), "submit");
+    const Value *cells = v.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_TRUE(cells->isArray());
+    ASSERT_EQ(cells->array.size(), 1u);
+    const Value &cell = cells->array[0];
+    EXPECT_EQ(cell.getString("app", ""), "Gamteb");
+    std::uint64_t events = 0;
+    EXPECT_TRUE(cell.getU64("events", &events));
+    EXPECT_EQ(events, 20000u);
+    EXPECT_TRUE(cell.getBool("valid", false));
+    ASSERT_NE(cell.find("x"), nullptr);
+    EXPECT_TRUE(cell.find("x")->isNull());
+    EXPECT_DOUBLE_EQ(cell.getNumber("f", 0), -1500.0);
+
+    // Surrounding whitespace is fine; empty containers are fine.
+    EXPECT_TRUE(parsed("  [ ]  ").isArray());
+    EXPECT_TRUE(parsed("{}").isObject());
+    EXPECT_TRUE(parsed("\"just a string\"").isString());
+}
+
+TEST(ServeJson, StringEscapes)
+{
+    Value v = parsed("\"a\\\\b\\\"c\\n\\t\\u0041\\u00e9\"");
+    EXPECT_EQ(v.string, "a\\b\"c\n\tA\xc3\xa9");
+    // Invalid escapes and bare control characters are errors.
+    EXPECT_TRUE(fails("\"\\q\""));
+    EXPECT_TRUE(fails("\"\\u00\""));
+    EXPECT_TRUE(fails(std::string("\"a\nb\"")));
+}
+
+TEST(ServeJson, RejectsMalformedDocuments)
+{
+    std::string why;
+    EXPECT_TRUE(fails("", &why));
+    EXPECT_TRUE(fails("{", &why));
+    EXPECT_TRUE(fails("[1,", &why));
+    EXPECT_TRUE(fails("{\"a\" 1}", &why));
+    EXPECT_TRUE(fails("{\"a\":1,}", &why));
+    EXPECT_TRUE(fails("tru", &why));
+    EXPECT_TRUE(fails("01", &why));
+    EXPECT_TRUE(fails("nan", &why));
+    // Trailing bytes after a complete document.
+    EXPECT_TRUE(fails("{} {}", &why));
+    EXPECT_NE(why.find("trailing"), std::string::npos) << why;
+    // Errors carry a byte offset.
+    EXPECT_TRUE(fails("[1, !]", &why));
+    EXPECT_NE(why.find("4"), std::string::npos) << why;
+}
+
+TEST(ServeJson, RejectsDuplicateKeys)
+{
+    std::string why;
+    EXPECT_TRUE(fails("{\"a\":1,\"a\":2}", &why));
+    EXPECT_NE(why.find("duplicate"), std::string::npos) << why;
+}
+
+TEST(ServeJson, DepthIsBounded)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    for (int i = 0; i < 100; ++i)
+        deep += "]";
+    EXPECT_TRUE(fails(deep));
+
+    std::string shallow = "[[[[[[[[[[1]]]]]]]]]]";
+    EXPECT_FALSE(fails(shallow));
+}
+
+TEST(ServeJson, GetU64IsStrict)
+{
+    Value v = parsed("{\"ok\":7,\"neg\":-1,\"frac\":1.5,"
+                     "\"str\":\"7\",\"big\":1e30}");
+    std::uint64_t out = 0;
+    EXPECT_TRUE(v.getU64("ok", &out));
+    EXPECT_EQ(out, 7u);
+    EXPECT_FALSE(v.getU64("neg", &out));
+    EXPECT_FALSE(v.getU64("frac", &out));
+    EXPECT_FALSE(v.getU64("str", &out));
+    EXPECT_FALSE(v.getU64("big", &out));
+    EXPECT_FALSE(v.getU64("missing", &out));
+}
+
+TEST(ServeSpec, ParsesAndRejectsCellSpecs)
+{
+    serve::CellParams params;
+    std::string why;
+
+    Value good = parsed("{\"app\":\"GateSim\",\"org\":\"segmented\","
+                        "\"mech\":\"sw\",\"events\":5000,"
+                        "\"repl\":\"fifo\",\"valid\":true}");
+    ASSERT_TRUE(serve::paramsFromJson(good, &params, &why)) << why;
+    EXPECT_EQ(params.app, "GateSim");
+    EXPECT_EQ(params.org, regfile::Organization::Segmented);
+    EXPECT_EQ(params.mech, regfile::SpillMechanism::SoftwareTrap);
+    EXPECT_EQ(params.repl, cam::ReplacementKind::Fifo);
+    EXPECT_EQ(params.events, 5000u);
+    EXPECT_TRUE(params.trackValid);
+
+    // Unknown member.
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"apps\":\"GateSim\"}"), &params, &why));
+    EXPECT_NE(why.find("unknown cell field"), std::string::npos);
+    // Unknown enum name.
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"org\":\"hexagonal\"}"), &params, &why));
+    // Mistyped value.
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"events\":\"many\"}"), &params, &why));
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"events\":0}"), &params, &why));
+    EXPECT_FALSE(serve::paramsFromJson(parsed("[]"), &params, &why));
+}
+
+TEST(ServeSpec, ExpandsAllAndAppliesDefaults)
+{
+    serve::CellParams params;
+    params.app = "all";
+    params.events = 1000;
+    std::vector<sim::SweepCell> cells;
+    std::string why;
+    ASSERT_TRUE(serve::cellsFromParams(params, &cells, &why))
+        << why;
+    EXPECT_EQ(cells.size(), workload::paperBenchmarks().size());
+    for (const auto &cell : cells) {
+        // Paper register defaults: 128 parallel / 80 sequential.
+        EXPECT_TRUE(cell.config.rf.totalRegs == 128u ||
+                    cell.config.rf.totalRegs == 80u)
+            << cell.label;
+        EXPECT_NE(cell.makeGenerator, nullptr);
+    }
+
+    params.app = "NoSuchBenchmark";
+    EXPECT_FALSE(serve::cellsFromParams(params, &cells, &why));
+    EXPECT_NE(why.find("unknown workload"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Single-flight batch scheduler tests.
+ *
+ * The central claim is counter-proven here: K concurrent submits of
+ * an identical cell run exactly ONE simulation, and every waiter
+ * receives a bit-identical result (the SweepRunner determinism
+ * contract carried through the scheduler).  Also pinned: overload
+ * rejection at the queue bound, cache-hit admission, drain/closed
+ * semantics, and that a cache-served offline run is byte-identical
+ * to a cold SweepRunner run.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/serve/server.hh"
+#include "nsrf/serve/spec.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using serve::Admission;
+using serve::BatchScheduler;
+using serve::Ticket;
+
+/** One small real cell (a few ms of simulation). */
+sim::SweepCell
+smallCell(const std::string &app, std::uint64_t events = 2000,
+          std::uint64_t seed = 0)
+{
+    serve::CellParams params;
+    params.app = app;
+    params.events = events;
+    params.seed = seed;
+    std::vector<sim::SweepCell> cells;
+    std::string why;
+    EXPECT_TRUE(serve::cellsFromParams(params, &cells, &why))
+        << why;
+    EXPECT_EQ(cells.size(), 1u);
+    return cells[0];
+}
+
+constexpr std::chrono::milliseconds kWait{60'000};
+
+TEST(ServeScheduler, SingleFlightRunsOneSimulation)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    BatchScheduler::Config config;
+    config.startPaused = true; // assemble the queue deterministically
+    BatchScheduler scheduler(&cache, config);
+
+    // K concurrent identical requests, all admitted while the
+    // dispatcher is gated so none can complete early.
+    constexpr int kThreads = 8;
+    std::vector<Ticket> tickets(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i]() {
+            tickets[i] = scheduler.submit(smallCell("Quicksort"));
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    int scheduled = 0, merged = 0;
+    for (const Ticket &ticket : tickets) {
+        ASSERT_TRUE(ticket.accepted());
+        if (ticket.admission == Admission::Scheduled)
+            ++scheduled;
+        else if (ticket.admission == Admission::Merged)
+            ++merged;
+    }
+    EXPECT_EQ(scheduled, 1) << "exactly one submit owns the work";
+    EXPECT_EQ(merged, kThreads - 1);
+
+    scheduler.resume();
+    for (const Ticket &ticket : tickets)
+        ASSERT_TRUE(ticket.job->wait(kWait));
+
+    // The counter proof: one simulation served all K waiters...
+    serve::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.simulations, 1u);
+    EXPECT_EQ(stats.scheduled, 1u);
+    EXPECT_EQ(stats.merges,
+              static_cast<std::uint64_t>(kThreads - 1));
+
+    // ...and every waiter sees the same shared, bit-identical
+    // result.
+    const std::string encoded = tickets[0].job->encoded();
+    EXPECT_FALSE(encoded.empty());
+    for (const Ticket &ticket : tickets) {
+        EXPECT_FALSE(ticket.job->failed()) << ticket.job->error();
+        EXPECT_EQ(ticket.job->encoded(), encoded);
+    }
+
+    // A cold, scheduler-free run of the same cell agrees byte for
+    // byte (determinism contract).
+    sim::SweepCell cell = smallCell("Quicksort");
+    std::vector<sim::RunResult> cold =
+        sim::SweepRunner(1).run({cell});
+    EXPECT_EQ(serve::encodeRunResult(cold[0]), encoded);
+}
+
+TEST(ServeScheduler, OverloadRejectsAtQueueBound)
+{
+    BatchScheduler::Config config;
+    config.maxQueue = 2;
+    config.startPaused = true;
+    BatchScheduler scheduler(nullptr, config);
+
+    Ticket first = scheduler.submit(smallCell("Quicksort"));
+    Ticket second = scheduler.submit(smallCell("DTW"));
+    Ticket third = scheduler.submit(smallCell("AS"));
+    EXPECT_EQ(first.admission, Admission::Scheduled);
+    EXPECT_EQ(second.admission, Admission::Scheduled);
+    EXPECT_EQ(third.admission, Admission::Rejected);
+    EXPECT_FALSE(third.accepted());
+
+    // A duplicate of queued work still merges — dedup costs no
+    // queue slot.
+    Ticket dup = scheduler.submit(smallCell("Quicksort"));
+    EXPECT_EQ(dup.admission, Admission::Merged);
+
+    scheduler.resume();
+    ASSERT_TRUE(first.job->wait(kWait));
+    ASSERT_TRUE(second.job->wait(kWait));
+    ASSERT_TRUE(dup.job->wait(kWait));
+
+    serve::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.rejections, 1u);
+    EXPECT_EQ(stats.simulations, 2u);
+    EXPECT_EQ(stats.queueDepthPeak, 2u);
+}
+
+TEST(ServeScheduler, CacheHitCompletesWithoutSimulation)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    BatchScheduler::Config config;
+    BatchScheduler scheduler(&cache, config);
+
+    Ticket cold = scheduler.submit(smallCell("Quicksort"));
+    EXPECT_EQ(cold.admission, Admission::Scheduled);
+    ASSERT_TRUE(cold.job->wait(kWait));
+
+    Ticket warm = scheduler.submit(smallCell("Quicksort"));
+    EXPECT_EQ(warm.admission, Admission::Hit);
+    EXPECT_TRUE(warm.job->done()) << "hits complete immediately";
+    EXPECT_EQ(warm.job->encoded(), cold.job->encoded());
+
+    serve::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.simulations, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ServeScheduler, DrainClosesAdmission)
+{
+    BatchScheduler::Config config;
+    BatchScheduler scheduler(nullptr, config);
+    Ticket before = scheduler.submit(smallCell("Quicksort"));
+    EXPECT_TRUE(before.accepted());
+    scheduler.drain();
+    // Drain finished the queued work...
+    EXPECT_TRUE(before.job->done());
+    EXPECT_FALSE(before.job->failed());
+    // ...and later submits bounce as Closed.
+    Ticket after = scheduler.submit(smallCell("DTW"));
+    EXPECT_EQ(after.admission, Admission::Closed);
+    EXPECT_FALSE(after.accepted());
+}
+
+TEST(ServeScheduler, CachedRunMatchesColdRunByteForByte)
+{
+    std::vector<sim::SweepCell> cells;
+    for (const char *app : {"Quicksort", "DTW", "AS"})
+        cells.push_back(smallCell(app));
+
+    // Cold, cache-free reference.
+    std::vector<sim::RunResult> reference =
+        sim::SweepRunner(2).run(cells);
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    std::vector<sim::RunResult> first;
+    serve::CachedRunStats cold_stats =
+        serve::runCellsCached(&cache, 2, cells, &first);
+    EXPECT_EQ(cold_stats.hits, 0u);
+    EXPECT_EQ(cold_stats.misses, cells.size());
+
+    std::vector<sim::RunResult> second;
+    serve::CachedRunStats warm_stats =
+        serve::runCellsCached(&cache, 2, cells, &second);
+    EXPECT_EQ(warm_stats.hits, cells.size());
+    EXPECT_EQ(warm_stats.misses, 0u);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(serve::encodeRunResult(first[i]),
+                  serve::encodeRunResult(reference[i]));
+        EXPECT_EQ(serve::encodeRunResult(second[i]),
+                  serve::encodeRunResult(reference[i]));
+    }
+}
+
+TEST(ServeServer, HandleRequestEndToEnd)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    BatchScheduler::Config sched_config;
+    BatchScheduler scheduler(&cache, sched_config);
+    serve::ServerConfig server_config;
+    server_config.socketPath = "/unused-in-unit-test";
+    serve::Server server(server_config, &cache, &scheduler);
+
+    // ping
+    std::string reply = server.handleRequest("{\"op\":\"ping\"}");
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos);
+
+    // malformed JSON and unknown ops are rejected, not fatal
+    reply = server.handleRequest("{nope");
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+    reply = server.handleRequest("{\"op\":\"frobnicate\"}");
+    EXPECT_NE(reply.find("unknown op"), std::string::npos);
+
+    // submit: simulate one cheap cell, then see it served warm
+    std::string submit =
+        "{\"op\":\"submit\",\"cells\":[{\"app\":\"Quicksort\","
+        "\"events\":2000}]}";
+    std::string cold = server.handleRequest(submit);
+    EXPECT_NE(cold.find("\"source\":\"simulated\""),
+              std::string::npos);
+    EXPECT_NE(cold.find("\"result\":{"), std::string::npos);
+    std::string warm = server.handleRequest(submit);
+    EXPECT_NE(warm.find("\"source\":\"cache\""),
+              std::string::npos);
+    // The result object itself is identical cold or warm.
+    auto resultOf = [](const std::string &doc) {
+        std::size_t from = doc.find("\"result\":{");
+        std::size_t to = doc.find('}', from);
+        return doc.substr(from, to - from + 1);
+    };
+    EXPECT_EQ(resultOf(cold), resultOf(warm));
+
+    // bad cell specs are per-request errors
+    reply = server.handleRequest(
+        "{\"op\":\"submit\",\"cells\":[{\"app\":\"NoSuchApp\"}]}");
+    EXPECT_NE(reply.find("\"ok\":false"), std::string::npos);
+    reply = server.handleRequest(
+        "{\"op\":\"submit\",\"cells\":[{\"frob\":1}]}");
+    EXPECT_NE(reply.find("unknown cell field"), std::string::npos);
+
+    // stats + metrics expose the counters
+    reply = server.handleRequest("{\"op\":\"stats\"}");
+    EXPECT_NE(reply.find("\"simulations\":1"), std::string::npos);
+    EXPECT_NE(reply.find("\"hits\":1"), std::string::npos);
+    std::string metrics = server.metricsText();
+    EXPECT_NE(metrics.find("nsrf_serve_simulations_total 1"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("nsrf_serve_cache_hits_total 1"),
+              std::string::npos);
+
+    scheduler.drain();
+}
+
+} // namespace

@@ -1,0 +1,44 @@
+#!/bin/sh
+# cache_smoke: warm-start proof for `nsrf_sim --cache`.
+#
+#   cache_smoke.sh <nsrf_sim binary>
+#
+# Runs the full-app JSON sweep twice against one cache directory:
+# the first run simulates everything, the second must simulate
+# nothing (all hits) and print byte-identical JSON.
+set -u
+
+sim="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+if ! "$sim" --app all --json --events 20000 --jobs 2 \
+        --cache "$tmp/cache" >"$tmp/cold.json" 2>"$tmp/cold.err"; then
+    echo "FAIL: cold run failed"
+    cat "$tmp/cold.err"
+    exit 1
+fi
+if ! grep -q "0 hits" "$tmp/cold.err"; then
+    echo "FAIL: cold run reported unexpected hits"
+    cat "$tmp/cold.err"
+    exit 1
+fi
+
+if ! "$sim" --app all --json --events 20000 --jobs 2 \
+        --cache "$tmp/cache" >"$tmp/warm.json" 2>"$tmp/warm.err"; then
+    echo "FAIL: warm run failed"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if ! grep -q " 0 misses" "$tmp/warm.err"; then
+    echo "FAIL: warm run re-simulated (expected 0 misses)"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if ! cmp -s "$tmp/cold.json" "$tmp/warm.json"; then
+    echo "FAIL: warm JSON differs from cold"
+    diff "$tmp/cold.json" "$tmp/warm.json" | head -5
+    exit 1
+fi
+echo "cache_smoke ok: warm run hit every cell, JSON byte-identical"
+exit 0

@@ -9,7 +9,8 @@
 #   2. trace     — NSRF_TRACE=ON build, full suite incl. the
 #                  trace_smoke → Perfetto-validate pipeline
 #   3. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
-#   4. tsan      — TSan build, sweep-runner thread-pool tests
+#   4. tsan      — TSan build, sweep-runner thread-pool tests plus
+#                  the serve scheduler and daemon smoke
 #   5. fuzz      — time-boxed differential fuzz on the audit build
 #
 # Environment:
@@ -51,10 +52,15 @@ cmake --build --preset asan -j "$jobs"
 # the fuzzer call the audits directly, unsampled).
 NSRF_AUDIT_STRIDE=997 ctest --preset asan -j "$jobs"
 
-stage "tsan build + sweep-runner thread pool"
+stage "tsan build + sweep-runner thread pool + serving daemon"
 cmake --preset tsan > /dev/null
-cmake --build --preset tsan -j "$jobs" --target test_sweep_runner nsrf_fuzz
-ctest --preset tsan -j "$jobs" -R 'SweepRunner|sweep_runner'
+cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
+    test_serve_scheduler nsrf_fuzz nsrf_serve_cli nsrf_request
+# The serve scheduler (single-flight dedup, dispatcher handoff) and
+# the end-to-end daemon smoke are the concurrency-heavy serving
+# paths; both must be clean under TSan.
+ctest --preset tsan -j "$jobs" \
+    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke'
 
 stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 ./build-tsan/tools/nsrf_fuzz --seed 1 --runs 16 --ops 300 --jobs 4

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "nsrf/check/fuzz.hh"
+#include "nsrf/common/options.hh"
 #include "nsrf/sim/sweep.hh"
 
 namespace
@@ -75,52 +76,42 @@ usage(const char *argv0)
 bool
 parseOptions(int argc, char **argv, Options *opts)
 {
-    auto need = [&](int i) {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "%s needs a value\n", argv[i]);
-            return false;
-        }
-        return true;
-    };
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--help" || arg == "-h") {
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--help") || scan.is("-h")) {
             usage(argv[0]);
             std::exit(0);
-        } else if (arg == "--runs" && need(i)) {
-            opts->runs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (arg == "--seed" && need(i)) {
-            opts->seed = std::strtoull(argv[++i], nullptr, 0);
-        } else if (arg == "--replay" && need(i)) {
-            opts->seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (scan.is("--runs")) {
+            opts->runs = scan.u32();
+        } else if (scan.is("--seed")) {
+            opts->seed = scan.u64();
+        } else if (scan.is("--replay")) {
+            opts->seed = scan.u64();
             opts->replay = true;
-        } else if (arg == "--ops" && need(i)) {
-            opts->ops = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (arg == "--jobs" && need(i)) {
-            opts->jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (arg == "--duration" && need(i)) {
-            opts->durationSec = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 0));
-        } else if (arg == "--inject" && need(i)) {
-            if (!check::parseInjection(argv[++i], &opts->inject)) {
+        } else if (scan.is("--ops")) {
+            opts->ops = scan.u32();
+        } else if (scan.is("--jobs")) {
+            opts->jobs = scan.u32();
+        } else if (scan.is("--duration")) {
+            opts->durationSec = scan.u32();
+        } else if (scan.is("--inject")) {
+            const char *value = scan.value();
+            if (!check::parseInjection(value, &opts->inject)) {
                 std::fprintf(stderr, "unknown injection '%s'\n",
-                             argv[i]);
+                             value);
                 return false;
             }
-        } else if (arg == "--org" && need(i)) {
-            opts->orgFilter = argv[++i];
-        } else if (arg == "--trace-out" && need(i)) {
-            opts->traceOut = argv[++i];
-        } else if (arg == "--run-trace" && need(i)) {
-            opts->runTrace = argv[++i];
-        } else if (arg == "--verbose") {
+        } else if (scan.is("--org")) {
+            opts->orgFilter = scan.value();
+        } else if (scan.is("--trace-out")) {
+            opts->traceOut = scan.value();
+        } else if (scan.is("--run-trace")) {
+            opts->runTrace = scan.value();
+        } else if (scan.is("--verbose")) {
             opts->verbose = true;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
-                         arg.c_str());
+                         scan.arg().c_str());
             usage(argv[0]);
             return false;
         }

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * nsrf_request: command-line client for the nsrf_serve daemon.
+ *
+ * Builds one protocol request (serve/server.hh), sends it over the
+ * daemon's Unix domain socket, and prints the reply.  Submit
+ * replies are printed one stable line per cell — the line depends
+ * only on the simulation result, never on how it was served — so a
+ * cold run and a warm (cache-served) run of the same request
+ * byte-compare equal; the cached/merged/rejected summary goes to
+ * stderr.
+ *
+ *     nsrf_request --socket /tmp/nsrf.sock --op ping
+ *     nsrf_request --socket /tmp/nsrf.sock --app all --events 20000
+ *     nsrf_request --socket /tmp/nsrf.sock --op stats
+ */
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/options.hh"
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/serve/spec.hh"
+#include "nsrf/stats/json.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+struct Options
+{
+    std::string socket;
+    std::string op = "submit";
+    std::string fingerprint; //!< for --op query
+    unsigned timeoutMs = 120'000;
+    serve::CellParams cell;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: nsrf_request --socket PATH [options]\n"
+        "  --op submit|ping|query|stats|metrics|shutdown\n"
+        "  --fingerprint HEX      cache key for --op query\n"
+        "  --timeout-ms N         reply wait bound (default 120000)\n"
+        "submit cell flags (defaults match nsrf_sim):\n"
+        "  --app NAME|all --org nsf|segmented|conventional|windowed\n"
+        "  --regs N --line W --miss single|live|line --write wa|fow\n"
+        "  --repl lru|fifo|random --mech hw|sw --valid --bg\n"
+        "  --events N --seed N");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--socket")) {
+            opt.socket = scan.value();
+        } else if (scan.is("--op")) {
+            opt.op = scan.value();
+        } else if (scan.is("--fingerprint")) {
+            opt.fingerprint = scan.value();
+        } else if (scan.is("--timeout-ms")) {
+            opt.timeoutMs = scan.u32();
+        } else if (scan.is("--app")) {
+            opt.cell.app = scan.value();
+        } else if (scan.is("--org")) {
+            const char *value = scan.value();
+            if (!serve::parseOrganization(value, &opt.cell.org)) {
+                std::fprintf(stderr, "unknown org '%s'\n", value);
+                return false;
+            }
+        } else if (scan.is("--regs")) {
+            opt.cell.totalRegs = scan.u32();
+        } else if (scan.is("--line")) {
+            opt.cell.regsPerLine = scan.u32();
+        } else if (scan.is("--miss")) {
+            const char *value = scan.value();
+            if (!serve::parseMissPolicy(value, &opt.cell.miss)) {
+                std::fprintf(stderr, "unknown miss policy '%s'\n",
+                             value);
+                return false;
+            }
+        } else if (scan.is("--write")) {
+            const char *value = scan.value();
+            if (!serve::parseWritePolicy(value, &opt.cell.write)) {
+                std::fprintf(stderr, "unknown write policy '%s'\n",
+                             value);
+                return false;
+            }
+        } else if (scan.is("--repl")) {
+            const char *value = scan.value();
+            if (!cam::tryParseReplacement(value, &opt.cell.repl)) {
+                std::fprintf(stderr,
+                             "unknown replacement policy '%s'\n",
+                             value);
+                return false;
+            }
+        } else if (scan.is("--mech")) {
+            const char *value = scan.value();
+            if (!serve::parseMechanism(value, &opt.cell.mech)) {
+                std::fprintf(stderr, "unknown mechanism '%s'\n",
+                             value);
+                return false;
+            }
+        } else if (scan.is("--valid")) {
+            opt.cell.trackValid = true;
+        } else if (scan.is("--bg")) {
+            opt.cell.background = true;
+        } else if (scan.is("--events")) {
+            opt.cell.events = scan.u64();
+        } else if (scan.is("--seed")) {
+            opt.cell.seed = scan.u64();
+        } else if (scan.is("--help") || scan.is("-h")) {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         scan.arg().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+buildRequest(const Options &opt)
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("op", opt.op);
+    if (opt.op == "submit") {
+        const serve::CellParams &c = opt.cell;
+        json.key("cells").beginArray();
+        json.beginObject();
+        json.field("app", c.app);
+        json.field("org", regfile::organizationName(c.org));
+        if (c.totalRegs)
+            json.field("regs", c.totalRegs);
+        json.field("line", c.regsPerLine);
+        json.field("miss", serve::missPolicyName(c.miss));
+        json.field("write", serve::writePolicyName(c.write));
+        json.field("repl", cam::replacementName(c.repl));
+        json.field("mech", serve::mechanismName(c.mech));
+        json.field("valid", c.trackValid);
+        json.field("bg", c.background);
+        json.field("events", c.events);
+        if (c.seed)
+            json.field("seed", c.seed);
+        json.endObject();
+        json.endArray();
+    } else if (opt.op == "query") {
+        json.field("fingerprint", opt.fingerprint);
+    }
+    json.endObject();
+    return json.str();
+}
+
+/** One round trip: send @p request, read one reply line. */
+bool
+exchange(const Options &opt, const std::string &request,
+         std::string *reply)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (opt.socket.empty() ||
+        opt.socket.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "bad socket path\n");
+        return false;
+    }
+    std::memcpy(addr.sun_path, opt.socket.c_str(),
+                opt.socket.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "connect %s: %s\n",
+                     opt.socket.c_str(), std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    timeval tv;
+    tv.tv_sec = opt.timeoutMs / 1000;
+    tv.tv_usec = static_cast<long>(opt.timeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        ssize_t n = ::send(fd, line.data() + sent,
+                           line.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "send: %s\n",
+                         std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    reply->clear();
+    char chunk[4096];
+    while (reply->find('\n') == std::string::npos) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "recv: %s\n",
+                         std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        reply->append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::size_t nl = reply->find('\n');
+    if (nl == std::string::npos) {
+        std::fprintf(stderr, "no reply (daemon gone?)\n");
+        return false;
+    }
+    reply->resize(nl);
+    return true;
+}
+
+/** Stable scalar print: integral doubles as integers, the rest in
+ * round-trip form — deterministic for bit-identical results. */
+void
+printScalar(const serve::json::Value &v)
+{
+    switch (v.kind) {
+      case serve::json::Value::Kind::Bool:
+        std::printf("%s", v.boolean ? "true" : "false");
+        break;
+      case serve::json::Value::Kind::Number:
+        if (v.number == std::floor(v.number) &&
+            std::fabs(v.number) < 9.007199254740992e15) {
+            std::printf("%lld",
+                        static_cast<long long>(v.number));
+        } else {
+            std::printf("%.17g", v.number);
+        }
+        break;
+      case serve::json::Value::Kind::String:
+        std::printf("%s", v.string.c_str());
+        break;
+      default:
+        std::printf("?");
+        break;
+    }
+}
+
+int
+printSubmitReply(const serve::json::Value &reply)
+{
+    const serve::json::Value *cells = reply.find("cells");
+    if (!cells || !cells->isArray()) {
+        std::fprintf(stderr, "malformed submit reply\n");
+        return 1;
+    }
+    int rc = 0;
+    for (const auto &cell : cells->array) {
+        std::string label = cell.getString("label", "?");
+        std::string source = cell.getString("source", "");
+        std::string error = cell.getString("error", "");
+        const serve::json::Value *result = cell.find("result");
+        if (!error.empty() || !result || !result->isObject()) {
+            std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                         error.empty() ? "no result"
+                                       : error.c_str());
+            rc = 1;
+            continue;
+        }
+        if (!source.empty())
+            std::fprintf(stderr, "%s: %s\n", label.c_str(),
+                         source.c_str());
+        std::printf("%s", label.c_str());
+        for (const auto &[key, value] : result->object) {
+            std::printf(" %s=", key.c_str());
+            printScalar(value);
+        }
+        std::printf("\n");
+    }
+    std::fprintf(
+        stderr,
+        "submit: %lld cached, %lld merged, %lld rejected, "
+        "%lld timeouts, %lld failures\n",
+        static_cast<long long>(reply.getNumber("cached", 0)),
+        static_cast<long long>(reply.getNumber("merged", 0)),
+        static_cast<long long>(reply.getNumber("rejected", 0)),
+        static_cast<long long>(reply.getNumber("timeouts", 0)),
+        static_cast<long long>(reply.getNumber("failures", 0)));
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    if (opt.socket.empty()) {
+        usage();
+        return 2;
+    }
+    if (opt.op == "query" && opt.fingerprint.empty()) {
+        std::fprintf(stderr, "--op query needs --fingerprint\n");
+        return 2;
+    }
+
+    std::string reply_line;
+    if (!exchange(opt, buildRequest(opt), &reply_line))
+        return 1;
+
+    serve::json::Value reply;
+    std::string why;
+    if (!serve::json::parse(reply_line, &reply, &why)) {
+        std::fprintf(stderr, "malformed reply (%s): %s\n",
+                     why.c_str(), reply_line.c_str());
+        return 1;
+    }
+    if (!reply.getBool("ok", false)) {
+        std::fprintf(stderr, "error: %s\n",
+                     reply.getString("error", "?").c_str());
+        return 1;
+    }
+
+    if (opt.op == "submit")
+        return printSubmitReply(reply);
+    if (opt.op == "metrics") {
+        std::printf("%s", reply.getString("text", "").c_str());
+        return 0;
+    }
+    // ping/stats/shutdown/query: the reply itself is the output.
+    std::printf("%s\n", reply_line.c_str());
+    return 0;
+}

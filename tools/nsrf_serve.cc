@@ -1,0 +1,153 @@
+/**
+ * @file
+ * nsrf_serve: the sweep-serving daemon.
+ *
+ * Binds a Unix domain socket and serves line-delimited JSON
+ * requests (serve/server.hh documents the protocol).  Results are
+ * deduplicated through the single-flight batch scheduler and kept
+ * in a content-addressed cache that can persist to disk, so a
+ * directory shared with `nsrf_sim --cache` warm-starts both ways.
+ *
+ *     nsrf_serve --socket /tmp/nsrf.sock --cache /tmp/nsrf-cache
+ *     nsrf_request --socket /tmp/nsrf.sock --app all
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/options.hh"
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/serve/server.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+struct Options
+{
+    std::string socket;
+    std::string cache; //!< empty = memory-only store
+    unsigned jobs = 1;
+    std::size_t maxQueue = 256;
+    std::size_t maxBatch = 32;
+    std::size_t cacheEntries = 4096;
+    std::uint64_t cacheBytes = 64ull << 20;
+    std::uint64_t cacheDiskBytes = 0; //!< 0 = unbounded
+    unsigned timeoutMs = 120'000;
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: nsrf_serve --socket PATH [options]\n"
+        "  --socket PATH        Unix domain socket to bind\n"
+        "  --cache DIR          persist results under DIR (shared\n"
+        "                       with nsrf_sim --cache)\n"
+        "  --jobs N             SweepRunner workers per batch\n"
+        "                       (default 1, 0 = all cores)\n"
+        "  --max-queue N        admission bound; submits beyond it\n"
+        "                       are rejected (default 256)\n"
+        "  --max-batch N        cells per SweepRunner batch\n"
+        "                       (default 32)\n"
+        "  --cache-entries N    in-memory entry bound (default 4096)\n"
+        "  --cache-bytes N      in-memory byte bound (default 64M)\n"
+        "  --cache-disk-bytes N on-disk byte bound (default\n"
+        "                       unbounded)\n"
+        "  --timeout-ms N       per-request budget (default 120000)");
+}
+
+serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--socket"))
+            opt.socket = scan.value();
+        else if (scan.is("--cache"))
+            opt.cache = scan.value();
+        else if (scan.is("--jobs"))
+            opt.jobs = scan.u32();
+        else if (scan.is("--max-queue"))
+            opt.maxQueue = scan.u64();
+        else if (scan.is("--max-batch"))
+            opt.maxBatch = scan.u64();
+        else if (scan.is("--cache-entries"))
+            opt.cacheEntries = scan.u64();
+        else if (scan.is("--cache-bytes"))
+            opt.cacheBytes = scan.u64();
+        else if (scan.is("--cache-disk-bytes"))
+            opt.cacheDiskBytes = scan.u64();
+        else if (scan.is("--timeout-ms"))
+            opt.timeoutMs = scan.u32();
+        else if (scan.is("--help") || scan.is("-h")) {
+            usage();
+            return 0;
+        } else {
+            scan.unknown();
+        }
+    }
+    if (opt.socket.empty()) {
+        usage();
+        return 2;
+    }
+    if (opt.maxQueue == 0 || opt.maxBatch == 0)
+        nsrf_fatal("--max-queue and --max-batch must be positive");
+
+    serve::ResultCacheConfig cache_config;
+    cache_config.dir = opt.cache;
+    cache_config.maxEntries = opt.cacheEntries;
+    cache_config.maxBytes = opt.cacheBytes;
+    cache_config.maxDiskBytes = opt.cacheDiskBytes;
+    serve::ResultCache cache(cache_config);
+
+    serve::BatchScheduler::Config sched_config;
+    sched_config.jobs = opt.jobs;
+    sched_config.maxQueue = opt.maxQueue;
+    sched_config.maxBatch = opt.maxBatch;
+    serve::BatchScheduler scheduler(&cache, sched_config);
+
+    serve::ServerConfig server_config;
+    server_config.socketPath = opt.socket;
+    server_config.requestTimeoutMs = opt.timeoutMs;
+    serve::Server server(server_config, &cache, &scheduler);
+
+    std::string why;
+    if (!server.start(&why))
+        nsrf_fatal("cannot serve: %s", why.c_str());
+
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    std::fprintf(stderr, "nsrf_serve: listening on %s (%s)\n",
+                 opt.socket.c_str(),
+                 opt.cache.empty()
+                     ? "memory-only cache"
+                     : ("cache dir " + opt.cache).c_str());
+    int rc = server.serve();
+
+    // Graceful drain: finish queued/in-flight work before exiting
+    // so accepted submits are never dropped.
+    scheduler.drain();
+    std::fprintf(stderr, "nsrf_serve: drained, final counters:\n%s",
+                 server.metricsText().c_str());
+    return rc;
+}

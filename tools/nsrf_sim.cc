@@ -19,6 +19,10 @@
 #include <vector>
 
 #include "nsrf/common/logging.hh"
+#include "nsrf/common/options.hh"
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/serve/spec.hh"
 #include "nsrf/sim/simulator.hh"
 #include "nsrf/regfile/statsdump.hh"
 #include "nsrf/sim/sweep.hh"
@@ -58,6 +62,7 @@ struct Options
     bool stats = false; //!< dump gem5-style statistics
     std::string traceOut;         //!< Perfetto timeline output
     std::uint64_t traceWindow = 0; //!< metrics window in cycles
+    std::string cache; //!< result-cache directory (warm start)
 };
 
 void
@@ -89,121 +94,92 @@ usage()
         "                         with --app all, one file per app)\n"
         "  --trace-window N       metrics window in cycles for\n"
         "                         PATH.metrics (0 = whole run)\n"
+        "  --cache DIR            reuse results from DIR (ignored\n"
+        "                         with --record/--replay/--stats/\n"
+        "                         --trace-out)\n"
         "  --json                 JSON output\n");
 }
 
 bool
 parseArgs(int argc, char **argv, Options &opt)
 {
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            return nullptr;
-        }
-        return argv[++i];
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        const char *value = nullptr;
-        if (arg == "--list") {
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--list")) {
             opt.list = true;
-        } else if (arg == "--json") {
+        } else if (scan.is("--json")) {
             opt.json = true;
-        } else if (arg == "--stats") {
+        } else if (scan.is("--stats")) {
             opt.stats = true;
-        } else if (arg == "--valid") {
+        } else if (scan.is("--valid")) {
             opt.trackValid = true;
-        } else if (arg == "--bg") {
+        } else if (scan.is("--bg")) {
             opt.background = true;
-        } else if (arg == "--app") {
-            if (!(value = need(i)))
-                return false;
-            opt.app = value;
-        } else if (arg == "--org") {
-            if (!(value = need(i)))
-                return false;
-            std::string v = value;
-            if (v == "nsf") {
-                opt.org = regfile::Organization::NamedState;
-            } else if (v == "segmented") {
-                opt.org = regfile::Organization::Segmented;
-            } else if (v == "conventional") {
-                opt.org = regfile::Organization::Conventional;
-            } else if (v == "windowed") {
-                opt.org = regfile::Organization::Windowed;
-            } else {
+        } else if (scan.is("--app")) {
+            opt.app = scan.value();
+        } else if (scan.is("--org")) {
+            const char *value = scan.value();
+            if (!serve::parseOrganization(value, &opt.org)) {
                 std::fprintf(stderr, "unknown org '%s'\n", value);
                 return false;
             }
-        } else if (arg == "--regs") {
-            if (!(value = need(i)))
+        } else if (scan.is("--regs")) {
+            opt.totalRegs = scan.u32();
+        } else if (scan.is("--line")) {
+            opt.regsPerLine = scan.u32();
+        } else if (scan.is("--miss")) {
+            const char *value = scan.value();
+            if (!serve::parseMissPolicy(value, &opt.miss)) {
+                std::fprintf(stderr, "unknown miss policy '%s'\n",
+                             value);
                 return false;
-            opt.totalRegs = static_cast<unsigned>(atoi(value));
-        } else if (arg == "--line") {
-            if (!(value = need(i)))
+            }
+        } else if (scan.is("--write")) {
+            const char *value = scan.value();
+            if (!serve::parseWritePolicy(value, &opt.write)) {
+                std::fprintf(stderr, "unknown write policy '%s'\n",
+                             value);
                 return false;
-            opt.regsPerLine = static_cast<unsigned>(atoi(value));
-        } else if (arg == "--miss") {
-            if (!(value = need(i)))
+            }
+        } else if (scan.is("--repl")) {
+            const char *value = scan.value();
+            if (!cam::tryParseReplacement(value, &opt.repl)) {
+                std::fprintf(stderr,
+                             "unknown replacement policy '%s'\n",
+                             value);
                 return false;
-            std::string v = value;
-            opt.miss = v == "line" ? regfile::MissPolicy::ReloadLine
-                       : v == "live"
-                           ? regfile::MissPolicy::ReloadLive
-                           : regfile::MissPolicy::ReloadSingle;
-        } else if (arg == "--write") {
-            if (!(value = need(i)))
+            }
+        } else if (scan.is("--mech")) {
+            const char *value = scan.value();
+            if (!serve::parseMechanism(value, &opt.mech)) {
+                std::fprintf(stderr, "unknown mechanism '%s'\n",
+                             value);
                 return false;
-            opt.write = std::string(value) == "fow"
-                            ? regfile::WritePolicy::FetchOnWrite
-                            : regfile::WritePolicy::WriteAllocate;
-        } else if (arg == "--repl") {
-            if (!(value = need(i)))
-                return false;
-            opt.repl = cam::parseReplacement(value);
-        } else if (arg == "--mech") {
-            if (!(value = need(i)))
-                return false;
-            opt.mech = std::string(value) == "sw"
-                           ? regfile::SpillMechanism::SoftwareTrap
-                           : regfile::SpillMechanism::HardwareAssist;
-        } else if (arg == "--events") {
-            if (!(value = need(i)))
-                return false;
-            opt.events = strtoull(value, nullptr, 10);
-        } else if (arg == "--seed") {
-            if (!(value = need(i)))
-                return false;
-            opt.seed = strtoull(value, nullptr, 10);
-        } else if (arg == "--jobs") {
-            if (!(value = need(i)))
-                return false;
-            opt.jobs = static_cast<unsigned>(atoi(value));
+            }
+        } else if (scan.is("--events")) {
+            opt.events = scan.u64();
+        } else if (scan.is("--seed")) {
+            opt.seed = scan.u64();
+        } else if (scan.is("--jobs")) {
+            opt.jobs = scan.u32();
             if (opt.jobs == 0)
                 opt.jobs = sim::SweepRunner::hardwareJobs();
-        } else if (arg == "--record") {
-            if (!(value = need(i)))
-                return false;
-            opt.record = value;
-        } else if (arg == "--replay") {
-            if (!(value = need(i)))
-                return false;
-            opt.replay = value;
-        } else if (arg == "--trace-out") {
-            if (!(value = need(i)))
-                return false;
-            opt.traceOut = value;
-        } else if (arg == "--trace-window") {
-            if (!(value = need(i)))
-                return false;
-            opt.traceWindow = strtoull(value, nullptr, 10);
-        } else if (arg == "--help" || arg == "-h") {
+        } else if (scan.is("--record")) {
+            opt.record = scan.value();
+        } else if (scan.is("--replay")) {
+            opt.replay = scan.value();
+        } else if (scan.is("--trace-out")) {
+            opt.traceOut = scan.value();
+        } else if (scan.is("--trace-window")) {
+            opt.traceWindow = scan.u64();
+        } else if (scan.is("--cache")) {
+            opt.cache = scan.value();
+        } else if (scan.is("--help") || scan.is("-h")) {
             usage();
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n",
-                         arg.c_str());
+                         scan.arg().c_str());
             return false;
         }
     }
@@ -403,14 +379,57 @@ main(int argc, char **argv)
                      "NSRF_TRACE=OFF (use the 'trace' preset)\n");
     }
 
+    bool cache_ok = !opt.cache.empty();
+    if (cache_ok && (!opt.record.empty() || !opt.replay.empty() ||
+                     opt.stats || !opt.traceOut.empty())) {
+        nsrf_warn("--cache disabled: --record/--replay/--stats/"
+                  "--trace-out runs are not cacheable");
+        cache_ok = false;
+    }
+
     if (opt.json)
         std::printf("[\n");
 
     bool parallel_ok = opt.jobs > 1 && opt.record.empty() &&
                        opt.replay.empty() && !opt.stats;
     std::vector<sim::RunResult> results;
-    if (parallel_ok)
+    bool have_results = false;
+    if (cache_ok) {
+        // The cached path builds its cells through serve::
+        // cellsFromParams — the same construction the daemon uses —
+        // so the offline store and a daemon pointed at the same
+        // directory share fingerprints.
+        serve::CellParams params;
+        params.app = opt.app;
+        params.org = opt.org;
+        params.totalRegs = opt.totalRegs;
+        params.regsPerLine = opt.regsPerLine;
+        params.miss = opt.miss;
+        params.write = opt.write;
+        params.repl = opt.repl;
+        params.mech = opt.mech;
+        params.trackValid = opt.trackValid;
+        params.background = opt.background;
+        params.events = opt.events;
+        params.seed = opt.seed;
+        std::vector<sim::SweepCell> cells;
+        std::string why;
+        if (!serve::cellsFromParams(params, &cells, &why))
+            nsrf_fatal("%s", why.c_str());
+        serve::ResultCacheConfig cache_config;
+        cache_config.dir = opt.cache;
+        serve::ResultCache cache(cache_config);
+        serve::CachedRunStats hit_miss = serve::runCellsCached(
+            &cache, opt.jobs, cells, &results);
+        std::fprintf(
+            stderr, "cache: %llu hits, %llu misses\n",
+            static_cast<unsigned long long>(hit_miss.hits),
+            static_cast<unsigned long long>(hit_miss.misses));
+        have_results = true;
+    } else if (parallel_ok) {
         results = runParallel(apps, opt);
+        have_results = true;
+    }
 
     stats::TextTable table;
     table.header({"App", "Regfile", "Instr", "Cycles", "Switches",
@@ -421,8 +440,8 @@ main(int argc, char **argv)
                 ? std::string()
                 : tracePathFor(opt.traceOut, apps[i].name,
                                apps.size() > 1);
-        auto r = parallel_ok ? results[i]
-                             : runOne(apps[i], opt, trace_out);
+        auto r = have_results ? results[i]
+                              : runOne(apps[i], opt, trace_out);
         if (opt.json) {
             printJson(apps[i].name, r, i + 1 == apps.size());
         } else {

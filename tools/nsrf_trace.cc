@@ -24,6 +24,7 @@
 #include <set>
 #include <string>
 
+#include "nsrf/common/options.hh"
 #include "nsrf/sim/tracefile.hh"
 #include "nsrf/stats/counters.hh"
 #include "nsrf/stats/table.hh"
@@ -126,9 +127,12 @@ main(int argc, char **argv)
     }
     std::string path = argv[1];
     std::uint64_t dump = 0;
-    for (int i = 2; i < argc; ++i) {
-        if (std::string(argv[i]) == "--dump" && i + 1 < argc)
-            dump = std::strtoull(argv[++i], nullptr, 10);
+    common::OptionScanner scan(argc - 1, argv + 1);
+    while (scan.next()) {
+        if (scan.is("--dump"))
+            dump = scan.u64();
+        else
+            scan.unknown();
     }
 
     sim::FileTraceGenerator trace(path);

@@ -9,6 +9,10 @@
 #                      exported to every bench, including the no-flag
 #                      ones (table1_benchmarks, validate_synthetic)
 #   NSRF_BENCH_JOBS    worker threads per bench (default: all cores)
+#   NSRF_BENCH_CACHE   content-addressed result cache directory; a
+#                      repeated run with the same budget serves every
+#                      sweep cell from the cache with zero
+#                      re-simulation (see docs/EXPERIMENTS.md)
 #
 # The run is all-or-nothing: an INCOMPLETE marker sits in the output
 # directory from the first bench until the last one succeeds, and the
@@ -100,6 +104,7 @@ done
     echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo "events: ${NSRF_BENCH_EVENTS:-default}"
     echo "jobs: $jobs"
+    echo "cache: ${NSRF_BENCH_CACHE:-none}"
     echo "benches: $(echo $sweep_benches $plain_benches | wc -w)"
 } > "$out_dir/MANIFEST"
 rm -f "$out_dir/INCOMPLETE"

@@ -1,0 +1,99 @@
+#!/bin/sh
+# serve_smoke: end-to-end daemon check.
+#
+#   serve_smoke.sh <nsrf_serve binary> <nsrf_request binary>
+#
+# Boots the daemon on a temp socket with a disk cache, runs a cold
+# batch (every cell simulated), re-runs the identical batch warm
+# (every cell a cache hit, byte-identical output), asserts the hit
+# counters, and shuts down gracefully.
+set -u
+
+serve="$1"
+request="$2"
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+sock="$tmp/nsrf.sock"
+
+"$serve" --socket "$sock" --cache "$tmp/cache" --jobs 2 \
+    2>"$tmp/serve.log" &
+pid=$!
+
+up=0
+i=0
+while [ $i -lt 100 ]; do
+    if "$request" --socket "$sock" --op ping >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ $up -ne 1 ]; then
+    echo "FAIL: daemon never answered ping"
+    cat "$tmp/serve.log"
+    exit 1
+fi
+
+# Cold batch: every cell simulated.
+if ! "$request" --socket "$sock" --app all --events 20000 \
+        >"$tmp/cold.out" 2>"$tmp/cold.err"; then
+    echo "FAIL: cold submit failed"
+    cat "$tmp/cold.err"
+    exit 1
+fi
+if ! [ -s "$tmp/cold.out" ]; then
+    echo "FAIL: cold submit produced no results"
+    exit 1
+fi
+
+# Warm batch: the identical request must be served from the cache
+# and print byte-identical results.
+if ! "$request" --socket "$sock" --app all --events 20000 \
+        >"$tmp/warm.out" 2>"$tmp/warm.err"; then
+    echo "FAIL: warm submit failed"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/warm.out"; then
+    echo "FAIL: warm output differs from cold"
+    diff "$tmp/cold.out" "$tmp/warm.out" | head -5
+    exit 1
+fi
+
+# Counters: the warm batch is all admission-level cache hits, and
+# nothing was simulated twice.
+stats=$("$request" --socket "$sock" --op stats | tr -d ' ')
+hits=$(printf '%s' "$stats" |
+    sed -n 's/.*"scheduler":{"hits":\([0-9]*\).*/\1/p')
+sims=$(printf '%s' "$stats" |
+    sed -n 's/.*"simulations":\([0-9]*\).*/\1/p')
+cells=$(wc -l <"$tmp/cold.out")
+if [ "$hits" != "$cells" ]; then
+    echo "FAIL: expected $cells warm cache hits, got '$hits'"
+    echo "$stats"
+    exit 1
+fi
+if [ "$sims" != "$cells" ]; then
+    echo "FAIL: expected $cells total simulations, got '$sims'"
+    echo "$stats"
+    exit 1
+fi
+
+# Graceful shutdown: ack, drain, exit 0.
+"$request" --socket "$sock" --op shutdown >/dev/null
+rc=0
+wait "$pid" || rc=$?
+pid=""
+if [ $rc -ne 0 ]; then
+    echo "FAIL: daemon exited with $rc"
+    cat "$tmp/serve.log"
+    exit 1
+fi
+echo "serve_smoke ok: $cells cells cold, $hits warm hits"
+exit 0
