@@ -1,0 +1,249 @@
+/**
+ * @file
+ * End-to-end simulator throughput (host steps/sec) macrobench.
+ *
+ * Every figure bench, the differential fuzzer, and the sweep-serving
+ * daemon spend their time in the same inner loop: TraceSimulator
+ * step -> NamedStateRegisterFile::read/write -> decoder match.  The
+ * figure benches report what the *model* predicts; this bench reports
+ * how fast the *host* can push trace events through the model, so the
+ * repo has a perf trajectory across commits (BENCH_throughput.json).
+ *
+ * The workload mix is the paper's: two sequential call-tree programs
+ * and two parallel thread-pool programs, all on the NSF organization
+ * at 256 lines.  Each workload is timed over several repetitions and
+ * the best (least-interfered) repetition is reported; model stats are
+ * cross-checked across repetitions, so a throughput win that changes
+ * simulated behaviour fails loudly instead of shipping.
+ *
+ *   macro_throughput [--events N] [--reps N] [--json PATH] [--smoke]
+ *
+ * --smoke shrinks the run to a few thousand events for CI: it checks
+ * the bench machinery and the JSON output, not the throughput.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/options.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/stats/json.hh"
+#include "nsrf/workload/profile.hh"
+
+#include "support.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+/**
+ * Pre-PR reference throughput, measured on the development host at
+ * the commit introducing this bench (unordered_map CAM index,
+ * virtual per-access dispatch).  Host-specific: meaningful for
+ * relative trajectory on comparable hardware, not as an absolute.
+ * 0 disables the comparison (e.g. under --smoke).
+ */
+constexpr double referenceCombinedStepsPerSec = 7.43e6;
+
+struct WorkloadResult
+{
+    std::string app;
+    bool parallel = false;
+    std::uint64_t steps = 0;      //!< trace instructions executed
+    Cycles cycles = 0;            //!< simulated cycles
+    double bestSeconds = 0;       //!< fastest repetition
+    double stepsPerSec = 0;
+};
+
+struct Options
+{
+    std::uint64_t events = 2'000'000;
+    unsigned reps = 3;
+    unsigned lines = 256;
+    std::string jsonPath = "BENCH_throughput.json";
+    bool smoke = false;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opt;
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--events"))
+            opt.events = scan.u64();
+        else if (scan.is("--reps"))
+            opt.reps = scan.u32();
+        else if (scan.is("--lines"))
+            opt.lines = scan.u32();
+        else if (scan.is("--json"))
+            opt.jsonPath = scan.value();
+        else if (scan.is("--smoke"))
+            opt.smoke = true;
+        else if (scan.is("--help") || scan.is("-h")) {
+            std::printf(
+                "usage: macro_throughput [--events N] [--reps N] "
+                "[--lines N] [--json PATH] [--smoke]\n"
+                "  --events N  trace events per workload "
+                "(default 2000000)\n"
+                "  --reps N    timed repetitions, best wins "
+                "(default 3)\n"
+                "  --lines N   NSF decoder lines (default 256)\n"
+                "  --json P    results file "
+                "(default BENCH_throughput.json)\n"
+                "  --smoke     tiny run for CI; no reference "
+                "comparison\n");
+            std::exit(0);
+        } else {
+            scan.unknown();
+        }
+    }
+    if (opt.smoke) {
+        opt.events = 5'000;
+        opt.reps = 1;
+    }
+    nsrf_assert(opt.reps > 0, "need at least one repetition");
+    return opt;
+}
+
+WorkloadResult
+timeWorkload(const workload::BenchmarkProfile &profile,
+             const Options &opt)
+{
+    sim::SimConfig config =
+        bench::paperConfig(profile, regfile::Organization::NamedState);
+    config.rf.totalRegs = opt.lines * config.rf.regsPerLine;
+
+    WorkloadResult out;
+    out.app = profile.name;
+    out.parallel = profile.parallel;
+    out.bestSeconds = -1;
+
+    for (unsigned rep = 0; rep < opt.reps; ++rep) {
+        // A fresh, identically-seeded generator and simulator per
+        // repetition: every rep runs the exact same event stream.
+        auto gen = bench::makeGenerator(profile, opt.events);
+        sim::TraceSimulator simulator(config);
+        auto t0 = std::chrono::steady_clock::now();
+        sim::RunResult res = simulator.run(*gen);
+        auto t1 = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+
+        if (rep == 0) {
+            out.steps = res.instructions;
+            out.cycles = res.cycles;
+        } else {
+            // The timing loop must not perturb the model: identical
+            // inputs must produce identical simulated results.
+            nsrf_assert(res.instructions == out.steps &&
+                            res.cycles == out.cycles,
+                        "repetition %u of %s diverged from rep 0",
+                        rep, profile.name.c_str());
+        }
+        if (out.bestSeconds < 0 || seconds < out.bestSeconds)
+            out.bestSeconds = seconds;
+    }
+    out.stepsPerSec =
+        out.bestSeconds > 0 ? double(out.steps) / out.bestSeconds : 0;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseOptions(argc, argv);
+
+    bench::banner(
+        "Macrobench: end-to-end simulator throughput (steps/sec)",
+        "the associative decoder is fast enough to sit on the "
+        "register access path (§4-5); the model's access path "
+        "should be as fast as the host allows");
+
+    const std::vector<std::string> mix = {
+        "GateSim", "RTLSim",     // sequential call-tree programs
+        "DTW", "Gamteb",         // parallel thread pools
+    };
+
+    std::vector<WorkloadResult> results;
+    std::uint64_t total_steps = 0;
+    double total_seconds = 0;
+    for (const auto &name : mix) {
+        const auto &profile = workload::profileByName(name);
+        WorkloadResult r = timeWorkload(profile, opt);
+        std::printf("  %-10s %-10s %12llu steps  %8.3fs  "
+                    "%10.0f steps/sec\n",
+                    r.app.c_str(),
+                    r.parallel ? "parallel" : "sequential",
+                    static_cast<unsigned long long>(r.steps),
+                    r.bestSeconds, r.stepsPerSec);
+        total_steps += r.steps;
+        total_seconds += r.bestSeconds;
+        results.push_back(std::move(r));
+    }
+
+    double combined =
+        total_seconds > 0 ? double(total_steps) / total_seconds : 0;
+    std::printf("\n  combined: %llu steps in %.3fs = %.0f steps/sec\n",
+                static_cast<unsigned long long>(total_steps),
+                total_seconds, combined);
+
+    double reference = opt.smoke ? 0 : referenceCombinedStepsPerSec;
+    if (reference > 0) {
+        double speedup = combined / reference;
+        std::printf("  pre-PR reference: %.0f steps/sec  "
+                    "(speedup %.2fx)\n",
+                    reference, speedup);
+        bench::verdict("simulator throughput >= 2x the pre-PR "
+                       "reference (dev host)",
+                       speedup >= 2.0);
+    }
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("bench", "macro_throughput");
+    json.field("organization", "nsf");
+    json.field("lines", opt.lines);
+    json.field("events_requested", opt.events);
+    json.field("reps", opt.reps);
+    json.field("smoke", opt.smoke);
+    json.key("workloads").beginArray();
+    for (const auto &r : results) {
+        json.beginObject();
+        json.field("app", r.app);
+        json.field("kind", r.parallel ? "parallel" : "sequential");
+        json.field("steps", r.steps);
+        json.field("cycles", r.cycles);
+        json.field("best_seconds", r.bestSeconds);
+        json.field("steps_per_sec", r.stepsPerSec);
+        json.endObject();
+    }
+    json.endArray();
+    json.field("combined_steps", total_steps);
+    json.field("combined_seconds", total_seconds);
+    json.field("combined_steps_per_sec", combined);
+    json.key("reference").beginObject();
+    json.field("combined_steps_per_sec", reference);
+    json.field("speedup", reference > 0 ? combined / reference : 0.0);
+    json.field("note",
+               "pre-PR throughput measured on the development host; "
+               "compare trajectories on one host only");
+    json.endObject();
+    json.endObject();
+
+    std::ofstream out(opt.jsonPath, std::ios::binary);
+    if (!out || !(out << json.str() << '\n')) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opt.jsonPath.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", opt.jsonPath.c_str());
+    return 0;
+}

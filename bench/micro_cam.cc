@@ -63,6 +63,34 @@ BM_DecoderProgramInvalidate(benchmark::State &state)
 }
 
 void
+BM_DecoderInvalidateContext(benchmark::State &state)
+{
+    // Bulk context deallocation must cost O(lines owned), not
+    // O(lines in the file): each iteration frees and re-programs one
+    // 8-line context, so ns/op should stay flat from 64 to 4096
+    // lines.  Before the per-CID chains this walked every line.
+    auto lines = static_cast<std::size_t>(state.range(0));
+    constexpr std::size_t owned = 8;
+    const std::size_t contexts = lines / owned;
+    cam::AssociativeDecoder decoder(lines);
+    for (std::size_t i = 0; i < lines; ++i) {
+        decoder.program(i, static_cast<ContextId>(i / owned),
+                        static_cast<RegIndex>((i % owned) * 4));
+    }
+    std::vector<std::size_t> freed;
+    ContextId cid = 0;
+    for (auto _ : state) {
+        std::size_t n = decoder.invalidateContext(cid, freed);
+        benchmark::DoNotOptimize(n);
+        for (std::size_t j = 0; j < freed.size(); ++j) {
+            decoder.program(freed[j], cid,
+                            static_cast<RegIndex>(j * 4));
+        }
+        cid = static_cast<ContextId>((cid + 1) % contexts);
+    }
+}
+
+void
 BM_ReplacementVictim(benchmark::State &state)
 {
     auto kind = static_cast<cam::ReplacementKind>(state.range(0));
@@ -80,9 +108,12 @@ BM_ReplacementVictim(benchmark::State &state)
 
 } // namespace
 
-BENCHMARK(BM_DecoderMatchHit)->Arg(128)->Arg(1024);
-BENCHMARK(BM_DecoderMatchMiss)->Arg(128)->Arg(1024);
-BENCHMARK(BM_DecoderProgramInvalidate)->Arg(128);
+BENCHMARK(BM_DecoderMatchHit)->Arg(64)->Arg(128)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DecoderMatchMiss)->Arg(64)->Arg(128)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DecoderProgramInvalidate)
+    ->Arg(64)->Arg(128)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_DecoderInvalidateContext)
+    ->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_ReplacementVictim)
     ->Arg(static_cast<int>(cam::ReplacementKind::Lru))
     ->Arg(static_cast<int>(cam::ReplacementKind::Fifo))

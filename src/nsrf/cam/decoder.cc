@@ -1,19 +1,22 @@
 #include "nsrf/cam/decoder.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "nsrf/common/audit.hh"
-#include "nsrf/common/logging.hh"
 #include "nsrf/trace/hooks.hh"
 
 namespace nsrf::cam
 {
 
 AssociativeDecoder::AssociativeDecoder(std::size_t line_count)
-    : tags_(line_count), valid_(line_count, false)
+    : lineCount_(line_count), tags_(line_count), index_(line_count),
+      cidHeads_(line_count), chainNext_(line_count, nil),
+      chainPrev_(line_count, nil)
 {
     nsrf_assert(line_count > 0, "decoder needs at least one line");
-    index_.reserve(line_count);
+    nsrf_assert(line_count < nil,
+                "line count %zu overflows the chain links", line_count);
     // Every line starts free.  Trailing bits of the last word stay
     // clear so findFree() never reports a line past the end.
     freeWords_.assign((line_count + 63) / 64, 0);
@@ -39,36 +42,30 @@ AssociativeDecoder::markUsed(std::size_t line)
         freeSummary_[word / 64] &= ~(std::uint64_t{1} << (word % 64));
 }
 
-std::size_t
-AssociativeDecoder::match(ContextId cid, RegIndex line_offset)
-{
-    ++stats_.searches;
-    std::size_t line = peek(cid, line_offset);
-    if (line != npos)
-        ++stats_.hits;
-    return line;
-}
-
-std::size_t
-AssociativeDecoder::peek(ContextId cid, RegIndex line_offset) const
-{
-    auto it = index_.find(Tag{cid, line_offset});
-    return it == index_.end() ? npos : it->second;
-}
-
 void
 AssociativeDecoder::program(std::size_t line, ContextId cid,
                             RegIndex line_offset)
 {
-    nsrf_assert(line < valid_.size(), "line %zu out of range", line);
-    nsrf_assert(!valid_[line], "line %zu is already programmed", line);
-    Tag t{cid, line_offset};
-    nsrf_assert(index_.find(t) == index_.end(),
+    nsrf_assert(line < lineCount_, "line %zu out of range", line);
+    nsrf_assert(!lineValid(line), "line %zu is already programmed",
+                line);
+    std::uint64_t key = pack(cid, line_offset);
+    nsrf_assert(index_.find(key) == FlatIndex::npos,
                 "duplicate tag <%u:%u> would match two lines", cid,
                 line_offset);
-    tags_[line] = t;
-    valid_[line] = true;
-    index_.emplace(t, line);
+    tags_[line] = Tag{cid, line_offset};
+    index_.insert(key, line);
+    // Push the line onto its context's chain.
+    std::size_t head = cidHeads_.find(cid);
+    chainPrev_[line] = nil;
+    if (head == FlatIndex::npos) {
+        chainNext_[line] = nil;
+        cidHeads_.insert(cid, line);
+    } else {
+        chainNext_[line] = static_cast<std::uint32_t>(head);
+        chainPrev_[head] = static_cast<std::uint32_t>(line);
+        cidHeads_.update(cid, line);
+    }
     markUsed(line);
     ++stats_.programs;
     nsrf_trace_hook(emit(trace::Kind::CamProgram, cid,
@@ -80,36 +77,53 @@ AssociativeDecoder::program(std::size_t line, ContextId cid,
 void
 AssociativeDecoder::invalidate(std::size_t line)
 {
-    nsrf_assert(line < valid_.size(), "line %zu out of range", line);
-    if (!valid_[line])
+    nsrf_assert(line < lineCount_, "line %zu out of range", line);
+    if (!lineValid(line))
         return;
-    nsrf_trace_hook(emit(trace::Kind::CamInvalidate, tags_[line].cid,
+    ContextId cid = tags_[line].cid;
+    nsrf_trace_hook(emit(trace::Kind::CamInvalidate, cid,
                          static_cast<std::uint32_t>(line),
                          tags_[line].lineOffset));
-    index_.erase(tags_[line]);
-    valid_[line] = false;
+    index_.erase(pack(cid, tags_[line].lineOffset));
+    // Unlink the line from its context's chain.
+    std::uint32_t next = chainNext_[line];
+    std::uint32_t prev = chainPrev_[line];
+    if (next != nil)
+        chainPrev_[next] = prev;
+    if (prev != nil) {
+        chainNext_[prev] = next;
+    } else if (next != nil) {
+        cidHeads_.update(cid, next);
+    } else {
+        cidHeads_.erase(cid);
+    }
+    chainNext_[line] = nil;
+    chainPrev_[line] = nil;
     markFree(line);
     ++stats_.invalidates;
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
-std::vector<std::size_t>
-AssociativeDecoder::invalidateContext(ContextId cid)
+std::size_t
+AssociativeDecoder::invalidateContext(ContextId cid,
+                                      std::vector<std::size_t> &freed)
 {
-    std::vector<std::size_t> freed;
-    for (std::size_t i = 0; i < valid_.size(); ++i) {
-        if (valid_[i] && tags_[i].cid == cid)
-            freed.push_back(i);
-    }
+    freed.clear();
+    forEachContextLine(cid,
+                       [&](std::size_t line) { freed.push_back(line); });
+    // The chain is most-recently-programmed first; free in ascending
+    // line order so downstream effects (memory spill order, victim
+    // recycling) match the historical full-scan behaviour exactly.
+    std::sort(freed.begin(), freed.end());
     for (std::size_t line : freed)
         invalidate(line);
-    return freed;
+    return freed.size();
 }
 
 const Tag &
 AssociativeDecoder::tag(std::size_t line) const
 {
-    nsrf_assert(line < valid_.size() && valid_[line],
+    nsrf_assert(line < lineCount_ && lineValid(line),
                 "tag() on invalid line %zu", line);
     return tags_[line];
 }
@@ -134,14 +148,17 @@ bool
 AssociativeDecoder::auditInvariants(std::string *why) const
 {
     using auditing::fail;
-    // The index and the valid tag array must mirror each other.
+    // The index must mirror line validity (which is itself derived
+    // from the free bitmap, so a flipped free bit surfaces here as a
+    // phantom or missing index entry).
     std::size_t valid_count = 0;
-    for (std::size_t line = 0; line < valid_.size(); ++line) {
-        if (!valid_[line])
+    for (std::size_t line = 0; line < lineCount_; ++line) {
+        if (!lineValid(line))
             continue;
         ++valid_count;
-        auto it = index_.find(tags_[line]);
-        if (it == index_.end()) {
+        std::size_t mapped =
+            index_.find(pack(tags_[line].cid, tags_[line].lineOffset));
+        if (mapped == FlatIndex::npos) {
             return fail(why,
                             "valid line %zu tag <%u:%u> missing from "
                             "the index",
@@ -150,12 +167,12 @@ AssociativeDecoder::auditInvariants(std::string *why) const
         }
         // A tag indexed to a different line means two valid lines
         // share a tag: two word lines would fight the broadcast.
-        if (it->second != line) {
+        if (mapped != line) {
             return fail(why,
                             "tag <%u:%u> maps to line %zu but line "
                             "%zu holds it too (duplicate tag)",
                             tags_[line].cid, tags_[line].lineOffset,
-                            it->second, line);
+                            mapped, line);
         }
     }
     if (index_.size() != valid_count) {
@@ -164,29 +181,40 @@ AssociativeDecoder::auditInvariants(std::string *why) const
                         "valid",
                         index_.size(), valid_count);
     }
-    for (const auto &[tag, line] : index_) {
-        if (line >= valid_.size() || !valid_[line]) {
-            return fail(why,
-                            "index tag <%u:%u> points at invalid "
-                            "line %zu",
-                            tag.cid, tag.lineOffset, line);
+    bool entries_ok = true;
+    std::string entry_why;
+    index_.forEach([&](std::uint64_t key, std::size_t line) {
+        if (!entries_ok)
+            return;
+        if (line >= lineCount_ || !lineValid(line) ||
+            pack(tags_[line].cid, tags_[line].lineOffset) != key) {
+            entries_ok = auditing::fail(
+                &entry_why,
+                "index key %llx points at line %zu which does not "
+                "hold that tag",
+                static_cast<unsigned long long>(key), line);
         }
+    });
+    if (!entries_ok) {
+        if (why)
+            *why = entry_why;
+        return false;
     }
+    if (!index_.auditInvariants(why) || !cidHeads_.auditInvariants(why))
+        return false;
 
-    // The two-level free bitmap must agree bit-for-bit with line
-    // occupancy, including the trailing bits past the last line.
+    // Trailing free bits past the last line must stay clear, and the
+    // summary level must agree with its words.
     for (std::size_t word = 0; word < freeWords_.size(); ++word) {
         for (unsigned bit = 0; bit < 64; ++bit) {
             std::size_t line = word * 64 + bit;
-            bool marked_free =
-                (freeWords_[word] >> bit) & std::uint64_t{1};
-            bool is_free = line < valid_.size() && !valid_[line];
-            if (marked_free != is_free) {
+            if (line < lineCount_)
+                continue;
+            if ((freeWords_[word] >> bit) & std::uint64_t{1}) {
                 return fail(why,
-                                "free bitmap disagrees with line %zu "
-                                "(marked %s, actually %s)",
-                                line, marked_free ? "free" : "used",
-                                is_free ? "free" : "used");
+                                "free bitmap marks nonexistent line "
+                                "%zu free",
+                                line);
             }
         }
         bool summary = (freeSummary_[word / 64] >> (word % 64)) &
@@ -200,17 +228,49 @@ AssociativeDecoder::auditInvariants(std::string *why) const
                                 freeWords_[word]));
         }
     }
-    return true;
-}
 
-void
-AssociativeDecoder::forEachContextLine(
-    ContextId cid, const std::function<void(std::size_t)> &fn) const
-{
-    for (std::size_t i = 0; i < valid_.size(); ++i) {
-        if (valid_[i] && tags_[i].cid == cid)
-            fn(i);
+    // The per-context chains must partition exactly the valid lines:
+    // every chain step lands on a valid line of the right context
+    // with consistent back links, and no valid line is left out.
+    std::vector<bool> seen(lineCount_, false);
+    bool chains_ok = true;
+    std::string chain_why;
+    std::size_t chained = 0;
+    cidHeads_.forEach([&](std::uint64_t cid_key, std::size_t head) {
+        if (!chains_ok)
+            return;
+        ContextId cid = static_cast<ContextId>(cid_key);
+        std::uint32_t prev = nil;
+        std::size_t steps = 0;
+        for (std::uint32_t line = static_cast<std::uint32_t>(head);
+             line != nil; line = chainNext_[line]) {
+            if (line >= lineCount_ || !lineValid(line) ||
+                tags_[line].cid != cid || seen[line] ||
+                chainPrev_[line] != prev || ++steps > lineCount_) {
+                chains_ok = auditing::fail(
+                    &chain_why,
+                    "context %u chain broken at line %u (invalid, "
+                    "foreign, revisited, or bad back link)",
+                    cid, line);
+                return;
+            }
+            seen[line] = true;
+            ++chained;
+            prev = line;
+        }
+    });
+    if (!chains_ok) {
+        if (why)
+            *why = chain_why;
+        return false;
     }
+    if (chained != valid_count) {
+        return fail(why,
+                        "context chains cover %zu lines but %zu are "
+                        "valid",
+                        chained, valid_count);
+    }
+    return true;
 }
 
 } // namespace nsrf::cam

@@ -12,6 +12,13 @@
  * The model enforces the hardware invariant that at most one valid
  * line matches any address (duplicate tags would short two word
  * lines together).
+ *
+ * Hot-path layout: the parallel CAM search is modelled by a FlatIndex
+ * probe over packed <cid:offset> keys (no per-tag heap nodes), line
+ * validity is derived from the free bitmap rather than mirrored in a
+ * separate vector<bool>, and the lines owned by each context are
+ * threaded on an intrusive doubly-linked chain so bulk deallocation
+ * touches only the owned lines, not the whole file.
  */
 
 #ifndef NSRF_CAM_DECODER_HH
@@ -19,12 +26,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
-#include <string>
-
+#include "nsrf/cam/flat_index.hh"
+#include "nsrf/common/logging.hh"
 #include "nsrf/common/types.hh"
 #include "nsrf/stats/counters.hh"
 
@@ -70,7 +76,7 @@ class AssociativeDecoder
     explicit AssociativeDecoder(std::size_t line_count);
 
     /** @return total number of lines. */
-    std::size_t size() const { return valid_.size(); }
+    std::size_t size() const { return lineCount_; }
 
     /** @return number of currently programmed (valid) lines. */
     std::size_t validCount() const { return index_.size(); }
@@ -82,10 +88,22 @@ class AssociativeDecoder
      * Broadcast an address; @return the matching line or npos.
      * Counts as one CAM search.
      */
-    std::size_t match(ContextId cid, RegIndex line_offset);
+    std::size_t
+    match(ContextId cid, RegIndex line_offset)
+    {
+        ++stats_.searches;
+        std::size_t line = index_.find(pack(cid, line_offset));
+        if (line != npos)
+            ++stats_.hits;
+        return line;
+    }
 
     /** As match(), but without perturbing the activity counters. */
-    std::size_t peek(ContextId cid, RegIndex line_offset) const;
+    std::size_t
+    peek(ContextId cid, RegIndex line_offset) const
+    {
+        return index_.find(pack(cid, line_offset));
+    }
 
     /**
      * Program @p line with a tag, binding the register name to it.
@@ -98,12 +116,21 @@ class AssociativeDecoder
 
     /**
      * Free every line belonging to @p cid (the NSF's bulk context
-     * deallocation, paper §4.2).  @return the freed line indices.
+     * deallocation, paper §4.2).  The freed line indices are written
+     * into @p freed (cleared first, ascending order) so callers can
+     * reuse one scratch buffer across calls; @return the count.
+     * O(lines owned by cid) via the per-context chain.
      */
-    std::vector<std::size_t> invalidateContext(ContextId cid);
+    std::size_t invalidateContext(ContextId cid,
+                                  std::vector<std::size_t> &freed);
 
     /** @return true when @p line holds a valid tag. */
-    bool lineValid(std::size_t line) const { return valid_.at(line); }
+    bool
+    lineValid(std::size_t line) const
+    {
+        nsrf_assert(line < lineCount_, "line %zu out of range", line);
+        return !((freeWords_[line / 64] >> (line % 64)) & 1);
+    }
 
     /** @return the tag programmed into @p line (line must be valid). */
     const Tag &tag(std::size_t line) const;
@@ -111,20 +138,35 @@ class AssociativeDecoder
     /** @return the lowest free line, or npos when full. */
     std::size_t findFree() const;
 
-    /** Call @p fn with each valid line index owned by @p cid. */
-    void forEachContextLine(
-        ContextId cid,
-        const std::function<void(std::size_t)> &fn) const;
+    /**
+     * Call @p fn with each valid line index owned by @p cid, in
+     * unspecified order (the chain is most-recently-programmed
+     * first).  O(lines owned by cid).
+     */
+    template <typename Fn>
+    void
+    forEachContextLine(ContextId cid, Fn &&fn) const
+    {
+        std::size_t head = cidHeads_.find(cid);
+        if (head == FlatIndex::npos)
+            return;
+        for (std::uint32_t line = static_cast<std::uint32_t>(head);
+             line != nil; line = chainNext_[line]) {
+            fn(static_cast<std::size_t>(line));
+        }
+    }
 
     /** @return the activity counters. */
     const DecoderStats &stats() const { return stats_; }
 
     /**
      * Walk the live structures and verify the decoder's internal
-     * invariants: the tag index mirrors the valid tag array exactly
-     * (in particular, no two valid lines share a tag — the hardware
-     * "one match per broadcast" guarantee), and the two-level free
-     * bitmap agrees bit-for-bit with line occupancy.
+     * invariants: the tag index mirrors line validity exactly (in
+     * particular, no two valid lines share a tag — the hardware
+     * "one match per broadcast" guarantee), the two-level free
+     * bitmap is self-consistent with no bits past the last line,
+     * the per-context chains partition exactly the valid lines,
+     * and both flat tables pass their own probe-chain audits.
      *
      * @return true when every invariant holds; otherwise false with
      * the first violation described in @p why (when non-null).
@@ -133,30 +175,41 @@ class AssociativeDecoder
 
   private:
     friend struct ::nsrf::check::TestAccess;
-    struct TagHash
-    {
-        std::size_t
-        operator()(const Tag &t) const
-        {
-            return std::hash<std::uint64_t>()(
-                (static_cast<std::uint64_t>(t.cid) << 32) |
-                t.lineOffset);
-        }
-    };
 
+    /** Chain-link sentinel meaning "end of chain". */
+    static constexpr std::uint32_t nil = 0xffffffffu;
+
+    /** The 64-bit CAM key: the tag fields side by side. */
+    static std::uint64_t
+    pack(ContextId cid, RegIndex line_offset)
+    {
+        return (static_cast<std::uint64_t>(cid) << 32) | line_offset;
+    }
+
+    std::size_t lineCount_;
     std::vector<Tag> tags_;
-    std::vector<bool> valid_;
     /**
-     * Behavioural shortcut for the parallel CAM search: maps a tag to
-     * its line.  The hardware compares all lines simultaneously; the
-     * map keeps the model O(1) while the invariants stay identical.
+     * Behavioural shortcut for the parallel CAM search: maps a packed
+     * tag to its line.  The hardware compares all lines
+     * simultaneously; the flat table keeps the model O(1) while the
+     * invariants stay identical.
      */
-    std::unordered_map<Tag, std::size_t, TagHash> index_;
+    FlatIndex index_;
+    /**
+     * Head line of each context's intrusive chain (cid -> line).  A
+     * context appears here iff it owns at least one valid line.
+     */
+    FlatIndex cidHeads_;
+    /** Per-line chain links; nil-terminated, nil when line is free. */
+    std::vector<std::uint32_t> chainNext_;
+    std::vector<std::uint32_t> chainPrev_;
     /**
      * Free lines as a two-level bitmap (bit set = line free).  A
      * summary bit per 64-bit word lets findFree() locate the lowest
      * free line with two find-first-set steps instead of walking the
      * lines, keeping allocation O(1) for any realistic file size.
+     * Line validity is derived from these words (lineValid), so the
+     * bitmap cannot drift from a separate valid array.
      */
     std::vector<std::uint64_t> freeWords_;
     std::vector<std::uint64_t> freeSummary_;

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Open-addressed flat hash table behind the CAM decoder's tag index.
+ *
+ * The decoder models the hardware's parallel tag broadcast with a
+ * hash lookup; that lookup sits on every simulated register access,
+ * so its host cost bounds the whole simulator's throughput.  A
+ * std::unordered_map pays a heap-allocated node per tag, a bucket
+ * indirection per probe, and a modulo per hash.  This table stores
+ * keys and values in two flat arrays, probes linearly from a
+ * Fibonacci-hashed home slot, and deletes by backward shifting, so
+ * a lookup is a multiply, a shift, and a short contiguous scan —
+ * no nodes, no tombstones, no per-access allocation.
+ *
+ * Capacity is fixed at construction to the first power of two
+ * holding @p max_entries at <= 50% load.  The decoder's entry count
+ * is bounded by its line count, so the table never grows and every
+ * probe chain stays short.
+ *
+ * Keys are caller-packed 64-bit values (the decoder packs
+ * cid << 32 | lineOffset); values are 32-bit slot indices with
+ * 0xffffffff reserved as the empty marker.
+ */
+
+#ifndef NSRF_CAM_FLAT_INDEX_HH
+#define NSRF_CAM_FLAT_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/common/audit.hh"
+#include "nsrf/common/bitutil.hh"
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::cam
+{
+
+/** Fixed-capacity open-addressed map: packed 64-bit key -> index. */
+class FlatIndex
+{
+  public:
+    /** Sentinel return meaning "key not present". */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** @param max_entries most keys ever held at once. */
+    explicit FlatIndex(std::size_t max_entries)
+    {
+        std::size_t capacity = 8;
+        while (capacity < max_entries * 2)
+            capacity <<= 1;
+        mask_ = capacity - 1;
+        shift_ = 64 - log2Floor(capacity);
+        keys_.assign(capacity, 0);
+        vals_.assign(capacity, emptyVal);
+    }
+
+    /** @return number of keys held. */
+    std::size_t size() const { return size_; }
+
+    /** @return number of slots (power of two, >= 2 * max_entries). */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** @return the value mapped to @p key, or npos. */
+    std::size_t
+    find(std::uint64_t key) const
+    {
+        std::size_t i = home(key);
+        while (vals_[i] != emptyVal) {
+            if (keys_[i] == key)
+                return vals_[i];
+            i = (i + 1) & mask_;
+        }
+        return npos;
+    }
+
+    /** Map @p key to @p value; the key must not be present. */
+    void
+    insert(std::uint64_t key, std::size_t value)
+    {
+        nsrf_assert(size_ * 2 <= capacity(),
+                    "flat index over capacity (%zu entries)", size_);
+        nsrf_assert(value < emptyVal, "value %zu collides with the "
+                    "empty marker", value);
+        std::size_t i = home(key);
+        while (vals_[i] != emptyVal) {
+            nsrf_assert(keys_[i] != key,
+                        "duplicate key %llx inserted",
+                        static_cast<unsigned long long>(key));
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = key;
+        vals_[i] = static_cast<std::uint32_t>(value);
+        ++size_;
+    }
+
+    /** Rebind present @p key to @p value. */
+    void
+    update(std::uint64_t key, std::size_t value)
+    {
+        std::size_t i = home(key);
+        while (true) {
+            nsrf_assert(vals_[i] != emptyVal,
+                        "update of absent key %llx",
+                        static_cast<unsigned long long>(key));
+            if (keys_[i] == key) {
+                vals_[i] = static_cast<std::uint32_t>(value);
+                return;
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    /**
+     * Remove @p key; @return whether it was present.  Deletion
+     * backward-shifts the displaced tail of the probe chain into the
+     * hole instead of leaving a tombstone, so the invariant "every
+     * key is reachable from its home slot with no empty slot in
+     * between" survives any program/invalidate sequence and lookups
+     * never scan dead slots.
+     */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t i = home(key);
+        while (true) {
+            if (vals_[i] == emptyVal)
+                return false;
+            if (keys_[i] == key)
+                break;
+            i = (i + 1) & mask_;
+        }
+        std::size_t hole = i;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (vals_[j] == emptyVal)
+                break;
+            // The entry at j may fill the hole iff the hole lies
+            // within [home(j's key), j] cyclically; otherwise moving
+            // it would strand it before its home slot.
+            std::size_t h = home(keys_[j]);
+            if (((j - h) & mask_) >= ((j - hole) & mask_)) {
+                keys_[hole] = keys_[j];
+                vals_[hole] = vals_[j];
+                hole = j;
+            }
+        }
+        vals_[hole] = emptyVal;
+        --size_;
+        return true;
+    }
+
+    /** Call @p fn(key, value) for every entry, in slot order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            if (vals_[i] != emptyVal)
+                fn(keys_[i], static_cast<std::size_t>(vals_[i]));
+        }
+    }
+
+    /**
+     * Verify the table's own invariants: the size matches the
+     * occupied slots, and every entry is reachable from its home
+     * slot through occupied slots only (the property backward-shift
+     * deletion exists to maintain — a gap in a probe chain makes the
+     * entries behind it unfindable).
+     */
+    bool
+    auditInvariants(std::string *why = nullptr) const
+    {
+        using auditing::fail;
+        std::size_t occupied = 0;
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            if (vals_[i] == emptyVal)
+                continue;
+            ++occupied;
+            for (std::size_t p = home(keys_[i]); p != i;
+                 p = (p + 1) & mask_) {
+                if (vals_[p] == emptyVal) {
+                    return fail(why,
+                                "slot %zu key %llx unreachable: "
+                                "probe chain from home %zu breaks "
+                                "at empty slot %zu",
+                                i,
+                                static_cast<unsigned long long>(
+                                    keys_[i]),
+                                home(keys_[i]), p);
+                }
+            }
+        }
+        if (occupied != size_) {
+            return fail(why,
+                        "flat index size %zu disagrees with %zu "
+                        "occupied slots",
+                        size_, occupied);
+        }
+        return true;
+    }
+
+  private:
+    static constexpr std::uint32_t emptyVal = 0xffffffffu;
+
+    /**
+     * Fibonacci hash with an xor-fold.  The multiply alone is linear
+     * in the key, and the decoder's keys are structured
+     * (cid << 32 | offset): an arithmetic progression of cids maps
+     * to an arithmetic progression of home slots whose step can be
+     * tiny, packing whole contexts into a few clustered runs at some
+     * table sizes and blowing up the probe and backward-shift scans.
+     * Folding the high bits down first makes the progression
+     * non-linear before the multiply spreads it.
+     */
+    std::size_t
+    home(std::uint64_t key) const
+    {
+        key ^= key >> 31;
+        return static_cast<std::size_t>(
+            (key * 0x9e3779b97f4a7c15ull) >> shift_);
+    }
+
+    std::size_t mask_ = 0;
+    unsigned shift_ = 0;
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> vals_;
+};
+
+} // namespace nsrf::cam
+
+#endif // NSRF_CAM_FLAT_INDEX_HH

@@ -74,13 +74,6 @@ ReplacementState::moveToBack(std::size_t slot)
 }
 
 void
-ReplacementState::unlink(std::size_t slot)
-{
-    next_[prev_[slot]] = next_[slot];
-    prev_[next_[slot]] = prev_[slot];
-}
-
-void
 ReplacementState::insert(std::size_t slot)
 {
     nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
@@ -99,28 +92,6 @@ ReplacementState::insert(std::size_t slot)
         held_[slot] = true;
         ++heldCount_;
     }
-    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
-}
-
-void
-ReplacementState::touch(std::size_t slot)
-{
-    nsrf_assert(slot < held_.size(), "slot %zu out of range", slot);
-    nsrf_assert(held_[slot], "touch() on free slot %zu", slot);
-    if (kind_ != ReplacementKind::Lru)
-        return;
-    // Hot path: the slot is held (asserted above), so skip
-    // moveToBack's held check; repeated hits on the hottest line
-    // are already at the tail.
-    std::size_t sentinel = held_.size();
-    if (next_[slot] == sentinel)
-        return;
-    unlink(slot);
-    std::size_t tail = prev_[sentinel];
-    next_[tail] = slot;
-    prev_[slot] = tail;
-    next_[slot] = sentinel;
-    prev_[sentinel] = slot;
     nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 

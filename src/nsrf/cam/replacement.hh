@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "nsrf/common/audit.hh"
+#include "nsrf/common/logging.hh"
 #include "nsrf/common/random.hh"
 
 namespace nsrf::check
@@ -60,8 +62,31 @@ class ReplacementState
     /** Mark @p slot as just inserted (becomes MRU / queue tail). */
     void insert(std::size_t slot);
 
-    /** Mark @p slot as just accessed (LRU promotes; FIFO ignores). */
-    void touch(std::size_t slot);
+    /** Mark @p slot as just accessed (LRU promotes; FIFO ignores).
+     * Defined here: this is the one replacement operation on the
+     * register-access hit path. */
+    void
+    touch(std::size_t slot)
+    {
+        nsrf_assert(slot < held_.size(), "slot %zu out of range",
+                    slot);
+        nsrf_assert(held_[slot], "touch() on free slot %zu", slot);
+        if (kind_ != ReplacementKind::Lru)
+            return;
+        // Hot path: the slot is held (asserted above), so skip
+        // moveToBack's held check; repeated hits on the hottest line
+        // are already at the tail.
+        std::size_t sentinel = held_.size();
+        if (next_[slot] == sentinel)
+            return;
+        unlink(slot);
+        std::size_t tail = prev_[sentinel];
+        next_[tail] = slot;
+        prev_[slot] = tail;
+        next_[slot] = sentinel;
+        prev_[sentinel] = slot;
+        nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
+    }
 
     /** Mark @p slot as free; it is no longer a victim candidate. */
     void release(std::size_t slot);
@@ -104,8 +129,14 @@ class ReplacementState
     friend struct ::nsrf::check::TestAccess;
     /** Move @p slot to the MRU end of the recency list. */
     void moveToBack(std::size_t slot);
+
     /** Unlink @p slot from the recency list. */
-    void unlink(std::size_t slot);
+    void
+    unlink(std::size_t slot)
+    {
+        next_[prev_[slot]] = next_[slot];
+        prev_[next_[slot]] = prev_[slot];
+    }
 
     ReplacementKind kind_;
     std::vector<bool> held_;

@@ -55,6 +55,28 @@ struct TestAccess
         dec.freeWords_[line / 64] ^= std::uint64_t(1) << (line % 64);
     }
 
+    /**
+     * Make valid @p line's context-chain next pointer a self-loop,
+     * so the per-context chain walk revisits the line instead of
+     * terminating.
+     */
+    static void
+    corruptChainLink(cam::AssociativeDecoder &dec, std::size_t line)
+    {
+        dec.chainNext_[line] = static_cast<std::uint32_t>(line);
+    }
+
+    /**
+     * Drop context @p cid's chain head while its lines stay valid —
+     * the chains no longer cover every valid line, so a bulk
+     * invalidateContext would leak the context's lines.
+     */
+    static void
+    dropChainHead(cam::AssociativeDecoder &dec, ContextId cid)
+    {
+        dec.cidHeads_.erase(cid);
+    }
+
     // --- ReplacementState ---------------------------------------
 
     /** Bump the held count without holding anything. */

@@ -18,12 +18,6 @@ splitMix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Random::Random(std::uint64_t seed_value)
@@ -39,31 +33,16 @@ Random::seed(std::uint64_t seed_value)
         word = splitMix64(sm);
 }
 
-std::uint64_t
-Random::next()
+Random::ChanceThreshold
+Random::chanceThreshold(double p)
 {
-    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Random::uniform(std::uint64_t bound)
-{
-    nsrf_assert(bound > 0, "uniform() needs a positive bound");
-    // Rejection sampling to avoid modulo bias.
-    std::uint64_t threshold = (0 - bound) % bound;
-    for (;;) {
-        std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
+    if (p <= 0.0)
+        return {0};
+    if (p >= 1.0)
+        return {~0ull};
+    // p * 2^53 is an exact power-of-two scaling, so ceil() of it is
+    // the exact acceptance bound (see ChanceThreshold).
+    return {static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53))};
 }
 
 std::int64_t
@@ -72,22 +51,6 @@ Random::uniformRange(std::int64_t lo, std::int64_t hi)
     nsrf_assert(hi >= lo, "uniformRange() needs hi >= lo");
     std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(uniform(span));
-}
-
-double
-Random::real()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Random::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return real() < p;
 }
 
 std::uint64_t

@@ -6,6 +6,10 @@
  * experiment is exactly reproducible from its seed.  The generator is
  * xoshiro256**, seeded with SplitMix64, which is both fast and of far
  * higher quality than the workload models require.
+ *
+ * The draw-per-instruction members (next, uniform, real, chance) are
+ * defined here so workload generators inline them; the shaped
+ * distributions stay out of line.
  */
 
 #ifndef NSRF_COMMON_RANDOM_HH
@@ -14,6 +18,7 @@
 #include <array>
 #include <cstdint>
 
+#include "nsrf/common/bitutil.hh"
 #include "nsrf/common/logging.hh"
 
 namespace nsrf
@@ -30,19 +35,89 @@ class Random
     void seed(std::uint64_t seed);
 
     /** @return the next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
 
     /** @return uniform integer in [0, bound); bound must be > 0. */
-    std::uint64_t uniform(std::uint64_t bound);
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        nsrf_assert(bound > 0, "uniform() needs a positive bound");
+        // Rejection sampling to avoid modulo bias.  The rejection
+        // threshold (2^64 - bound) mod bound is strictly below
+        // bound, so a draw at or above bound accepts without
+        // computing it — for the small bounds the workload models
+        // use, the threshold division (the second of two 64-bit
+        // divides on this path) runs only on a ~bound/2^64 fluke.
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= bound || r >= (0 - bound) % bound)
+                return mod(r, bound);
+        }
+    }
 
     /** @return uniform integer in [lo, hi] inclusive; hi >= lo. */
     std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
 
     /** @return uniform real in [0, 1). */
-    double real();
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return true with probability @p p (clamped to [0, 1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return real() < p;
+    }
+
+    /**
+     * A chance() probability precompiled to an integer acceptance
+     * threshold.  real() compares an exact 53-bit integer scaled by
+     * an exact power of two against p, so the comparison transfers
+     * to the integers: real() < p  ⟺  (next() >> 11) < ceil(p·2^53)
+     * for p in (0, 1).  0 and ~0 encode the p <= 0 / p >= 1 guards,
+     * which must answer without consuming a draw.
+     */
+    struct ChanceThreshold
+    {
+        std::uint64_t value = 0;
+    };
+
+    /** Precompute the threshold for chance(@p p). */
+    static ChanceThreshold chanceThreshold(double p);
+
+    /**
+     * chance() with the probability compare done in integers; same
+     * draws, same answers as chance(p) for the p the threshold was
+     * built from.
+     */
+    bool
+    chance(ChanceThreshold t)
+    {
+        if (t.value == 0)
+            return false;
+        if (t.value == ~0ull)
+            return true;
+        return (next() >> 11) < t.value;
+    }
 
     /**
      * @return a sample from a geometric-flavoured distribution with
@@ -58,7 +133,64 @@ class Random
     std::size_t weightedPick(const double *weights, std::size_t count);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Cached reciprocal for one modulo divisor (see mod()). */
+    struct ModCache
+    {
+        std::uint64_t bound = 0;
+        std::uint64_t magic = 0;
+        unsigned shift = 0;
+    };
+
+    /**
+     * @return r % bound, exactly, without a hardware divide on the
+     * hot path.
+     *
+     * The workload models draw uniforms over a handful of small,
+     * repeating bounds (working-set sizes, phase-set sizes), so the
+     * 64-bit divide in `r % bound` dominates the draw cost.  This
+     * uses the Granlund–Montgomery reciprocal: with L = floor(log2
+     * bound) and magic M = floor(2^(64+L) / bound), the estimate
+     * q = (r * M) >> (64 + L) satisfies q <= r / bound <= q + 1 for
+     * every r (the truncation error r*e / (bound * 2^(64+L)) with
+     * e = 2^(64+L) mod bound < bound < 2^(L+1) is below 2^-L <= 1),
+     * so a single conditional fixup makes the remainder exact.
+     * Powers of two take the mask path.  Reciprocals are cached in
+     * a small direct-mapped table keyed by the bound's low bits; a
+     * miss pays one 128/64 divide to refill.
+     */
+    std::uint64_t
+    mod(std::uint64_t r, std::uint64_t bound)
+    {
+        if ((bound & (bound - 1)) == 0)
+            return r & (bound - 1);
+        ModCache &mc = modCache_[bound & (modCache_.size() - 1)];
+        if (mc.bound != bound) {
+            mc.bound = bound;
+            mc.shift = static_cast<unsigned>(log2Floor(bound));
+            mc.magic = static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(1)
+                 << (64 + mc.shift)) /
+                bound);
+        }
+        std::uint64_t q =
+            static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(r) * mc.magic) >>
+                64) >>
+            mc.shift;
+        std::uint64_t rem = r - q * bound;
+        if (rem >= bound)
+            rem -= bound;
+        return rem;
+    }
+
     std::array<std::uint64_t, 4> state_;
+    std::array<ModCache, 8> modCache_{};
 };
 
 } // namespace nsrf

@@ -23,15 +23,50 @@ NamedStateRegisterFile::NamedStateRegisterFile(
     array_.assign(config.lines * config.regsPerLine, 0);
     valid_.assign(array_.size(), false);
     dirty_.assign(array_.size(), false);
+    lineScratch_.reserve(config.lines);
+    selectKernels();
 }
 
-NamedStateRegisterFile::ContextState &
-NamedStateRegisterFile::state(ContextId cid)
+void
+NamedStateRegisterFile::selectKernels()
 {
-    auto it = contexts_.find(cid);
-    nsrf_assert(it != contexts_.end(),
-                "access to unallocated context %u", cid);
-    return it->second;
+    switch (config_.missPolicy) {
+      case MissPolicy::ReloadSingle:
+        bindKernels<MissPolicy::ReloadSingle>();
+        break;
+      case MissPolicy::ReloadLive:
+        bindKernels<MissPolicy::ReloadLive>();
+        break;
+      case MissPolicy::ReloadLine:
+        bindKernels<MissPolicy::ReloadLine>();
+        break;
+    }
+    nsrf_assert(readKernel_ && writeKernel_,
+                "no access kernel for this policy combination");
+}
+
+template <MissPolicy MP>
+void
+NamedStateRegisterFile::bindKernels()
+{
+    if (config_.regsPerLine == 1)
+        bindKernels2<MP, true>();
+    else
+        bindKernels2<MP, false>();
+}
+
+template <MissPolicy MP, bool OneWord>
+void
+NamedStateRegisterFile::bindKernels2()
+{
+    readKernel_ = &NamedStateRegisterFile::readImpl<MP, OneWord>;
+    if (config_.writePolicy == WritePolicy::FetchOnWrite) {
+        writeKernel_ = &NamedStateRegisterFile::writeImpl<
+            MP, WritePolicy::FetchOnWrite, OneWord>;
+    } else {
+        writeKernel_ = &NamedStateRegisterFile::writeImpl<
+            MP, WritePolicy::WriteAllocate, OneWord>;
+    }
 }
 
 void
@@ -56,8 +91,8 @@ NamedStateRegisterFile::freeContext(ContextId cid)
 
     // Bulk-deallocate every resident line — no writeback, the data
     // is dead (paper §4.2).
-    auto freed = decoder_.invalidateContext(cid);
-    for (std::size_t line : freed) {
+    decoder_.invalidateContext(cid, lineScratch_);
+    for (std::size_t line : lineScratch_) {
         for (unsigned w = 0; w < config_.regsPerLine; ++w) {
             std::size_t slot = line * config_.regsPerLine + w;
             if (valid_[slot]) {
@@ -87,10 +122,14 @@ NamedStateRegisterFile::flushContext(ContextId cid)
     // Spill every resident line of the context, then release its
     // name; the backing frame now holds the full architectural
     // state and the CID is free for reuse.
-    std::vector<std::size_t> lines;
+    lineScratch_.clear();
     decoder_.forEachContextLine(
-        cid, [&](std::size_t line) { lines.push_back(line); });
-    for (std::size_t line : lines)
+        cid, [&](std::size_t line) { lineScratch_.push_back(line); });
+    // The chain yields lines in programming order; evict in
+    // ascending line order to match the historical full-scan walk
+    // bit for bit.
+    std::sort(lineScratch_.begin(), lineScratch_.end());
+    for (std::size_t line : lineScratch_)
         evictLine(line, res);
     nsrf_trace_hook(emit(trace::Kind::CtxFlush, cid));
     contexts_.erase(cid);
@@ -133,25 +172,6 @@ NamedStateRegisterFile::residentLines(ContextId cid) const
 {
     auto it = contexts_.find(cid);
     return it == contexts_.end() ? 0 : it->second.residentLines;
-}
-
-void
-NamedStateRegisterFile::markValid(std::size_t line, ContextId cid,
-                                  RegIndex off)
-{
-    std::size_t slot = slotOf(line, off);
-    if (!valid_[slot]) {
-        valid_[slot] = true;
-        ++activeCount_;
-        ContextState &ctx = state(cid);
-        if (ctx.residentLiveRegs == 0 && ctx.residentLines == 0) {
-            // Becoming resident is tracked via residentLines; this
-            // path cannot happen because markValid follows a line
-            // allocation.  Keep the check as an invariant.
-            nsrf_panic("valid register outside any resident line");
-        }
-        ++ctx.residentLiveRegs;
-    }
 }
 
 std::size_t
@@ -244,137 +264,19 @@ NamedStateRegisterFile::reloadWord(std::size_t line, ContextId cid,
         ++stats_.liveRegsReloaded;
     nsrf_trace_hook(emit(trace::Kind::WordReload, cid, off,
                          ctx.validInMem[off] ? 1 : 0));
-    markValid(line, cid, off);
-}
-
-void
-NamedStateRegisterFile::reloadLine(std::size_t line, ContextId cid,
-                                   RegIndex line_off,
-                                   RegIndex demand_off,
-                                   MissPolicy policy,
-                                   AccessResult &res)
-{
-    ContextState &ctx = state(cid);
-    for (unsigned w = 0; w < config_.regsPerLine; ++w) {
-        RegIndex off = line_off + w;
-        if (off >= config_.maxRegsPerContext)
-            break;
-        bool demand = off == demand_off;
-        bool wanted;
-        switch (policy) {
-          case MissPolicy::ReloadSingle:
-            wanted = demand;
-            break;
-          case MissPolicy::ReloadLive:
-            wanted = demand || ctx.validInMem[off];
-            break;
-          case MissPolicy::ReloadLine:
-            wanted = true;
-            break;
-          default:
-            wanted = demand;
-            break;
-        }
-        if (wanted)
-            reloadWord(line, cid, off, res);
-    }
+    markValid(slot, cid);
 }
 
 AccessResult
 NamedStateRegisterFile::read(ContextId cid, RegIndex off, Word &value)
 {
-    nsrf_assert(off < config_.maxRegsPerContext,
-                "offset %u exceeds context size %u", off,
-                config_.maxRegsPerContext);
-    tick();
-    ++stats_.reads;
-    AccessResult res;
-
-    RegIndex line_off = lineOffsetOf(off);
-    std::size_t line = decoder_.match(cid, line_off);
-
-    if (line == cam::AssociativeDecoder::npos) {
-        // Full miss: no line holds this name.  Stall, allocate a
-        // line, and reload on demand (paper §4.2).
-        ++stats_.readMisses;
-        res.hit = false;
-        res.stall += config_.costs.missDetect;
-        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 0));
-        line = allocateLine(cid, line_off, res);
-        reloadLine(line, cid, line_off, off, config_.missPolicy,
-                   res);
-    } else if (!valid_[slotOf(line, off)]) {
-        // The line is resident but this register is not (a neighbour
-        // allocated the line).  Reload just this word.
-        ++stats_.readMisses;
-        res.hit = false;
-        res.stall += config_.costs.missDetect;
-        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 1));
-        reloadWord(line, cid, off, res);
-        repl_.touch(line);
-    } else {
-        nsrf_trace_hook(emit(trace::Kind::ReadHit, cid, off));
-        repl_.touch(line);
-    }
-
-    value = array_[slotOf(line, off)];
-    stats_.stallCycles += res.stall;
-    updateOccupancy();
-    return res;
+    return (this->*readKernel_)(cid, off, value);
 }
 
 AccessResult
 NamedStateRegisterFile::write(ContextId cid, RegIndex off, Word value)
 {
-    nsrf_assert(off < config_.maxRegsPerContext,
-                "offset %u exceeds context size %u", off,
-                config_.maxRegsPerContext);
-    tick();
-    ++stats_.writes;
-    AccessResult res;
-
-    RegIndex line_off = lineOffsetOf(off);
-    std::size_t line = decoder_.match(cid, line_off);
-
-    if (line == cam::AssociativeDecoder::npos) {
-        // The first write to a new register allocates it in the
-        // array (paper §4.2).
-        ++stats_.writeMisses;
-        res.hit = false;
-        nsrf_trace_hook(emit(trace::Kind::WriteMiss, cid, off));
-        line = allocateLine(cid, line_off, res);
-        if (config_.writePolicy == WritePolicy::FetchOnWrite) {
-            res.stall += config_.costs.missDetect;
-            // Fetch the rest of the line; the written word itself
-            // needs no reload.
-            ContextState &ctx = state(cid);
-            for (unsigned w = 0; w < config_.regsPerLine; ++w) {
-                RegIndex other = line_off + w;
-                if (other == off ||
-                    other >= config_.maxRegsPerContext) {
-                    continue;
-                }
-                bool wanted =
-                    config_.missPolicy == MissPolicy::ReloadLine ||
-                    (config_.missPolicy == MissPolicy::ReloadLive &&
-                     ctx.validInMem[other]);
-                if (wanted)
-                    reloadWord(line, cid, other, res);
-            }
-        }
-    } else {
-        nsrf_trace_hook(emit(trace::Kind::WriteHit, cid, off));
-        repl_.touch(line);
-    }
-
-    std::size_t slot = slotOf(line, off);
-    array_[slot] = value;
-    nsrf_trace_stmt(if (!dirty_[slot]) ++traceDirtyWords_;)
-    dirty_[slot] = true;
-    markValid(line, cid, off);
-    stats_.stallCycles += res.stall;
-    updateOccupancy();
-    return res;
+    return (this->*writeKernel_)(cid, off, value);
 }
 
 AccessResult
@@ -426,17 +328,6 @@ NamedStateRegisterFile::freeRegister(ContextId cid, RegIndex off)
         updateOccupancy();
     }
     return res;
-}
-
-void
-NamedStateRegisterFile::updateOccupancy()
-{
-    noteOccupancy(activeCount_, residentCtxCount_);
-    nsrf_trace_hook(counters(
-        static_cast<std::uint32_t>(activeCount_),
-        static_cast<std::uint32_t>(residentCtxCount_),
-        static_cast<std::uint32_t>(traceDirtyWords_)));
-    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
 }
 
 bool

@@ -31,14 +31,17 @@
 
 #include "nsrf/cam/decoder.hh"
 #include "nsrf/cam/replacement.hh"
+#include "nsrf/common/audit.hh"
+#include "nsrf/common/logging.hh"
 #include "nsrf/regfile/ctable.hh"
 #include "nsrf/regfile/regfile.hh"
+#include "nsrf/trace/hooks.hh"
 
 namespace nsrf::regfile
 {
 
 /** The fine-grain associative register file. */
-class NamedStateRegisterFile : public RegisterFile
+class NamedStateRegisterFile final : public RegisterFile
 {
   public:
     /** Configuration of an NSF. */
@@ -75,6 +78,55 @@ class NamedStateRegisterFile : public RegisterFile
     std::string describe() const override;
 
     const Config &config() const { return config_; }
+
+    /**
+     * Zero-overhead typed view over one compile-time kernel
+     * selection.  The simulator instantiates this for the dominant
+     * one-register-per-line organizations so the access kernels
+     * inline straight into its event loop; the virtual
+     * read()/write() otherwise pay a member-pointer indirection per
+     * access.  Everything else forwards to the underlying file.
+     */
+    template <MissPolicy MP, WritePolicy WP>
+    class OneWordKernels
+    {
+      public:
+        explicit OneWordKernels(NamedStateRegisterFile &rf) : rf_(rf)
+        {
+        }
+
+        AccessResult
+        read(ContextId cid, RegIndex off, Word &value)
+        {
+            return rf_.readImpl<MP, true>(cid, off, value);
+        }
+
+        AccessResult
+        write(ContextId cid, RegIndex off, Word value)
+        {
+            return rf_.writeImpl<MP, WP, true>(cid, off, value);
+        }
+
+        AccessResult switchTo(ContextId cid)
+        {
+            return rf_.switchTo(cid);
+        }
+        AccessResult freeRegister(ContextId cid, RegIndex off)
+        {
+            return rf_.freeRegister(cid, off);
+        }
+        void finalize() { rf_.finalize(); }
+        const RegFileStats &stats() const { return rf_.stats(); }
+        std::string describe() const { return rf_.describe(); }
+        double meanUtilization() const
+        {
+            return rf_.meanUtilization();
+        }
+        double maxUtilization() const { return rf_.maxUtilization(); }
+
+      private:
+        NamedStateRegisterFile &rf_;
+    };
 
     /** @return true when <cid:off> is resident with valid data. */
     bool residentValid(ContextId cid, RegIndex off) const;
@@ -140,6 +192,21 @@ class NamedStateRegisterFile : public RegisterFile
         return line * config_.regsPerLine + off % config_.regsPerLine;
     }
 
+    /** slotOf with the one-word-per-line case folded at compile
+     * time: the slot IS the line, no multiply or modulo. */
+    template <bool OneWord>
+    std::size_t
+    slotOfT(std::size_t line, RegIndex off) const
+    {
+        if constexpr (OneWord) {
+            (void)off;
+            return line;
+        } else {
+            return line * config_.regsPerLine +
+                   off % config_.regsPerLine;
+        }
+    }
+
     /**
      * Find a line for <cid:line_off>, evicting a victim when the
      * file is full, and program the decoder.  @return the line.
@@ -152,21 +219,44 @@ class NamedStateRegisterFile : public RegisterFile
 
     /**
      * Reload words of @p line (owned by @p cid, base offset
-     * @p line_off) according to @p policy.  @p demand_off is the
-     * offset that must be present afterwards.
+     * @p line_off) according to the compile-time policy.
+     * @p demand_off is the offset that must be present afterwards.
      */
-    void reloadLine(std::size_t line, ContextId cid,
-                    RegIndex line_off, RegIndex demand_off,
-                    MissPolicy policy, AccessResult &res);
+    template <MissPolicy MP, bool OneWord>
+    void reloadLineImpl(std::size_t line, ContextId cid,
+                        RegIndex line_off, RegIndex demand_off,
+                        AccessResult &res);
 
     /** Reload the single word <cid:off> into @p line. */
     void reloadWord(std::size_t line, ContextId cid, RegIndex off,
                     AccessResult &res);
 
-    /** Mark <line:off> valid, maintaining the occupancy counters. */
-    void markValid(std::size_t line, ContextId cid, RegIndex off);
+    /** Mark physical @p slot valid, maintaining the occupancy
+     * counters (@p cid owns the slot's line). */
+    void markValid(std::size_t slot, ContextId cid);
 
     void updateOccupancy();
+
+    /**
+     * The per-access policy branches (miss policy, write policy,
+     * line size) are invariant after construction; the access
+     * kernels below are templates over those decisions, selected
+     * once here, so read()/write() run straight-line code with the
+     * policy switches folded away.
+     */
+    void selectKernels();
+    template <MissPolicy MP> void bindKernels();
+    template <MissPolicy MP, bool OneWord> void bindKernels2();
+
+    template <MissPolicy MP, bool OneWord>
+    AccessResult readImpl(ContextId cid, RegIndex off, Word &value);
+    template <MissPolicy MP, WritePolicy WP, bool OneWord>
+    AccessResult writeImpl(ContextId cid, RegIndex off, Word value);
+
+    using ReadKernel = AccessResult (NamedStateRegisterFile::*)(
+        ContextId, RegIndex, Word &);
+    using WriteKernel = AccessResult (NamedStateRegisterFile::*)(
+        ContextId, RegIndex, Word);
 
     Config config_;
     cam::AssociativeDecoder decoder_;
@@ -176,13 +266,210 @@ class NamedStateRegisterFile : public RegisterFile
     std::vector<bool> valid_;  //!< per physical register
     std::vector<bool> dirty_;  //!< modified since load
     std::unordered_map<ContextId, ContextState> contexts_;
+    ReadKernel readKernel_ = nullptr;
+    WriteKernel writeKernel_ = nullptr;
+    /** Reused line-index buffer for bulk free/flush — no per-call
+     * allocation on context deallocation or CID stealing. */
+    std::vector<std::size_t> lineScratch_;
     std::size_t activeCount_ = 0;
     std::size_t residentCtxCount_ = 0;
+    /** Occupancy last handed to noteOccupancy(); initialized to an
+     * impossible value so the first access always records. */
+    std::size_t lastNotedActive_ = static_cast<std::size_t>(-1);
+    std::size_t lastNotedResident_ = static_cast<std::size_t>(-1);
     /** Dirty registers, counted at the dirty-bit flip sites.  Only
      * maintained (and only read) in NSRF_TRACE builds, feeding the
      * dirty-line counter track; stays 0 otherwise. */
     std::size_t traceDirtyWords_ = 0;
 };
+
+// The access kernels live in the header so that translation units
+// which dispatch on the policy types (the simulator's devirtualized
+// event loop, via OneWordKernels) can inline them; named_state.cc
+// instantiates the member-pointer kernels for the virtual
+// read()/write() path.
+
+inline NamedStateRegisterFile::ContextState &
+NamedStateRegisterFile::state(ContextId cid)
+{
+    auto it = contexts_.find(cid);
+    nsrf_assert(it != contexts_.end(),
+                "access to unallocated context %u", cid);
+    return it->second;
+}
+
+inline void
+NamedStateRegisterFile::markValid(std::size_t slot, ContextId cid)
+{
+    if (!valid_[slot]) {
+        valid_[slot] = true;
+        ++activeCount_;
+        ContextState &ctx = state(cid);
+        if (ctx.residentLiveRegs == 0 && ctx.residentLines == 0) {
+            // Becoming resident is tracked via residentLines; this
+            // path cannot happen because markValid follows a line
+            // allocation.  Keep the check as an invariant.
+            nsrf_panic("valid register outside any resident line");
+        }
+        ++ctx.residentLiveRegs;
+    }
+}
+
+inline void
+NamedStateRegisterFile::updateOccupancy()
+{
+    // Occupancy is unchanged on the hit path; two integer compares
+    // skip the double conversions and record calls whose values
+    // TimeWeightedMean would discard anyway (record() drops
+    // equal-value re-records, so skipping them is bit-identical).
+    if (activeCount_ != lastNotedActive_ ||
+        residentCtxCount_ != lastNotedResident_) {
+        lastNotedActive_ = activeCount_;
+        lastNotedResident_ = residentCtxCount_;
+        noteOccupancy(activeCount_, residentCtxCount_);
+    }
+    nsrf_trace_hook(counters(
+        static_cast<std::uint32_t>(activeCount_),
+        static_cast<std::uint32_t>(residentCtxCount_),
+        static_cast<std::uint32_t>(traceDirtyWords_)));
+    nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
+}
+
+template <MissPolicy MP, bool OneWord>
+void
+NamedStateRegisterFile::reloadLineImpl(std::size_t line, ContextId cid,
+                                       RegIndex line_off,
+                                       RegIndex demand_off,
+                                       AccessResult &res)
+{
+    if constexpr (OneWord) {
+        // The demanded word is the whole line under every policy.
+        (void)line_off;
+        reloadWord(line, cid, demand_off, res);
+    } else {
+        ContextState &ctx = state(cid);
+        for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+            RegIndex off = line_off + w;
+            if (off >= config_.maxRegsPerContext)
+                break;
+            bool demand = off == demand_off;
+            bool wanted;
+            if constexpr (MP == MissPolicy::ReloadSingle)
+                wanted = demand;
+            else if constexpr (MP == MissPolicy::ReloadLive)
+                wanted = demand || ctx.validInMem[off];
+            else
+                wanted = true;
+            if (wanted)
+                reloadWord(line, cid, off, res);
+        }
+    }
+}
+
+template <MissPolicy MP, bool OneWord>
+AccessResult
+NamedStateRegisterFile::readImpl(ContextId cid, RegIndex off,
+                                 Word &value)
+{
+    nsrf_assert(off < config_.maxRegsPerContext,
+                "offset %u exceeds context size %u", off,
+                config_.maxRegsPerContext);
+    tick();
+    ++stats_.reads;
+    AccessResult res;
+
+    RegIndex line_off = OneWord ? off : lineOffsetOf(off);
+    std::size_t line = decoder_.match(cid, line_off);
+
+    if (line == cam::AssociativeDecoder::npos) [[unlikely]] {
+        // Full miss: no line holds this name.  Stall, allocate a
+        // line, and reload on demand (paper §4.2).
+        ++stats_.readMisses;
+        res.hit = false;
+        res.stall += config_.costs.missDetect;
+        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 0));
+        line = allocateLine(cid, line_off, res);
+        reloadLineImpl<MP, OneWord>(line, cid, line_off, off, res);
+    } else if (!valid_[slotOfT<OneWord>(line, off)]) [[unlikely]] {
+        // The line is resident but this register is not (a neighbour
+        // allocated the line).  Reload just this word.
+        ++stats_.readMisses;
+        res.hit = false;
+        res.stall += config_.costs.missDetect;
+        nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 1));
+        reloadWord(line, cid, off, res);
+        repl_.touch(line);
+    } else {
+        nsrf_trace_hook(emit(trace::Kind::ReadHit, cid, off));
+        repl_.touch(line);
+    }
+
+    value = array_[slotOfT<OneWord>(line, off)];
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
+
+template <MissPolicy MP, WritePolicy WP, bool OneWord>
+AccessResult
+NamedStateRegisterFile::writeImpl(ContextId cid, RegIndex off,
+                                  Word value)
+{
+    nsrf_assert(off < config_.maxRegsPerContext,
+                "offset %u exceeds context size %u", off,
+                config_.maxRegsPerContext);
+    tick();
+    ++stats_.writes;
+    AccessResult res;
+
+    RegIndex line_off = OneWord ? off : lineOffsetOf(off);
+    std::size_t line = decoder_.match(cid, line_off);
+
+    if (line == cam::AssociativeDecoder::npos) [[unlikely]] {
+        // The first write to a new register allocates it in the
+        // array (paper §4.2).
+        ++stats_.writeMisses;
+        res.hit = false;
+        nsrf_trace_hook(emit(trace::Kind::WriteMiss, cid, off));
+        line = allocateLine(cid, line_off, res);
+        if constexpr (WP == WritePolicy::FetchOnWrite) {
+            res.stall += config_.costs.missDetect;
+            if constexpr (!OneWord) {
+                // Fetch the rest of the line; the written word
+                // itself needs no reload.
+                ContextState &ctx = state(cid);
+                for (unsigned w = 0; w < config_.regsPerLine; ++w) {
+                    RegIndex other = line_off + w;
+                    if (other == off ||
+                        other >= config_.maxRegsPerContext) {
+                        continue;
+                    }
+                    bool wanted;
+                    if constexpr (MP == MissPolicy::ReloadLine)
+                        wanted = true;
+                    else if constexpr (MP == MissPolicy::ReloadLive)
+                        wanted = ctx.validInMem[other];
+                    else
+                        wanted = false;
+                    if (wanted)
+                        reloadWord(line, cid, other, res);
+                }
+            }
+        }
+    } else {
+        nsrf_trace_hook(emit(trace::Kind::WriteHit, cid, off));
+        repl_.touch(line);
+    }
+
+    std::size_t slot = slotOfT<OneWord>(line, off);
+    array_[slot] = value;
+    nsrf_trace_stmt(if (!dirty_[slot]) ++traceDirtyWords_;)
+    dirty_[slot] = true;
+    markValid(slot, cid);
+    stats_.stallCycles += res.stall;
+    updateOccupancy();
+    return res;
+}
 
 } // namespace nsrf::regfile
 

@@ -148,6 +148,26 @@ class TraceSimulator
         std::uint64_t lastUse = 0;
     };
 
+    /**
+     * The event loop, templated on the concrete register file type:
+     * run() dispatches here after a single type test, so the
+     * per-event read/write/switch calls devirtualize against the
+     * final NamedStateRegisterFile instead of paying a virtual
+     * dispatch per register access.
+     */
+    template <typename RF>
+    RunResult runLoop(TraceGenerator &gen, RF &rf);
+
+    /**
+     * runLoop dispatch ladder for one-register-per-line NSFs: picks
+     * the compile-time (miss, write) policy pair and runs the event
+     * loop over a typed kernel view, so the access kernels inline
+     * into the loop with every policy branch folded away.
+     */
+    template <regfile::MissPolicy MP>
+    RunResult runOneWord(TraceGenerator &gen,
+                         regfile::NamedStateRegisterFile &nsf);
+
     /** Record a bound activation's recency for victim selection. */
     void noteUse(CtxHandle handle, std::uint64_t last_use);
 

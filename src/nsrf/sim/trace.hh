@@ -19,6 +19,7 @@
 #ifndef NSRF_SIM_TRACE_HH
 #define NSRF_SIM_TRACE_HH
 
+#include <cstddef>
 #include <cstdint>
 
 #include "nsrf/common/types.hh"
@@ -106,6 +107,24 @@ class TraceGenerator
      * has been produced (the End event itself returns true).
      */
     virtual bool next(TraceEvent &ev) = 0;
+
+    /**
+     * Produce up to @p cap events into @p buf; @return how many
+     * were written (0 once the stream is exhausted).  Semantically
+     * identical to draining next() — this default is the
+     * specification.  Generators override it with the same loop so
+     * the consumer pays one virtual call per batch instead of one
+     * per event, and the generator's emit path inlines into its own
+     * loop.
+     */
+    virtual std::size_t
+    fill(TraceEvent *buf, std::size_t cap)
+    {
+        std::size_t n = 0;
+        while (n < cap && next(buf[n]))
+            ++n;
+        return n;
+    }
 
     /** Restart the trace from the beginning (same stream). */
     virtual void reset() = 0;

@@ -107,6 +107,14 @@ class TimeWeightedMean
     void
     record(std::uint64_t now, double value)
     {
+        // Re-recording the held value only splits the current
+        // interval: current_ * (b - a) + current_ * (c - b) equals
+        // current_ * (c - a) exactly for the integer-valued signals
+        // tracked here (occupancy counts and spans well below 2^53),
+        // so skipping the no-change case is bit-identical and saves
+        // the accumulate on every hit-path occupancy note.
+        if (started_ && value == current_)
+            return;
         accumulate(now);
         current_ = value;
         max_ = std::max(max_, value);

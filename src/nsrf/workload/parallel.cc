@@ -15,6 +15,14 @@ ParallelWorkload::ParallelWorkload(const BenchmarkProfile &profile,
 {
     nsrf_assert(profile.parallel,
                 "ParallelWorkload needs a parallel profile");
+    thrMemRef_ = Random::chanceThreshold(profile.memRefFraction);
+    thrCold_ = Random::chanceThreshold(profile.coldSwitchFraction);
+    thrRespawn_ =
+        Random::chanceThreshold(profile.respawnProbability);
+    thrTopUp_ = Random::chanceThreshold(0.35);
+    thrTwoSrc_ = Random::chanceThreshold(0.6);
+    thrHasDst_ = Random::chanceThreshold(0.7);
+    thrPhasePick_ = Random::chanceThreshold(0.92);
     start();
 }
 
@@ -24,6 +32,7 @@ ParallelWorkload::reset()
     rng_.seed(profile_.seed);
     threads_.clear();
     pending_.clear();
+    pendingHead_ = 0;
     currentIdx_ = 0;
     nextHandle_ = 0;
     emitted_ = 0;
@@ -44,14 +53,13 @@ ParallelWorkload::makeThread()
                                         profile_.liveRegsSpread);
     lo = std::max<std::int64_t>(lo, 2);
     hi = std::min<std::int64_t>(hi, profile_.regsPerContext);
-    auto ws = static_cast<unsigned>(rng_.uniformRange(lo, hi));
-    t.workingSet.resize(ws);
-    for (unsigned i = 0; i < ws; ++i)
-        t.workingSet[i] = i;
+    // The translator packs thread locals into the low registers, so
+    // the working set is the identity map over [0, wsSize).
+    t.wsSize = static_cast<unsigned>(rng_.uniformRange(lo, hi));
 
     // The TAM translator seeds most thread locals up front.
     t.prologueLeft =
-        std::max<unsigned>(3, static_cast<unsigned>(ws * 0.6));
+        std::max<unsigned>(3, static_cast<unsigned>(t.wsSize * 0.6));
     t.remainingLife = rng_.geometric(profile_.threadLifetime);
     return t;
 }
@@ -80,13 +88,13 @@ ParallelWorkload::refreshPhase(ThreadCtx &t)
 {
     // A run quantum touches a handful of the thread's registers
     // (operands of the code block between suspension points).
-    t.phase.clear();
-    unsigned ws = static_cast<unsigned>(t.workingSet.size());
+    unsigned ws = t.wsSize;
     unsigned psize = std::min(
         ws, profile_.phaseRegs +
                 static_cast<unsigned>(rng_.uniform(3)));
+    RegIndex *dst = t.phase.beginRefresh(psize);
     for (unsigned i = 0; i < psize; ++i)
-        t.phase.push_back(t.workingSet[rng_.uniform(ws)]);
+        dst[i] = static_cast<RegIndex>(rng_.uniform(ws));
 }
 
 std::size_t
@@ -99,7 +107,7 @@ ParallelWorkload::pickNextIndex()
     if (threads_.size() <= 1)
         return 0;
 
-    bool cold = rng_.chance(profile_.coldSwitchFraction);
+    bool cold = rng_.chance(thrCold_);
     std::size_t best = currentIdx_;
     if (cold) {
         // Wake the coldest thread.
@@ -117,18 +125,17 @@ ParallelWorkload::pickNextIndex()
     unsigned hot = std::min<unsigned>(
         profile_.hotThreads,
         static_cast<unsigned>(threads_.size() - 1));
-    std::vector<std::size_t> order;
-    order.reserve(threads_.size());
+    order_.clear();
     for (std::size_t i = 0; i < threads_.size(); ++i) {
         if (i != currentIdx_)
-            order.push_back(i);
+            order_.push_back(i);
     }
-    std::partial_sort(order.begin(), order.begin() + hot,
-                      order.end(), [&](std::size_t a, std::size_t b) {
+    std::partial_sort(order_.begin(), order_.begin() + hot,
+                      order_.end(), [&](std::size_t a, std::size_t b) {
                           return threads_[a].lastRun >
                                  threads_[b].lastRun;
                       });
-    return order[rng_.uniform(hot)];
+    return order_[rng_.uniform(hot)];
 }
 
 void
@@ -137,18 +144,23 @@ ParallelWorkload::emitInstr(sim::TraceEvent &ev)
     ThreadCtx &t = threads_[currentIdx_];
 
     if (t.prologueLeft > 0) {
-        RegIndex dst =
-            t.workingSet[t.writtenCount % t.workingSet.size()];
+        // prologueLeft = max(3, 0.6*ws) can exceed a tiny ws, so
+        // the wrap is possible — but almost never taken; skip the
+        // divide on the common path.
+        RegIndex dst = static_cast<RegIndex>(
+            t.writtenCount < t.wsSize ? t.writtenCount
+                                      : t.writtenCount % t.wsSize);
         std::uint8_t nsrc = 0;
         RegIndex s0 = 0;
         if (t.writtenCount > 0) {
             nsrc = 1;
-            s0 = t.workingSet[rng_.uniform(t.writtenCount)];
+            s0 = static_cast<RegIndex>(
+                rng_.uniform(t.writtenCount));
         }
         ev = sim::TraceEvent::instr(
             nsrc, s0, 0, true, dst,
-            rng_.chance(profile_.memRefFraction));
-        if (t.writtenCount < t.workingSet.size())
+            rng_.chance(thrMemRef_));
+        if (t.writtenCount < t.wsSize)
             ++t.writtenCount;
         --t.prologueLeft;
         return;
@@ -156,27 +168,28 @@ ParallelWorkload::emitInstr(sim::TraceEvent &ev)
 
     unsigned written = std::max(1u, t.writtenCount);
     auto pick = [&]() -> RegIndex {
-        if (t.writtenCount >= t.workingSet.size() &&
-            !t.phase.empty() && rng_.chance(0.92)) {
-            return t.phase[rng_.uniform(t.phase.size())];
+        if (t.writtenCount >= t.wsSize &&
+            !t.phase.empty() && rng_.chance(thrPhasePick_)) {
+            return t.phase[static_cast<unsigned>(
+                rng_.uniform(t.phase.size()))];
         }
-        return t.workingSet[rng_.uniform(written)];
+        return static_cast<RegIndex>(rng_.uniform(written));
     };
-    std::uint8_t nsrc = rng_.chance(0.6) ? 2 : 1;
+    std::uint8_t nsrc = rng_.chance(thrTwoSrc_) ? 2 : 1;
     RegIndex s0 = pick();
     RegIndex s1 = nsrc > 1 ? pick() : 0;
-    bool has_dst = rng_.chance(0.7);
+    bool has_dst = rng_.chance(thrHasDst_);
     RegIndex dst = 0;
     if (has_dst) {
-        if (t.writtenCount < t.workingSet.size()) {
-            dst = t.workingSet[t.writtenCount];
+        if (t.writtenCount < t.wsSize) {
+            dst = static_cast<RegIndex>(t.writtenCount);
             ++t.writtenCount;
         } else {
             dst = pick();
         }
     }
     ev = sim::TraceEvent::instr(nsrc, s0, s1, has_dst, dst,
-                                rng_.chance(profile_.memRefFraction));
+                                rng_.chance(thrMemRef_));
 }
 
 void
@@ -217,9 +230,9 @@ ParallelWorkload::scheduleNext()
         // finishing thread forks extra work — the restoring force
         // that keeps long traces from decaying to one thread.
         unsigned births =
-            rng_.chance(profile_.respawnProbability) ? 1 : 0;
+            rng_.chance(thrRespawn_) ? 1 : 0;
         if (threads_.size() < profile_.targetThreads &&
-            rng_.chance(0.35)) {
+            rng_.chance(thrTopUp_)) {
             ++births;
         }
         for (unsigned b = 0;
@@ -245,9 +258,8 @@ ParallelWorkload::next(sim::TraceEvent &ev)
     if (done_)
         return false;
 
-    if (!pending_.empty()) {
-        ev = pending_.front();
-        pending_.pop_front();
+    if (!pendingEmpty()) {
+        popPending(ev);
         ++emitted_;
         return true;
     }
@@ -261,9 +273,8 @@ ParallelWorkload::next(sim::TraceEvent &ev)
     if (runLeft_ == 0 ||
         threads_[currentIdx_].remainingLife == 0) {
         scheduleNext();
-        if (!pending_.empty()) {
-            ev = pending_.front();
-            pending_.pop_front();
+        if (!pendingEmpty()) {
+            popPending(ev);
             ++emitted_;
             return true;
         }
@@ -278,6 +289,24 @@ ParallelWorkload::next(sim::TraceEvent &ev)
         --t.remainingLife;
     ++emitted_;
     return true;
+}
+
+#if defined(__GNUC__)
+// Inline the whole emit path (next, emitInstr, the phase helpers)
+// into the batch loop; the size heuristics otherwise leave the
+// per-event calls standing.
+__attribute__((flatten))
+#endif
+std::size_t
+ParallelWorkload::fill(sim::TraceEvent *buf, std::size_t cap)
+{
+    // Same stream as draining next(); defined here so the final
+    // class's next() inlines into the batch loop and the consumer
+    // pays one virtual call per batch.
+    std::size_t n = 0;
+    while (n < cap && next(buf[n]))
+        ++n;
+    return n;
 }
 
 } // namespace nsrf::workload

@@ -15,18 +15,19 @@
 #ifndef NSRF_WORKLOAD_PARALLEL_HH
 #define NSRF_WORKLOAD_PARALLEL_HH
 
-#include <deque>
+#include <cstddef>
 #include <vector>
 
 #include "nsrf/common/random.hh"
 #include "nsrf/sim/trace.hh"
+#include "nsrf/workload/phase_set.hh"
 #include "nsrf/workload/profile.hh"
 
 namespace nsrf::workload
 {
 
 /** Thread-pool trace generator. */
-class ParallelWorkload : public sim::TraceGenerator
+class ParallelWorkload final : public sim::TraceGenerator
 {
   public:
     /**
@@ -37,18 +38,21 @@ class ParallelWorkload : public sim::TraceGenerator
                               std::uint64_t max_events = 0);
 
     bool next(sim::TraceEvent &ev) override;
+    std::size_t fill(sim::TraceEvent *buf, std::size_t cap) override;
     void reset() override;
 
   private:
     struct ThreadCtx
     {
         sim::CtxHandle handle;
-        std::vector<RegIndex> workingSet;
+        /** Working-set size; the TAM translator packs thread locals
+         * into registers [0, wsSize), so the set is implicit. */
+        unsigned wsSize = 0;
         unsigned writtenCount = 0;
         unsigned prologueLeft = 0;
         std::uint64_t remainingLife; //!< instructions until done
         /** Registers this run quantum concentrates on. */
-        std::vector<RegIndex> phase;
+        PhaseSet phase;
         /** Recency stamp for hot/cold victim selection. */
         std::uint64_t lastRun = 0;
     };
@@ -72,7 +76,42 @@ class ParallelWorkload : public sim::TraceGenerator
     std::uint64_t runLeft_ = 0; //!< instructions before next switch
     std::uint64_t runStamp_ = 0;
     bool done_ = false;
-    std::deque<sim::TraceEvent> pending_;
+    /**
+     * Queued marker events (switch/terminate/spawn bursts), drained
+     * front to back.  A vector plus head cursor: the queue fully
+     * empties between bursts, so the storage is reused instead of
+     * cycling through a deque's block allocator.
+     */
+    std::vector<sim::TraceEvent> pending_;
+    std::size_t pendingHead_ = 0;
+    /** Scratch for pickNextIndex's hot-thread partial sort. */
+    std::vector<std::size_t> order_;
+    /** Per-event probabilities precompiled to integer acceptance
+     * thresholds (Random::ChanceThreshold) — same draws, same
+     * stream, no double compare per decision. */
+    Random::ChanceThreshold thrMemRef_{};
+    Random::ChanceThreshold thrCold_{};
+    Random::ChanceThreshold thrRespawn_{};
+    Random::ChanceThreshold thrTopUp_{};
+    Random::ChanceThreshold thrTwoSrc_{};
+    Random::ChanceThreshold thrHasDst_{};
+    Random::ChanceThreshold thrPhasePick_{};
+
+    bool pendingEmpty() const
+    {
+        return pendingHead_ == pending_.size();
+    }
+
+    /** Pop the front pending event into @p ev. */
+    void
+    popPending(sim::TraceEvent &ev)
+    {
+        ev = pending_[pendingHead_++];
+        if (pendingHead_ == pending_.size()) {
+            pending_.clear();
+            pendingHead_ = 0;
+        }
+    }
 };
 
 } // namespace nsrf::workload

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-capacity phase register set for the trace generators.
+ *
+ * The operand pick in the generators' instruction emitters indexes
+ * the current phase set on most events; with the set stored in a
+ * heap vector every pick pays a pointer chase to a cache line far
+ * from the activation it belongs to.  The phase set is tiny — at
+ * most profile.phaseRegs + 2 entries, 9 for the largest in-tree
+ * profile — so an inline buffer keeps it on the same cache lines as
+ * the activation state the emitter is already touching.
+ *
+ * Profiles with an exotic phaseRegs still work: sets larger than the
+ * inline capacity spill to a heap vector.  The RNG draw sequence and
+ * the stored values are identical either way, so simulated stats do
+ * not depend on which representation a profile lands in.
+ */
+
+#ifndef NSRF_WORKLOAD_PHASE_SET_HH
+#define NSRF_WORKLOAD_PHASE_SET_HH
+
+#include <vector>
+
+#include "nsrf/common/types.hh"
+
+namespace nsrf::workload
+{
+
+/** Small-buffer set of register indices a code phase concentrates
+ * on.  Copyable and movable; no self-referential pointers, so the
+ * generators' activation pools can relocate it freely. */
+class PhaseSet
+{
+  public:
+    static constexpr unsigned kInlineCapacity = 24;
+
+    /** Start a new phase of @p n entries and return the buffer to
+     * fill; previous contents are discarded. */
+    RegIndex *
+    beginRefresh(unsigned n)
+    {
+        size_ = n;
+        if (n <= kInlineCapacity)
+            return inline_;
+        spill_.resize(n);
+        return spill_.data();
+    }
+
+    void clear() { size_ = 0; }
+    bool empty() const { return size_ == 0; }
+    unsigned size() const { return size_; }
+
+    RegIndex
+    operator[](unsigned i) const
+    {
+        return size_ <= kInlineCapacity ? inline_[i] : spill_[i];
+    }
+
+  private:
+    RegIndex inline_[kInlineCapacity];
+    unsigned size_ = 0;
+    /** Backing store for sets past the inline capacity (never used
+     * by the in-tree profiles). */
+    std::vector<RegIndex> spill_;
+};
+
+} // namespace nsrf::workload
+
+#endif // NSRF_WORKLOAD_PHASE_SET_HH

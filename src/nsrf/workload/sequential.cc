@@ -11,10 +11,17 @@ SequentialWorkload::SequentialWorkload(
     const BenchmarkProfile &profile, std::uint64_t max_events)
     : profile_(profile),
       maxEvents_(max_events ? max_events : scaledRunLength(profile)),
-      rng_(profile.seed)
+      rng_(profile.seed),
+      switchChance_(1.0 / profile.instrPerSwitch)
 {
     nsrf_assert(!profile.parallel,
                 "SequentialWorkload needs a sequential profile");
+    thrSwitch_ = Random::chanceThreshold(switchChance_);
+    thrMemRef_ = Random::chanceThreshold(profile.memRefFraction);
+    thrBurst_ = Random::chanceThreshold(0.0002);
+    thrTwoSrc_ = Random::chanceThreshold(0.6);
+    thrHasDst_ = Random::chanceThreshold(0.7);
+    thrPhasePick_ = Random::chanceThreshold(0.92);
     pushActivation();
 }
 
@@ -22,8 +29,8 @@ void
 SequentialWorkload::reset()
 {
     rng_.seed(profile_.seed);
-    stack_.clear();
-    pending_.clear();
+    depth_ = 0; // keep the pool's storage
+    hasPending_ = false;
     nextHandle_ = 0;
     emitted_ = 0;
     burstLeft_ = 0;
@@ -46,23 +53,27 @@ SequentialWorkload::sampleWorkingSetSize()
 void
 SequentialWorkload::pushActivation()
 {
-    Activation act;
+    if (depth_ == stack_.size())
+        stack_.emplace_back();
+    Activation &act = stack_[depth_++];
     act.handle = nextHandle_++;
 
     // The register allocator packs a procedure's live values into
-    // the low registers of its context.
-    unsigned ws = sampleWorkingSetSize();
-    act.workingSet.resize(ws);
-    for (unsigned i = 0; i < ws; ++i)
-        act.workingSet[i] = i;
+    // the low registers of its context, so the working set is the
+    // identity map over [0, wsSize).
+    act.wsSize = sampleWorkingSetSize();
+    act.writtenCount = 0;
 
     // Arguments plus early locals are written up front.
     act.prologueLeft =
-        std::max<unsigned>(2, static_cast<unsigned>(ws * 0.4));
+        std::max<unsigned>(2, static_cast<unsigned>(act.wsSize * 0.4));
+    act.phase.clear();
+    act.phaseLeft = 0;
 
-    pending_.push_back(sim::TraceEvent::marker(
-        sim::EventKind::Call, act.handle));
-    stack_.push_back(std::move(act));
+    nsrf_assert(!hasPending_, "a Call marker is already queued");
+    pending_ = sim::TraceEvent::marker(
+        sim::EventKind::Call, act.handle);
+    hasPending_ = true;
 }
 
 void
@@ -71,35 +82,37 @@ SequentialWorkload::refreshPhase(Activation &act)
     // Code touches a handful of its live registers at a time; the
     // phase set is what an activation actually references until the
     // next phase change or resumption.
-    act.phase.clear();
-    unsigned ws = static_cast<unsigned>(act.workingSet.size());
+    unsigned ws = act.wsSize;
     unsigned psize = std::min(
         ws, profile_.phaseRegs +
                 static_cast<unsigned>(rng_.uniform(3)));
+    RegIndex *dst = act.phase.beginRefresh(psize);
     for (unsigned i = 0; i < psize; ++i)
-        act.phase.push_back(act.workingSet[rng_.uniform(ws)]);
+        dst[i] = static_cast<RegIndex>(rng_.uniform(ws));
     act.phaseLeft = rng_.geometric(profile_.phaseLength);
 }
 
 void
 SequentialWorkload::emitInstr(sim::TraceEvent &ev)
 {
-    Activation &act = stack_.back();
+    Activation &act = stack_[depth_ - 1];
 
     if (act.prologueLeft > 0) {
         // Prologue: write the next not-yet-written register.
-        RegIndex dst = act.workingSet[act.writtenCount %
-                                      act.workingSet.size()];
+        // prologueLeft = max(2, 0.4*ws) <= ws (ws >= 2), so the
+        // prologue never wraps: dst is just writtenCount.
+        RegIndex dst = static_cast<RegIndex>(act.writtenCount);
         std::uint8_t nsrc = 0;
         RegIndex s0 = 0;
         if (act.writtenCount > 0) {
             nsrc = 1;
-            s0 = act.workingSet[rng_.uniform(act.writtenCount)];
+            s0 = static_cast<RegIndex>(
+                rng_.uniform(act.writtenCount));
         }
         ev = sim::TraceEvent::instr(
             nsrc, s0, 0, true, dst,
-            rng_.chance(profile_.memRefFraction));
-        if (act.writtenCount < act.workingSet.size())
+            rng_.chance(thrMemRef_));
+        if (act.writtenCount < act.wsSize)
             ++act.writtenCount;
         --act.prologueLeft;
         return;
@@ -115,27 +128,28 @@ SequentialWorkload::emitInstr(sim::TraceEvent &ev)
 
     unsigned written = std::max(1u, act.writtenCount);
     auto pick = [&]() -> RegIndex {
-        if (act.writtenCount >= act.workingSet.size() &&
-            !act.phase.empty() && rng_.chance(0.92)) {
-            return act.phase[rng_.uniform(act.phase.size())];
+        if (act.writtenCount >= act.wsSize &&
+            !act.phase.empty() && rng_.chance(thrPhasePick_)) {
+            return act.phase[static_cast<unsigned>(
+                rng_.uniform(act.phase.size()))];
         }
-        return act.workingSet[rng_.uniform(written)];
+        return static_cast<RegIndex>(rng_.uniform(written));
     };
-    std::uint8_t nsrc = rng_.chance(0.6) ? 2 : 1;
+    std::uint8_t nsrc = rng_.chance(thrTwoSrc_) ? 2 : 1;
     RegIndex s0 = pick();
     RegIndex s1 = nsrc > 1 ? pick() : 0;
-    bool has_dst = rng_.chance(0.7);
+    bool has_dst = rng_.chance(thrHasDst_);
     RegIndex dst = 0;
     if (has_dst) {
-        if (act.writtenCount < act.workingSet.size()) {
-            dst = act.workingSet[act.writtenCount];
+        if (act.writtenCount < act.wsSize) {
+            dst = static_cast<RegIndex>(act.writtenCount);
             ++act.writtenCount;
         } else {
             dst = pick();
         }
     }
     ev = sim::TraceEvent::instr(nsrc, s0, s1, has_dst, dst,
-                                rng_.chance(profile_.memRefFraction));
+                                rng_.chance(thrMemRef_));
 }
 
 bool
@@ -144,9 +158,9 @@ SequentialWorkload::next(sim::TraceEvent &ev)
     if (done_)
         return false;
 
-    if (!pending_.empty()) {
-        ev = pending_.front();
-        pending_.pop_front();
+    if (hasPending_) {
+        ev = pending_;
+        hasPending_ = false;
         ++emitted_;
         return true;
     }
@@ -158,8 +172,8 @@ SequentialWorkload::next(sim::TraceEvent &ev)
     }
 
     // Every ~instrPerSwitch instructions the walk calls or returns.
-    if (rng_.chance(1.0 / profile_.instrPerSwitch)) {
-        double depth = static_cast<double>(stack_.size());
+    if (rng_.chance(thrSwitch_)) {
+        double depth = static_cast<double>(depth_);
         double p_call =
             0.5 + (profile_.meanCallDepth - depth) /
                       (2.0 * profile_.depthSpread);
@@ -175,7 +189,7 @@ SequentialWorkload::next(sim::TraceEvent &ev)
         // recursive-descent parse) pushes well past the usual
         // depth.  These bursts are what generate the paper's tiny
         // residual NSF spill traffic on sequential code.
-        if (burstLeft_ == 0 && rng_.chance(0.0002)) {
+        if (burstLeft_ == 0 && rng_.chance(thrBurst_)) {
             burstLeft_ =
                 3 + static_cast<unsigned>(rng_.uniform(3));
         }
@@ -184,19 +198,19 @@ SequentialWorkload::next(sim::TraceEvent &ev)
             p_call = 1.0;
         }
 
-        if (stack_.size() <= 1 || rng_.chance(p_call)) {
+        if (depth_ <= 1 || rng_.chance(p_call)) {
             pushActivation();
-            ev = pending_.front();
-            pending_.pop_front();
+            ev = pending_;
+            hasPending_ = false;
             ++emitted_;
             return true;
         }
 
-        stack_.pop_back();
+        --depth_;
         // The resumed caller continues in a fresh code phase.
-        refreshPhase(stack_.back());
+        refreshPhase(stack_[depth_ - 1]);
         ev = sim::TraceEvent::marker(sim::EventKind::Return,
-                                     stack_.back().handle);
+                                     stack_[depth_ - 1].handle);
         ++emitted_;
         return true;
     }
@@ -204,6 +218,24 @@ SequentialWorkload::next(sim::TraceEvent &ev)
     emitInstr(ev);
     ++emitted_;
     return true;
+}
+
+#if defined(__GNUC__)
+// Inline the whole emit path (next, emitInstr, the phase helpers)
+// into the batch loop; the size heuristics otherwise leave the
+// per-event calls standing.
+__attribute__((flatten))
+#endif
+std::size_t
+SequentialWorkload::fill(sim::TraceEvent *buf, std::size_t cap)
+{
+    // Same stream as draining next(); defined here so the final
+    // class's next() inlines into the batch loop and the consumer
+    // pays one virtual call per batch.
+    std::size_t n = 0;
+    while (n < cap && next(buf[n]))
+        ++n;
+    return n;
 }
 
 } // namespace nsrf::workload

@@ -18,18 +18,18 @@
 #ifndef NSRF_WORKLOAD_SEQUENTIAL_HH
 #define NSRF_WORKLOAD_SEQUENTIAL_HH
 
-#include <deque>
 #include <vector>
 
 #include "nsrf/common/random.hh"
 #include "nsrf/sim/trace.hh"
+#include "nsrf/workload/phase_set.hh"
 #include "nsrf/workload/profile.hh"
 
 namespace nsrf::workload
 {
 
 /** Call-tree random-walk trace generator. */
-class SequentialWorkload : public sim::TraceGenerator
+class SequentialWorkload final : public sim::TraceGenerator
 {
   public:
     /**
@@ -40,19 +40,25 @@ class SequentialWorkload : public sim::TraceGenerator
                                 std::uint64_t max_events = 0);
 
     bool next(sim::TraceEvent &ev) override;
+    std::size_t fill(sim::TraceEvent *buf, std::size_t cap) override;
     void reset() override;
 
   private:
     struct Activation
     {
         sim::CtxHandle handle;
-        std::vector<RegIndex> workingSet;
-        /** Registers written so far (indices into workingSet). */
+        /**
+         * Working-set size.  The register allocator packs live
+         * values into registers [0, wsSize), so the set itself is
+         * the identity map and needs no storage.
+         */
+        unsigned wsSize = 0;
+        /** Registers written so far (a prefix of the working set). */
         unsigned writtenCount = 0;
         /** Prologue writes still owed. */
         unsigned prologueLeft = 0;
         /** The registers the current code phase concentrates on. */
-        std::vector<RegIndex> phase;
+        PhaseSet phase;
         std::uint64_t phaseLeft = 0;
     };
 
@@ -64,14 +70,33 @@ class SequentialWorkload : public sim::TraceGenerator
     BenchmarkProfile profile_;
     std::uint64_t maxEvents_;
     Random rng_;
+    /**
+     * Activation pool: [0, depth_) is the live call stack; slots
+     * past depth_ keep their phase-vector storage so a call/return
+     * cycle allocates nothing.
+     */
     std::vector<Activation> stack_;
+    std::size_t depth_ = 0;
+    /** 1 / instrPerSwitch, hoisted off the per-event path. */
+    double switchChance_ = 0.0;
+    /** Per-event probabilities precompiled to integer acceptance
+     * thresholds (Random::ChanceThreshold) — same draws, same
+     * stream, no double compare per decision. */
+    Random::ChanceThreshold thrSwitch_{};
+    Random::ChanceThreshold thrMemRef_{};
+    Random::ChanceThreshold thrBurst_{};
+    Random::ChanceThreshold thrTwoSrc_{};
+    Random::ChanceThreshold thrHasDst_{};
+    Random::ChanceThreshold thrPhasePick_{};
     sim::CtxHandle nextHandle_ = 0;
     std::uint64_t emitted_ = 0;
     /** Remaining forced calls of a deep-recursion burst. */
     unsigned burstLeft_ = 0;
     bool done_ = false;
-    /** Queued events (e.g. the Call marker before a prologue). */
-    std::deque<sim::TraceEvent> pending_;
+    /** The queued Call marker preceding a prologue (at most one
+     * event is ever pending). */
+    sim::TraceEvent pending_{};
+    bool hasPending_ = false;
 };
 
 } // namespace nsrf::workload

@@ -96,8 +96,9 @@ TEST(Decoder, InvalidateContextFreesAllItsLines)
     d.program(1, 1, 4);
     d.program(2, 2, 0);
     d.program(5, 1, 8);
-    auto freed = d.invalidateContext(1);
-    EXPECT_EQ(freed.size(), 3u);
+    std::vector<std::size_t> freed;
+    EXPECT_EQ(d.invalidateContext(1, freed), 3u);
+    EXPECT_EQ(freed, (std::vector<std::size_t>{0, 1, 5}));
     EXPECT_EQ(d.validCount(), 1u);
     EXPECT_EQ(d.match(2, 0), 2u);
     EXPECT_EQ(d.match(1, 0), AssociativeDecoder::npos);

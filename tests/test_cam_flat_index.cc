@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the open-addressed FlatIndex behind the CAM decoder.
+ *
+ * The table replaced std::unordered_map on the simulator's hottest
+ * path; these tests pin its behaviour to that reference — a
+ * randomized differential run over mixed insert/erase/update/find
+ * traffic at several capacities — and exercise the backward-shift
+ * deletion on deliberately colliding probe chains, the regime where
+ * open-addressed tables rot.  The decoder-level audit tests prove
+ * the per-context chain invariants actually fire via the TestAccess
+ * corruption helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/flat_index.hh"
+#include "nsrf/check/testaccess.hh"
+#include "nsrf/common/random.hh"
+
+namespace nsrf::cam
+{
+namespace
+{
+
+/** Collect a FlatIndex's entries as a sorted key->value set. */
+std::set<std::pair<std::uint64_t, std::size_t>>
+entriesOf(const FlatIndex &idx)
+{
+    std::set<std::pair<std::uint64_t, std::size_t>> out;
+    idx.forEach([&](std::uint64_t key, std::size_t value) {
+        out.emplace(key, value);
+    });
+    return out;
+}
+
+TEST(FlatIndex, EmptyTableFindsNothing)
+{
+    FlatIndex idx(16);
+    EXPECT_EQ(idx.size(), 0u);
+    EXPECT_GE(idx.capacity(), 32u);
+    EXPECT_EQ(idx.find(0), FlatIndex::npos);
+    EXPECT_EQ(idx.find(~0ull), FlatIndex::npos);
+    EXPECT_FALSE(idx.erase(42));
+    EXPECT_TRUE(idx.auditInvariants());
+}
+
+TEST(FlatIndex, InsertFindEraseRoundTrip)
+{
+    FlatIndex idx(8);
+    idx.insert(0xdeadbeefull, 3);
+    EXPECT_EQ(idx.find(0xdeadbeefull), 3u);
+    EXPECT_EQ(idx.size(), 1u);
+    idx.update(0xdeadbeefull, 5);
+    EXPECT_EQ(idx.find(0xdeadbeefull), 5u);
+    EXPECT_TRUE(idx.erase(0xdeadbeefull));
+    EXPECT_EQ(idx.find(0xdeadbeefull), FlatIndex::npos);
+    EXPECT_EQ(idx.size(), 0u);
+    EXPECT_TRUE(idx.auditInvariants());
+}
+
+/**
+ * Differential test against std::unordered_map: the reference the
+ * flat table replaced.  10k mixed operations per capacity; the key
+ * universe is kept a small multiple of the capacity so probe chains
+ * collide and erases routinely trigger backward shifts.  Lookups,
+ * sizes, the full entry set, and the table's own audit must agree
+ * with the reference at every step.
+ */
+TEST(FlatIndex, DifferentialAgainstUnorderedMap)
+{
+    for (std::size_t max_entries : {4u, 16u, 64u, 256u, 1024u}) {
+        Random rng(0x5eedu + max_entries);
+        FlatIndex idx(max_entries);
+        std::unordered_map<std::uint64_t, std::size_t> ref;
+
+        // Mimic the decoder's packed keys: a cid in the high word,
+        // a line offset in the low word, both from small pools.
+        auto make_key = [&]() -> std::uint64_t {
+            std::uint64_t cid = rng.uniform(max_entries);
+            std::uint64_t off = rng.uniform(4) * 4;
+            return (cid << 32) | off;
+        };
+
+        for (int op = 0; op < 10000; ++op) {
+            std::uint64_t key = make_key();
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                if (ref.size() < max_entries) {
+                    std::size_t value = rng.uniform(max_entries);
+                    idx.insert(key, value);
+                    ref.emplace(key, value);
+                } else {
+                    EXPECT_EQ(idx.find(key), FlatIndex::npos);
+                }
+            } else {
+                switch (rng.uniform(3)) {
+                case 0:
+                    EXPECT_EQ(idx.find(key), it->second);
+                    break;
+                case 1: {
+                    std::size_t value = rng.uniform(max_entries);
+                    idx.update(key, value);
+                    it->second = value;
+                    break;
+                }
+                default:
+                    EXPECT_TRUE(idx.erase(key));
+                    ref.erase(it);
+                    break;
+                }
+            }
+            ASSERT_EQ(idx.size(), ref.size());
+            if (op % 997 == 0) {
+                std::string why;
+                ASSERT_TRUE(idx.auditInvariants(&why)) << why;
+            }
+        }
+
+        // Final deep compare: every reference entry findable, and
+        // forEach enumerates exactly the reference set.
+        for (const auto &[key, value] : ref)
+            EXPECT_EQ(idx.find(key), value);
+        std::set<std::pair<std::uint64_t, std::size_t>> want(
+            ref.begin(), ref.end());
+        EXPECT_EQ(entriesOf(idx), want);
+        std::string why;
+        EXPECT_TRUE(idx.auditInvariants(&why)) << why;
+    }
+}
+
+/**
+ * Fill the table to its stated maximum (50% load), then erase in a
+ * random order, checking every survivor after each erase.  Sequential
+ * keys Fibonacci-hash to scattered homes, so this mostly exercises
+ * isolated slots; the clustered variant below forces shared chains.
+ */
+TEST(FlatIndex, FullTableRandomEraseOrder)
+{
+    constexpr std::size_t n = 128;
+    FlatIndex idx(n);
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < n; ++i) {
+        keys.push_back((std::uint64_t(i) << 32) | (i * 4));
+        idx.insert(keys.back(), i);
+    }
+    Random rng(99);
+    while (!keys.empty()) {
+        std::size_t pick = rng.uniform(keys.size());
+        std::uint64_t victim = keys[pick];
+        keys[pick] = keys.back();
+        keys.pop_back();
+        EXPECT_TRUE(idx.erase(victim));
+        EXPECT_EQ(idx.find(victim), FlatIndex::npos);
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            ASSERT_NE(idx.find(keys[i]), FlatIndex::npos);
+        std::string why;
+        ASSERT_TRUE(idx.auditInvariants(&why)) << why;
+    }
+    EXPECT_EQ(idx.size(), 0u);
+}
+
+/**
+ * Backward-shift deletion under deliberate clustering: keys chosen
+ * (by brute-force search over the hash) to share one home slot, so
+ * the whole set forms a single probe chain.  Erasing from the front,
+ * middle, and back of such a chain is exactly where a tombstone-free
+ * table must shift survivors down or strand them unreachable — the
+ * failure the audit's reachability walk detects.
+ */
+TEST(FlatIndex, BackwardShiftKeepsCollidingChainsReachable)
+{
+    // Find 8 keys sharing one home slot by replicating the table's
+    // Fibonacci hash (capacity 64 -> top 6 bits index the table).
+    std::vector<std::uint64_t> cluster;
+    std::size_t want_home = 0;
+    for (std::uint64_t k = 1; cluster.size() < 8; ++k) {
+        auto slot = static_cast<std::size_t>(
+            ((k ^ (k >> 31)) * 0x9e3779b97f4a7c15ull) >> (64 - 6));
+        if (cluster.empty())
+            want_home = slot;
+        if (slot == want_home)
+            cluster.push_back(k);
+    }
+
+    for (std::size_t erase_at : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{7}}) {
+        FlatIndex idx(32);
+        ASSERT_EQ(idx.capacity(), 64u);
+        for (std::size_t i = 0; i < cluster.size(); ++i)
+            idx.insert(cluster[i], i);
+        EXPECT_TRUE(idx.erase(cluster[erase_at]));
+        for (std::size_t i = 0; i < cluster.size(); ++i) {
+            if (i == erase_at)
+                EXPECT_EQ(idx.find(cluster[i]), FlatIndex::npos);
+            else
+                EXPECT_EQ(idx.find(cluster[i]), i);
+        }
+        std::string why;
+        EXPECT_TRUE(idx.auditInvariants(&why)) << why;
+    }
+}
+
+// --- Decoder chain audits (TestAccess corruption) ----------------
+
+TEST(DecoderAudit, CleanDecoderPasses)
+{
+    AssociativeDecoder d(16);
+    d.program(0, 1, 0);
+    d.program(1, 1, 4);
+    d.program(2, 2, 0);
+    std::string why;
+    EXPECT_TRUE(d.auditInvariants(&why)) << why;
+}
+
+TEST(DecoderAudit, CorruptChainLinkIsCaught)
+{
+    AssociativeDecoder d(16);
+    d.program(0, 1, 0);
+    d.program(1, 1, 4);
+    d.program(2, 1, 8);
+    check::TestAccess::corruptChainLink(d, 1);
+    std::string why;
+    EXPECT_FALSE(d.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(DecoderAudit, DroppedChainHeadIsCaught)
+{
+    AssociativeDecoder d(16);
+    d.program(0, 3, 0);
+    d.program(1, 3, 4);
+    check::TestAccess::dropChainHead(d, 3);
+    std::string why;
+    EXPECT_FALSE(d.auditInvariants(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(DecoderAudit, ChainSurvivesInterleavedFreesAndReuse)
+{
+    // Cross-check the chain against a reference ownership map over a
+    // long interleaved program/invalidate/invalidateContext run.
+    AssociativeDecoder d(64);
+    Random rng(7);
+    std::unordered_map<std::uint64_t, std::size_t> owned; // key->line
+    std::vector<std::size_t> freed;
+
+    for (int op = 0; op < 4000; ++op) {
+        ContextId cid = static_cast<ContextId>(rng.uniform(6));
+        RegIndex off = static_cast<RegIndex>(rng.uniform(8) * 4);
+        std::uint64_t key = (std::uint64_t(cid) << 32) | off;
+        switch (rng.uniform(4)) {
+        case 0: { // program, if the name is free and a line exists
+            std::size_t line = d.findFree();
+            if (line != AssociativeDecoder::npos &&
+                d.peek(cid, off) == AssociativeDecoder::npos) {
+                d.program(line, cid, off);
+                owned[key] = line;
+            }
+            break;
+        }
+        case 1: { // invalidate one line
+            auto it = owned.find(key);
+            if (it != owned.end()) {
+                d.invalidate(it->second);
+                owned.erase(it);
+            }
+            break;
+        }
+        case 2: { // bulk free a context
+            std::size_t n = d.invalidateContext(cid, freed);
+            std::size_t expect = 0;
+            for (auto it = owned.begin(); it != owned.end();) {
+                if ((it->first >> 32) == cid) {
+                    ++expect;
+                    it = owned.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            EXPECT_EQ(n, expect);
+            break;
+        }
+        default: { // walk the chain and compare with the reference
+            std::set<std::size_t> walked;
+            d.forEachContextLine(cid, [&](std::size_t line) {
+                walked.insert(line);
+            });
+            std::set<std::size_t> want;
+            for (const auto &[k, line] : owned) {
+                if ((k >> 32) == cid)
+                    want.insert(line);
+            }
+            EXPECT_EQ(walked, want);
+            break;
+        }
+        }
+        if (op % 499 == 0) {
+            std::string why;
+            ASSERT_TRUE(d.auditInvariants(&why)) << why;
+        }
+    }
+}
+
+} // namespace
+} // namespace nsrf::cam

@@ -55,12 +55,16 @@ NSRF_AUDIT_STRIDE=997 ctest --preset asan -j "$jobs"
 stage "tsan build + sweep-runner thread pool + serving daemon"
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
-    test_serve_scheduler nsrf_fuzz nsrf_serve_cli nsrf_request
+    test_serve_scheduler test_cam test_cam_flat_index nsrf_fuzz \
+    nsrf_serve_cli nsrf_request
 # The serve scheduler (single-flight dedup, dispatcher handoff) and
 # the end-to-end daemon smoke are the concurrency-heavy serving
-# paths; both must be clean under TSan.
+# paths; both must be clean under TSan.  The CAM decoder and its
+# flat tag index ride along: sweep workers simulate in parallel, so
+# a data race hiding in the hot decoder structures would poison
+# every sweep cell.
 ctest --preset tsan -j "$jobs" \
-    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke'
+    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex'
 
 stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 ./build-tsan/tools/nsrf_fuzz --seed 1 --runs 16 --ops 300 --jobs 4

@@ -100,12 +100,23 @@ for bench in $plain_benches; do
     grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/$bench.txt" || :
 done
 
+# Host-throughput macrobench (steps/sec, not a simulated figure).
+# It takes --json directly, so the structured result lands in the
+# manifest alongside the figure data and a regression in simulator
+# speed shows up in the same place as a regression in its output.
+echo "== macro_throughput =="
+"$build_dir/bench/macro_throughput" \
+    --json "$out_dir/macro_throughput.json" \
+    > "$out_dir/macro_throughput.txt" \
+    2> "$out_dir/macro_throughput.log" || fail "macro_throughput"
+grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/macro_throughput.txt" || :
+
 {
     echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo "events: ${NSRF_BENCH_EVENTS:-default}"
     echo "jobs: $jobs"
     echo "cache: ${NSRF_BENCH_CACHE:-none}"
-    echo "benches: $(echo $sweep_benches $plain_benches | wc -w)"
+    echo "benches: $(($(echo $sweep_benches $plain_benches | wc -w) + 1))"
 } > "$out_dir/MANIFEST"
 rm -f "$out_dir/INCOMPLETE"
 
