@@ -16,21 +16,37 @@
  * cross-checked across repetitions, so a throughput win that changes
  * simulated behaviour fails loudly instead of shipping.
  *
- *   macro_throughput [--events N] [--reps N] [--json PATH] [--smoke]
+ * Two sections are timed per workload: the solo run (one simulator,
+ * one generator — the classic path) and a lane-batched sweep group
+ * (several register-file configurations fed from ONE decoded event
+ * stream via TraceSimulator's chunked begin/step/finish surface).
+ * The lane section is where the counter-based RNG pays off: trace
+ * decode is amortized over every lane, so the combined steps/sec —
+ * all lane-steps and solo steps over all wall time — clears what a
+ * solo simulator alone cannot.
  *
- * --smoke shrinks the run to a few thousand events for CI: it checks
- * the bench machinery and the JSON output, not the throughput.
+ *   macro_throughput [--events N] [--reps N] [--lanes N]
+ *                    [--json PATH] [--smoke]
+ *
+ * --smoke shrinks the run to a few thousand events for CI and adds
+ * a scalar-vs-SIMD cross-check: the bench re-runs itself with
+ * NSRF_SIMD=scalar and demands bit-identical simulated stats from
+ * both kernel sets (it checks machinery, not throughput).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "nsrf/common/logging.hh"
 #include "nsrf/common/options.hh"
+#include "nsrf/common/simd.hh"
 #include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/sweep.hh"
 #include "nsrf/stats/json.hh"
 #include "nsrf/workload/profile.hh"
 
@@ -43,12 +59,13 @@ namespace
 
 /**
  * Pre-PR reference throughput, measured on the development host at
- * the commit introducing this bench (unordered_map CAM index,
- * virtual per-access dispatch).  Host-specific: meaningful for
- * relative trajectory on comparable hardware, not as an absolute.
- * 0 disables the comparison (e.g. under --smoke).
+ * the commit that flattened the NSF hot path (flat CAM index,
+ * devirtualized access kernels, sequential xoshiro generation, solo
+ * cells only).  Host-specific: meaningful for relative trajectory
+ * on comparable hardware, not as an absolute.  0 disables the
+ * comparison (e.g. under --smoke).
  */
-constexpr double referenceCombinedStepsPerSec = 7.43e6;
+constexpr double referenceCombinedStepsPerSec = 14.0e6;
 
 struct WorkloadResult
 {
@@ -60,11 +77,23 @@ struct WorkloadResult
     double stepsPerSec = 0;
 };
 
+/** One workload's lane-batched sweep group. */
+struct LaneResult
+{
+    std::string app;
+    unsigned lanes = 0;
+    std::uint64_t steps = 0;      //!< summed across lanes
+    Cycles cycles = 0;            //!< summed across lanes
+    double bestSeconds = 0;
+    double stepsPerSec = 0;       //!< lane-steps per wall second
+};
+
 struct Options
 {
     std::uint64_t events = 2'000'000;
     unsigned reps = 3;
     unsigned lines = 256;
+    unsigned lanes = 8;
     std::string jsonPath = "BENCH_throughput.json";
     bool smoke = false;
 };
@@ -81,6 +110,8 @@ parseOptions(int argc, char **argv)
             opt.reps = scan.u32();
         else if (scan.is("--lines"))
             opt.lines = scan.u32();
+        else if (scan.is("--lanes"))
+            opt.lanes = scan.u32();
         else if (scan.is("--json"))
             opt.jsonPath = scan.value();
         else if (scan.is("--smoke"))
@@ -88,16 +119,18 @@ parseOptions(int argc, char **argv)
         else if (scan.is("--help") || scan.is("-h")) {
             std::printf(
                 "usage: macro_throughput [--events N] [--reps N] "
-                "[--lines N] [--json PATH] [--smoke]\n"
+                "[--lines N] [--lanes N] [--json PATH] [--smoke]\n"
                 "  --events N  trace events per workload "
                 "(default 2000000)\n"
                 "  --reps N    timed repetitions, best wins "
                 "(default 3)\n"
                 "  --lines N   NSF decoder lines (default 256)\n"
+                "  --lanes N   configs per lane-batched group "
+                "(default 8)\n"
                 "  --json P    results file "
                 "(default BENCH_throughput.json)\n"
-                "  --smoke     tiny run for CI; no reference "
-                "comparison\n");
+                "  --smoke     tiny run for CI, plus the "
+                "scalar-vs-SIMD stats cross-check\n");
             std::exit(0);
         } else {
             scan.unknown();
@@ -154,6 +187,170 @@ timeWorkload(const workload::BenchmarkProfile &profile,
     return out;
 }
 
+/**
+ * Time a lane-batched sweep group: @p opt.lanes distinct NSF
+ * configurations riding one decoded event stream.  The cells go
+ * through the real SweepRunner lane path (streamKey grouping +
+ * TraceSimulator::stepRun), one worker, so this measures exactly
+ * what figure-bench sweeps get.  Throughput counts every lane's
+ * steps: N configs simulated per decode is the point.
+ */
+LaneResult
+timeLanes(const workload::BenchmarkProfile &profile,
+          const Options &opt)
+{
+    using regfile::MissPolicy;
+    using regfile::WritePolicy;
+    static constexpr MissPolicy miss_policies[] = {
+        MissPolicy::ReloadSingle, MissPolicy::ReloadLive,
+        MissPolicy::ReloadLine};
+    static constexpr WritePolicy write_policies[] = {
+        WritePolicy::WriteAllocate, WritePolicy::FetchOnWrite};
+
+    std::vector<sim::SweepCell> cells;
+    for (unsigned lane = 0; lane < opt.lanes; ++lane) {
+        sim::SimConfig config = bench::paperConfig(
+            profile, regfile::Organization::NamedState);
+        config.rf.missPolicy = miss_policies[lane % 3];
+        config.rf.writePolicy = write_policies[(lane / 3) % 2];
+        // Beyond the six policy pairs, vary the geometry too.
+        unsigned lines = opt.lines >> std::min(lane / 6, 2u);
+        config.rf.totalRegs =
+            std::max(64u, lines * config.rf.regsPerLine);
+
+        sim::SweepCell cell;
+        cell.label = profile.name + "/lane" + std::to_string(lane);
+        cell.config = config;
+        cell.makeGenerator = [profile, events = opt.events]() {
+            return bench::makeGenerator(profile, events);
+        };
+        cell.streamKey = profile.name;
+        cells.push_back(std::move(cell));
+    }
+
+    LaneResult out;
+    out.app = profile.name;
+    out.lanes = opt.lanes;
+    out.bestSeconds = -1;
+
+    sim::SweepRunner runner(1);
+    for (unsigned rep = 0; rep < opt.reps; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto results = runner.run(cells);
+        auto t1 = std::chrono::steady_clock::now();
+        double seconds =
+            std::chrono::duration<double>(t1 - t0).count();
+
+        std::uint64_t steps = 0;
+        Cycles cycles = 0;
+        for (const auto &r : results) {
+            steps += r.instructions;
+            cycles += r.cycles;
+        }
+        if (rep == 0) {
+            out.steps = steps;
+            out.cycles = cycles;
+        } else {
+            nsrf_assert(steps == out.steps && cycles == out.cycles,
+                        "lane repetition %u of %s diverged from "
+                        "rep 0",
+                        rep, profile.name.c_str());
+        }
+        if (out.bestSeconds < 0 || seconds < out.bestSeconds)
+            out.bestSeconds = seconds;
+    }
+    out.stepsPerSec =
+        out.bestSeconds > 0 ? double(out.steps) / out.bestSeconds : 0;
+    return out;
+}
+
+/** Extract the number following "key": in @p json after @p from. */
+std::uint64_t
+jsonU64(const std::string &json, const std::string &key,
+        std::size_t from, bool *ok)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = json.find(needle, from);
+    if (pos == std::string::npos) {
+        *ok = false;
+        return 0;
+    }
+    return std::strtoull(json.c_str() + pos + needle.size(), nullptr,
+                         10);
+}
+
+/**
+ * The smoke-mode kernel cross-check: re-run this binary with
+ * NSRF_SIMD=scalar and demand that every workload's simulated steps
+ * and cycles — solo and lane sections — match this process's
+ * (SIMD-kerneled) run bit for bit.  The SIMD surface is wide (the
+ * Philox batch fill behind every generator draw, the group probe
+ * behind every tag lookup); this closes the loop at the level that
+ * matters, the model's outputs.  @return 0 on agreement.
+ */
+int
+scalarCrossCheck(const char *self, const Options &opt,
+                 const std::vector<WorkloadResult> &solos,
+                 const std::vector<LaneResult> &lanes)
+{
+    std::string child_path = opt.jsonPath + ".scalar";
+    std::ostringstream cmd;
+    cmd << "NSRF_SIMD=scalar '" << self << "' --smoke --lanes "
+        << opt.lanes << " --lines " << opt.lines << " --json '"
+        << child_path << "' > /dev/null";
+    if (std::system(cmd.str().c_str()) != 0) {
+        std::fprintf(stderr,
+                     "error: scalar cross-check run failed\n");
+        return 1;
+    }
+
+    std::ifstream in(child_path, std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string doc = buf.str();
+    if (doc.empty()) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     child_path.c_str());
+        return 1;
+    }
+
+    bool ok = true;
+    auto check_app = [&](const std::string &app, std::size_t from,
+                         std::uint64_t steps, Cycles cycles) {
+        std::size_t at = doc.find("\"app\":\"" + app + "\"", from);
+        bool found = at != std::string::npos;
+        std::uint64_t c_steps =
+            found ? jsonU64(doc, "steps", at, &found) : 0;
+        std::uint64_t c_cycles =
+            found ? jsonU64(doc, "cycles", at, &found) : 0;
+        if (!found || c_steps != steps || c_cycles != cycles) {
+            std::fprintf(stderr,
+                         "cross-check mismatch for %s: scalar "
+                         "(%llu steps, %llu cycles) vs simd "
+                         "(%llu steps, %llu cycles)\n",
+                         app.c_str(),
+                         static_cast<unsigned long long>(c_steps),
+                         static_cast<unsigned long long>(c_cycles),
+                         static_cast<unsigned long long>(steps),
+                         static_cast<unsigned long long>(cycles));
+            ok = false;
+        }
+    };
+    for (const auto &r : solos)
+        check_app(r.app, 0, r.steps, r.cycles);
+    std::size_t lanes_at = doc.find("\"lanes\":[");
+    for (const auto &l : lanes)
+        check_app(l.app, lanes_at, l.steps, l.cycles);
+
+    std::remove(child_path.c_str());
+    bench::verdict("scalar and " +
+                       std::string(simdLevelName(
+                           activeSimdLevel())) +
+                       " kernels simulate identical stats",
+                   ok);
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -172,6 +369,9 @@ main(int argc, char **argv)
         "DTW", "Gamteb",         // parallel thread pools
     };
 
+    std::printf("  kernels: %s\n\n",
+                simdLevelName(activeSimdLevel()));
+
     std::vector<WorkloadResult> results;
     std::uint64_t total_steps = 0;
     double total_seconds = 0;
@@ -187,6 +387,21 @@ main(int argc, char **argv)
         total_steps += r.steps;
         total_seconds += r.bestSeconds;
         results.push_back(std::move(r));
+    }
+
+    std::printf("\n");
+    std::vector<LaneResult> lane_results;
+    for (const auto &name : mix) {
+        const auto &profile = workload::profileByName(name);
+        LaneResult l = timeLanes(profile, opt);
+        std::printf("  %-10s %u lanes     %12llu steps  %8.3fs  "
+                    "%10.0f steps/sec\n",
+                    l.app.c_str(), l.lanes,
+                    static_cast<unsigned long long>(l.steps),
+                    l.bestSeconds, l.stepsPerSec);
+        total_steps += l.steps;
+        total_seconds += l.bestSeconds;
+        lane_results.push_back(std::move(l));
     }
 
     double combined =
@@ -210,9 +425,11 @@ main(int argc, char **argv)
     json.beginObject();
     json.field("bench", "macro_throughput");
     json.field("organization", "nsf");
+    json.field("simd", simdLevelName(activeSimdLevel()));
     json.field("lines", opt.lines);
     json.field("events_requested", opt.events);
     json.field("reps", opt.reps);
+    json.field("lanes_per_group", opt.lanes);
     json.field("smoke", opt.smoke);
     json.key("workloads").beginArray();
     for (const auto &r : results) {
@@ -223,6 +440,18 @@ main(int argc, char **argv)
         json.field("cycles", r.cycles);
         json.field("best_seconds", r.bestSeconds);
         json.field("steps_per_sec", r.stepsPerSec);
+        json.endObject();
+    }
+    json.endArray();
+    json.key("lanes").beginArray();
+    for (const auto &l : lane_results) {
+        json.beginObject();
+        json.field("app", l.app);
+        json.field("lanes", l.lanes);
+        json.field("steps", l.steps);
+        json.field("cycles", l.cycles);
+        json.field("best_seconds", l.bestSeconds);
+        json.field("steps_per_sec", l.stepsPerSec);
         json.endObject();
     }
     json.endArray();
@@ -245,5 +474,11 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("\nwrote %s\n", opt.jsonPath.c_str());
+
+    // In smoke mode, a SIMD-kerneled parent re-runs itself with the
+    // scalar kernels and diffs simulated stats.  The scalar child
+    // skips this (activeSimdLevel() == Scalar), ending the recursion.
+    if (opt.smoke && activeSimdLevel() != SimdLevel::Scalar)
+        return scalarCrossCheck(argv[0], opt, results, lane_results);
     return 0;
 }

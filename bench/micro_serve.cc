@@ -30,7 +30,7 @@ provenance()
         {"app", "Quicksort"},
         {"events", "600000"},
         {"profileSeed", "1"},
-        {"generator", "synthetic-v1"},
+        {"generator", "synthetic-v2"},
     };
 }
 

@@ -128,6 +128,12 @@ SweepSet::add(const workload::BenchmarkProfile &profile,
     cell.makeGenerator = [profile, events]() {
         return makeGenerator(profile, events);
     };
+    // Cells over the same workload (profile + seed + length) share
+    // one event stream; the runner decodes it once and feeds every
+    // such cell as a lane of a single pass.
+    cell.streamKey = profile.name + "#" +
+                     std::to_string(profile.seed) + "#" +
+                     std::to_string(events);
     // The provenance (with the config) is the cache identity: the
     // seed and generator scheme must participate so a calibration
     // change misses instead of aliasing a stale result.
@@ -135,7 +141,7 @@ SweepSet::add(const workload::BenchmarkProfile &profile,
         {"app", profile.name},
         {"events", std::to_string(events)},
         {"profileSeed", std::to_string(profile.seed)},
-        {"generator", "synthetic-v1"},
+        {"generator", "synthetic-v2"},
     };
     cells_.push_back(std::move(cell));
     return cells_.size() - 1;

@@ -30,9 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "nsrf/cam/probe_kernels.hh"
 #include "nsrf/common/audit.hh"
 #include "nsrf/common/bitutil.hh"
 #include "nsrf/common/logging.hh"
+#include "nsrf/common/simd.hh"
 
 namespace nsrf::cam
 {
@@ -62,9 +64,32 @@ class FlatIndex
     /** @return number of slots (power of two, >= 2 * max_entries). */
     std::size_t capacity() const { return mask_ + 1; }
 
-    /** @return the value mapped to @p key, or npos. */
+    /**
+     * @return the value mapped to @p key, or npos.  Dispatches to a
+     * wide group-compare kernel when one is available; the result is
+     * bit-identical to findScalar() for any table state.
+     */
     std::size_t
     find(std::uint64_t key) const
+    {
+#if NSRF_SIMD && defined(__x86_64__)
+        switch (probeLevel_) {
+          case SimdLevel::Avx2:
+            return probe::findAvx2(keys_.data(), vals_.data(),
+                                   mask_, home(key), key);
+          case SimdLevel::Sse2:
+            return probe::findSse2(keys_.data(), vals_.data(),
+                                   mask_, home(key), key);
+          case SimdLevel::Scalar:
+            break;
+        }
+#endif
+        return findScalar(key);
+    }
+
+    /** The portable probe loop; reference semantics for find(). */
+    std::size_t
+    findScalar(std::uint64_t key) const
     {
         std::size_t i = home(key);
         while (vals_[i] != emptyVal) {
@@ -74,6 +99,19 @@ class FlatIndex
         }
         return npos;
     }
+
+    /** Force the probe kernel (differential tests, benchmarks). */
+    void
+    setProbeLevel(SimdLevel level)
+    {
+        nsrf_assert(simdLevelSupported(level),
+                    "probe level %s not supported by this build/CPU",
+                    simdLevelName(level));
+        probeLevel_ = level;
+    }
+
+    /** @return the probe kernel this table dispatches to. */
+    SimdLevel probeLevel() const { return probeLevel_; }
 
     /** Map @p key to @p value; the key must not be present. */
     void
@@ -226,6 +264,7 @@ class FlatIndex
     std::size_t mask_ = 0;
     unsigned shift_ = 0;
     std::size_t size_ = 0;
+    SimdLevel probeLevel_ = activeSimdLevel();
     std::vector<std::uint64_t> keys_;
     std::vector<std::uint32_t> vals_;
 };

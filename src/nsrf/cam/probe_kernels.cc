@@ -1,0 +1,111 @@
+#include "nsrf/cam/probe_kernels.hh"
+
+#if NSRF_SIMD && defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace nsrf::cam::probe
+{
+
+/*
+ * Both kernels walk the table in naturally aligned groups (4 slots
+ * for SSE2, 8 for AVX2).  Capacity is a power of two >= 8, so an
+ * aligned group never straddles the wrap.  Per group:
+ *
+ *   mk  — slots whose key equals the probe key
+ *   me  — slots whose value is the empty marker
+ *
+ * The first *decisive* slot in probe order is the earliest slot that
+ * is either empty (chain over -> npos) or an occupied match (return
+ * the value).  A stale key left in an erased slot sets mk and me at
+ * once; masking the match with ~me keeps it from resurfacing, and
+ * the empty bit still ends the scan — exactly the scalar order of
+ * tests.  The first group masks off the slots before the home slot.
+ *
+ * Termination needs no counter: the table is kept at <= 50% load, so
+ * every probe chain ends at an empty slot.
+ */
+
+std::size_t
+findSse2(const std::uint64_t *keys, const std::uint32_t *vals,
+         std::size_t mask, std::size_t home, std::uint64_t key)
+{
+    const __m128i needle =
+        _mm_set1_epi64x(static_cast<long long>(key));
+    const __m128i empty = _mm_set1_epi32(-1);
+    std::size_t g = home & ~std::size_t{3};
+    unsigned active = 0xfu << (home - g);
+    while (true) {
+        __m128i k01 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + g));
+        __m128i k23 = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(keys + g + 2));
+        // SSE2 has no 64-bit compare: a lane is equal iff both of
+        // its 32-bit halves compare equal.
+        __m128i e01 = _mm_cmpeq_epi32(k01, needle);
+        __m128i e23 = _mm_cmpeq_epi32(k23, needle);
+        e01 = _mm_and_si128(
+            e01, _mm_shuffle_epi32(e01, _MM_SHUFFLE(2, 3, 0, 1)));
+        e23 = _mm_and_si128(
+            e23, _mm_shuffle_epi32(e23, _MM_SHUFFLE(2, 3, 0, 1)));
+        unsigned mk =
+            static_cast<unsigned>(
+                _mm_movemask_pd(_mm_castsi128_pd(e01))) |
+            (static_cast<unsigned>(
+                 _mm_movemask_pd(_mm_castsi128_pd(e23)))
+             << 2);
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(vals + g));
+        unsigned me = static_cast<unsigned>(_mm_movemask_ps(
+            _mm_castsi128_ps(_mm_cmpeq_epi32(v, empty))));
+        unsigned decisive = ((mk & ~me) | me) & active & 0xfu;
+        if (decisive) {
+            unsigned b =
+                static_cast<unsigned>(__builtin_ctz(decisive));
+            return (me & (1u << b)) ? npos : vals[g + b];
+        }
+        g = (g + 4) & mask;
+        active = 0xfu;
+    }
+}
+
+__attribute__((target("avx2"))) std::size_t
+findAvx2(const std::uint64_t *keys, const std::uint32_t *vals,
+         std::size_t mask, std::size_t home, std::uint64_t key)
+{
+    const __m256i needle =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    const __m256i empty = _mm256_set1_epi32(-1);
+    std::size_t g = home & ~std::size_t{7};
+    unsigned active = 0xffu << (home - g);
+    while (true) {
+        __m256i k03 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + g));
+        __m256i k47 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + g + 4));
+        unsigned mk =
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(
+                    _mm256_cmpeq_epi64(k03, needle)))) |
+            (static_cast<unsigned>(_mm256_movemask_pd(
+                 _mm256_castsi256_pd(
+                     _mm256_cmpeq_epi64(k47, needle))))
+             << 4);
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vals + g));
+        unsigned me = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, empty))));
+        unsigned decisive = ((mk & ~me) | me) & active & 0xffu;
+        if (decisive) {
+            unsigned b =
+                static_cast<unsigned>(__builtin_ctz(decisive));
+            return (me & (1u << b)) ? npos : vals[g + b];
+        }
+        g = (g + 8) & mask;
+        active = 0xffu;
+    }
+}
+
+} // namespace nsrf::cam::probe
+
+#endif // NSRF_SIMD && __x86_64__

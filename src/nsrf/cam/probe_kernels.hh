@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Wide probe kernels for the flat tag index.
+ *
+ * A FlatIndex lookup is a linear scan from a hashed home slot until
+ * the key or an empty slot appears.  These kernels run that scan as
+ * data-parallel group compares over the structure-of-arrays layout
+ * (packed key array, packed value array): a group of adjacent slots
+ * is compared against the probe key and the empty marker at once,
+ * and the first decisive slot in probe order is picked from the
+ * compare masks.  Probe order — and therefore the result — is
+ * bit-identical to the scalar scan; the differential tests in
+ * test_cam_flat_index.cc hold the kernels to that.
+ *
+ * The kernels are out of line so the AVX2 code can carry a function
+ * target attribute instead of infecting the whole translation unit;
+ * FlatIndex::find() dispatches on a per-table level resolved at
+ * construction (activeSimdLevel(), overridable per table for
+ * differential tests).
+ */
+
+#ifndef NSRF_CAM_PROBE_KERNELS_HH
+#define NSRF_CAM_PROBE_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nsrf/common/simd.hh"
+
+namespace nsrf::cam::probe
+{
+
+/** Not-present sentinel; matches FlatIndex::npos. */
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+#if NSRF_SIMD && defined(__x86_64__)
+
+/**
+ * SSE2 probe, groups of 4 slots.  @p mask is capacity - 1 (capacity
+ * a power of two >= 8), @p home the scan start slot.  @return the
+ * value stored under @p key, or npos when an empty slot ends the
+ * chain first.
+ */
+std::size_t findSse2(const std::uint64_t *keys,
+                     const std::uint32_t *vals, std::size_t mask,
+                     std::size_t home, std::uint64_t key);
+
+/** AVX2 probe, groups of 8 slots; same contract as findSse2. */
+std::size_t findAvx2(const std::uint64_t *keys,
+                     const std::uint32_t *vals, std::size_t mask,
+                     std::size_t home, std::uint64_t key);
+
+#endif // NSRF_SIMD && __x86_64__
+
+} // namespace nsrf::cam::probe
+
+#endif // NSRF_CAM_PROBE_KERNELS_HH

@@ -9,7 +9,7 @@
 #include "nsrf/check/oracle.hh"
 #include "nsrf/check/testaccess.hh"
 #include "nsrf/common/logging.hh"
-#include "nsrf/common/random.hh"
+#include "nsrf/common/counter_random.hh"
 #include "nsrf/mem/memsys.hh"
 #include "nsrf/runtime/allocators.hh"
 
@@ -292,7 +292,8 @@ describeConfig(const FuzzConfig &config)
 std::vector<FuzzOp>
 generateOps(const FuzzConfig &config)
 {
-    Random rng(config.seed ^ 0x5eedf0cc5eedf0ccull);
+    CounterRandom rng(config.seed ^ 0x5eedf0cc5eedf0ccull,
+                      rngstream::fuzzOps);
     std::vector<FuzzOp> ops;
     ops.reserve(config.opCount);
     for (unsigned i = 0; i < config.opCount; ++i) {

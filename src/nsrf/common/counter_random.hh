@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Counter-based deterministic random source for trace generation.
+ *
+ * CounterRandom presents the same drawing surface as Random (next,
+ * uniform, real, chance, geometric, weightedPick) but is backed by
+ * the Philox-4x32-10 counter cipher instead of a state-chained
+ * generator: draw i of stream s under seed k is the pure function
+ * philox(key(k), s, i).  That buys three things xoshiro cannot give:
+ *
+ *  - no loop-carried dependency: a whole buffer of upcoming draws is
+ *    computed as one data-parallel batch (SSE2/AVX2 when available),
+ *    so consuming a draw is a buffered load, not a serial update;
+ *  - position indexing: skipTo()/at() reach any stream position in
+ *    O(1) without replaying predecessors;
+ *  - cheap independent streams: (seed, stream) pairs index 2^64
+ *    statistically independent sequences, so every generator and
+ *    every sweep cell can own a private stream of a common seed.
+ *
+ * The integer-threshold chance() contract is shared with Random
+ * (same ChanceThreshold type, same draw-for-draw acceptance rule),
+ * so probability thresholds compiled for one generator transfer to
+ * the other — the equivalence tests in test_common.cc pin this.
+ *
+ * uniform(bound) uses Lemire's multiply-shift rejection instead of
+ * Random's divide-based rejection: same distribution family (exact,
+ * unbiased), one 64x64->128 multiply on the accept path, but a
+ * *different* mapping from raw draws to values — one of the reasons
+ * the migration to CounterRandom regenerated the golden references.
+ */
+
+#ifndef NSRF_COMMON_COUNTER_RANDOM_HH
+#define NSRF_COMMON_COUNTER_RANDOM_HH
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/philox.hh"
+#include "nsrf/common/random.hh"
+
+namespace nsrf
+{
+
+/**
+ * Well-known stream ids.  Consumers sharing one seed draw from
+ * disjoint streams, so adding draws to one can never shift another —
+ * the property that keeps golden references stable across layers.
+ */
+namespace rngstream
+{
+constexpr std::uint64_t workload = 0;   ///< trace generators
+constexpr std::uint64_t dataValues = 1; ///< simulator data traffic
+constexpr std::uint64_t fuzzOps = 2;    ///< differential fuzzer ops
+} // namespace rngstream
+
+/** Deterministic counter-based (Philox) random number generator. */
+class CounterRandom
+{
+  public:
+    /** Integer acceptance thresholds transfer from Random. */
+    using ChanceThreshold = Random::ChanceThreshold;
+
+    /** Draws buffered per batch refill (128 Philox blocks). */
+    static constexpr std::size_t bufferDraws = 256;
+
+    explicit CounterRandom(std::uint64_t seed = 0x9e3779b97f4a7c15ull,
+                           std::uint64_t stream = 0)
+    {
+        this->seed(seed, stream);
+    }
+
+    /** Reseed; (seed, stream) fully determines the sequence. */
+    void
+    seed(std::uint64_t seedValue, std::uint64_t stream = 0)
+    {
+        // SplitMix64 finalizer: decorrelates the key from related
+        // seeds (profiles use consecutive small integers).
+        std::uint64_t z = seedValue + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        key0_ = static_cast<std::uint32_t>(z);
+        key1_ = static_cast<std::uint32_t>(z >> 32);
+        stream_ = stream;
+        base_ = 0;
+        pos_ = 0;
+        filled_ = 0;
+    }
+
+    /** @return the next raw 64-bit draw (buffered batch fill). */
+    std::uint64_t
+    next()
+    {
+        if (pos_ == filled_)
+            refill();
+        return buffer_[pos_++];
+    }
+
+    /** @return the stream position of the next draw. */
+    std::uint64_t
+    position() const
+    {
+        return base_ + pos_;
+    }
+
+    /** Jump so the next draw is stream position @p index. */
+    void
+    skipTo(std::uint64_t index)
+    {
+        if (index >= base_ && index < base_ + filled_) {
+            pos_ = static_cast<std::size_t>(index - base_);
+            return;
+        }
+        base_ = index;
+        pos_ = 0;
+        filled_ = 0;
+    }
+
+    /** Position-indexed draw, without moving the stream. */
+    std::uint64_t
+    at(std::uint64_t index) const
+    {
+        std::uint64_t pair[2];
+        philoxBlock(key0_, key1_, stream_, index >> 1, pair);
+        return pair[index & 1];
+    }
+
+    /** @return uniform integer in [0, bound); bound must be > 0. */
+    std::uint64_t
+    uniform(std::uint64_t bound)
+    {
+        nsrf_assert(bound > 0, "uniform() needs a positive bound");
+        // Lemire's multiply-shift: the high 64 bits of r*bound are
+        // uniform once the biased low-bits slice is rejected.  The
+        // reject test almost never triggers for the small bounds the
+        // workload models use (probability < bound / 2^64).
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        std::uint64_t low = static_cast<std::uint64_t>(product);
+        if (low < bound) [[unlikely]] {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                product =
+                    static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(product);
+            }
+        }
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive; hi >= lo. */
+    std::int64_t
+    uniformRange(std::int64_t lo, std::int64_t hi)
+    {
+        nsrf_assert(hi >= lo, "uniformRange() needs hi >= lo");
+        std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo) + 1;
+        std::uint64_t draw = span == 0 ? next() : uniform(span);
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(lo) + draw);
+    }
+
+    /** @return uniform real in [0, 1), on the same 2^-53 grid as
+     * Random::real(). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p (clamped to [0, 1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return real() < p;
+    }
+
+    /** Precompute the threshold for chance(@p p). */
+    static ChanceThreshold
+    chanceThreshold(double p)
+    {
+        return Random::chanceThreshold(p);
+    }
+
+    /** chance() against a precompiled threshold; same draws, same
+     * answers as chance(p). */
+    bool
+    chance(ChanceThreshold t)
+    {
+        if (t.value == 0)
+            return false;
+        if (t.value == ~0ull)
+            return true;
+        return (next() >> 11) < t.value;
+    }
+
+    /**
+     * @return a sample from a geometric-flavoured distribution with
+     * the given mean, always at least 1.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        double u = real();
+        double value =
+            std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
+        if (!(value >= 1.0))
+            value = 1.0;
+        if (value >= 0x1.0p64)
+            return ~0ull;
+        return static_cast<std::uint64_t>(value);
+    }
+
+    /**
+     * Pick an index in [0, count) with probability proportional to
+     * the weights.  Zero total weight picks index 0.
+     */
+    std::size_t
+    weightedPick(const double *weights, std::size_t count)
+    {
+        nsrf_assert(count > 0,
+                    "weightedPick() needs at least one weight");
+        double total = 0.0;
+        for (std::size_t i = 0; i < count; ++i)
+            total += weights[i];
+        if (total <= 0.0)
+            return 0;
+        double target = real() * total;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < count; ++i) {
+            acc += weights[i];
+            if (target < acc)
+                return i;
+        }
+        return count - 1;
+    }
+
+  private:
+    void
+    refill()
+    {
+        std::uint64_t nextDraw = base_ + pos_;
+        // Refill from the enclosing block boundary so the batch is a
+        // whole number of blocks; the draw we were asked for is at
+        // offset 0 or 1.
+        std::uint64_t start = nextDraw & ~std::uint64_t{1};
+        simd::philoxFill(key0_, key1_, stream_, start >> 1,
+                         bufferDraws / 2, buffer_.data());
+        base_ = start;
+        filled_ = bufferDraws;
+        pos_ = static_cast<std::size_t>(nextDraw - start);
+    }
+
+    std::array<std::uint64_t, bufferDraws> buffer_;
+    std::uint64_t base_ = 0;    ///< stream position of buffer_[0]
+    std::size_t pos_ = 0;       ///< next unconsumed buffer slot
+    std::size_t filled_ = 0;    ///< valid draws in buffer_
+    std::uint32_t key0_ = 0, key1_ = 0;
+    std::uint64_t stream_ = 0;
+};
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_COUNTER_RANDOM_HH

@@ -1,0 +1,191 @@
+#include "nsrf/common/philox.hh"
+
+#include "nsrf/common/logging.hh"
+
+#if NSRF_SIMD && defined(__x86_64__)
+#define NSRF_PHILOX_X86 1
+#include <immintrin.h>
+#else
+#define NSRF_PHILOX_X86 0
+#endif
+
+namespace nsrf::simd
+{
+
+void
+philoxFillScalar(std::uint32_t k0, std::uint32_t k1,
+                 std::uint64_t stream, std::uint64_t blockBase,
+                 std::size_t blocks, std::uint64_t *out)
+{
+    for (std::size_t i = 0; i < blocks; ++i)
+        philoxBlock(k0, k1, stream, blockBase + i, out + 2 * i);
+}
+
+#if NSRF_PHILOX_X86
+
+namespace
+{
+
+/**
+ * SSE2 kernel: two blocks per iteration.  Each 64-bit lane carries
+ * one 32-bit Philox word in its low half, so _mm_mul_epu32 gives the
+ * full 32x32->64 product per lane and the hi/lo halves fall out with
+ * a shift and a mask.
+ */
+void
+philoxFillSse2(std::uint32_t k0, std::uint32_t k1,
+               std::uint64_t stream, std::uint64_t blockBase,
+               std::size_t blocks, std::uint64_t *out)
+{
+    const __m128i m0 = _mm_set1_epi64x(philoxM0);
+    const __m128i m1 = _mm_set1_epi64x(philoxM1);
+    const __m128i lowMask = _mm_set1_epi64x(0xffffffffll);
+    const __m128i c2 =
+        _mm_set1_epi64x(static_cast<std::uint32_t>(stream));
+    const __m128i c3 =
+        _mm_set1_epi64x(static_cast<std::uint32_t>(stream >> 32));
+
+    std::size_t i = 0;
+    for (; i + 2 <= blocks; i += 2, out += 4) {
+        __m128i bi = _mm_add_epi64(
+            _mm_set1_epi64x(
+                static_cast<long long>(blockBase + i)),
+            _mm_set_epi64x(1, 0));
+        __m128i x0 = _mm_and_si128(bi, lowMask);
+        __m128i x1 = _mm_srli_epi64(bi, 32);
+        __m128i x2 = c2;
+        __m128i x3 = c3;
+        __m128i key0 = _mm_set1_epi64x(k0);
+        __m128i key1 = _mm_set1_epi64x(k1);
+        const __m128i w0 = _mm_set1_epi64x(philoxW0);
+        const __m128i w1 = _mm_set1_epi64x(philoxW1);
+        for (int round = 0; round < philoxRounds; ++round) {
+            __m128i p0 = _mm_mul_epu32(x0, m0);
+            __m128i p1 = _mm_mul_epu32(x2, m1);
+            __m128i hi0 = _mm_srli_epi64(p0, 32);
+            __m128i lo0 = _mm_and_si128(p0, lowMask);
+            __m128i hi1 = _mm_srli_epi64(p1, 32);
+            __m128i lo1 = _mm_and_si128(p1, lowMask);
+            x0 = _mm_xor_si128(_mm_xor_si128(hi1, x1), key0);
+            x1 = lo1;
+            x2 = _mm_xor_si128(_mm_xor_si128(hi0, x3), key1);
+            x3 = lo0;
+            key0 = _mm_add_epi64(key0, w0);
+            key1 = _mm_add_epi64(key1, w1);
+        }
+        // Per lane: draw0 = x0|x1<<32, draw1 = x2|x3<<32; interleave
+        // lanes into draw order (block0 d0, block0 d1, block1 ...).
+        // x0/x2 carry key-bump carries above bit 31 (the scalar key
+        // wraps mod 2^32), so mask them down before packing.
+        __m128i evn = _mm_or_si128(_mm_and_si128(x0, lowMask),
+                                   _mm_slli_epi64(x1, 32));
+        __m128i odd = _mm_or_si128(_mm_and_si128(x2, lowMask),
+                                   _mm_slli_epi64(x3, 32));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out),
+                         _mm_unpacklo_epi64(evn, odd));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 2),
+                         _mm_unpackhi_epi64(evn, odd));
+    }
+    if (i < blocks)
+        philoxFillScalar(k0, k1, stream, blockBase + i, blocks - i,
+                         out);
+}
+
+/** AVX2 kernel: four blocks per iteration, same lane layout. */
+__attribute__((target("avx2"))) void
+philoxFillAvx2(std::uint32_t k0, std::uint32_t k1,
+               std::uint64_t stream, std::uint64_t blockBase,
+               std::size_t blocks, std::uint64_t *out)
+{
+    const __m256i m0 = _mm256_set1_epi64x(philoxM0);
+    const __m256i m1 = _mm256_set1_epi64x(philoxM1);
+    const __m256i lowMask = _mm256_set1_epi64x(0xffffffffll);
+    const __m256i c2 =
+        _mm256_set1_epi64x(static_cast<std::uint32_t>(stream));
+    const __m256i c3 =
+        _mm256_set1_epi64x(static_cast<std::uint32_t>(stream >> 32));
+    const __m256i laneIdx = _mm256_set_epi64x(3, 2, 1, 0);
+    const __m256i w0 = _mm256_set1_epi64x(philoxW0);
+    const __m256i w1 = _mm256_set1_epi64x(philoxW1);
+
+    std::size_t i = 0;
+    for (; i + 4 <= blocks; i += 4, out += 8) {
+        __m256i bi = _mm256_add_epi64(
+            _mm256_set1_epi64x(
+                static_cast<long long>(blockBase + i)),
+            laneIdx);
+        __m256i x0 = _mm256_and_si256(bi, lowMask);
+        __m256i x1 = _mm256_srli_epi64(bi, 32);
+        __m256i x2 = c2;
+        __m256i x3 = c3;
+        __m256i key0 = _mm256_set1_epi64x(k0);
+        __m256i key1 = _mm256_set1_epi64x(k1);
+        for (int round = 0; round < philoxRounds; ++round) {
+            __m256i p0 = _mm256_mul_epu32(x0, m0);
+            __m256i p1 = _mm256_mul_epu32(x2, m1);
+            __m256i hi0 = _mm256_srli_epi64(p0, 32);
+            __m256i lo0 = _mm256_and_si256(p0, lowMask);
+            __m256i hi1 = _mm256_srli_epi64(p1, 32);
+            __m256i lo1 = _mm256_and_si256(p1, lowMask);
+            x0 = _mm256_xor_si256(_mm256_xor_si256(hi1, x1), key0);
+            x1 = lo1;
+            x2 = _mm256_xor_si256(_mm256_xor_si256(hi0, x3), key1);
+            x3 = lo0;
+            key0 = _mm256_add_epi64(key0, w0);
+            key1 = _mm256_add_epi64(key1, w1);
+        }
+        // Mask off key-bump carries above bit 31, as in the SSE2
+        // kernel.
+        __m256i evn =
+            _mm256_or_si256(_mm256_and_si256(x0, lowMask),
+                            _mm256_slli_epi64(x1, 32));
+        __m256i odd =
+            _mm256_or_si256(_mm256_and_si256(x2, lowMask),
+                            _mm256_slli_epi64(x3, 32));
+        // unpack pairs within 128-bit halves, then stitch halves
+        // back into draw order.
+        __m256i lo = _mm256_unpacklo_epi64(evn, odd);
+        __m256i hi = _mm256_unpackhi_epi64(evn, odd);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out),
+            _mm256_permute2x128_si256(lo, hi, 0x20));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out + 4),
+            _mm256_permute2x128_si256(lo, hi, 0x31));
+    }
+    if (i < blocks)
+        philoxFillScalar(k0, k1, stream, blockBase + i, blocks - i,
+                         out);
+}
+
+} // namespace
+
+#endif // NSRF_PHILOX_X86
+
+void
+philoxFillLevel(SimdLevel level, std::uint32_t k0, std::uint32_t k1,
+                std::uint64_t stream, std::uint64_t blockBase,
+                std::size_t blocks, std::uint64_t *out)
+{
+    nsrf_assert(simdLevelSupported(level),
+                "philoxFillLevel: kernel not supported");
+    switch (level) {
+#if NSRF_PHILOX_X86
+      case SimdLevel::Avx2:
+        philoxFillAvx2(k0, k1, stream, blockBase, blocks, out);
+        return;
+      case SimdLevel::Sse2:
+        philoxFillSse2(k0, k1, stream, blockBase, blocks, out);
+        return;
+#else
+      case SimdLevel::Avx2:
+      case SimdLevel::Sse2:
+#endif
+      case SimdLevel::Scalar:
+        philoxFillScalar(k0, k1, stream, blockBase, blocks, out);
+        return;
+    }
+    philoxFillScalar(k0, k1, stream, blockBase, blocks, out);
+}
+
+} // namespace nsrf::simd

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Philox-4x32-10 counter-mode block cipher, the primitive under
+ * CounterRandom.
+ *
+ * Philox (Salmon et al., "Parallel Random Numbers: As Easy as 1, 2,
+ * 3", SC'11) turns a 128-bit counter and a 64-bit key into 128
+ * random bits with ten multiply/xor rounds.  Unlike a state-chained
+ * generator, draw N is a pure function of (key, stream, N): blocks
+ * can be computed in any order, on any lane, which is what lets the
+ * batch fills below run data-parallel and lets a consumer jump to an
+ * arbitrary position without replaying the stream.
+ *
+ * Layout used here: counter word 0/1 = the 64-bit block index,
+ * counter word 2/3 = the 64-bit stream id, key = 64 bits derived
+ * from the user seed.  Each block yields two 64-bit draws, so draw i
+ * lives in block i>>1, word i&1.
+ *
+ * The scalar block function is defined inline (it is the reference
+ * the vector kernels are differentially tested against, and the KAT
+ * tests call it directly).  The batch fills write draws for a run of
+ * consecutive blocks; philoxFill() dispatches on activeSimdLevel().
+ */
+
+#ifndef NSRF_COMMON_PHILOX_HH
+#define NSRF_COMMON_PHILOX_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nsrf/common/simd.hh"
+
+namespace nsrf
+{
+
+/** Round multipliers and key schedule constants (Random123). */
+constexpr std::uint32_t philoxM0 = 0xD2511F53u;
+constexpr std::uint32_t philoxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t philoxW0 = 0x9E3779B9u;
+constexpr std::uint32_t philoxW1 = 0xBB67AE85u;
+constexpr int philoxRounds = 10;
+
+/**
+ * One Philox-4x32-10 block: counter (c0..c3) + key (k0,k1) -> four
+ * 32-bit words.  Matches the Random123 reference exactly.
+ */
+inline void
+philox4x32(std::uint32_t k0, std::uint32_t k1, std::uint32_t c0,
+           std::uint32_t c1, std::uint32_t c2, std::uint32_t c3,
+           std::uint32_t out[4])
+{
+    std::uint32_t x0 = c0, x1 = c1, x2 = c2, x3 = c3;
+    for (int round = 0; round < philoxRounds; ++round) {
+        std::uint64_t p0 = static_cast<std::uint64_t>(philoxM0) * x0;
+        std::uint64_t p1 = static_cast<std::uint64_t>(philoxM1) * x2;
+        std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+        std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+        std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+        std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+        x0 = hi1 ^ x1 ^ k0;
+        x1 = lo1;
+        x2 = hi0 ^ x3 ^ k1;
+        x3 = lo0;
+        k0 += philoxW0;
+        k1 += philoxW1;
+    }
+    out[0] = x0;
+    out[1] = x1;
+    out[2] = x2;
+    out[3] = x3;
+}
+
+/** The two 64-bit draws of block @p block on stream @p stream. */
+inline void
+philoxBlock(std::uint32_t k0, std::uint32_t k1, std::uint64_t stream,
+            std::uint64_t block, std::uint64_t out[2])
+{
+    std::uint32_t words[4];
+    philox4x32(k0, k1, static_cast<std::uint32_t>(block),
+               static_cast<std::uint32_t>(block >> 32),
+               static_cast<std::uint32_t>(stream),
+               static_cast<std::uint32_t>(stream >> 32), words);
+    out[0] = words[0] |
+             (static_cast<std::uint64_t>(words[1]) << 32);
+    out[1] = words[2] |
+             (static_cast<std::uint64_t>(words[3]) << 32);
+}
+
+namespace simd
+{
+
+/**
+ * Write the 2*@p blocks draws of blocks [blockBase, blockBase +
+ * blocks) to @p out, in draw order.  The portable reference.
+ */
+void philoxFillScalar(std::uint32_t k0, std::uint32_t k1,
+                      std::uint64_t stream, std::uint64_t blockBase,
+                      std::size_t blocks, std::uint64_t *out);
+
+/**
+ * Same contract, with the kernel for @p level; the level must be
+ * supported (simdLevelSupported()).  Exposed for differential tests
+ * and benchmarks; ordinary consumers call philoxFill().
+ */
+void philoxFillLevel(SimdLevel level, std::uint32_t k0,
+                     std::uint32_t k1, std::uint64_t stream,
+                     std::uint64_t blockBase, std::size_t blocks,
+                     std::uint64_t *out);
+
+/** Batch fill with the activeSimdLevel() kernel. */
+inline void
+philoxFill(std::uint32_t k0, std::uint32_t k1, std::uint64_t stream,
+           std::uint64_t blockBase, std::size_t blocks,
+           std::uint64_t *out)
+{
+    philoxFillLevel(activeSimdLevel(), k0, k1, stream, blockBase,
+                    blocks, out);
+}
+
+} // namespace simd
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_PHILOX_HH

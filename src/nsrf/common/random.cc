@@ -49,8 +49,15 @@ std::int64_t
 Random::uniformRange(std::int64_t lo, std::int64_t hi)
 {
     nsrf_assert(hi >= lo, "uniformRange() needs hi >= lo");
-    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(uniform(span));
+    // Width in unsigned arithmetic: hi - lo as int64 overflows for
+    // ranges wider than 2^63.
+    std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                         static_cast<std::uint64_t>(lo) + 1;
+    // The full [INT64_MIN, INT64_MAX] span wraps to 0; every 64-bit
+    // value is in range, so a raw draw is the uniform answer.
+    std::uint64_t draw = span == 0 ? next() : uniform(span);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     draw);
 }
 
 std::uint64_t
@@ -62,8 +69,12 @@ Random::geometric(double mean)
     double p = 1.0 / mean;
     double u = real();
     double value = std::floor(std::log1p(-u) / std::log1p(-p)) + 1.0;
-    if (value < 1.0)
+    if (!(value >= 1.0))
         value = 1.0;
+    // For huge means an unlucky draw lands above 2^64 and the
+    // conversion would be undefined; saturate instead.
+    if (value >= 0x1.0p64)
+        return ~0ull;
     return static_cast<std::uint64_t>(value);
 }
 

@@ -1,0 +1,103 @@
+#include "nsrf/common/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf
+{
+
+namespace
+{
+
+#if NSRF_SIMD && defined(__x86_64__)
+#define NSRF_SIMD_X86 1
+#else
+#define NSRF_SIMD_X86 0
+#endif
+
+SimdLevel
+resolveActiveLevel()
+{
+    SimdLevel level = bestSimdLevel();
+    const char *request = std::getenv("NSRF_SIMD");
+    if (request == nullptr || *request == '\0')
+        return level;
+    SimdLevel wanted;
+    if (std::strcmp(request, "scalar") == 0)
+        wanted = SimdLevel::Scalar;
+    else if (std::strcmp(request, "sse2") == 0)
+        wanted = SimdLevel::Sse2;
+    else if (std::strcmp(request, "avx2") == 0)
+        wanted = SimdLevel::Avx2;
+    else {
+        nsrf_warn("NSRF_SIMD=%s is not scalar/sse2/avx2; using %s",
+                  request, simdLevelName(level));
+        return level;
+    }
+    if (!simdLevelSupported(wanted)) {
+        nsrf_warn("NSRF_SIMD=%s not supported by this build/CPU; "
+                  "using %s",
+                  request, simdLevelName(level));
+        return level;
+    }
+    return wanted;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar: return "scalar";
+      case SimdLevel::Sse2: return "sse2";
+      case SimdLevel::Avx2: return "avx2";
+    }
+    return "?";
+}
+
+bool
+simdLevelCompiled(SimdLevel level)
+{
+    if (level == SimdLevel::Scalar)
+        return true;
+#if NSRF_SIMD_X86
+    return level == SimdLevel::Sse2 || level == SimdLevel::Avx2;
+#else
+    return false;
+#endif
+}
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    if (!simdLevelCompiled(level))
+        return false;
+#if NSRF_SIMD_X86
+    // SSE2 is part of the x86-64 baseline; only AVX2 needs a probe.
+    if (level == SimdLevel::Avx2)
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+    return true;
+}
+
+SimdLevel
+bestSimdLevel()
+{
+    if (simdLevelSupported(SimdLevel::Avx2))
+        return SimdLevel::Avx2;
+    if (simdLevelSupported(SimdLevel::Sse2))
+        return SimdLevel::Sse2;
+    return SimdLevel::Scalar;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    static const SimdLevel level = resolveActiveLevel();
+    return level;
+}
+
+} // namespace nsrf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Run-time SIMD capability selection for the batch kernels.
+ *
+ * Every data-parallel kernel in the tree (the Philox block fill, the
+ * CAM tag probe) is written three times: a portable scalar loop that
+ * is always compiled, and SSE2/AVX2 variants compiled only when
+ * NSRF_SIMD is on and the target is x86-64.  Which variant runs is a
+ * *run-time* choice so a single binary can execute on any host and —
+ * more importantly — so the scalar and vector paths can be
+ * differentially tested against each other in the same process.
+ *
+ * The active level is resolved once, from the strongest level this
+ * build + CPU supports, clamped by the NSRF_SIMD environment
+ * variable ("scalar", "sse2", "avx2") for forcing the fallback in CI
+ * and benchmarks.
+ */
+
+#ifndef NSRF_COMMON_SIMD_HH
+#define NSRF_COMMON_SIMD_HH
+
+namespace nsrf
+{
+
+/** Kernel flavours, weakest to strongest. */
+enum class SimdLevel
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/** @return the lowercase name ("scalar", "sse2", "avx2"). */
+const char *simdLevelName(SimdLevel level);
+
+/** @return true if this build compiled kernels for @p level. */
+bool simdLevelCompiled(SimdLevel level);
+
+/** @return true if @p level is compiled in and the CPU supports it. */
+bool simdLevelSupported(SimdLevel level);
+
+/** @return the strongest supported level, ignoring the environment. */
+SimdLevel bestSimdLevel();
+
+/**
+ * @return the level the dispatched kernels use: bestSimdLevel()
+ * clamped by the NSRF_SIMD environment variable.  Resolved once per
+ * process.
+ */
+SimdLevel activeSimdLevel();
+
+} // namespace nsrf
+
+#endif // NSRF_COMMON_SIMD_HH

@@ -180,11 +180,6 @@ Server::handleConnection(int fd)
         if (n == 0)
             break; // client closed
         buffer.append(chunk, static_cast<std::size_t>(n));
-        if (buffer.size() > config_.maxLineBytes) {
-            sendAll(fd, errorReply("", "request line too long") +
-                            "\n");
-            break;
-        }
         std::size_t nl;
         while ((nl = buffer.find('\n')) != std::string::npos) {
             std::string line = buffer.substr(0, nl);
@@ -196,6 +191,14 @@ Server::handleConnection(int fd)
                 ::close(fd);
                 return;
             }
+        }
+        // The line-length cap applies to the unconsumed partial line
+        // only, after complete lines are drained: a pipelined burst
+        // of many small requests is legal no matter its total size.
+        if (buffer.size() > config_.maxLineBytes) {
+            sendAll(fd, errorReply("", "request line too long") +
+                            "\n");
+            break;
         }
     }
     ::close(fd);

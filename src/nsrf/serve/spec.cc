@@ -167,7 +167,7 @@ cellsFromParams(const CellParams &params,
             {"app", profile.name},
             {"events", std::to_string(params.events)},
             {"profileSeed", std::to_string(profile.seed)},
-            {"generator", "synthetic-v1"},
+            {"generator", "synthetic-v2"},
         };
         out->push_back(std::move(cell));
     }

@@ -11,13 +11,15 @@ namespace nsrf::sim
 {
 
 TraceSimulator::TraceSimulator(const SimConfig &config)
-    : config_(config), dataRng_(config.dataSeed),
+    : config_(config),
+      dataRng_(config.dataSeed, rngstream::dataValues),
       memsys_(config.cache, config.memLatency),
       cids_(config.cidCapacity),
       frames_(0x80000000u,
               config.rf.regsPerContext * wordBytes)
 {
     rf_ = regfile::makeRegisterFile(config_.rf, memsys_);
+    stepFn_ = resolveStepFn();
 }
 
 Cycles
@@ -176,51 +178,116 @@ TraceSimulator::unmapContext(CtxHandle handle)
     handles_.erase(it);
 }
 
-RunResult
-TraceSimulator::run(TraceGenerator &gen)
+TraceSimulator::StepFn
+TraceSimulator::resolveStepFn() const
 {
     // One type test up front buys a devirtualized event loop for the
     // dominant organization; everything else runs through the base
     // interface unchanged.
     using regfile::MissPolicy;
+    using regfile::WritePolicy;
     if (auto *nsf = dynamic_cast<regfile::NamedStateRegisterFile *>(
             rf_.get())) {
         // One-register lines are the paper's headline organization
         // and the hot one in the benches; dispatch once on the
         // policy pair so the access kernels inline into the loop.
         if (nsf->config().regsPerLine == 1) {
+            const bool fow = nsf->config().writePolicy ==
+                             WritePolicy::FetchOnWrite;
             switch (nsf->config().missPolicy) {
               case MissPolicy::ReloadSingle:
-                return runOneWord<MissPolicy::ReloadSingle>(gen,
-                                                            *nsf);
+                return fow ? &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadSingle,
+                                 WritePolicy::FetchOnWrite>
+                           : &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadSingle,
+                                 WritePolicy::WriteAllocate>;
               case MissPolicy::ReloadLive:
-                return runOneWord<MissPolicy::ReloadLive>(gen, *nsf);
+                return fow ? &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadLive,
+                                 WritePolicy::FetchOnWrite>
+                           : &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadLive,
+                                 WritePolicy::WriteAllocate>;
               case MissPolicy::ReloadLine:
-                return runOneWord<MissPolicy::ReloadLine>(gen, *nsf);
+                return fow ? &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadLine,
+                                 WritePolicy::FetchOnWrite>
+                           : &TraceSimulator::stepOneWord<
+                                 MissPolicy::ReloadLine,
+                                 WritePolicy::WriteAllocate>;
             }
         }
-        return runLoop(gen, *nsf);
+        return &TraceSimulator::stepNsf;
     }
-    return runLoop(gen, *rf_);
+    return &TraceSimulator::stepGeneric;
 }
 
-template <regfile::MissPolicy MP>
-RunResult
-TraceSimulator::runOneWord(TraceGenerator &gen,
-                           regfile::NamedStateRegisterFile &nsf)
+void
+TraceSimulator::beginRun()
 {
-    using regfile::NamedStateRegisterFile;
-    using regfile::WritePolicy;
-    if (nsf.config().writePolicy == WritePolicy::FetchOnWrite) {
-        NamedStateRegisterFile::OneWordKernels<
-            MP, WritePolicy::FetchOnWrite>
-            view(nsf);
-        return runLoop(gen, view);
+    nsrf_assert(!running_, "beginRun() while a run is in progress");
+    loop_ = LoopState{};
+    running_ = true;
+}
+
+bool
+TraceSimulator::stepRun(const TraceEvent *events, std::size_t count)
+{
+    nsrf_assert(running_, "stepRun() outside beginRun()/finishRun()");
+    if (!loop_.done && count > 0)
+        (this->*stepFn_)(loop_, events, count);
+    return !loop_.done;
+}
+
+RunResult
+TraceSimulator::run(TraceGenerator &gen)
+{
+    beginRun();
+    // Pull events in batches: one virtual fill() per batch instead
+    // of one next() per event, and the generator's emit path stays
+    // in its own loop.  Over-pulling past an early break is safe —
+    // generators are reset before reuse, and unconsumed events
+    // never touch the model.
+    constexpr std::size_t batch_capacity = 512;
+    TraceEvent batch[batch_capacity];
+    for (;;) {
+        std::size_t n = gen.fill(batch, batch_capacity);
+        if (n == 0)
+            break;
+        if (!stepRun(batch, n))
+            break;
     }
-    NamedStateRegisterFile::OneWordKernels<MP,
-                                           WritePolicy::WriteAllocate>
-        view(nsf);
-    return runLoop(gen, view);
+    return finishRun();
+}
+
+template <regfile::MissPolicy MP, regfile::WritePolicy WP>
+void
+TraceSimulator::stepOneWord(LoopState &state,
+                            const TraceEvent *events,
+                            std::size_t count)
+{
+    auto &nsf =
+        static_cast<regfile::NamedStateRegisterFile &>(*rf_);
+    regfile::NamedStateRegisterFile::OneWordKernels<MP, WP> view(
+        nsf);
+    stepChunk(state, events, count, view);
+}
+
+void
+TraceSimulator::stepNsf(LoopState &state, const TraceEvent *events,
+                        std::size_t count)
+{
+    stepChunk(state, events, count,
+              static_cast<regfile::NamedStateRegisterFile &>(*rf_));
+}
+
+void
+TraceSimulator::stepGeneric(LoopState &state,
+                            const TraceEvent *events,
+                            std::size_t count)
+{
+    stepChunk(state, events, count, *rf_);
 }
 
 template <typename RF>
@@ -231,14 +298,15 @@ template <typename RF>
 // otherwise leave them as calls.
 __attribute__((flatten))
 #endif
-RunResult
-TraceSimulator::runLoop(TraceGenerator &gen, RF &rf)
+void
+TraceSimulator::stepChunk(LoopState &state, const TraceEvent *events,
+                          std::size_t count, RF &rf)
 {
-    std::uint64_t instructions = 0;
-    Cycles cycles = 0;
-    ContextId current = invalidContext;
-    CtxHandle current_handle = invalidHandle;
-    Word scratch = 0;
+    std::uint64_t instructions = state.instructions;
+    Cycles cycles = state.cycles;
+    ContextId current = state.current;
+    CtxHandle current_handle = state.currentHandle;
+    Word scratch = state.scratch;
 
     // Hoist loop-invariant config loads: nothing in the loop body
     // mutates config_, but the compiler cannot prove the register
@@ -250,28 +318,16 @@ TraceSimulator::runLoop(TraceGenerator &gen, RF &rf)
     const bool model_data_traffic = config_.modelDataTraffic;
     const auto mem_ref_extra = config_.memRefExtra;
 
-    // Pull events in batches: one virtual fill() per batch instead
-    // of one next() per event, and the generator's emit path stays
-    // in its own loop.  Over-pulling past an early break is safe —
-    // generators are reset before reuse, and unconsumed events
-    // never touch the model.
-    constexpr std::size_t batch_capacity = 512;
-    TraceEvent batch[batch_capacity];
-    std::size_t batch_size = 0;
-    std::size_t batch_pos = 0;
-
-    for (;;) {
-        if (batch_pos == batch_size) {
-            batch_size = gen.fill(batch, batch_capacity);
-            batch_pos = 0;
-            if (batch_size == 0)
-                break;
+    for (std::size_t n = 0; n < count; ++n) {
+        const TraceEvent &ev = events[n];
+        if (ev.kind == EventKind::End) {
+            state.done = true;
+            break;
         }
-        TraceEvent &ev = batch[batch_pos++];
-        if (ev.kind == EventKind::End)
+        if (instructions >= max_instructions) {
+            state.done = true;
             break;
-        if (instructions >= max_instructions)
-            break;
+        }
         // Timestamp trace events with the simulated cycle count so
         // the exported timeline lines up with the model's time base.
         nsrf_trace_hook(setTime(cycles));
@@ -365,14 +421,26 @@ TraceSimulator::runLoop(TraceGenerator &gen, RF &rf)
         }
     }
 
-    rf.finalize();
+    state.instructions = instructions;
+    state.cycles = cycles;
+    state.current = current;
+    state.currentHandle = current_handle;
+    state.scratch = scratch;
+}
 
-    const auto &stats = rf.stats();
+RunResult
+TraceSimulator::finishRun()
+{
+    nsrf_assert(running_, "finishRun() without beginRun()");
+    running_ = false;
+    rf_->finalize();
+
+    const auto &stats = rf_->stats();
     RunResult out;
-    out.regfileDescription = rf.describe();
-    out.instructions = instructions;
+    out.regfileDescription = rf_->describe();
+    out.instructions = loop_.instructions;
     out.contextSwitches = stats.contextSwitches.value();
-    out.cycles = cycles;
+    out.cycles = loop_.cycles;
     out.regStallCycles = stats.stallCycles;
     out.regsSpilled = stats.regsSpilled.value();
     out.regsReloaded = stats.regsReloaded.value();
@@ -383,8 +451,8 @@ TraceSimulator::runLoop(TraceGenerator &gen, RF &rf)
     out.meanActiveRegs = stats.activeRegs.mean();
     out.maxActiveRegs = stats.activeRegs.max();
     out.meanResidentContexts = stats.residentContexts.mean();
-    out.meanUtilization = rf.meanUtilization();
-    out.maxUtilization = rf.maxUtilization();
+    out.meanUtilization = rf_->meanUtilization();
+    out.maxUtilization = rf_->maxUtilization();
     return out;
 }
 

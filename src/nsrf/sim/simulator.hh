@@ -23,7 +23,7 @@
 #include <utility>
 #include <vector>
 
-#include "nsrf/common/random.hh"
+#include "nsrf/common/counter_random.hh"
 #include "nsrf/mem/memsys.hh"
 #include "nsrf/regfile/factory.hh"
 #include "nsrf/runtime/allocators.hh"
@@ -133,6 +133,28 @@ class TraceSimulator
     /** Consume @p gen until End (or the instruction cap). */
     RunResult run(TraceGenerator &gen);
 
+    /**
+     * Re-entrant chunked execution, the lane-batching surface: a
+     * sweep group decodes one generator's event stream once and
+     * feeds each chunk to every lane's simulator.  beginRun(), then
+     * stepRun() any partition of the stream, then finishRun(), is
+     * exactly run() — same devirtualized kernels, same arithmetic,
+     * bit-identical RunResult.  run() itself is implemented on top
+     * of these.
+     */
+    void beginRun();
+
+    /**
+     * Feed @p count decoded events.  @return false once the run has
+     * finished (End event seen, or the instruction cap reached);
+     * chunks after that are ignored, so lanes that end early simply
+     * coast while the rest of the group drains the stream.
+     */
+    bool stepRun(const TraceEvent *events, std::size_t count);
+
+    /** Finalize the register file and collect the chunked run. */
+    RunResult finishRun();
+
     /** @return the register file (valid after construction). */
     regfile::RegisterFile &registerFile() { return *rf_; }
 
@@ -148,25 +170,57 @@ class TraceSimulator
         std::uint64_t lastUse = 0;
     };
 
-    /**
-     * The event loop, templated on the concrete register file type:
-     * run() dispatches here after a single type test, so the
-     * per-event read/write/switch calls devirtualize against the
-     * final NamedStateRegisterFile instead of paying a virtual
-     * dispatch per register access.
-     */
-    template <typename RF>
-    RunResult runLoop(TraceGenerator &gen, RF &rf);
+    /** Event-loop state carried across stepRun() chunks. */
+    struct LoopState
+    {
+        std::uint64_t instructions = 0;
+        Cycles cycles = 0;
+        ContextId current = invalidContext;
+        CtxHandle currentHandle = invalidHandle;
+        Word scratch = 0;
+        bool done = false;
+    };
 
     /**
-     * runLoop dispatch ladder for one-register-per-line NSFs: picks
-     * the compile-time (miss, write) policy pair and runs the event
-     * loop over a typed kernel view, so the access kernels inline
-     * into the loop with every policy branch folded away.
+     * One chunk of the event loop, templated on the concrete
+     * register file type: the per-event read/write/switch calls
+     * devirtualize against the final NamedStateRegisterFile instead
+     * of paying a virtual dispatch per register access.
      */
-    template <regfile::MissPolicy MP>
-    RunResult runOneWord(TraceGenerator &gen,
-                         regfile::NamedStateRegisterFile &nsf);
+    template <typename RF>
+    void stepChunk(LoopState &state, const TraceEvent *events,
+                   std::size_t count, RF &rf);
+
+    /**
+     * stepChunk over the typed one-word kernel view, with the
+     * compile-time (miss, write) policy pair folded in, so the
+     * access kernels inline into the loop with every policy branch
+     * gone.
+     */
+    template <regfile::MissPolicy MP, regfile::WritePolicy WP>
+    void stepOneWord(LoopState &state, const TraceEvent *events,
+                     std::size_t count);
+
+    /** stepChunk against the devirtualized (but policy-branching)
+     * NamedStateRegisterFile. */
+    void stepNsf(LoopState &state, const TraceEvent *events,
+                 std::size_t count);
+
+    /** stepChunk through the virtual base interface. */
+    void stepGeneric(LoopState &state, const TraceEvent *events,
+                     std::size_t count);
+
+    using StepFn = void (TraceSimulator::*)(LoopState &,
+                                            const TraceEvent *,
+                                            std::size_t);
+
+    /**
+     * The kernel dispatch ladder, resolved once at construction
+     * after the factory builds the register file: one type test and
+     * one policy switch pick the stepChunk instantiation every
+     * chunk of this run dispatches to.
+     */
+    StepFn resolveStepFn() const;
 
     /** Record a bound activation's recency for victim selection. */
     void noteUse(CtxHandle handle, std::uint64_t last_use);
@@ -185,7 +239,7 @@ class TraceSimulator
     Cycles dataAccess();
 
     SimConfig config_;
-    Random dataRng_;
+    CounterRandom dataRng_;
     mem::MemorySystem memsys_;
     std::unique_ptr<regfile::RegisterFile> rf_;
     runtime::CidAllocator cids_;
@@ -203,6 +257,9 @@ class TraceSimulator
     std::size_t boundCount_ = 0;
     std::uint64_t useClock_ = 0;
     std::uint64_t cidEvictions_ = 0;
+    StepFn stepFn_ = nullptr;
+    LoopState loop_;
+    bool running_ = false;
 };
 
 /** Convenience: build a simulator from @p config and run @p gen. */

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <thread>
 
@@ -152,6 +153,74 @@ SweepRunner::hardwareJobs()
     return n == 0 ? 1 : n;
 }
 
+namespace
+{
+
+/** Run one cell on its own private generator (the classic path). */
+void
+runSoloCell(const SweepCell &cell, RunResult &result)
+{
+    auto gen = cell.makeGenerator();
+    if (!cell.traceOut.empty() && trace::compiledIn) {
+        // Bind a tracer to this worker thread for the duration
+        // of the run; concurrent cells each get their own.
+        trace::Tracer tracer;
+        trace::Session session(tracer);
+        result = runTrace(cell.config, *gen);
+        trace::writePerfettoJson(tracer, cell.traceOut, cell.label);
+        trace::writeMetricsText(tracer, cell.traceOut + ".metrics",
+                                cell.traceWindow);
+    } else {
+        if (!cell.traceOut.empty()) {
+            nsrf_warn("cell '%s' requests a trace but this "
+                      "build has NSRF_TRACE=OFF",
+                      cell.label.c_str());
+        }
+        result = runTrace(cell.config, *gen);
+    }
+}
+
+/**
+ * Run a group of cells sharing one event stream as lanes of a
+ * single decode pass: the first lane's generator produces each
+ * chunk once, and every lane's simulator steps through it.  Lanes
+ * that finish early (instruction caps differ per cell) coast while
+ * the stream drains for the rest.
+ */
+void
+runLaneGroup(const std::vector<SweepCell> &cells,
+             const std::vector<std::size_t> &lanes,
+             std::vector<RunResult> &results)
+{
+    auto gen = cells[lanes.front()].makeGenerator();
+    std::vector<std::unique_ptr<TraceSimulator>> sims;
+    sims.reserve(lanes.size());
+    for (std::size_t i : lanes) {
+        sims.push_back(
+            std::make_unique<TraceSimulator>(cells[i].config));
+        sims.back()->beginRun();
+    }
+
+    constexpr std::size_t chunk_capacity = 512;
+    TraceEvent chunk[chunk_capacity];
+    bool live = true;
+    while (live) {
+        std::size_t n = gen->fill(chunk, chunk_capacity);
+        if (n == 0)
+            break;
+        live = false;
+        for (auto &sim : sims) {
+            // Always step every lane: |= would short-circuit.
+            bool more = sim->stepRun(chunk, n);
+            live = live || more;
+        }
+    }
+    for (std::size_t k = 0; k < lanes.size(); ++k)
+        results[lanes[k]] = sims[k]->finishRun();
+}
+
+} // namespace
+
 std::vector<RunResult>
 SweepRunner::run(const std::vector<SweepCell> &cells) const
 {
@@ -159,31 +228,34 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
     if (cells.empty())
         return results;
 
-    parallelFor(jobs_, cells.size(), [&](std::size_t i) {
+    // Partition into work units: lane groups keyed by streamKey,
+    // and solo cells (no key, or a timeline capture).  Units — not
+    // cells — are what the pool's workers claim, so a group's lanes
+    // share one worker and one decoded stream.
+    std::vector<std::vector<std::size_t>> units;
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &cell = cells[i];
         nsrf_assert(cell.makeGenerator != nullptr,
                     "sweep cell '%s' has no generator factory",
                     cell.label.c_str());
-        auto gen = cell.makeGenerator();
-        if (!cell.traceOut.empty() && trace::compiledIn) {
-            // Bind a tracer to this worker thread for the duration
-            // of the run; concurrent cells each get their own.
-            trace::Tracer tracer;
-            trace::Session session(tracer);
-            results[i] = runTrace(cell.config, *gen);
-            trace::writePerfettoJson(tracer, cell.traceOut,
-                                     cell.label);
-            trace::writeMetricsText(tracer,
-                                    cell.traceOut + ".metrics",
-                                    cell.traceWindow);
+        if (!cell.streamKey.empty() && cell.traceOut.empty()) {
+            auto [it, fresh] =
+                group_of.emplace(cell.streamKey, units.size());
+            if (fresh)
+                units.emplace_back();
+            units[it->second].push_back(i);
         } else {
-            if (!cell.traceOut.empty()) {
-                nsrf_warn("cell '%s' requests a trace but this "
-                          "build has NSRF_TRACE=OFF",
-                          cell.label.c_str());
-            }
-            results[i] = runTrace(cell.config, *gen);
+            units.emplace_back(1, i);
         }
+    }
+
+    parallelFor(jobs_, units.size(), [&](std::size_t u) {
+        const auto &unit = units[u];
+        if (unit.size() == 1)
+            runSoloCell(cells[unit.front()], results[unit.front()]);
+        else
+            runLaneGroup(cells, unit, results);
     });
     return results;
 }

@@ -81,6 +81,20 @@ struct SweepCell
     std::string traceOut;
     /** Metrics window in cycles (0 = one whole-run window). */
     std::uint64_t traceWindow = 0;
+    /**
+     * Lane-batching key.  Cells carrying the same non-empty key
+     * promise that their makeGenerator factories produce identical
+     * event streams (same profile, seed, and length); the runner
+     * decodes that stream once per group and feeds each chunk to
+     * every member's simulator (TraceSimulator::stepRun), so the
+     * trace-generation cost is paid once instead of once per cell.
+     * Results stay bit-identical to solo runs — each lane consumes
+     * the exact events a private generator would have produced.
+     * Empty (the default) runs the cell solo; cells capturing a
+     * timeline (traceOut) always run solo because the tracer is
+     * bound to one run at a time.
+     */
+    std::string streamKey;
 };
 
 /** Work-queue thread pool over sweep cells. */

@@ -11,7 +11,7 @@ ParallelWorkload::ParallelWorkload(const BenchmarkProfile &profile,
                                    std::uint64_t max_events)
     : profile_(profile),
       maxEvents_(max_events ? max_events : scaledRunLength(profile)),
-      rng_(profile.seed)
+      rng_(profile.seed, rngstream::workload)
 {
     nsrf_assert(profile.parallel,
                 "ParallelWorkload needs a parallel profile");
@@ -29,7 +29,7 @@ ParallelWorkload::ParallelWorkload(const BenchmarkProfile &profile,
 void
 ParallelWorkload::reset()
 {
-    rng_.seed(profile_.seed);
+    rng_.seed(profile_.seed, rngstream::workload);
     threads_.clear();
     pending_.clear();
     pendingHead_ = 0;

@@ -18,7 +18,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "nsrf/common/random.hh"
+#include "nsrf/common/counter_random.hh"
 #include "nsrf/sim/trace.hh"
 #include "nsrf/workload/phase_set.hh"
 #include "nsrf/workload/profile.hh"
@@ -68,7 +68,7 @@ class ParallelWorkload final : public sim::TraceGenerator
 
     BenchmarkProfile profile_;
     std::uint64_t maxEvents_;
-    Random rng_;
+    CounterRandom rng_;
     std::vector<ThreadCtx> threads_;
     std::size_t currentIdx_ = 0;
     sim::CtxHandle nextHandle_ = 0;

@@ -11,7 +11,7 @@ SequentialWorkload::SequentialWorkload(
     const BenchmarkProfile &profile, std::uint64_t max_events)
     : profile_(profile),
       maxEvents_(max_events ? max_events : scaledRunLength(profile)),
-      rng_(profile.seed),
+      rng_(profile.seed, rngstream::workload),
       switchChance_(1.0 / profile.instrPerSwitch)
 {
     nsrf_assert(!profile.parallel,
@@ -28,7 +28,7 @@ SequentialWorkload::SequentialWorkload(
 void
 SequentialWorkload::reset()
 {
-    rng_.seed(profile_.seed);
+    rng_.seed(profile_.seed, rngstream::workload);
     depth_ = 0; // keep the pool's storage
     hasPending_ = false;
     nextHandle_ = 0;

@@ -20,7 +20,7 @@
 
 #include <vector>
 
-#include "nsrf/common/random.hh"
+#include "nsrf/common/counter_random.hh"
 #include "nsrf/sim/trace.hh"
 #include "nsrf/workload/phase_set.hh"
 #include "nsrf/workload/profile.hh"
@@ -69,7 +69,7 @@ class SequentialWorkload final : public sim::TraceGenerator
 
     BenchmarkProfile profile_;
     std::uint64_t maxEvents_;
-    Random rng_;
+    CounterRandom rng_;
     /**
      * Activation pool: [0, depth_) is the live call stack; slots
      * past depth_ keep their phase-vector storage so a call/return

@@ -24,6 +24,7 @@
 #include "nsrf/cam/flat_index.hh"
 #include "nsrf/check/testaccess.hh"
 #include "nsrf/common/random.hh"
+#include "nsrf/common/simd.hh"
 
 namespace nsrf::cam
 {
@@ -206,6 +207,166 @@ TEST(FlatIndex, BackwardShiftKeepsCollidingChainsReachable)
         std::string why;
         EXPECT_TRUE(idx.auditInvariants(&why)) << why;
     }
+}
+
+// --- SIMD probe kernels vs the scalar reference ------------------
+
+/** @return the vector probe levels this build + CPU can run. */
+std::vector<SimdLevel>
+vectorProbeLevels()
+{
+    std::vector<SimdLevel> levels;
+    for (SimdLevel l : {SimdLevel::Sse2, SimdLevel::Avx2}) {
+        if (simdLevelSupported(l))
+            levels.push_back(l);
+    }
+    return levels;
+}
+
+/** Probe @p key under every kernel and demand scalar agreement. */
+void
+expectAllKernelsAgree(FlatIndex &idx,
+                      const std::vector<SimdLevel> &levels,
+                      std::uint64_t key)
+{
+    std::size_t want = idx.findScalar(key);
+    for (SimdLevel l : levels) {
+        idx.setProbeLevel(l);
+        EXPECT_EQ(idx.find(key), want)
+            << simdLevelName(l) << " probe diverges on key "
+            << std::hex << key;
+    }
+}
+
+/**
+ * Randomized differential: churn the table with inserts and erases
+ * (erases leave stale keys in emptied slots — the case a naive
+ * vector compare gets wrong), probing present and absent keys under
+ * every kernel after each step.  Capacities span the minimum table
+ * (8 slots, one AVX2 group) through multi-group chains.
+ */
+TEST(FlatIndexSimd, KernelsMatchScalarOnRandomTraffic)
+{
+    auto levels = vectorProbeLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector probe kernels in this build";
+
+    for (std::size_t max_entries : {4u, 8u, 64u, 512u}) {
+        Random rng(0xca11u + max_entries);
+        FlatIndex idx(max_entries);
+        std::unordered_map<std::uint64_t, std::size_t> ref;
+
+        auto make_key = [&]() -> std::uint64_t {
+            std::uint64_t cid = rng.uniform(max_entries);
+            std::uint64_t off = rng.uniform(4) * 4;
+            return (cid << 32) | off;
+        };
+
+        for (int op = 0; op < 6000; ++op) {
+            std::uint64_t key = make_key();
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                if (ref.size() < max_entries) {
+                    std::size_t value = rng.uniform(max_entries);
+                    idx.insert(key, value);
+                    ref.emplace(key, value);
+                }
+            } else if (rng.chance(0.5)) {
+                idx.erase(key);
+                ref.erase(it);
+            }
+            expectAllKernelsAgree(idx, levels, key);
+            expectAllKernelsAgree(idx, levels, make_key());
+        }
+    }
+}
+
+/**
+ * Backward-shift deletion leaves the tail key of a shifted chain
+ * behind in the slot it vacated — a *stale* key at an empty slot.
+ * A kernel that compares keys without qualifying by occupancy
+ * reports a hit there; the scalar loop never reads it because the
+ * empty slot ends the scan first.  Erasing the tail of a fully
+ * colliding chain pins the case: the erased key's bytes are still
+ * in the key array at the now-empty slot.
+ */
+TEST(FlatIndexSimd, StaleKeysAtErasedSlotsDoNotMatch)
+{
+    auto levels = vectorProbeLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector probe kernels in this build";
+
+    // 8 keys sharing one home slot at capacity 64 (same brute-force
+    // search as the backward-shift test above).
+    std::vector<std::uint64_t> cluster;
+    std::size_t want_home = 0;
+    for (std::uint64_t k = 1; cluster.size() < 8; ++k) {
+        auto slot = static_cast<std::size_t>(
+            ((k ^ (k >> 31)) * 0x9e3779b97f4a7c15ull) >> (64 - 6));
+        if (cluster.empty())
+            want_home = slot;
+        if (slot == want_home)
+            cluster.push_back(k);
+    }
+
+    for (std::size_t erase_at : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{7}}) {
+        FlatIndex idx(32);
+        for (std::size_t i = 0; i < cluster.size(); ++i)
+            idx.insert(cluster[i], i);
+        ASSERT_TRUE(idx.erase(cluster[erase_at]));
+        for (SimdLevel l : levels) {
+            idx.setProbeLevel(l);
+            for (std::size_t i = 0; i < cluster.size(); ++i) {
+                if (i == erase_at) {
+                    EXPECT_EQ(idx.find(cluster[i]), FlatIndex::npos)
+                        << simdLevelName(l)
+                        << " matched a stale key";
+                } else {
+                    EXPECT_EQ(idx.find(cluster[i]), i)
+                        << simdLevelName(l);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Probe chains that wrap the end of the table: at the minimum
+ * capacity (8 slots) an AVX2 group covers the whole table and the
+ * group walk revisits it after wrapping; the kernels must still
+ * honour scalar probe order (home slot first, wrapped slots after).
+ */
+TEST(FlatIndexSimd, WrappedChainsAgreeAcrossKernels)
+{
+    auto levels = vectorProbeLevels();
+    if (levels.empty())
+        GTEST_SKIP() << "no vector probe kernels in this build";
+
+    // Keys homing to the last two slots of a capacity-8 table.
+    std::vector<std::uint64_t> tail_keys;
+    for (std::uint64_t k = 1; tail_keys.size() < 4; ++k) {
+        auto slot = static_cast<std::size_t>(
+            ((k ^ (k >> 31)) * 0x9e3779b97f4a7c15ull) >> (64 - 3));
+        if (slot >= 6)
+            tail_keys.push_back(k);
+    }
+
+    FlatIndex idx(4);
+    ASSERT_EQ(idx.capacity(), 8u);
+    for (std::size_t i = 0; i < tail_keys.size(); ++i)
+        idx.insert(tail_keys[i], i);
+    for (std::size_t i = 0; i < tail_keys.size(); ++i)
+        expectAllKernelsAgree(idx, levels, tail_keys[i]);
+    // Absent keys that share the wrapped homes scan the whole chain.
+    for (std::uint64_t k = 1000; k < 1200; ++k)
+        expectAllKernelsAgree(idx, levels, k);
+    // Erase one from the middle of the wrapped chain and re-probe.
+    ASSERT_TRUE(idx.erase(tail_keys[1]));
+    for (std::uint64_t k : tail_keys)
+        expectAllKernelsAgree(idx, levels, k);
+    std::string why;
+    EXPECT_TRUE(idx.auditInvariants(&why)) << why;
 }
 
 // --- Decoder chain audits (TestAccess corruption) ----------------

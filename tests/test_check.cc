@@ -321,6 +321,36 @@ sameOps(const std::vector<check::FuzzOp> &a,
 
 } // namespace
 
+/**
+ * Golden-stats pin of the fuzz op streams across the whole config
+ * matrix: every seed's generated stream is digested and folded into
+ * one value.  Changed exactly once, at the CounterRandom migration;
+ * a mismatch means the op streams silently drifted (see
+ * EXPERIMENTS.md for the regeneration workflow).
+ */
+TEST(Fuzz, GoldenOpStreamDigestAcrossConfigMatrix)
+{
+    std::uint64_t combined = 1469598103934665603ull;
+    for (std::uint64_t seed = 0; seed < check::configMatrixSize();
+         ++seed) {
+        check::FuzzConfig config = check::configForSeed(seed);
+        std::uint64_t h = 1469598103934665603ull;
+        for (const check::FuzzOp &op : check::generateOps(config)) {
+            h ^= static_cast<std::uint64_t>(op.kind);
+            h *= 1099511628211ull;
+            h ^= op.slot;
+            h *= 1099511628211ull;
+            h ^= op.off;
+            h *= 1099511628211ull;
+            h ^= op.value;
+            h *= 1099511628211ull;
+        }
+        combined ^= h;
+        combined *= 1099511628211ull;
+    }
+    EXPECT_EQ(combined, 0x28d89f1f27a54af5ull);
+}
+
 TEST(Fuzz, SeedIsDeterministic)
 {
     check::FuzzConfig config = check::configForSeed(11);

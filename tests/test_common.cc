@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "nsrf/common/bitutil.hh"
@@ -175,6 +177,76 @@ TEST(Random, ChanceMatchesProbability)
     for (int i = 0; i < trials; ++i)
         hits += r.chance(0.3);
     EXPECT_NEAR(double(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Random, UniformRangeFullSpan)
+{
+    // span = 2^64 used to wrap to 0 and trip the uniform() assert.
+    Random r(33);
+    bool negative = false, positive = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformRange(std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max());
+        negative = negative || v < 0;
+        positive = positive || v > 0;
+    }
+    EXPECT_TRUE(negative);
+    EXPECT_TRUE(positive);
+}
+
+TEST(Random, UniformRangeWiderThanInt64Max)
+{
+    // Spans above 2^63 used to overflow the signed subtraction.
+    Random r(35);
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformRange(lo, 5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+/**
+ * The threshold contract: chance(chanceThreshold(p)) consumes the
+ * same draw and gives the same answer as chance(p), including at the
+ * representability boundaries.  Pinned before the counter-based RNG
+ * migration so the contract demonstrably survives it.
+ */
+TEST(Random, ChanceThresholdMatchesChanceAtBoundaries)
+{
+    const double boundary[] = {
+        std::nextafter(1.0, 0.0),   // largest double below 1
+        std::nextafter(0.0, 1.0),   // smallest positive denormal
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::min(), // smallest normal
+        0x1.0p-60,
+        0x1.0p-53,                  // one ulp of the draw grid
+        std::nextafter(0x1.0p-53, 0.0),
+        std::nextafter(0x1.0p-53, 1.0),
+        0.5, 0.25, 0.75,            // exact dyadics
+        0x1.fffffffffffffp-2,
+        1.0 / 3.0, 0.3, 0.7,
+        0.0, 1.0, -1.0, 2.0,
+    };
+    for (double p : boundary) {
+        Random a(0xb0a7ed), b(0xb0a7ed);
+        Random::ChanceThreshold t = Random::chanceThreshold(p);
+        for (int i = 0; i < 4096; ++i) {
+            ASSERT_EQ(a.chance(p), b.chance(t)) << "p=" << p;
+            // Streams stay in lockstep: equal draw consumption.
+            ASSERT_EQ(a.next(), b.next()) << "p=" << p;
+        }
+    }
+}
+
+TEST(Random, GeometricHugeMeanDoesNotOverflow)
+{
+    // With mean = 1e19 the unclamped cast was UB for unlucky draws;
+    // now every sample is a valid uint64_t >= 1.
+    Random r(37);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = r.geometric(1e19);
+        EXPECT_GE(v, 1u);
+    }
 }
 
 TEST(Random, GeometricMeanRoughlyCorrect)

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the counter-based random source: Philox known-answer
+ * vectors, scalar-vs-SIMD kernel equivalence, position indexing, and
+ * the drawing-surface contracts shared with Random.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "nsrf/common/counter_random.hh"
+#include "nsrf/common/philox.hh"
+#include "nsrf/common/simd.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+/**
+ * Known-answer vectors from the Random123 distribution
+ * (kat_vectors, philox4x32 rounds=10): counter words, key words,
+ * expected output words.
+ */
+TEST(Philox, KnownAnswerVectors)
+{
+    std::uint32_t out[4];
+
+    philox4x32(0, 0, 0, 0, 0, 0, out);
+    EXPECT_EQ(out[0], 0x6627e8d5u);
+    EXPECT_EQ(out[1], 0xe169c58du);
+    EXPECT_EQ(out[2], 0xbc57ac4cu);
+    EXPECT_EQ(out[3], 0x9b00dbd8u);
+
+    philox4x32(0xffffffffu, 0xffffffffu, 0xffffffffu, 0xffffffffu,
+               0xffffffffu, 0xffffffffu, out);
+    EXPECT_EQ(out[0], 0x408f276du);
+    EXPECT_EQ(out[1], 0x41c83b0eu);
+    EXPECT_EQ(out[2], 0xa20bc7c6u);
+    EXPECT_EQ(out[3], 0x6d5451fdu);
+
+    philox4x32(0xa4093822u, 0x299f31d0u, 0x243f6a88u, 0x85a308d3u,
+               0x13198a2eu, 0x03707344u, out);
+    EXPECT_EQ(out[0], 0xd16cfe09u);
+    EXPECT_EQ(out[1], 0x94fdccebu);
+    EXPECT_EQ(out[2], 0x5001e420u);
+    EXPECT_EQ(out[3], 0x24126ea1u);
+}
+
+TEST(Philox, BlockPacksWordsLittleEndian)
+{
+    std::uint32_t words[4];
+    philox4x32(1, 2, 3, 0, 4, 0, words);
+    std::uint64_t draws[2];
+    philoxBlock(1, 2, 4, 3, draws);
+    EXPECT_EQ(draws[0],
+              words[0] | (std::uint64_t(words[1]) << 32));
+    EXPECT_EQ(draws[1],
+              words[2] | (std::uint64_t(words[3]) << 32));
+}
+
+/** Every compiled kernel must produce the scalar reference stream,
+ * across batch sizes that exercise lane tails. */
+TEST(Philox, VectorKernelsMatchScalar)
+{
+    for (SimdLevel level : {SimdLevel::Sse2, SimdLevel::Avx2}) {
+        if (!simdLevelSupported(level))
+            continue;
+        for (std::size_t blocks : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 31u,
+                                   128u}) {
+            std::vector<std::uint64_t> ref(2 * blocks + 1, 0xabab);
+            std::vector<std::uint64_t> vec(2 * blocks + 1, 0xcdcd);
+            simd::philoxFillScalar(0x12345678u, 0x9abcdef0u,
+                                   0xfeedface0ddba11ull, 1ull << 33,
+                                   blocks, ref.data());
+            simd::philoxFillLevel(level, 0x12345678u, 0x9abcdef0u,
+                                  0xfeedface0ddba11ull, 1ull << 33,
+                                  blocks, vec.data());
+            for (std::size_t i = 0; i < 2 * blocks; ++i) {
+                ASSERT_EQ(ref[i], vec[i])
+                    << simdLevelName(level) << " blocks=" << blocks
+                    << " draw=" << i;
+            }
+            // Guard draw past the batch is untouched.
+            EXPECT_EQ(ref[2 * blocks], 0xababu);
+            EXPECT_EQ(vec[2 * blocks], 0xcdcdu);
+        }
+    }
+}
+
+TEST(Simd, LevelNamesAndOrdering)
+{
+    EXPECT_STREQ(simdLevelName(SimdLevel::Scalar), "scalar");
+    EXPECT_STREQ(simdLevelName(SimdLevel::Sse2), "sse2");
+    EXPECT_STREQ(simdLevelName(SimdLevel::Avx2), "avx2");
+    EXPECT_TRUE(simdLevelSupported(SimdLevel::Scalar));
+    EXPECT_TRUE(simdLevelSupported(activeSimdLevel()));
+    EXPECT_LE(static_cast<int>(activeSimdLevel()),
+              static_cast<int>(bestSimdLevel()));
+}
+
+TEST(CounterRandom, DeterministicFromSeed)
+{
+    CounterRandom a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(CounterRandom, StreamsAreIndependent)
+{
+    CounterRandom a(42, 0), b(42, 1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(CounterRandom, DifferentSeedsDiffer)
+{
+    CounterRandom a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(CounterRandom, ReseedRestartsStream)
+{
+    CounterRandom a(7, 3);
+    std::uint64_t first = a.next();
+    a.next();
+    a.seed(7, 3);
+    EXPECT_EQ(a.next(), first);
+}
+
+/** next(), at(), and skipTo() agree on what lives at a position. */
+TEST(CounterRandom, PositionIndexingMatchesSequential)
+{
+    CounterRandom seq(99, 5);
+    std::vector<std::uint64_t> drawn;
+    for (int i = 0; i < 1000; ++i)
+        drawn.push_back(seq.next());
+
+    CounterRandom idx(99, 5);
+    for (std::uint64_t i : {999u, 0u, 511u, 512u, 513u, 17u, 255u,
+                            256u}) {
+        EXPECT_EQ(idx.at(i), drawn[i]) << i;
+        idx.skipTo(i);
+        EXPECT_EQ(idx.position(), i);
+        EXPECT_EQ(idx.next(), drawn[i]) << i;
+    }
+    // Jumps far outside any buffered batch also land exactly.
+    CounterRandom far(99, 5);
+    far.skipTo(1ull << 40);
+    EXPECT_EQ(far.next(), far.at(1ull << 40));
+}
+
+/** Refills cross block/buffer boundaries without skips or repeats. */
+TEST(CounterRandom, BufferBoundariesAreSeamless)
+{
+    CounterRandom gen(3, 0);
+    std::size_t draws = CounterRandom::bufferDraws * 3 + 7;
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        ASSERT_EQ(gen.position(), i);
+        ASSERT_EQ(gen.next(), gen.at(i)) << i;
+    }
+    // Odd skip target: refill starts mid-block.
+    gen.skipTo(CounterRandom::bufferDraws + 1);
+    EXPECT_EQ(gen.next(),
+              gen.at(CounterRandom::bufferDraws + 1));
+}
+
+TEST(CounterRandom, UniformInBoundsAndCovers)
+{
+    CounterRandom r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.uniform(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(CounterRandom, UniformRangeFullSpan)
+{
+    CounterRandom r(33);
+    bool negative = false, positive = false;
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformRange(
+            std::numeric_limits<std::int64_t>::min(),
+            std::numeric_limits<std::int64_t>::max());
+        negative = negative || v < 0;
+        positive = positive || v > 0;
+    }
+    EXPECT_TRUE(negative);
+    EXPECT_TRUE(positive);
+}
+
+TEST(CounterRandom, RealInUnitInterval)
+{
+    CounterRandom r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(CounterRandom, ChanceMatchesProbability)
+{
+    CounterRandom r(17);
+    int hits = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / trials, 0.3, 0.01);
+}
+
+/** The integer-threshold contract transfers from Random verbatim. */
+TEST(CounterRandom, ChanceThresholdMatchesChance)
+{
+    const double probs[] = {std::nextafter(1.0, 0.0), 0x1.0p-60,
+                            0x1.0p-53, 0.5,  0.25, 1.0 / 3.0,
+                            0.0002,    0.92, 0.0,  1.0};
+    for (double p : probs) {
+        CounterRandom a(0xb0a7ed, 9), b(0xb0a7ed, 9);
+        auto t = CounterRandom::chanceThreshold(p);
+        for (int i = 0; i < 4096; ++i) {
+            ASSERT_EQ(a.chance(p), b.chance(t)) << "p=" << p;
+            ASSERT_EQ(a.next(), b.next()) << "p=" << p;
+        }
+    }
+}
+
+TEST(CounterRandom, GeometricMeanRoughlyCorrect)
+{
+    CounterRandom r(19);
+    double sum = 0;
+    const int trials = 100000;
+    for (int i = 0; i < trials; ++i)
+        sum += double(r.geometric(40.0));
+    EXPECT_NEAR(sum / trials, 40.0, 1.5);
+}
+
+TEST(CounterRandom, GeometricClampsAndSaturates)
+{
+    CounterRandom r(23);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(r.geometric(1.5), 1u);
+    EXPECT_EQ(r.geometric(0.5), 1u);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_GE(r.geometric(1e19), 1u);
+}
+
+TEST(CounterRandom, WeightedPickRespectsWeights)
+{
+    CounterRandom r(29);
+    double weights[3] = {0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[r.weightedPick(weights, 3)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(double(counts[2]) / counts[1], 3.0, 0.25);
+}
+
+} // namespace
+} // namespace nsrf

@@ -9,11 +9,21 @@
  * unknown enum names, mistyped values) are pinned here.
  */
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "nsrf/serve/cache.hh"
 #include "nsrf/serve/json_in.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/serve/server.hh"
 #include "nsrf/serve/spec.hh"
 #include "nsrf/workload/profile.hh"
 
@@ -182,6 +192,83 @@ TEST(ServeSpec, ExpandsAllAndAppliesDefaults)
     params.app = "NoSuchBenchmark";
     EXPECT_FALSE(serve::cellsFromParams(params, &cells, &why));
     EXPECT_NE(why.find("unknown workload"), std::string::npos);
+}
+
+/**
+ * Regression: the line-length cap used to apply to the whole receive
+ * buffer before complete lines were drained, so one send() carrying
+ * many small valid requests was rejected as "request line too long".
+ * Only an individual unterminated line may trip the cap.
+ */
+TEST(ServeServer, PipelinedBurstLargerThanLineCap)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    serve::BatchScheduler::Config sched_config;
+    serve::BatchScheduler scheduler(&cache, sched_config);
+    serve::ServerConfig config;
+    config.socketPath =
+        "/tmp/nsrf_serve_burst_" + std::to_string(::getpid()) +
+        ".sock";
+    config.maxLineBytes = 256; // small cap so a burst exceeds it
+    config.pollIntervalMs = 20;
+    serve::Server server(config, &cache, &scheduler);
+    std::string why;
+    ASSERT_TRUE(server.start(&why)) << why;
+    std::thread serving([&] { server.serve(); });
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  config.socketPath.c_str());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // One burst of small requests, several times the line cap.
+    const int pings = 64;
+    std::string burst;
+    for (int i = 0; i < pings; ++i)
+        burst += "{\"op\":\"ping\"}\n";
+    ASSERT_GT(burst.size(), config.maxLineBytes);
+    ASSERT_EQ(::send(fd, burst.data(), burst.size(), 0),
+              static_cast<ssize_t>(burst.size()));
+
+    std::string replies;
+    char chunk[4096];
+    int newlines = 0;
+    while (newlines < pings) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        ASSERT_GT(n, 0) << "server closed before all replies";
+        replies.append(chunk, static_cast<std::size_t>(n));
+        newlines = static_cast<int>(
+            std::count(replies.begin(), replies.end(), '\n'));
+    }
+    EXPECT_EQ(newlines, pings);
+    EXPECT_EQ(replies.find("too long"), std::string::npos);
+    EXPECT_EQ(replies.find("\"ok\":false"), std::string::npos);
+
+    // An individual over-cap line (no newline yet) still trips it.
+    std::string longline(config.maxLineBytes + 1, 'x');
+    ASSERT_EQ(::send(fd, longline.data(), longline.size(), 0),
+              static_cast<ssize_t>(longline.size()));
+    std::string error;
+    for (;;) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // server closes after rejecting
+        error.append(chunk, static_cast<std::size_t>(n));
+        if (error.find('\n') != std::string::npos)
+            break;
+    }
+    EXPECT_NE(error.find("request line too long"), std::string::npos)
+        << error;
+
+    ::close(fd);
+    server.requestStop();
+    serving.join();
+    ::unlink(config.socketPath.c_str());
 }
 
 } // namespace

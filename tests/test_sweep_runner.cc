@@ -141,6 +141,59 @@ TEST(SweepRunner, RerunIsDeterministic)
         expectSameResult(first[i], second[i], cells[i].label);
 }
 
+/**
+ * Lane batching: cells sharing a streamKey run as lanes of one
+ * decode pass (the generator is consumed once, every simulator
+ * steps through each chunk).  The results must be bit-identical to
+ * the same cells run solo — the chunked begin/step/finish surface
+ * is run() by construction, and the shared stream is exactly what a
+ * private generator would have produced.
+ */
+TEST(SweepRunner, LaneBatchedCellsMatchSoloRuns)
+{
+    auto solo_cells = smallSweep();
+    auto lane_cells = smallSweep();
+    for (auto &cell : lane_cells) {
+        // All smallSweep cells use the same profile only within an
+        // app; key by the app recorded in provenance.
+        cell.streamKey = cell.provenance.front().second;
+    }
+
+    auto solo = sim::SweepRunner(1).run(solo_cells);
+    auto lanes = sim::SweepRunner(1).run(lane_cells);
+    ASSERT_EQ(solo.size(), lanes.size());
+    for (std::size_t i = 0; i < solo.size(); ++i)
+        expectSameResult(solo[i], lanes[i], lane_cells[i].label);
+
+    // And lane groups stay deterministic across worker counts.
+    auto threaded = sim::SweepRunner(4).run(lane_cells);
+    for (std::size_t i = 0; i < solo.size(); ++i)
+        expectSameResult(solo[i], threaded[i], lane_cells[i].label);
+}
+
+/**
+ * Lanes with different instruction caps: a capped lane finishes
+ * early and must coast (ignore further chunks) while the rest of
+ * the group drains the stream, ending with the same result as a
+ * solo capped run.
+ */
+TEST(SweepRunner, LaneWithShorterCapCoasts)
+{
+    auto cells = smallSweep();
+    cells.resize(2);
+    cells[1] = cellFor("GateSim", regfile::Organization::NamedState);
+    cells[1].config.maxInstructions = 3000;
+    cells[1].label += "/capped";
+
+    auto solo = sim::SweepRunner(1).run(cells);
+    for (auto &cell : cells)
+        cell.streamKey = "gatesim-shared";
+    auto lanes = sim::SweepRunner(1).run(cells);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        expectSameResult(solo[i], lanes[i], cells[i].label);
+    EXPECT_EQ(lanes[1].instructions, 3000u);
+}
+
 TEST(SweepRunner, ExceptionsPropagateAcrossThreads)
 {
     auto cells = smallSweep();

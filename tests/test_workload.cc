@@ -253,6 +253,50 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(paperBenchmarks()),
     [](const auto &info) { return info.param.name; });
 
+/**
+ * Golden-stats pin of the CounterRandom streams: one digest per
+ * benchmark profile over every field of the first 20000 events.
+ * These changed exactly once, at the xoshiro -> Philox migration;
+ * any further change is silent stream drift and must be deliberate
+ * (see EXPERIMENTS.md for the regeneration workflow).
+ */
+TEST(GoldenStats, TraceStreamDigestsArePinned)
+{
+    const std::map<std::string, std::uint64_t> golden = {
+        {"GateSim", 0x02fd639f1d736a27ull},
+        {"RTLSim", 0xd98ec0c2f1dfcf17ull},
+        {"ZipFile", 0xf2de14c32215e240ull},
+        {"AS", 0x9ac72fc412e3a0f8ull},
+        {"DTW", 0x6046cf91fd9d747cull},
+        {"Gamteb", 0xf72c02b42b499c35ull},
+        {"Paraffins", 0xf5e1f9d84f42754bull},
+        {"Quicksort", 0x7f07e298133b00eaull},
+        {"Wavefront", 0xa01f9de5dd646244ull},
+    };
+    for (const auto &profile : paperBenchmarks()) {
+        auto gen = makeGenerator(profile, 20000);
+        std::uint64_t h = 1469598103934665603ull;
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v;
+            h *= 1099511628211ull;
+        };
+        sim::TraceEvent ev;
+        while (gen->next(ev)) {
+            mix(static_cast<std::uint64_t>(ev.kind));
+            mix(ev.ctx);
+            mix(ev.srcCount);
+            mix(ev.src[0]);
+            mix(ev.src[1]);
+            mix(ev.hasDst);
+            mix(ev.dst);
+            mix(ev.memRef);
+            if (ev.kind == sim::EventKind::End)
+                break;
+        }
+        EXPECT_EQ(h, golden.at(profile.name)) << profile.name;
+    }
+}
+
 TEST(SequentialWorkload, RejectsParallelProfile)
 {
     EXPECT_DEATH(SequentialWorkload(profileByName("Gamteb")),

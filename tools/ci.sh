@@ -5,13 +5,22 @@
 #   tools/ci.sh [source-dir]
 #
 # Stages (all fail-fast):
-#   1. release   — RelWithDebInfo build, full ctest suite
-#   2. trace     — NSRF_TRACE=ON build, full suite incl. the
+#   1. release   — RelWithDebInfo build, full ctest suite (SIMD
+#                  kernels on wherever the host supports them)
+#   2. simd      — on the release build: runtime scalar-fallback
+#                  ctest (NSRF_SIMD=scalar) over the kernel-bearing
+#                  suites, then macro_throughput --smoke, which
+#                  re-runs itself under NSRF_SIMD=scalar and demands
+#                  bit-identical simulated stats from both kernel
+#                  sets
+#   3. scalar    — NSRF_SIMD=OFF build (vector kernels compiled
+#                  out entirely), full ctest suite
+#   4. trace     — NSRF_TRACE=ON build, full suite incl. the
 #                  trace_smoke → Perfetto-validate pipeline
-#   3. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
-#   4. tsan      — TSan build, sweep-runner thread-pool tests plus
+#   5. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
+#   6. tsan      — TSan build, sweep-runner thread-pool tests plus
 #                  the serve scheduler and daemon smoke
-#   5. fuzz      — time-boxed differential fuzz on the audit build
+#   7. fuzz      — time-boxed differential fuzz on the audit build
 #
 # Environment:
 #   NSRF_CI_FUZZ_SECONDS  fuzz stage budget (default 30)
@@ -34,6 +43,21 @@ stage "release build + full test suite"
 cmake --preset release > /dev/null
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
+
+stage "runtime scalar fallback + scalar-vs-SIMD stats cross-check"
+# Same binaries, vector kernels disabled at runtime: the generator
+# batch fill and the CAM group probe take their portable paths.  The
+# macrobench smoke then re-runs itself with NSRF_SIMD=scalar and
+# fails unless both kernel sets simulate bit-identical stats.
+NSRF_SIMD=scalar ctest --preset release -j "$jobs" \
+    -R 'Philox|CounterRandom|FlatIndex|Workload|workload'
+./build/bench/macro_throughput --smoke \
+    --json build/BENCH_throughput_smoke.json
+
+stage "scalar build (NSRF_SIMD=OFF) + full test suite"
+cmake --preset scalar > /dev/null
+cmake --build --preset scalar -j "$jobs"
+ctest --preset scalar -j "$jobs"
 
 stage "trace build (NSRF_TRACE=ON) + full test suite"
 cmake --preset trace > /dev/null

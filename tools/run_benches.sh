@@ -111,10 +111,17 @@ echo "== macro_throughput =="
     2> "$out_dir/macro_throughput.log" || fail "macro_throughput"
 grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/macro_throughput.txt" || :
 
+# Which kernel set produced these numbers matters for comparing
+# manifests across hosts; the macrobench records the resolved level
+# (avx2/sse2/scalar) in its JSON, so lift it from there.
+simd=$(sed -n 's/.*"simd":"\([a-z0-9]*\)".*/\1/p' \
+    "$out_dir/macro_throughput.json")
+
 {
     echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo "events: ${NSRF_BENCH_EVENTS:-default}"
     echo "jobs: $jobs"
+    echo "simd: ${simd:-unknown}"
     echo "cache: ${NSRF_BENCH_CACHE:-none}"
     echo "benches: $(($(echo $sweep_benches $plain_benches | wc -w) + 1))"
 } > "$out_dir/MANIFEST"
