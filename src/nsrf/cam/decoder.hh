@@ -39,6 +39,11 @@ namespace nsrf::check
 struct TestAccess;
 } // namespace nsrf::check
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::cam
 {
 
@@ -175,6 +180,7 @@ class AssociativeDecoder
 
   private:
     friend struct ::nsrf::check::TestAccess;
+    friend struct ::nsrf::snapshot::SnapshotAccess;
 
     /** Chain-link sentinel meaning "end of chain". */
     static constexpr std::uint32_t nil = 0xffffffffu;

@@ -26,6 +26,11 @@ namespace nsrf::check
 struct TestAccess;
 } // namespace nsrf::check
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::cam
 {
 
@@ -127,6 +132,7 @@ class ReplacementState
 
   private:
     friend struct ::nsrf::check::TestAccess;
+    friend struct ::nsrf::snapshot::SnapshotAccess;
     /** Move @p slot to the MRU end of the recency list. */
     void moveToBack(std::size_t slot);
 

@@ -12,6 +12,7 @@
 #include "nsrf/common/counter_random.hh"
 #include "nsrf/mem/memsys.hh"
 #include "nsrf/runtime/allocators.hh"
+#include "nsrf/snapshot/snapshot.hh"
 
 namespace nsrf::check
 {
@@ -484,6 +485,30 @@ runOps(const FuzzConfig &config, const std::vector<FuzzOp> &ops,
                 if (!report.ok)
                     fail(i, "audit: " + report.why);
             }
+            if (!out.failed && config.snapshotEvery != 0 &&
+                out.executed % config.snapshotEvery == 0) {
+                // Checkpoint/restore leg: serialize the live file,
+                // restore into a fresh one on the same backing
+                // store, require the round-trip to re-serialize
+                // byte-identically, and continue the stream on the
+                // restored file so any drift surfaces in later
+                // audits and oracle checks.
+                std::string blob =
+                    snapshot::saveRegisterFileBlob(*rf);
+                auto fresh =
+                    regfile::makeRegisterFile(config.rf, memsys);
+                std::string snap_why;
+                if (!snapshot::restoreRegisterFileBlob(
+                        blob, fresh.get(), &snap_why)) {
+                    fail(i, "snapshot restore: " + snap_why);
+                } else if (snapshot::saveRegisterFileBlob(*fresh) !=
+                           blob) {
+                    fail(i, "snapshot: restored register file "
+                            "re-serializes differently");
+                } else {
+                    rf = std::move(fresh);
+                }
+            }
         }
     }
 
@@ -569,6 +594,8 @@ opsToTrace(const FuzzConfig &config, const std::vector<FuzzOp> &ops)
     out << "rfseed " << rf.seed << "\n";
     out << "slots " << config.contextSlots << "\n";
     out << "cids " << config.cidCapacity << "\n";
+    if (config.snapshotEvery != 0)
+        out << "snapshotEvery " << config.snapshotEvery << "\n";
     out << "inject " << injectionName(config.inject) << "\n";
     for (const FuzzOp &op : ops) {
         out << "op " << opKindName(op.kind) << " "
@@ -666,6 +693,8 @@ traceToOps(const std::string &text, FuzzConfig *config,
         else if (key == "cids")
             config->cidCapacity =
                 static_cast<ContextId>(number);
+        else if (key == "snapshotEvery")
+            config->snapshotEvery = static_cast<unsigned>(number);
         else
             return bad(line_no, "unknown key '" + key + "'");
     }

@@ -77,6 +77,10 @@ struct FuzzConfig
     unsigned contextSlots = 6;  //!< concurrent activations modelled
     ContextId cidCapacity = 4;  //!< hardware CID name space
     unsigned opCount = 2000;    //!< stream length to generate
+    /** Every N executed ops, snapshot the register file, restore it
+     * into a freshly built one, require the round-trip to be
+     * byte-exact, and continue on the restored file (0 = off). */
+    unsigned snapshotEvery = 0;
     Injection inject = Injection::None;
     std::uint64_t seed = 0;     //!< provenance; drives generation
 };

@@ -21,12 +21,19 @@
 #include "nsrf/common/bitutil.hh"
 #include "nsrf/common/logging.hh"
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf
 {
 
 /** Deterministic, seedable random number generator. */
 class Random
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /** Construct with an explicit seed; equal seeds, equal streams. */
     explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull);

@@ -19,6 +19,11 @@
 #include "nsrf/common/types.hh"
 #include "nsrf/stats/counters.hh"
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::mem
 {
 
@@ -50,6 +55,8 @@ struct CacheStats
 /** Set-associative write-back cache, tags only. */
 class DataCache
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     explicit DataCache(const CacheConfig &config);
 

@@ -18,6 +18,11 @@
 #include "nsrf/common/types.hh"
 #include "nsrf/stats/counters.hh"
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::mem
 {
 
@@ -31,6 +36,8 @@ struct MemoryStats
 /** Word-granularity sparse memory covering the full 32-bit space. */
 class MainMemory
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /** @param latency cycles for one access that reaches memory */
     explicit MainMemory(Cycles latency = 20);

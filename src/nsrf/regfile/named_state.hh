@@ -170,6 +170,7 @@ class NamedStateRegisterFile final : public RegisterFile
 
   private:
     friend struct ::nsrf::check::TestAccess;
+    friend struct ::nsrf::snapshot::SnapshotAccess;
     /** Software-visible state of one activation. */
     struct ContextState
     {

@@ -30,6 +30,11 @@ namespace nsrf::mem
 class MemorySystem;
 } // namespace nsrf::mem
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::regfile
 {
 
@@ -133,6 +138,8 @@ struct RegFileStats
 /** Abstract register file. */
 class RegisterFile
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /**
      * @param total_regs physical registers in the file

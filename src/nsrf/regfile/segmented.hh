@@ -77,6 +77,7 @@ class SegmentedRegisterFile : public RegisterFile
     const Ctable &ctable() const { return ctable_; }
 
   private:
+    friend struct ::nsrf::snapshot::SnapshotAccess;
     /** One physical frame. */
     struct Frame
     {

@@ -78,6 +78,7 @@ class WindowedRegisterFile : public RegisterFile
     std::uint64_t underflowTraps() const { return underflows_; }
 
   private:
+    friend struct ::nsrf::snapshot::SnapshotAccess;
     struct Window
     {
         bool inUse = false;

@@ -15,12 +15,19 @@
 
 #include "nsrf/common/types.hh"
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::runtime
 {
 
 /** Recycling allocator over the hardware Context ID space. */
 class CidAllocator
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /** @param capacity number of distinct CIDs the hardware names */
     explicit CidAllocator(ContextId capacity = 1024);
@@ -52,6 +59,8 @@ class CidAllocator
 /** Fixed-size frame allocator for context backing stores. */
 class FrameAllocator
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /**
      * @param base        first byte of the frame region

@@ -318,10 +318,12 @@ TraceSimulator::stepChunk(LoopState &state, const TraceEvent *events,
     const bool model_data_traffic = config_.modelDataTraffic;
     const auto mem_ref_extra = config_.memRefExtra;
 
-    for (std::size_t n = 0; n < count; ++n) {
+    std::size_t n = 0;
+    for (; n < count; ++n) {
         const TraceEvent &ev = events[n];
         if (ev.kind == EventKind::End) {
             state.done = true;
+            state.sawEnd = true;
             break;
         }
         if (instructions >= max_instructions) {
@@ -426,6 +428,24 @@ TraceSimulator::stepChunk(LoopState &state, const TraceEvent *events,
     state.current = current;
     state.currentHandle = current_handle;
     state.scratch = scratch;
+    // All three exits leave n at the count of fully processed
+    // events: a break at index n means event n was *not* applied
+    // and must be re-delivered on a snapshot resume.
+    state.eventsConsumed += n;
+}
+
+void
+TraceSimulator::setInstructionCap(std::uint64_t cap)
+{
+    config_.maxInstructions = cap;
+    // stepChunk re-hoists the cap each chunk, so mid-run changes
+    // take effect at the next stepRun(); only `done` needs
+    // recomputing here (the run may already meet the new cap, or a
+    // raise may revive a capped-out run — never one that saw End).
+    if (running_) {
+        const std::uint64_t max = cap ? cap : ~std::uint64_t{0};
+        loop_.done = loop_.sawEnd || loop_.instructions >= max;
+    }
 }
 
 RunResult

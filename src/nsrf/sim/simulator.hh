@@ -29,6 +29,11 @@
 #include "nsrf/runtime/allocators.hh"
 #include "nsrf/sim/trace.hh"
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::sim
 {
 
@@ -161,7 +166,40 @@ class TraceSimulator
     /** @return the backing memory system. */
     mem::MemorySystem &memorySystem() { return memsys_; }
 
+    /** @return the configuration this simulator was built from. */
+    const SimConfig &config() const { return config_; }
+
+    /** @return instructions executed so far in the current run. */
+    std::uint64_t instructionsRun() const { return loop_.instructions; }
+
+    /**
+     * @return trace events fully processed so far in the current
+     * run.  On resume from a snapshot, skipping exactly this many
+     * events of a fresh generator re-synchronizes the stream: the
+     * event at this position is the first one not yet applied (the
+     * cap check fires before an event is processed).
+     */
+    std::uint64_t eventsConsumed() const { return loop_.eventsConsumed; }
+
+    /** @return true once the run has finished (End or cap). */
+    bool runDone() const { return loop_.done; }
+
+    /** @return true between beginRun() and finishRun(). */
+    bool runInProgress() const { return running_; }
+
+    /**
+     * Replace the instruction cap mid-run (0 = trace length).  Used
+     * when resuming from a snapshot taken under a different cap: a
+     * warmup-prefix snapshot capped at K restores into a run capped
+     * at M >= K and simulates only the tail.  A restored run whose
+     * instructions already meet the new cap is immediately done and
+     * coasts (the lane-group early-finish path).
+     */
+    void setInstructionCap(std::uint64_t cap);
+
   private:
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
     /** Per-activation bookkeeping for CID virtualization. */
     struct HandleState
     {
@@ -179,6 +217,14 @@ class TraceSimulator
         CtxHandle currentHandle = invalidHandle;
         Word scratch = 0;
         bool done = false;
+        /** Events fully processed (every non-End event is exactly
+         * one instruction, so this equals instructions — tracked
+         * separately so snapshot resume stays correct if that ever
+         * changes). */
+        std::uint64_t eventsConsumed = 0;
+        /** The stream's End marker has been reached; the run can
+         * never continue, whatever the cap. */
+        bool sawEnd = false;
     };
 
     /**

@@ -1,0 +1,458 @@
+#include "nsrf/snapshot/format.hh"
+
+#include <bit>
+#include <cstdio>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::snapshot
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace
+{
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendHex64(std::string &out, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+/** Strict decimal u64: nonempty, digits only, no overflow (the
+ * serve codec's parseU64Field discipline). */
+bool
+parseU64Token(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text.size() > 20)
+        return false;
+    std::uint64_t acc = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (acc > (~std::uint64_t{0} - digit) / 10)
+            return false;
+        acc = acc * 10 + digit;
+    }
+    *out = acc;
+    return true;
+}
+
+/** Exactly 16 lowercase hex digits -> the double's bit pattern. */
+bool
+parseF64Token(const std::string &text, double *out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : text) {
+        std::uint64_t nibble;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        bits = (bits << 4) | nibble;
+    }
+    *out = std::bit_cast<double>(bits);
+    return true;
+}
+
+} // namespace
+
+void
+FieldWriter::u64(const char *key, std::uint64_t value)
+{
+    out_ += key;
+    out_ += ' ';
+    appendU64(out_, value);
+    out_ += '\n';
+}
+
+void
+FieldWriter::f64(const char *key, double value)
+{
+    out_ += key;
+    out_ += ' ';
+    appendHex64(out_, std::bit_cast<std::uint64_t>(value));
+    out_ += '\n';
+}
+
+void
+FieldWriter::u64vec(const char *key,
+                    const std::vector<std::uint64_t> &values)
+{
+    out_ += key;
+    out_ += ' ';
+    appendU64(out_, values.size());
+    for (std::uint64_t v : values) {
+        out_ += ' ';
+        appendU64(out_, v);
+    }
+    out_ += '\n';
+}
+
+FieldParser::FieldParser(const std::string &payload)
+    : payload_(payload)
+{
+}
+
+bool
+FieldParser::fail(const std::string &why)
+{
+    if (why_.empty())
+        why_ = why;
+    return false;
+}
+
+bool
+FieldParser::nextLine(const char *key,
+                      std::vector<std::string> *fields)
+{
+    if (!why_.empty())
+        return false;
+    if (pos_ >= payload_.size())
+        return fail(std::string("missing field '") + key + "'");
+    std::size_t end = payload_.find('\n', pos_);
+    if (end == std::string::npos)
+        return fail("unterminated line");
+    std::string line = payload_.substr(pos_, end - pos_);
+    pos_ = end + 1;
+
+    fields->clear();
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        std::size_t space = line.find(' ', start);
+        if (space == std::string::npos) {
+            fields->push_back(line.substr(start));
+            break;
+        }
+        fields->push_back(line.substr(start, space - start));
+        start = space + 1;
+    }
+    if (fields->empty() || (*fields)[0] != key) {
+        return fail(std::string("expected field '") + key +
+                    "', got '" +
+                    (fields->empty() ? "" : (*fields)[0]) + "'");
+    }
+    return true;
+}
+
+bool
+FieldParser::u64(const char *key, std::uint64_t *value)
+{
+    std::vector<std::string> fields;
+    if (!nextLine(key, &fields))
+        return false;
+    if (fields.size() != 2 || !parseU64Token(fields[1], value))
+        return fail(std::string("bad u64 field '") + key + "'");
+    return true;
+}
+
+bool
+FieldParser::f64(const char *key, double *value)
+{
+    std::vector<std::string> fields;
+    if (!nextLine(key, &fields))
+        return false;
+    if (fields.size() != 2 || !parseF64Token(fields[1], value))
+        return fail(std::string("bad f64 field '") + key + "'");
+    return true;
+}
+
+bool
+FieldParser::u64vec(const char *key,
+                    std::vector<std::uint64_t> *values)
+{
+    std::vector<std::string> fields;
+    if (!nextLine(key, &fields))
+        return false;
+    std::uint64_t count = 0;
+    if (fields.size() < 2 || !parseU64Token(fields[1], &count))
+        return fail(std::string("bad vector count in '") + key +
+                    "'");
+    if (fields.size() != count + 2)
+        return fail(std::string("vector '") + key +
+                    "' length disagrees with its count");
+    values->clear();
+    values->reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t v;
+        if (!parseU64Token(fields[static_cast<std::size_t>(i) + 2],
+                           &v)) {
+            return fail(std::string("bad vector element in '") +
+                        key + "'");
+        }
+        values->push_back(v);
+    }
+    return true;
+}
+
+bool
+FieldParser::atEnd()
+{
+    if (!why_.empty())
+        return false;
+    if (pos_ != payload_.size())
+        return fail("trailing bytes after the last field");
+    return true;
+}
+
+void
+SnapshotBuilder::addSection(const std::string &name,
+                            std::string payload)
+{
+    nsrf_assert(name.find(' ') == std::string::npos &&
+                    name.find('\n') == std::string::npos &&
+                    !name.empty(),
+                "bad snapshot section name");
+    for (const auto &[existing, ignored] : sections_) {
+        (void)ignored;
+        nsrf_assert(existing != name,
+                    "duplicate snapshot section '%s'", name.c_str());
+    }
+    sections_.emplace_back(name, std::move(payload));
+}
+
+std::string
+SnapshotBuilder::finish(const serve::Fingerprint &identity) const
+{
+    std::string body;
+    for (const auto &[name, payload] : sections_) {
+        (void)name;
+        body += payload;
+    }
+
+    std::string out;
+    out += "nsrfsnap ";
+    appendU64(out, kSnapshotVersion);
+    out += ' ';
+    appendU64(out, serve::kSchemaVersion);
+    out += '\n';
+    out += "fingerprint " + identity.hex() + '\n';
+    out += "sections ";
+    appendU64(out, sections_.size());
+    out += '\n';
+    std::size_t offset = 0;
+    for (const auto &[name, payload] : sections_) {
+        out += "section " + name + ' ';
+        appendU64(out, offset);
+        out += ' ';
+        appendU64(out, payload.size());
+        out += ' ';
+        appendHex64(out, fnv1a(payload.data(), payload.size()));
+        out += '\n';
+        offset += payload.size();
+    }
+    out += "body ";
+    appendU64(out, body.size());
+    out += ' ';
+    appendHex64(out, fnv1a(body.data(), body.size()));
+    out += '\n';
+    out += body;
+    return out;
+}
+
+const std::string *
+SnapshotView::find(const std::string &name) const
+{
+    for (const auto &[sectionName, payload] : sections) {
+        if (sectionName == name)
+            return &payload;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/** Split one header line off @p bytes at @p pos into fields. */
+bool
+headerLine(const std::string &bytes, std::size_t *pos,
+           std::vector<std::string> *fields)
+{
+    if (*pos >= bytes.size())
+        return false;
+    std::size_t end = bytes.find('\n', *pos);
+    if (end == std::string::npos)
+        return false;
+    std::string line = bytes.substr(*pos, end - *pos);
+    *pos = end + 1;
+    fields->clear();
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        std::size_t space = line.find(' ', start);
+        if (space == std::string::npos) {
+            fields->push_back(line.substr(start));
+            break;
+        }
+        fields->push_back(line.substr(start, space - start));
+        start = space + 1;
+    }
+    return true;
+}
+
+bool
+parseHex64Token(const std::string &text, std::uint64_t *out)
+{
+    if (text.size() != 16)
+        return false;
+    std::uint64_t acc = 0;
+    for (char c : text) {
+        std::uint64_t nibble;
+        if (c >= '0' && c <= '9')
+            nibble = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        acc = (acc << 4) | nibble;
+    }
+    *out = acc;
+    return true;
+}
+
+bool
+failParse(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+parseSnapshot(const std::string &bytes, SnapshotView *out,
+              std::string *why)
+{
+    std::size_t pos = 0;
+    std::vector<std::string> fields;
+
+    if (!headerLine(bytes, &pos, &fields) || fields.size() != 3 ||
+        fields[0] != "nsrfsnap") {
+        return failParse(why, "not a snapshot file");
+    }
+    std::uint64_t version = 0, schema = 0;
+    if (!parseU64Token(fields[1], &version) ||
+        !parseU64Token(fields[2], &schema)) {
+        return failParse(why, "malformed version line");
+    }
+    if (version != kSnapshotVersion)
+        return failParse(why, "snapshot version skew");
+    if (schema != serve::kSchemaVersion)
+        return failParse(why, "schema version skew");
+
+    if (!headerLine(bytes, &pos, &fields) || fields.size() != 2 ||
+        fields[0] != "fingerprint") {
+        return failParse(why, "missing fingerprint line");
+    }
+    serve::Fingerprint fingerprint;
+    if (!serve::Fingerprint::fromHex(fields[1], &fingerprint))
+        return failParse(why, "malformed fingerprint");
+
+    if (!headerLine(bytes, &pos, &fields) || fields.size() != 2 ||
+        fields[0] != "sections") {
+        return failParse(why, "missing sections line");
+    }
+    std::uint64_t section_count = 0;
+    if (!parseU64Token(fields[1], &section_count) ||
+        section_count > 256) {
+        return failParse(why, "bad section count");
+    }
+
+    struct SectionDesc
+    {
+        std::string name;
+        std::uint64_t offset;
+        std::uint64_t length;
+        std::uint64_t digest;
+    };
+    std::vector<SectionDesc> descs;
+    descs.reserve(static_cast<std::size_t>(section_count));
+    std::uint64_t expect_offset = 0;
+    for (std::uint64_t i = 0; i < section_count; ++i) {
+        if (!headerLine(bytes, &pos, &fields) ||
+            fields.size() != 5 || fields[0] != "section") {
+            return failParse(why, "malformed section line");
+        }
+        SectionDesc d;
+        d.name = fields[1];
+        if (d.name.empty() || !parseU64Token(fields[2], &d.offset) ||
+            !parseU64Token(fields[3], &d.length) ||
+            !parseHex64Token(fields[4], &d.digest)) {
+            return failParse(why, "malformed section descriptor");
+        }
+        // Sections must tile the body exactly, in order: offsets
+        // that skip or overlap would let a corrupted table smuggle
+        // undigested bytes past the per-section checks.
+        if (d.offset != expect_offset)
+            return failParse(why, "section offsets do not tile");
+        expect_offset = d.offset + d.length;
+        for (const auto &prev : descs) {
+            if (prev.name == d.name)
+                return failParse(why, "duplicate section name");
+        }
+        descs.push_back(std::move(d));
+    }
+
+    if (!headerLine(bytes, &pos, &fields) || fields.size() != 3 ||
+        fields[0] != "body") {
+        return failParse(why, "missing body line");
+    }
+    std::uint64_t body_len = 0, body_digest = 0;
+    if (!parseU64Token(fields[1], &body_len) ||
+        !parseHex64Token(fields[2], &body_digest)) {
+        return failParse(why, "malformed body line");
+    }
+    if (body_len != expect_offset)
+        return failParse(why,
+                         "body length disagrees with the sections");
+    if (bytes.size() - pos != body_len)
+        return failParse(why, "truncated or oversized body");
+    if (fnv1a(bytes.data() + pos, static_cast<std::size_t>(body_len)) !=
+        body_digest) {
+        return failParse(why, "body digest mismatch");
+    }
+
+    SnapshotView view;
+    view.fingerprint = fingerprint;
+    for (const auto &d : descs) {
+        std::string payload = bytes.substr(
+            pos + static_cast<std::size_t>(d.offset),
+            static_cast<std::size_t>(d.length));
+        if (fnv1a(payload.data(), payload.size()) != d.digest) {
+            return failParse(why, "section '" + d.name +
+                                      "' digest mismatch");
+        }
+        view.sections.emplace_back(d.name, std::move(payload));
+    }
+    *out = std::move(view);
+    return true;
+}
+
+} // namespace nsrf::snapshot

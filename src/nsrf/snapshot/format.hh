@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The on-disk snapshot container and its field codec.
+ *
+ * A snapshot is a line-based text file mirroring the serve codec's
+ * bit-cast discipline (serve/codec.cc): every integer is strict
+ * decimal, every double is its 64-bit pattern as exactly 16 lowercase
+ * hex digits, so encode(decode(x)) == x byte for byte and
+ * decode(encode(x)) == x bit for bit.
+ *
+ * Layout:
+ *
+ *   nsrfsnap 1 <serve-schema-version>
+ *   fingerprint <32 hex digits>
+ *   sections <n>
+ *   section <name> <offset> <length> <fnv64 hex>      (n lines)
+ *   body <total-length> <fnv64 hex>
+ *   <total-length bytes of concatenated section payloads>
+ *
+ * Offsets are relative to the first body byte.  The whole-body and
+ * per-section FNV-1a digests, the declared lengths, and the header
+ * grammar are all verified before a single payload byte is decoded;
+ * any mismatch fails the load closed (the caller treats it as a cold
+ * run).  The section payloads themselves are sequences of
+ * `key v1 v2 ...` lines produced by FieldWriter and consumed in the
+ * same order by FieldParser.
+ */
+
+#ifndef NSRF_SNAPSHOT_FORMAT_HH
+#define NSRF_SNAPSHOT_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nsrf/serve/fingerprint.hh"
+
+namespace nsrf::snapshot
+{
+
+/** Container format version (independent of serve::kSchemaVersion,
+ * which rides along so generator-semantics bumps also invalidate
+ * snapshots). */
+inline constexpr unsigned kSnapshotVersion = 1;
+
+/** 64-bit FNV-1a over @p size bytes. */
+std::uint64_t fnv1a(const void *data, std::size_t size);
+
+/** Accumulates `key value...` lines for one section payload. */
+class FieldWriter
+{
+  public:
+    /** Append `key <decimal>`. */
+    void u64(const char *key, std::uint64_t value);
+
+    /** Append `key <16-hex bit pattern>` (exact double). */
+    void f64(const char *key, double value);
+
+    /** Append `key <n> v1 ... vn` (decimal elements). */
+    void u64vec(const char *key,
+                const std::vector<std::uint64_t> &values);
+
+    /** @return the accumulated payload. */
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Strict sequential reader over a FieldWriter payload.  Every
+ * accessor demands the exact next key; the first grammar violation
+ * latches an error and fails every later call, so decoders can
+ * chain reads and check ok() once.
+ */
+class FieldParser
+{
+  public:
+    explicit FieldParser(const std::string &payload);
+
+    bool u64(const char *key, std::uint64_t *value);
+    bool f64(const char *key, double *value);
+    bool u64vec(const char *key, std::vector<std::uint64_t> *values);
+
+    /** @return true when no read so far has failed. */
+    bool ok() const { return why_.empty(); }
+
+    /** @return true when ok() and every line was consumed. */
+    bool atEnd();
+
+    /** @return a description of the first failure. */
+    const std::string &why() const { return why_; }
+
+  private:
+    bool fail(const std::string &why);
+    bool nextLine(const char *key,
+                  std::vector<std::string> *fields);
+
+    const std::string &payload_;
+    std::size_t pos_ = 0;
+    std::string why_;
+};
+
+/** Assembles section payloads into a snapshot file image. */
+class SnapshotBuilder
+{
+  public:
+    /** Append one section; names must be unique and blank-free. */
+    void addSection(const std::string &name, std::string payload);
+
+    /** @return the complete snapshot bytes for @p identity. */
+    std::string finish(const serve::Fingerprint &identity) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/** A parsed-and-verified snapshot. */
+struct SnapshotView
+{
+    serve::Fingerprint fingerprint;
+    /** Section name -> payload, in file order. */
+    std::vector<std::pair<std::string, std::string>> sections;
+
+    /** @return the payload of @p name, or nullptr. */
+    const std::string *find(const std::string &name) const;
+};
+
+/**
+ * Parse and verify a snapshot container: header grammar, magic,
+ * versions, declared lengths vs. actual size (truncation), the
+ * whole-body digest, and every per-section digest.  @return false
+ * with @p why set on the first violation; @p out is untouched on
+ * failure.
+ */
+bool parseSnapshot(const std::string &bytes, SnapshotView *out,
+                   std::string *why);
+
+} // namespace nsrf::snapshot
+
+#endif // NSRF_SNAPSHOT_FORMAT_HH

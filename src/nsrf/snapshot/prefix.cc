@@ -1,0 +1,326 @@
+#include "nsrf/snapshot/prefix.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/snapshot/snapshot.hh"
+
+namespace nsrf::snapshot
+{
+
+namespace
+{
+
+/** The cache key of @p cell's @p prefix_steps-instruction prefix. */
+serve::Fingerprint
+prefixKey(const sim::SweepCell &cell, std::uint64_t prefix_steps)
+{
+    serve::Provenance prov = cell.provenance;
+    prov.emplace_back("snapshot-prefix-steps",
+                      std::to_string(prefix_steps));
+    return simulatorIdentity(cell.config, prov);
+}
+
+/** Feed @p gen into @p sim until the run finishes or the stream
+ * ends. */
+void
+drainRun(sim::TraceSimulator &sim, sim::TraceGenerator &gen)
+{
+    constexpr std::size_t chunk_capacity = 512;
+    sim::TraceEvent chunk[chunk_capacity];
+    while (true) {
+        std::size_t n = gen.fill(chunk, chunk_capacity);
+        if (n == 0)
+            break;
+        if (!sim.stepRun(chunk, n))
+            break;
+    }
+}
+
+/** Simulate @p cell's prefix and store its snapshot under @p key. */
+std::string
+capturePrefix(const sim::SweepCell &cell, std::uint64_t prefix_steps,
+              const serve::Fingerprint &key,
+              serve::ResultCache &cache)
+{
+    auto gen = cell.makeGenerator();
+    sim::SimConfig prefix_config = cell.config;
+    prefix_config.maxInstructions = prefix_steps;
+    sim::TraceSimulator capture(prefix_config);
+    capture.beginRun();
+    drainRun(capture, *gen);
+    // Snapshot the paused run; the capture simulator is discarded
+    // without finishRun (finalizing would mutate occupancy stats
+    // past the prefix point).
+    std::string bytes = saveSimulator(capture, key);
+    cache.put(key, bytes);
+    return bytes;
+}
+
+/**
+ * Resume @p cell from @p bytes and run it to completion.  @return
+ * false (without touching @p result) when the snapshot does not
+ * restore — the caller reruns the cell cold.
+ */
+bool
+resumeCell(const sim::SweepCell &cell, const serve::Fingerprint &key,
+           const std::string &bytes, sim::RunResult *result,
+           std::uint64_t *resumed_at)
+{
+    auto gen = cell.makeGenerator();
+    sim::TraceSimulator sim(cell.config);
+    sim.beginRun();
+    std::string why;
+    if (!restoreSimulator(bytes, key, &sim, &why)) {
+        nsrf_warn("prefix snapshot for cell '%s' did not restore "
+                  "(%s); running cold",
+                  cell.label.c_str(), why.c_str());
+        return false;
+    }
+    if (!skipEvents(*gen, sim.eventsConsumed())) {
+        nsrf_warn("cell '%s' generator is shorter than its prefix "
+                  "snapshot; running cold",
+                  cell.label.c_str());
+        return false;
+    }
+    *resumed_at = sim.instructionsRun();
+    drainRun(sim, *gen);
+    *result = sim.finishRun();
+    return true;
+}
+
+} // namespace
+
+PrefixSweepStats
+runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
+                   std::uint64_t prefix_steps,
+                   const std::vector<sim::SweepCell> &cells,
+                   std::vector<sim::RunResult> *results)
+{
+    PrefixSweepStats stats;
+    stats.cells = cells.size();
+    results->assign(cells.size(), sim::RunResult{});
+    if (cells.empty())
+        return stats;
+
+    // Without a store, prefixes still dedup within this call.
+    std::unique_ptr<serve::ResultCache> transient;
+    if (!cache) {
+        serve::ResultCacheConfig cache_config;
+        transient =
+            std::make_unique<serve::ResultCache>(cache_config);
+        cache = transient.get();
+    }
+
+    // Partition exactly as SweepRunner::run does, so the lanes that
+    // batch here are the lanes that batch there.
+    std::vector<std::vector<std::size_t>> units;
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const sim::SweepCell &cell = cells[i];
+        nsrf_assert(cell.makeGenerator != nullptr,
+                    "sweep cell '%s' has no generator factory",
+                    cell.label.c_str());
+        if (!cell.streamKey.empty() && cell.traceOut.empty()) {
+            auto [it, fresh] =
+                group_of.emplace(cell.streamKey, units.size());
+            if (fresh)
+                units.emplace_back();
+            units[it->second].push_back(i);
+        } else {
+            units.emplace_back(1, i);
+        }
+    }
+
+    auto eligible = [&](const sim::SweepCell &cell) {
+        return prefix_steps > 0 && cell.traceOut.empty() &&
+               (cell.config.maxInstructions == 0 ||
+                cell.config.maxInstructions >= prefix_steps);
+    };
+
+    // Cells that cannot (or fail to) resume collect here and run
+    // through a real SweepRunner afterwards — cold semantics by
+    // construction, including timeline capture and lane batching.
+    std::mutex cold_mutex;
+    std::vector<std::size_t> cold;
+    auto goCold = [&](const std::vector<std::size_t> &unit) {
+        std::lock_guard<std::mutex> lock(cold_mutex);
+        cold.insert(cold.end(), unit.begin(), unit.end());
+    };
+
+    std::atomic<std::uint64_t> restored{0}, captured{0}, skipped{0};
+
+    sim::parallelFor(jobs, units.size(), [&](std::size_t u) {
+        const auto &unit = units[u];
+        for (std::size_t i : unit) {
+            if (!eligible(cells[i])) {
+                goCold(unit);
+                return;
+            }
+        }
+
+        // Fetch or capture every lane's prefix snapshot.  Capture
+        // lanes share one decoded stream, same as the cold runner.
+        std::vector<serve::Fingerprint> keys(unit.size());
+        std::vector<std::string> snaps(unit.size());
+        std::vector<std::size_t> missing;
+        for (std::size_t k = 0; k < unit.size(); ++k) {
+            keys[k] = prefixKey(cells[unit[k]], prefix_steps);
+            if (auto hit = cache->get(keys[k]))
+                snaps[k] = std::move(*hit);
+            else
+                missing.push_back(k);
+        }
+        if (!missing.empty()) {
+            if (unit.size() == 1) {
+                snaps[0] = capturePrefix(cells[unit[0]], prefix_steps,
+                                         keys[0], *cache);
+            } else {
+                auto gen = cells[unit.front()].makeGenerator();
+                std::vector<std::unique_ptr<sim::TraceSimulator>>
+                    sims;
+                sims.reserve(missing.size());
+                for (std::size_t k : missing) {
+                    sim::SimConfig prefix_config =
+                        cells[unit[k]].config;
+                    prefix_config.maxInstructions = prefix_steps;
+                    sims.push_back(
+                        std::make_unique<sim::TraceSimulator>(
+                            prefix_config));
+                    sims.back()->beginRun();
+                }
+                constexpr std::size_t chunk_capacity = 512;
+                sim::TraceEvent chunk[chunk_capacity];
+                bool live = true;
+                while (live) {
+                    std::size_t n =
+                        gen->fill(chunk, chunk_capacity);
+                    if (n == 0)
+                        break;
+                    live = false;
+                    for (auto &sim : sims) {
+                        // Always step every lane: |= would
+                        // short-circuit.
+                        bool more = sim->stepRun(chunk, n);
+                        live = live || more;
+                    }
+                }
+                for (std::size_t m = 0; m < missing.size(); ++m) {
+                    std::size_t k = missing[m];
+                    snaps[k] = saveSimulator(*sims[m], keys[k]);
+                    cache->put(keys[k], snaps[k]);
+                }
+            }
+            captured.fetch_add(missing.size(),
+                               std::memory_order_relaxed);
+        }
+
+        if (unit.size() == 1) {
+            std::uint64_t resumed_at = 0;
+            if (!resumeCell(cells[unit[0]], keys[0], snaps[0],
+                            &(*results)[unit[0]], &resumed_at)) {
+                goCold(unit);
+                return;
+            }
+            restored.fetch_add(1, std::memory_order_relaxed);
+            if (missing.empty()) {
+                skipped.fetch_add(resumed_at,
+                                  std::memory_order_relaxed);
+            }
+            return;
+        }
+
+        // Lane group resume: restore every lane, then drain one
+        // shared generator from the common resume point.
+        auto gen = cells[unit.front()].makeGenerator();
+        std::vector<std::unique_ptr<sim::TraceSimulator>> sims;
+        sims.reserve(unit.size());
+        for (std::size_t k = 0; k < unit.size(); ++k) {
+            sims.push_back(std::make_unique<sim::TraceSimulator>(
+                cells[unit[k]].config));
+            sims.back()->beginRun();
+            std::string why;
+            if (!restoreSimulator(snaps[k], keys[k], sims.back().get(),
+                                  &why)) {
+                nsrf_warn("prefix snapshot for lane '%s' did not "
+                          "restore (%s); group runs cold",
+                          cells[unit[k]].label.c_str(), why.c_str());
+                goCold(unit);
+                return;
+            }
+            if (sims.back()->eventsConsumed() !=
+                sims.front()->eventsConsumed()) {
+                nsrf_warn("lane '%s' resumes at a different stream "
+                          "position than its group; group runs cold",
+                          cells[unit[k]].label.c_str());
+                goCold(unit);
+                return;
+            }
+        }
+        if (!skipEvents(*gen, sims.front()->eventsConsumed())) {
+            nsrf_warn("lane group '%s' generator is shorter than its "
+                      "prefix snapshots; group runs cold",
+                      cells[unit.front()].streamKey.c_str());
+            goCold(unit);
+            return;
+        }
+        constexpr std::size_t chunk_capacity = 512;
+        sim::TraceEvent chunk[chunk_capacity];
+        bool live = true;
+        while (live) {
+            std::size_t n = gen->fill(chunk, chunk_capacity);
+            if (n == 0)
+                break;
+            live = false;
+            for (auto &sim : sims) {
+                // Always step every lane: |= would short-circuit.
+                bool more = sim->stepRun(chunk, n);
+                live = live || more;
+            }
+        }
+        for (std::size_t k = 0; k < unit.size(); ++k) {
+            std::uint64_t resumed_at = sims[k]->instructionsRun();
+            // A restored lane whose cap equals the prefix is already
+            // done and coasted through the drain above.
+            (*results)[unit[k]] = sims[k]->finishRun();
+            restored.fetch_add(1, std::memory_order_relaxed);
+            if (std::find(missing.begin(), missing.end(), k) ==
+                missing.end()) {
+                // resumed_at here is post-drain; the skip is the
+                // snapshot's instruction count, which for a hit lane
+                // equals the group prefix.
+                skipped.fetch_add(
+                    std::min<std::uint64_t>(prefix_steps,
+                                            resumed_at),
+                    std::memory_order_relaxed);
+            }
+        }
+    });
+
+    stats.prefixRestored = restored.load();
+    stats.prefixCaptured = captured.load();
+    stats.stepsSkipped = skipped.load();
+
+    if (!cold.empty()) {
+        std::sort(cold.begin(), cold.end());
+        std::vector<sim::SweepCell> cold_cells;
+        cold_cells.reserve(cold.size());
+        for (std::size_t i : cold)
+            cold_cells.push_back(cells[i]);
+        sim::SweepRunner runner(jobs);
+        std::vector<sim::RunResult> cold_results =
+            runner.run(cold_cells);
+        for (std::size_t k = 0; k < cold.size(); ++k)
+            (*results)[cold[k]] = cold_results[k];
+        stats.coldCells = cold.size();
+    }
+    return stats;
+}
+
+} // namespace nsrf::snapshot

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Delta-resimulation for sweeps: cells sharing a (workload, seed)
+ * warmup prefix restore a prefix snapshot and simulate only their
+ * divergent tails.
+ *
+ * Every sweep cell's first K instructions depend only on its config
+ * and its generator — exactly what a snapshot identity hashes — so
+ * the runner captures a snapshot of each cell at K instructions the
+ * first time it sees the cell and stores it in a
+ * serve::ResultCache, addressed by simulatorIdentity(config,
+ * provenance + prefix marker).  Later sweeps over the same cell
+ * (parameter refinements, repeated benches, resumed sweeps) restore
+ * the prefix and run only instructions K..cap.
+ *
+ * Determinism contract: hit and miss take the *same* continue path
+ * (fresh generator, fresh simulator, restore, skip, drain), and the
+ * snapshot round-trip is bit-exact, so RunResults are byte-identical
+ * to a cold SweepRunner::run whatever mix of hits and misses a call
+ * sees.  Any restore failure (corrupt cache entry, config skew)
+ * falls back to a cold run of the affected cells through a real
+ * SweepRunner — never a partial resume.
+ */
+
+#ifndef NSRF_SNAPSHOT_PREFIX_HH
+#define NSRF_SNAPSHOT_PREFIX_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/sim/sweep.hh"
+
+namespace nsrf::snapshot
+{
+
+/** What one runSweepWithPrefix call did. */
+struct PrefixSweepStats
+{
+    std::uint64_t cells = 0;          //!< cells simulated
+    std::uint64_t prefixRestored = 0; //!< cells resumed from snapshot
+    std::uint64_t prefixCaptured = 0; //!< prefix snapshots captured
+    std::uint64_t coldCells = 0;      //!< ineligible or fallback
+    /** Instructions served from snapshots instead of re-simulated
+     * (counted for cache hits only — a capture still pays them). */
+    std::uint64_t stepsSkipped = 0;
+};
+
+/**
+ * Run @p cells like SweepRunner(jobs).run(cells), resuming each
+ * eligible cell from a @p prefixSteps-instruction prefix snapshot
+ * stored in @p cache (captured on first sight).  Results are written
+ * to @p results in cell order, byte-identical to a cold run.
+ *
+ * A cell is eligible when @p prefixSteps > 0 and its instruction cap
+ * is 0 (trace length) or >= @p prefixSteps; cells capturing a
+ * timeline (traceOut) and cells of an ineligible lane group run cold.
+ * Lane groups capture and restore lane-by-lane but decode their
+ * shared event stream once per pass, preserving the lane-batching
+ * economics; a lane whose cap equals @p prefixSteps restores as
+ * already-done and coasts while the group drains.
+ *
+ * @param cache snapshot store; nullptr uses a transient in-memory
+ *              cache (prefixes then only amortize within one call).
+ */
+PrefixSweepStats runSweepWithPrefix(
+    serve::ResultCache *cache, unsigned jobs,
+    std::uint64_t prefixSteps,
+    const std::vector<sim::SweepCell> &cells,
+    std::vector<sim::RunResult> *results);
+
+} // namespace nsrf::snapshot
+
+#endif // NSRF_SNAPSHOT_PREFIX_HH

@@ -1,0 +1,231 @@
+#include "nsrf/snapshot/snapshot.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/regfile/named_state.hh"
+#include "nsrf/snapshot/format.hh"
+#include "nsrf/snapshot/state.hh"
+
+namespace nsrf::snapshot
+{
+
+namespace
+{
+
+bool
+failRestore(std::string *why, std::string message)
+{
+    if (why)
+        *why = std::move(message);
+    return false;
+}
+
+const std::string *
+needSection(const SnapshotView &view, const char *name,
+            std::string *why)
+{
+    const std::string *payload = view.find(name);
+    if (!payload && why)
+        *why = std::string("snapshot is missing section ") + name;
+    return payload;
+}
+
+} // namespace
+
+serve::Fingerprint
+simulatorIdentity(const sim::SimConfig &config,
+                  const serve::Provenance &provenance)
+{
+    // Cap-independent: a prefix snapshot taken at K instructions must
+    // address the same entry whatever cap the resuming run carries.
+    sim::SimConfig keyed = config;
+    keyed.maxInstructions = 0;
+    serve::Provenance marked = provenance;
+    marked.emplace_back("snapshot-format",
+                        std::to_string(kSnapshotVersion));
+    return serve::fingerprintCell(keyed, marked);
+}
+
+std::string
+saveSimulator(const sim::TraceSimulator &sim,
+              const serve::Fingerprint &identity)
+{
+    SnapshotBuilder builder;
+    builder.addSection("sim", SnapshotAccess::saveSim(sim));
+    builder.addSection("alloc", SnapshotAccess::saveAlloc(sim));
+    builder.addSection("mem", SnapshotAccess::saveMem(
+                                  SnapshotAccess::memsysOf(sim)
+                                      .memory()));
+    builder.addSection("dcache", SnapshotAccess::saveCache(
+                                     SnapshotAccess::memsysOf(sim)));
+    builder.addSection("regfile",
+                       SnapshotAccess::saveRegfile(
+                           SnapshotAccess::regfileOf(sim)));
+    return builder.finish(identity);
+}
+
+bool
+restoreSimulator(const std::string &bytes,
+                 const serve::Fingerprint &identity,
+                 sim::TraceSimulator *sim, std::string *why)
+{
+    SnapshotView view;
+    if (!parseSnapshot(bytes, &view, why))
+        return false;
+    if (!(view.fingerprint == identity)) {
+        return failRestore(
+            why, "snapshot fingerprint " + view.fingerprint.hex() +
+                     " does not match the configured cell " +
+                     identity.hex());
+    }
+
+    const std::string *sim_pay = needSection(view, "sim", why);
+    const std::string *alloc_pay = needSection(view, "alloc", why);
+    const std::string *mem_pay = needSection(view, "mem", why);
+    const std::string *cache_pay = needSection(view, "dcache", why);
+    const std::string *rf_pay = needSection(view, "regfile", why);
+    if (!sim_pay || !alloc_pay || !mem_pay || !cache_pay || !rf_pay)
+        return false;
+
+    // Decode every section against the untouched target first; the
+    // target is only mutated once all five validate.
+    SimImage sim_img;
+    AllocImage alloc_img;
+    MemImage mem_img;
+    CacheImage cache_img;
+    RegfileImage rf_img;
+    if (!SnapshotAccess::decodeSim(*sim_pay, *sim, &sim_img, why) ||
+        !SnapshotAccess::decodeAlloc(*alloc_pay, *sim, &alloc_img,
+                                     why) ||
+        !SnapshotAccess::decodeMem(*mem_pay, &mem_img, why) ||
+        !SnapshotAccess::decodeCache(*cache_pay, sim->memorySystem(),
+                                     &cache_img, why) ||
+        !SnapshotAccess::decodeRegfile(*rf_pay, sim->registerFile(),
+                                       &rf_img, why)) {
+        return false;
+    }
+
+    SnapshotAccess::applySim(sim_img, *sim);
+    SnapshotAccess::applyAlloc(alloc_img, *sim);
+    SnapshotAccess::applyMem(mem_img,
+                             sim->memorySystem().memory());
+    SnapshotAccess::applyCache(cache_img, sim->memorySystem());
+    SnapshotAccess::applyRegfile(rf_img, sim->registerFile());
+
+    // Belt and braces: the decode validators should make this
+    // unreachable, but the live audit walk is cheap next to a
+    // restore and catches any validator gap before it can corrupt
+    // downstream results.  The corrupt-matrix tests all fail before
+    // apply; a failure here means the target must be discarded.
+    if (const auto *nsf =
+            dynamic_cast<const regfile::NamedStateRegisterFile *>(
+                &sim->registerFile())) {
+        std::string audit_why;
+        if (!nsf->auditInvariants(&audit_why)) {
+            return failRestore(why,
+                               "post-restore audit failed (discard "
+                               "the target): " +
+                                   audit_why);
+        }
+    }
+    return true;
+}
+
+std::string
+saveRegisterFileBlob(const regfile::RegisterFile &rf)
+{
+    SnapshotBuilder builder;
+    builder.addSection("regfile", SnapshotAccess::saveRegfile(rf));
+    return builder.finish(
+        serve::hashString("rfblob:" + rf.describe()));
+}
+
+bool
+restoreRegisterFileBlob(const std::string &bytes,
+                        regfile::RegisterFile *rf, std::string *why)
+{
+    SnapshotView view;
+    if (!parseSnapshot(bytes, &view, why))
+        return false;
+    serve::Fingerprint expect =
+        serve::hashString("rfblob:" + rf->describe());
+    if (!(view.fingerprint == expect)) {
+        return failRestore(why,
+                           "register file blob names a different "
+                           "organization");
+    }
+    const std::string *payload = needSection(view, "regfile", why);
+    if (!payload)
+        return false;
+    RegfileImage img;
+    if (!SnapshotAccess::decodeRegfile(*payload, *rf, &img, why))
+        return false;
+    SnapshotAccess::applyRegfile(img, *rf);
+    return true;
+}
+
+bool
+writeSnapshotFile(const std::string &path, const std::string &bytes,
+                  std::string *why)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        return failRestore(why, "cannot open " + path + ": " +
+                                    std::strerror(errno));
+    }
+    std::size_t wrote =
+        bytes.empty()
+            ? 0
+            : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (wrote != bytes.size() || !flushed) {
+        // A partial file under the final name would load as a
+        // truncated snapshot forever after; remove it so the caller
+        // (and every later run) sees a clean miss instead.
+        std::remove(path.c_str());
+        return failRestore(why, "short write to " + path +
+                                    " (partial file removed)");
+    }
+    return true;
+}
+
+bool
+readSnapshotFile(const std::string &path, std::string *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string bytes;
+    char buf[1u << 16];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.append(buf, got);
+    bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (!ok)
+        return false;
+    *out = std::move(bytes);
+    return true;
+}
+
+bool
+skipEvents(sim::TraceGenerator &gen, std::uint64_t count)
+{
+    sim::TraceEvent buf[512];
+    while (count > 0) {
+        std::size_t want = count < 512
+                               ? static_cast<std::size_t>(count)
+                               : std::size_t{512};
+        std::size_t got = gen.fill(buf, want);
+        if (got == 0)
+            return false;
+        count -= got;
+    }
+    return true;
+}
+
+} // namespace nsrf::snapshot

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Versioned, fingerprinted, bit-exact snapshots of the simulator
+ * stack.
+ *
+ * A snapshot captures everything a TraceSimulator run has computed —
+ * the event-loop state, the register file (any organization,
+ * including the CAM decoder and replacement machinery), allocators,
+ * main memory, the data cache, and every accumulated statistic — so
+ * that restoring it into a freshly built simulator and continuing
+ * produces results bit-identical to the uninterrupted run.
+ *
+ * Generator state is deliberately NOT captured: the snapshot records
+ * how many trace events were consumed, and resume re-decodes a fresh
+ * generator and skips that many (skipEvents).  This keeps snapshots
+ * valid for any generator implementation and makes the warmup-prefix
+ * optimization natural: sweep cells sharing a (workload, seed)
+ * prefix restore one prefix snapshot and simulate only their
+ * divergent tails (see prefix.hh).
+ *
+ * Snapshots are addressed by a serve::Fingerprint of the originating
+ * SimConfig and provenance with the instruction cap zeroed —
+ * cap-independence is what lets a prefix snapshot taken at K steps
+ * restore into a run capped at M > K.  Every load verifies the
+ * container digests, the fingerprint, and the full structural
+ * invariants of each section against the target before mutating
+ * anything: a corrupt, truncated, version-skewed, or mismatched
+ * snapshot fails closed and the caller falls back to a cold run.
+ */
+
+#ifndef NSRF_SNAPSHOT_SNAPSHOT_HH
+#define NSRF_SNAPSHOT_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/sim/trace.hh"
+
+namespace nsrf::snapshot
+{
+
+/**
+ * The identity a simulator snapshot is addressed by: the cell
+ * fingerprint of @p config with maxInstructions forced to zero
+ * (snapshots are cap-independent) and a marker pair appended so
+ * snapshot entries can never collide with RunResult cache entries
+ * for the same cell.
+ */
+serve::Fingerprint simulatorIdentity(
+    const sim::SimConfig &config,
+    const serve::Provenance &provenance);
+
+/**
+ * Serialize the complete state of @p sim under @p identity.
+ * Valid mid-run (between beginRun and finishRun) or after a
+ * completed run; the simulator is not modified.
+ */
+std::string saveSimulator(const sim::TraceSimulator &sim,
+                          const serve::Fingerprint &identity);
+
+/**
+ * Restore @p bytes into @p sim, which must be freshly built from
+ * the same configuration (same register file geometry, cache
+ * shape, cid capacity) and have beginRun() active.  Verifies the
+ * container, the @p identity, and every structural invariant before
+ * touching the target: on a false return with the parse/validation
+ * stage failing, @p sim is exactly as it was.  (A post-apply audit
+ * backstops the validators; if that final stage ever fails the
+ * target must be discarded — it cannot by then be half-restored
+ * back.)  @p why receives the reason on failure.
+ */
+bool restoreSimulator(const std::string &bytes,
+                      const serve::Fingerprint &identity,
+                      sim::TraceSimulator *sim, std::string *why);
+
+/**
+ * Serialize just @p rf as a standalone blob (the fuzzer's
+ * checkpoint/restore leg).  Addressed by a fingerprint of the
+ * register file's own description.
+ */
+std::string saveRegisterFileBlob(const regfile::RegisterFile &rf);
+
+/** Restore a saveRegisterFileBlob image into a freshly built @p rf
+ * of the same geometry; same fail-closed contract as
+ * restoreSimulator. */
+bool restoreRegisterFileBlob(const std::string &bytes,
+                             regfile::RegisterFile *rf,
+                             std::string *why);
+
+/**
+ * Write @p bytes to @p path, detecting short writes (disk full,
+ * RLIMIT_FSIZE): on any failure the partial file is removed so a
+ * later run can never load a truncated snapshot from the final
+ * name.  @return false with @p why set on failure.
+ */
+bool writeSnapshotFile(const std::string &path,
+                       const std::string &bytes, std::string *why);
+
+/** Read @p path entirely; @return false when it cannot be read. */
+bool readSnapshotFile(const std::string &path, std::string *out);
+
+/**
+ * Discard @p count events from @p gen — the resume half of the
+ * generator-state contract (see eventsConsumed()).  @return false
+ * if the stream ended early (snapshot/generator mismatch).
+ */
+bool skipEvents(sim::TraceGenerator &gen, std::uint64_t count);
+
+} // namespace nsrf::snapshot
+
+#endif // NSRF_SNAPSHOT_SNAPSHOT_HH

@@ -1,0 +1,1495 @@
+#include "nsrf/snapshot/state.hh"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "nsrf/cam/decoder.hh"
+#include "nsrf/cam/flat_index.hh"
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/logging.hh"
+#include "nsrf/regfile/named_state.hh"
+#include "nsrf/regfile/segmented.hh"
+#include "nsrf/regfile/windowed.hh"
+#include "nsrf/snapshot/format.hh"
+
+namespace nsrf::snapshot
+{
+
+namespace
+{
+
+constexpr std::uint64_t u32Max = 0xffffffffull;
+
+std::vector<std::uint64_t>
+fromBools(const std::vector<bool> &bits)
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(bits.size());
+    for (bool b : bits)
+        out.push_back(b ? 1 : 0);
+    return out;
+}
+
+std::vector<bool>
+toBools(const std::vector<std::uint64_t> &values)
+{
+    std::vector<bool> out;
+    out.reserve(values.size());
+    for (std::uint64_t v : values)
+        out.push_back(v != 0);
+    return out;
+}
+
+bool
+isBoolVec(const std::vector<std::uint64_t> &values)
+{
+    for (std::uint64_t v : values) {
+        if (v > 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+failDecode(std::string *why, std::string message)
+{
+    if (why)
+        *why = std::move(message);
+    return false;
+}
+
+/** Shared grammar check at the end of every section decode. */
+bool
+finishParse(FieldParser &parser, const char *section,
+            std::string *why)
+{
+    if (!parser.atEnd()) {
+        return failDecode(why, std::string(section) + " section: " +
+                                   parser.why());
+    }
+    return true;
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// sim
+// --------------------------------------------------------------------
+
+std::string
+SnapshotAccess::saveSim(const sim::TraceSimulator &simulator)
+{
+    FieldWriter w;
+    const auto &loop = simulator.loop_;
+    w.u64("instructions", loop.instructions);
+    w.u64("cycles", loop.cycles);
+    w.u64("current", loop.current);
+    w.u64("currentHandle", loop.currentHandle);
+    w.u64("scratch", loop.scratch);
+    w.u64("eventsConsumed", loop.eventsConsumed);
+    w.u64("sawEnd", loop.sawEnd ? 1 : 0);
+    w.u64("boundCount", simulator.boundCount_);
+    w.u64("useClock", simulator.useClock_);
+    w.u64("cidEvictions", simulator.cidEvictions_);
+    w.u64("dataRngPos", simulator.dataRng_.position());
+
+    // Canonical order: the map's layout is a transient of insertion
+    // history, not simulated state.
+    std::vector<std::pair<sim::CtxHandle,
+                          sim::TraceSimulator::HandleState>>
+        sorted(simulator.handles_.begin(), simulator.handles_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    std::vector<std::uint64_t> handles;
+    handles.reserve(sorted.size() * 4);
+    for (const auto &[handle, state] : sorted) {
+        handles.push_back(handle);
+        handles.push_back(state.cid);
+        handles.push_back(state.frame);
+        handles.push_back(state.lastUse);
+    }
+    w.u64vec("handles", handles);
+
+    // The heap as a sorted multiset: pop order is determined by the
+    // multiset (recency stamps are unique), so heapifying the sorted
+    // form on restore reproduces every later victim choice while two
+    // equal histories serialize identically.
+    std::vector<std::pair<std::uint64_t, sim::CtxHandle>> heap(
+        simulator.lruHeap_.begin(), simulator.lruHeap_.end());
+    std::sort(heap.begin(), heap.end());
+    std::vector<std::uint64_t> flat;
+    flat.reserve(heap.size() * 2);
+    for (const auto &[lastUse, handle] : heap) {
+        flat.push_back(lastUse);
+        flat.push_back(handle);
+    }
+    w.u64vec("lruHeap", flat);
+    return w.take();
+}
+
+bool
+SnapshotAccess::decodeSim(const std::string &payload,
+                          const sim::TraceSimulator &simulator,
+                          SimImage *img, std::string *why)
+{
+    FieldParser p(payload);
+    SimImage out;
+    p.u64("instructions", &out.instructions);
+    p.u64("cycles", &out.cycles);
+    p.u64("current", &out.current);
+    p.u64("currentHandle", &out.currentHandle);
+    p.u64("scratch", &out.scratch);
+    p.u64("eventsConsumed", &out.eventsConsumed);
+    p.u64("sawEnd", &out.sawEnd);
+    p.u64("boundCount", &out.boundCount);
+    p.u64("useClock", &out.useClock);
+    p.u64("cidEvictions", &out.cidEvictions);
+    p.u64("dataRngPos", &out.dataRngPos);
+    p.u64vec("handles", &out.handles);
+    p.u64vec("lruHeap", &out.lruHeap);
+    if (!finishParse(p, "sim", why))
+        return false;
+
+    if (out.sawEnd > 1 || out.scratch > u32Max ||
+        out.current > u32Max) {
+        return failDecode(why, "sim section: field out of range");
+    }
+    if (out.handles.size() % 4 != 0 || out.lruHeap.size() % 2 != 0)
+        return failDecode(why, "sim section: misshapen vector");
+
+    const ContextId cid_capacity = simulator.config().cidCapacity;
+    std::uint64_t bound = 0;
+    std::unordered_set<std::uint64_t> bound_cids;
+    std::uint64_t prev_handle = 0;
+    bool have_current_handle = false;
+    for (std::size_t i = 0; i < out.handles.size(); i += 4) {
+        std::uint64_t handle = out.handles[i];
+        std::uint64_t cid = out.handles[i + 1];
+        std::uint64_t frame = out.handles[i + 2];
+        if (i > 0 && handle <= prev_handle) {
+            return failDecode(why,
+                              "sim section: handles not ascending");
+        }
+        prev_handle = handle;
+        if (cid != invalidContext && cid >= cid_capacity) {
+            return failDecode(
+                why, "sim section: handle bound to impossible cid");
+        }
+        if (frame > u32Max)
+            return failDecode(why, "sim section: frame out of range");
+        if (cid != invalidContext) {
+            ++bound;
+            if (!bound_cids.insert(cid).second) {
+                return failDecode(
+                    why, "sim section: two handles share a cid");
+            }
+        }
+        if (handle == out.currentHandle)
+            have_current_handle = true;
+    }
+    if (bound != out.boundCount) {
+        return failDecode(
+            why, "sim section: boundCount disagrees with handles");
+    }
+    if (out.currentHandle != sim::invalidHandle &&
+        !have_current_handle) {
+        return failDecode(
+            why, "sim section: current handle is not mapped");
+    }
+    *img = std::move(out);
+    return true;
+}
+
+void
+SnapshotAccess::applySim(const SimImage &img,
+                         sim::TraceSimulator &simulator)
+{
+    auto &loop = simulator.loop_;
+    loop.instructions = img.instructions;
+    loop.cycles = img.cycles;
+    loop.current = static_cast<ContextId>(img.current);
+    loop.currentHandle = img.currentHandle;
+    loop.scratch = static_cast<Word>(img.scratch);
+    loop.eventsConsumed = img.eventsConsumed;
+    loop.sawEnd = img.sawEnd != 0;
+    // The snapshot's own `done` is a function of the cap it was
+    // taken under; recompute against *this* run's cap so a prefix
+    // snapshot resumes (and a run restored at its cap coasts).
+    const std::uint64_t cap = simulator.config().maxInstructions
+                                  ? simulator.config().maxInstructions
+                                  : ~std::uint64_t{0};
+    loop.done = loop.sawEnd || loop.instructions >= cap;
+
+    simulator.boundCount_ =
+        static_cast<std::size_t>(img.boundCount);
+    simulator.useClock_ = img.useClock;
+    simulator.cidEvictions_ = img.cidEvictions;
+    simulator.dataRng_.skipTo(img.dataRngPos);
+
+    simulator.handles_.clear();
+    simulator.cidToHandle_.clear();
+    for (std::size_t i = 0; i < img.handles.size(); i += 4) {
+        sim::TraceSimulator::HandleState state;
+        state.cid = static_cast<ContextId>(img.handles[i + 1]);
+        state.frame = static_cast<Addr>(img.handles[i + 2]);
+        state.lastUse = img.handles[i + 3];
+        simulator.handles_.emplace(img.handles[i], state);
+        if (state.cid != invalidContext)
+            simulator.cidToHandle_[state.cid] = img.handles[i];
+    }
+
+    simulator.lruHeap_.clear();
+    simulator.lruHeap_.reserve(img.lruHeap.size() / 2);
+    for (std::size_t i = 0; i < img.lruHeap.size(); i += 2) {
+        simulator.lruHeap_.emplace_back(img.lruHeap[i],
+                                        img.lruHeap[i + 1]);
+    }
+    std::make_heap(simulator.lruHeap_.begin(),
+                   simulator.lruHeap_.end(), std::greater<>{});
+}
+
+// --------------------------------------------------------------------
+// alloc
+// --------------------------------------------------------------------
+
+std::string
+SnapshotAccess::saveAlloc(const sim::TraceSimulator &simulator)
+{
+    FieldWriter w;
+    const auto &cids = simulator.cids_;
+    w.u64("cid.capacity", cids.capacity_);
+    w.u64("cid.next", cids.next_);
+    w.u64("cid.inUse", cids.inUse_);
+    std::vector<std::uint64_t> cid_free(cids.freeList_.begin(),
+                                        cids.freeList_.end());
+    w.u64vec("cid.free", cid_free);
+    w.u64vec("cid.live", fromBools(cids.live_));
+
+    const auto &frames = simulator.frames_;
+    w.u64("frame.base", frames.base_);
+    w.u64("frame.bytes", frames.frameBytes_);
+    w.u64("frame.next", frames.next_);
+    w.u64("frame.inUse", frames.inUse_);
+    std::vector<std::uint64_t> frame_free(frames.freeList_.begin(),
+                                          frames.freeList_.end());
+    w.u64vec("frame.free", frame_free);
+    return w.take();
+}
+
+bool
+SnapshotAccess::decodeAlloc(const std::string &payload,
+                            const sim::TraceSimulator &simulator,
+                            AllocImage *img, std::string *why)
+{
+    FieldParser p(payload);
+    AllocImage out;
+    p.u64("cid.capacity", &out.cidCapacity);
+    p.u64("cid.next", &out.cidNext);
+    p.u64("cid.inUse", &out.cidInUse);
+    p.u64vec("cid.free", &out.cidFree);
+    p.u64vec("cid.live", &out.cidLive);
+    p.u64("frame.base", &out.frameBase);
+    p.u64("frame.bytes", &out.frameBytes);
+    p.u64("frame.next", &out.frameNext);
+    p.u64("frame.inUse", &out.frameInUse);
+    p.u64vec("frame.free", &out.frameFree);
+    if (!finishParse(p, "alloc", why))
+        return false;
+
+    const auto &cids = simulator.cids_;
+    if (out.cidCapacity != cids.capacity_)
+        return failDecode(why, "alloc section: cid capacity skew");
+    if (out.cidNext > out.cidCapacity ||
+        out.cidLive.size() != out.cidCapacity ||
+        !isBoolVec(out.cidLive)) {
+        return failDecode(why, "alloc section: bad cid state");
+    }
+    std::uint64_t live = 0;
+    for (std::uint64_t b : out.cidLive)
+        live += b;
+    if (live != out.cidInUse) {
+        return failDecode(
+            why, "alloc section: inUse disagrees with live bits");
+    }
+    std::unordered_set<std::uint64_t> free_seen;
+    for (std::uint64_t cid : out.cidFree) {
+        if (cid >= out.cidNext || out.cidLive[cid] ||
+            !free_seen.insert(cid).second) {
+            return failDecode(why,
+                              "alloc section: bad cid free list");
+        }
+    }
+    if (out.cidInUse + out.cidFree.size() != out.cidNext) {
+        return failDecode(
+            why, "alloc section: cid accounting does not balance");
+    }
+
+    const auto &frames = simulator.frames_;
+    if (out.frameBase != frames.base_ ||
+        out.frameBytes != frames.frameBytes_) {
+        return failDecode(why, "alloc section: frame geometry skew");
+    }
+    if (out.frameNext < out.frameBase || out.frameNext > u32Max ||
+        (out.frameNext - out.frameBase) % out.frameBytes != 0) {
+        return failDecode(why,
+                          "alloc section: bad frame high-water mark");
+    }
+    free_seen.clear();
+    for (std::uint64_t frame : out.frameFree) {
+        if (frame < out.frameBase || frame >= out.frameNext ||
+            (frame - out.frameBase) % out.frameBytes != 0 ||
+            !free_seen.insert(frame).second) {
+            return failDecode(why,
+                              "alloc section: bad frame free list");
+        }
+    }
+    std::uint64_t frame_count =
+        (out.frameNext - out.frameBase) / out.frameBytes;
+    if (out.frameInUse + out.frameFree.size() != frame_count) {
+        return failDecode(
+            why, "alloc section: frame accounting does not balance");
+    }
+    *img = std::move(out);
+    return true;
+}
+
+void
+SnapshotAccess::applyAlloc(const AllocImage &img,
+                           sim::TraceSimulator &simulator)
+{
+    auto &cids = simulator.cids_;
+    cids.next_ = static_cast<ContextId>(img.cidNext);
+    cids.inUse_ = static_cast<std::size_t>(img.cidInUse);
+    cids.freeList_.clear();
+    for (std::uint64_t cid : img.cidFree)
+        cids.freeList_.push_back(static_cast<ContextId>(cid));
+    cids.live_ = toBools(img.cidLive);
+
+    auto &frames = simulator.frames_;
+    frames.next_ = static_cast<Addr>(img.frameNext);
+    frames.inUse_ = static_cast<std::size_t>(img.frameInUse);
+    frames.freeList_.clear();
+    for (std::uint64_t frame : img.frameFree)
+        frames.freeList_.push_back(static_cast<Addr>(frame));
+}
+
+// --------------------------------------------------------------------
+// mem
+// --------------------------------------------------------------------
+
+std::string
+SnapshotAccess::saveMem(const mem::MainMemory &memory)
+{
+    FieldWriter w;
+    w.u64("mem.reads", memory.stats_.reads.value_);
+    w.u64("mem.writes", memory.stats_.writes.value_);
+
+    std::vector<std::pair<Addr, const mem::MainMemory::Page *>> pages;
+    pages.reserve(memory.pages_.size());
+    for (const auto &[number, page] : memory.pages_)
+        pages.emplace_back(number, page.get());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    // Page existence is state (touchedPages feeds audits), so even
+    // an all-zero page serializes — as an empty word list.
+    w.u64("mem.pageCount", pages.size());
+    for (const auto &[number, page] : pages) {
+        w.u64("page.number", number);
+        std::vector<std::uint64_t> words;
+        for (std::size_t i = 0; i < page->size(); ++i) {
+            if ((*page)[i] != 0) {
+                words.push_back(i);
+                words.push_back((*page)[i]);
+            }
+        }
+        w.u64vec("page.words", words);
+    }
+    return w.take();
+}
+
+bool
+SnapshotAccess::decodeMem(const std::string &payload, MemImage *img,
+                          std::string *why)
+{
+    FieldParser p(payload);
+    MemImage out;
+    p.u64("mem.reads", &out.reads);
+    p.u64("mem.writes", &out.writes);
+    std::uint64_t page_count = 0;
+    p.u64("mem.pageCount", &page_count);
+    if (p.ok() && page_count > (1u << 20))
+        return failDecode(why, "mem section: absurd page count");
+    for (std::uint64_t i = 0; p.ok() && i < page_count; ++i) {
+        MemImage::Page page;
+        p.u64("page.number", &page.number);
+        p.u64vec("page.words", &page.words);
+        if (!p.ok())
+            break;
+        if (page.number > u32Max >> 12)
+            return failDecode(why, "mem section: page out of range");
+        if (!out.pages.empty() &&
+            page.number <= out.pages.back().number) {
+            return failDecode(why,
+                              "mem section: pages not ascending");
+        }
+        if (page.words.size() % 2 != 0)
+            return failDecode(why, "mem section: misshapen page");
+        for (std::size_t j = 0; j < page.words.size(); j += 2) {
+            if (page.words[j] >= 1024 ||
+                (j > 0 && page.words[j] <= page.words[j - 2]) ||
+                page.words[j + 1] > u32Max ||
+                page.words[j + 1] == 0) {
+                return failDecode(why,
+                                  "mem section: bad page words");
+            }
+        }
+        out.pages.push_back(std::move(page));
+    }
+    if (!finishParse(p, "mem", why))
+        return false;
+    *img = std::move(out);
+    return true;
+}
+
+void
+SnapshotAccess::applyMem(const MemImage &img, mem::MainMemory &memory)
+{
+    memory.stats_.reads.value_ = img.reads;
+    memory.stats_.writes.value_ = img.writes;
+    memory.pages_.clear();
+    for (const auto &page : img.pages) {
+        auto fresh = std::make_unique<mem::MainMemory::Page>();
+        fresh->fill(0);
+        for (std::size_t j = 0; j < page.words.size(); j += 2) {
+            (*fresh)[static_cast<std::size_t>(page.words[j])] =
+                static_cast<Word>(page.words[j + 1]);
+        }
+        memory.pages_.emplace(static_cast<Addr>(page.number),
+                              std::move(fresh));
+    }
+}
+
+// --------------------------------------------------------------------
+// dcache
+// --------------------------------------------------------------------
+
+std::string
+SnapshotAccess::saveCache(const mem::MemorySystem &memsys)
+{
+    FieldWriter w;
+    const mem::DataCache *cache = memsys.cache();
+    w.u64("cache.present", cache ? 1 : 0);
+    if (!cache)
+        return w.take();
+    w.u64("cache.clock", cache->clock_);
+    std::vector<std::uint64_t> lines;
+    lines.reserve(cache->lines_.size() * 4);
+    for (const auto &line : cache->lines_) {
+        lines.push_back(line.tag);
+        lines.push_back(line.valid ? 1 : 0);
+        lines.push_back(line.dirty ? 1 : 0);
+        lines.push_back(line.lastUse);
+    }
+    w.u64vec("cache.lines", lines);
+    w.u64("cache.accesses", cache->stats_.accesses.value_);
+    w.u64("cache.hits", cache->stats_.hits.value_);
+    w.u64("cache.misses", cache->stats_.misses.value_);
+    w.u64("cache.writebacks", cache->stats_.writebacks.value_);
+    return w.take();
+}
+
+bool
+SnapshotAccess::decodeCache(const std::string &payload,
+                            const mem::MemorySystem &memsys,
+                            CacheImage *img, std::string *why)
+{
+    FieldParser p(payload);
+    CacheImage out;
+    p.u64("cache.present", &out.present);
+    if (p.ok() && out.present > 1)
+        return failDecode(why, "dcache section: bad present flag");
+    const mem::DataCache *cache = memsys.cache();
+    if (p.ok() && (out.present == 1) != (cache != nullptr)) {
+        return failDecode(
+            why, "dcache section: cache presence disagrees with "
+                 "the configuration");
+    }
+    if (out.present) {
+        p.u64("cache.clock", &out.clock);
+        p.u64vec("cache.lines", &out.lines);
+        p.u64("cache.accesses", &out.accesses);
+        p.u64("cache.hits", &out.hits);
+        p.u64("cache.misses", &out.misses);
+        p.u64("cache.writebacks", &out.writebacks);
+    }
+    if (!finishParse(p, "dcache", why))
+        return false;
+    if (out.present) {
+        if (out.lines.size() != cache->lines_.size() * 4)
+            return failDecode(why, "dcache section: line count skew");
+        for (std::size_t i = 0; i < out.lines.size(); i += 4) {
+            if (out.lines[i] > u32Max || out.lines[i + 1] > 1 ||
+                out.lines[i + 2] > 1) {
+                return failDecode(why,
+                                  "dcache section: bad line state");
+            }
+        }
+    }
+    *img = std::move(out);
+    return true;
+}
+
+void
+SnapshotAccess::applyCache(const CacheImage &img,
+                           mem::MemorySystem &memsys)
+{
+    mem::DataCache *cache = memsys.cache();
+    if (!img.present) {
+        nsrf_assert(!cache, "cache image/config mismatch in apply");
+        return;
+    }
+    nsrf_assert(cache, "cache image/config mismatch in apply");
+    cache->clock_ = img.clock;
+    for (std::size_t i = 0; i < cache->lines_.size(); ++i) {
+        auto &line = cache->lines_[i];
+        line.tag = static_cast<Addr>(img.lines[i * 4]);
+        line.valid = img.lines[i * 4 + 1] != 0;
+        line.dirty = img.lines[i * 4 + 2] != 0;
+        line.lastUse = img.lines[i * 4 + 3];
+    }
+    cache->stats_.accesses.value_ = img.accesses;
+    cache->stats_.hits.value_ = img.hits;
+    cache->stats_.misses.value_ = img.misses;
+    cache->stats_.writebacks.value_ = img.writebacks;
+}
+
+// --------------------------------------------------------------------
+// regfile
+// --------------------------------------------------------------------
+
+namespace
+{
+
+constexpr std::uint64_t familyNsf = 0;
+constexpr std::uint64_t familySegmented = 1;
+constexpr std::uint64_t familyWindowed = 2;
+
+/** Validate one ReplacementState image against its target shape. */
+bool
+checkRepl(const ReplImage &img, std::size_t slot_count,
+          std::uint64_t kind, const std::vector<bool> &expect_held,
+          std::string *why)
+{
+    if (img.kind != kind)
+        return failDecode(why, "regfile section: replacement kind "
+                               "skew");
+    if (img.held.size() != slot_count || !isBoolVec(img.held) ||
+        img.next.size() != slot_count + 1 ||
+        img.prev.size() != slot_count + 1 || img.rng.size() != 4) {
+        return failDecode(why, "regfile section: misshapen "
+                               "replacement state");
+    }
+    std::uint64_t held_count = 0;
+    for (std::size_t i = 0; i < slot_count; ++i) {
+        held_count += img.held[i];
+        if ((img.held[i] != 0) != expect_held[i]) {
+            return failDecode(
+                why, "regfile section: replacement candidates "
+                     "disagree with the occupancy they shadow");
+        }
+    }
+    if (held_count != img.heldCount) {
+        return failDecode(why, "regfile section: replacement held "
+                               "count skew");
+    }
+    for (std::size_t i = 0; i <= slot_count; ++i) {
+        if (img.next[i] > slot_count || img.prev[i] > slot_count) {
+            return failDecode(why, "regfile section: replacement "
+                                   "link out of range");
+        }
+    }
+    if (kind == static_cast<std::uint64_t>(
+                    cam::ReplacementKind::Random)) {
+        if (img.heldSlots.size() != held_count)
+            return failDecode(why, "regfile section: candidate "
+                                   "array size skew");
+        for (std::size_t i = 0; i < img.heldSlots.size(); ++i) {
+            std::uint64_t slot = img.heldSlots[i];
+            if (slot >= slot_count || img.held[slot] == 0 ||
+                (i > 0 && img.heldSlots[i - 1] >= slot)) {
+                return failDecode(why, "regfile section: bad "
+                                       "candidate array");
+            }
+        }
+        return true;
+    }
+    if (!img.heldSlots.empty()) {
+        return failDecode(why, "regfile section: candidate array on "
+                               "a list policy");
+    }
+    // Walk the recency list exactly as the live audit does.
+    std::vector<bool> seen(slot_count, false);
+    std::uint64_t steps = 0;
+    std::size_t slot = static_cast<std::size_t>(img.next[slot_count]);
+    std::size_t prev = slot_count;
+    while (slot != slot_count) {
+        if (steps++ >= held_count || img.held[slot] == 0 ||
+            seen[slot] || img.prev[slot] != prev) {
+            return failDecode(why, "regfile section: broken "
+                                   "replacement recency list");
+        }
+        seen[slot] = true;
+        prev = slot;
+        slot = static_cast<std::size_t>(img.next[slot]);
+    }
+    if (img.prev[slot_count] != prev || steps != held_count) {
+        return failDecode(why, "regfile section: replacement list "
+                               "does not cover the held slots");
+    }
+    return true;
+}
+
+/** Validate a Ctable image: capacity, order, and exact cid set. */
+bool
+checkCtable(const CtableImage &img, std::size_t capacity,
+            const std::vector<std::uint64_t> &expect_cids,
+            std::string *why)
+{
+    if (img.capacity != capacity)
+        return failDecode(why, "regfile section: ctable capacity "
+                               "skew");
+    if (img.mappings.size() % 2 != 0 ||
+        img.mappings.size() / 2 != expect_cids.size()) {
+        return failDecode(why, "regfile section: ctable is not in "
+                               "bijection with the contexts");
+    }
+    for (std::size_t i = 0; i < img.mappings.size(); i += 2) {
+        if (img.mappings[i] != expect_cids[i / 2] ||
+            img.mappings[i] >= capacity ||
+            img.mappings[i + 1] > u32Max) {
+            return failDecode(why,
+                              "regfile section: bad ctable entry");
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+SnapshotAccess::saveRegfile(const regfile::RegisterFile &rf)
+{
+    FieldWriter w;
+
+    std::uint64_t family = familyNsf;
+    if (dynamic_cast<const regfile::NamedStateRegisterFile *>(&rf))
+        family = familyNsf;
+    else if (dynamic_cast<const regfile::SegmentedRegisterFile *>(&rf))
+        family = familySegmented;
+    else if (dynamic_cast<const regfile::WindowedRegisterFile *>(&rf))
+        family = familyWindowed;
+    else
+        nsrf_panic("unknown register file organization in snapshot");
+    w.u64("family", family);
+
+    w.u64("rf.current", rf.current_);
+    w.u64("rf.clock", rf.clock_);
+    const auto &s = rf.stats_;
+    w.u64vec("rf.counters",
+             {s.reads.value_, s.writes.value_, s.readMisses.value_,
+              s.writeMisses.value_, s.contextSwitches.value_,
+              s.switchMisses.value_, s.regsSpilled.value_,
+              s.regsReloaded.value_, s.liveRegsSpilled.value_,
+              s.liveRegsReloaded.value_, s.lineAllocs.value_,
+              s.lineEvictions.value_});
+    w.u64("rf.stall", s.stallCycles);
+    auto putTwm = [&w](const char *started, const char *last,
+                       const char *elapsed, const char *weighted,
+                       const char *current, const char *max,
+                       const stats::TimeWeightedMean &t) {
+        w.u64(started, t.started_ ? 1 : 0);
+        w.u64(last, t.last_);
+        w.u64(elapsed, t.elapsed_);
+        w.f64(weighted, t.weighted_);
+        w.f64(current, t.current_);
+        w.f64(max, t.max_);
+    };
+    putTwm("active.started", "active.last", "active.elapsed",
+           "active.weighted", "active.current", "active.max",
+           s.activeRegs);
+    putTwm("resident.started", "resident.last", "resident.elapsed",
+           "resident.weighted", "resident.current", "resident.max",
+           s.residentContexts);
+
+    auto putRepl = [&w](const cam::ReplacementState &repl) {
+        w.u64("repl.kind", static_cast<std::uint64_t>(repl.kind_));
+        w.u64("repl.heldCount", repl.heldCount_);
+        w.u64vec("repl.held", fromBools(repl.held_));
+        std::vector<std::uint64_t> links(repl.next_.begin(),
+                                         repl.next_.end());
+        w.u64vec("repl.next", links);
+        links.assign(repl.prev_.begin(), repl.prev_.end());
+        w.u64vec("repl.prev", links);
+        links.assign(repl.heldSlots_.begin(), repl.heldSlots_.end());
+        w.u64vec("repl.heldSlots", links);
+        w.u64vec("repl.rng",
+                 {repl.rng_.state_[0], repl.rng_.state_[1],
+                  repl.rng_.state_[2], repl.rng_.state_[3]});
+    };
+    auto putCtable = [&w](const regfile::Ctable &ctable) {
+        w.u64("ct.capacity", ctable.capacity());
+        std::vector<std::uint64_t> mappings;
+        mappings.reserve(ctable.mappedCount() * 2);
+        ctable.forEachMapping([&](ContextId cid, Addr frame) {
+            mappings.push_back(cid);
+            mappings.push_back(frame);
+        });
+        w.u64vec("ct.mappings", mappings);
+    };
+
+    if (family == familyNsf) {
+        const auto &nsf =
+            static_cast<const regfile::NamedStateRegisterFile &>(rf);
+        std::vector<std::uint64_t> array(nsf.array_.begin(),
+                                         nsf.array_.end());
+        w.u64vec("nsf.array", array);
+        w.u64vec("nsf.valid", fromBools(nsf.valid_));
+        w.u64vec("nsf.dirty", fromBools(nsf.dirty_));
+
+        std::vector<std::pair<
+            ContextId,
+            const regfile::NamedStateRegisterFile::ContextState *>>
+            ctxs;
+        ctxs.reserve(nsf.contexts_.size());
+        for (const auto &[cid, ctx] : nsf.contexts_)
+            ctxs.emplace_back(cid, &ctx);
+        std::sort(ctxs.begin(), ctxs.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        w.u64("nsf.ctxCount", ctxs.size());
+        for (const auto &[cid, ctx] : ctxs) {
+            w.u64("ctx.cid", cid);
+            w.u64vec("ctx.validInMem", fromBools(ctx->validInMem));
+            w.u64("ctx.lines", ctx->residentLines);
+            w.u64("ctx.regs", ctx->residentLiveRegs);
+        }
+        w.u64("nsf.activeCount", nsf.activeCount_);
+        w.u64("nsf.residentCtxs", nsf.residentCtxCount_);
+        w.u64("nsf.lastNotedActive", nsf.lastNotedActive_);
+        w.u64("nsf.lastNotedResident", nsf.lastNotedResident_);
+        w.u64("nsf.traceDirty", nsf.traceDirtyWords_);
+
+        const auto &dec = nsf.decoder_;
+        w.u64vec("dec.freeWords", dec.freeWords_);
+        std::vector<std::uint64_t> tags;
+        for (std::size_t line = 0; line < dec.lineCount_; ++line) {
+            if (!dec.lineValid(line))
+                continue;
+            tags.push_back(line);
+            tags.push_back(dec.tags_[line].cid);
+            tags.push_back(dec.tags_[line].lineOffset);
+        }
+        w.u64vec("dec.tags", tags);
+        std::vector<std::uint64_t> links(dec.chainNext_.begin(),
+                                         dec.chainNext_.end());
+        w.u64vec("dec.chainNext", links);
+        links.assign(dec.chainPrev_.begin(), dec.chainPrev_.end());
+        w.u64vec("dec.chainPrev", links);
+        w.u64("dec.searches", dec.stats_.searches.value_);
+        w.u64("dec.hits", dec.stats_.hits.value_);
+        w.u64("dec.programs", dec.stats_.programs.value_);
+        w.u64("dec.invalidates", dec.stats_.invalidates.value_);
+
+        putRepl(nsf.repl_);
+        putCtable(nsf.ctable_);
+        return w.take();
+    }
+
+    // Segmented and windowed share the frame/window storage shape.
+    auto putSlots = [&w](auto const &slots) {
+        w.u64("slots.count", slots.size());
+        for (const auto &slot : slots) {
+            w.u64("slot.inUse", slot.inUse ? 1 : 0);
+            w.u64("slot.cid", slot.cid);
+            std::vector<std::uint64_t> regs(slot.regs.begin(),
+                                            slot.regs.end());
+            w.u64vec("slot.regs", regs);
+        }
+    };
+
+    if (family == familySegmented) {
+        const auto &seg =
+            static_cast<const regfile::SegmentedRegisterFile &>(rf);
+        putSlots(seg.frames_);
+        std::vector<std::pair<
+            ContextId,
+            const regfile::SegmentedRegisterFile::ContextState *>>
+            ctxs;
+        for (const auto &[cid, ctx] : seg.contexts_)
+            ctxs.emplace_back(cid, &ctx);
+        std::sort(ctxs.begin(), ctxs.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        w.u64("sc.count", ctxs.size());
+        for (const auto &[cid, ctx] : ctxs) {
+            w.u64("sc.cid", cid);
+            w.u64vec("sc.live", fromBools(ctx->live));
+            w.u64("sc.liveCount", ctx->liveCount);
+            w.u64vec("sc.validInMem", fromBools(ctx->validInMem));
+            w.u64("sc.everSpilled", ctx->everSpilled ? 1 : 0);
+        }
+        w.u64("seg.activeCount", seg.activeCount_);
+        putRepl(seg.repl_);
+        putCtable(seg.ctable_);
+        return w.take();
+    }
+
+    const auto &win =
+        static_cast<const regfile::WindowedRegisterFile &>(rf);
+    putSlots(win.windows_);
+    std::vector<std::pair<
+        ContextId, const regfile::WindowedRegisterFile::ContextState *>>
+        ctxs;
+    for (const auto &[cid, ctx] : win.contexts_)
+        ctxs.emplace_back(cid, &ctx);
+    std::sort(ctxs.begin(), ctxs.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    w.u64("sc.count", ctxs.size());
+    for (const auto &[cid, ctx] : ctxs) {
+        w.u64("sc.cid", cid);
+        w.u64vec("sc.live", fromBools(ctx->live));
+        w.u64("sc.liveCount", ctx->liveCount);
+        w.u64("sc.everSpilled", ctx->everSpilled ? 1 : 0);
+        w.u64("sc.order", ctx->order);
+    }
+    w.u64("win.nextOrder", win.nextOrder_);
+    w.u64("win.overflows", win.overflows_);
+    w.u64("win.underflows", win.underflows_);
+    w.u64("win.activeCount", win.activeCount_);
+    putCtable(win.ctable_);
+    return w.take();
+}
+
+bool
+SnapshotAccess::decodeRegfile(const std::string &payload,
+                              const regfile::RegisterFile &rf,
+                              RegfileImage *img, std::string *why)
+{
+    FieldParser p(payload);
+    RegfileImage out;
+    p.u64("family", &out.family);
+
+    std::uint64_t target_family = familyNsf;
+    const auto *nsf =
+        dynamic_cast<const regfile::NamedStateRegisterFile *>(&rf);
+    const auto *seg =
+        dynamic_cast<const regfile::SegmentedRegisterFile *>(&rf);
+    const auto *win =
+        dynamic_cast<const regfile::WindowedRegisterFile *>(&rf);
+    if (nsf)
+        target_family = familyNsf;
+    else if (seg)
+        target_family = familySegmented;
+    else if (win)
+        target_family = familyWindowed;
+    else
+        return failDecode(why, "regfile section: unknown target "
+                               "organization");
+    if (p.ok() && out.family != target_family) {
+        return failDecode(
+            why, "regfile section: organization disagrees with the "
+                 "target register file");
+    }
+
+    p.u64("rf.current", &out.current);
+    p.u64("rf.clock", &out.clock);
+    p.u64vec("rf.counters", &out.counters);
+    p.u64("rf.stall", &out.stallCycles);
+    auto parseTwm = [&p](const char *started, const char *last,
+                         const char *elapsed, const char *weighted,
+                         const char *current, const char *max,
+                         TwmImage *t) {
+        p.u64(started, &t->started);
+        p.u64(last, &t->last);
+        p.u64(elapsed, &t->elapsed);
+        p.f64(weighted, &t->weighted);
+        p.f64(current, &t->current);
+        p.f64(max, &t->max);
+    };
+    parseTwm("active.started", "active.last", "active.elapsed",
+             "active.weighted", "active.current", "active.max",
+             &out.activeRegs);
+    parseTwm("resident.started", "resident.last", "resident.elapsed",
+             "resident.weighted", "resident.current", "resident.max",
+             &out.residentContexts);
+    if (p.ok() &&
+        (out.counters.size() != 12 || out.current > u32Max ||
+         out.activeRegs.started > 1 ||
+         out.residentContexts.started > 1)) {
+        return failDecode(why, "regfile section: bad base state");
+    }
+
+    auto parseRepl = [&p](ReplImage *r) {
+        p.u64("repl.kind", &r->kind);
+        p.u64("repl.heldCount", &r->heldCount);
+        p.u64vec("repl.held", &r->held);
+        p.u64vec("repl.next", &r->next);
+        p.u64vec("repl.prev", &r->prev);
+        p.u64vec("repl.heldSlots", &r->heldSlots);
+        p.u64vec("repl.rng", &r->rng);
+    };
+    auto parseCtable = [&p](CtableImage *c) {
+        p.u64("ct.capacity", &c->capacity);
+        p.u64vec("ct.mappings", &c->mappings);
+    };
+
+    if (target_family == familyNsf) {
+        p.u64vec("nsf.array", &out.array);
+        p.u64vec("nsf.valid", &out.valid);
+        p.u64vec("nsf.dirty", &out.dirty);
+        std::uint64_t ctx_count = 0;
+        p.u64("nsf.ctxCount", &ctx_count);
+        if (p.ok() && ctx_count > (1u << 24))
+            return failDecode(why,
+                              "regfile section: absurd context count");
+        for (std::uint64_t i = 0; p.ok() && i < ctx_count; ++i) {
+            RegfileImage::NsfCtx ctx;
+            p.u64("ctx.cid", &ctx.cid);
+            p.u64vec("ctx.validInMem", &ctx.validInMem);
+            p.u64("ctx.lines", &ctx.residentLines);
+            p.u64("ctx.regs", &ctx.residentLiveRegs);
+            out.nsfCtxs.push_back(std::move(ctx));
+        }
+        p.u64("nsf.activeCount", &out.activeCount);
+        p.u64("nsf.residentCtxs", &out.residentCtxCount);
+        p.u64("nsf.lastNotedActive", &out.lastNotedActive);
+        p.u64("nsf.lastNotedResident", &out.lastNotedResident);
+        p.u64("nsf.traceDirty", &out.traceDirtyWords);
+        p.u64vec("dec.freeWords", &out.decoder.freeWords);
+        p.u64vec("dec.tags", &out.decoder.tags);
+        p.u64vec("dec.chainNext", &out.decoder.chainNext);
+        p.u64vec("dec.chainPrev", &out.decoder.chainPrev);
+        p.u64("dec.searches", &out.decoder.searches);
+        p.u64("dec.hits", &out.decoder.hits);
+        p.u64("dec.programs", &out.decoder.programs);
+        p.u64("dec.invalidates", &out.decoder.invalidates);
+        parseRepl(&out.repl);
+        parseCtable(&out.ctable);
+        if (!finishParse(p, "regfile", why))
+            return false;
+
+        const auto &cfg = nsf->config();
+        const std::size_t lines = nsf->decoder().size();
+        const std::size_t slots = lines * cfg.regsPerLine;
+        constexpr std::uint64_t nil = 0xffffffffull;
+
+        if (out.array.size() != slots || out.valid.size() != slots ||
+            out.dirty.size() != slots || !isBoolVec(out.valid) ||
+            !isBoolVec(out.dirty)) {
+            return failDecode(why,
+                              "regfile section: misshapen nsf array");
+        }
+        for (std::size_t s = 0; s < slots; ++s) {
+            if (out.array[s] > u32Max ||
+                (out.dirty[s] != 0 && out.valid[s] == 0)) {
+                return failDecode(why,
+                                  "regfile section: bad nsf slot");
+            }
+        }
+
+        std::vector<std::uint64_t> ctx_cids;
+        for (std::size_t i = 0; i < out.nsfCtxs.size(); ++i) {
+            const auto &ctx = out.nsfCtxs[i];
+            if (ctx.cid > u32Max ||
+                (i > 0 && out.nsfCtxs[i - 1].cid >= ctx.cid) ||
+                ctx.validInMem.size() != cfg.maxRegsPerContext ||
+                !isBoolVec(ctx.validInMem)) {
+                return failDecode(why,
+                                  "regfile section: bad nsf context");
+            }
+            ctx_cids.push_back(ctx.cid);
+        }
+
+        // Decoder: free bitmap shape, tag table, chain structure.
+        const auto &dec = out.decoder;
+        if (dec.freeWords.size() != (lines + 63) / 64 ||
+            dec.chainNext.size() != lines ||
+            dec.chainPrev.size() != lines ||
+            dec.tags.size() % 3 != 0) {
+            return failDecode(why,
+                              "regfile section: misshapen decoder");
+        }
+        std::uint64_t free_lines = 0;
+        for (std::size_t wd = 0; wd < dec.freeWords.size(); ++wd) {
+            for (unsigned bit = 0; bit < 64; ++bit) {
+                bool free = (dec.freeWords[wd] >> bit) & 1;
+                std::size_t line = wd * 64 + bit;
+                if (line >= lines) {
+                    if (free) {
+                        return failDecode(
+                            why, "regfile section: free bit past the "
+                                 "last line");
+                    }
+                    continue;
+                }
+                free_lines += free ? 1 : 0;
+            }
+        }
+        const std::uint64_t tag_count = dec.tags.size() / 3;
+        if (tag_count != lines - free_lines) {
+            return failDecode(why, "regfile section: tag count "
+                                   "disagrees with the free bitmap");
+        }
+        std::vector<std::uint64_t> line_cid(lines, nil);
+        std::vector<std::uint64_t> line_off(lines, 0);
+        std::unordered_set<std::uint64_t> tag_keys;
+        for (std::size_t i = 0; i < dec.tags.size(); i += 3) {
+            std::uint64_t line = dec.tags[i];
+            std::uint64_t cid = dec.tags[i + 1];
+            std::uint64_t off = dec.tags[i + 2];
+            bool line_free =
+                line < lines &&
+                ((dec.freeWords[line / 64] >> (line % 64)) & 1);
+            if (line >= lines || line_free ||
+                (i > 0 && dec.tags[i - 3] >= line) || cid > u32Max ||
+                off >= cfg.maxRegsPerContext ||
+                off % cfg.regsPerLine != 0 ||
+                !std::binary_search(ctx_cids.begin(), ctx_cids.end(),
+                                    cid) ||
+                !tag_keys.insert((cid << 32) | off).second) {
+                return failDecode(why,
+                                  "regfile section: bad decoder tag");
+            }
+            line_cid[line] = cid;
+            line_off[line] = off;
+        }
+        for (std::size_t line = 0; line < lines; ++line) {
+            bool tagged = line_cid[line] != nil;
+            std::uint64_t next = dec.chainNext[line];
+            std::uint64_t prev = dec.chainPrev[line];
+            if ((next != nil && next >= lines) ||
+                (prev != nil && prev >= lines) ||
+                (!tagged && (next != nil || prev != nil))) {
+                return failDecode(why, "regfile section: bad decoder "
+                                       "chain link");
+            }
+        }
+        std::vector<bool> chained(lines, false);
+        std::unordered_set<std::uint64_t> head_cids;
+        std::uint64_t chained_count = 0;
+        for (std::size_t head = 0; head < lines; ++head) {
+            if (line_cid[head] == nil || dec.chainPrev[head] != nil)
+                continue;
+            if (!head_cids.insert(line_cid[head]).second) {
+                return failDecode(why, "regfile section: context has "
+                                       "two chain heads");
+            }
+            std::uint64_t prev = nil;
+            std::uint64_t line = head;
+            while (line != nil) {
+                if (chained[line] ||
+                    line_cid[line] != line_cid[head] ||
+                    dec.chainPrev[line] != prev) {
+                    return failDecode(
+                        why, "regfile section: broken context chain");
+                }
+                chained[line] = true;
+                ++chained_count;
+                prev = line;
+                line = dec.chainNext[line];
+            }
+        }
+        if (chained_count != tag_count) {
+            return failDecode(why, "regfile section: chains do not "
+                                   "cover the valid lines");
+        }
+
+        // Recount occupancy from the raw data and insist the cached
+        // counters agree — a disagreement would corrupt Figure 9
+        // statistics silently.
+        std::uint64_t active = 0;
+        std::unordered_set<std::uint64_t> resident_cids;
+        std::vector<std::uint64_t> ctx_lines(out.nsfCtxs.size(), 0);
+        std::vector<std::uint64_t> ctx_regs(out.nsfCtxs.size(), 0);
+        auto ctx_index = [&](std::uint64_t cid) {
+            return static_cast<std::size_t>(
+                std::lower_bound(ctx_cids.begin(), ctx_cids.end(),
+                                 cid) -
+                ctx_cids.begin());
+        };
+        for (std::size_t line = 0; line < lines; ++line) {
+            if (line_cid[line] == nil)
+                continue;
+            ++ctx_lines[ctx_index(line_cid[line])];
+            resident_cids.insert(line_cid[line]);
+        }
+        for (std::size_t s = 0; s < slots; ++s) {
+            std::size_t line = s / cfg.regsPerLine;
+            if (out.valid[s] == 0)
+                continue;
+            if (line_cid[line] == nil) {
+                return failDecode(why, "regfile section: valid "
+                                       "register on a free line");
+            }
+            ++active;
+            ++ctx_regs[ctx_index(line_cid[line])];
+        }
+        if (active != out.activeCount ||
+            resident_cids.size() != out.residentCtxCount) {
+            return failDecode(why, "regfile section: occupancy "
+                                   "counters disagree with recount");
+        }
+        for (std::size_t i = 0; i < out.nsfCtxs.size(); ++i) {
+            if (out.nsfCtxs[i].residentLines != ctx_lines[i] ||
+                out.nsfCtxs[i].residentLiveRegs != ctx_regs[i]) {
+                return failDecode(why, "regfile section: per-context "
+                                       "occupancy disagrees");
+            }
+        }
+
+        std::vector<bool> expect_held(lines);
+        for (std::size_t line = 0; line < lines; ++line)
+            expect_held[line] = line_cid[line] != nil;
+        if (!checkRepl(out.repl, lines,
+                       static_cast<std::uint64_t>(
+                           cfg.replacement),
+                       expect_held, why)) {
+            return false;
+        }
+        if (!checkCtable(out.ctable, nsf->ctable().capacity(),
+                         ctx_cids, why)) {
+            return false;
+        }
+        *img = std::move(out);
+        return true;
+    }
+
+    // Segmented and windowed: shared storage block.
+    std::uint64_t slot_count_field = 0;
+    p.u64("slots.count", &slot_count_field);
+    if (p.ok() && slot_count_field > (1u << 20))
+        return failDecode(why, "regfile section: absurd slot count");
+    for (std::uint64_t i = 0; p.ok() && i < slot_count_field; ++i) {
+        RegfileImage::FrameImg frame;
+        p.u64("slot.inUse", &frame.inUse);
+        p.u64("slot.cid", &frame.cid);
+        p.u64vec("slot.regs", &frame.regs);
+        out.frames.push_back(std::move(frame));
+    }
+    std::uint64_t ctx_count = 0;
+    p.u64("sc.count", &ctx_count);
+    if (p.ok() && ctx_count > (1u << 24))
+        return failDecode(why, "regfile section: absurd context count");
+    for (std::uint64_t i = 0; p.ok() && i < ctx_count; ++i) {
+        RegfileImage::SlotCtx ctx;
+        p.u64("sc.cid", &ctx.cid);
+        p.u64vec("sc.live", &ctx.live);
+        p.u64("sc.liveCount", &ctx.liveCount);
+        if (target_family == familySegmented) {
+            p.u64vec("sc.validInMem", &ctx.validInMem);
+            p.u64("sc.everSpilled", &ctx.everSpilled);
+        } else {
+            p.u64("sc.everSpilled", &ctx.everSpilled);
+            p.u64("sc.order", &ctx.order);
+        }
+        out.slotCtxs.push_back(std::move(ctx));
+    }
+    if (target_family == familySegmented) {
+        p.u64("seg.activeCount", &out.slotActiveCount);
+        parseRepl(&out.repl);
+    } else {
+        p.u64("win.nextOrder", &out.nextOrder);
+        p.u64("win.overflows", &out.overflows);
+        p.u64("win.underflows", &out.underflows);
+        p.u64("win.activeCount", &out.slotActiveCount);
+    }
+    parseCtable(&out.ctable);
+    if (!finishParse(p, "regfile", why))
+        return false;
+
+    const std::size_t slot_count =
+        seg ? seg->config().frames : win->config().windows;
+    const std::size_t regs_per_slot =
+        seg ? seg->config().regsPerFrame : win->config().regsPerWindow;
+    if (out.frames.size() != slot_count) {
+        return failDecode(why,
+                          "regfile section: frame/window count skew");
+    }
+
+    std::vector<std::uint64_t> ctx_cids;
+    std::unordered_set<std::uint64_t> orders;
+    for (std::size_t i = 0; i < out.slotCtxs.size(); ++i) {
+        const auto &ctx = out.slotCtxs[i];
+        std::uint64_t live = 0;
+        for (std::uint64_t b : ctx.live)
+            live += b;
+        if (ctx.cid > u32Max ||
+            (i > 0 && out.slotCtxs[i - 1].cid >= ctx.cid) ||
+            ctx.live.size() != regs_per_slot ||
+            !isBoolVec(ctx.live) || live != ctx.liveCount ||
+            ctx.everSpilled > 1) {
+            return failDecode(why, "regfile section: bad context");
+        }
+        if (target_family == familySegmented) {
+            if (ctx.validInMem.size() != regs_per_slot ||
+                !isBoolVec(ctx.validInMem)) {
+                return failDecode(
+                    why, "regfile section: bad live-in-memory map");
+            }
+        } else {
+            if (ctx.order >= out.nextOrder ||
+                !orders.insert(ctx.order).second) {
+                return failDecode(
+                    why, "regfile section: bad activation order");
+            }
+        }
+        ctx_cids.push_back(ctx.cid);
+    }
+
+    std::uint64_t resident_live = 0;
+    std::unordered_set<std::uint64_t> resident_cids;
+    std::vector<bool> expect_held(slot_count);
+    for (std::size_t f = 0; f < slot_count; ++f) {
+        const auto &frame = out.frames[f];
+        if (frame.inUse > 1 ||
+            frame.regs.size() != regs_per_slot) {
+            return failDecode(why,
+                              "regfile section: bad frame/window");
+        }
+        for (std::uint64_t reg : frame.regs) {
+            if (reg > u32Max) {
+                return failDecode(
+                    why, "regfile section: register out of range");
+            }
+        }
+        expect_held[f] = frame.inUse != 0;
+        if (frame.inUse) {
+            auto it = std::lower_bound(ctx_cids.begin(),
+                                       ctx_cids.end(), frame.cid);
+            if (it == ctx_cids.end() || *it != frame.cid ||
+                !resident_cids.insert(frame.cid).second) {
+                return failDecode(
+                    why, "regfile section: occupied frame has no "
+                         "context or a duplicate owner");
+            }
+            resident_live +=
+                out.slotCtxs[static_cast<std::size_t>(
+                                 it - ctx_cids.begin())]
+                    .liveCount;
+        } else if (frame.cid != invalidContext) {
+            return failDecode(
+                why, "regfile section: free frame names a context");
+        }
+    }
+    if (resident_live != out.slotActiveCount) {
+        return failDecode(why, "regfile section: active register "
+                               "count disagrees with recount");
+    }
+
+    const regfile::Ctable &ctable =
+        seg ? seg->ctable_ : win->ctable_;
+    if (target_family == familySegmented &&
+        !checkRepl(out.repl, slot_count,
+                   static_cast<std::uint64_t>(
+                       seg->config().replacement),
+                   expect_held, why)) {
+        return false;
+    }
+    if (!checkCtable(out.ctable, ctable.capacity(), ctx_cids, why))
+        return false;
+    *img = std::move(out);
+    return true;
+}
+
+void
+SnapshotAccess::applyRegfile(const RegfileImage &img,
+                             regfile::RegisterFile &rf)
+{
+    rf.current_ = static_cast<ContextId>(img.current);
+    rf.clock_ = img.clock;
+    auto &s = rf.stats_;
+    stats::Counter *counters[12] = {
+        &s.reads,           &s.writes,       &s.readMisses,
+        &s.writeMisses,     &s.contextSwitches, &s.switchMisses,
+        &s.regsSpilled,     &s.regsReloaded, &s.liveRegsSpilled,
+        &s.liveRegsReloaded, &s.lineAllocs,  &s.lineEvictions};
+    for (std::size_t i = 0; i < 12; ++i)
+        counters[i]->value_ = img.counters[i];
+    s.stallCycles = img.stallCycles;
+    auto applyTwm = [](const TwmImage &t, stats::TimeWeightedMean &m) {
+        m.started_ = t.started != 0;
+        m.last_ = t.last;
+        m.elapsed_ = t.elapsed;
+        m.weighted_ = t.weighted;
+        m.current_ = t.current;
+        m.max_ = t.max;
+    };
+    applyTwm(img.activeRegs, s.activeRegs);
+    applyTwm(img.residentContexts, s.residentContexts);
+
+    auto applyRepl = [](const ReplImage &r,
+                        cam::ReplacementState &repl) {
+        repl.held_ = toBools(r.held);
+        repl.heldCount_ = static_cast<std::size_t>(r.heldCount);
+        repl.next_.assign(r.next.begin(), r.next.end());
+        repl.prev_.assign(r.prev.begin(), r.prev.end());
+        repl.heldSlots_.assign(r.heldSlots.begin(),
+                               r.heldSlots.end());
+        for (std::size_t i = 0; i < 4; ++i)
+            repl.rng_.state_[i] = r.rng[i];
+    };
+    auto applyCtable = [](const CtableImage &c,
+                          regfile::Ctable &ctable) {
+        ctable = regfile::Ctable(
+            static_cast<std::size_t>(c.capacity));
+        for (std::size_t i = 0; i < c.mappings.size(); i += 2) {
+            ctable.set(static_cast<ContextId>(c.mappings[i]),
+                       static_cast<Addr>(c.mappings[i + 1]));
+        }
+    };
+
+    if (img.family == familyNsf) {
+        auto &nsf = static_cast<regfile::NamedStateRegisterFile &>(rf);
+        nsf.array_.assign(img.array.begin(), img.array.end());
+        nsf.valid_ = toBools(img.valid);
+        nsf.dirty_ = toBools(img.dirty);
+        nsf.contexts_.clear();
+        for (const auto &ctx : img.nsfCtxs) {
+            regfile::NamedStateRegisterFile::ContextState state;
+            state.validInMem = toBools(ctx.validInMem);
+            state.residentLines =
+                static_cast<unsigned>(ctx.residentLines);
+            state.residentLiveRegs =
+                static_cast<unsigned>(ctx.residentLiveRegs);
+            nsf.contexts_.emplace(static_cast<ContextId>(ctx.cid),
+                                  std::move(state));
+        }
+        nsf.activeCount_ =
+            static_cast<std::size_t>(img.activeCount);
+        nsf.residentCtxCount_ =
+            static_cast<std::size_t>(img.residentCtxCount);
+        nsf.lastNotedActive_ =
+            static_cast<std::size_t>(img.lastNotedActive);
+        nsf.lastNotedResident_ =
+            static_cast<std::size_t>(img.lastNotedResident);
+        nsf.traceDirtyWords_ =
+            static_cast<std::size_t>(img.traceDirtyWords);
+
+        auto &dec = nsf.decoder_;
+        constexpr std::uint32_t nil = 0xffffffffu;
+        dec.freeWords_ = img.decoder.freeWords;
+        // The summary bit for a word is "this word has a free line";
+        // rebuilding it from the words reproduces the ctor semantics.
+        dec.freeSummary_.assign((dec.freeWords_.size() + 63) / 64, 0);
+        for (std::size_t wd = 0; wd < dec.freeWords_.size(); ++wd) {
+            if (dec.freeWords_[wd] != 0) {
+                dec.freeSummary_[wd / 64] |= std::uint64_t{1}
+                                             << (wd % 64);
+            }
+        }
+        std::fill(dec.tags_.begin(), dec.tags_.end(), cam::Tag{});
+        dec.index_ = cam::FlatIndex(dec.lineCount_);
+        dec.cidHeads_ = cam::FlatIndex(dec.lineCount_);
+        for (std::size_t i = 0; i < img.decoder.tags.size(); i += 3) {
+            std::size_t line =
+                static_cast<std::size_t>(img.decoder.tags[i]);
+            ContextId cid =
+                static_cast<ContextId>(img.decoder.tags[i + 1]);
+            RegIndex off =
+                static_cast<RegIndex>(img.decoder.tags[i + 2]);
+            dec.tags_[line] = cam::Tag{cid, off};
+            dec.index_.insert(
+                (static_cast<std::uint64_t>(cid) << 32) | off, line);
+        }
+        dec.chainNext_.assign(img.decoder.chainNext.size(), nil);
+        dec.chainPrev_.assign(img.decoder.chainPrev.size(), nil);
+        for (std::size_t i = 0; i < img.decoder.chainNext.size();
+             ++i) {
+            dec.chainNext_[i] = static_cast<std::uint32_t>(
+                img.decoder.chainNext[i]);
+            dec.chainPrev_[i] = static_cast<std::uint32_t>(
+                img.decoder.chainPrev[i]);
+        }
+        for (std::size_t line = 0; line < dec.lineCount_; ++line) {
+            if (dec.lineValid(line) && dec.chainPrev_[line] == nil)
+                dec.cidHeads_.insert(dec.tags_[line].cid, line);
+        }
+        dec.stats_.searches.value_ = img.decoder.searches;
+        dec.stats_.hits.value_ = img.decoder.hits;
+        dec.stats_.programs.value_ = img.decoder.programs;
+        dec.stats_.invalidates.value_ = img.decoder.invalidates;
+
+        applyRepl(img.repl, nsf.repl_);
+        applyCtable(img.ctable, nsf.ctable_);
+        return;
+    }
+
+    if (img.family == familySegmented) {
+        auto &seg = static_cast<regfile::SegmentedRegisterFile &>(rf);
+        seg.residentFrame_.clear();
+        for (std::size_t f = 0; f < img.frames.size(); ++f) {
+            auto &frame = seg.frames_[f];
+            frame.inUse = img.frames[f].inUse != 0;
+            frame.cid = static_cast<ContextId>(img.frames[f].cid);
+            frame.regs.assign(img.frames[f].regs.begin(),
+                              img.frames[f].regs.end());
+            if (frame.inUse)
+                seg.residentFrame_[frame.cid] = f;
+        }
+        seg.contexts_.clear();
+        for (const auto &ctx : img.slotCtxs) {
+            regfile::SegmentedRegisterFile::ContextState state;
+            state.live = toBools(ctx.live);
+            state.liveCount = static_cast<unsigned>(ctx.liveCount);
+            state.validInMem = toBools(ctx.validInMem);
+            state.everSpilled = ctx.everSpilled != 0;
+            seg.contexts_.emplace(static_cast<ContextId>(ctx.cid),
+                                  std::move(state));
+        }
+        seg.activeCount_ =
+            static_cast<std::size_t>(img.slotActiveCount);
+        applyRepl(img.repl, seg.repl_);
+        applyCtable(img.ctable, seg.ctable_);
+        return;
+    }
+
+    auto &win = static_cast<regfile::WindowedRegisterFile &>(rf);
+    win.residentWindow_.clear();
+    for (std::size_t f = 0; f < img.frames.size(); ++f) {
+        auto &window = win.windows_[f];
+        window.inUse = img.frames[f].inUse != 0;
+        window.cid = static_cast<ContextId>(img.frames[f].cid);
+        window.regs.assign(img.frames[f].regs.begin(),
+                           img.frames[f].regs.end());
+        if (window.inUse)
+            win.residentWindow_[window.cid] = f;
+    }
+    win.contexts_.clear();
+    for (const auto &ctx : img.slotCtxs) {
+        regfile::WindowedRegisterFile::ContextState state;
+        state.live = toBools(ctx.live);
+        state.liveCount = static_cast<unsigned>(ctx.liveCount);
+        state.everSpilled = ctx.everSpilled != 0;
+        state.order = ctx.order;
+        win.contexts_.emplace(static_cast<ContextId>(ctx.cid),
+                              std::move(state));
+    }
+    win.nextOrder_ = img.nextOrder;
+    win.overflows_ = img.overflows;
+    win.underflows_ = img.underflows;
+    win.activeCount_ =
+        static_cast<std::size_t>(img.slotActiveCount);
+    applyCtable(img.ctable, win.ctable_);
+}
+
+} // namespace nsrf::snapshot

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Per-subsystem snapshot images and the access shim that moves state
+ * between live objects and those images.
+ *
+ * Restore is strictly two-phase so a bad snapshot can never leave a
+ * simulator half-mutated:
+ *
+ *  1. decode — parse a section payload into a plain-data image,
+ *     validating every structural invariant against the (const)
+ *     target: sizes, ranges, chain consistency, counter recounts.
+ *     Touches nothing but local data; any violation fails the load.
+ *  2. apply — copy a validated image into the target.  Cannot fail.
+ *
+ * SnapshotAccess is the single friend every simulated structure
+ * grants; it holds the save/decode/apply statics for each snapshot
+ * section.  The images serialize in canonical order (maps sorted by
+ * key, the recency heap sorted as a multiset), so two runs with the
+ * same simulated history produce byte-identical snapshots even when
+ * their transient container layouts differ.
+ */
+
+#ifndef NSRF_SNAPSHOT_STATE_HH
+#define NSRF_SNAPSHOT_STATE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/mem/memsys.hh"
+#include "nsrf/regfile/regfile.hh"
+#include "nsrf/sim/simulator.hh"
+
+namespace nsrf::snapshot
+{
+
+/** TraceSimulator loop and runtime state (section "sim"). */
+struct SimImage
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t current = 0;
+    std::uint64_t currentHandle = 0;
+    std::uint64_t scratch = 0;
+    std::uint64_t eventsConsumed = 0;
+    std::uint64_t sawEnd = 0;
+    std::uint64_t boundCount = 0;
+    std::uint64_t useClock = 0;
+    std::uint64_t cidEvictions = 0;
+    std::uint64_t dataRngPos = 0;
+    /** 4 per entry: handle, cid, frame, lastUse; sorted by handle. */
+    std::vector<std::uint64_t> handles;
+    /** 2 per entry: lastUse, handle; the recency heap as a sorted
+     * multiset (pop order is multiset order, so the layout is free). */
+    std::vector<std::uint64_t> lruHeap;
+};
+
+/** Cid/frame allocator state (section "alloc"). */
+struct AllocImage
+{
+    std::uint64_t cidCapacity = 0;
+    std::uint64_t cidNext = 0;
+    std::uint64_t cidInUse = 0;
+    std::vector<std::uint64_t> cidFree; //!< verbatim (pop order)
+    std::vector<std::uint64_t> cidLive; //!< 0/1 per cid
+    std::uint64_t frameBase = 0;
+    std::uint64_t frameBytes = 0;
+    std::uint64_t frameNext = 0;
+    std::uint64_t frameInUse = 0;
+    std::vector<std::uint64_t> frameFree; //!< verbatim (pop order)
+};
+
+/** Sparse main-memory contents and counters (section "mem"). */
+struct MemImage
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    struct Page
+    {
+        std::uint64_t number = 0;
+        /** 2 per entry: word index, value; ascending indices. */
+        std::vector<std::uint64_t> words;
+    };
+    /** Every touched page (existence is state), ascending. */
+    std::vector<Page> pages;
+};
+
+/** Data-cache tags and counters (section "dcache"). */
+struct CacheImage
+{
+    std::uint64_t present = 0;
+    std::uint64_t clock = 0;
+    /** 4 per line: tag, valid, dirty, lastUse; array order. */
+    std::vector<std::uint64_t> lines;
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/** cam::ReplacementState, all kinds, verbatim. */
+struct ReplImage
+{
+    std::uint64_t kind = 0;
+    std::uint64_t heldCount = 0;
+    std::vector<std::uint64_t> held;      //!< 0/1 per slot
+    std::vector<std::uint64_t> next;      //!< slot_count + 1 links
+    std::vector<std::uint64_t> prev;
+    std::vector<std::uint64_t> heldSlots; //!< Random candidates
+    std::vector<std::uint64_t> rng;       //!< xoshiro state, 4 words
+};
+
+/** regfile::Ctable translations. */
+struct CtableImage
+{
+    std::uint64_t capacity = 0;
+    /** 2 per entry: cid, frame; ascending cids. */
+    std::vector<std::uint64_t> mappings;
+};
+
+/** cam::AssociativeDecoder tags, chains, free map, counters. */
+struct DecoderImage
+{
+    std::vector<std::uint64_t> freeWords; //!< bit set = line free
+    /** 3 per valid line: line, cid, lineOffset; ascending lines. */
+    std::vector<std::uint64_t> tags;
+    /** Chain links verbatim: the per-context chain order decides
+     * bulk-spill order and therefore cache state downstream. */
+    std::vector<std::uint64_t> chainNext;
+    std::vector<std::uint64_t> chainPrev;
+    std::uint64_t searches = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t programs = 0;
+    std::uint64_t invalidates = 0;
+};
+
+/** One stats::TimeWeightedMean. */
+struct TwmImage
+{
+    std::uint64_t started = 0;
+    std::uint64_t last = 0;
+    std::uint64_t elapsed = 0;
+    double weighted = 0.0;
+    double current = 0.0;
+    double max = 0.0;
+};
+
+/** Any RegisterFile organization (section "regfile"). */
+struct RegfileImage
+{
+    /** 0 = named-state, 1 = segmented/conventional, 2 = windowed. */
+    std::uint64_t family = 0;
+
+    // RegisterFile base.
+    std::uint64_t current = 0;
+    std::uint64_t clock = 0;
+    std::vector<std::uint64_t> counters; //!< the 12 RegFileStats
+    std::uint64_t stallCycles = 0;
+    TwmImage activeRegs;
+    TwmImage residentContexts;
+
+    // Named-state.
+    std::vector<std::uint64_t> array;
+    std::vector<std::uint64_t> valid; //!< 0/1 per slot
+    std::vector<std::uint64_t> dirty; //!< 0/1 per slot
+    struct NsfCtx
+    {
+        std::uint64_t cid = 0;
+        std::vector<std::uint64_t> validInMem; //!< 0/1
+        std::uint64_t residentLines = 0;
+        std::uint64_t residentLiveRegs = 0;
+    };
+    std::vector<NsfCtx> nsfCtxs; //!< ascending cids
+    std::uint64_t activeCount = 0;
+    std::uint64_t residentCtxCount = 0;
+    std::uint64_t lastNotedActive = 0;
+    std::uint64_t lastNotedResident = 0;
+    std::uint64_t traceDirtyWords = 0;
+    DecoderImage decoder;
+
+    // Segmented / windowed storage (frames or windows).
+    struct FrameImg
+    {
+        std::uint64_t inUse = 0;
+        std::uint64_t cid = 0;
+        /** Verbatim, including stale words of spilled frames: a
+         * valid-bit reload skips dead words, so stale contents are
+         * architecturally visible afterwards. */
+        std::vector<std::uint64_t> regs;
+    };
+    std::vector<FrameImg> frames;
+    struct SlotCtx
+    {
+        std::uint64_t cid = 0;
+        std::vector<std::uint64_t> live;       //!< 0/1
+        std::uint64_t liveCount = 0;
+        std::vector<std::uint64_t> validInMem; //!< segmented only
+        std::uint64_t everSpilled = 0;
+        std::uint64_t order = 0;               //!< windowed only
+    };
+    std::vector<SlotCtx> slotCtxs; //!< ascending cids
+    std::uint64_t slotActiveCount = 0;
+    std::uint64_t nextOrder = 0;   //!< windowed
+    std::uint64_t overflows = 0;   //!< windowed
+    std::uint64_t underflows = 0;  //!< windowed
+
+    ReplImage repl;     //!< nsf + segmented
+    CtableImage ctable; //!< all organizations
+};
+
+/**
+ * The one friend of every simulated structure: static save (live ->
+ * payload), decode (payload -> validated image), and apply (image ->
+ * live) helpers per snapshot section.
+ */
+struct SnapshotAccess
+{
+    // --- const views the simulator does not expose publicly ---
+    static const mem::MemorySystem &
+    memsysOf(const sim::TraceSimulator &sim)
+    {
+        return sim.memsys_;
+    }
+    static const regfile::RegisterFile &
+    regfileOf(const sim::TraceSimulator &sim)
+    {
+        return *sim.rf_;
+    }
+
+    // --- save: serialize live state into a section payload ---
+    static std::string saveSim(const sim::TraceSimulator &sim);
+    static std::string saveAlloc(const sim::TraceSimulator &sim);
+    static std::string saveMem(const mem::MainMemory &memory);
+    static std::string saveCache(const mem::MemorySystem &memsys);
+    static std::string saveRegfile(const regfile::RegisterFile &rf);
+
+    // --- decode: parse + validate against the (unmodified) target ---
+    static bool decodeSim(const std::string &payload,
+                          const sim::TraceSimulator &sim,
+                          SimImage *img, std::string *why);
+    static bool decodeAlloc(const std::string &payload,
+                            const sim::TraceSimulator &sim,
+                            AllocImage *img, std::string *why);
+    static bool decodeMem(const std::string &payload, MemImage *img,
+                          std::string *why);
+    static bool decodeCache(const std::string &payload,
+                            const mem::MemorySystem &memsys,
+                            CacheImage *img, std::string *why);
+    static bool decodeRegfile(const std::string &payload,
+                              const regfile::RegisterFile &rf,
+                              RegfileImage *img, std::string *why);
+
+    // --- apply: copy a validated image into the target (no-fail) ---
+    static void applySim(const SimImage &img,
+                         sim::TraceSimulator &sim);
+    static void applyAlloc(const AllocImage &img,
+                           sim::TraceSimulator &sim);
+    static void applyMem(const MemImage &img, mem::MainMemory &memory);
+    static void applyCache(const CacheImage &img,
+                           mem::MemorySystem &memsys);
+    static void applyRegfile(const RegfileImage &img,
+                             regfile::RegisterFile &rf);
+};
+
+} // namespace nsrf::snapshot
+
+#endif // NSRF_SNAPSHOT_STATE_HH

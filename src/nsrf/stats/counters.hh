@@ -16,12 +16,19 @@
 #include <cstdint>
 #include <limits>
 
+namespace nsrf::snapshot
+{
+struct SnapshotAccess;
+} // namespace nsrf::snapshot
+
 namespace nsrf::stats
 {
 
 /** A monotonically increasing event counter. */
 class Counter
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     Counter() = default;
 
@@ -102,6 +109,8 @@ class RunningMean
  */
 class TimeWeightedMean
 {
+    friend struct ::nsrf::snapshot::SnapshotAccess;
+
   public:
     /** Record that the tracked value changed to @p value at @p now. */
     void

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Snapshot corruption matrix.
+ *
+ * A snapshot either restores exactly or loads as a cold run: these
+ * tests fabricate every damage class — truncation at every section
+ * boundary, flipped body bytes in every section, edited digests,
+ * schema-version skew, fingerprint mismatch, garbage — and pin that
+ * each restore fails with a reason and leaves the target simulator
+ * byte-for-byte untouched (no partial mutation).  A writer hitting
+ * RLIMIT_FSIZE mid-write must report failure and remove the partial
+ * file rather than leaving a truncated snapshot to be found later.
+ */
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/snapshot/snapshot.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace
+{
+
+using namespace nsrf;
+
+sim::SimConfig
+testConfig()
+{
+    sim::SimConfig config;
+    config.rf.org = regfile::Organization::NamedState;
+    config.rf.totalRegs = 32;
+    config.rf.regsPerContext = 8;
+    config.cidCapacity = 4;
+    config.maxInstructions = 300;
+    return config;
+}
+
+serve::Fingerprint
+identity()
+{
+    return snapshot::simulatorIdentity(
+        testConfig(), {{"test", "snapshot-corrupt"}});
+}
+
+void
+drain(sim::TraceSimulator &sim, sim::TraceGenerator &gen)
+{
+    sim::TraceEvent chunk[256];
+    while (true) {
+        std::size_t n = gen.fill(chunk, 256);
+        if (n == 0)
+            break;
+        if (!sim.stepRun(chunk, n))
+            break;
+    }
+}
+
+/** A snapshot of a mid-run simulator plus the section layout. */
+struct Fixture
+{
+    std::string bytes;
+    std::size_t bodyStart = 0; //!< offset of the first body byte
+    /** Body offset of each section, ascending, plus the body end. */
+    std::vector<std::size_t> boundaries;
+};
+
+Fixture
+makeFixture()
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Quicksort");
+    profile.regsPerContext = 8;
+    profile.avgLiveRegs = 5;
+    profile.liveRegsSpread = 2;
+    workload::ParallelWorkload gen(profile, 600);
+    sim::TraceSimulator sim(testConfig());
+    sim.beginRun();
+    drain(sim, gen);
+
+    Fixture fx;
+    fx.bytes = snapshot::saveSimulator(sim, identity());
+
+    // Recover the layout from the header text: "section <name>
+    // <offset> <length> <digest>" lines, then a "body <len> <digest>"
+    // line whose newline ends the header.
+    std::size_t pos = 0;
+    std::size_t body_len = 0;
+    while (pos < fx.bytes.size()) {
+        std::size_t eol = fx.bytes.find('\n', pos);
+        EXPECT_NE(eol, std::string::npos);
+        std::string line = fx.bytes.substr(pos, eol - pos);
+        unsigned long long a = 0, b = 0;
+        char name[64];
+        if (std::sscanf(line.c_str(), "section %63s %llu %llu", name,
+                        &a, &b) == 3) {
+            fx.boundaries.push_back(std::size_t(a));
+        } else if (std::sscanf(line.c_str(), "body %llu", &a) == 1) {
+            body_len = std::size_t(a);
+            fx.bodyStart = eol + 1;
+            break;
+        }
+        pos = eol + 1;
+    }
+    EXPECT_GT(fx.bodyStart, 0u);
+    EXPECT_EQ(fx.bytes.size(), fx.bodyStart + body_len);
+    fx.boundaries.push_back(body_len);
+    return fx;
+}
+
+/** A target simulator whose state must survive failed restores. */
+struct Target
+{
+    std::unique_ptr<sim::TraceSimulator> sim;
+    std::string baseline;
+
+    Target()
+    {
+        sim = std::make_unique<sim::TraceSimulator>(testConfig());
+        sim->beginRun();
+        baseline = snapshot::saveSimulator(*sim, identity());
+    }
+
+    /** Restore must fail with a reason and not move the target. */
+    void
+    expectRejected(const std::string &bytes, const char *what)
+    {
+        SCOPED_TRACE(what);
+        std::string why;
+        EXPECT_FALSE(snapshot::restoreSimulator(bytes, identity(),
+                                                sim.get(), &why));
+        EXPECT_FALSE(why.empty());
+        EXPECT_EQ(snapshot::saveSimulator(*sim, identity()),
+                  baseline);
+    }
+};
+
+TEST(SnapshotCorrupt, IntactSnapshotRestores)
+{
+    Fixture fx = makeFixture();
+    Target target;
+    std::string why;
+    EXPECT_TRUE(snapshot::restoreSimulator(
+        fx.bytes, identity(), target.sim.get(), &why))
+        << why;
+}
+
+TEST(SnapshotCorrupt, TruncationAtEverySectionBoundary)
+{
+    Fixture fx = makeFixture();
+    Target target;
+    for (std::size_t boundary : fx.boundaries) {
+        // The final boundary is the body end: cutting there is the
+        // intact snapshot, only its short-by-one variant applies.
+        if (fx.bodyStart + boundary < fx.bytes.size()) {
+            target.expectRejected(
+                fx.bytes.substr(0, fx.bodyStart + boundary),
+                ("cut at body offset " + std::to_string(boundary))
+                    .c_str());
+        }
+        if (boundary > 0) {
+            // One byte short of the boundary cuts mid-section.
+            target.expectRejected(
+                fx.bytes.substr(0, fx.bodyStart + boundary - 1),
+                "cut mid-section");
+        }
+    }
+    // Truncation inside the header, at every line break.
+    for (std::size_t pos = fx.bytes.find('\n');
+         pos != std::string::npos && pos < fx.bodyStart;
+         pos = fx.bytes.find('\n', pos + 1)) {
+        target.expectRejected(fx.bytes.substr(0, pos + 1),
+                              "cut inside the header");
+    }
+    target.expectRejected("", "empty");
+}
+
+TEST(SnapshotCorrupt, FlippedByteInEverySection)
+{
+    Fixture fx = makeFixture();
+    Target target;
+    // boundaries = [s0, s1, ..., end]: flip the first byte of each
+    // section and one byte in its middle.
+    for (std::size_t k = 0; k + 1 < fx.boundaries.size(); ++k) {
+        std::size_t begin = fx.boundaries[k];
+        std::size_t mid = (fx.boundaries[k] +
+                           fx.boundaries[k + 1]) / 2;
+        for (std::size_t off : {begin, mid}) {
+            std::string bad = fx.bytes;
+            bad[fx.bodyStart + off] ^= 0x20;
+            target.expectRejected(
+                bad, ("flip at body offset " + std::to_string(off))
+                         .c_str());
+        }
+    }
+}
+
+TEST(SnapshotCorrupt, EditedDigestsAndVersionSkew)
+{
+    Fixture fx = makeFixture();
+    Target target;
+
+    // Re-point a section digest: change one hex digit on every
+    // header line that carries one.
+    std::size_t pos = 0;
+    while (pos < fx.bodyStart) {
+        std::size_t eol = fx.bytes.find('\n', pos);
+        std::string line = fx.bytes.substr(pos, eol - pos);
+        if (line.rfind("section ", 0) == 0 ||
+            line.rfind("body ", 0) == 0) {
+            std::string bad = fx.bytes;
+            char &digit = bad[eol - 1]; // last digest nibble
+            digit = digit == '0' ? '1' : '0';
+            target.expectRejected(bad, line.c_str());
+        }
+        pos = eol + 1;
+    }
+
+    // Version skew: a future container or payload schema loads cold.
+    ASSERT_EQ(fx.bytes.rfind("nsrfsnap ", 0), 0u);
+    std::string skew = fx.bytes;
+    skew[std::strlen("nsrfsnap ")] = '9';
+    target.expectRejected(skew, "container version skew");
+
+    target.expectRejected("nsrfsnap", "bare magic");
+    target.expectRejected("complete garbage\n", "garbage");
+}
+
+TEST(SnapshotCorrupt, FingerprintMismatchLoadsCold)
+{
+    Fixture fx = makeFixture();
+    Target target;
+    // The same bytes under a different identity: a config or
+    // workload skew detected before any payload is decoded.
+    serve::Fingerprint other = snapshot::simulatorIdentity(
+        testConfig(), {{"test", "some-other-cell"}});
+    std::string why;
+    EXPECT_FALSE(snapshot::restoreSimulator(fx.bytes, other,
+                                            target.sim.get(), &why));
+    EXPECT_NE(why.find("fingerprint"), std::string::npos) << why;
+    EXPECT_EQ(snapshot::saveSimulator(*target.sim, identity()),
+              target.baseline);
+}
+
+TEST(SnapshotCorrupt, MissingSectionLoadsCold)
+{
+    Fixture fx = makeFixture();
+    Target target;
+    // Rebuild the container with the regfile section's name edited:
+    // digests all verify, but the restore cannot find its section.
+    std::size_t at = fx.bytes.find("section regfile ");
+    ASSERT_NE(at, std::string::npos);
+    std::string bad = fx.bytes;
+    bad.replace(at, std::strlen("section regfile "),
+                "section regfilx ");
+    target.expectRejected(bad, "renamed section");
+}
+
+TEST(SnapshotCorruptDeathTest, ShortWriteIsReportedAndRemoved)
+{
+    Fixture fx = makeFixture();
+    std::string path = ::testing::TempDir() + "nsrf_snap_short_" +
+                       std::to_string(::getpid());
+    ASSERT_GT(fx.bytes.size(), 512u);
+    auto child = [&path, &fx]() {
+        // Cap file size below the snapshot: fwrite hits SIGXFSZ
+        // (ignored) and reports a short write.
+        std::signal(SIGXFSZ, SIG_IGN);
+        struct rlimit lim;
+        lim.rlim_cur = 512;
+        lim.rlim_max = 512;
+        if (::setrlimit(RLIMIT_FSIZE, &lim) != 0)
+            std::exit(3);
+        std::string why;
+        bool wrote =
+            snapshot::writeSnapshotFile(path, fx.bytes, &why);
+        if (wrote || why.empty())
+            std::exit(1);
+        // The partial file must be gone: a later run would
+        // otherwise read a truncated snapshot every time.
+        if (::access(path.c_str(), F_OK) == 0)
+            std::exit(2);
+        std::exit(0);
+    };
+    EXPECT_EXIT(child(), ::testing::ExitedWithCode(0), "");
+    std::remove(path.c_str());
+}
+
+} // namespace

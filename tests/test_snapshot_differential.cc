@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Snapshot-vs-cold differential matrix.
+ *
+ * The snapshot contract is "resume is invisible": running N
+ * instructions, snapshotting, restoring into a freshly built stack,
+ * and running M more must be bit-identical to an uninterrupted N+M
+ * run — same RunResult (doubles compared by bit pattern), same
+ * audit state, and the same bytes when the finished run is
+ * snapshotted again.  These tests drive that contract across the
+ * fuzzer's configuration matrix (every organization, miss/write
+ * policy, and replacement kind, with a tiny CID space so the
+ * virtualization path runs too).
+ */
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/check/audit.hh"
+#include "nsrf/check/fuzz.hh"
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/sim/simulator.hh"
+#include "nsrf/snapshot/snapshot.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace
+{
+
+using namespace nsrf;
+
+constexpr std::uint64_t kPrefix = 400; //!< N
+constexpr std::uint64_t kTail = 400;   //!< M
+
+/** The simulator configuration for matrix entry @p seed. */
+sim::SimConfig
+configForSeed(std::uint64_t seed)
+{
+    check::FuzzConfig fc = check::configForSeed(seed);
+    sim::SimConfig config;
+    config.rf = fc.rf;
+    // Four hardware CIDs against dozens of workload activations:
+    // every run exercises CID stealing and handle rebinding.
+    config.cidCapacity = fc.cidCapacity;
+    return config;
+}
+
+/** A deterministic workload sized to the tiny matrix files. */
+workload::BenchmarkProfile
+profileForSeed(std::uint64_t seed, const sim::SimConfig &config)
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Quicksort");
+    profile.seed = seed * 977 + 11;
+    // Keep generated register offsets (and the live-register model
+    // that draws them) inside the matrix's small per-context
+    // windows.
+    profile.regsPerContext = config.rf.regsPerContext;
+    profile.avgLiveRegs = 5;
+    profile.liveRegsSpread = 2;
+    return profile;
+}
+
+std::unique_ptr<sim::TraceGenerator>
+generatorFor(const workload::BenchmarkProfile &profile)
+{
+    return std::make_unique<workload::ParallelWorkload>(
+        profile, kPrefix + kTail);
+}
+
+serve::Fingerprint
+identityFor(const sim::SimConfig &config, std::uint64_t seed)
+{
+    return snapshot::simulatorIdentity(
+        config, {{"test", "snapshot-differential"},
+                 {"seed", std::to_string(seed)}});
+}
+
+void
+drain(sim::TraceSimulator &sim, sim::TraceGenerator &gen)
+{
+    sim::TraceEvent chunk[256];
+    while (true) {
+        std::size_t n = gen.fill(chunk, 256);
+        if (n == 0)
+            break;
+        if (!sim.stepRun(chunk, n))
+            break;
+    }
+}
+
+std::uint64_t
+bits(double d)
+{
+    return std::bit_cast<std::uint64_t>(d);
+}
+
+/** Bitwise RunResult equality, field by field for diagnosis. */
+void
+expectResultsIdentical(const sim::RunResult &a,
+                       const sim::RunResult &b)
+{
+    EXPECT_EQ(a.regfileDescription, b.regfileDescription);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.regStallCycles, b.regStallCycles);
+    EXPECT_EQ(a.regsSpilled, b.regsSpilled);
+    EXPECT_EQ(a.regsReloaded, b.regsReloaded);
+    EXPECT_EQ(a.liveRegsReloaded, b.liveRegsReloaded);
+    EXPECT_EQ(a.readMisses, b.readMisses);
+    EXPECT_EQ(a.writeMisses, b.writeMisses);
+    EXPECT_EQ(a.cidEvictions, b.cidEvictions);
+    EXPECT_EQ(bits(a.meanActiveRegs), bits(b.meanActiveRegs));
+    EXPECT_EQ(bits(a.maxActiveRegs), bits(b.maxActiveRegs));
+    EXPECT_EQ(bits(a.meanResidentContexts),
+              bits(b.meanResidentContexts));
+    EXPECT_EQ(bits(a.meanUtilization), bits(b.meanUtilization));
+    EXPECT_EQ(bits(a.maxUtilization), bits(b.maxUtilization));
+}
+
+/** One snapshot/restore/continue vs cold comparison. */
+void
+runDifferential(std::uint64_t seed)
+{
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    sim::SimConfig config = configForSeed(seed);
+    config.maxInstructions = kPrefix + kTail;
+    workload::BenchmarkProfile profile =
+        profileForSeed(seed, config);
+    serve::Fingerprint identity = identityFor(config, seed);
+
+    // Uninterrupted N+M run.
+    auto cold_gen = generatorFor(profile);
+    sim::TraceSimulator cold(config);
+    cold.beginRun();
+    drain(cold, *cold_gen);
+    std::string cold_bytes =
+        snapshot::saveSimulator(cold, identity);
+    sim::RunResult cold_result = cold.finishRun();
+
+    // Prefix run to N; snapshot the paused stack.
+    sim::SimConfig prefix_config = config;
+    prefix_config.maxInstructions = kPrefix;
+    auto prefix_gen = generatorFor(profile);
+    sim::TraceSimulator prefix(prefix_config);
+    prefix.beginRun();
+    drain(prefix, *prefix_gen);
+    ASSERT_EQ(prefix.instructionsRun(), kPrefix);
+    std::string prefix_bytes =
+        snapshot::saveSimulator(prefix, identity);
+
+    // Restore into a freshly built stack; run the remaining M.
+    auto warm_gen = generatorFor(profile);
+    sim::TraceSimulator warm(config);
+    warm.beginRun();
+    std::string why;
+    ASSERT_TRUE(snapshot::restoreSimulator(prefix_bytes, identity,
+                                           &warm, &why))
+        << why;
+    // Restore must be a fixpoint: re-snapshotting the restored stack
+    // reproduces the prefix snapshot byte for byte.
+    EXPECT_EQ(snapshot::saveSimulator(warm, identity),
+              prefix_bytes);
+    check::AuditReport audit =
+        check::auditRegisterFile(warm.registerFile());
+    EXPECT_TRUE(audit.ok) << audit.why;
+    ASSERT_TRUE(
+        snapshot::skipEvents(*warm_gen, warm.eventsConsumed()));
+    drain(warm, *warm_gen);
+
+    // The finished warm stack is bit-identical to the cold one:
+    // same snapshot bytes (all counters, occupancy integrals, RNG
+    // positions, and array contents), same RunResult, clean audit.
+    EXPECT_EQ(snapshot::saveSimulator(warm, identity), cold_bytes);
+    sim::RunResult warm_result = warm.finishRun();
+    expectResultsIdentical(warm_result, cold_result);
+    audit = check::auditRegisterFile(warm.registerFile());
+    EXPECT_TRUE(audit.ok) << audit.why;
+}
+
+TEST(SnapshotDifferential, WholeConfigMatrix)
+{
+    for (std::uint64_t seed = 0;
+         seed < check::configMatrixSize(); ++seed) {
+        runDifferential(seed);
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break;
+    }
+}
+
+/**
+ * A lane restored from a snapshot whose instruction cap is already
+ * met must coast: runDone() immediately, further chunks ignored,
+ * and finishRun() equal to the uninterrupted capped run.
+ */
+TEST(SnapshotDifferential, RestoreAtCapCoasts)
+{
+    const std::uint64_t seed = 3; // an NSF entry
+    sim::SimConfig config = configForSeed(seed);
+    config.maxInstructions = kPrefix;
+    workload::BenchmarkProfile profile =
+        profileForSeed(seed, config);
+    serve::Fingerprint identity = identityFor(config, seed);
+
+    auto cold_gen = generatorFor(profile);
+    sim::TraceSimulator cold(config);
+    cold.beginRun();
+    drain(cold, *cold_gen);
+    std::string at_cap = snapshot::saveSimulator(cold, identity);
+    sim::RunResult cold_result = cold.finishRun();
+
+    auto warm_gen = generatorFor(profile);
+    sim::TraceSimulator warm(config);
+    warm.beginRun();
+    std::string why;
+    ASSERT_TRUE(snapshot::restoreSimulator(at_cap, identity, &warm,
+                                           &why))
+        << why;
+    EXPECT_TRUE(warm.runDone());
+    ASSERT_TRUE(
+        snapshot::skipEvents(*warm_gen, warm.eventsConsumed()));
+
+    // Feeding more events must not move the finished lane.
+    sim::TraceEvent chunk[64];
+    std::size_t n = warm_gen->fill(chunk, 64);
+    ASSERT_GT(n, 0u);
+    EXPECT_FALSE(warm.stepRun(chunk, n));
+    EXPECT_EQ(warm.instructionsRun(), kPrefix);
+    EXPECT_EQ(snapshot::saveSimulator(warm, identity), at_cap);
+    expectResultsIdentical(warm.finishRun(), cold_result);
+}
+
+/**
+ * The register-file blob round-trip (the fuzzer's --snapshot-every
+ * leg) is the identity on every matrix organization.
+ */
+TEST(SnapshotDifferential, RegisterFileBlobRoundTrip)
+{
+    for (std::uint64_t seed = 0;
+         seed < check::configMatrixSize(); ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        sim::SimConfig config = configForSeed(seed);
+        config.maxInstructions = kPrefix;
+        workload::BenchmarkProfile profile =
+            profileForSeed(seed, config);
+        auto gen = generatorFor(profile);
+        sim::TraceSimulator sim(config);
+        sim.beginRun();
+        drain(sim, *gen);
+
+        std::string blob =
+            snapshot::saveRegisterFileBlob(sim.registerFile());
+        auto fresh = regfile::makeRegisterFile(
+            config.rf, sim.memorySystem());
+        std::string why;
+        ASSERT_TRUE(snapshot::restoreRegisterFileBlob(
+            blob, fresh.get(), &why))
+            << why;
+        EXPECT_EQ(snapshot::saveRegisterFileBlob(*fresh), blob);
+        check::AuditReport audit =
+            check::auditRegisterFile(*fresh);
+        EXPECT_TRUE(audit.ok) << audit.why;
+        if (HasFatalFailure() || HasNonfatalFailure())
+            break;
+    }
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Prefix-restore sweep tests.
+ *
+ * Sweep cells that share a (workload, seed) warmup prefix can
+ * restore a prefix snapshot and simulate only the divergent tail.
+ * The contract is byte-identical results: the prefix-restoring
+ * runner must produce exactly the sweepResultsJson the cold
+ * SweepRunner produces — for solo cells, for lane-batched groups
+ * sharing one decoded stream, and for lanes whose instruction cap
+ * is already met at the prefix point (they coast).  Cells that
+ * cannot resume fall back to the cold runner, never to a wrong
+ * answer.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/sim/sweep.hh"
+#include "nsrf/snapshot/prefix.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+
+namespace
+{
+
+using namespace nsrf;
+
+constexpr std::uint64_t kPrefixSteps = 300;
+constexpr std::uint64_t kTraceLen = 900;
+
+workload::BenchmarkProfile
+testProfile()
+{
+    workload::BenchmarkProfile profile =
+        workload::profileByName("Quicksort");
+    profile.regsPerContext = 8;
+    profile.avgLiveRegs = 5;
+    profile.liveRegsSpread = 2;
+    return profile;
+}
+
+sim::SweepCell
+cellFor(const std::string &label, unsigned total_regs,
+        const std::string &stream_key,
+        std::uint64_t max_instructions = 0)
+{
+    sim::SweepCell cell;
+    cell.label = label;
+    cell.config.rf.org = regfile::Organization::NamedState;
+    cell.config.rf.totalRegs = total_regs;
+    cell.config.rf.regsPerContext = 8;
+    cell.config.cidCapacity = 4;
+    cell.config.maxInstructions = max_instructions;
+    cell.provenance = {{"cell", label}};
+    cell.streamKey = stream_key;
+    workload::BenchmarkProfile profile = testProfile();
+    cell.makeGenerator = [profile]() {
+        return std::make_unique<workload::ParallelWorkload>(
+            profile, kTraceLen);
+    };
+    return cell;
+}
+
+std::string
+resultsJson(const std::vector<sim::SweepCell> &cells,
+            const std::vector<sim::RunResult> &results)
+{
+    return sim::sweepResultsJson("prefix-test", cells, results, 1);
+}
+
+std::vector<sim::RunResult>
+runCold(const std::vector<sim::SweepCell> &cells)
+{
+    return sim::SweepRunner(2).run(cells);
+}
+
+TEST(SweepPrefix, SoloCellsMatchColdByteIdentical)
+{
+    std::vector<sim::SweepCell> cells = {
+        cellFor("solo-32", 32, ""),
+        cellFor("solo-48", 48, ""),
+        cellFor("solo-64", 64, ""),
+    };
+    std::vector<sim::RunResult> cold = runCold(cells);
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    std::vector<sim::RunResult> warm;
+    snapshot::PrefixSweepStats first = snapshot::runSweepWithPrefix(
+        &cache, 2, kPrefixSteps, cells, &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+    EXPECT_EQ(first.cells, cells.size());
+    EXPECT_EQ(first.prefixCaptured, cells.size());
+    EXPECT_EQ(first.prefixRestored, cells.size());
+    EXPECT_EQ(first.coldCells, 0u);
+    // Same-call captures paid the prefix themselves: no skip yet.
+    EXPECT_EQ(first.stepsSkipped, 0u);
+
+    // Second sweep against the warm cache simulates only tails.
+    snapshot::PrefixSweepStats second = snapshot::runSweepWithPrefix(
+        &cache, 2, kPrefixSteps, cells, &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+    EXPECT_EQ(second.prefixCaptured, 0u);
+    EXPECT_EQ(second.prefixRestored, cells.size());
+    EXPECT_EQ(second.stepsSkipped, cells.size() * kPrefixSteps);
+}
+
+TEST(SweepPrefix, LaneGroupMatchesColdByteIdentical)
+{
+    // Four lanes sharing one decoded stream, plus a solo rider.
+    std::vector<sim::SweepCell> cells = {
+        cellFor("lane-32", 32, "grp"),
+        cellFor("lane-48", 48, "grp"),
+        cellFor("lane-64", 64, "grp"),
+        cellFor("lane-96", 96, "grp"),
+        cellFor("solo-40", 40, ""),
+    };
+    std::vector<sim::RunResult> cold = runCold(cells);
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    std::vector<sim::RunResult> warm;
+    snapshot::PrefixSweepStats first = snapshot::runSweepWithPrefix(
+        &cache, 2, kPrefixSteps, cells, &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+    EXPECT_EQ(first.prefixCaptured, cells.size());
+    EXPECT_EQ(first.prefixRestored, cells.size());
+    EXPECT_EQ(first.coldCells, 0u);
+
+    std::vector<sim::RunResult> rewarm;
+    snapshot::PrefixSweepStats second = snapshot::runSweepWithPrefix(
+        &cache, 2, kPrefixSteps, cells, &rewarm);
+    EXPECT_EQ(resultsJson(cells, rewarm), resultsJson(cells, cold));
+    EXPECT_EQ(second.prefixCaptured, 0u);
+    EXPECT_EQ(second.prefixRestored, cells.size());
+    EXPECT_EQ(second.stepsSkipped, cells.size() * kPrefixSteps);
+}
+
+TEST(SweepPrefix, RestoredLaneAtCapCoasts)
+{
+    // lane-cap's instruction cap equals the prefix: restored, it is
+    // already finished and must coast while its groupmates drain
+    // the stream.
+    std::vector<sim::SweepCell> cells = {
+        cellFor("lane-cap", 32, "grp", kPrefixSteps),
+        cellFor("lane-mid", 48, "grp", 2 * kPrefixSteps),
+        cellFor("lane-all", 64, "grp"),
+    };
+    std::vector<sim::RunResult> cold = runCold(cells);
+    EXPECT_EQ(cold[0].instructions, kPrefixSteps);
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    std::vector<sim::RunResult> warm;
+    snapshot::runSweepWithPrefix(&cache, 2, kPrefixSteps, cells,
+                                 &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+
+    // And again from the cache: the at-cap lane restores directly
+    // into its finished state.
+    std::vector<sim::RunResult> rewarm;
+    snapshot::PrefixSweepStats second = snapshot::runSweepWithPrefix(
+        &cache, 2, kPrefixSteps, cells, &rewarm);
+    EXPECT_EQ(resultsJson(cells, rewarm), resultsJson(cells, cold));
+    EXPECT_EQ(second.prefixRestored, cells.size());
+}
+
+TEST(SweepPrefix, IneligibleCellsRunColdUnchanged)
+{
+    // A cap below the prefix cannot resume from it; the cell must
+    // take the cold path and still produce the cold answer.
+    std::vector<sim::SweepCell> cells = {
+        cellFor("short", 32, "", kPrefixSteps / 2),
+        cellFor("full", 48, ""),
+    };
+    std::vector<sim::RunResult> cold = runCold(cells);
+
+    std::vector<sim::RunResult> warm;
+    snapshot::PrefixSweepStats stats = snapshot::runSweepWithPrefix(
+        nullptr, 2, kPrefixSteps, cells, &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+    EXPECT_EQ(stats.coldCells, 1u);
+    EXPECT_EQ(stats.prefixRestored, 1u);
+}
+
+TEST(SweepPrefix, ZeroPrefixIsAllCold)
+{
+    std::vector<sim::SweepCell> cells = {cellFor("a", 32, "")};
+    std::vector<sim::RunResult> cold = runCold(cells);
+    std::vector<sim::RunResult> warm;
+    snapshot::PrefixSweepStats stats =
+        snapshot::runSweepWithPrefix(nullptr, 1, 0, cells, &warm);
+    EXPECT_EQ(resultsJson(cells, warm), resultsJson(cells, cold));
+    EXPECT_EQ(stats.coldCells, 1u);
+    EXPECT_EQ(stats.prefixRestored, 0u);
+}
+
+} // namespace

@@ -21,15 +21,21 @@
 #   6. tsan      — TSan build, sweep-runner thread-pool tests plus
 #                  the serve scheduler and daemon smoke
 #   7. fuzz      — time-boxed differential fuzz on the audit build
+#   8. snapshot  — time-boxed fuzz with --snapshot-every: the
+#                  register file is serialized, restored into a
+#                  fresh instance, round-trip-compared, and the
+#                  stream continues on the restored file
 #
 # Environment:
-#   NSRF_CI_FUZZ_SECONDS  fuzz stage budget (default 30)
-#   NSRF_CI_JOBS          build/test parallelism (default: nproc)
+#   NSRF_CI_FUZZ_SECONDS      fuzz stage budget (default 30)
+#   NSRF_CI_SNAPSHOT_SECONDS  snapshot fuzz budget (default 20)
+#   NSRF_CI_JOBS              build/test parallelism (default: nproc)
 set -eu
 
 src_dir=${1:-.}
 jobs=${NSRF_CI_JOBS:-$(nproc 2>/dev/null || echo 4)}
 fuzz_seconds=${NSRF_CI_FUZZ_SECONDS:-30}
+snap_seconds=${NSRF_CI_SNAPSHOT_SECONDS:-20}
 
 cd "$src_dir"
 
@@ -50,7 +56,7 @@ stage "runtime scalar fallback + scalar-vs-SIMD stats cross-check"
 # macrobench smoke then re-runs itself with NSRF_SIMD=scalar and
 # fails unless both kernel sets simulate bit-identical stats.
 NSRF_SIMD=scalar ctest --preset release -j "$jobs" \
-    -R 'Philox|CounterRandom|FlatIndex|Workload|workload'
+    -R 'Philox|CounterRandom|FlatIndex|Workload|workload|Snapshot|SweepPrefix'
 ./build/bench/macro_throughput --smoke \
     --json build/BENCH_throughput_smoke.json
 
@@ -95,6 +101,10 @@ stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 
 stage "differential fuzz, ${fuzz_seconds}s, sanitized + audited"
 ./build-asan/tools/nsrf_fuzz --duration "$fuzz_seconds" --jobs "$jobs"
+
+stage "snapshot round-trip fuzz, ${snap_seconds}s, sanitized"
+./build-asan/tools/nsrf_fuzz --duration "$snap_seconds" \
+    --jobs "$jobs" --snapshot-every 64
 
 echo
 echo "=== ci: all gates passed ==="

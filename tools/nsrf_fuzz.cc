@@ -41,6 +41,7 @@ struct Options
     unsigned ops = 2000;
     unsigned jobs = 1;
     unsigned durationSec = 0;  //!< 0 = run exactly `runs` seeds
+    unsigned snapshotEvery = 0; //!< checkpoint/restore every N ops
     bool replay = false;
     bool verbose = false;
     check::Injection inject = check::Injection::None;
@@ -62,6 +63,9 @@ usage(const char *argv0)
         "  --jobs N        parallel workers (default 1, 0 = all\n"
         "                  hardware threads)\n"
         "  --duration SEC  keep starting seeds until SEC elapsed\n"
+        "  --snapshot-every N  every N executed ops, snapshot the\n"
+        "                  register file, restore it into a fresh\n"
+        "                  one, and continue on the restored file\n"
         "  --inject NAME   none | skip-dirty (restricts seeds to\n"
         "                  nsf configurations)\n"
         "  --org NAME      only seeds with this organization\n"
@@ -94,6 +98,8 @@ parseOptions(int argc, char **argv, Options *opts)
             opts->jobs = scan.u32();
         } else if (scan.is("--duration")) {
             opts->durationSec = scan.u32();
+        } else if (scan.is("--snapshot-every")) {
+            opts->snapshotEvery = scan.u32();
         } else if (scan.is("--inject")) {
             const char *value = scan.value();
             if (!check::parseInjection(value, &opts->inject)) {
@@ -147,6 +153,7 @@ configFor(const Options &opts, std::uint64_t seed)
 {
     check::FuzzConfig config = check::configForSeed(seed);
     config.opCount = opts.ops;
+    config.snapshotEvery = opts.snapshotEvery;
     config.inject = opts.inject;
     return config;
 }

@@ -24,6 +24,7 @@
 #include "nsrf/serve/scheduler.hh"
 #include "nsrf/serve/spec.hh"
 #include "nsrf/sim/simulator.hh"
+#include "nsrf/snapshot/snapshot.hh"
 #include "nsrf/regfile/statsdump.hh"
 #include "nsrf/sim/sweep.hh"
 #include "nsrf/sim/tracefile.hh"
@@ -63,6 +64,9 @@ struct Options
     std::string traceOut;         //!< Perfetto timeline output
     std::uint64_t traceWindow = 0; //!< metrics window in cycles
     std::string cache; //!< result-cache directory (warm start)
+    std::string snapshotOut; //!< save simulator state here
+    std::string snapshotIn;  //!< resume from this snapshot
+    std::uint64_t snapshotEvery = 0; //!< checkpoint cadence (instr)
 };
 
 void
@@ -97,6 +101,12 @@ usage()
         "  --cache DIR            reuse results from DIR (ignored\n"
         "                         with --record/--replay/--stats/\n"
         "                         --trace-out)\n"
+        "  --snapshot-out FILE    save the simulator state to FILE\n"
+        "                         at the end of the run\n"
+        "  --snapshot-in FILE     resume from FILE (falls back to a\n"
+        "                         cold run if it does not match)\n"
+        "  --snapshot-every N     with --snapshot-out, overwrite the\n"
+        "                         snapshot every N instructions\n"
         "  --json                 JSON output\n");
 }
 
@@ -174,6 +184,12 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.traceWindow = scan.u64();
         } else if (scan.is("--cache")) {
             opt.cache = scan.value();
+        } else if (scan.is("--snapshot-out")) {
+            opt.snapshotOut = scan.value();
+        } else if (scan.is("--snapshot-in")) {
+            opt.snapshotIn = scan.value();
+        } else if (scan.is("--snapshot-every")) {
+            opt.snapshotEvery = scan.u64();
         } else if (scan.is("--help") || scan.is("-h")) {
             usage();
             std::exit(0);
@@ -240,6 +256,102 @@ tracePathFor(const std::string &base, const std::string &app,
     return base.substr(0, dot) + "." + app + base.substr(dot);
 }
 
+/**
+ * Serial run with the snapshot hooks: resume from --snapshot-in if
+ * it matches this run's identity (cold otherwise), and checkpoint to
+ * --snapshot-out every --snapshot-every instructions plus once at
+ * the end of the run.
+ */
+sim::RunResult
+runSnapshotted(const workload::BenchmarkProfile &profile,
+               const Options &opt)
+{
+    // The identity binds the snapshot to (workload, seed, config);
+    // the provenance keys mirror serve::cellsFromParams so offline
+    // and daemon-side identities of the same cell agree.
+    serve::Provenance provenance = {
+        {"app", profile.name},
+        {"events", std::to_string(opt.events)},
+        {"profileSeed", std::to_string(profile.seed)},
+        {"generator", "synthetic-v2"},
+    };
+    sim::SimConfig config = configFor(profile, opt);
+    serve::Fingerprint identity =
+        snapshot::simulatorIdentity(config, provenance);
+
+    auto gen = workloadFor(profile, opt.events);
+    sim::TraceSimulator simulator(config);
+    simulator.beginRun();
+
+    if (!opt.snapshotIn.empty()) {
+        std::string bytes;
+        std::string why;
+        if (!snapshot::readSnapshotFile(opt.snapshotIn, &bytes)) {
+            std::fprintf(stderr,
+                         "snapshot: cannot read %s; cold run\n",
+                         opt.snapshotIn.c_str());
+        } else if (!snapshot::restoreSimulator(bytes, identity,
+                                               &simulator, &why)) {
+            std::fprintf(stderr,
+                         "snapshot: %s does not apply (%s); "
+                         "cold run\n",
+                         opt.snapshotIn.c_str(), why.c_str());
+        } else if (!snapshot::skipEvents(
+                       *gen, simulator.eventsConsumed())) {
+            nsrf_fatal("snapshot: the workload ends before the "
+                       "snapshot position; wrong --events/--seed?");
+        } else {
+            std::fprintf(stderr,
+                         "snapshot: resumed %s at %llu "
+                         "instructions\n",
+                         opt.snapshotIn.c_str(),
+                         static_cast<unsigned long long>(
+                             simulator.instructionsRun()));
+        }
+    }
+
+    auto checkpoint = [&]() {
+        std::string why;
+        if (!snapshot::writeSnapshotFile(
+                opt.snapshotOut,
+                snapshot::saveSimulator(simulator, identity),
+                &why)) {
+            nsrf_fatal("snapshot: cannot write %s: %s",
+                       opt.snapshotOut.c_str(), why.c_str());
+        }
+    };
+    auto nextMark = [&]() {
+        return (simulator.instructionsRun() / opt.snapshotEvery +
+                1) *
+               opt.snapshotEvery;
+    };
+
+    std::uint64_t mark = opt.snapshotEvery ? nextMark() : 0;
+    constexpr std::size_t chunk_capacity = 512;
+    sim::TraceEvent chunk[chunk_capacity];
+    while (true) {
+        std::size_t n = gen->fill(chunk, chunk_capacity);
+        if (n == 0)
+            break;
+        bool more = simulator.stepRun(chunk, n);
+        if (mark && simulator.instructionsRun() >= mark) {
+            checkpoint();
+            mark = nextMark();
+        }
+        if (!more)
+            break;
+    }
+    if (!opt.snapshotOut.empty())
+        checkpoint();
+    sim::RunResult result = simulator.finishRun();
+    if (opt.stats) {
+        regfile::dumpStats(simulator.registerFile(), stdout,
+                           "rf." + profile.name);
+        std::printf("\n");
+    }
+    return result;
+}
+
 sim::RunResult
 runOne(const workload::BenchmarkProfile &profile_in,
        const Options &opt, const std::string &trace_out)
@@ -247,6 +359,9 @@ runOne(const workload::BenchmarkProfile &profile_in,
     workload::BenchmarkProfile profile = profile_in;
     if (opt.seed)
         profile.seed = opt.seed;
+
+    if (!opt.snapshotOut.empty() || !opt.snapshotIn.empty())
+        return runSnapshotted(profile, opt);
 
     std::unique_ptr<sim::TraceGenerator> gen;
     if (!opt.replay.empty()) {
@@ -366,6 +481,23 @@ main(int argc, char **argv)
         return 0;
     }
 
+    bool snapshotting =
+        !opt.snapshotOut.empty() || !opt.snapshotIn.empty();
+    if (opt.snapshotEvery && opt.snapshotOut.empty()) {
+        std::fprintf(stderr,
+                     "--snapshot-every needs --snapshot-out\n");
+        return 2;
+    }
+    if (snapshotting &&
+        (!opt.record.empty() || !opt.replay.empty() ||
+         !opt.traceOut.empty() || opt.app == "all")) {
+        std::fprintf(stderr,
+                     "--snapshot-in/--snapshot-out need a single "
+                     "synthetic-workload run (no --record/--replay/"
+                     "--trace-out/--app all)\n");
+        return 2;
+    }
+
     std::vector<workload::BenchmarkProfile> apps;
     if (opt.app == "all") {
         apps = workload::paperBenchmarks();
@@ -386,12 +518,18 @@ main(int argc, char **argv)
                   "--trace-out runs are not cacheable");
         cache_ok = false;
     }
+    if (cache_ok && snapshotting) {
+        nsrf_warn("--cache disabled: snapshot runs execute the "
+                  "simulator directly");
+        cache_ok = false;
+    }
 
     if (opt.json)
         std::printf("[\n");
 
     bool parallel_ok = opt.jobs > 1 && opt.record.empty() &&
-                       opt.replay.empty() && !opt.stats;
+                       opt.replay.empty() && !opt.stats &&
+                       !snapshotting;
     std::vector<sim::RunResult> results;
     bool have_results = false;
     if (cache_ok) {
