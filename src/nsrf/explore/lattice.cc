@@ -1,0 +1,243 @@
+#include "nsrf/explore/lattice.hh"
+
+#include <sstream>
+
+namespace nsrf::explore
+{
+
+namespace
+{
+
+/**
+ * Which policy axes an organization consumes.  Axes an organization
+ * ignores are pinned to their first listed value so the lattice
+ * never contains two points that simulate identically under
+ * different names.
+ */
+struct PolicyUse
+{
+    bool miss = false;
+    bool write = false;
+    bool repl = false;
+};
+
+PolicyUse
+policyUse(regfile::Organization org)
+{
+    switch (org) {
+      case regfile::Organization::NamedState:
+        return {true, true, true};
+      case regfile::Organization::Segmented:
+        // Victim choice and reload granularity apply; write-miss
+        // allocation is a CAM concept.
+        return {true, false, true};
+      case regfile::Organization::Conventional:
+      case regfile::Organization::Windowed:
+        return {false, false, false};
+    }
+    return {};
+}
+
+template <typename T>
+std::string
+joinList(const std::vector<T> &values)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            out << ",";
+        out << values[i];
+    }
+    return out.str();
+}
+
+} // namespace
+
+vlsi::Organization
+LatticePoint::geometry() const
+{
+    vlsi::Organization org;
+    org.kind = params.org == regfile::Organization::NamedState
+                   ? vlsi::ArrayKind::NamedState
+                   : vlsi::ArrayKind::Segmented;
+    org.rows = params.totalRegs / params.regsPerLine;
+    org.bitsPerRow = 32 * params.regsPerLine;
+    org.regsPerLine = params.regsPerLine;
+    org.readPorts = readPorts;
+    org.writePorts = writePorts;
+    return org;
+}
+
+bool
+enumerateLattice(const LatticeSpec &spec,
+                 std::vector<LatticePoint> *out, LatticeStats *stats,
+                 std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    out->clear();
+    *stats = LatticeStats{};
+
+    if (spec.app.empty() || spec.app == "all")
+        return fail("lattice needs one concrete app");
+    if (spec.events == 0)
+        return fail("events must be positive");
+    for (const auto *axis :
+         {&spec.orgs, &spec.missPolicies, &spec.writePolicies,
+          &spec.replacements}) {
+        if (axis->empty())
+            return fail("empty lattice axis");
+    }
+    if (spec.totalRegs.empty() || spec.regsPerLine.empty() ||
+        spec.readPorts.empty() || spec.writePorts.empty()) {
+        return fail("empty lattice axis");
+    }
+    for (unsigned regs : spec.totalRegs) {
+        if (regs == 0)
+            return fail("totalRegs entries must be positive");
+    }
+    for (unsigned line : spec.regsPerLine) {
+        if (line == 0)
+            return fail("regsPerLine entries must be positive");
+    }
+
+    // Parse every axis name up front: a typo is a spec error, not a
+    // filtered point.
+    std::vector<regfile::Organization> orgs;
+    for (const std::string &name : spec.orgs) {
+        regfile::Organization org;
+        if (!serve::parseOrganization(name, &org))
+            return fail("unknown org '" + name + "'");
+        orgs.push_back(org);
+    }
+    std::vector<regfile::MissPolicy> misses;
+    for (const std::string &name : spec.missPolicies) {
+        regfile::MissPolicy miss;
+        if (!serve::parseMissPolicy(name, &miss))
+            return fail("unknown miss policy '" + name + "'");
+        misses.push_back(miss);
+    }
+    std::vector<regfile::WritePolicy> writes;
+    for (const std::string &name : spec.writePolicies) {
+        regfile::WritePolicy write;
+        if (!serve::parseWritePolicy(name, &write))
+            return fail("unknown write policy '" + name + "'");
+        writes.push_back(write);
+    }
+    std::vector<cam::ReplacementKind> repls;
+    for (const std::string &name : spec.replacements) {
+        cam::ReplacementKind repl;
+        if (!cam::tryParseReplacement(name, &repl))
+            return fail("unknown replacement '" + name + "'");
+        repls.push_back(repl);
+    }
+
+    for (std::size_t oi = 0; oi < orgs.size(); ++oi) {
+        PolicyUse use = policyUse(orgs[oi]);
+        for (unsigned regs : spec.totalRegs) {
+            for (unsigned line : spec.regsPerLine) {
+                for (std::size_t mi = 0; mi < misses.size(); ++mi) {
+                    for (std::size_t wi = 0; wi < writes.size();
+                         ++wi) {
+                        for (std::size_t ri = 0; ri < repls.size();
+                             ++ri) {
+                            for (unsigned rp : spec.readPorts) {
+                                for (unsigned wp : spec.writePorts) {
+                                    ++stats->combinations;
+
+                                    // Pin ignored policy axes to
+                                    // their first value.
+                                    if ((!use.miss && mi != 0) ||
+                                        (!use.write && wi != 0) ||
+                                        (!use.repl && ri != 0)) {
+                                        ++stats->invalid;
+                                        continue;
+                                    }
+                                    // Line size is an NSF axis.
+                                    if (orgs[oi] !=
+                                            regfile::Organization::
+                                                NamedState &&
+                                        line != 1) {
+                                        ++stats->invalid;
+                                        continue;
+                                    }
+                                    if (regs % line != 0) {
+                                        ++stats->invalid;
+                                        continue;
+                                    }
+
+                                    LatticePoint point;
+                                    point.params.app = spec.app;
+                                    point.params.events =
+                                        spec.events;
+                                    point.params.seed = spec.seed;
+                                    point.params.org = orgs[oi];
+                                    point.params.totalRegs = regs;
+                                    point.params.regsPerLine = line;
+                                    point.params.miss = misses[mi];
+                                    point.params.write = writes[wi];
+                                    point.params.repl = repls[ri];
+                                    point.readPorts = rp;
+                                    point.writePorts = wp;
+
+                                    if (!vlsi::validateOrganization(
+                                            point.geometry())) {
+                                        ++stats->invalid;
+                                        continue;
+                                    }
+
+                                    std::ostringstream label;
+                                    label
+                                        << spec.orgs[oi] << "/r"
+                                        << regs << "/l" << line
+                                        << "/"
+                                        << serve::missPolicyName(
+                                               misses[mi])
+                                        << "-"
+                                        << serve::writePolicyName(
+                                               writes[wi])
+                                        << "-"
+                                        << cam::replacementName(
+                                               repls[ri])
+                                        << "/p" << rp << "r" << wp
+                                        << "w";
+                                    point.label = label.str();
+                                    out->push_back(
+                                        std::move(point));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats->points = out->size();
+    if (out->empty())
+        return fail("lattice filtered down to zero points");
+    return true;
+}
+
+std::string
+canonicalSpecText(const LatticeSpec &spec,
+                  const std::vector<std::uint64_t> &budgets)
+{
+    std::ostringstream out;
+    out << "nsrf-explore-lattice-v1"
+        << ";app=" << spec.app << ";events=" << spec.events
+        << ";seed=" << spec.seed << ";orgs=" << joinList(spec.orgs)
+        << ";regs=" << joinList(spec.totalRegs)
+        << ";line=" << joinList(spec.regsPerLine)
+        << ";miss=" << joinList(spec.missPolicies)
+        << ";write=" << joinList(spec.writePolicies)
+        << ";repl=" << joinList(spec.replacements)
+        << ";rp=" << joinList(spec.readPorts)
+        << ";wp=" << joinList(spec.writePorts)
+        << ";budgets=" << joinList(budgets);
+    return out.str();
+}
+
+} // namespace nsrf::explore

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Declarative design-space lattice for the autopilot.
+ *
+ * The paper's trade-off lives on a grid: organization × file size ×
+ * line size × (miss, write, replacement) policy × port count.  A
+ * LatticeSpec names the axis values; enumeration takes the cross
+ * product and keeps only the points that are simultaneously
+ * simulatable (file size divisible into lines, line size meaningful
+ * for the organization) and costable (vlsi::validateOrganization
+ * accepts the derived geometry).  Filtered combinations are counted,
+ * never silently dropped.
+ *
+ * Each surviving point carries the serve::CellParams that simulate
+ * it — so evaluation flows through the same cellsFromParams /
+ * fingerprint identity as `nsrf_sim --cache` and the daemon — plus
+ * the port counts the VLSI models cost (ports are a hardware axis;
+ * the trace-driven simulator does not model them).
+ */
+
+#ifndef NSRF_EXPLORE_LATTICE_HH
+#define NSRF_EXPLORE_LATTICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/serve/spec.hh"
+#include "nsrf/vlsi/geometry.hh"
+
+namespace nsrf::explore
+{
+
+/** The declarative search space: one value list per axis. */
+struct LatticeSpec
+{
+    std::string app = "Quicksort"; //!< workload (one Table 1 name)
+    std::uint64_t events = 60'000; //!< trace length = full budget
+    std::uint64_t seed = 0;        //!< 0 = profile default
+
+    std::vector<std::string> orgs = {"nsf", "segmented"};
+    std::vector<unsigned> totalRegs = {64, 128, 256};
+    std::vector<unsigned> regsPerLine = {1, 2, 4};
+    std::vector<std::string> missPolicies = {"line"};
+    std::vector<std::string> writePolicies = {"wa"};
+    std::vector<std::string> replacements = {"lru"};
+    std::vector<unsigned> readPorts = {2};
+    std::vector<unsigned> writePorts = {1};
+};
+
+/** One valid lattice point. */
+struct LatticePoint
+{
+    serve::CellParams params; //!< simulation identity (cap unset)
+    unsigned readPorts = 2;   //!< VLSI cost axis
+    unsigned writePorts = 1;
+    std::string label;        //!< canonical, unique within a lattice
+
+    /** @return the geometry the VLSI models cost for this point. */
+    vlsi::Organization geometry() const;
+};
+
+/** What enumeration kept and why it dropped the rest. */
+struct LatticeStats
+{
+    std::size_t combinations = 0; //!< raw cross-product size
+    std::size_t invalid = 0;      //!< filtered (unsimulatable or
+                                  //!< uncostable)
+    std::size_t points = 0;       //!< emitted
+};
+
+/**
+ * Expand @p spec into its valid points, in deterministic axis-major
+ * order (org, regs, line, miss, write, repl, ports).  @return false
+ * with @p why on a malformed spec (unknown enum name, empty axis,
+ * zero sizes) — per-point validity filtering is NOT an error, it is
+ * counted in @p stats.
+ */
+bool enumerateLattice(const LatticeSpec &spec,
+                      std::vector<LatticePoint> *out,
+                      LatticeStats *stats, std::string *why);
+
+/**
+ * Canonical one-line text of (spec, budgets) — the explorer's cache
+ * identity.  Hashed (serve::hashString) to fingerprint-key frontier
+ * artifacts so re-runs of an identical exploration are warm.
+ */
+std::string canonicalSpecText(const LatticeSpec &spec,
+                              const std::vector<std::uint64_t> &budgets);
+
+} // namespace nsrf::explore
+
+#endif // NSRF_EXPLORE_LATTICE_HH

@@ -1,0 +1,151 @@
+#include "nsrf/explore/pareto.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "nsrf/common/logging.hh"
+
+namespace nsrf::explore
+{
+
+namespace
+{
+
+bool
+hasNan(const Objectives &v)
+{
+    for (double x : v) {
+        if (std::isnan(x))
+            return true;
+    }
+    return false;
+}
+
+/** Lexicographic objective order with index tiebreak.  NaN sorts
+ * as +infinity so the comparator stays a strict weak ordering. */
+bool
+lexBefore(const std::vector<Objectives> &points, std::size_t a,
+          std::size_t b)
+{
+    auto keyed = [](double x) {
+        return std::isnan(x)
+                   ? std::numeric_limits<double>::infinity()
+                   : x;
+    };
+    const Objectives &pa = points[a];
+    const Objectives &pb = points[b];
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+        double xa = keyed(pa[k]);
+        double xb = keyed(pb[k]);
+        if (xa < xb)
+            return true;
+        if (xa > xb)
+            return false;
+    }
+    return a < b;
+}
+
+} // namespace
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    nsrf_assert(a.size() == b.size(),
+                "objective vectors differ: %zu vs %zu", a.size(),
+                b.size());
+    if (hasNan(a) || hasNan(b))
+        return false;
+    bool strict = false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k] > b[k])
+            return false;
+        if (a[k] < b[k])
+            strict = true;
+    }
+    return strict;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return lexBefore(points, a, b);
+              });
+
+    // A dominator is lexicographically no later than its victim
+    // (componentwise <= forces it), so scanning in lex order means
+    // every point's potential dominators are already on the
+    // frontier when the point is considered (a dominator that was
+    // itself dominated is covered by transitivity).
+    std::vector<std::size_t> frontier;
+    for (std::size_t candidate : order) {
+        // A NaN score is an evaluation failure, not a trade-off:
+        // never on the frontier.
+        if (hasNan(points[candidate]))
+            continue;
+        bool dominated = false;
+        for (std::size_t keeper : frontier) {
+            if (dominates(points[keeper], points[candidate])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            frontier.push_back(candidate);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::vector<std::size_t>
+paretoRank(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> ranked;
+    ranked.reserve(points.size());
+    std::vector<bool> taken(points.size(), false);
+    std::size_t remaining = points.size();
+
+    while (remaining > 0) {
+        // Frontier of the not-yet-ranked subset.
+        std::vector<std::size_t> live;
+        std::vector<Objectives> liveObjectives;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (!taken[i]) {
+                live.push_back(i);
+                liveObjectives.push_back(points[i]);
+            }
+        }
+        std::vector<std::size_t> layer =
+            paretoFrontier(liveObjectives);
+        // Within the layer: lexicographic objective order.
+        std::sort(layer.begin(), layer.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return lexBefore(liveObjectives, a, b);
+                  });
+        for (std::size_t local : layer) {
+            ranked.push_back(live[local]);
+            taken[live[local]] = true;
+            --remaining;
+        }
+        // NaN-scored points dominate nothing and are dominated by
+        // nothing: they'd loop forever as one-point "layers" only
+        // if the layer ever came back empty.
+        if (layer.empty()) {
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (!taken[i]) {
+                    ranked.push_back(i);
+                    taken[i] = true;
+                    --remaining;
+                }
+            }
+        }
+    }
+    return ranked;
+}
+
+} // namespace nsrf::explore

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Exact Pareto-frontier extraction over minimized objectives.
+ *
+ * The explorer scores every design point on a small objective
+ * vector (simulated overhead fraction, reload traffic, VLSI area,
+ * access time — all minimized) and must report the EXACT frontier:
+ * a point is on it iff no other point is at least as good on every
+ * objective and strictly better on one.  The implementation sorts
+ * candidates lexicographically — any dominator of a point precedes
+ * it in that order — and tests each candidate against the frontier
+ * accumulated so far, which is exact (dominance is transitive) and
+ * does far fewer comparisons than the O(n²) all-pairs check that
+ * tests/test_explore.cc cross-validates it against.
+ *
+ * Ties are kept: points with identical objective vectors dominate
+ * neither each other nor anything the other would not, so both
+ * appear on the frontier.  Ordering is deterministic throughout —
+ * no hashing, no pointer order.
+ */
+
+#ifndef NSRF_EXPLORE_PARETO_HH
+#define NSRF_EXPLORE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nsrf::explore
+{
+
+/** One point's minimized objective vector. */
+using Objectives = std::vector<double>;
+
+/** @return whether @p a dominates @p b (<= everywhere, < once).
+ * Vectors must be equal length; NaN never dominates anything and
+ * is dominated by nothing. */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * @return the indices (ascending) of the exact Pareto-minimal
+ * subset of @p points.  Empty input gives an empty frontier.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<Objectives> &points);
+
+/**
+ * Rank @p points for successive-halving survival: repeatedly peel
+ * the Pareto frontier of the remaining set (non-dominated sorting).
+ * @return all indices, best layer first; within a layer, ascending
+ * lexicographic objective order (ties by index).  The first K of
+ * this order are the K most promising survivors.
+ */
+std::vector<std::size_t>
+paretoRank(const std::vector<Objectives> &points);
+
+} // namespace nsrf::explore
+
+#endif // NSRF_EXPLORE_PARETO_HH

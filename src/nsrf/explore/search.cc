@@ -1,0 +1,324 @@
+#include "nsrf/explore/search.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/logging.hh"
+#include "nsrf/explore/pareto.hh"
+#include "nsrf/regfile/regfile.hh"
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/stats/json.hh"
+#include "nsrf/vlsi/area.hh"
+#include "nsrf/vlsi/timing.hh"
+
+namespace nsrf::explore
+{
+
+namespace
+{
+
+/** %.17g — enough digits to round-trip any double exactly, so the
+ * CSV carries the same values as the JSON. */
+std::string
+exactDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+Objectives
+objectivesOf(const PointResult &point)
+{
+    return {point.overheadFraction, point.reloadsPerInstr,
+            point.areaUm2, point.accessNs};
+}
+
+} // namespace
+
+CellEvaluator
+makeOfflineEvaluator(serve::ResultCache *cache, unsigned jobs,
+                     std::uint64_t prefixSteps,
+                     snapshot::PrefixSweepStats *accum)
+{
+    // One runner for the evaluator's lifetime so every rung shares
+    // the stats accumulator (and its lock).
+    serve::BatchRunner runner = snapshot::makePrefixBatchRunner(
+        cache, jobs, prefixSteps, accum);
+    return [cache, jobs, runner](
+               const std::vector<serve::CellParams> &batch,
+               std::vector<SimScore> *scores, std::string *why) {
+        std::vector<sim::SweepCell> cells;
+        cells.reserve(batch.size());
+        for (const serve::CellParams &params : batch) {
+            std::vector<sim::SweepCell> expanded;
+            if (!serve::cellsFromParams(params, &expanded, why))
+                return false;
+            nsrf_assert(expanded.size() == 1,
+                        "lattice cell expanded to %zu cells",
+                        expanded.size());
+            cells.push_back(std::move(expanded.front()));
+        }
+        std::vector<sim::RunResult> results;
+        serve::runCellsCached(cache, jobs, cells, &results, runner);
+        scores->clear();
+        scores->reserve(results.size());
+        for (const sim::RunResult &r : results)
+            scores->push_back(
+                {r.overheadFraction(), r.reloadsPerInstr()});
+        return true;
+    };
+}
+
+bool
+runExploration(const ExploreOptions &options,
+               const CellEvaluator &evaluate, ExploreReport *report,
+               std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    *report = ExploreReport{};
+
+    std::vector<LatticePoint> points;
+    if (!enumerateLattice(options.lattice, &points,
+                          &report->lattice, why)) {
+        return false;
+    }
+
+    std::vector<std::uint64_t> budgets = options.budgets;
+    if (budgets.empty()) {
+        std::uint64_t quarter =
+            std::max<std::uint64_t>(1, options.lattice.events / 4);
+        if (quarter < options.lattice.events)
+            budgets.push_back(quarter);
+        budgets.push_back(options.lattice.events);
+    }
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        if (budgets[i] == 0)
+            return fail("budgets must be positive");
+        if (i && budgets[i] <= budgets[i - 1])
+            return fail("budgets must be strictly increasing");
+        if (budgets[i] > options.lattice.events)
+            return fail("budget exceeds the event budget");
+    }
+    if (!(options.keepFraction > 0.0) || options.keepFraction > 1.0)
+        return fail("keepFraction must be in (0, 1]");
+
+    report->budgets = budgets;
+    report->fingerprint =
+        serve::hashString(canonicalSpecText(options.lattice, budgets))
+            .hex();
+
+    // The hardware objectives do not depend on the budget: cost
+    // every point exactly once, up front.
+    vlsi::AreaModel area;
+    vlsi::TimingModel timing;
+    report->points.reserve(points.size());
+    for (const LatticePoint &point : points) {
+        PointResult result;
+        result.label = point.label;
+        result.params = point.params;
+        result.readPorts = point.readPorts;
+        result.writePorts = point.writePorts;
+
+        vlsi::AreaBreakdown areaOut;
+        vlsi::TimingBreakdown timingOut;
+        std::string modelWhy;
+        if (!area.estimateChecked(point.geometry(), &areaOut,
+                                  &modelWhy) ||
+            !timing.estimateChecked(point.geometry(), &timingOut,
+                                    &modelWhy)) {
+            // enumerateLattice validated the geometry already; a
+            // failure here is a model/filter skew worth surfacing.
+            return fail("VLSI model rejected " + point.label + ": " +
+                        modelWhy);
+        }
+        result.areaUm2 = areaOut.totalUm2();
+        result.accessNs = timingOut.totalNs();
+        report->points.push_back(std::move(result));
+    }
+
+    std::vector<std::size_t> survivors(report->points.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+        survivors[i] = i;
+
+    for (std::size_t rung = 0; rung < budgets.size(); ++rung) {
+        std::vector<serve::CellParams> batch;
+        batch.reserve(survivors.size());
+        for (std::size_t index : survivors) {
+            serve::CellParams params = report->points[index].params;
+            params.cap = budgets[rung];
+            batch.push_back(std::move(params));
+        }
+        std::vector<SimScore> scores;
+        if (!evaluate(batch, &scores, why))
+            return false;
+        if (scores.size() != survivors.size())
+            return fail("evaluator returned a short batch");
+        for (std::size_t i = 0; i < survivors.size(); ++i) {
+            PointResult &point = report->points[survivors[i]];
+            point.overheadFraction = scores[i].overheadFraction;
+            point.reloadsPerInstr = scores[i].reloadsPerInstr;
+            point.budgetReached = budgets[rung];
+        }
+
+        if (rung + 1 == budgets.size())
+            break;
+
+        // Halve: non-dominated sorting ranks the rung, the best
+        // keepFraction advances.
+        std::vector<Objectives> objectives;
+        objectives.reserve(survivors.size());
+        for (std::size_t index : survivors)
+            objectives.push_back(
+                objectivesOf(report->points[index]));
+        std::vector<std::size_t> ranked = paretoRank(objectives);
+
+        std::size_t keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(std::ceil(
+                   options.keepFraction *
+                   static_cast<double>(survivors.size()))));
+        keep = std::min(keep, survivors.size());
+
+        std::vector<std::size_t> promoted;
+        promoted.reserve(keep);
+        for (std::size_t i = 0; i < ranked.size(); ++i) {
+            std::size_t global = survivors[ranked[i]];
+            if (i < keep) {
+                promoted.push_back(global);
+            } else {
+                report->points[global].eliminatedRung =
+                    static_cast<int>(rung);
+            }
+        }
+        // Keep lattice order for the next rung's batch so the
+        // evaluator sees a deterministic cell sequence.
+        std::sort(promoted.begin(), promoted.end());
+        survivors = std::move(promoted);
+    }
+
+    // The exact frontier, over the points that earned a full-budget
+    // score.
+    std::vector<Objectives> finalObjectives;
+    finalObjectives.reserve(survivors.size());
+    for (std::size_t index : survivors)
+        finalObjectives.push_back(objectivesOf(report->points[index]));
+    for (std::size_t local : paretoFrontier(finalObjectives)) {
+        report->points[survivors[local]].onFrontier = true;
+        report->frontier.push_back(survivors[local]);
+    }
+    std::sort(report->frontier.begin(), report->frontier.end());
+    return true;
+}
+
+std::string
+reportJson(const ExploreReport &report)
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("schema", 1u);
+    json.field("tool", "nsrf_explore");
+    json.field("fingerprint", report.fingerprint);
+    json.key("budgets").beginArray();
+    for (std::uint64_t budget : report.budgets)
+        json.value(budget);
+    json.endArray();
+    json.key("lattice").beginObject();
+    json.field("combinations",
+               static_cast<std::uint64_t>(
+                   report.lattice.combinations));
+    json.field("invalid",
+               static_cast<std::uint64_t>(report.lattice.invalid));
+    json.field("points",
+               static_cast<std::uint64_t>(report.lattice.points));
+    json.endObject();
+    json.key("frontier").beginArray();
+    for (std::size_t index : report.frontier)
+        json.value(static_cast<std::uint64_t>(index));
+    json.endArray();
+    json.key("points").beginArray();
+    for (const PointResult &point : report.points) {
+        json.beginObject();
+        json.field("label", point.label);
+        json.field("org",
+                   regfile::organizationName(point.params.org));
+        json.field("regs", point.params.totalRegs);
+        json.field("line", point.params.regsPerLine);
+        json.field("miss", serve::missPolicyName(point.params.miss));
+        json.field("write",
+                   serve::writePolicyName(point.params.write));
+        json.field("repl", cam::replacementName(point.params.repl));
+        json.field("readPorts", point.readPorts);
+        json.field("writePorts", point.writePorts);
+        json.field("overheadFraction", point.overheadFraction);
+        json.field("reloadsPerInstr", point.reloadsPerInstr);
+        json.field("areaUm2", point.areaUm2);
+        json.field("accessNs", point.accessNs);
+        json.field("budget", point.budgetReached);
+        json.field("eliminatedRung", point.eliminatedRung);
+        json.field("frontier", point.onFrontier);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+std::string
+reportCsv(const ExploreReport &report)
+{
+    std::ostringstream out;
+    out << "index,label,org,regs,line,miss,write,repl,readPorts,"
+           "writePorts,overheadFraction,reloadsPerInstr,areaUm2,"
+           "accessNs,budget,eliminatedRung,frontier\n";
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+        const PointResult &point = report.points[i];
+        out << i << "," << point.label << ","
+            << regfile::organizationName(point.params.org) << ","
+            << point.params.totalRegs << ","
+            << point.params.regsPerLine << ","
+            << serve::missPolicyName(point.params.miss) << ","
+            << serve::writePolicyName(point.params.write) << ","
+            << cam::replacementName(point.params.repl) << ","
+            << point.readPorts << "," << point.writePorts << ","
+            << exactDouble(point.overheadFraction) << ","
+            << exactDouble(point.reloadsPerInstr) << ","
+            << exactDouble(point.areaUm2) << ","
+            << exactDouble(point.accessNs) << ","
+            << point.budgetReached << "," << point.eliminatedRung
+            << "," << (point.onFrontier ? 1 : 0) << "\n";
+    }
+    return out.str();
+}
+
+std::string
+reportGnuplot(const ExploreReport &report,
+              const std::string &csvPath,
+              const std::string &outPath)
+{
+    std::ostringstream out;
+    out << "# nsrf_explore frontier figure (fingerprint "
+        << report.fingerprint << ")\n"
+        << "set datafile separator ','\n"
+        << "set terminal svg size 720,540\n"
+        << "set output '" << outPath << "'\n"
+        << "set xlabel 'area (um^2)'\n"
+        << "set ylabel 'overhead fraction'\n"
+        << "set key top right\n"
+        << "plot '" << csvPath
+        << "' every ::1 using ($17==0?$13:1/0):11 "
+           "with points pt 6 ps 0.8 title 'dominated', \\\n"
+        << "     '" << csvPath
+        << "' every ::1 using ($17==1?$13:1/0):11 "
+           "with points pt 7 ps 1.2 title 'frontier'\n";
+    return out.str();
+}
+
+} // namespace nsrf::explore

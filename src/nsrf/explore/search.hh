@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Successive-halving design-space search over a lattice.
+ *
+ * The autopilot scores every lattice point on four minimized
+ * objectives — spill/reload overhead fraction and reload traffic
+ * from simulation, area and access time from the VLSI models — and
+ * spends its simulation budget unevenly: every point runs at the
+ * shortest instruction budget, then only the Pareto-best fraction
+ * is promoted to each longer budget (successive halving).  Because
+ * budget rungs differ ONLY in SimConfig::maxInstructions, promoted
+ * cells share their trace identity with the short run and resume
+ * from its prefix snapshot (snapshot::runSweepWithPrefix) instead
+ * of resimulating the warmup — the rung ladder costs little more
+ * than one full-budget sweep of the survivors.
+ *
+ * Simulation is abstracted behind a CellEvaluator so the same
+ * driver runs offline (runCellsCached against a cache directory,
+ * with the prefix-restoring batch runner injected) or online (the
+ * CLI's daemon mode submits cells over the socket and parses the
+ * scores out of the replies).  Either way the scores are the exact
+ * sweep results — the determinism contract makes warm, cold, local
+ * and served evaluations byte-identical, so the frontier JSON is
+ * byte-identical too, which tests pin.
+ */
+
+#ifndef NSRF_EXPLORE_SEARCH_HH
+#define NSRF_EXPLORE_SEARCH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nsrf/explore/lattice.hh"
+#include "nsrf/serve/cache.hh"
+#include "nsrf/snapshot/prefix.hh"
+
+namespace nsrf::explore
+{
+
+/** The simulated half of one point's objective vector. */
+struct SimScore
+{
+    double overheadFraction = 0; //!< reg stall cycles / cycles
+    double reloadsPerInstr = 0;  //!< reloads / instructions
+};
+
+/**
+ * Evaluate a batch of cells (same lattice, same budget) and write
+ * one SimScore per cell, in order.  @return false with @p why on
+ * failure.  Implementations MUST be deterministic functions of the
+ * cell identity — both provided ones are, because both return exact
+ * sweep results.
+ */
+using CellEvaluator = std::function<bool(
+    const std::vector<serve::CellParams> &, std::vector<SimScore> *,
+    std::string *)>;
+
+/**
+ * The offline evaluator: cellsFromParams → runCellsCached against
+ * @p cache with snapshot::makePrefixBatchRunner(@p prefixSteps)
+ * injected, so repeated explorations are warm and rung promotions
+ * prefix-restore.  @p accum, when non-null, collects the prefix
+ * stats across every call (for the CLI's speedup verdict).
+ */
+CellEvaluator makeOfflineEvaluator(
+    serve::ResultCache *cache, unsigned jobs,
+    std::uint64_t prefixSteps,
+    snapshot::PrefixSweepStats *accum = nullptr);
+
+/** Everything one exploration needs. */
+struct ExploreOptions
+{
+    LatticeSpec lattice;
+
+    /** Instruction budgets per rung, strictly increasing.  Empty =
+     * {max(1, events/4), events} — one short triage rung, one full
+     * rung. */
+    std::vector<std::uint64_t> budgets;
+
+    /** Fraction of a rung promoted to the next (at least one point
+     * always survives). */
+    double keepFraction = 0.5;
+
+    /** Prefix snapshot length; 0 = budgets[0], so the triage rung
+     * captures the prefix every promotion restores. */
+    std::uint64_t prefixSteps = 0;
+};
+
+/** One lattice point's outcome. */
+struct PointResult
+{
+    std::string label;
+    serve::CellParams params; //!< cap unset (budgets vary it)
+    unsigned readPorts = 2;
+    unsigned writePorts = 1;
+
+    double overheadFraction = 0;
+    double reloadsPerInstr = 0;
+    double areaUm2 = 0;
+    double accessNs = 0;
+
+    /** Largest budget this point was simulated at. */
+    std::uint64_t budgetReached = 0;
+    /** Rung index at which the point was eliminated; -1 = finalist
+     * (ran the full budget). */
+    int eliminatedRung = -1;
+    bool onFrontier = false;
+};
+
+/** The exploration's full, deterministic outcome. */
+struct ExploreReport
+{
+    std::string fingerprint; //!< hashString(canonicalSpecText).hex()
+    std::vector<std::uint64_t> budgets;
+    LatticeStats lattice;
+    std::vector<PointResult> points;    //!< lattice order
+    std::vector<std::size_t> frontier;  //!< indices into points,
+                                        //!< ascending
+};
+
+/**
+ * Run the search: enumerate, cost every point once with the VLSI
+ * models, then halve through the budget rungs with @p evaluate and
+ * rank survivors by non-dominated sorting (paretoRank).  The exact
+ * frontier (paretoFrontier) is computed over the finalists — points
+ * eliminated early carry their short-budget scores and are reported
+ * as dominated, never on the frontier.  @return false with @p why
+ * on a malformed spec or an evaluator failure.
+ */
+bool runExploration(const ExploreOptions &options,
+                    const CellEvaluator &evaluate,
+                    ExploreReport *report, std::string *why);
+
+/** Schema-versioned JSON artifact; byte-identical across re-runs
+ * of the same (spec, budgets) — no wall-clock, no iteration-order
+ * dependence. */
+std::string reportJson(const ExploreReport &report);
+
+/** Flat CSV (one row per point) for plotting. */
+std::string reportCsv(const ExploreReport &report);
+
+/** gnuplot script rendering area vs overhead with the frontier
+ * highlighted; reads the CSV at @p csvPath, writes @p outPath. */
+std::string reportGnuplot(const ExploreReport &report,
+                          const std::string &csvPath,
+                          const std::string &outPath);
+
+} // namespace nsrf::explore
+
+#endif // NSRF_EXPLORE_SEARCH_HH

@@ -156,6 +156,25 @@ struct Parser
         }
         out->kind = Value::Kind::Number;
         out->number = v;
+        // Pure integer literals additionally carry their exact
+        // digits: doubles round silently above 2^53, and the wire
+        // protocol has genuine 64-bit fields (instruction caps,
+        // event counts).
+        if (token.find_first_of(".eE") == std::string::npos) {
+            out->integral = true;
+            out->integralNegative = token[0] == '-';
+            std::uint64_t mag = 0;
+            for (std::size_t i = digit0; i < token.size(); ++i) {
+                unsigned digit =
+                    static_cast<unsigned>(token[i] - '0');
+                if (mag > (UINT64_MAX - digit) / 10) {
+                    out->integralOverflow = true;
+                    break;
+                }
+                mag = mag * 10 + digit;
+            }
+            out->magnitude = out->integralOverflow ? 0 : mag;
+        }
         return true;
     }
 
@@ -295,8 +314,23 @@ Value::getU64(const std::string &key, std::uint64_t *out) const
     const Value *v = find(key);
     if (!v || !v->isNumber())
         return false;
+    if (v->integral) {
+        // Exact path: digit-for-digit in [0, UINT64_MAX], reject
+        // everything else instead of rounding or wrapping.
+        if (v->integralOverflow)
+            return false;
+        if (v->integralNegative && v->magnitude != 0)
+            return false;
+        *out = v->magnitude;
+        return true;
+    }
+    // Fraction/exponent spellings only exist as doubles; accept
+    // them strictly below 2^53, where every integer is uniquely
+    // representable.  At 2^53 exactly the spelling is already
+    // ambiguous (2^53 and 2^53+1 round to the same double).
+    constexpr double kExact = 9007199254740992.0; // 2^53
     if (v->number < 0 || v->number != std::floor(v->number) ||
-        v->number > 18446744073709549568.0) {
+        v->number >= kExact) {
         return false;
     }
     *out = static_cast<std::uint64_t>(v->number);

@@ -32,6 +32,18 @@ class Value
     Kind kind = Kind::Null;
     bool boolean = false;
     double number = 0.0;
+    /**
+     * Exact-integer sidecar for Number values.  When the source
+     * token was a pure integer literal (no fraction, no exponent)
+     * the parser records its digits exactly here, because `number`
+     * alone silently rounds above 2^53 and config fields like
+     * instruction caps are 64-bit.  `integralOverflow` marks
+     * literals beyond uint64 range (magnitude is then meaningless).
+     */
+    bool integral = false;
+    bool integralNegative = false;
+    bool integralOverflow = false;
+    std::uint64_t magnitude = 0;
     std::string string;
     std::vector<Value> array;
     /** Insertion-ordered; duplicate keys are a parse error. */
@@ -58,6 +70,14 @@ class Value
      * @return the member as an unsigned integer; false when
      * missing.  fatal-free: mistyped/fractional/negative values
      * also return false so the caller can reject the request.
+     *
+     * Integer literals are taken through the exact path: every
+     * value in [0, UINT64_MAX] round-trips digit-for-digit, and
+     * literals outside that range are rejected rather than rounded
+     * or wrapped.  Fraction/exponent spellings (e.g. "2e4") are
+     * accepted only strictly below 2^53, where every integer is
+     * uniquely representable in a double — from 2^53 up the
+     * spelling has already lost precision, so it is rejected too.
      */
     bool getU64(const std::string &key, std::uint64_t *out) const;
 };

@@ -183,7 +183,9 @@ BatchScheduler::dispatcherLoop()
         std::string error;
         bool ok = true;
         try {
-            results = sim::SweepRunner(config_.jobs).run(cells);
+            results = config_.runner
+                          ? config_.runner(cells)
+                          : sim::SweepRunner(config_.jobs).run(cells);
         } catch (const std::exception &e) {
             ok = false;
             error = e.what();
@@ -251,14 +253,19 @@ BatchScheduler::stats() const
 CachedRunStats
 runCellsCached(ResultCache *cache, unsigned jobs,
                const std::vector<sim::SweepCell> &cells,
-               std::vector<sim::RunResult> *results)
+               std::vector<sim::RunResult> *results,
+               const BatchRunner &runner)
 {
+    auto simulate = [&](const std::vector<sim::SweepCell> &work) {
+        return runner ? runner(work)
+                      : sim::SweepRunner(jobs).run(work);
+    };
     CachedRunStats stats;
     results->assign(cells.size(), sim::RunResult{});
     if (cells.empty())
         return stats;
     if (!cache) {
-        *results = sim::SweepRunner(jobs).run(cells);
+        *results = simulate(cells);
         stats.misses = cells.size();
         return stats;
     }
@@ -293,7 +300,7 @@ runCellsCached(ResultCache *cache, unsigned jobs,
     }
 
     if (!cold.empty()) {
-        auto coldResults = sim::SweepRunner(jobs).run(cold);
+        auto coldResults = simulate(cold);
         for (std::size_t c = 0; c < cold.size(); ++c) {
             (*results)[coldIndex[c]] = coldResults[c];
             cache->put(coldKeys[c],

@@ -28,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +40,19 @@
 
 namespace nsrf::serve
 {
+
+/**
+ * How a batch of cold cells is simulated.  The default is a plain
+ * sim::SweepRunner sweep; injecting a runner lets an upper layer
+ * substitute an equivalent engine — notably the snapshot layer's
+ * prefix-restoring sweep (snapshot::makePrefixBatchRunner), which
+ * this layer cannot call directly (nsrf_snapshot links nsrf_serve,
+ * not the reverse).  A runner MUST honor the sweep determinism
+ * contract: results in cell order, byte-identical to a cold
+ * 1-thread SweepRunner::run.
+ */
+using BatchRunner = std::function<std::vector<sim::RunResult>(
+    const std::vector<sim::SweepCell> &)>;
 
 /** Completion record shared by every waiter of one fingerprint. */
 class CellJob
@@ -126,6 +140,8 @@ class BatchScheduler
         /** Start with the dispatcher gated (tests use this to
          * assemble a deterministic queue before any batch runs). */
         bool startPaused = false;
+        /** Cold-batch engine; empty = SweepRunner(jobs). */
+        BatchRunner runner;
     };
 
     /** @param cache shared result store; may be null (no reuse). */
@@ -199,10 +215,14 @@ struct CachedRunStats
  * With a null @p cache this is exactly SweepRunner::run.  Results
  * keep cell order, and — because both the codec and the sweep are
  * exact — are bit-identical whether served or simulated.
+ *
+ * A non-empty @p runner replaces the SweepRunner for the cold
+ * cells (see BatchRunner); cache admission is unchanged.
  */
 CachedRunStats runCellsCached(ResultCache *cache, unsigned jobs,
                               const std::vector<sim::SweepCell> &cells,
-                              std::vector<sim::RunResult> *results);
+                              std::vector<sim::RunResult> *results,
+                              const BatchRunner &runner = {});
 
 } // namespace nsrf::serve
 

@@ -155,10 +155,17 @@ cellsFromParams(const CellParams &params,
         sim::SweepCell cell;
         cell.label = profile.name;
         cell.config = config;
+        cell.config.maxInstructions = params.cap;
         cell.makeGenerator = [profile,
                               events = params.events]() {
             return generatorFor(profile, events);
         };
+        // Cells drawing the same stream name it, so a sweep batch
+        // decodes each shared event stream once (lane batching) —
+        // same key scheme as the bench harness.
+        cell.streamKey = profile.name + "#" +
+                         std::to_string(profile.seed) + "#" +
+                         std::to_string(params.events);
         // The provenance (with the config) IS the cache identity:
         // name the workload, its effective seed, the event budget,
         // and the generator scheme so any change to one of them
@@ -244,6 +251,9 @@ paramsFromJson(const json::Value &value, CellParams *out,
         } else if (key == "seed") {
             if (!value.getU64(key, &params.seed))
                 return fail("bad seed");
+        } else if (key == "cap") {
+            if (!value.getU64(key, &params.cap))
+                return fail("bad cap");
         } else {
             return fail("unknown cell field '" + key + "'");
         }

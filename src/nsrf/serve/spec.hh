@@ -41,6 +41,15 @@ struct CellParams
     bool background = false;
     std::uint64_t events = 600'000;
     std::uint64_t seed = 0; //!< 0 = profile default
+    /**
+     * Instruction cap (SimConfig::maxInstructions); 0 = run the
+     * whole trace.  Distinct from `events` (the generator length,
+     * part of the trace identity): two cells differing only in cap
+     * share a stream — and therefore share prefix snapshots, which
+     * is what lets successive-halving budget rungs resume each
+     * other.
+     */
+    std::uint64_t cap = 0;
 };
 
 /** Enum <-> wire-name parsers shared by the CLIs and the daemon. */

@@ -323,4 +323,31 @@ runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
     return stats;
 }
 
+serve::BatchRunner
+makePrefixBatchRunner(serve::ResultCache *cache, unsigned jobs,
+                      std::uint64_t prefixSteps,
+                      PrefixSweepStats *accum)
+{
+    // The accumulator is shared by every batch the runner ever
+    // executes; its own mutex rides along so concurrent callers
+    // (or a dispatcher thread racing a stats reader) stay clean
+    // under TSan.
+    auto accum_mutex = std::make_shared<std::mutex>();
+    return [cache, jobs, prefixSteps, accum, accum_mutex](
+               const std::vector<sim::SweepCell> &cells) {
+        std::vector<sim::RunResult> results;
+        PrefixSweepStats stats = runSweepWithPrefix(
+            cache, jobs, prefixSteps, cells, &results);
+        if (accum) {
+            std::lock_guard<std::mutex> lock(*accum_mutex);
+            accum->cells += stats.cells;
+            accum->prefixRestored += stats.prefixRestored;
+            accum->prefixCaptured += stats.prefixCaptured;
+            accum->coldCells += stats.coldCells;
+            accum->stepsSkipped += stats.stepsSkipped;
+        }
+        return results;
+    };
+}
+
 } // namespace nsrf::snapshot

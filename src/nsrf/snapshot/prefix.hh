@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nsrf/serve/cache.hh"
+#include "nsrf/serve/scheduler.hh"
 #include "nsrf/sim/sweep.hh"
 
 namespace nsrf::snapshot
@@ -68,6 +69,26 @@ PrefixSweepStats runSweepWithPrefix(
     std::uint64_t prefixSteps,
     const std::vector<sim::SweepCell> &cells,
     std::vector<sim::RunResult> *results);
+
+/**
+ * Adapt runSweepWithPrefix into a serve::BatchRunner so the serving
+ * path (BatchScheduler dispatch, runCellsCached cold batches) can
+ * resume cells from prefix snapshots.  The dependency points this
+ * way — nsrf_snapshot links nsrf_serve — so the serve layer takes
+ * the runner by injection (BatchScheduler::Config::runner, the
+ * runCellsCached runner argument) and this factory is the thing to
+ * inject.
+ *
+ * @param cache  snapshot store for the prefixes — usually the same
+ *               ResultCache the scheduler serves results from.
+ * @param accum  when non-null, each batch's PrefixSweepStats is
+ *               added into it (internally synchronized; read it
+ *               after the batches you care about completed, e.g.
+ *               after wait()/drain()).
+ */
+serve::BatchRunner makePrefixBatchRunner(
+    serve::ResultCache *cache, unsigned jobs,
+    std::uint64_t prefixSteps, PrefixSweepStats *accum = nullptr);
 
 } // namespace nsrf::snapshot
 

@@ -1,5 +1,7 @@
 #include "nsrf/vlsi/area.hh"
 
+#include "nsrf/common/logging.hh"
+
 namespace nsrf::vlsi
 {
 
@@ -10,6 +12,9 @@ AreaModel::AreaModel(const LayoutRules &rules) : rules_(rules)
 AreaBreakdown
 AreaModel::estimate(const Organization &org) const
 {
+    std::string why;
+    nsrf_assert(validateOrganization(org, &why),
+                "area model: %s", why.c_str());
     const LayoutRules &r = rules_;
     unsigned ports = org.ports();
     double row_h = r.cellHeight(ports);
@@ -40,14 +45,25 @@ AreaModel::estimate(const Organization &org) const
     return out;
 }
 
+bool
+AreaModel::estimateChecked(const Organization &org,
+                           AreaBreakdown *out,
+                           std::string *why) const
+{
+    if (!validateOrganization(org, why))
+        return false;
+    *out = estimate(org);
+    return true;
+}
+
 double
 AreaModel::processorAreaFraction(const Organization &org,
                                  const Organization &baseline,
                                  double conventional_fraction) const
 {
-    double ratio =
-        estimate(org).totalUm2() / estimate(baseline).totalUm2();
-    return conventional_fraction * ratio;
+    double base = estimate(baseline).totalUm2();
+    nsrf_assert(base > 0.0, "baseline area is zero");
+    return conventional_fraction * estimate(org).totalUm2() / base;
 }
 
 } // namespace nsrf::vlsi

@@ -7,6 +7,8 @@
 #ifndef NSRF_VLSI_AREA_HH
 #define NSRF_VLSI_AREA_HH
 
+#include <string>
+
 #include "nsrf/vlsi/geometry.hh"
 
 namespace nsrf::vlsi
@@ -32,8 +34,20 @@ class AreaModel
   public:
     explicit AreaModel(const LayoutRules &rules = LayoutRules{});
 
-    /** @return the area breakdown for @p org. */
+    /**
+     * @return the area breakdown for @p org, which must satisfy
+     * validateOrganization (asserted — a degenerate shape here is
+     * a caller bug, not an input).
+     */
     AreaBreakdown estimate(const Organization &org) const;
+
+    /**
+     * Validating estimate for enumerated lattice points: invalid
+     * shapes @return false with @p why set instead of leaking
+     * NaN/0 areas into downstream scores.
+     */
+    bool estimateChecked(const Organization &org, AreaBreakdown *out,
+                         std::string *why = nullptr) const;
 
     /**
      * @return estimated fraction of a typical processor die this

@@ -21,6 +21,46 @@ Organization::addrBits() const
     return log2Ceil(rows);
 }
 
+bool
+validateOrganization(const Organization &org, std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    // Generous engineering ceilings: the lattice never needs more,
+    // and they keep row*width products far from double overflow.
+    constexpr unsigned kMaxRows = 1u << 20;
+    constexpr unsigned kMaxBits = 1u << 16;
+    constexpr unsigned kMaxPorts = 64;
+    if (org.rows == 0 || org.rows > kMaxRows)
+        return fail("rows must be in [1, 2^20]");
+    if (org.bitsPerRow == 0 || org.bitsPerRow > kMaxBits)
+        return fail("bitsPerRow must be in [1, 2^16]");
+    if (org.regsPerLine == 0)
+        return fail("regsPerLine must be >= 1");
+    if (org.readPorts == 0)
+        return fail("readPorts must be >= 1");
+    if (org.writePorts == 0)
+        return fail("writePorts must be >= 1");
+    if (org.ports() > kMaxPorts)
+        return fail("total ports must be <= 64");
+    if (org.cidBits == 0 || org.cidBits > 32)
+        return fail("cidBits must be in [1, 32]");
+    if (org.offsetBits == 0 || org.offsetBits > 32)
+        return fail("offsetBits must be in [1, 32]");
+    if (org.kind == ArrayKind::NamedState) {
+        if (org.bitsPerRow < 32 * org.regsPerLine)
+            return fail("line narrower than 32 bits per register");
+        // tagBits() subtracts the in-line select from the address;
+        // a wider select would underflow the unsigned tag width.
+        if (log2Ceil(org.regsPerLine) >= org.cidBits + org.offsetBits)
+            return fail("in-line select consumes the whole address");
+    }
+    return true;
+}
+
 Organization
 Organization::segmented(unsigned rows, unsigned bits,
                         unsigned read_ports, unsigned write_ports)

@@ -30,6 +30,7 @@
 #define NSRF_VLSI_GEOMETRY_HH
 
 #include <cstdint>
+#include <string>
 
 namespace nsrf::vlsi
 {
@@ -67,6 +68,18 @@ struct Organization
                                    unsigned read_ports = 2,
                                    unsigned write_ports = 1);
 };
+
+/**
+ * Check that @p org is a shape the analytic models can cost.
+ * Design-space enumeration produces degenerate points (0 rows,
+ * 0-register lines, portless files, tag widths narrower than the
+ * in-line select) whose λ arithmetic would silently return 0, NaN
+ * or an underflowed tag width; this is the single validity gate in
+ * front of the area and timing estimators.  @return false with
+ * @p why naming the offending field.
+ */
+bool validateOrganization(const Organization &org,
+                          std::string *why = nullptr);
 
 /** λ-rule layout constants for the 1.2 µm process. */
 struct LayoutRules

@@ -1,5 +1,7 @@
 #include "nsrf/vlsi/timing.hh"
 
+#include "nsrf/common/logging.hh"
+
 namespace nsrf::vlsi
 {
 
@@ -12,6 +14,9 @@ TimingModel::TimingModel(const TimingRules &rules,
 TimingBreakdown
 TimingModel::estimate(const Organization &org) const
 {
+    std::string why;
+    nsrf_assert(validateOrganization(org, &why),
+                "timing model: %s", why.c_str());
     const TimingRules &t = rules_;
     unsigned ports = org.ports();
 
@@ -35,6 +40,17 @@ TimingModel::estimate(const Organization &org) const
     out.dataReadNs =
         t.dataReadBase + t.dataReadPerLambda * col_height_lambda;
     return out;
+}
+
+bool
+TimingModel::estimateChecked(const Organization &org,
+                             TimingBreakdown *out,
+                             std::string *why) const
+{
+    if (!validateOrganization(org, why))
+        return false;
+    *out = estimate(org);
+    return true;
 }
 
 } // namespace nsrf::vlsi

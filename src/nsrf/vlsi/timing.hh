@@ -21,6 +21,8 @@
 #ifndef NSRF_VLSI_TIMING_HH
 #define NSRF_VLSI_TIMING_HH
 
+#include <string>
+
 #include "nsrf/vlsi/geometry.hh"
 
 namespace nsrf::vlsi
@@ -70,8 +72,20 @@ class TimingModel
     explicit TimingModel(const TimingRules &rules = TimingRules{},
                          const LayoutRules &layout = LayoutRules{});
 
-    /** @return the access-time breakdown for @p org. */
+    /**
+     * @return the access-time breakdown for @p org, which must
+     * satisfy validateOrganization (asserted).
+     */
     TimingBreakdown estimate(const Organization &org) const;
+
+    /**
+     * Validating estimate for enumerated lattice points: invalid
+     * shapes @return false with @p why set instead of leaking
+     * nonsense delays into downstream scores.
+     */
+    bool estimateChecked(const Organization &org,
+                         TimingBreakdown *out,
+                         std::string *why = nullptr) const;
 
   private:
     TimingRules rules_;

@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Design-space autopilot tests.
+ *
+ * Three contracts.  Enumeration: the lattice expands in a fixed
+ * axis-major order, pins axes an organization ignores, counts every
+ * filtered combination, and rejects malformed specs outright.
+ * Pareto: the lex-scan frontier is EXACT — cross-checked against
+ * the O(n²) all-pairs reference on a ≥48-point lattice and on
+ * synthetic objective clouds — and paretoRank peels frontiers
+ * layer by layer.  Search: successive halving promotes exactly the
+ * keepFraction best, promotions prefix-restore instead of
+ * resimulating the warmup, and the frontier JSON is byte-identical
+ * across re-runs, across warm and cold caches, and across prefix
+ * and cold evaluation.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/explore/lattice.hh"
+#include "nsrf/explore/pareto.hh"
+#include "nsrf/explore/search.hh"
+#include "nsrf/serve/cache.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using explore::Objectives;
+
+/** O(n²) all-pairs reference: index i is on the frontier iff no j
+ * dominates it. */
+std::vector<std::size_t>
+bruteForceFrontier(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool nan = false;
+        for (double x : points[i])
+            nan = nan || std::isnan(x);
+        if (nan)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated;
+             ++j) {
+            dominated =
+                j != i && explore::dominates(points[j], points[i]);
+        }
+        if (!dominated)
+            out.push_back(i);
+    }
+    return out;
+}
+
+/** Deterministic pseudo-random doubles in [0, 1). */
+class Lcg
+{
+  public:
+    explicit Lcg(std::uint64_t seed) : state_(seed) {}
+
+    double
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull +
+                 1442695040888963407ull;
+        return double(state_ >> 11) / double(1ull << 53);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** A lattice that survives filtering with >= 48 points. */
+explore::LatticeSpec
+bigSpec()
+{
+    explore::LatticeSpec spec;
+    spec.app = "Quicksort";
+    spec.events = 8000;
+    spec.orgs = {"nsf", "segmented"};
+    spec.totalRegs = {32, 64, 96, 128};
+    spec.regsPerLine = {1, 2, 4};
+    spec.missPolicies = {"line", "live"};
+    spec.writePolicies = {"wa", "fow"};
+    // NSF: 4 regs x 3 lines x 2 miss x 2 write = 48; segmented
+    // adds 8 more (line pinned to 1, write pinned to "wa").
+    return spec;
+}
+
+TEST(ExploreLattice, EnumeratesDeterministicallyAndFilters)
+{
+    explore::LatticeSpec spec = bigSpec();
+    std::vector<explore::LatticePoint> points;
+    explore::LatticeStats stats;
+    std::string why;
+    ASSERT_TRUE(explore::enumerateLattice(spec, &points, &stats,
+                                          &why))
+        << why;
+
+    EXPECT_EQ(stats.combinations, 2u * 4u * 3u * 2u * 2u);
+    EXPECT_EQ(stats.points, points.size());
+    EXPECT_EQ(stats.combinations, stats.points + stats.invalid);
+    EXPECT_EQ(points.size(), 56u);
+
+    std::set<std::string> labels;
+    for (const explore::LatticePoint &point : points) {
+        EXPECT_TRUE(labels.insert(point.label).second)
+            << "duplicate label " << point.label;
+        if (point.params.org !=
+            regfile::Organization::NamedState) {
+            EXPECT_EQ(point.params.regsPerLine, 1u);
+        }
+        EXPECT_EQ(point.params.totalRegs %
+                      point.params.regsPerLine,
+                  0u);
+        std::string geomWhy;
+        EXPECT_TRUE(vlsi::validateOrganization(point.geometry(),
+                                               &geomWhy))
+            << point.label << ": " << geomWhy;
+    }
+
+    // Re-enumeration is bit-for-bit the same order.
+    std::vector<explore::LatticePoint> again;
+    explore::LatticeStats statsAgain;
+    ASSERT_TRUE(explore::enumerateLattice(spec, &again, &statsAgain,
+                                          &why));
+    ASSERT_EQ(again.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(again[i].label, points[i].label);
+}
+
+TEST(ExploreLattice, RejectsMalformedSpecs)
+{
+    std::vector<explore::LatticePoint> points;
+    explore::LatticeStats stats;
+    std::string why;
+
+    explore::LatticeSpec spec;
+    spec.app = "all";
+    EXPECT_FALSE(
+        explore::enumerateLattice(spec, &points, &stats, &why));
+    EXPECT_FALSE(why.empty());
+
+    spec = explore::LatticeSpec{};
+    spec.orgs = {"nsf", "mystery"};
+    EXPECT_FALSE(
+        explore::enumerateLattice(spec, &points, &stats, &why));
+    EXPECT_NE(why.find("mystery"), std::string::npos);
+
+    spec = explore::LatticeSpec{};
+    spec.totalRegs.clear();
+    EXPECT_FALSE(
+        explore::enumerateLattice(spec, &points, &stats, &why));
+
+    spec = explore::LatticeSpec{};
+    spec.events = 0;
+    EXPECT_FALSE(
+        explore::enumerateLattice(spec, &points, &stats, &why));
+
+    // Everything filtered (1-register lines only, for a geometry
+    // the validator rejects) is an error, not an empty success.
+    spec = explore::LatticeSpec{};
+    spec.orgs = {"nsf"};
+    spec.totalRegs = {1024};
+    spec.regsPerLine = {1024};
+    EXPECT_FALSE(
+        explore::enumerateLattice(spec, &points, &stats, &why));
+}
+
+TEST(ExplorePareto, DominatesBasics)
+{
+    EXPECT_TRUE(explore::dominates({1, 2}, {2, 2}));
+    EXPECT_TRUE(explore::dominates({1, 2}, {1, 3}));
+    EXPECT_FALSE(explore::dominates({1, 2}, {1, 2}));
+    EXPECT_FALSE(explore::dominates({2, 1}, {1, 2}));
+    double nan = std::nan("");
+    EXPECT_FALSE(explore::dominates({nan, 0}, {1, 1}));
+    EXPECT_FALSE(explore::dominates({0, 0}, {nan, 1}));
+}
+
+TEST(ExplorePareto, MatchesTheQuadraticReference)
+{
+    Lcg rng(0xfeedf00du);
+    for (std::size_t n : {0u, 1u, 2u, 17u, 64u, 200u}) {
+        for (std::size_t dims : {1u, 2u, 4u}) {
+            std::vector<Objectives> points(n);
+            for (Objectives &p : points) {
+                p.resize(dims);
+                for (double &x : p) {
+                    // Coarse grid so ties and exact dominance
+                    // chains actually occur.
+                    x = std::floor(rng.next() * 8.0);
+                }
+            }
+            EXPECT_EQ(explore::paretoFrontier(points),
+                      bruteForceFrontier(points))
+                << "n=" << n << " dims=" << dims;
+        }
+    }
+}
+
+TEST(ExplorePareto, RankPeelsLayersAndHandlesNan)
+{
+    std::vector<Objectives> points = {
+        {2, 2},                // middle layer
+        {1, 1},                // first layer
+        {3, 3},                // last layer
+        {1, 2},                // second layer (dominated by {1,1})
+        {std::nan(""), 0},     // flushed last
+    };
+    std::vector<std::size_t> ranked = explore::paretoRank(points);
+    ASSERT_EQ(ranked.size(), points.size());
+    EXPECT_EQ(ranked[0], 1u);
+    EXPECT_EQ(ranked.back(), 4u);
+
+    // A permutation: every index exactly once.
+    std::set<std::size_t> seen(ranked.begin(), ranked.end());
+    EXPECT_EQ(seen.size(), points.size());
+
+    // The first layer of the rank equals the frontier.
+    std::vector<std::size_t> frontier =
+        explore::paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0], 1u);
+}
+
+TEST(ExploreSearch, FrontierIsExactOnA48PointLattice)
+{
+    explore::ExploreOptions options;
+    options.lattice = bigSpec();
+    options.budgets = {2000, 8000};
+    options.keepFraction = 1.0; // everyone reaches the full budget
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    explore::CellEvaluator evaluate =
+        explore::makeOfflineEvaluator(&cache, 1, 2000);
+
+    explore::ExploreReport report;
+    std::string why;
+    ASSERT_TRUE(explore::runExploration(options, evaluate, &report,
+                                        &why))
+        << why;
+    ASSERT_GE(report.points.size(), 48u);
+
+    // keepFraction 1.0: every point carries a full-budget score, so
+    // the exact frontier over ALL points must match the O(n²)
+    // reference.
+    std::vector<Objectives> objectives;
+    for (const explore::PointResult &point : report.points) {
+        EXPECT_EQ(point.budgetReached, 8000u) << point.label;
+        EXPECT_EQ(point.eliminatedRung, -1) << point.label;
+        objectives.push_back({point.overheadFraction,
+                              point.reloadsPerInstr, point.areaUm2,
+                              point.accessNs});
+    }
+    EXPECT_EQ(report.frontier, bruteForceFrontier(objectives));
+    ASSERT_FALSE(report.frontier.empty());
+    for (std::size_t index : report.frontier)
+        EXPECT_TRUE(report.points[index].onFrontier);
+}
+
+TEST(ExploreSearch, HalvingPromotesEliminatesAndPrefixRestores)
+{
+    explore::ExploreOptions options;
+    options.lattice = bigSpec();
+    options.budgets = {2000, 8000};
+    options.keepFraction = 0.5;
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    snapshot::PrefixSweepStats prefix;
+    explore::CellEvaluator evaluate =
+        explore::makeOfflineEvaluator(&cache, 1, 2000, &prefix);
+
+    explore::ExploreReport report;
+    std::string why;
+    ASSERT_TRUE(explore::runExploration(options, evaluate, &report,
+                                        &why))
+        << why;
+
+    std::size_t total = report.points.size();
+    std::size_t expectSurvivors = (total + 1) / 2;
+    std::size_t finalists = 0;
+    for (const explore::PointResult &point : report.points) {
+        if (point.eliminatedRung == -1) {
+            ++finalists;
+            EXPECT_EQ(point.budgetReached, 8000u) << point.label;
+        } else {
+            EXPECT_EQ(point.eliminatedRung, 0) << point.label;
+            EXPECT_EQ(point.budgetReached, 2000u) << point.label;
+            EXPECT_FALSE(point.onFrontier) << point.label;
+        }
+    }
+    EXPECT_EQ(finalists, expectSurvivors);
+    for (std::size_t index : report.frontier)
+        EXPECT_EQ(report.points[index].eliminatedRung, -1);
+
+    // Rung 0 captured one prefix per point; every promotion then
+    // restored instead of resimulating its first 2000 steps.
+    EXPECT_EQ(prefix.prefixCaptured, total);
+    EXPECT_EQ(prefix.cells, total + expectSurvivors);
+    EXPECT_EQ(prefix.stepsSkipped, expectSurvivors * 2000u);
+    EXPECT_EQ(prefix.coldCells, 0u);
+}
+
+TEST(ExploreSearch, ArtifactsAreByteIdenticalAcrossModes)
+{
+    explore::ExploreOptions options;
+    options.lattice.app = "Quicksort";
+    options.lattice.events = 6000;
+    options.lattice.totalRegs = {64, 128};
+    options.lattice.regsPerLine = {1, 2};
+    options.budgets = {1500, 6000};
+    options.keepFraction = 0.5;
+
+    auto run = [&](serve::ResultCache *cache,
+                   std::uint64_t prefixSteps) {
+        explore::ExploreReport report;
+        std::string why;
+        EXPECT_TRUE(explore::runExploration(
+            options,
+            explore::makeOfflineEvaluator(cache, 1, prefixSteps),
+            &report, &why))
+            << why;
+        return explore::reportJson(report);
+    };
+
+    serve::ResultCache cold(serve::ResultCacheConfig{});
+    std::string first = run(&cold, 1500);
+
+    // Warm re-run against the same cache: every result is served,
+    // and the bytes do not move.
+    std::string warm = run(&cold, 1500);
+    EXPECT_EQ(first, warm);
+
+    // Cold evaluation without any prefix restore: same bytes.
+    serve::ResultCache plain(serve::ResultCacheConfig{});
+    std::string unprefixed = run(&plain, 0);
+    EXPECT_EQ(first, unprefixed);
+
+    // The artifact is non-trivial and schema-tagged.
+    EXPECT_NE(first.find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(first.find("\"fingerprint\":"), std::string::npos);
+
+    // CSV and gnuplot artifacts are deterministic too.
+    explore::ExploreReport report;
+    std::string why;
+    serve::ResultCache another(serve::ResultCacheConfig{});
+    ASSERT_TRUE(explore::runExploration(
+        options, explore::makeOfflineEvaluator(&another, 1, 1500),
+        &report, &why));
+    std::string csv = explore::reportCsv(report);
+    EXPECT_NE(csv.find("overheadFraction"), std::string::npos);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(csv.begin(), csv.end(), '\n')),
+              report.points.size() + 1);
+    std::string plot =
+        explore::reportGnuplot(report, "points.csv", "out.svg");
+    EXPECT_NE(plot.find("points.csv"), std::string::npos);
+    EXPECT_NE(plot.find("out.svg"), std::string::npos);
+    EXPECT_NE(plot.find(report.fingerprint), std::string::npos);
+}
+
+TEST(ExploreSearch, SpecTextPinsTheFingerprint)
+{
+    explore::LatticeSpec spec;
+    std::string base =
+        explore::canonicalSpecText(spec, {1000, 4000});
+    EXPECT_NE(base.find("nsrf-explore-lattice-v1"),
+              std::string::npos);
+
+    // Any axis change moves the text (and so the fingerprint).
+    explore::LatticeSpec other = spec;
+    other.totalRegs = {64, 128, 256, 512};
+    EXPECT_NE(base, explore::canonicalSpecText(other, {1000, 4000}));
+    EXPECT_NE(base, explore::canonicalSpecText(spec, {2000, 4000}));
+    EXPECT_EQ(base, explore::canonicalSpecText(spec, {1000, 4000}));
+}
+
+TEST(ExploreSearch, RejectsBadOptions)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    explore::CellEvaluator evaluate =
+        explore::makeOfflineEvaluator(&cache, 1, 0);
+    explore::ExploreReport report;
+    std::string why;
+
+    explore::ExploreOptions options;
+    options.lattice.events = 4000;
+    options.budgets = {4000, 2000};
+    EXPECT_FALSE(explore::runExploration(options, evaluate, &report,
+                                         &why));
+    EXPECT_NE(why.find("increasing"), std::string::npos);
+
+    options.budgets = {2000, 8000};
+    EXPECT_FALSE(explore::runExploration(options, evaluate, &report,
+                                         &why));
+    EXPECT_NE(why.find("exceeds"), std::string::npos);
+
+    options.budgets = {2000, 4000};
+    options.keepFraction = 0.0;
+    EXPECT_FALSE(explore::runExploration(options, evaluate, &report,
+                                         &why));
+    EXPECT_NE(why.find("keepFraction"), std::string::npos);
+}
+
+} // namespace

@@ -140,6 +140,59 @@ TEST(ServeJson, GetU64IsStrict)
     EXPECT_FALSE(v.getU64("missing", &out));
 }
 
+TEST(ServeJson, GetU64IsExactAcrossTheDoubleBoundary)
+{
+    // Integer literals must round-trip digit-for-digit all the way
+    // to UINT64_MAX.  A double-only path rounds 2^53+1 down to 2^53
+    // and wraps casts beyond 2^64 — both must be impossible.
+    Value v = parsed("{\"below\":9007199254740991,"
+                     "\"at\":9007199254740992,"
+                     "\"above\":9007199254740993,"
+                     "\"max\":18446744073709551615,"
+                     "\"past\":18446744073709551616,"
+                     "\"far\":340282366920938463463374607431768211456,"
+                     "\"negzero\":-0,"
+                     "\"expok\":2e4,"
+                     "\"expbig\":9.007199254740993e15}");
+    std::uint64_t out = 0;
+    EXPECT_TRUE(v.getU64("below", &out));
+    EXPECT_EQ(out, 9007199254740991u); // 2^53 - 1
+    EXPECT_TRUE(v.getU64("at", &out));
+    EXPECT_EQ(out, 9007199254740992u); // 2^53
+    EXPECT_TRUE(v.getU64("above", &out));
+    EXPECT_EQ(out, 9007199254740993u); // 2^53 + 1, exact
+    EXPECT_TRUE(v.getU64("max", &out));
+    EXPECT_EQ(out, UINT64_MAX);
+    // One past UINT64_MAX (and far past) reject, never wrap.
+    EXPECT_FALSE(v.getU64("past", &out));
+    EXPECT_FALSE(v.getU64("far", &out));
+    // -0 is a valid spelling of zero.
+    EXPECT_TRUE(v.getU64("negzero", &out));
+    EXPECT_EQ(out, 0u);
+    // Exponent forms stay accepted while exactly representable...
+    EXPECT_TRUE(v.getU64("expok", &out));
+    EXPECT_EQ(out, 20000u);
+    // ...but a spelling that already lost precision is rejected.
+    EXPECT_FALSE(v.getU64("expbig", &out));
+}
+
+TEST(ServeSpec, IntegerFieldsRejectRoundedValues)
+{
+    // The request pipeline end-to-end: a 64-bit field above 2^64
+    // must fail the parse, not wrap into a small cap.
+    serve::CellParams params;
+    std::string why;
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"seed\":18446744073709551616}"), &params, &why));
+    EXPECT_NE(why.find("bad seed"), std::string::npos) << why;
+    ASSERT_TRUE(serve::paramsFromJson(
+        parsed("{\"seed\":18446744073709551615}"), &params, &why))
+        << why;
+    EXPECT_EQ(params.seed, UINT64_MAX);
+    EXPECT_FALSE(serve::paramsFromJson(
+        parsed("{\"events\":1.5}"), &params, &why));
+}
+
 TEST(ServeSpec, ParsesAndRejectsCellSpecs)
 {
     serve::CellParams params;

@@ -22,6 +22,7 @@
 #include "nsrf/serve/scheduler.hh"
 #include "nsrf/serve/server.hh"
 #include "nsrf/serve/spec.hh"
+#include "nsrf/snapshot/prefix.hh"
 
 namespace
 {
@@ -198,6 +199,159 @@ TEST(ServeScheduler, CachedRunMatchesColdRunByteForByte)
         serve::runCellsCached(&cache, 2, cells, &second);
     EXPECT_EQ(warm_stats.hits, cells.size());
     EXPECT_EQ(warm_stats.misses, 0u);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(serve::encodeRunResult(first[i]),
+                  serve::encodeRunResult(reference[i]));
+        EXPECT_EQ(serve::encodeRunResult(second[i]),
+                  serve::encodeRunResult(reference[i]));
+    }
+}
+
+/**
+ * A waiter that times out while the job later completes: the job
+ * must still publish exactly once, the counters must settle as if
+ * nobody ever timed out, and a late wait() must observe the same
+ * result every other waiter saw.
+ */
+TEST(ServeScheduler, WaitTimeoutThenCompletionIsClean)
+{
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    BatchScheduler::Config config;
+    config.startPaused = true; // the cell cannot finish yet
+    BatchScheduler scheduler(&cache, config);
+
+    Ticket ticket = scheduler.submit(smallCell("Quicksort"));
+    ASSERT_EQ(ticket.admission, Admission::Scheduled);
+
+    // Deterministic timeout: the dispatcher is gated, so no amount
+    // of waiting can complete the job.
+    EXPECT_FALSE(ticket.job->wait(std::chrono::milliseconds(10)));
+    EXPECT_FALSE(ticket.job->done());
+
+    // A second waiter times out concurrently with the job finally
+    // running (dispatcher resumed mid-wait on another thread).
+    std::thread resumer([&] { scheduler.resume(); });
+    bool second = ticket.job->wait(std::chrono::milliseconds(1));
+    resumer.join();
+
+    // Whatever the race decided for the short waiter, a patient
+    // waiter gets the completed job...
+    ASSERT_TRUE(ticket.job->wait(kWait));
+    EXPECT_TRUE(ticket.job->done());
+    EXPECT_FALSE(ticket.job->failed()) << ticket.job->error();
+    (void)second;
+
+    // ...published exactly once: one simulation, a stable payload,
+    // and a resubmit that hits the cache instead of re-running.
+    serve::SchedulerStats stats = scheduler.stats();
+    EXPECT_EQ(stats.simulations, 1u);
+    EXPECT_EQ(stats.scheduled, 1u);
+    const std::string encoded = ticket.job->encoded();
+    std::vector<sim::RunResult> cold =
+        sim::SweepRunner(1).run({smallCell("Quicksort")});
+    EXPECT_EQ(serve::encodeRunResult(cold[0]), encoded);
+
+    Ticket warm = scheduler.submit(smallCell("Quicksort"));
+    EXPECT_EQ(warm.admission, Admission::Hit);
+    EXPECT_EQ(warm.job->encoded(), encoded);
+    serve::SchedulerStats after = scheduler.stats();
+    EXPECT_EQ(after.simulations, 1u);
+    EXPECT_EQ(after.hits, 1u);
+}
+
+/**
+ * Prefix-restored serving (the ROADMAP item 5 follow-up): with a
+ * snapshot::makePrefixBatchRunner injected, the scheduler's cold
+ * batches capture/restore warmup prefixes in the result cache, a
+ * longer-budget resubmit of the same cell resumes instead of
+ * re-simulating the prefix, and every payload stays byte-identical
+ * to a cold SweepRunner run.
+ */
+TEST(ServeScheduler, PrefixRunnerServesByteIdenticalAndReports)
+{
+    constexpr std::uint64_t kPrefix = 500;
+    auto cellWithCap = [](std::uint64_t cap) {
+        sim::SweepCell cell = smallCell("Quicksort");
+        cell.config.maxInstructions = cap;
+        return cell;
+    };
+
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    snapshot::PrefixSweepStats prefix_stats;
+    BatchScheduler::Config config;
+    config.runner = snapshot::makePrefixBatchRunner(
+        &cache, 1, kPrefix, &prefix_stats);
+    BatchScheduler scheduler(&cache, config);
+
+    // Cold: the batch captures the prefix snapshot while producing
+    // the short-budget result.
+    Ticket first = scheduler.submit(cellWithCap(kPrefix));
+    ASSERT_EQ(first.admission, Admission::Scheduled);
+    ASSERT_TRUE(first.job->wait(kWait));
+    ASSERT_FALSE(first.job->failed()) << first.job->error();
+    EXPECT_EQ(prefix_stats.prefixCaptured, 1u);
+    EXPECT_EQ(prefix_stats.prefixRestored, 1u);
+    EXPECT_EQ(prefix_stats.coldCells, 0u);
+
+    // Same cell, longer budget: a different result fingerprint (no
+    // cache hit), but the cap-independent prefix identity matches —
+    // the serve path must report the restored prefix.
+    Ticket longer = scheduler.submit(cellWithCap(2 * kPrefix));
+    ASSERT_EQ(longer.admission, Admission::Scheduled);
+    ASSERT_TRUE(longer.job->wait(kWait));
+    ASSERT_FALSE(longer.job->failed()) << longer.job->error();
+    EXPECT_EQ(prefix_stats.prefixRestored, 2u);
+    EXPECT_EQ(prefix_stats.prefixCaptured, 1u)
+        << "the warm run must not re-capture";
+    EXPECT_EQ(prefix_stats.stepsSkipped, kPrefix)
+        << "the warm run must resume, not re-simulate, the prefix";
+
+    // Byte-identical to scheduler-free cold runs, both budgets.
+    std::vector<sim::RunResult> cold = sim::SweepRunner(1).run(
+        {cellWithCap(kPrefix), cellWithCap(2 * kPrefix)});
+    EXPECT_EQ(first.job->encoded(),
+              serve::encodeRunResult(cold[0]));
+    EXPECT_EQ(longer.job->encoded(),
+              serve::encodeRunResult(cold[1]));
+
+    // And the result cache serves both warm from here on.
+    Ticket warm = scheduler.submit(cellWithCap(2 * kPrefix));
+    EXPECT_EQ(warm.admission, Admission::Hit);
+    EXPECT_EQ(warm.job->encoded(), longer.job->encoded());
+}
+
+/** The offline face: runCellsCached with an injected prefix runner
+ * stays byte-identical to cold and reports prefix restores. */
+TEST(ServeScheduler, CachedRunWithPrefixRunnerMatchesCold)
+{
+    std::vector<sim::SweepCell> cells;
+    for (const char *app : {"Quicksort", "DTW", "AS"})
+        cells.push_back(smallCell(app));
+    std::vector<sim::RunResult> reference =
+        sim::SweepRunner(2).run(cells);
+
+    constexpr std::uint64_t kPrefix = 500;
+    serve::ResultCache cache(serve::ResultCacheConfig{});
+    snapshot::PrefixSweepStats prefix_stats;
+    serve::BatchRunner runner = snapshot::makePrefixBatchRunner(
+        &cache, 2, kPrefix, &prefix_stats);
+
+    std::vector<sim::RunResult> first;
+    serve::CachedRunStats cold_stats = serve::runCellsCached(
+        &cache, 2, cells, &first, runner);
+    EXPECT_EQ(cold_stats.hits, 0u);
+    EXPECT_EQ(cold_stats.misses, cells.size());
+    EXPECT_EQ(prefix_stats.prefixCaptured, cells.size());
+
+    // Warm: every result comes from the cache; the prefix runner
+    // is not consulted again.
+    std::vector<sim::RunResult> second;
+    serve::CachedRunStats warm_stats = serve::runCellsCached(
+        &cache, 2, cells, &second, runner);
+    EXPECT_EQ(warm_stats.hits, cells.size());
+    EXPECT_EQ(warm_stats.misses, 0u);
+    EXPECT_EQ(prefix_stats.cells, cells.size());
 
     for (std::size_t i = 0; i < cells.size(); ++i) {
         EXPECT_EQ(serve::encodeRunResult(first[i]),

@@ -207,5 +207,107 @@ TEST_F(TimingFigures, ComponentsSumToTotal)
                 t.decodeNs + t.wordSelectNs + t.dataReadNs, 1e-12);
 }
 
+/**
+ * Degenerate lattice points.  The explorer enumerates shapes
+ * mechanically, so the models must refuse 0-row / 0-port /
+ * tag-underflow organizations with a structured error (checked
+ * path) or a loud death (unchecked path) — never a silent 0, NaN
+ * or underflowed tag width in a frontier score.
+ */
+TEST(OrganizationValidate, AcceptsThePaperShapes)
+{
+    std::string why;
+    EXPECT_TRUE(validateOrganization(
+        Organization::segmented(128, 32), &why)) << why;
+    EXPECT_TRUE(validateOrganization(
+        Organization::namedState(64, 64, 2, 4, 2), &why)) << why;
+    // A one-line, one-register file is degenerate but costable.
+    EXPECT_TRUE(validateOrganization(
+        Organization::namedState(1, 32, 1), &why)) << why;
+}
+
+TEST(OrganizationValidate, RejectsDegenerateShapes)
+{
+    auto rejects = [](Organization org, const char *field) {
+        std::string why;
+        EXPECT_FALSE(validateOrganization(org, &why)) << field;
+        EXPECT_FALSE(why.empty()) << field;
+        return why;
+    };
+
+    Organization org = Organization::namedState(128, 32, 1);
+    org.rows = 0;
+    EXPECT_NE(rejects(org, "rows").find("rows"),
+              std::string::npos);
+
+    org = Organization::namedState(128, 32, 1);
+    org.bitsPerRow = 0;
+    rejects(org, "bitsPerRow");
+
+    org = Organization::namedState(128, 32, 1);
+    org.regsPerLine = 0;
+    rejects(org, "regsPerLine");
+
+    org = Organization::segmented(128, 32);
+    org.readPorts = 0;
+    rejects(org, "readPorts");
+    org = Organization::segmented(128, 32);
+    org.writePorts = 0;
+    rejects(org, "writePorts");
+    org = Organization::segmented(128, 32, 63, 63);
+    rejects(org, "ports");
+
+    // Line wider than the data row can hold.
+    org = Organization::namedState(128, 32, 1);
+    org.regsPerLine = 4; // 4 * 32 bits > 32-bit row
+    rejects(org, "line width");
+
+    // In-line select eats the whole <CID:offset> address: the
+    // unchecked tagBits() would underflow unsigned.
+    org = Organization::namedState(128, 32768, 1024);
+    org.cidBits = 5;
+    org.offsetBits = 5;
+    EXPECT_NE(rejects(org, "tag underflow").find("select"),
+              std::string::npos);
+}
+
+TEST(OrganizationValidate, CheckedEstimatesReturnStructuredErrors)
+{
+    AreaModel area;
+    TimingModel timing;
+    Organization bad = Organization::namedState(128, 32, 1);
+    bad.rows = 0;
+
+    AreaBreakdown a;
+    std::string why;
+    EXPECT_FALSE(area.estimateChecked(bad, &a, &why));
+    EXPECT_FALSE(why.empty());
+
+    TimingBreakdown t;
+    why.clear();
+    EXPECT_FALSE(timing.estimateChecked(bad, &t, &why));
+    EXPECT_FALSE(why.empty());
+
+    // The checked path on a valid shape matches the unchecked one.
+    Organization good = Organization::namedState(128, 32, 1);
+    ASSERT_TRUE(area.estimateChecked(good, &a, &why)) << why;
+    EXPECT_DOUBLE_EQ(a.totalUm2(),
+                     area.estimate(good).totalUm2());
+    ASSERT_TRUE(timing.estimateChecked(good, &t, &why)) << why;
+    EXPECT_DOUBLE_EQ(t.totalNs(),
+                     timing.estimate(good).totalNs());
+}
+
+TEST(OrganizationValidateDeathTest, UncheckedEstimatorsDie)
+{
+    AreaModel area;
+    TimingModel timing;
+    Organization bad = Organization::segmented(128, 32);
+    bad.readPorts = 0;
+    bad.writePorts = 0;
+    EXPECT_DEATH(area.estimate(bad), "readPorts");
+    EXPECT_DEATH(timing.estimate(bad), "readPorts");
+}
+
 } // namespace
 } // namespace nsrf::vlsi

@@ -19,7 +19,8 @@
 #                  trace_smoke → Perfetto-validate pipeline
 #   5. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
 #   6. tsan      — TSan build, sweep-runner thread-pool tests plus
-#                  the serve scheduler and daemon smoke
+#                  the serve scheduler, daemon smoke, and the
+#                  explorer smoke (prefix-restoring batch runner)
 #   7. fuzz      — time-boxed differential fuzz on the audit build
 #   8. snapshot  — time-boxed fuzz with --snapshot-every: the
 #                  register file is serialized, restored into a
@@ -56,7 +57,7 @@ stage "runtime scalar fallback + scalar-vs-SIMD stats cross-check"
 # macrobench smoke then re-runs itself with NSRF_SIMD=scalar and
 # fails unless both kernel sets simulate bit-identical stats.
 NSRF_SIMD=scalar ctest --preset release -j "$jobs" \
-    -R 'Philox|CounterRandom|FlatIndex|Workload|workload|Snapshot|SweepPrefix'
+    -R 'Philox|CounterRandom|FlatIndex|Workload|workload|Snapshot|SweepPrefix|Explore|explore_smoke'
 ./build/bench/macro_throughput --smoke \
     --json build/BENCH_throughput_smoke.json
 
@@ -86,15 +87,18 @@ stage "tsan build + sweep-runner thread pool + serving daemon"
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
     test_serve_scheduler test_cam test_cam_flat_index nsrf_fuzz \
-    nsrf_serve_cli nsrf_request
+    nsrf_serve_cli nsrf_request nsrf_explore_cli
 # The serve scheduler (single-flight dedup, dispatcher handoff) and
 # the end-to-end daemon smoke are the concurrency-heavy serving
 # paths; both must be clean under TSan.  The CAM decoder and its
 # flat tag index ride along: sweep workers simulate in parallel, so
 # a data race hiding in the hot decoder structures would poison
 # every sweep cell.
+# explore_smoke rides along: the autopilot drives runCellsCached
+# and the prefix-restoring batch runner on 2 sweep workers, the
+# exact write path the daemon's dispatcher takes.
 ctest --preset tsan -j "$jobs" \
-    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex'
+    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex|explore_smoke'
 
 stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 ./build-tsan/tools/nsrf_fuzz --seed 1 --runs 16 --ops 300 --jobs 4

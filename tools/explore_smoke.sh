@@ -1,0 +1,84 @@
+#!/bin/sh
+# explore_smoke: determinism proof for the design-space autopilot.
+#
+#   explore_smoke.sh <nsrf_explore binary>
+#
+# Runs one >=48-point lattice three ways — cold with prefix
+# restore, warm from the same cache, and cold with no prefix runner
+# at all — and demands byte-identical frontier JSON from all three.
+# The warm run must serve every cell from the cache (prefix stats
+# all zero), and the cold run's prefix stats are pinned exactly:
+# 56 lattice points captured on the triage rung, 28 promotions
+# restored, 28 x 2000 warmup steps skipped.
+set -u
+
+explore="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+run()
+{
+    out="$1"
+    err="$2"
+    shift 2
+    "$explore" --app Quicksort --events 8000 \
+        --orgs nsf,segmented --regs 32,64,96,128 --lines 1,2,4 \
+        --miss line,live --write wa,fow --budgets 2000,8000 \
+        --jobs 2 --out "$out" "$@" 2> "$err"
+}
+
+if ! run "$tmp/cold.json" "$tmp/cold.err" --cache "$tmp/cache" \
+        --csv "$tmp/cold.csv" --gnuplot "$tmp/cold.gp" \
+        --figure frontier.svg; then
+    echo "FAIL: cold run failed"
+    cat "$tmp/cold.err"
+    exit 1
+fi
+if ! grep -q "prefix: 84 cells, 84 restored, 56 captured, 0 cold, 56000 steps skipped" \
+        "$tmp/cold.err"; then
+    echo "FAIL: cold run's prefix stats are off"
+    cat "$tmp/cold.err"
+    exit 1
+fi
+if ! grep -q '"schema":1' "$tmp/cold.json"; then
+    echo "FAIL: frontier JSON lacks the schema tag"
+    exit 1
+fi
+if ! grep -q '"fingerprint":"' "$tmp/cold.json"; then
+    echo "FAIL: frontier JSON lacks the lattice fingerprint"
+    exit 1
+fi
+if [ ! -s "$tmp/cold.csv" ] || [ ! -s "$tmp/cold.gp" ]; then
+    echo "FAIL: CSV/gnuplot artifacts missing"
+    exit 1
+fi
+
+if ! run "$tmp/warm.json" "$tmp/warm.err" --cache "$tmp/cache"; then
+    echo "FAIL: warm run failed"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if ! grep -q "prefix: 0 cells, 0 restored, 0 captured, 0 cold, 0 steps skipped" \
+        "$tmp/warm.err"; then
+    echo "FAIL: warm run re-simulated (expected every cell cached)"
+    cat "$tmp/warm.err"
+    exit 1
+fi
+if ! cmp -s "$tmp/cold.json" "$tmp/warm.json"; then
+    echo "FAIL: warm frontier differs from cold"
+    exit 1
+fi
+
+if ! run "$tmp/plain.json" "$tmp/plain.err" --no-prefix \
+        --cache "$tmp/plain.cache"; then
+    echo "FAIL: no-prefix run failed"
+    cat "$tmp/plain.err"
+    exit 1
+fi
+if ! cmp -s "$tmp/cold.json" "$tmp/plain.json"; then
+    echo "FAIL: prefix-restored frontier differs from cold-evaluated"
+    exit 1
+fi
+
+echo "explore_smoke ok: frontier byte-identical cold/warm/no-prefix"
+exit 0

@@ -1,0 +1,487 @@
+/**
+ * @file
+ * nsrf_explore: deterministic design-space autopilot.
+ *
+ * Enumerates a declarative config lattice, runs successive halving
+ * over increasing instruction budgets — promotions resume from the
+ * short rung's prefix snapshots instead of resimulating the warmup
+ * — and emits the exact Pareto frontier (overhead, reload traffic,
+ * area, access time) as schema-versioned JSON plus optional CSV and
+ * gnuplot figure artifacts.  The same lattice and seed produce
+ * byte-identical artifacts on every run, warm or cold, offline or
+ * against a daemon.
+ *
+ *     nsrf_explore --cache /tmp/nsrf.cache --out frontier.json
+ *     nsrf_explore --socket /tmp/nsrf.sock --out frontier.json
+ *     nsrf_explore --orgs nsf,segmented --regs 64,128,256 \
+ *         --lines 1,2,4 --events 60000 --budgets 15000,60000
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <vector>
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/common/options.hh"
+#include "nsrf/explore/search.hh"
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/stats/json.hh"
+
+using namespace nsrf;
+
+namespace
+{
+
+struct Options
+{
+    explore::ExploreOptions search;
+    std::string cache;   //!< offline result/snapshot store dir
+    std::string socket;  //!< daemon mode instead of offline
+    unsigned jobs = 1;
+    bool noPrefix = false; //!< cold batches (baseline measurement)
+    unsigned timeoutMs = 300'000;
+
+    std::string out;     //!< frontier JSON path; empty = stdout
+    std::string csv;     //!< CSV artifact path
+    std::string gnuplot; //!< gnuplot script path (needs --csv)
+    std::string figure = "frontier.svg"; //!< plot output the script
+                                         //!< renders
+};
+
+void
+usage()
+{
+    std::puts(
+        "usage: nsrf_explore [options]\n"
+        "lattice (CSV-valued axes):\n"
+        "  --app NAME             workload (default Quicksort)\n"
+        "  --events N             trace length = full budget\n"
+        "  --seed N               workload seed override\n"
+        "  --orgs LIST            nsf,segmented,conventional,windowed\n"
+        "  --regs LIST            total registers (default 64,128,256)\n"
+        "  --lines LIST           registers per line (default 1,2,4)\n"
+        "  --miss LIST            line|live|single (default line)\n"
+        "  --write LIST           wa|fow (default wa)\n"
+        "  --repl LIST            lru|fifo|random (default lru)\n"
+        "  --read-ports LIST      (default 2)\n"
+        "  --write-ports LIST     (default 1)\n"
+        "search:\n"
+        "  --budgets LIST         instruction budgets per rung,\n"
+        "                         increasing (default events/4,events)\n"
+        "  --keep FRACTION        survivors per rung (default 0.5)\n"
+        "  --prefix-steps N       snapshot prefix (default budgets[0])\n"
+        "  --no-prefix            cold batches (baseline timing)\n"
+        "  --jobs N               sweep workers (default 1)\n"
+        "evaluation:\n"
+        "  --cache DIR            offline, cached in DIR (default:\n"
+        "                         offline, memory-only)\n"
+        "  --socket PATH          evaluate via a nsrf_serve daemon\n"
+        "  --timeout-ms N         daemon reply bound (default 300000)\n"
+        "artifacts:\n"
+        "  --out PATH             frontier JSON (default stdout)\n"
+        "  --csv PATH             per-point CSV\n"
+        "  --gnuplot PATH         gnuplot script (requires --csv)\n"
+        "  --figure PATH          figure the script renders (default\n"
+        "                         frontier.svg)");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(text);
+    while (std::getline(in, item, ','))
+        out.push_back(item);
+    return out;
+}
+
+std::vector<unsigned>
+splitCsvU32(const std::string &flag, const std::string &text)
+{
+    std::vector<unsigned> out;
+    for (const std::string &item : splitCsv(text))
+        out.push_back(common::parseU32(flag, item.c_str()));
+    return out;
+}
+
+std::vector<std::uint64_t>
+splitCsvU64(const std::string &flag, const std::string &text)
+{
+    std::vector<std::uint64_t> out;
+    for (const std::string &item : splitCsv(text))
+        out.push_back(common::parseU64(flag, item.c_str()));
+    return out;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    explore::LatticeSpec &lattice = opt.search.lattice;
+    common::OptionScanner scan(argc, argv);
+    while (scan.next()) {
+        if (scan.is("--app")) {
+            lattice.app = scan.value();
+        } else if (scan.is("--events")) {
+            lattice.events = scan.u64();
+        } else if (scan.is("--seed")) {
+            lattice.seed = scan.u64();
+        } else if (scan.is("--orgs")) {
+            lattice.orgs = splitCsv(scan.value());
+        } else if (scan.is("--regs")) {
+            lattice.totalRegs = splitCsvU32("--regs", scan.value());
+        } else if (scan.is("--lines")) {
+            lattice.regsPerLine =
+                splitCsvU32("--lines", scan.value());
+        } else if (scan.is("--miss")) {
+            lattice.missPolicies = splitCsv(scan.value());
+        } else if (scan.is("--write")) {
+            lattice.writePolicies = splitCsv(scan.value());
+        } else if (scan.is("--repl")) {
+            lattice.replacements = splitCsv(scan.value());
+        } else if (scan.is("--read-ports")) {
+            lattice.readPorts =
+                splitCsvU32("--read-ports", scan.value());
+        } else if (scan.is("--write-ports")) {
+            lattice.writePorts =
+                splitCsvU32("--write-ports", scan.value());
+        } else if (scan.is("--budgets")) {
+            opt.search.budgets =
+                splitCsvU64("--budgets", scan.value());
+        } else if (scan.is("--keep")) {
+            opt.search.keepFraction = std::atof(scan.value());
+        } else if (scan.is("--prefix-steps")) {
+            opt.search.prefixSteps = scan.u64();
+        } else if (scan.is("--no-prefix")) {
+            opt.noPrefix = true;
+        } else if (scan.is("--jobs")) {
+            opt.jobs = scan.u32();
+        } else if (scan.is("--cache")) {
+            opt.cache = scan.value();
+        } else if (scan.is("--socket")) {
+            opt.socket = scan.value();
+        } else if (scan.is("--timeout-ms")) {
+            opt.timeoutMs = scan.u32();
+        } else if (scan.is("--out")) {
+            opt.out = scan.value();
+        } else if (scan.is("--csv")) {
+            opt.csv = scan.value();
+        } else if (scan.is("--gnuplot")) {
+            opt.gnuplot = scan.value();
+        } else if (scan.is("--figure")) {
+            opt.figure = scan.value();
+        } else if (scan.is("--help") || scan.is("-h")) {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         scan.arg().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** One daemon round trip (same framing as nsrf_request). */
+bool
+exchange(const std::string &socket, unsigned timeoutMs,
+         const std::string &request, std::string *reply)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socket.empty() || socket.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "bad socket path\n");
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket.c_str(), socket.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        std::fprintf(stderr, "connect %s: %s\n", socket.c_str(),
+                     std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    timeval tv;
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = static_cast<long>(timeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        ssize_t n = ::send(fd, line.data() + sent,
+                           line.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "send: %s\n", std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+
+    reply->clear();
+    char chunk[4096];
+    while (reply->find('\n') == std::string::npos) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "recv: %s\n", std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        reply->append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::size_t nl = reply->find('\n');
+    if (nl == std::string::npos) {
+        std::fprintf(stderr, "no reply (daemon gone?)\n");
+        return false;
+    }
+    reply->resize(nl);
+    return true;
+}
+
+/** Serialize one submit request for @p batch. */
+std::string
+submitRequest(const std::vector<serve::CellParams> &batch)
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("op", "submit");
+    json.key("cells").beginArray();
+    for (const serve::CellParams &c : batch) {
+        json.beginObject();
+        json.field("app", c.app);
+        json.field("org", regfile::organizationName(c.org));
+        if (c.totalRegs)
+            json.field("regs", c.totalRegs);
+        json.field("line", c.regsPerLine);
+        json.field("miss", serve::missPolicyName(c.miss));
+        json.field("write", serve::writePolicyName(c.write));
+        json.field("repl", cam::replacementName(c.repl));
+        json.field("mech", serve::mechanismName(c.mech));
+        json.field("valid", c.trackValid);
+        json.field("bg", c.background);
+        json.field("events", c.events);
+        if (c.seed)
+            json.field("seed", c.seed);
+        if (c.cap)
+            json.field("cap", c.cap);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+/**
+ * Daemon-backed evaluator: submits each rung over the socket
+ * (chunked to the daemon's per-request cell bound) and reads the
+ * scores out of the replies.  The daemon serves exact results in
+ * round-trip doubles, so the scores — and therefore the frontier
+ * artifact — are byte-identical to offline evaluation.
+ */
+explore::CellEvaluator
+makeDaemonEvaluator(const std::string &socket, unsigned timeoutMs)
+{
+    return [socket, timeoutMs](
+               const std::vector<serve::CellParams> &batch,
+               std::vector<explore::SimScore> *scores,
+               std::string *why) {
+        auto fail = [&](const std::string &msg) {
+            if (why)
+                *why = msg;
+            return false;
+        };
+        scores->clear();
+        scores->reserve(batch.size());
+        constexpr std::size_t kChunk = 128;
+        for (std::size_t at = 0; at < batch.size(); at += kChunk) {
+            std::vector<serve::CellParams> chunk(
+                batch.begin() + static_cast<std::ptrdiff_t>(at),
+                batch.begin() +
+                    static_cast<std::ptrdiff_t>(
+                        std::min(at + kChunk, batch.size())));
+            std::string reply_line;
+            if (!exchange(socket, timeoutMs, submitRequest(chunk),
+                          &reply_line)) {
+                return fail("daemon exchange failed");
+            }
+            serve::json::Value reply;
+            std::string parse_why;
+            if (!serve::json::parse(reply_line, &reply,
+                                    &parse_why)) {
+                return fail("malformed reply: " + parse_why);
+            }
+            if (!reply.getBool("ok", false))
+                return fail("daemon error: " +
+                            reply.getString("error", "?"));
+            const serve::json::Value *cells = reply.find("cells");
+            if (!cells || !cells->isArray() ||
+                cells->array.size() != chunk.size()) {
+                return fail("short submit reply");
+            }
+            for (const auto &cell : cells->array) {
+                std::string error = cell.getString("error", "");
+                const serve::json::Value *result =
+                    cell.find("result");
+                if (!error.empty() || !result ||
+                    !result->isObject()) {
+                    return fail(
+                        cell.getString("label", "?") + ": " +
+                        (error.empty() ? "no result" : error));
+                }
+                explore::SimScore score;
+                score.overheadFraction =
+                    result->getNumber("overheadFraction", 0.0);
+                score.reloadsPerInstr =
+                    result->getNumber("reloadsPerInstr", 0.0);
+                scores->push_back(score);
+            }
+        }
+        return true;
+    };
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    out.flush();
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt)) {
+        usage();
+        return 2;
+    }
+    if (!opt.socket.empty() && !opt.cache.empty()) {
+        std::fprintf(stderr,
+                     "--socket and --cache are exclusive\n");
+        return 2;
+    }
+    if (!opt.gnuplot.empty() && opt.csv.empty()) {
+        std::fprintf(stderr, "--gnuplot requires --csv\n");
+        return 2;
+    }
+    if (!(opt.search.keepFraction > 0.0) ||
+        opt.search.keepFraction > 1.0) {
+        std::fprintf(stderr, "--keep must be in (0, 1]\n");
+        return 2;
+    }
+
+    // Default the prefix to the first budget so the triage rung
+    // captures what every promotion restores.
+    std::uint64_t prefixSteps = opt.search.prefixSteps;
+    if (prefixSteps == 0) {
+        if (!opt.search.budgets.empty()) {
+            prefixSteps = opt.search.budgets.front();
+        } else {
+            prefixSteps = std::max<std::uint64_t>(
+                1, opt.search.lattice.events / 4);
+        }
+    }
+
+    explore::CellEvaluator evaluate;
+    std::unique_ptr<serve::ResultCache> cache;
+    snapshot::PrefixSweepStats prefix_stats;
+    if (!opt.socket.empty()) {
+        evaluate = makeDaemonEvaluator(opt.socket, opt.timeoutMs);
+    } else {
+        serve::ResultCacheConfig cache_config;
+        cache_config.dir = opt.cache; // empty = memory-only
+        cache = std::make_unique<serve::ResultCache>(cache_config);
+        if (opt.noPrefix) {
+            evaluate = explore::makeOfflineEvaluator(cache.get(),
+                                                     opt.jobs, 0);
+        } else {
+            evaluate = explore::makeOfflineEvaluator(
+                cache.get(), opt.jobs, prefixSteps, &prefix_stats);
+        }
+    }
+
+    explore::ExploreReport report;
+    std::string why;
+    if (!explore::runExploration(opt.search, evaluate, &report,
+                                 &why)) {
+        std::fprintf(stderr, "explore: %s\n", why.c_str());
+        return 1;
+    }
+
+    std::string json = explore::reportJson(report);
+    if (opt.out.empty()) {
+        std::printf("%s\n", json.c_str());
+    } else if (!writeFile(opt.out, json + "\n")) {
+        return 1;
+    }
+    if (!opt.csv.empty() &&
+        !writeFile(opt.csv, explore::reportCsv(report))) {
+        return 1;
+    }
+    if (!opt.gnuplot.empty() &&
+        !writeFile(opt.gnuplot,
+                   explore::reportGnuplot(report, opt.csv,
+                                          opt.figure))) {
+        return 1;
+    }
+
+    std::fprintf(
+        stderr,
+        "lattice: %zu combinations, %zu invalid, %zu points; "
+        "frontier: %zu\n",
+        report.lattice.combinations, report.lattice.invalid,
+        report.lattice.points, report.frontier.size());
+    if (!opt.socket.empty()) {
+        std::fprintf(stderr, "evaluated via daemon %s\n",
+                     opt.socket.c_str());
+    } else if (opt.noPrefix) {
+        std::fprintf(stderr, "evaluated cold (--no-prefix)\n");
+    } else {
+        std::fprintf(
+            stderr,
+            "prefix: %llu cells, %llu restored, %llu captured, "
+            "%llu cold, %llu steps skipped\n",
+            static_cast<unsigned long long>(prefix_stats.cells),
+            static_cast<unsigned long long>(
+                prefix_stats.prefixRestored),
+            static_cast<unsigned long long>(
+                prefix_stats.prefixCaptured),
+            static_cast<unsigned long long>(prefix_stats.coldCells),
+            static_cast<unsigned long long>(
+                prefix_stats.stepsSkipped));
+    }
+    return 0;
+}

@@ -22,6 +22,7 @@
 #include "nsrf/serve/cache.hh"
 #include "nsrf/serve/scheduler.hh"
 #include "nsrf/serve/server.hh"
+#include "nsrf/snapshot/prefix.hh"
 
 using namespace nsrf;
 
@@ -39,6 +40,7 @@ struct Options
     std::uint64_t cacheBytes = 64ull << 20;
     std::uint64_t cacheDiskBytes = 0; //!< 0 = unbounded
     unsigned timeoutMs = 120'000;
+    std::uint64_t prefixSteps = 0; //!< 0 = cold batches
 };
 
 void
@@ -59,7 +61,11 @@ usage()
         "  --cache-bytes N      in-memory byte bound (default 64M)\n"
         "  --cache-disk-bytes N on-disk byte bound (default\n"
         "                       unbounded)\n"
-        "  --timeout-ms N       per-request budget (default 120000)");
+        "  --timeout-ms N       per-request budget (default 120000)\n"
+        "  --prefix-steps N     resume simulated cells from an\n"
+        "                       N-instruction prefix snapshot kept\n"
+        "                       in the result cache (default 0 =\n"
+        "                       simulate cold)");
 }
 
 serve::Server *g_server = nullptr;
@@ -97,6 +103,8 @@ main(int argc, char **argv)
             opt.cacheDiskBytes = scan.u64();
         else if (scan.is("--timeout-ms"))
             opt.timeoutMs = scan.u32();
+        else if (scan.is("--prefix-steps"))
+            opt.prefixSteps = scan.u64();
         else if (scan.is("--help") || scan.is("-h")) {
             usage();
             return 0;
@@ -122,6 +130,14 @@ main(int argc, char **argv)
     sched_config.jobs = opt.jobs;
     sched_config.maxQueue = opt.maxQueue;
     sched_config.maxBatch = opt.maxBatch;
+    if (opt.prefixSteps) {
+        // Route cold batches through the prefix-restoring sweep:
+        // warmup prefixes live in the same cache as results, so a
+        // daemon restart (or a shared cache dir) resumes instead of
+        // re-simulating the first prefixSteps instructions.
+        sched_config.runner = snapshot::makePrefixBatchRunner(
+            &cache, opt.jobs, opt.prefixSteps);
+    }
     serve::BatchScheduler scheduler(&cache, sched_config);
 
     serve::ServerConfig server_config;

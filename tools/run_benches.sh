@@ -111,6 +111,47 @@ echo "== macro_throughput =="
     2> "$out_dir/macro_throughput.log" || fail "macro_throughput"
 grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/macro_throughput.txt" || :
 
+# Design-space autopilot: explore a 56-point lattice and record the
+# frontier artifact.  The promotion rung is timed twice — resuming
+# from the triage rung's prefix snapshots vs resimulating cold —
+# from identical warm rung-0 caches, so the reported speedup
+# isolates exactly what prefix restore buys the halving schedule.
+# Both paths must produce byte-identical frontier JSON.
+echo "== nsrf_explore =="
+explore="$build_dir/tools/nsrf_explore"
+ecache="$out_dir/explore.cache"
+explore_lattice="--app Quicksort --orgs nsf,segmented \
+    --regs 32,64,96,128 --lines 1,2,4 --miss line,live \
+    --write wa,fow --events 80000"
+rm -rf "$ecache" "$ecache.cold"
+# Prewarm: the triage rung alone, capturing prefix snapshots and
+# rung-0 results so both timed legs start from the same warm cache.
+$explore $explore_lattice --budgets 60000 --jobs "$jobs" \
+    --cache "$ecache" --out "$out_dir/explore_rung0.json" \
+    2> "$out_dir/nsrf_explore.log" || fail "nsrf_explore"
+cp -r "$ecache" "$ecache.cold"
+t0=$(date +%s%N)
+$explore $explore_lattice --budgets 60000,80000 --jobs "$jobs" \
+    --cache "$ecache" --out "$out_dir/explore_frontier.json" \
+    --csv "$out_dir/explore_frontier.csv" \
+    --gnuplot "$out_dir/explore_frontier.gp" \
+    --figure "$out_dir/explore_frontier.svg" \
+    2>> "$out_dir/nsrf_explore.log" || fail "nsrf_explore"
+t1=$(date +%s%N)
+$explore $explore_lattice --budgets 60000,80000 --jobs "$jobs" \
+    --no-prefix --cache "$ecache.cold" \
+    --out "$out_dir/explore_frontier_cold.json" \
+    2>> "$out_dir/nsrf_explore.log" || fail "nsrf_explore"
+t2=$(date +%s%N)
+cmp -s "$out_dir/explore_frontier.json" \
+    "$out_dir/explore_frontier_cold.json" || fail "nsrf_explore"
+rm -rf "$ecache" "$ecache.cold" "$out_dir/explore_frontier_cold.json"
+explore_speedup=$(awk "BEGIN { p = $t1 - $t0; c = $t2 - $t1; \
+    printf \"%.2f\", (p > 0) ? c / p : 0 }")
+explore_fp=$(sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p' \
+    "$out_dir/explore_frontier.json")
+echo "promotion speedup ${explore_speedup}x (prefix-restored vs cold)"
+
 # Which kernel set produced these numbers matters for comparing
 # manifests across hosts; the macrobench records the resolved level
 # (avx2/sse2/scalar) in its JSON, so lift it from there.
@@ -124,6 +165,8 @@ simd=$(sed -n 's/.*"simd":"\([a-z0-9]*\)".*/\1/p' \
     echo "simd: ${simd:-unknown}"
     echo "cache: ${NSRF_BENCH_CACHE:-none}"
     echo "benches: $(($(echo $sweep_benches $plain_benches | wc -w) + 1))"
+    echo "explore: fingerprint=${explore_fp:-unknown}" \
+         "promotion-speedup=${explore_speedup}x"
 } > "$out_dir/MANIFEST"
 rm -f "$out_dir/INCOMPLETE"
 
