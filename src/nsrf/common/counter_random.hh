@@ -53,6 +53,7 @@ namespace rngstream
 constexpr std::uint64_t workload = 0;   ///< trace generators
 constexpr std::uint64_t dataValues = 1; ///< simulator data traffic
 constexpr std::uint64_t fuzzOps = 2;    ///< differential fuzzer ops
+constexpr std::uint64_t clientRetry = 3; ///< nsrf_request backoff jitter
 } // namespace rngstream
 
 /** Deterministic counter-based (Philox) random number generator. */

@@ -1,0 +1,144 @@
+#include "nsrf/fleet/admission.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace nsrf::fleet
+{
+
+namespace
+{
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+const char *
+laneName(Lane lane)
+{
+    return lane == Lane::Interactive ? "interactive" : "bulk";
+}
+
+QuotaTable::QuotaTable(QuotaConfig config, NowFn now)
+    : config_(config), now_(now ? std::move(now) : steadyNowNs)
+{
+    if (config_.ratePerSec > 0.0 && config_.burst < 1.0)
+        config_.burst = 1.0;
+}
+
+QuotaDecision
+QuotaTable::take(const std::string &client, double cost)
+{
+    if (!enabled() || cost <= 0.0)
+        return QuotaDecision{};
+
+    std::uint64_t nowNs = now_();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = buckets_.try_emplace(client);
+    Bucket &bucket = it->second;
+    if (inserted) {
+        bucket.tokens = config_.burst;
+        bucket.lastNs = nowNs;
+    } else if (nowNs > bucket.lastNs) {
+        double elapsed =
+            static_cast<double>(nowNs - bucket.lastNs) * 1e-9;
+        bucket.tokens = std::min(
+            config_.burst,
+            bucket.tokens + elapsed * config_.ratePerSec);
+        bucket.lastNs = nowNs;
+    }
+
+    if (bucket.tokens + 1e-9 >= cost) {
+        bucket.tokens -= cost;
+        return QuotaDecision{};
+    }
+
+    rejected_.fetch_add(1);
+    // How long until the refill covers the shortfall.  The charge
+    // may exceed the burst entirely; then the honest answer is "as
+    // if the bucket had to fill from empty to burst" — the client
+    // should split the request, but a finite hint beats a lie.
+    double shortfall =
+        std::min(cost, config_.burst) - bucket.tokens;
+    double seconds =
+        std::max(0.0, shortfall) / config_.ratePerSec;
+    auto ms = static_cast<std::uint64_t>(std::ceil(seconds * 1e3));
+    ms = std::max<std::uint64_t>(ms, 1);
+    ms = std::min<std::uint64_t>(ms, 3'600'000);
+    return QuotaDecision{false, static_cast<unsigned>(ms)};
+}
+
+std::size_t
+QuotaTable::clients() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.size();
+}
+
+namespace
+{
+
+// Paper Table 1 has 7 benchmarks; "all" expands to one cell per
+// benchmark, so estimate conservatively without running the full
+// expansion here.
+constexpr std::size_t kAllExpansion = 8;
+
+} // namespace
+
+std::size_t
+estimateCells(const serve::json::Value &request)
+{
+    if (!request.isObject() ||
+        request.getString("op", "") != "submit") {
+        return 0;
+    }
+    const serve::json::Value *cells = request.find("cells");
+    if (!cells || !cells->isArray())
+        return 0;
+    std::size_t estimated = 0;
+    for (const serve::json::Value &cell : cells->array) {
+        if (!cell.isObject())
+            continue;
+        estimated += cell.getString("app", "") == "all"
+                         ? kAllExpansion
+                         : 1;
+    }
+    return estimated;
+}
+
+Lane
+classifyRequest(const serve::json::Value &request,
+                const LanePolicy &policy)
+{
+    if (!request.isObject())
+        return Lane::Interactive;
+    if (request.getString("op", "") != "submit")
+        return Lane::Interactive;
+
+    const serve::json::Value *cells = request.find("cells");
+    if (!cells || !cells->isArray())
+        return Lane::Interactive; // malformed: fail fast
+
+    for (const serve::json::Value &cell : cells->array) {
+        if (!cell.isObject())
+            return Lane::Interactive;
+        std::uint64_t events;
+        if (!cell.getU64("events", &events))
+            events = 600'000; // the CellParams default
+        if (events > policy.interactiveMaxEvents)
+            return Lane::Bulk;
+    }
+    return estimateCells(request) > policy.interactiveMaxCells
+               ? Lane::Bulk
+               : Lane::Interactive;
+}
+
+} // namespace nsrf::fleet

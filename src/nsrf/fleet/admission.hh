@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fleet admission control: per-client token-bucket quotas and the
+ * priority-lane classifier.
+ *
+ * The serving daemon's original admission story was one bounded
+ * scheduler queue: full → reject.  A fleet absorbing autopilot
+ * bursts needs two more layers IN FRONT of that queue:
+ *
+ *  - quotas: each client (the request's "client" field) owns a
+ *    token bucket refilled at a configured rate; a submit costs one
+ *    token per requested cell, and an empty bucket rejects the
+ *    request with a structured retry-after hint instead of letting
+ *    one greedy client starve the rest;
+ *  - lanes: small/interactive requests (few cells, small event
+ *    budgets, and every control-plane op) are queued ahead of bulk
+ *    autopilot rungs, so a human poking one cell never waits behind
+ *    a 256-cell sweep.
+ *
+ * Both are deterministic and clock-injectable: tests drive the
+ * bucket with a fake monotonic clock, and the classifier is a pure
+ * function of the parsed request.
+ */
+
+#ifndef NSRF_FLEET_ADMISSION_HH
+#define NSRF_FLEET_ADMISSION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "nsrf/serve/json_in.hh"
+
+namespace nsrf::fleet
+{
+
+/** Request priority lanes; Interactive drains strictly first. */
+enum class Lane
+{
+    Interactive = 0,
+    Bulk = 1,
+};
+inline constexpr std::size_t kLaneCount = 2;
+
+/** @return a stable lowercase name for @p lane. */
+const char *laneName(Lane lane);
+
+/** Per-client token-bucket sizing; rate 0 disables quotas. */
+struct QuotaConfig
+{
+    double ratePerSec = 0.0; //!< tokens refilled per second
+    double burst = 0.0;      //!< bucket capacity (>= 1 when active)
+};
+
+/** Outcome of one quota charge. */
+struct QuotaDecision
+{
+    bool ok = true;
+    /** When !ok: ms until the bucket can cover the charge. */
+    unsigned retryAfterMs = 0;
+};
+
+/** Thread-safe per-client token buckets. */
+class QuotaTable
+{
+  public:
+    /** Monotonic nanosecond clock, injectable for tests. */
+    using NowFn = std::function<std::uint64_t()>;
+
+    explicit QuotaTable(QuotaConfig config, NowFn now = {});
+
+    bool enabled() const { return config_.ratePerSec > 0.0; }
+
+    /**
+     * Charge @p cost tokens to @p client.  Disabled tables always
+     * admit.  A rejected charge consumes nothing and reports how
+     * long until the bucket could cover it.
+     */
+    QuotaDecision take(const std::string &client, double cost);
+
+    /** Total rejected charges. */
+    std::uint64_t rejected() const { return rejected_.load(); }
+
+    /** Distinct clients seen. */
+    std::size_t clients() const;
+
+  private:
+    struct Bucket
+    {
+        double tokens = 0.0;
+        std::uint64_t lastNs = 0;
+    };
+
+    QuotaConfig config_;
+    NowFn now_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Bucket> buckets_;
+    std::atomic<std::uint64_t> rejected_{0};
+};
+
+/** What counts as an interactive submit. */
+struct LanePolicy
+{
+    /** A submit whose per-cell event budget exceeds this is bulk. */
+    std::uint64_t interactiveMaxEvents = 100'000;
+    /** A submit expanding to more cells than this is bulk ("all"
+     * counts as one cell per paper benchmark). */
+    std::size_t interactiveMaxCells = 4;
+};
+
+/**
+ * Classify one parsed request.  Control-plane ops (ping, query,
+ * stats, metrics, ring, shutdown) and peer frames are always
+ * Interactive; submits are Interactive only within the policy
+ * bounds.  Malformed requests classify Interactive so their error
+ * reply is fast.
+ */
+Lane classifyRequest(const serve::json::Value &request,
+                     const LanePolicy &policy);
+
+/**
+ * Estimated cell count of a submit — the quota cost and the lane
+ * size signal ("all" counts as one cell per paper benchmark,
+ * estimated without expanding).  @return 0 for non-submits and
+ * malformed requests (they cost nothing; the handler rejects them).
+ */
+std::size_t estimateCells(const serve::json::Value &request);
+
+} // namespace nsrf::fleet
+
+#endif // NSRF_FLEET_ADMISSION_HH

@@ -1,0 +1,326 @@
+#include "nsrf/fleet/net.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace nsrf::fleet::net
+{
+
+namespace
+{
+
+/** Remaining budget in ms, clamped to [0, 60s] for poll(). */
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0)
+        return 0;
+    if (left.count() > 60'000)
+        return 60'000;
+    return static_cast<int>(left.count());
+}
+
+bool
+fail(std::string *why, const std::string &message)
+{
+    if (why)
+        *why = message;
+    return false;
+}
+
+/** poll() one fd for @p events until @p deadline; EINTR-safe.
+ * @return false on timeout or poll error. */
+bool
+waitFor(int fd, short events, Clock::time_point deadline,
+        std::string *why)
+{
+    while (true) {
+        int budget = remainingMs(deadline);
+        if (budget == 0)
+            return fail(why, "timeout");
+        pollfd pfd{fd, events, 0};
+        int ready = ::poll(&pfd, 1, budget);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail(why,
+                        std::string("poll: ") + std::strerror(errno));
+        }
+        if (ready > 0)
+            return true;
+        // ready == 0: loop; remainingMs() decides whether the
+        // deadline has truly passed.
+    }
+}
+
+/** Finish a nonblocking connect(): wait writable, check SO_ERROR. */
+int
+awaitConnect(int fd, Clock::time_point deadline, std::string *why)
+{
+    if (!waitFor(fd, POLLOUT, deadline, why)) {
+        ::close(fd);
+        return -1;
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+        soError != 0) {
+        fail(why, std::string("connect: ") +
+                      std::strerror(soError ? soError : errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+Clock::time_point
+deadlineIn(unsigned ms)
+{
+    return Clock::now() + std::chrono::milliseconds(ms);
+}
+
+bool
+prepareFd(int fd, std::string *why)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        return fail(why, std::string("fcntl(O_NONBLOCK): ") +
+                             std::strerror(errno));
+    int fdFlags = ::fcntl(fd, F_GETFD, 0);
+    if (fdFlags < 0 ||
+        ::fcntl(fd, F_SETFD, fdFlags | FD_CLOEXEC) < 0) {
+        return fail(why, std::string("fcntl(FD_CLOEXEC): ") +
+                             std::strerror(errno));
+    }
+    return true;
+}
+
+bool
+parseHostPort(const std::string &text, std::string *host,
+              std::uint16_t *port, std::string *why)
+{
+    std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos)
+        return fail(why, "expected HOST:PORT, got '" + text + "'");
+    std::string portText = text.substr(colon + 1);
+    if (portText.empty() ||
+        portText.find_first_not_of("0123456789") !=
+            std::string::npos) {
+        return fail(why, "bad port '" + portText + "'");
+    }
+    // Port 0 is legal: a listener takes it as "ephemeral".
+    unsigned long value = std::strtoul(portText.c_str(), nullptr, 10);
+    if (value > 65535)
+        return fail(why, "port out of range: '" + portText + "'");
+    *host = text.substr(0, colon);
+    *port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+int
+connectTcp(const std::string &host, std::uint16_t port,
+           Clock::time_point deadline, std::string *why)
+{
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV;
+    std::string service = std::to_string(port);
+    addrinfo *result = nullptr;
+    int rc = ::getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                           service.c_str(), &hints, &result);
+    if (rc != 0) {
+        fail(why, std::string("resolve ") + host + ": " +
+                      ::gai_strerror(rc));
+        return -1;
+    }
+
+    std::string lastError = "no addresses";
+    for (addrinfo *ai = result; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastError = std::string("socket: ") +
+                        std::strerror(errno);
+            continue;
+        }
+        std::string prepWhy;
+        if (!prepareFd(fd, &prepWhy)) {
+            lastError = prepWhy;
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(result);
+            return fd;
+        }
+        if (errno == EINPROGRESS || errno == EINTR) {
+            std::string awaitWhy;
+            int connected = awaitConnect(fd, deadline, &awaitWhy);
+            if (connected >= 0) {
+                ::freeaddrinfo(result);
+                return connected;
+            }
+            lastError = awaitWhy;
+            continue; // awaitConnect closed fd
+        }
+        lastError = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+    }
+    ::freeaddrinfo(result);
+    fail(why, lastError);
+    return -1;
+}
+
+int
+connectUnix(const std::string &path, Clock::time_point deadline,
+            std::string *why)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        fail(why, "socket path empty or too long");
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        fail(why, std::string("socket: ") + std::strerror(errno));
+        return -1;
+    }
+    std::string prepWhy;
+    if (!prepareFd(fd, &prepWhy)) {
+        fail(why, prepWhy);
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0) {
+        return fd;
+    }
+    if (errno == EINPROGRESS || errno == EINTR || errno == EAGAIN)
+        return awaitConnect(fd, deadline, why);
+    fail(why,
+         std::string("connect ") + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return -1;
+}
+
+bool
+sendAll(int fd, const std::string &data, Clock::time_point deadline,
+        std::string *why)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent,
+                           data.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!waitFor(fd, POLLOUT, deadline, why))
+                return false;
+            continue;
+        }
+        return fail(why,
+                    std::string("send: ") + std::strerror(errno));
+    }
+    return true;
+}
+
+bool
+recvLine(int fd, std::string *buffer, std::string *line,
+         std::size_t maxBytes, Clock::time_point deadline,
+         std::string *why)
+{
+    char chunk[4096];
+    while (true) {
+        std::size_t nl = buffer->find('\n');
+        if (nl != std::string::npos) {
+            line->assign(*buffer, 0, nl);
+            buffer->erase(0, nl + 1);
+            return true;
+        }
+        if (buffer->size() > maxBytes)
+            return fail(why, "reply line too long");
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer->append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            return fail(why, "connection closed mid-reply");
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!waitFor(fd, POLLIN, deadline, why))
+                return false;
+            continue;
+        }
+        return fail(why,
+                    std::string("recv: ") + std::strerror(errno));
+    }
+}
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        out.push_back(digits[c >> 4]);
+        out.push_back(digits[c & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexDecode(const std::string &hex, std::string *out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out->clear();
+    out->reserve(hex.size() / 2);
+    auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]);
+        int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out->push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return true;
+}
+
+} // namespace nsrf::fleet::net

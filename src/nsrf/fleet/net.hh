@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deadline-bounded socket primitives for the fleet layer.
+ *
+ * Everything the peer client, the replication pusher, and the
+ * request CLI need to speak the line-delimited JSON protocol over
+ * TCP or a Unix domain socket, with the failure discipline the
+ * fleet requires: every call is EINTR-safe, resumes partial
+ * transfers, and is bounded by an absolute deadline instead of
+ * blocking forever on a wedged peer.  File descriptors produced
+ * here are nonblocking + close-on-exec; progress waits go through
+ * poll().
+ *
+ * The hex codec lives here too: encoded RunResult payloads are
+ * binary, and peer frames carry them as hex strings so the wire
+ * stays valid line-delimited JSON.
+ */
+
+#ifndef NSRF_FLEET_NET_HH
+#define NSRF_FLEET_NET_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace nsrf::fleet::net
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Absolute deadline @p ms from now. */
+Clock::time_point deadlineIn(unsigned ms);
+
+/** Make @p fd nonblocking + close-on-exec.  @return false+why. */
+bool prepareFd(int fd, std::string *why);
+
+/**
+ * Split "host:port" (host may be empty = 0.0.0.0).  @return false
+ * with @p why on a malformed spec or an out-of-range port.
+ */
+bool parseHostPort(const std::string &text, std::string *host,
+                   std::uint16_t *port, std::string *why);
+
+/**
+ * Connect a TCP socket to @p host:@p port, waiting at most until
+ * @p deadline.  @return a nonblocking connected fd, or -1 with
+ * @p why.  Numeric addresses and names both resolve.
+ */
+int connectTcp(const std::string &host, std::uint16_t port,
+               Clock::time_point deadline, std::string *why);
+
+/** connectTcp for a Unix domain socket path. */
+int connectUnix(const std::string &path, Clock::time_point deadline,
+                std::string *why);
+
+/**
+ * Write all of @p data to nonblocking @p fd, resuming partial
+ * writes, until done or @p deadline.  @return false with @p why on
+ * error or timeout.
+ */
+bool sendAll(int fd, const std::string &data,
+             Clock::time_point deadline, std::string *why);
+
+/**
+ * Read from nonblocking @p fd until @p buffer holds a '\n',
+ * @p maxBytes is exceeded, EOF, or @p deadline.  On success
+ * @p line receives the first line (newline stripped) and consumed
+ * bytes are removed from @p buffer, which may retain pipelined
+ * surplus for the next call.
+ */
+bool recvLine(int fd, std::string *buffer, std::string *line,
+              std::size_t maxBytes, Clock::time_point deadline,
+              std::string *why);
+
+/** @return @p bytes as lowercase hex (2 digits per byte). */
+std::string hexEncode(const std::string &bytes);
+
+/** Decode hexEncode output.  @return false on odd length or a
+ * non-hex digit. */
+bool hexDecode(const std::string &hex, std::string *out);
+
+} // namespace nsrf::fleet::net
+
+#endif // NSRF_FLEET_NET_HH

@@ -1,0 +1,860 @@
+#include "nsrf/fleet/node.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <optional>
+
+#include "nsrf/cam/replacement.hh"
+#include "nsrf/common/logging.hh"
+#include "nsrf/fleet/net.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/spec.hh"
+#include "nsrf/stats/json.hh"
+
+namespace nsrf::fleet
+{
+
+/** Shared state of one in-flight peer fetch (single-flight). */
+struct Node::PeerFetch
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+};
+
+/** One expanded cell with everything the fleet path needs. */
+struct Node::PendingCell
+{
+    sim::SweepCell cell;
+    serve::CellParams params; //!< the spec that produced the cell
+    serve::Fingerprint key;
+};
+
+Node::Node(NodeConfig config, serve::ResultCache *cache,
+           serve::BatchScheduler *scheduler, serve::Server *server)
+    : config_(std::move(config)), cache_(cache),
+      scheduler_(scheduler), server_(server),
+      peers_(PeerClient::Config{config_.peerTimeoutMs, 8u << 20}),
+      quota_(config_.quota)
+{
+    nsrf_assert(scheduler_ != nullptr, "node needs a scheduler");
+    nsrf_assert(server_ != nullptr, "node needs a server");
+    replicator_ = std::make_unique<Replicator>(
+        &peers_, config_.replicatorQueueMax);
+}
+
+Node::~Node() = default;
+
+bool
+Node::setRing(RingConfig config, std::string *why)
+{
+    Ring ring(std::move(config));
+    std::size_t self = ring.indexOf(config_.nodeId);
+    if (self == Ring::npos) {
+        if (why)
+            *why = "ring config does not name this node '" +
+                   config_.nodeId + "'";
+        return false;
+    }
+    ring_ = std::move(ring);
+    selfIndex_ = self;
+    return true;
+}
+
+std::string
+Node::errorReply(const std::string &op,
+                 const std::string &message) const
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", false);
+    if (!op.empty())
+        json.field("op", op);
+    json.field("error", message);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Node::handleRequest(const std::string &line)
+{
+    serve::json::Value request;
+    std::string why;
+    if (!serve::json::parse(line, &request, &why) ||
+        !request.isObject()) {
+        // Same error replies (and server counters) as single-node.
+        return server_->handleRequest(line);
+    }
+    std::string op = request.getString("op", "");
+    if (op == "submit") {
+        // An empty ring is a single-node fleet: the plain submit
+        // path is already exactly right (and byte-identical).
+        if (ring_.empty())
+            return server_->handleRequest(line);
+        return handleSubmit(request);
+    }
+    if (op == "peerfill")
+        return handlePeerFill(request);
+    if (op == "peerput")
+        return handlePeerPut(request);
+    if (op == "ring")
+        return handleRing();
+    if (op == "shutdown") {
+        std::string reply = server_->handleRequest(line);
+        if (transport_)
+            transport_->requestStop();
+        return reply;
+    }
+    return server_->handleRequest(line);
+}
+
+Transport::Admit
+Node::admit(const std::string &line)
+{
+    Transport::Admit verdict;
+    serve::json::Value request;
+    std::string why;
+    if (!serve::json::parse(line, &request, &why) ||
+        !request.isObject()) {
+        return verdict; // interactive: the handler rejects it fast
+    }
+    verdict.lane = classifyRequest(request, config_.lanes);
+
+    if (quota_.enabled() &&
+        request.getString("op", "") == "submit") {
+        std::string client = request.getString("client", "");
+        if (client.empty())
+            client = "anon";
+        double cost =
+            static_cast<double>(estimateCells(request));
+        if (cost > 0.0) {
+            QuotaDecision decision = quota_.take(client, cost);
+            if (!decision.ok) {
+                stats::JsonWriter json;
+                json.beginObject();
+                json.field("ok", false);
+                json.field("op", "submit");
+                json.field("error", "quota exceeded for client '" +
+                                        client + "'");
+                json.field("quota", true);
+                json.field("retryAfterMs",
+                           static_cast<std::uint64_t>(
+                               decision.retryAfterMs));
+                json.endObject();
+                verdict.rejectReply = json.str();
+            }
+        }
+    }
+    return verdict;
+}
+
+std::string
+Node::handleSubmit(const serve::json::Value &request)
+{
+    const serve::json::Value *specs = request.find("cells");
+    if (!specs || !specs->isArray() || specs->array.empty())
+        return errorReply("submit",
+                          "submit needs a non-empty cells array");
+
+    std::vector<PendingCell> pending;
+    for (const serve::json::Value &spec : specs->array) {
+        serve::CellParams params;
+        std::string why;
+        if (!serve::paramsFromJson(spec, &params, &why))
+            return errorReply("submit", why);
+        std::vector<sim::SweepCell> expanded;
+        if (!serve::cellsFromParams(params, &expanded, &why))
+            return errorReply("submit", why);
+        for (auto &cell : expanded) {
+            PendingCell entry;
+            entry.key = serve::fingerprintCell(cell.config,
+                                               cell.provenance);
+            entry.cell = std::move(cell);
+            entry.params = params;
+            pending.push_back(std::move(entry));
+        }
+        if (pending.size() > config_.maxCellsPerSubmit) {
+            return errorReply(
+                "submit",
+                "submit expands to more than " +
+                    std::to_string(config_.maxCellsPerSubmit) +
+                    " cells");
+        }
+    }
+
+    // Acquire a ticket per cell.  Cells another node owns try a
+    // peer fill first (single-flight, cache-publishing), so the
+    // local submit below turns into a cache hit; a failed fill
+    // falls back to local simulation — never to an error.
+    std::vector<serve::Ticket> tickets;
+    std::vector<bool> viaPeer(pending.size(), false);
+    tickets.reserve(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        const PendingCell &entry = pending[i];
+        std::size_t owner = ring_.primaryOwner(entry.key);
+        if (owner == selfIndex_) {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.ownedSubmits;
+        } else {
+            {
+                std::lock_guard<std::mutex> lock(countersMutex_);
+                ++counters_.remoteSubmits;
+            }
+            bool haveLocal =
+                cache_ && cache_->get(entry.key).has_value();
+            if (!haveLocal && cache_)
+                viaPeer[i] = peerFill(entry, owner);
+        }
+        tickets.push_back(scheduler_->submit(entry.cell));
+    }
+
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::milliseconds(config_.requestTimeoutMs);
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "submit");
+    std::uint64_t cached = 0, merged = 0, rejected = 0,
+                  timedOut = 0, failed = 0, peerFilled = 0;
+    json.key("cells").beginArray();
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const serve::Ticket &ticket = tickets[i];
+        json.beginObject();
+        json.field("label", pending[i].cell.label);
+        json.field("fingerprint", pending[i].key.hex());
+        switch (ticket.admission) {
+          case serve::Admission::Hit:
+            if (viaPeer[i]) {
+                json.field("source", "peer");
+                ++peerFilled;
+            } else {
+                json.field("source", "cache");
+                ++cached;
+            }
+            break;
+          case serve::Admission::Merged:
+            json.field("source", "merged");
+            ++merged;
+            break;
+          case serve::Admission::Scheduled:
+            json.field("source", "simulated");
+            break;
+          case serve::Admission::Rejected:
+          case serve::Admission::Closed:
+            break;
+        }
+        if (!ticket.accepted()) {
+            json.field("error",
+                       ticket.admission ==
+                               serve::Admission::Rejected
+                           ? "rejected: queue full"
+                           : "rejected: shutting down");
+            ++rejected;
+            json.endObject();
+            continue;
+        }
+        auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now());
+        if (remaining.count() < 0)
+            remaining = std::chrono::milliseconds(0);
+        if (!ticket.job->wait(remaining)) {
+            json.field("error", "timeout");
+            ++timedOut;
+        } else if (ticket.job->failed()) {
+            json.field("error", "simulation failed: " +
+                                    ticket.job->error());
+            ++failed;
+        } else {
+            sim::appendResultJson(json, ticket.job->result());
+            if (ticket.admission == serve::Admission::Scheduled) {
+                maybeReplicate(pending[i].key,
+                               ticket.job->encoded());
+            }
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.field("cached", cached);
+    json.field("merged", merged);
+    json.field("rejected", rejected);
+    json.field("timeouts", timedOut);
+    json.field("failures", failed);
+    json.field("peerFilled", peerFilled);
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Node::peerFillRequest(const PendingCell &pending) const
+{
+    // cell.label is the profile name (spec.cc sets it so), which
+    // means the original spec with `app` replaced by the label is a
+    // spec for exactly this one expanded cell — including when the
+    // original said "all".
+    const serve::CellParams &params = pending.params;
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("op", "peerfill");
+    json.field("expect", pending.key.hex());
+    json.key("cell").beginObject();
+    json.field("app", pending.cell.label);
+    json.field("org", regfile::organizationName(params.org));
+    if (params.totalRegs) {
+        // 0 means "paper default for the app"; omit so the owner
+        // derives the same default.
+        json.field("regs", params.totalRegs);
+    }
+    json.field("line", params.regsPerLine);
+    json.field("miss", serve::missPolicyName(params.miss));
+    json.field("write", serve::writePolicyName(params.write));
+    json.field("repl", cam::replacementName(params.repl));
+    json.field("mech", serve::mechanismName(params.mech));
+    json.field("valid", params.trackValid);
+    json.field("bg", params.background);
+    json.field("events", params.events);
+    if (params.seed)
+        json.field("seed", params.seed);
+    if (params.cap)
+        json.field("cap", params.cap);
+    json.endObject();
+    json.endObject();
+    return json.str();
+}
+
+bool
+Node::peerFill(const PendingCell &pending, std::size_t owner)
+{
+    std::shared_ptr<PeerFetch> fetch;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(fetchMutex_);
+        auto it = peerInflight_.find(pending.key);
+        if (it == peerInflight_.end()) {
+            fetch = std::make_shared<PeerFetch>();
+            peerInflight_.emplace(pending.key, fetch);
+            leader = true;
+        } else {
+            fetch = it->second;
+        }
+    }
+
+    if (leader) {
+        bool ok = fetchFromOwner(pending, owner);
+        {
+            std::lock_guard<std::mutex> lock(fetch->mutex);
+            fetch->done = true;
+            fetch->ok = ok;
+        }
+        fetch->cv.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(fetchMutex_);
+            peerInflight_.erase(pending.key);
+        }
+        if (!ok) {
+            std::lock_guard<std::mutex> lock(countersMutex_);
+            ++counters_.peerFillFallbacks;
+        }
+        return ok;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.peerFillShared;
+    }
+    // The leader's exchange is deadline-bounded, so this wait is
+    // too; the slack covers scheduling noise.  A timeout degrades
+    // to local submit, where the scheduler still single-flights.
+    std::unique_lock<std::mutex> lock(fetch->mutex);
+    bool done = fetch->cv.wait_for(
+        lock,
+        std::chrono::milliseconds(2 * config_.peerTimeoutMs +
+                                  1'000),
+        [&fetch] { return fetch->done; });
+    return done && fetch->ok;
+}
+
+bool
+Node::fetchFromOwner(const PendingCell &pending, std::size_t owner)
+{
+    const RingNode &peer = ring_.node(owner);
+    std::string reply, why;
+    bool ok = peers_.exchange(peer, peerFillRequest(pending),
+                              &reply, &why);
+    std::string payload;
+    if (ok) {
+        serve::json::Value parsed;
+        std::string parseWhy;
+        ok = serve::json::parse(reply, &parsed, &parseWhy) &&
+             parsed.isObject() && parsed.getBool("ok", false);
+        if (ok) {
+            ok = net::hexDecode(parsed.getString("payload", ""),
+                                &payload) &&
+                 !payload.empty();
+        }
+        if (ok) {
+            // The payload must be a decodable result; the insert
+            // below serves it byte-for-byte later, so reject junk
+            // now rather than caching it.
+            sim::RunResult result;
+            ok = serve::decodeRunResult(payload, &result);
+        }
+        if (!ok)
+            why = "peer " + peer.id + ": bad peerfill reply";
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        PeerFillCounters &fill = perPeerFill_[peer.id];
+        if (ok) {
+            ++fill.hits;
+            ++counters_.peerFills;
+        } else {
+            ++fill.misses;
+        }
+    }
+    if (!ok) {
+        nsrf_warn("fleet: peer fill %s: %s (simulating locally)",
+                  pending.key.hex().c_str(), why.c_str());
+        return false;
+    }
+    cache_->put(pending.key, payload);
+    return true;
+}
+
+void
+Node::maybeReplicate(const serve::Fingerprint &key,
+                     const std::string &payload)
+{
+    if (ring_.empty() || ring_.config().replicas < 2)
+        return;
+    std::vector<std::size_t> owners = ring_.owners(key);
+    if (owners.empty() || owners.front() != selfIndex_)
+        return; // only the primary pushes copies
+    std::string line;
+    for (std::size_t i = 1; i < owners.size(); ++i) {
+        if (owners[i] == selfIndex_)
+            continue;
+        if (line.empty()) {
+            stats::JsonWriter json;
+            json.beginObject();
+            json.field("op", "peerput");
+            json.field("fingerprint", key.hex());
+            json.field("payload", net::hexEncode(payload));
+            json.endObject();
+            line = json.str();
+        }
+        replicator_->push(ring_.node(owners[i]), line);
+    }
+}
+
+std::string
+Node::handlePeerFill(const serve::json::Value &request)
+{
+    serve::Fingerprint expect;
+    if (!serve::Fingerprint::fromHex(
+            request.getString("expect", ""), &expect)) {
+        return errorReply("peerfill", "bad expect fingerprint");
+    }
+    const serve::json::Value *spec = request.find("cell");
+    if (!spec)
+        return errorReply("peerfill", "peerfill needs a cell");
+
+    serve::CellParams params;
+    std::string why;
+    if (!serve::paramsFromJson(*spec, &params, &why))
+        return errorReply("peerfill", why);
+    if (params.app == "all") {
+        return errorReply("peerfill",
+                          "peerfill cell must name one workload");
+    }
+    std::vector<sim::SweepCell> expanded;
+    if (!serve::cellsFromParams(params, &expanded, &why))
+        return errorReply("peerfill", why);
+    if (expanded.size() != 1) {
+        return errorReply("peerfill",
+                          "peerfill cell must expand to one cell");
+    }
+    serve::Fingerprint key = serve::fingerprintCell(
+        expanded[0].config, expanded[0].provenance);
+    if (!(key == expect)) {
+        return errorReply(
+            "peerfill",
+            "fingerprint mismatch: peer expects " + expect.hex() +
+                ", cell is " + key.hex() +
+                " (schema or build skew)");
+    }
+
+    std::optional<std::string> payload;
+    if (cache_)
+        payload = cache_->get(key);
+    if (!payload) {
+        serve::Ticket ticket =
+            scheduler_->submit(std::move(expanded[0]));
+        if (!ticket.accepted()) {
+            return errorReply(
+                "peerfill",
+                ticket.admission == serve::Admission::Rejected
+                    ? "rejected: queue full"
+                    : "rejected: shutting down");
+        }
+        if (!ticket.job->wait(std::chrono::milliseconds(
+                config_.peerTimeoutMs))) {
+            return errorReply("peerfill", "timeout");
+        }
+        if (ticket.job->failed()) {
+            return errorReply("peerfill", "simulation failed: " +
+                                              ticket.job->error());
+        }
+        payload = ticket.job->encoded();
+        if (ticket.admission == serve::Admission::Scheduled)
+            maybeReplicate(key, *payload);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.peerFillServed;
+    }
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "peerfill");
+    json.field("fingerprint", key.hex());
+    json.field("payload", net::hexEncode(*payload));
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Node::handlePeerPut(const serve::json::Value &request)
+{
+    serve::Fingerprint key;
+    if (!serve::Fingerprint::fromHex(
+            request.getString("fingerprint", ""), &key)) {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.peerPutsRejected;
+        return errorReply("peerput", "bad fingerprint");
+    }
+    std::string payload;
+    sim::RunResult result;
+    if (!net::hexDecode(request.getString("payload", ""),
+                        &payload) ||
+        payload.empty() ||
+        !serve::decodeRunResult(payload, &result)) {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.peerPutsRejected;
+        return errorReply("peerput", "bad payload");
+    }
+    if (cache_)
+        cache_->put(key, payload);
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        ++counters_.peerPutsAccepted;
+    }
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "peerput");
+    json.field("fingerprint", key.hex());
+    json.endObject();
+    return json.str();
+}
+
+std::string
+Node::handleRing() const
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", true);
+    json.field("op", "ring");
+    json.field("self", config_.nodeId);
+    if (ring_.empty()) {
+        json.field("empty", true);
+        json.endObject();
+        return json.str();
+    }
+    const RingConfig &config = ring_.config();
+    json.field("version",
+               static_cast<std::uint64_t>(config.version));
+    json.field("vnodes", static_cast<std::uint64_t>(config.vnodes));
+    json.field("replicas",
+               static_cast<std::uint64_t>(config.replicas));
+    json.key("nodes").beginArray();
+    for (std::size_t i = 0; i < ring_.nodeCount(); ++i) {
+        const RingNode &node = ring_.node(i);
+        json.beginObject();
+        json.field("id", node.id);
+        json.field("host", node.host);
+        json.field("port", static_cast<std::uint64_t>(node.port));
+        json.field("share", ring_.ownedShare(i));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+FleetCounters
+Node::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
+}
+
+std::vector<std::pair<std::string, PeerFillCounters>>
+Node::peerFillCounters() const
+{
+    std::vector<std::pair<std::string, PeerFillCounters>> out;
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        out.assign(perPeerFill_.begin(), perPeerFill_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+void
+Node::appendStats(stats::JsonWriter &json) const
+{
+    FleetCounters fleet = counters();
+    json.key("fleet").beginObject();
+    json.field("node", config_.nodeId);
+    json.field("ringNodes",
+               static_cast<std::uint64_t>(ring_.nodeCount()));
+    json.field("replicas",
+               static_cast<std::uint64_t>(
+                   ring_.empty() ? 0 : ring_.config().replicas));
+    json.field("ownedSubmits", fleet.ownedSubmits);
+    json.field("remoteSubmits", fleet.remoteSubmits);
+    json.field("peerFills", fleet.peerFills);
+    json.field("peerFillShared", fleet.peerFillShared);
+    json.field("peerFillFallbacks", fleet.peerFillFallbacks);
+    json.field("peerFillServed", fleet.peerFillServed);
+    json.field("peerPutsAccepted", fleet.peerPutsAccepted);
+    json.field("peerPutsRejected", fleet.peerPutsRejected);
+
+    json.key("quota").beginObject();
+    json.field("enabled", quota_.enabled());
+    json.field("rejected", quota_.rejected());
+    json.field("clients",
+               static_cast<std::uint64_t>(quota_.clients()));
+    json.endObject();
+
+    json.key("peers").beginArray();
+    auto fills = peerFillCounters();
+    for (const auto &[id, counters] : peers_.counters()) {
+        json.beginObject();
+        json.field("id", id);
+        json.field("exchanges", counters.exchanges);
+        json.field("failures", counters.failures);
+        json.field("latencyUs", counters.latencyUs);
+        for (const auto &[fillId, fill] : fills) {
+            if (fillId == id) {
+                json.field("fillHits", fill.hits);
+                json.field("fillMisses", fill.misses);
+            }
+        }
+        json.endObject();
+    }
+    json.endArray();
+
+    ReplicatorStats repl = replicator_->stats();
+    json.key("replication").beginObject();
+    json.field("queued", repl.queued);
+    json.field("sent", repl.sent);
+    json.field("failures", repl.failures);
+    json.field("dropped", repl.dropped);
+    json.endObject();
+
+    if (transport_) {
+        TransportStats transport = transport_->stats();
+        json.key("transport").beginObject();
+        json.field("accepted", transport.accepted);
+        json.field("requests", transport.requests);
+        json.field("replies", transport.replies);
+        json.field("shed", transport.shed);
+        json.field("quotaRejected", transport.quotaRejected);
+        json.field("oversized", transport.oversized);
+        json.field("dropped", transport.dropped);
+        json.field("epoll", transport.usingEpoll);
+        for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+            std::string name =
+                laneName(static_cast<Lane>(lane));
+            json.field(name + "Depth",
+                       transport.laneDepth[lane]);
+            json.field(name + "DepthPeak",
+                       transport.laneDepthPeak[lane]);
+        }
+        json.endObject();
+    }
+    json.endObject();
+}
+
+namespace
+{
+
+void
+beginMetric(std::string &out, const char *name, const char *type)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+void
+appendPlain(std::string &out, const char *name, const char *type,
+            std::uint64_t value)
+{
+    beginMetric(out, name, type);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendLabeled(std::string &out, const char *name,
+              const char *labelKey, const std::string &labelValue,
+              std::uint64_t value)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s{%s=\"%s\"} %llu\n", name,
+                  labelKey, labelValue.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendLabeledGauge(std::string &out, const char *name,
+                   const char *labelKey,
+                   const std::string &labelValue, double value)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s{%s=\"%s\"} %.6f\n", name,
+                  labelKey, labelValue.c_str(), value);
+    out += buf;
+}
+
+} // namespace
+
+void
+Node::appendMetrics(std::string &out) const
+{
+    FleetCounters fleet = counters();
+    appendPlain(out, "nsrf_fleet_owned_submits_total", "counter",
+                fleet.ownedSubmits);
+    appendPlain(out, "nsrf_fleet_remote_submits_total", "counter",
+                fleet.remoteSubmits);
+    appendPlain(out, "nsrf_fleet_peer_fills_total", "counter",
+                fleet.peerFills);
+    appendPlain(out, "nsrf_fleet_peer_fill_shared_total",
+                "counter", fleet.peerFillShared);
+    appendPlain(out, "nsrf_fleet_peer_fill_fallbacks_total",
+                "counter", fleet.peerFillFallbacks);
+    appendPlain(out, "nsrf_fleet_peer_fill_served_total",
+                "counter", fleet.peerFillServed);
+    appendPlain(out, "nsrf_fleet_peer_puts_accepted_total",
+                "counter", fleet.peerPutsAccepted);
+    appendPlain(out, "nsrf_fleet_peer_puts_rejected_total",
+                "counter", fleet.peerPutsRejected);
+    appendPlain(out, "nsrf_fleet_quota_rejected_total", "counter",
+                quota_.rejected());
+    appendPlain(out, "nsrf_fleet_quota_clients", "gauge",
+                quota_.clients());
+
+    auto exchanges = peers_.counters();
+    if (!exchanges.empty()) {
+        beginMetric(out, "nsrf_fleet_peer_exchanges_total",
+                    "counter");
+        for (const auto &[id, peer] : exchanges) {
+            appendLabeled(out, "nsrf_fleet_peer_exchanges_total",
+                          "peer", id, peer.exchanges);
+        }
+        beginMetric(out, "nsrf_fleet_peer_failures_total",
+                    "counter");
+        for (const auto &[id, peer] : exchanges) {
+            appendLabeled(out, "nsrf_fleet_peer_failures_total",
+                          "peer", id, peer.failures);
+        }
+        beginMetric(out, "nsrf_fleet_peer_latency_us_total",
+                    "counter");
+        for (const auto &[id, peer] : exchanges) {
+            appendLabeled(out, "nsrf_fleet_peer_latency_us_total",
+                          "peer", id, peer.latencyUs);
+        }
+    }
+    auto fills = peerFillCounters();
+    if (!fills.empty()) {
+        beginMetric(out, "nsrf_fleet_peer_fill_hits_total",
+                    "counter");
+        for (const auto &[id, fill] : fills) {
+            appendLabeled(out, "nsrf_fleet_peer_fill_hits_total",
+                          "peer", id, fill.hits);
+        }
+        beginMetric(out, "nsrf_fleet_peer_fill_misses_total",
+                    "counter");
+        for (const auto &[id, fill] : fills) {
+            appendLabeled(out, "nsrf_fleet_peer_fill_misses_total",
+                          "peer", id, fill.misses);
+        }
+    }
+
+    if (!ring_.empty()) {
+        beginMetric(out, "nsrf_fleet_shard_owned_share", "gauge");
+        for (std::size_t i = 0; i < ring_.nodeCount(); ++i) {
+            appendLabeledGauge(out, "nsrf_fleet_shard_owned_share",
+                               "node", ring_.node(i).id,
+                               ring_.ownedShare(i));
+        }
+    }
+
+    ReplicatorStats repl = replicator_->stats();
+    appendPlain(out, "nsrf_fleet_replication_sent_total",
+                "counter", repl.sent);
+    appendPlain(out, "nsrf_fleet_replication_failures_total",
+                "counter", repl.failures);
+    appendPlain(out, "nsrf_fleet_replication_dropped_total",
+                "counter", repl.dropped);
+
+    if (transport_) {
+        TransportStats transport = transport_->stats();
+        appendPlain(out, "nsrf_fleet_connections_total", "counter",
+                    transport.accepted);
+        appendPlain(out, "nsrf_fleet_requests_total", "counter",
+                    transport.requests);
+        appendPlain(out, "nsrf_fleet_shed_total", "counter",
+                    transport.shed);
+        appendPlain(out, "nsrf_fleet_quota_bounced_total",
+                    "counter", transport.quotaRejected);
+        appendPlain(out, "nsrf_fleet_oversized_total", "counter",
+                    transport.oversized);
+        appendPlain(out, "nsrf_fleet_dropped_connections_total",
+                    "counter", transport.dropped);
+        beginMetric(out, "nsrf_fleet_lane_depth", "gauge");
+        for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+            appendLabeled(out, "nsrf_fleet_lane_depth", "lane",
+                          laneName(static_cast<Lane>(lane)),
+                          transport.laneDepth[lane]);
+        }
+        beginMetric(out, "nsrf_fleet_lane_depth_peak", "gauge");
+        for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+            appendLabeled(out, "nsrf_fleet_lane_depth_peak",
+                          "lane",
+                          laneName(static_cast<Lane>(lane)),
+                          transport.laneDepthPeak[lane]);
+        }
+    }
+}
+
+} // namespace nsrf::fleet

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The fleet node: the sharded, peer-filling request handler that a
+ * Transport drives.
+ *
+ * A Node wraps the single-daemon machinery (cache, scheduler,
+ * serve::Server) and adds the fleet behaviors on top:
+ *
+ *  - ownership: every expanded cell's fingerprint maps to one
+ *    primary owner on the consistent-hash ring.  Cells this node
+ *    owns — and every cell when the ring is empty — run through the
+ *    local scheduler exactly as before;
+ *  - peer cache fill: a miss on a NON-owner first asks the owner
+ *    over TCP ("peerfill") before simulating locally.  The reply
+ *    carries the owner's encoded cache payload verbatim (hex over
+ *    the line protocol), so a peer-filled result is byte-identical
+ *    to the owner's cold run.  Concurrent local submits of one
+ *    fingerprint share a single fetch (fleet-level single-flight),
+ *    and the fetched payload lands in the local cache before any
+ *    waiter re-submits — so K concurrent requests anywhere in the
+ *    fleet still cost exactly one simulation;
+ *  - owner-down fallback: a failed peer exchange degrades to local
+ *    simulation, never to an error.  The scheduler's own
+ *    single-flight keeps the fallback to one simulation too;
+ *  - replication: the primary owner pushes freshly simulated
+ *    results to the other `replicas-1` owners ("peerput"),
+ *    best-effort and off the request path, so hot cells survive a
+ *    node loss and non-owners often hit their local replica;
+ *  - admission: per-client token-bucket quotas (the request's
+ *    "client" field; cost = estimated cells) and the two priority
+ *    lanes, exposed as the Transport admission callback.
+ *
+ * Control-plane ops (ping/query/stats/metrics/shutdown) delegate to
+ * the wrapped serve::Server so single-node and fleet replies stay
+ * identical; submit, peerfill, peerput, and ring are handled here.
+ */
+
+#ifndef NSRF_FLEET_NODE_HH
+#define NSRF_FLEET_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/fleet/admission.hh"
+#include "nsrf/fleet/peer.hh"
+#include "nsrf/fleet/ring.hh"
+#include "nsrf/fleet/transport.hh"
+#include "nsrf/serve/server.hh"
+
+namespace nsrf::stats
+{
+class JsonWriter;
+}
+
+namespace nsrf::fleet
+{
+
+/** Node-level knobs (transport/scheduler sizing elsewhere). */
+struct NodeConfig
+{
+    /** This node's id in the ring config ("" until setRing). */
+    std::string nodeId;
+    /** Budget for one peer exchange (fill or put). */
+    unsigned peerTimeoutMs = 5'000;
+    /** Budget for one client request, submit waits included. */
+    unsigned requestTimeoutMs = 120'000;
+    /** Cells one submit may expand to. */
+    std::size_t maxCellsPerSubmit = 256;
+    /** Per-client quota; rate 0 disables. */
+    QuotaConfig quota;
+    /** Interactive-lane bounds. */
+    LanePolicy lanes;
+    /** Replication pushes queued before dropping. */
+    std::size_t replicatorQueueMax = 128;
+};
+
+/** Fleet-path counters (peer exchanges live in PeerClient). */
+struct FleetCounters
+{
+    std::uint64_t peerFills = 0;     //!< cells filled from a peer
+    std::uint64_t peerFillShared = 0; //!< coalesced on one fetch
+    std::uint64_t peerFillFallbacks = 0; //!< owner down → local sim
+    std::uint64_t peerFillServed = 0; //!< peerfill requests answered
+    std::uint64_t peerPutsAccepted = 0;
+    std::uint64_t peerPutsRejected = 0;
+    std::uint64_t ownedSubmits = 0;  //!< cells this node owned
+    std::uint64_t remoteSubmits = 0; //!< cells another node owned
+};
+
+/** Per-peer fill outcome split for the labeled metrics. */
+struct PeerFillCounters
+{
+    std::uint64_t hits = 0;   //!< exchanges that delivered a payload
+    std::uint64_t misses = 0; //!< exchanges that failed or NAKed
+};
+
+/** One fleet member's request handler. */
+class Node
+{
+  public:
+    /** All pointers are borrowed and must outlive the Node. */
+    Node(NodeConfig config, serve::ResultCache *cache,
+         serve::BatchScheduler *scheduler, serve::Server *server);
+    ~Node();
+
+    Node(const Node &) = delete;
+    Node &operator=(const Node &) = delete;
+
+    /**
+     * Install the ring.  @p config must name this node
+     * (config_.nodeId) among its nodes.  @return false with @p why
+     * otherwise.  Not thread-safe against in-flight requests —
+     * install before serving.
+     */
+    bool setRing(RingConfig config, std::string *why);
+
+    const Ring &ring() const { return ring_; }
+    std::size_t selfIndex() const { return selfIndex_; }
+
+    /** Wire the transport so a shutdown op can stop it. */
+    void attachTransport(Transport *transport)
+    {
+        transport_ = transport;
+    }
+
+    /** The Transport request handler (thread-safe). */
+    std::string handleRequest(const std::string &line);
+
+    /** The Transport admission callback: lane + quota verdict. */
+    Transport::Admit admit(const std::string &line);
+
+    FleetCounters counters() const;
+    QuotaTable &quota() { return quota_; }
+    PeerClient &peers() { return peers_; }
+    Replicator &replicator() { return *replicator_; }
+
+    /** Per-peer fill outcomes, sorted by peer id. */
+    std::vector<std::pair<std::string, PeerFillCounters>>
+    peerFillCounters() const;
+
+    /** Append the "fleet" member to a stats reply (Server stats
+     * hook). */
+    void appendStats(stats::JsonWriter &json) const;
+
+    /** Append fleet metrics in Prometheus text form (Server
+     * metrics hook). */
+    void appendMetrics(std::string &out) const;
+
+  private:
+    struct PeerFetch;
+    struct PendingCell;
+
+    std::string handleSubmit(const serve::json::Value &request);
+    std::string handlePeerFill(const serve::json::Value &request);
+    std::string handlePeerPut(const serve::json::Value &request);
+    std::string handleRing() const;
+    std::string errorReply(const std::string &op,
+                           const std::string &message) const;
+
+    /** Fill @p key from its owner; true when the local cache now
+     * holds the payload.  Single-flight across callers. */
+    bool peerFill(const PendingCell &pending, std::size_t owner);
+    /** The leader's half of peerFill: the actual exchange. */
+    bool fetchFromOwner(const PendingCell &pending,
+                        std::size_t owner);
+    /** Build the peerfill wire request for one expanded cell. */
+    std::string peerFillRequest(const PendingCell &pending) const;
+
+    /** Push @p payload to the non-primary owners of @p key. */
+    void maybeReplicate(const serve::Fingerprint &key,
+                        const std::string &payload);
+
+    NodeConfig config_;
+    serve::ResultCache *cache_;
+    serve::BatchScheduler *scheduler_;
+    serve::Server *server_;
+    Transport *transport_ = nullptr;
+
+    Ring ring_;
+    std::size_t selfIndex_ = Ring::npos;
+
+    PeerClient peers_;
+    std::unique_ptr<Replicator> replicator_;
+    QuotaTable quota_;
+
+    /** Fleet-level single-flight: one peer fetch per fingerprint. */
+    std::mutex fetchMutex_;
+    std::unordered_map<serve::Fingerprint,
+                       std::shared_ptr<PeerFetch>,
+                       serve::FingerprintHash>
+        peerInflight_;
+
+    mutable std::mutex countersMutex_;
+    FleetCounters counters_;
+    std::unordered_map<std::string, PeerFillCounters> perPeerFill_;
+};
+
+} // namespace nsrf::fleet
+
+#endif // NSRF_FLEET_NODE_HH

@@ -1,0 +1,153 @@
+#include "nsrf/fleet/peer.hh"
+
+#include <algorithm>
+#include <unistd.h>
+
+#include "nsrf/fleet/net.hh"
+#include "nsrf/serve/json_in.hh"
+
+namespace nsrf::fleet
+{
+
+bool
+PeerClient::exchange(const RingNode &peer,
+                     const std::string &request, std::string *reply,
+                     std::string *why)
+{
+    net::Clock::time_point start = net::Clock::now();
+    net::Clock::time_point deadline =
+        net::deadlineIn(config_.timeoutMs);
+
+    bool ok = false;
+    int fd = net::connectTcp(peer.host, peer.port, deadline, why);
+    if (fd >= 0) {
+        std::string buffer;
+        ok = net::sendAll(fd, request + "\n", deadline, why) &&
+             net::recvLine(fd, &buffer, reply,
+                           config_.maxReplyBytes, deadline, why);
+        ::close(fd);
+    }
+    if (!ok && why)
+        *why = "peer " + peer.id + ": " + *why;
+
+    auto elapsed =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            net::Clock::now() - start);
+    std::lock_guard<std::mutex> lock(mutex_);
+    PeerCounters &counters = counters_[peer.id];
+    if (ok) {
+        ++counters.exchanges;
+        counters.latencyUs +=
+            static_cast<std::uint64_t>(elapsed.count());
+    } else {
+        ++counters.failures;
+    }
+    return ok;
+}
+
+std::vector<std::pair<std::string, PeerCounters>>
+PeerClient::counters() const
+{
+    std::vector<std::pair<std::string, PeerCounters>> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.assign(counters_.begin(), counters_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+Replicator::Replicator(PeerClient *client, std::size_t maxQueue)
+    : client_(client), maxQueue_(maxQueue == 0 ? 1 : maxQueue),
+      thread_([this] { loop(); })
+{
+}
+
+Replicator::~Replicator()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Replicator::push(const RingNode &peer, std::string line)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_)
+            return;
+        if (queue_.size() >= maxQueue_) {
+            ++stats_.dropped;
+            return;
+        }
+        queue_.emplace_back(peer, std::move(line));
+        ++stats_.queued;
+    }
+    cv_.notify_one();
+}
+
+void
+Replicator::flush()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock,
+                 [this] { return queue_.empty() && !busy_; });
+}
+
+ReplicatorStats
+Replicator::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+Replicator::loop()
+{
+    while (true) {
+        std::pair<RingNode, std::string> item;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return stop_ || !queue_.empty();
+            });
+            if (stop_)
+                return;
+            item = std::move(queue_.front());
+            queue_.pop_front();
+            busy_ = true;
+        }
+
+        std::string reply, why;
+        bool ok = client_->exchange(item.first, item.second,
+                                    &reply, &why);
+        if (ok) {
+            // The replica must actually have accepted the frame.
+            serve::json::Value parsed;
+            std::string parseWhy;
+            ok = serve::json::parse(reply, &parsed, &parseWhy) &&
+                 parsed.isObject() &&
+                 parsed.getBool("ok", false);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (ok)
+                ++stats_.sent;
+            else
+                ++stats_.failures;
+            busy_ = false;
+            if (queue_.empty())
+                idleCv_.notify_all();
+        }
+    }
+}
+
+} // namespace nsrf::fleet

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fleet peer RPC: one-shot request/reply exchanges with sibling
+ * nodes, and the background replication pusher.
+ *
+ * PeerClient speaks the same line-delimited JSON protocol clients
+ * use — a peer exchange is "connect, send one line, read one line"
+ * bounded by a deadline, so a wedged or dead peer costs at most the
+ * configured timeout and never blocks a request thread forever.
+ * Per-peer counters (exchanges, failures, cumulative latency) feed
+ * the node's stats/metrics endpoints.
+ *
+ * Replicator pushes hot results to replica owners ("peerput") from
+ * one background thread with a bounded queue: replication is
+ * best-effort by design — a full queue or a dead replica drops the
+ * push and counts it, because the primary's copy is authoritative
+ * and a replica can always be refilled on demand.
+ */
+
+#ifndef NSRF_FLEET_PEER_HH
+#define NSRF_FLEET_PEER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/fleet/ring.hh"
+
+namespace nsrf::fleet
+{
+
+/** Cumulative per-peer exchange counters. */
+struct PeerCounters
+{
+    std::uint64_t exchanges = 0; //!< completed request/reply pairs
+    std::uint64_t failures = 0;  //!< connect/send/recv failures
+    std::uint64_t latencyUs = 0; //!< summed over completed pairs
+};
+
+/** One-shot line-JSON exchanges with ring peers. */
+class PeerClient
+{
+  public:
+    struct Config
+    {
+        /** Budget for one whole exchange (connect included). */
+        unsigned timeoutMs = 5'000;
+        /** Reply size bound (encoded payloads ride in replies). */
+        std::size_t maxReplyBytes = 8u << 20;
+    };
+
+    explicit PeerClient(Config config) : config_(config) {}
+
+    /**
+     * Send @p request (one line, no newline) to @p peer and read
+     * one reply line into @p reply.  @return false with @p why on
+     * connect/send/recv failure or timeout.  Thread-safe.
+     */
+    bool exchange(const RingNode &peer, const std::string &request,
+                  std::string *reply, std::string *why);
+
+    /** Counter snapshot, keyed by peer id, sorted for stable
+     * stats/metrics output. */
+    std::vector<std::pair<std::string, PeerCounters>> counters()
+        const;
+
+  private:
+    Config config_;
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, PeerCounters> counters_;
+};
+
+/** Counter snapshot of the replication pusher. */
+struct ReplicatorStats
+{
+    std::uint64_t queued = 0;  //!< pushes accepted into the queue
+    std::uint64_t sent = 0;    //!< acknowledged by the replica
+    std::uint64_t failures = 0; //!< exchange failed or peer NAKed
+    std::uint64_t dropped = 0; //!< shed on a full queue
+};
+
+/** Best-effort background pusher of peerput frames. */
+class Replicator
+{
+  public:
+    /** @param client shared exchange path (owned elsewhere). */
+    Replicator(PeerClient *client, std::size_t maxQueue = 128);
+
+    /** Stops and joins; queued pushes not yet sent are dropped. */
+    ~Replicator();
+
+    Replicator(const Replicator &) = delete;
+    Replicator &operator=(const Replicator &) = delete;
+
+    /** Queue one request line for @p peer; drops when full. */
+    void push(const RingNode &peer, std::string line);
+
+    /** Block until the queue is empty and no push is in flight
+     * (test hook; new pushes may still arrive afterwards). */
+    void flush();
+
+    ReplicatorStats stats() const;
+
+  private:
+    void loop();
+
+    PeerClient *client_;
+    std::size_t maxQueue_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable idleCv_;
+    std::deque<std::pair<RingNode, std::string>> queue_;
+    bool busy_ = false;
+    bool stop_ = false;
+    ReplicatorStats stats_;
+
+    std::thread thread_;
+};
+
+} // namespace nsrf::fleet
+
+#endif // NSRF_FLEET_PEER_HH

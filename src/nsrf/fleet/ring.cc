@@ -1,0 +1,237 @@
+#include "nsrf/fleet/ring.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "nsrf/serve/json_in.hh"
+
+namespace nsrf::fleet
+{
+
+namespace
+{
+
+bool
+fail(std::string *why, const std::string &message)
+{
+    if (why)
+        *why = message;
+    return false;
+}
+
+bool
+parseNode(const serve::json::Value &value, RingNode *out,
+          std::string *why)
+{
+    if (!value.isObject())
+        return fail(why, "ring node must be an object");
+    RingNode node;
+    for (const auto &[key, member] : value.object) {
+        if (key == "id") {
+            if (!member.isString() || member.string.empty())
+                return fail(why, "node id must be a non-empty "
+                                 "string");
+            node.id = member.string;
+        } else if (key == "host") {
+            if (!member.isString() || member.string.empty())
+                return fail(why, "node host must be a non-empty "
+                                 "string");
+            node.host = member.string;
+        } else if (key == "port") {
+            std::uint64_t port;
+            if (!value.getU64(key, &port) || port == 0 ||
+                port > 65535) {
+                return fail(why, "node port must be in [1, 65535]");
+            }
+            node.port = static_cast<std::uint16_t>(port);
+        } else {
+            return fail(why,
+                        "unknown ring node field '" + key + "'");
+        }
+    }
+    if (node.id.empty() || node.host.empty() || node.port == 0)
+        return fail(why, "ring node needs id, host, and port");
+    *out = node;
+    return true;
+}
+
+} // namespace
+
+bool
+parseRingConfig(const std::string &text, RingConfig *out,
+                std::string *why)
+{
+    serve::json::Value doc;
+    std::string parseWhy;
+    if (!serve::json::parse(text, &doc, &parseWhy))
+        return fail(why, "bad ring JSON: " + parseWhy);
+    if (!doc.isObject())
+        return fail(why, "ring config must be an object");
+
+    RingConfig config;
+    bool sawVersion = false;
+    for (const auto &[key, member] : doc.object) {
+        if (key == "version") {
+            std::uint64_t version;
+            if (!doc.getU64(key, &version))
+                return fail(why, "bad ring version");
+            if (version != kRingConfigVersion) {
+                return fail(
+                    why,
+                    "unsupported ring config version " +
+                        std::to_string(version) + " (want " +
+                        std::to_string(kRingConfigVersion) + ")");
+            }
+            sawVersion = true;
+        } else if (key == "vnodes") {
+            std::uint64_t vnodes;
+            if (!doc.getU64(key, &vnodes) || vnodes == 0 ||
+                vnodes > 1024) {
+                return fail(why, "vnodes must be in [1, 1024]");
+            }
+            config.vnodes = static_cast<unsigned>(vnodes);
+        } else if (key == "replicas") {
+            std::uint64_t replicas;
+            if (!doc.getU64(key, &replicas) || replicas == 0 ||
+                replicas > 64) {
+                return fail(why, "replicas must be in [1, 64]");
+            }
+            config.replicas = static_cast<unsigned>(replicas);
+        } else if (key == "nodes") {
+            if (!member.isArray() || member.array.empty())
+                return fail(why,
+                            "nodes must be a non-empty array");
+            for (const auto &entry : member.array) {
+                RingNode node;
+                if (!parseNode(entry, &node, why))
+                    return false;
+                config.nodes.push_back(std::move(node));
+            }
+        } else {
+            return fail(why,
+                        "unknown ring config field '" + key + "'");
+        }
+    }
+    if (!sawVersion)
+        return fail(why, "ring config needs a version field");
+    if (config.nodes.empty())
+        return fail(why, "ring config needs a nodes array");
+
+    std::unordered_set<std::string> ids;
+    for (const RingNode &node : config.nodes) {
+        if (!ids.insert(node.id).second)
+            return fail(why, "duplicate node id '" + node.id + "'");
+    }
+    *out = std::move(config);
+    return true;
+}
+
+bool
+loadRingConfig(const std::string &path, RingConfig *out,
+               std::string *why)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return fail(why, "cannot open ring config " + path);
+    std::string text;
+    char chunk[4096];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), file)) > 0)
+        text.append(chunk, n);
+    bool readError = std::ferror(file) != 0;
+    std::fclose(file);
+    if (readError)
+        return fail(why, "cannot read ring config " + path);
+    return parseRingConfig(text, out, why);
+}
+
+Ring::Ring(RingConfig config) : config_(std::move(config))
+{
+    points_.reserve(config_.nodes.size() * config_.vnodes);
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+        const RingNode &node = config_.nodes[i];
+        for (unsigned v = 0; v < config_.vnodes; ++v) {
+            // A content hash of the node id and the point index:
+            // every process derives the identical ring, and points
+            // of related ids do not correlate.
+            serve::Fingerprint point = serve::hashString(
+                node.id + "#" + std::to_string(v));
+            points_.emplace_back(point.hi ^ point.lo,
+                                 static_cast<std::uint32_t>(i));
+        }
+    }
+    std::sort(points_.begin(), points_.end());
+}
+
+std::size_t
+Ring::indexOf(const std::string &id) const
+{
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+        if (config_.nodes[i].id == id)
+            return i;
+    }
+    return npos;
+}
+
+std::uint64_t
+Ring::place(const serve::Fingerprint &key)
+{
+    // Fingerprints are already uniform 128-bit content hashes; fold
+    // the halves with a rotation so neither half alone decides the
+    // position.
+    return key.hi ^ ((key.lo << 32) | (key.lo >> 32));
+}
+
+std::vector<std::size_t>
+Ring::owners(const serve::Fingerprint &key) const
+{
+    std::vector<std::size_t> owners;
+    if (points_.empty())
+        return owners;
+    std::size_t want = std::min<std::size_t>(config_.replicas,
+                                             config_.nodes.size());
+    owners.reserve(want);
+
+    std::uint64_t position = place(key);
+    auto it = std::lower_bound(
+        points_.begin(), points_.end(),
+        std::make_pair(position, std::uint32_t{0}));
+    for (std::size_t step = 0;
+         step < points_.size() && owners.size() < want; ++step) {
+        if (it == points_.end())
+            it = points_.begin();
+        std::size_t candidate = it->second;
+        if (std::find(owners.begin(), owners.end(), candidate) ==
+            owners.end()) {
+            owners.push_back(candidate);
+        }
+        ++it;
+    }
+    return owners;
+}
+
+std::size_t
+Ring::primaryOwner(const serve::Fingerprint &key) const
+{
+    std::vector<std::size_t> all = owners(key);
+    return all.empty() ? npos : all.front();
+}
+
+double
+Ring::ownedShare(std::size_t index) const
+{
+    if (points_.empty())
+        return 0.0;
+    constexpr unsigned kProbes = 4096;
+    unsigned owned = 0;
+    for (unsigned i = 0; i < kProbes; ++i) {
+        serve::Fingerprint probe =
+            serve::hashString("ring-probe#" + std::to_string(i));
+        if (primaryOwner(probe) == index)
+            ++owned;
+    }
+    return static_cast<double>(owned) / kProbes;
+}
+
+} // namespace nsrf::fleet

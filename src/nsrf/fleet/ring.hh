@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Consistent-hash ring: deterministic ownership of 128-bit result
+ * fingerprints across a fleet of nsrf_serve nodes.
+ *
+ * Each node contributes `vnodes` virtual points to a 64-bit hash
+ * ring (point v of node `id` is placed at hashString(id + "#" + v),
+ * a content hash, so every process — any node, any client — derives
+ * the identical ring from the identical config).  A fingerprint's
+ * owners are the first `replicas` DISTINCT nodes clockwise from the
+ * fingerprint's own hash: the primary owner simulates and publishes,
+ * the rest hold replicas of hot cells.  Virtual points give the two
+ * properties the fleet needs:
+ *
+ *  - balance: with ~64 points per node the primary share per node
+ *    concentrates near 1/N;
+ *  - minimal movement on resize: adding or removing one node moves
+ *    only the keys whose clockwise-first point belonged to it —
+ *    ~K/(N+1) of K keys, never a full reshuffle (pinned by test).
+ *
+ * The ring config is a versioned JSON document parsed by the strict
+ * serve::json reader; every node of a fleet loads the same file, so
+ * config skew is a deployment error the version field and strict
+ * parsing turn into a startup failure instead of silent misrouting.
+ */
+
+#ifndef NSRF_FLEET_RING_HH
+#define NSRF_FLEET_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nsrf/serve/fingerprint.hh"
+
+namespace nsrf::fleet
+{
+
+/** Ring config document version accepted by parseRingConfig. */
+inline constexpr unsigned kRingConfigVersion = 1;
+
+/** One fleet member as named in the ring config. */
+struct RingNode
+{
+    std::string id;   //!< unique name, also the --node-id handle
+    std::string host; //!< address peers connect to
+    std::uint16_t port = 0;
+};
+
+/** Parsed ring configuration. */
+struct RingConfig
+{
+    unsigned version = kRingConfigVersion;
+    unsigned vnodes = 64;   //!< virtual points per node
+    unsigned replicas = 1;  //!< owners per key (primary + copies)
+    std::vector<RingNode> nodes;
+};
+
+/**
+ * Parse a ring config document:
+ *
+ *   {"version":1,"vnodes":64,"replicas":2,
+ *    "nodes":[{"id":"n1","host":"127.0.0.1","port":7101}, ...]}
+ *
+ * Strict: unknown members, duplicate ids, bad ports, and any
+ * version other than kRingConfigVersion are errors.
+ */
+bool parseRingConfig(const std::string &text, RingConfig *out,
+                     std::string *why);
+
+/** parseRingConfig over the contents of @p path. */
+bool loadRingConfig(const std::string &path, RingConfig *out,
+                    std::string *why);
+
+/** The ownership function; immutable once built. */
+class Ring
+{
+  public:
+    /** An empty ring: no peers, every key is locally owned. */
+    Ring() = default;
+
+    explicit Ring(RingConfig config);
+
+    bool empty() const { return config_.nodes.empty(); }
+    const RingConfig &config() const { return config_; }
+
+    std::size_t nodeCount() const { return config_.nodes.size(); }
+    const RingNode &node(std::size_t i) const
+    {
+        return config_.nodes[i];
+    }
+
+    /** @return the index of node @p id, or npos. */
+    static constexpr std::size_t npos = ~std::size_t{0};
+    std::size_t indexOf(const std::string &id) const;
+
+    /**
+     * Ordered distinct owners of @p key, primary first; size is
+     * min(replicas, nodeCount).  Deterministic: depends only on the
+     * ring config and the key.
+     */
+    std::vector<std::size_t> owners(
+        const serve::Fingerprint &key) const;
+
+    /** @return the primary owner's index (ring must be nonempty). */
+    std::size_t primaryOwner(const serve::Fingerprint &key) const;
+
+    /**
+     * Fraction of a deterministic 4096-key probe set whose primary
+     * owner is node @p index — the shard-ownership gauge exported
+     * to Prometheus, and the balance check in tests.
+     */
+    double ownedShare(std::size_t index) const;
+
+  private:
+    /** Ring position of @p key. */
+    static std::uint64_t place(const serve::Fingerprint &key);
+
+    RingConfig config_;
+    /** Sorted (position, node index) virtual points. */
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+} // namespace nsrf::fleet
+
+#endif // NSRF_FLEET_RING_HH

@@ -1,0 +1,852 @@
+#include "nsrf/fleet/transport.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define NSRF_HAVE_EPOLL 1
+#endif
+
+#include "nsrf/common/logging.hh"
+#include "nsrf/fleet/net.hh"
+#include "nsrf/stats/json.hh"
+
+namespace nsrf::fleet
+{
+
+/** One multiplexed connection; owned by the loop thread.  Workers
+ * only hold the shared_ptr to route their reply back. */
+struct Transport::Conn
+{
+    int fd = -1;
+    std::string inBuf;
+    std::string outBuf;
+    std::size_t inFlight = 0; //!< requests handed to workers
+    bool peerClosed = false;  //!< EOF seen or reads poisoned
+    bool dead = false;        //!< closed and removed
+    bool wantWrite = false;   //!< write interest armed
+};
+
+/**
+ * Readiness backend: epoll where available, poll(2) otherwise (and
+ * wherever forcePoll / NSRF_FLEET_POLL=1 asks for the fallback).
+ * Level-triggered in both backends, so the loop logic is identical.
+ */
+struct Transport::Poller
+{
+    struct Event
+    {
+        int fd;
+        bool in;
+        bool out;
+        bool err;
+    };
+
+    bool epoll = false;
+#if NSRF_HAVE_EPOLL
+    int epfd = -1;
+#endif
+    /** fd -> interest mask; the poll backend builds its pollfd set
+     * from this, the epoll backend mirrors it into the kernel. */
+    std::unordered_map<int, short> interest;
+
+    explicit Poller(bool forcePoll)
+    {
+#if NSRF_HAVE_EPOLL
+        const char *env = std::getenv("NSRF_FLEET_POLL");
+        bool envPoll = env && env[0] == '1';
+        if (!forcePoll && !envPoll) {
+            epfd = ::epoll_create1(EPOLL_CLOEXEC);
+            epoll = epfd >= 0;
+        }
+#else
+        (void)forcePoll;
+#endif
+    }
+
+    ~Poller()
+    {
+#if NSRF_HAVE_EPOLL
+        if (epfd >= 0)
+            ::close(epfd);
+#endif
+    }
+
+    static short
+    mask(bool in, bool out)
+    {
+        return static_cast<short>((in ? POLLIN : 0) |
+                                  (out ? POLLOUT : 0));
+    }
+
+    void
+    add(int fd, bool in, bool out)
+    {
+        interest[fd] = mask(in, out);
+#if NSRF_HAVE_EPOLL
+        if (epoll) {
+            epoll_event ev{};
+            ev.events = (in ? EPOLLIN : 0u) | (out ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev);
+        }
+#endif
+    }
+
+    void
+    mod(int fd, bool in, bool out)
+    {
+        auto it = interest.find(fd);
+        if (it == interest.end())
+            return;
+        it->second = mask(in, out);
+#if NSRF_HAVE_EPOLL
+        if (epoll) {
+            epoll_event ev{};
+            ev.events = (in ? EPOLLIN : 0u) | (out ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev);
+        }
+#endif
+    }
+
+    void
+    del(int fd)
+    {
+        interest.erase(fd);
+#if NSRF_HAVE_EPOLL
+        if (epoll)
+            ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+    }
+
+    /** @return ready events (EINTR returns an empty batch). */
+    void
+    wait(std::vector<Event> *events, int timeoutMs)
+    {
+        events->clear();
+#if NSRF_HAVE_EPOLL
+        if (epoll) {
+            epoll_event ready[64];
+            int n = ::epoll_wait(epfd, ready, 64, timeoutMs);
+            for (int i = 0; i < n; ++i) {
+                events->push_back(Event{
+                    ready[i].data.fd,
+                    (ready[i].events & EPOLLIN) != 0,
+                    (ready[i].events & EPOLLOUT) != 0,
+                    (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0});
+            }
+            return;
+        }
+#endif
+        std::vector<pollfd> fds;
+        fds.reserve(interest.size());
+        for (const auto &[fd, events_] : interest)
+            fds.push_back(pollfd{fd, events_, 0});
+        int n = ::poll(fds.data(),
+                       static_cast<nfds_t>(fds.size()), timeoutMs);
+        if (n <= 0)
+            return;
+        for (const pollfd &pfd : fds) {
+            if (pfd.revents == 0)
+                continue;
+            events->push_back(Event{
+                pfd.fd, (pfd.revents & POLLIN) != 0,
+                (pfd.revents & POLLOUT) != 0,
+                (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) !=
+                    0});
+        }
+    }
+};
+
+namespace
+{
+
+/** Bind + listen a TCP socket on @p host:@p port.  @return fd or
+ * -1 with @p why; @p boundPort receives the (possibly ephemeral)
+ * port actually bound. */
+int
+listenTcp(const std::string &host, std::uint16_t port,
+          std::uint16_t *boundPort, std::string *why)
+{
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    std::string service = std::to_string(port);
+    addrinfo *result = nullptr;
+    int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                           service.c_str(), &hints, &result);
+    if (rc != 0) {
+        if (why)
+            *why = std::string("resolve ") + host + ": " +
+                   ::gai_strerror(rc);
+        return -1;
+    }
+
+    std::string lastError = "no addresses";
+    for (addrinfo *ai = result; ai; ai = ai->ai_next) {
+        int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                          ai->ai_protocol);
+        if (fd < 0) {
+            lastError =
+                std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        std::string prepWhy;
+        if (!net::prepareFd(fd, &prepWhy) ||
+            ::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0 ||
+            ::listen(fd, 128) != 0) {
+            lastError = prepWhy.empty()
+                            ? std::string("bind/listen: ") +
+                                  std::strerror(errno)
+                            : prepWhy;
+            ::close(fd);
+            continue;
+        }
+        sockaddr_storage bound;
+        socklen_t len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0) {
+            if (bound.ss_family == AF_INET) {
+                *boundPort = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&bound)
+                        ->sin_port);
+            } else if (bound.ss_family == AF_INET6) {
+                *boundPort = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&bound)
+                        ->sin6_port);
+            }
+        }
+        ::freeaddrinfo(result);
+        return fd;
+    }
+    ::freeaddrinfo(result);
+    if (why)
+        *why = lastError;
+    return -1;
+}
+
+/** Bind + listen a UDS socket at @p path (stale node unlinked). */
+int
+listenUnix(const std::string &path, std::string *why)
+{
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        if (why)
+            *why = "socket path empty or too long (max " +
+                   std::to_string(sizeof(addr.sun_path) - 1) +
+                   " bytes)";
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (why)
+            *why = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    ::unlink(path.c_str());
+    std::string prepWhy;
+    if (!net::prepareFd(fd, &prepWhy) ||
+        ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 128) != 0) {
+        if (why)
+            *why = prepWhy.empty() ? std::string("bind/listen ") +
+                                         path + ": " +
+                                         std::strerror(errno)
+                                   : prepWhy;
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+Transport::Transport(TransportConfig config, Handler handler,
+                     AdmitFn admit)
+    : config_(std::move(config)), handler_(std::move(handler)),
+      admit_(std::move(admit))
+{
+    nsrf_assert(handler_ != nullptr, "transport needs a handler");
+    if (config_.workers == 0)
+        config_.workers = 1;
+}
+
+Transport::~Transport()
+{
+    // run() normally closes everything; cover start()-without-run()
+    // and failed starts.
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
+    if (udsListenFd_ >= 0) {
+        ::close(udsListenFd_);
+        ::unlink(config_.udsPath.c_str());
+    }
+    if (wakeRead_ >= 0)
+        ::close(wakeRead_);
+    if (wakeWrite_ >= 0)
+        ::close(wakeWrite_);
+    for (auto &[fd, conn] : conns_) {
+        if (!conn->dead)
+            ::close(fd);
+    }
+}
+
+bool
+Transport::start(std::string *why)
+{
+    if (config_.tcpHost.empty() && config_.udsPath.empty()) {
+        if (why)
+            *why = "transport needs a TCP or UDS listener";
+        return false;
+    }
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0) {
+        if (why)
+            *why = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    std::string prepWhy;
+    if (!net::prepareFd(pipeFds[0], &prepWhy) ||
+        !net::prepareFd(pipeFds[1], &prepWhy)) {
+        ::close(pipeFds[0]);
+        ::close(pipeFds[1]);
+        if (why)
+            *why = prepWhy;
+        return false;
+    }
+    wakeRead_ = pipeFds[0];
+    wakeWrite_ = pipeFds[1];
+
+    if (!config_.tcpHost.empty()) {
+        tcpListenFd_ = listenTcp(config_.tcpHost, config_.tcpPort,
+                                 &boundTcpPort_, why);
+        if (tcpListenFd_ < 0)
+            return false;
+    }
+    if (!config_.udsPath.empty()) {
+        udsListenFd_ = listenUnix(config_.udsPath, why);
+        if (udsListenFd_ < 0) {
+            if (tcpListenFd_ >= 0) {
+                ::close(tcpListenFd_);
+                tcpListenFd_ = -1;
+            }
+            return false;
+        }
+    }
+
+    poller_ = std::make_unique<Poller>(config_.forcePoll);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.usingEpoll = poller_->epoll;
+    }
+    poller_->add(wakeRead_, true, false);
+    if (tcpListenFd_ >= 0)
+        poller_->add(tcpListenFd_, true, false);
+    if (udsListenFd_ >= 0)
+        poller_->add(udsListenFd_, true, false);
+    return true;
+}
+
+void
+Transport::requestStop()
+{
+    stop_.store(true);
+    if (wakeWrite_ >= 0) {
+        char byte = 1;
+        // Async-signal-safe; a full pipe is fine (loop will wake).
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+    }
+}
+
+std::string
+Transport::shedReply() const
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("ok", false);
+    json.field("error", "overloaded: lane queue full");
+    json.field("shed", true);
+    json.field("retryAfterMs",
+               static_cast<std::uint64_t>(config_.shedRetryAfterMs));
+    json.endObject();
+    return json.str();
+}
+
+void
+Transport::workerLoop()
+{
+    while (true) {
+        std::pair<std::shared_ptr<Conn>, std::string> item;
+        {
+            std::unique_lock<std::mutex> lock(workMutex_);
+            workCv_.wait(lock, [this] {
+                if (workersStop_)
+                    return true;
+                for (const auto &queue : laneQueues_) {
+                    if (!queue.empty())
+                        return true;
+                }
+                return false;
+            });
+            bool found = false;
+            // Interactive drains strictly before Bulk.
+            for (auto &queue : laneQueues_) {
+                if (!queue.empty()) {
+                    item = std::move(queue.front());
+                    queue.pop_front();
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                // workersStop_ and nothing queued: done.
+                return;
+            }
+        }
+
+        std::string reply;
+        try {
+            reply = handler_(item.second);
+        } catch (const std::exception &e) {
+            stats::JsonWriter json;
+            json.beginObject();
+            json.field("ok", false);
+            json.field("error",
+                       std::string("internal error: ") + e.what());
+            json.endObject();
+            reply = json.str();
+        } catch (...) {
+            reply = "{\"ok\":false,\"error\":\"internal error\"}";
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(workMutex_);
+            replyQueue_.emplace_back(std::move(item.first),
+                                     std::move(reply));
+        }
+        // Wake the loop to deliver (same signal-safe path as stop).
+        char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakeWrite_, &byte, 1);
+    }
+}
+
+int
+Transport::run()
+{
+    nsrf_assert(poller_ != nullptr, "run() before start()");
+    for (unsigned i = 0; i < config_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+
+    net::Clock::time_point drainDeadline{};
+    bool draining = false;
+    while (true) {
+        if (stop_.load() && !listenersClosed_) {
+            // Drain: no new connections, no new requests; queued
+            // work completes and write buffers flush.
+            listenersClosed_ = true;
+            draining = true;
+            drainDeadline =
+                net::deadlineIn(config_.drainTimeoutMs);
+            if (tcpListenFd_ >= 0) {
+                poller_->del(tcpListenFd_);
+                ::close(tcpListenFd_);
+                tcpListenFd_ = -1;
+            }
+            if (udsListenFd_ >= 0) {
+                poller_->del(udsListenFd_);
+                ::close(udsListenFd_);
+                ::unlink(config_.udsPath.c_str());
+                udsListenFd_ = -1;
+            }
+            for (auto &[fd, conn] : conns_) {
+                conn->peerClosed = true;
+                poller_->mod(fd, false, conn->wantWrite);
+            }
+        }
+
+        deliverReplies();
+
+        if (draining &&
+            (drained() || net::Clock::now() >= drainDeadline)) {
+            break;
+        }
+
+        loopIteration();
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        workersStop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    deliverReplies();
+
+    // Whatever still has data gets one last nonblocking flush, then
+    // everything closes.
+    std::vector<std::shared_ptr<Conn>> remaining;
+    remaining.reserve(conns_.size());
+    for (auto &[fd, conn] : conns_)
+        remaining.push_back(conn);
+    for (const auto &conn : remaining) {
+        flushOut(conn);
+        if (!conn->dead)
+            closeConn(conn);
+    }
+    return 0;
+}
+
+bool
+Transport::drained()
+{
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        for (const auto &queue : laneQueues_) {
+            if (!queue.empty())
+                return false;
+        }
+        if (!replyQueue_.empty())
+            return false;
+    }
+    for (const auto &[fd, conn] : conns_) {
+        if (conn->inFlight > 0 || !conn->outBuf.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Transport::loopIteration()
+{
+    std::vector<Poller::Event> events;
+    poller_->wait(&events,
+                  static_cast<int>(config_.pollIntervalMs));
+
+    bool acceptTcp = false, acceptUds = false;
+    for (const Poller::Event &event : events) {
+        if (event.fd == wakeRead_) {
+            drainWakePipe();
+            continue;
+        }
+        if (event.fd == tcpListenFd_) {
+            acceptTcp = true;
+            continue;
+        }
+        if (event.fd == udsListenFd_) {
+            acceptUds = true;
+            continue;
+        }
+        auto it = conns_.find(event.fd);
+        if (it == conns_.end())
+            continue; // closed earlier in this batch
+        std::shared_ptr<Conn> conn = it->second;
+        if (event.err) {
+            closeConn(conn);
+            continue;
+        }
+        if (event.out)
+            flushOut(conn);
+        if (conn->dead)
+            continue;
+        if (event.in && !conn->peerClosed)
+            readable(conn);
+    }
+    // Accepts run after connection events so a just-closed fd
+    // number reused by a fresh accept cannot alias a stale event
+    // from this same batch.
+    if (acceptTcp && tcpListenFd_ >= 0)
+        acceptFrom(tcpListenFd_);
+    if (acceptUds && udsListenFd_ >= 0)
+        acceptFrom(udsListenFd_);
+}
+
+void
+Transport::acceptFrom(int listenFd)
+{
+    while (true) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == ECONNABORTED) {
+                return;
+            }
+            // EMFILE/ENFILE/ENOMEM: shed the accept, keep serving
+            // the connections we have — never kill the loop.
+            nsrf_warn("fleet: accept: %s", std::strerror(errno));
+            return;
+        }
+        std::string prepWhy;
+        if (!net::prepareFd(fd, &prepWhy)) {
+            nsrf_warn("fleet: %s", prepWhy.c_str());
+            ::close(fd);
+            continue;
+        }
+        if (listenFd == tcpListenFd_) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        }
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        conns_[fd] = conn;
+        poller_->add(fd, true, false);
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.accepted;
+    }
+}
+
+void
+Transport::readable(const std::shared_ptr<Conn> &conn)
+{
+    char chunk[16384];
+    while (!conn->dead && !conn->peerClosed) {
+        ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn->inBuf.append(chunk,
+                               static_cast<std::size_t>(n));
+            std::size_t nl;
+            while ((nl = conn->inBuf.find('\n')) !=
+                   std::string::npos) {
+                std::string line = conn->inBuf.substr(0, nl);
+                conn->inBuf.erase(0, nl + 1);
+                if (!line.empty())
+                    admitLine(conn, std::move(line));
+                if (conn->dead || conn->peerClosed)
+                    return;
+            }
+            // Complete lines are drained above; the cap applies to
+            // the unconsumed partial tail only, so pipelined bursts
+            // of many small requests stay legal at any total size.
+            if (conn->inBuf.size() > config_.maxLineBytes) {
+                {
+                    std::lock_guard<std::mutex> lock(statsMutex_);
+                    ++stats_.oversized;
+                }
+                stats::JsonWriter json;
+                json.beginObject();
+                json.field("ok", false);
+                json.field("error", "request line too long");
+                json.endObject();
+                queueReply(conn, json.str());
+                conn->inBuf.clear();
+                conn->peerClosed = true; // poison further reads
+                poller_->mod(conn->fd, false, conn->wantWrite);
+                maybeRetire(conn);
+                return;
+            }
+            continue;
+        }
+        if (n == 0) {
+            conn->peerClosed = true;
+            poller_->mod(conn->fd, false, conn->wantWrite);
+            maybeRetire(conn);
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+Transport::admitLine(const std::shared_ptr<Conn> &conn,
+                     std::string line)
+{
+    Admit admit;
+    if (admit_)
+        admit = admit_(line);
+    if (!admit.rejectReply.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.quotaRejected;
+        }
+        queueReply(conn, admit.rejectReply);
+        return;
+    }
+
+    std::size_t lane = static_cast<std::size_t>(admit.lane);
+    bool shed = false;
+    {
+        std::lock_guard<std::mutex> lock(workMutex_);
+        if (laneQueues_[lane].size() >= config_.laneQueueMax) {
+            shed = true;
+        } else {
+            laneQueues_[lane].emplace_back(conn, std::move(line));
+            ++conn->inFlight;
+            std::lock_guard<std::mutex> statsLock(statsMutex_);
+            ++stats_.requests;
+            stats_.laneDepthPeak[lane] = std::max(
+                stats_.laneDepthPeak[lane],
+                static_cast<std::uint64_t>(
+                    laneQueues_[lane].size()));
+        }
+    }
+    if (shed) {
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.shed;
+        }
+        queueReply(conn, shedReply());
+        return;
+    }
+    workCv_.notify_one();
+}
+
+void
+Transport::queueReply(const std::shared_ptr<Conn> &conn,
+                      const std::string &reply)
+{
+    if (conn->dead)
+        return;
+    conn->outBuf.append(reply);
+    conn->outBuf.push_back('\n');
+    if (conn->outBuf.size() > config_.maxWriteBufferBytes) {
+        // A reader this slow is a liability; cut it loose.
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.dropped;
+        }
+        closeConn(conn);
+        return;
+    }
+    flushOut(conn);
+}
+
+void
+Transport::flushOut(const std::shared_ptr<Conn> &conn)
+{
+    if (conn->dead)
+        return;
+    while (!conn->outBuf.empty()) {
+        ssize_t n = ::send(conn->fd, conn->outBuf.data(),
+                           conn->outBuf.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            conn->outBuf.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn->wantWrite) {
+                conn->wantWrite = true;
+                poller_->mod(conn->fd, !conn->peerClosed, true);
+            }
+            return;
+        }
+        closeConn(conn);
+        return;
+    }
+    if (conn->wantWrite) {
+        conn->wantWrite = false;
+        poller_->mod(conn->fd, !conn->peerClosed, false);
+    }
+    maybeRetire(conn);
+}
+
+void
+Transport::maybeRetire(const std::shared_ptr<Conn> &conn)
+{
+    if (!conn->dead && conn->peerClosed && conn->inFlight == 0 &&
+        conn->outBuf.empty()) {
+        closeConn(conn);
+    }
+}
+
+void
+Transport::closeConn(const std::shared_ptr<Conn> &conn)
+{
+    if (conn->dead)
+        return;
+    conn->dead = true;
+    poller_->del(conn->fd);
+    ::close(conn->fd);
+    conns_.erase(conn->fd);
+}
+
+void
+Transport::drainWakePipe()
+{
+    char buffer[256];
+    while (true) {
+        ssize_t n = ::read(wakeRead_, buffer, sizeof(buffer));
+        if (n > 0)
+            continue;
+        if (n < 0 && errno == EINTR)
+            continue;
+        return; // EAGAIN (drained) or EOF
+    }
+}
+
+void
+Transport::deliverReplies()
+{
+    while (true) {
+        std::pair<std::shared_ptr<Conn>, std::string> item;
+        {
+            std::lock_guard<std::mutex> lock(workMutex_);
+            if (replyQueue_.empty())
+                return;
+            item = std::move(replyQueue_.front());
+            replyQueue_.pop_front();
+        }
+        const std::shared_ptr<Conn> &conn = item.first;
+        if (conn->inFlight > 0)
+            --conn->inFlight;
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            ++stats_.replies;
+        }
+        if (!conn->dead) {
+            queueReply(conn, item.second);
+            maybeRetire(conn);
+        }
+    }
+}
+
+TransportStats
+Transport::stats() const
+{
+    TransportStats out;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out = stats_;
+    }
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex &>(workMutex_));
+    for (std::size_t lane = 0; lane < kLaneCount; ++lane) {
+        out.laneDepth[lane] = laneQueues_[lane].size();
+    }
+    return out;
+}
+
+} // namespace nsrf::fleet

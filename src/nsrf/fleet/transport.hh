@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Nonblocking TCP/UDS transport for the fleet daemon: one epoll
+ * (fallback poll) event loop, a small worker pool, and two priority
+ * lanes.
+ *
+ * The PR-4 daemon spent one blocking thread per connection; a fleet
+ * node multiplexes every connection — the TCP listener, the
+ * optional UDS listener alongside it, and all accepted sockets —
+ * through a single event loop:
+ *
+ *  - accept/read/write are nonblocking and EINTR-safe; reads are
+ *    line-buffered (pipelined bursts legal, the partial-tail cap of
+ *    the UDS server preserved), writes buffer partial sends and
+ *    resume on writability, so one slow reader never wedges the
+ *    loop;
+ *  - complete request lines pass an admission callback (quota
+ *    check + lane classification) and queue on their lane; workers
+ *    drain Interactive strictly before Bulk and hand replies back
+ *    to the loop through a wake pipe — connection state is owned by
+ *    the loop thread alone;
+ *  - a full lane queue sheds instead of buffering without bound:
+ *    the loop replies immediately with a structured retry-after
+ *    and drops the request (load shedding beyond the scheduler's
+ *    bounded queue);
+ *  - stop (signal-safe) closes the listeners, lets queued requests
+ *    finish, flushes every write buffer, then returns — the same
+ *    graceful-drain contract as the UDS server.
+ *
+ * The poller backend is epoll on Linux and poll(2) elsewhere;
+ * TransportConfig::forcePoll (or NSRF_FLEET_POLL=1) selects the
+ * poll backend at runtime so CI exercises both on one platform.
+ */
+
+#ifndef NSRF_FLEET_TRANSPORT_HH
+#define NSRF_FLEET_TRANSPORT_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "nsrf/fleet/admission.hh"
+
+namespace nsrf::fleet
+{
+
+/** Sizing and placement of one Transport. */
+struct TransportConfig
+{
+    /** TCP bind address; empty host = no TCP listener. */
+    std::string tcpHost;
+    /** TCP port; 0 = ephemeral (tcpPort() reports the choice). */
+    std::uint16_t tcpPort = 0;
+    /** UDS path; empty = no UDS listener. */
+    std::string udsPath;
+    /** Worker threads executing request handlers. */
+    unsigned workers = 2;
+    /** Partial-line cap per connection (complete lines exempt). */
+    std::size_t maxLineBytes = 1u << 20;
+    /** Queued requests per lane before shedding. */
+    std::size_t laneQueueMax = 256;
+    /** Retry-after hint in shed replies. */
+    unsigned shedRetryAfterMs = 250;
+    /** Event-loop tick for stop checks. */
+    unsigned pollIntervalMs = 200;
+    /** Drain budget after requestStop(). */
+    unsigned drainTimeoutMs = 10'000;
+    /** Pending reply bytes per connection before it is dropped. */
+    std::size_t maxWriteBufferBytes = 8u << 20;
+    /** Use the poll(2) backend even where epoll exists. */
+    bool forcePoll = false;
+};
+
+/** Counter snapshot for stats/metrics. */
+struct TransportStats
+{
+    std::uint64_t accepted = 0;    //!< connections accepted
+    std::uint64_t requests = 0;    //!< lines enqueued to workers
+    std::uint64_t replies = 0;     //!< replies flushed to sockets
+    std::uint64_t shed = 0;        //!< dropped on a full lane
+    std::uint64_t quotaRejected = 0; //!< bounced by admission
+    std::uint64_t oversized = 0;   //!< partial-line cap trips
+    std::uint64_t dropped = 0;     //!< connections force-closed
+    std::uint64_t laneDepth[kLaneCount] = {0, 0};
+    std::uint64_t laneDepthPeak[kLaneCount] = {0, 0};
+    bool usingEpoll = false;
+};
+
+/** Multiplexed line-JSON server over TCP and/or UDS listeners. */
+class Transport
+{
+  public:
+    /** Request handler: one line in, one reply line out (no
+     * trailing newline).  Runs on a worker thread. */
+    using Handler = std::function<std::string(const std::string &)>;
+
+    /** Admission verdict for one request line. */
+    struct Admit
+    {
+        Lane lane = Lane::Interactive;
+        /** Nonempty = reject: reply with this and do not enqueue. */
+        std::string rejectReply;
+    };
+
+    /** Admission callback; runs on the loop thread.  Null = every
+     * request admitted Interactive. */
+    using AdmitFn = std::function<Admit(const std::string &)>;
+
+    Transport(TransportConfig config, Handler handler,
+              AdmitFn admit = {});
+    ~Transport();
+
+    Transport(const Transport &) = delete;
+    Transport &operator=(const Transport &) = delete;
+
+    /** Bind + listen on the configured listeners.  @return false
+     * with @p why on failure (no partial listeners left open). */
+    bool start(std::string *why);
+
+    /** Run the event loop until requestStop(); drains and joins
+     * the workers before returning.  @return an exit code. */
+    int run();
+
+    /** Async-signal-safe stop request. */
+    void requestStop();
+
+    /** The bound TCP port (valid after start()). */
+    std::uint16_t tcpPort() const { return boundTcpPort_; }
+
+    TransportStats stats() const;
+
+  private:
+    struct Conn;
+    struct Poller;
+
+    void loopIteration();
+    void acceptFrom(int listenFd);
+    void readable(const std::shared_ptr<Conn> &conn);
+    void flushOut(const std::shared_ptr<Conn> &conn);
+    void admitLine(const std::shared_ptr<Conn> &conn,
+                   std::string line);
+    void queueReply(const std::shared_ptr<Conn> &conn,
+                    const std::string &reply);
+    void closeConn(const std::shared_ptr<Conn> &conn);
+    void maybeRetire(const std::shared_ptr<Conn> &conn);
+    void drainWakePipe();
+    void deliverReplies();
+    void workerLoop();
+    bool drained();
+    std::string shedReply() const;
+
+    TransportConfig config_;
+    Handler handler_;
+    AdmitFn admit_;
+
+    int tcpListenFd_ = -1;
+    int udsListenFd_ = -1;
+    std::uint16_t boundTcpPort_ = 0;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::atomic<bool> stop_{false};
+    bool listenersClosed_ = false;
+
+    std::unique_ptr<Poller> poller_;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+
+    /** Lane queues + completed replies (workers <-> loop). */
+    std::mutex workMutex_;
+    std::condition_variable workCv_;
+    std::deque<std::pair<std::shared_ptr<Conn>, std::string>>
+        laneQueues_[kLaneCount];
+    std::deque<std::pair<std::shared_ptr<Conn>, std::string>>
+        replyQueue_;
+    bool workersStop_ = false;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex statsMutex_;
+    TransportStats stats_;
+};
+
+} // namespace nsrf::fleet
+
+#endif // NSRF_FLEET_TRANSPORT_HH

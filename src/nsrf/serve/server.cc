@@ -22,8 +22,15 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
+/**
+ * Write all of @p data, resuming partial sends.  The socket carries
+ * SO_SNDTIMEO, so a wedged reader surfaces as EAGAIN here instead
+ * of blocking the connection thread forever; each tick re-checks
+ * @p stop so shutdown is never held hostage by one slow client.
+ */
 bool
-sendAll(int fd, const std::string &data)
+sendAll(int fd, const std::string &data,
+        const std::atomic<bool> &stop)
 {
     std::size_t sent = 0;
     while (sent < data.size()) {
@@ -32,6 +39,13 @@ sendAll(int fd, const std::string &data)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO elapsed: the send itself paces the
+                // retry, so just re-check stop and resume.
+                if (stop.load())
+                    return false;
+                continue;
+            }
             return false;
         }
         sent += static_cast<std::size_t>(n);
@@ -135,6 +149,18 @@ Server::serve()
         if (fd < 0) {
             if (errno == EINTR || errno == ECONNABORTED)
                 continue;
+            if (errno == EMFILE || errno == ENFILE ||
+                errno == ENOBUFS || errno == ENOMEM) {
+                // Resource pressure is transient: shed this accept
+                // and keep the daemon alive.  Back off one poll
+                // tick so a stuck EMFILE doesn't spin the log.
+                nsrf_warn("serve: accept: %s (backing off)",
+                          std::strerror(errno));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        config_.pollIntervalMs));
+                continue;
+            }
             nsrf_warn("serve: accept: %s", std::strerror(errno));
             break;
         }
@@ -165,6 +191,9 @@ Server::handleConnection(int fd)
     tv.tv_usec =
         static_cast<long>(config_.pollIntervalMs % 1000) * 1000;
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // Writes get the same tick so sendAll can re-check stop_
+    // instead of blocking forever behind a wedged reader.
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
     std::string buffer;
     char chunk[4096];
@@ -187,7 +216,7 @@ Server::handleConnection(int fd)
             if (line.empty())
                 continue;
             std::string reply = handleRequest(line);
-            if (!sendAll(fd, reply + "\n")) {
+            if (!sendAll(fd, reply + "\n", stop_)) {
                 ::close(fd);
                 return;
             }
@@ -196,8 +225,9 @@ Server::handleConnection(int fd)
         // only, after complete lines are drained: a pipelined burst
         // of many small requests is legal no matter its total size.
         if (buffer.size() > config_.maxLineBytes) {
-            sendAll(fd, errorReply("", "request line too long") +
-                            "\n");
+            sendAll(fd,
+                    errorReply("", "request line too long") + "\n",
+                    stop_);
             break;
         }
     }
@@ -451,6 +481,8 @@ Server::handleStats()
         json.field("timeouts", timeouts_.value());
         json.endObject();
     }
+    if (statsHook_)
+        statsHook_(json);
     json.endObject();
     return json.str();
 }
@@ -507,6 +539,8 @@ Server::metricsText() const
         appendMetric(out, "nsrf_serve_timeouts_total", "counter",
                      timeouts_.value());
     }
+    if (metricsHook_)
+        metricsHook_(out);
     return out;
 }
 

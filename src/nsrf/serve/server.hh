@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +41,11 @@
 #include "nsrf/serve/json_in.hh"
 #include "nsrf/serve/scheduler.hh"
 #include "nsrf/stats/counters.hh"
+
+namespace nsrf::stats
+{
+class JsonWriter;
+}
 
 namespace nsrf::serve
 {
@@ -87,6 +93,23 @@ class Server
     /** The Prometheus-text form of every counter. */
     std::string metricsText() const;
 
+    /**
+     * Extra content appended by an upper layer (the fleet node):
+     * the stats hook adds members to the stats reply object, the
+     * metrics hook appends Prometheus text.  Install before
+     * serving; both may be empty.
+     */
+    using StatsHook = std::function<void(stats::JsonWriter &)>;
+    using MetricsHook = std::function<void(std::string &)>;
+    void setStatsHook(StatsHook hook)
+    {
+        statsHook_ = std::move(hook);
+    }
+    void setMetricsHook(MetricsHook hook)
+    {
+        metricsHook_ = std::move(hook);
+    }
+
   private:
     void handleConnection(int fd);
     std::string handleSubmit(const json::Value &request);
@@ -100,6 +123,8 @@ class Server
     BatchScheduler *scheduler_;
     int listenFd_ = -1;
     std::atomic<bool> stop_{false};
+    StatsHook statsHook_;
+    MetricsHook metricsHook_;
 
     mutable std::mutex statsMutex_;
     stats::Counter connections_;

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Fleet admission tests: token-bucket quotas under a fake clock,
+ * the priority-lane classifier, and the submit cost estimator.
+ *
+ * The quota tests drive QuotaTable with an injected monotonic
+ * clock, so refill arithmetic and retry-after hints are exact, not
+ * timing-dependent.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/fleet/admission.hh"
+#include "nsrf/serve/json_in.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using fleet::Lane;
+using fleet::LanePolicy;
+using fleet::QuotaConfig;
+using fleet::QuotaDecision;
+using fleet::QuotaTable;
+
+serve::json::Value
+parsed(const std::string &text)
+{
+    serve::json::Value value;
+    std::string why;
+    EXPECT_TRUE(serve::json::parse(text, &value, &why)) << why;
+    return value;
+}
+
+TEST(FleetQuota, DisabledTableAdmitsEverything)
+{
+    QuotaTable table(QuotaConfig{}); // rate 0 = off
+    EXPECT_FALSE(table.enabled());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(table.take("greedy", 1000.0).ok);
+    EXPECT_EQ(table.rejected(), 0u);
+}
+
+TEST(FleetQuota, BucketDrainsAndRefillsOnTheInjectedClock)
+{
+    std::uint64_t nowNs = 1'000'000'000ull;
+    QuotaTable table(QuotaConfig{1.0, 2.0},
+                     [&nowNs]() { return nowNs; });
+    ASSERT_TRUE(table.enabled());
+
+    // Fresh bucket holds the full burst of 2.
+    EXPECT_TRUE(table.take("c", 1.0).ok);
+    EXPECT_TRUE(table.take("c", 1.0).ok);
+
+    // Empty now: the third charge is rejected with a finite hint
+    // that covers the 1-token shortfall at 1 token/s.
+    QuotaDecision rejectedCharge = table.take("c", 1.0);
+    EXPECT_FALSE(rejectedCharge.ok);
+    EXPECT_GE(rejectedCharge.retryAfterMs, 900u);
+    EXPECT_LE(rejectedCharge.retryAfterMs, 1100u);
+    EXPECT_EQ(table.rejected(), 1u);
+
+    // Honoring the hint works: advance exactly that long.
+    nowNs +=
+        static_cast<std::uint64_t>(rejectedCharge.retryAfterMs) *
+        1'000'000ull;
+    EXPECT_TRUE(table.take("c", 1.0).ok);
+
+    // A rejected charge consumed nothing meanwhile.
+    EXPECT_FALSE(table.take("c", 1.0).ok);
+}
+
+TEST(FleetQuota, ClientsAreIndependent)
+{
+    std::uint64_t nowNs = 5'000'000'000ull;
+    QuotaTable table(QuotaConfig{1.0, 1.0},
+                     [&nowNs]() { return nowNs; });
+    EXPECT_TRUE(table.take("a", 1.0).ok);
+    EXPECT_FALSE(table.take("a", 1.0).ok);
+    // Client b still has its own full bucket.
+    EXPECT_TRUE(table.take("b", 1.0).ok);
+    EXPECT_EQ(table.clients(), 2u);
+}
+
+TEST(FleetQuota, OverBurstChargeGetsFiniteHint)
+{
+    std::uint64_t nowNs = 1'000'000ull;
+    QuotaTable table(QuotaConfig{10.0, 4.0},
+                     [&nowNs]() { return nowNs; });
+    // Cost 100 can never fit the burst-4 bucket; the hint is the
+    // fill-from-current-level time, clamped and finite.
+    QuotaDecision decision = table.take("c", 100.0);
+    EXPECT_FALSE(decision.ok);
+    EXPECT_GE(decision.retryAfterMs, 1u);
+    EXPECT_LE(decision.retryAfterMs, 3'600'000u);
+}
+
+TEST(FleetLanes, ControlPlaneIsAlwaysInteractive)
+{
+    LanePolicy policy;
+    for (const char *op :
+         {"ping", "query", "stats", "metrics", "ring", "shutdown",
+          "peerfill", "peerput"}) {
+        std::string text =
+            std::string(R"({"op":")") + op + R"("})";
+        EXPECT_EQ(fleet::classifyRequest(parsed(text), policy),
+                  Lane::Interactive)
+            << op;
+    }
+}
+
+TEST(FleetLanes, SubmitsSplitByEventsAndCellCount)
+{
+    LanePolicy policy; // 100k events, 4 cells
+
+    // Small single cell: interactive.
+    EXPECT_EQ(fleet::classifyRequest(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"Gamteb","events":20000}]})"),
+                  policy),
+              Lane::Interactive);
+
+    // Big per-cell budget: bulk.
+    EXPECT_EQ(fleet::classifyRequest(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"Gamteb","events":600000}]})"),
+                  policy),
+              Lane::Bulk);
+
+    // Omitted events means the 600k CellParams default: bulk.
+    EXPECT_EQ(fleet::classifyRequest(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"Gamteb"}]})"),
+                  policy),
+              Lane::Bulk);
+
+    // "all" expands past the interactive cell bound: bulk.
+    EXPECT_EQ(fleet::classifyRequest(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"all","events":20000}]})"),
+                  policy),
+              Lane::Bulk);
+
+    // Malformed submits classify interactive (fast error reply).
+    EXPECT_EQ(fleet::classifyRequest(
+                  parsed(R"({"op":"submit"})"), policy),
+              Lane::Interactive);
+    EXPECT_EQ(fleet::classifyRequest(parsed("[1,2]"), policy),
+              Lane::Interactive);
+}
+
+TEST(FleetLanes, EstimateCellsCountsWithoutExpanding)
+{
+    EXPECT_EQ(fleet::estimateCells(parsed(R"({"op":"ping"})")), 0u);
+    EXPECT_EQ(fleet::estimateCells(parsed(R"({"op":"submit"})")),
+              0u);
+    EXPECT_EQ(fleet::estimateCells(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"Gamteb"},{"app":"Puzzle"}]})")),
+              2u);
+    // "all" is one cell per paper benchmark, estimated as 8.
+    EXPECT_EQ(fleet::estimateCells(
+                  parsed(R"({"op":"submit","cells":[)"
+                         R"({"app":"all"}]})")),
+              8u);
+}
+
+} // namespace

@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Fleet node tests: two real in-process nodes wired over TCP.
+ *
+ * The acceptance claims of the fleet design are counter-proven
+ * here.  A submit landing on a non-owner fills its cache from the
+ * owner and the payload is byte-identical to a cold local run; K
+ * concurrent submits of one fingerprint — anywhere in the fleet —
+ * cost exactly ONE simulation (fleet-level single-flight stacked on
+ * the scheduler's); a dead owner degrades to local simulation,
+ * never to an error; the primary owner replicates fresh results to
+ * replica owners; malformed peer frames draw structured errors
+ * without killing the daemon; and quota exhaustion bounces with a
+ * usable retry-after.
+ */
+
+#include <arpa/inet.h>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/fleet/net.hh"
+#include "nsrf/fleet/node.hh"
+#include "nsrf/fleet/ring.hh"
+#include "nsrf/fleet/transport.hh"
+#include "nsrf/serve/cache.hh"
+#include "nsrf/serve/codec.hh"
+#include "nsrf/serve/fingerprint.hh"
+#include "nsrf/serve/json_in.hh"
+#include "nsrf/serve/scheduler.hh"
+#include "nsrf/serve/server.hh"
+#include "nsrf/serve/spec.hh"
+#include "nsrf/sim/sweep.hh"
+#include "nsrf/stats/json.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using fleet::NodeConfig;
+using fleet::RingConfig;
+using fleet::RingNode;
+using serve::Fingerprint;
+
+/** One complete in-process fleet member on an ephemeral TCP port. */
+struct Member
+{
+    explicit Member(const std::string &nodeId,
+                    NodeConfig nodeConfig = {})
+        : cache(serve::ResultCacheConfig{}),
+          scheduler(&cache, serve::BatchScheduler::Config{}),
+          server(serve::ServerConfig{}, &cache, &scheduler),
+          node(withId(std::move(nodeConfig), nodeId), &cache,
+               &scheduler, &server),
+          transport(
+              tcpConfig(),
+              [this](const std::string &line) {
+                  return node.handleRequest(line);
+              },
+              [this](const std::string &line) {
+                  return node.admit(line);
+              })
+    {
+        node.attachTransport(&transport);
+        std::string why;
+        started = transport.start(&why);
+        EXPECT_TRUE(started) << why;
+        if (started)
+            thread = std::thread([this]() { transport.run(); });
+    }
+
+    ~Member()
+    {
+        if (started) {
+            transport.requestStop();
+            thread.join();
+        }
+    }
+
+    static NodeConfig
+    withId(NodeConfig config, const std::string &nodeId)
+    {
+        config.nodeId = nodeId;
+        if (config.peerTimeoutMs == 5'000)
+            config.peerTimeoutMs = 20'000; // headroom under load
+        return config;
+    }
+
+    static fleet::TransportConfig
+    tcpConfig()
+    {
+        fleet::TransportConfig config;
+        config.tcpHost = "127.0.0.1";
+        config.tcpPort = 0;
+        config.workers = 4;
+        return config;
+    }
+
+    std::uint16_t port() const { return transport.tcpPort(); }
+
+    serve::ResultCache cache;
+    serve::BatchScheduler scheduler;
+    serve::Server server;
+    fleet::Node node;
+    fleet::Transport transport;
+    std::thread thread;
+    bool started = false;
+};
+
+/** One round trip against a member's TCP listener. */
+std::string
+ask(const Member &member, const std::string &line)
+{
+    std::string why;
+    int fd =
+        fleet::net::connectTcp("127.0.0.1", member.port(),
+                               fleet::net::deadlineIn(10'000), &why);
+    EXPECT_GE(fd, 0) << why;
+    if (fd < 0)
+        return {};
+    std::string buffer, reply;
+    auto deadline = fleet::net::deadlineIn(120'000);
+    EXPECT_TRUE(
+        fleet::net::sendAll(fd, line + "\n", deadline, &why))
+        << why;
+    EXPECT_TRUE(fleet::net::recvLine(fd, &buffer, &reply, 64u << 20,
+                                     deadline, &why))
+        << why;
+    ::close(fd);
+    return reply;
+}
+
+serve::json::Value
+parsed(const std::string &text)
+{
+    serve::json::Value value;
+    std::string why;
+    EXPECT_TRUE(serve::json::parse(text, &value, &why))
+        << why << ": " << text;
+    return value;
+}
+
+/** A 1-cell submit request line. */
+std::string
+submitLine(const std::string &app, std::uint64_t events,
+           std::uint64_t seed = 0, const std::string &client = "")
+{
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("op", "submit");
+    if (!client.empty())
+        json.field("client", client);
+    json.key("cells").beginArray();
+    json.beginObject();
+    json.field("app", app);
+    json.field("events", events);
+    if (seed)
+        json.field("seed", seed);
+    json.endObject();
+    json.endArray();
+    json.endObject();
+    return json.str();
+}
+
+/** Expand the same 1-cell spec locally: its cell + fingerprint. */
+sim::SweepCell
+expandOne(const std::string &app, std::uint64_t events,
+          std::uint64_t seed, Fingerprint *key)
+{
+    serve::CellParams params;
+    params.app = app;
+    params.events = events;
+    params.seed = seed;
+    std::vector<sim::SweepCell> cells;
+    std::string why;
+    EXPECT_TRUE(serve::cellsFromParams(params, &cells, &why))
+        << why;
+    EXPECT_EQ(cells.size(), 1u);
+    *key = serve::fingerprintCell(cells[0].config,
+                                  cells[0].provenance);
+    return std::move(cells[0]);
+}
+
+/**
+ * A seed whose cell lands on ring node @p wantOwner.  Ownership
+ * depends only on node ids and vnodes, so this probes the same
+ * Ring the members will install.
+ */
+std::uint64_t
+seedOwnedBy(const fleet::Ring &ring, std::size_t wantOwner,
+            const std::string &app, std::uint64_t events)
+{
+    for (std::uint64_t seed = 1; seed < 512; ++seed) {
+        Fingerprint key;
+        expandOne(app, events, seed, &key);
+        if (ring.primaryOwner(key) == wantOwner)
+            return seed;
+    }
+    ADD_FAILURE() << "no probe seed owned by node " << wantOwner;
+    return 1;
+}
+
+/** A loopback port with nothing listening (bind, read, release). */
+std::uint16_t
+refusingPort()
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                            &len),
+              0);
+    std::uint16_t port = ntohs(addr.sin_port);
+    ::close(fd); // released: connects now refuse fast
+    return port;
+}
+
+RingConfig
+twoNodeRing(const Member &a, const Member &b,
+            unsigned replicas = 1)
+{
+    RingConfig config;
+    config.replicas = replicas;
+    config.nodes = {
+        {"n1", "127.0.0.1", a.port()},
+        {"n2", "127.0.0.1", b.port()},
+    };
+    return config;
+}
+
+constexpr std::uint64_t kEvents = 2'000;
+
+TEST(FleetNode, PeerFillIsByteIdenticalAndSimulatesOnce)
+{
+    Member n1("n1"), n2("n2");
+    ASSERT_TRUE(n1.started && n2.started);
+    RingConfig ringConfig = twoNodeRing(n1, n2);
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+    ASSERT_TRUE(n2.node.setRing(ringConfig, &why)) << why;
+
+    // A cell OWNED by n1, submitted to n2 (the non-owner).
+    std::uint64_t seed =
+        seedOwnedBy(n1.node.ring(), 0, "Quicksort", kEvents);
+    Fingerprint key;
+    sim::SweepCell cell =
+        expandOne("Quicksort", kEvents, seed, &key);
+
+    serve::json::Value reply =
+        parsed(ask(n2, submitLine("Quicksort", kEvents, seed)));
+    ASSERT_TRUE(reply.getBool("ok", false));
+    EXPECT_EQ(reply.getNumber("peerFilled", 0), 1.0);
+    ASSERT_TRUE(reply.find("cells")->isArray());
+    const serve::json::Value &cellReply =
+        reply.find("cells")->array[0];
+    EXPECT_EQ(cellReply.getString("source", ""), "peer");
+    EXPECT_EQ(cellReply.getString("fingerprint", ""), key.hex());
+
+    // Exactly one simulation, and it ran on the owner.
+    EXPECT_EQ(n1.scheduler.stats().simulations, 1u);
+    EXPECT_EQ(n2.scheduler.stats().simulations, 0u);
+
+    // Both caches now hold the payload, byte-identical to each
+    // other AND to a cold, fleet-free run of the same cell.
+    auto ownerPayload = n1.cache.get(key);
+    auto filledPayload = n2.cache.get(key);
+    ASSERT_TRUE(ownerPayload.has_value());
+    ASSERT_TRUE(filledPayload.has_value());
+    EXPECT_EQ(*ownerPayload, *filledPayload);
+    std::vector<sim::RunResult> cold =
+        sim::SweepRunner(1).run({cell});
+    EXPECT_EQ(serve::encodeRunResult(cold[0]), *filledPayload);
+
+    fleet::FleetCounters fills = n2.node.counters();
+    EXPECT_EQ(fills.peerFills, 1u);
+    EXPECT_EQ(fills.remoteSubmits, 1u);
+    EXPECT_EQ(fills.peerFillFallbacks, 0u);
+    EXPECT_EQ(n1.node.counters().peerFillServed, 1u);
+
+    // A repeat submit is a plain local cache hit: no new exchange.
+    serve::json::Value again =
+        parsed(ask(n2, submitLine("Quicksort", kEvents, seed)));
+    ASSERT_TRUE(again.getBool("ok", false));
+    EXPECT_EQ(again.find("cells")->array[0].getString("source", ""),
+              "cache");
+    EXPECT_EQ(n2.node.counters().peerFills, 1u);
+}
+
+TEST(FleetNode, ConcurrentSubmitsCostOneSimulationFleetWide)
+{
+    Member n1("n1"), n2("n2");
+    ASSERT_TRUE(n1.started && n2.started);
+    RingConfig ringConfig = twoNodeRing(n1, n2);
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+    ASSERT_TRUE(n2.node.setRing(ringConfig, &why)) << why;
+
+    std::uint64_t seed =
+        seedOwnedBy(n1.node.ring(), 0, "Wavefront", kEvents);
+    const std::string line = submitLine("Wavefront", kEvents, seed);
+
+    // K concurrent clients, all hitting the NON-owner.
+    constexpr int kClients = 6;
+    std::vector<std::string> replies(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+        clients.emplace_back(
+            [&, i]() { replies[i] = ask(n2, line); });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (const std::string &text : replies) {
+        serve::json::Value reply = parsed(text);
+        EXPECT_TRUE(reply.getBool("ok", false)) << text;
+        EXPECT_TRUE(reply.find("cells")->array[0].find("result") !=
+                    nullptr)
+            << text;
+    }
+
+    // The acceptance criterion: one fingerprint, one simulation,
+    // fleet-wide — however the K requests raced.
+    EXPECT_EQ(n1.scheduler.stats().simulations +
+                  n2.scheduler.stats().simulations,
+              1u);
+    EXPECT_EQ(n1.scheduler.stats().simulations, 1u)
+        << "the owner ran it";
+}
+
+TEST(FleetNode, DeadOwnerFallsBackToLocalSimulation)
+{
+    NodeConfig fastPeerTimeout;
+    fastPeerTimeout.peerTimeoutMs = 2'000;
+    Member n1("n1", fastPeerTimeout);
+    ASSERT_TRUE(n1.started);
+
+    RingConfig ringConfig;
+    ringConfig.nodes = {
+        {"n1", "127.0.0.1", n1.port()},
+        {"n2", "127.0.0.1", refusingPort()}, // nobody home
+    };
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+
+    // A cell owned by the dead node, submitted to the live one.
+    std::uint64_t seed =
+        seedOwnedBy(n1.node.ring(), 1, "Quicksort", kEvents);
+    Fingerprint key;
+    expandOne("Quicksort", kEvents, seed, &key);
+
+    serve::json::Value reply =
+        parsed(ask(n1, submitLine("Quicksort", kEvents, seed)));
+    ASSERT_TRUE(reply.getBool("ok", false));
+    const serve::json::Value &cellReply =
+        reply.find("cells")->array[0];
+    EXPECT_EQ(cellReply.getString("source", ""), "simulated");
+    EXPECT_TRUE(cellReply.find("result") != nullptr)
+        << "owner-down degraded to an error";
+    EXPECT_EQ(cellReply.getString("error", ""), "");
+
+    EXPECT_EQ(n1.scheduler.stats().simulations, 1u);
+    fleet::FleetCounters counters = n1.node.counters();
+    EXPECT_EQ(counters.peerFillFallbacks, 1u);
+    EXPECT_EQ(counters.peerFills, 0u);
+    auto fills = n1.node.peerFillCounters();
+    ASSERT_EQ(fills.size(), 1u);
+    EXPECT_EQ(fills[0].first, "n2");
+    EXPECT_EQ(fills[0].second.misses, 1u);
+}
+
+TEST(FleetNode, PrimaryReplicatesToReplicaOwners)
+{
+    Member n1("n1"), n2("n2");
+    ASSERT_TRUE(n1.started && n2.started);
+    RingConfig ringConfig = twoNodeRing(n1, n2, /*replicas=*/2);
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+    ASSERT_TRUE(n2.node.setRing(ringConfig, &why)) << why;
+
+    // Submit a cell n1 owns TO n1: it simulates as primary and
+    // pushes a copy to n2, the replica owner.
+    std::uint64_t seed =
+        seedOwnedBy(n1.node.ring(), 0, "Quicksort", kEvents);
+    Fingerprint key;
+    expandOne("Quicksort", kEvents, seed, &key);
+    serve::json::Value reply =
+        parsed(ask(n1, submitLine("Quicksort", kEvents, seed)));
+    ASSERT_TRUE(reply.getBool("ok", false));
+    EXPECT_EQ(reply.find("cells")->array[0].getString("source", ""),
+              "simulated");
+
+    n1.node.replicator().flush();
+    fleet::ReplicatorStats repl = n1.node.replicator().stats();
+    EXPECT_EQ(repl.queued, 1u);
+    EXPECT_EQ(repl.sent, 1u);
+    EXPECT_EQ(repl.failures, 0u);
+    EXPECT_EQ(n2.node.counters().peerPutsAccepted, 1u);
+
+    // The replica holds the primary's exact bytes: a later submit
+    // to n2 is a LOCAL hit (no peer exchange).
+    auto primary = n1.cache.get(key);
+    auto replica = n2.cache.get(key);
+    ASSERT_TRUE(primary.has_value());
+    ASSERT_TRUE(replica.has_value());
+    EXPECT_EQ(*primary, *replica);
+    serve::json::Value warm =
+        parsed(ask(n2, submitLine("Quicksort", kEvents, seed)));
+    ASSERT_TRUE(warm.getBool("ok", false));
+    EXPECT_EQ(warm.find("cells")->array[0].getString("source", ""),
+              "cache");
+    EXPECT_EQ(n2.scheduler.stats().simulations, 0u);
+    EXPECT_EQ(n2.node.counters().peerFills, 0u);
+}
+
+TEST(FleetNode, MalformedPeerFramesAreRejectedNotFatal)
+{
+    Member n1("n1"), n2("n2");
+    ASSERT_TRUE(n1.started && n2.started);
+    RingConfig ringConfig = twoNodeRing(n1, n2);
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+
+    struct Case
+    {
+        const char *frame;
+        const char *expectError;
+    };
+    const Case cases[] = {
+        {R"({"op":"peerfill"})", "bad expect fingerprint"},
+        {R"({"op":"peerfill","expect":"zz"})",
+         "bad expect fingerprint"},
+        {R"({"op":"peerfill","expect":)"
+         R"("00000000000000000000000000000000"})",
+         "peerfill needs a cell"},
+        {R"({"op":"peerfill","expect":)"
+         R"("00000000000000000000000000000000",)"
+         R"("cell":{"app":"all"}})",
+         "peerfill cell must name one workload"},
+        {R"({"op":"peerfill","expect":)"
+         R"("00000000000000000000000000000000",)"
+         R"("cell":{"app":"Quicksort","bogus":1}})",
+         "unknown cell field"},
+        {R"({"op":"peerfill","expect":)"
+         R"("00000000000000000000000000000000",)"
+         R"("cell":{"app":"Quicksort","events":2000}})",
+         "fingerprint mismatch"},
+        {R"({"op":"peerput","fingerprint":"xyz"})",
+         "bad fingerprint"},
+        {R"({"op":"peerput","fingerprint":)"
+         R"("00000000000000000000000000000000",)"
+         R"("payload":"zz"})",
+         "bad payload"},
+        {R"({"op":"peerput","fingerprint":)"
+         R"("00000000000000000000000000000000",)"
+         R"("payload":"deadbeef"})",
+         "bad payload"},
+    };
+    for (const Case &c : cases) {
+        serve::json::Value reply = parsed(ask(n1, c.frame));
+        EXPECT_FALSE(reply.getBool("ok", true)) << c.frame;
+        EXPECT_NE(reply.getString("error", "").find(c.expectError),
+                  std::string::npos)
+            << c.frame << " -> " << reply.getString("error", "");
+    }
+    EXPECT_EQ(n1.node.counters().peerPutsRejected, 3u);
+    EXPECT_EQ(n1.node.counters().peerPutsAccepted, 0u);
+
+    // The daemon survived all of it.
+    serve::json::Value ping = parsed(ask(n1, R"({"op":"ping"})"));
+    EXPECT_TRUE(ping.getBool("ok", false));
+}
+
+TEST(FleetNode, QuotaExhaustionShedsWithRetryAfter)
+{
+    NodeConfig quotaConfig;
+    quotaConfig.quota.ratePerSec = 0.25; // one cell per 4 s
+    quotaConfig.quota.burst = 1.0;
+    Member n1("n1", quotaConfig);
+    ASSERT_TRUE(n1.started);
+
+    // First 1-cell submit spends the burst...
+    serve::json::Value first = parsed(
+        ask(n1, submitLine("Quicksort", kEvents, 7, "alice")));
+    EXPECT_TRUE(first.getBool("ok", false));
+
+    // ...the second bounces with a structured retry-after, without
+    // reaching the scheduler.
+    serve::json::Value second = parsed(
+        ask(n1, submitLine("Quicksort", kEvents, 8, "alice")));
+    EXPECT_FALSE(second.getBool("ok", true));
+    EXPECT_TRUE(second.getBool("quota", false));
+    EXPECT_NE(second.getString("error", "").find("alice"),
+              std::string::npos);
+    double retryAfter = second.getNumber("retryAfterMs", 0);
+    EXPECT_GE(retryAfter, 1.0);
+    EXPECT_LE(retryAfter, 4'100.0);
+    EXPECT_EQ(n1.scheduler.stats().simulations, 1u);
+
+    // Another client has its own bucket.
+    serve::json::Value other = parsed(
+        ask(n1, submitLine("Quicksort", kEvents, 9, "bob")));
+    EXPECT_TRUE(other.getBool("ok", false));
+    EXPECT_EQ(n1.node.quota().rejected(), 1u);
+    EXPECT_GE(n1.transport.stats().quotaRejected, 1u);
+
+    // Control-plane ops are never charged.
+    EXPECT_TRUE(parsed(ask(n1, R"({"op":"ping"})"))
+                    .getBool("ok", false));
+}
+
+TEST(FleetNode, StatsAndMetricsCarryFleetCounters)
+{
+    Member n1("n1"), n2("n2");
+    ASSERT_TRUE(n1.started && n2.started);
+    RingConfig ringConfig = twoNodeRing(n1, n2);
+    std::string why;
+    ASSERT_TRUE(n1.node.setRing(ringConfig, &why)) << why;
+    ASSERT_TRUE(n2.node.setRing(ringConfig, &why)) << why;
+    n1.server.setStatsHook([&](stats::JsonWriter &json) {
+        n1.node.appendStats(json);
+    });
+    n1.server.setMetricsHook(
+        [&](std::string &out) { n1.node.appendMetrics(out); });
+    n2.server.setMetricsHook(
+        [&](std::string &out) { n2.node.appendMetrics(out); });
+
+    // One peer-filled submit so the counters are nonzero.
+    std::uint64_t seed =
+        seedOwnedBy(n1.node.ring(), 1, "Quicksort", kEvents);
+    ASSERT_TRUE(
+        parsed(ask(n1, submitLine("Quicksort", kEvents, seed)))
+            .getBool("ok", false));
+
+    serve::json::Value statsReply =
+        parsed(ask(n1, R"({"op":"stats"})"));
+    ASSERT_TRUE(statsReply.getBool("ok", false));
+    const serve::json::Value *fleetStats =
+        statsReply.find("fleet");
+    ASSERT_TRUE(fleetStats && fleetStats->isObject());
+    EXPECT_EQ(fleetStats->getString("node", ""), "n1");
+    EXPECT_EQ(fleetStats->getNumber("ringNodes", 0), 2.0);
+    EXPECT_EQ(fleetStats->getNumber("remoteSubmits", 0), 1.0);
+    EXPECT_EQ(fleetStats->getNumber("peerFills", 0), 1.0);
+
+    serve::json::Value metricsReply =
+        parsed(ask(n1, R"({"op":"metrics"})"));
+    ASSERT_TRUE(metricsReply.getBool("ok", false));
+    std::string text = metricsReply.getString("text", "");
+    for (const char *expect : {
+             "nsrf_fleet_peer_fills_total 1",
+             "nsrf_fleet_remote_submits_total 1",
+             "# TYPE nsrf_fleet_peer_exchanges_total counter",
+             "nsrf_fleet_peer_exchanges_total{peer=\"n2\"} 1",
+             "nsrf_fleet_peer_fill_hits_total{peer=\"n2\"} 1",
+             "# TYPE nsrf_fleet_shard_owned_share gauge",
+             "nsrf_fleet_shard_owned_share{node=\"n1\"}",
+             "nsrf_fleet_lane_depth{lane=\"interactive\"}",
+             "nsrf_fleet_requests_total",
+         }) {
+        EXPECT_NE(text.find(expect), std::string::npos)
+            << "missing metric: " << expect;
+    }
+
+    // The owner side served one fill.
+    std::string ownerText =
+        parsed(ask(n2, R"({"op":"metrics"})")).getString("text", "");
+    EXPECT_NE(
+        ownerText.find("nsrf_fleet_peer_fill_served_total 1"),
+        std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Consistent-hash ring tests.
+ *
+ * Pinned here: ownership is a pure function of (config, key) — two
+ * rings built from one config agree everywhere; resizing by one
+ * node moves only ~K/(N+1) of K keys and every moved key moves TO
+ * the new node; per-node primary shares stay near 1/N; replica
+ * owner lists are distinct, primary-first, and capped by the node
+ * count; and the strict config parser rejects unknown members,
+ * duplicate ids, bad ports, and version skew.
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nsrf/fleet/ring.hh"
+#include "nsrf/serve/fingerprint.hh"
+
+namespace
+{
+
+using namespace nsrf;
+using fleet::Ring;
+using fleet::RingConfig;
+using fleet::RingNode;
+using serve::Fingerprint;
+
+RingConfig
+makeConfig(unsigned nodeCount, unsigned replicas = 1,
+           unsigned vnodes = 64)
+{
+    RingConfig config;
+    config.vnodes = vnodes;
+    config.replicas = replicas;
+    for (unsigned i = 0; i < nodeCount; ++i) {
+        RingNode node;
+        node.id = "n" + std::to_string(i + 1);
+        node.host = "127.0.0.1";
+        node.port = static_cast<std::uint16_t>(7101 + i);
+        config.nodes.push_back(node);
+    }
+    return config;
+}
+
+/** A deterministic probe key set. */
+std::vector<Fingerprint>
+probeKeys(std::size_t count)
+{
+    std::vector<Fingerprint> keys;
+    keys.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        keys.push_back(
+            serve::hashString("probe#" + std::to_string(i)));
+    return keys;
+}
+
+TEST(FleetRing, OwnershipIsDeterministic)
+{
+    Ring a(makeConfig(3, 2));
+    Ring b(makeConfig(3, 2));
+    for (const Fingerprint &key : probeKeys(512)) {
+        EXPECT_EQ(a.primaryOwner(key), b.primaryOwner(key));
+        EXPECT_EQ(a.owners(key), b.owners(key));
+    }
+}
+
+TEST(FleetRing, EmptyRingAndIndexOf)
+{
+    Ring empty;
+    EXPECT_TRUE(empty.empty());
+
+    Ring ring(makeConfig(3));
+    EXPECT_FALSE(ring.empty());
+    EXPECT_EQ(ring.indexOf("n1"), 0u);
+    EXPECT_EQ(ring.indexOf("n3"), 2u);
+    EXPECT_EQ(ring.indexOf("nope"), Ring::npos);
+}
+
+TEST(FleetRing, OwnersAreDistinctPrimaryFirstAndCapped)
+{
+    Ring ring(makeConfig(3, 2));
+    for (const Fingerprint &key : probeKeys(256)) {
+        std::vector<std::size_t> owners = ring.owners(key);
+        ASSERT_EQ(owners.size(), 2u);
+        EXPECT_EQ(owners[0], ring.primaryOwner(key));
+        EXPECT_NE(owners[0], owners[1]);
+    }
+
+    // More replicas than nodes: capped at the node count.
+    Ring small(makeConfig(2, 5));
+    for (const Fingerprint &key : probeKeys(64)) {
+        std::vector<std::size_t> owners = small.owners(key);
+        ASSERT_EQ(owners.size(), 2u);
+        EXPECT_NE(owners[0], owners[1]);
+    }
+}
+
+TEST(FleetRing, ResizeMovesOnlyKeysOwnedByTheNewNode)
+{
+    Ring three(makeConfig(3));
+    Ring four(makeConfig(4)); // same first three nodes + n4
+
+    const std::vector<Fingerprint> keys = probeKeys(4096);
+    std::size_t moved = 0;
+    for (const Fingerprint &key : keys) {
+        std::size_t before = three.primaryOwner(key);
+        std::size_t after = four.primaryOwner(key);
+        if (before != after) {
+            ++moved;
+            // Consistent hashing's defining property: a key only
+            // changes hands when the NEW node claims it.
+            EXPECT_EQ(after, 3u)
+                << "key moved between surviving nodes";
+        }
+    }
+    // Expected movement is K/4; allow generous slack around it but
+    // rule out both "nothing moved" and "full reshuffle".
+    EXPECT_GT(moved, keys.size() / 10);
+    EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(FleetRing, SharesBalanceAcrossNodes)
+{
+    Ring ring(makeConfig(3));
+    double total = 0.0;
+    for (std::size_t i = 0; i < ring.nodeCount(); ++i) {
+        double share = ring.ownedShare(i);
+        // 1/3 each ideally; virtual nodes keep the spread tight
+        // enough for a coarse window.
+        EXPECT_GT(share, 0.15) << "node " << i << " starved";
+        EXPECT_LT(share, 0.55) << "node " << i << " overloaded";
+        total += share;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FleetRing, ParseAcceptsTheDocumentedShape)
+{
+    RingConfig config;
+    std::string why;
+    ASSERT_TRUE(fleet::parseRingConfig(
+        R"({"version":1,"vnodes":32,"replicas":2,"nodes":[)"
+        R"({"id":"n1","host":"127.0.0.1","port":7101},)"
+        R"({"id":"n2","host":"127.0.0.1","port":7102}]})",
+        &config, &why))
+        << why;
+    EXPECT_EQ(config.vnodes, 32u);
+    EXPECT_EQ(config.replicas, 2u);
+    ASSERT_EQ(config.nodes.size(), 2u);
+    EXPECT_EQ(config.nodes[1].id, "n2");
+    EXPECT_EQ(config.nodes[1].port, 7102);
+}
+
+TEST(FleetRing, ParseRejectsSkewAndGarbage)
+{
+    RingConfig config;
+    std::string why;
+    const char *bad[] = {
+        // version skew
+        R"({"version":2,"nodes":[)"
+        R"({"id":"n1","host":"h","port":1}]})",
+        // unknown top-level member
+        R"({"version":1,"zone":"us","nodes":[)"
+        R"({"id":"n1","host":"h","port":1}]})",
+        // unknown node member
+        R"({"version":1,"nodes":[)"
+        R"({"id":"n1","host":"h","port":1,"weight":2}]})",
+        // duplicate id
+        R"({"version":1,"nodes":[)"
+        R"({"id":"n1","host":"h","port":1},)"
+        R"({"id":"n1","host":"h","port":2}]})",
+        // bad port
+        R"({"version":1,"nodes":[)"
+        R"({"id":"n1","host":"h","port":0}]})",
+        R"({"version":1,"nodes":[)"
+        R"({"id":"n1","host":"h","port":70000}]})",
+        // missing pieces
+        R"({"version":1,"nodes":[{"id":"n1","port":1}]})",
+        R"({"version":1,"nodes":[]})",
+        // not even JSON
+        "not json",
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(fleet::parseRingConfig(text, &config, &why))
+            << "accepted: " << text;
+        EXPECT_FALSE(why.empty());
+    }
+}
+
+} // namespace

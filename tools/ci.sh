@@ -87,7 +87,8 @@ stage "tsan build + sweep-runner thread pool + serving daemon"
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
     test_serve_scheduler test_cam test_cam_flat_index nsrf_fuzz \
-    nsrf_serve_cli nsrf_request nsrf_explore_cli
+    nsrf_serve_cli nsrf_request nsrf_explore_cli \
+    test_fleet_transport test_fleet_node
 # The serve scheduler (single-flight dedup, dispatcher handoff) and
 # the end-to-end daemon smoke are the concurrency-heavy serving
 # paths; both must be clean under TSan.  The CAM decoder and its
@@ -97,8 +98,12 @@ cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
 # explore_smoke rides along: the autopilot drives runCellsCached
 # and the prefix-restoring batch runner on 2 sweep workers, the
 # exact write path the daemon's dispatcher takes.
+# The fleet transport (event loop + worker pool + wake pipe) and the
+# fleet node (cross-node single-flight, replicator thread) are the
+# most thread-entangled code in the tree; fleet_smoke drives the
+# whole 3-node ring under TSan, peer kill included.
 ctest --preset tsan -j "$jobs" \
-    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex|explore_smoke'
+    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex|explore_smoke|FleetTransport|FleetNode|fleet_smoke'
 
 stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 ./build-tsan/tools/nsrf_fuzz --seed 1 --runs 16 --ops 300 --jobs 4

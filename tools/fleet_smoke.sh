@@ -1,0 +1,172 @@
+#!/bin/sh
+# fleet_smoke: end-to-end multi-node check.
+#
+#   fleet_smoke.sh <nsrf_serve binary> <nsrf_request binary>
+#
+# Boots a 3-node localhost TCP ring (replicas=2), runs the paper
+# sweep through one node, and demands stdout byte-identical to a
+# single-node daemon's run of the same request.  The single-flight
+# proof is counted across the fleet: the per-node simulation
+# counters must SUM to the cell count — no fingerprint simulated
+# twice anywhere.  Then a second, colder sweep is launched and one
+# peer is SIGKILLed mid-run: the surviving nodes fall back to local
+# simulation and the output must still byte-compare equal to the
+# single-node reference.
+set -u
+
+serve="$1"
+request="$2"
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill -9 "$p" 2>/dev/null; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $1"
+    for log in "$tmp"/*.log; do
+        [ -f "$log" ] && { echo "--- $log"; tail -20 "$log"; }
+    done
+    exit 1
+}
+
+# --- single-node reference ------------------------------------------
+sock="$tmp/ref.sock"
+"$serve" --socket "$sock" --cache "$tmp/cache-ref" --jobs 2 \
+    2>"$tmp/ref.log" &
+refpid=$!
+pids="$refpid"
+
+i=0
+while [ $i -lt 100 ]; do
+    if "$request" --socket "$sock" --op ping --retries 0 \
+            >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+[ $i -lt 100 ] || fail "reference daemon never answered ping"
+
+"$request" --socket "$sock" --app all --events 20000 \
+    >"$tmp/ref1.out" 2>/dev/null ||
+    fail "reference sweep 1 failed"
+"$request" --socket "$sock" --app all --events 30000 \
+    >"$tmp/ref2.out" 2>/dev/null ||
+    fail "reference sweep 2 failed"
+[ -s "$tmp/ref1.out" ] || fail "reference sweep produced nothing"
+cells=$(wc -l <"$tmp/ref1.out")
+
+"$request" --socket "$sock" --op shutdown >/dev/null 2>&1
+wait "$refpid" || fail "reference daemon exited nonzero"
+pids=""
+
+# --- 3-node ring ----------------------------------------------------
+# Fixed ports so every node can load the identical ring config at
+# startup; retry on a different base if one is already taken.
+attempt=0
+up=0
+while [ $attempt -lt 5 ] && [ $up -eq 0 ]; do
+    base=$((20101 + ($$ + attempt * 37) % 20000))
+    p1=$base
+    p2=$((base + 1))
+    p3=$((base + 2))
+    cat >"$tmp/ring.json" <<EOF
+{"version":1,"vnodes":64,"replicas":2,"nodes":[
+ {"id":"n1","host":"127.0.0.1","port":$p1},
+ {"id":"n2","host":"127.0.0.1","port":$p2},
+ {"id":"n3","host":"127.0.0.1","port":$p3}]}
+EOF
+    pids=""
+    for n in 1 2 3; do
+        eval "port=\$p$n"
+        "$serve" --listen "127.0.0.1:$port" --ring "$tmp/ring.json" \
+            --node-id "n$n" --cache "$tmp/cache-n$n" --jobs 2 \
+            2>"$tmp/n$n.log" &
+        pids="$pids $!"
+    done
+    up=1
+    for n in 1 2 3; do
+        eval "port=\$p$n"
+        i=0
+        while [ $i -lt 100 ]; do
+            if "$request" --connect "127.0.0.1:$port" --op ping \
+                    --retries 0 >/dev/null 2>&1; then
+                break
+            fi
+            # A node that lost the bind race dies fast; stop waiting.
+            if grep -q "cannot serve" "$tmp/n$n.log" 2>/dev/null; then
+                i=100
+                break
+            fi
+            sleep 0.1
+            i=$((i + 1))
+        done
+        [ $i -lt 100 ] || up=0
+    done
+    if [ $up -eq 0 ]; then
+        for p in $pids; do kill -9 "$p" 2>/dev/null; done
+        for p in $pids; do wait "$p" 2>/dev/null; done
+        pids=""
+        attempt=$((attempt + 1))
+    fi
+done
+[ $up -eq 1 ] || fail "could not boot the 3-node ring"
+
+# --- sweep 1: byte-identity + fleet-wide single-flight --------------
+"$request" --connect "127.0.0.1:$p1" --app all --events 20000 \
+    >"$tmp/fleet1.out" 2>"$tmp/fleet1.err" ||
+    fail "fleet sweep 1 failed"
+cmp -s "$tmp/ref1.out" "$tmp/fleet1.out" || {
+    diff "$tmp/ref1.out" "$tmp/fleet1.out" | head -5
+    fail "fleet sweep 1 differs from single-node reference"
+}
+
+sims_total=0
+for n in 1 2 3; do
+    eval "port=\$p$n"
+    sims=$("$request" --connect "127.0.0.1:$port" --op stats \
+        2>/dev/null | tr -d ' ' |
+        sed -n 's/.*"simulations":\([0-9]*\).*/\1/p')
+    [ -n "$sims" ] || fail "node n$n reported no simulation counter"
+    sims_total=$((sims_total + sims))
+done
+[ "$sims_total" -eq "$cells" ] ||
+    fail "expected $cells simulations fleet-wide, counted $sims_total"
+
+# --- sweep 2: kill a peer mid-run -----------------------------------
+"$request" --connect "127.0.0.1:$p1" --app all --events 30000 \
+    >"$tmp/fleet2.out" 2>"$tmp/fleet2.err" &
+sweep=$!
+sleep 0.3
+# SIGKILL, not shutdown: the peer vanishes without a drain, and the
+# survivors must degrade to local simulation, not to errors.
+set -- $pids
+pid1=$1
+pid2=$2
+pid3=$3
+kill -9 "$pid3" 2>/dev/null
+wait "$sweep" || fail "fleet sweep 2 failed after peer kill"
+cmp -s "$tmp/ref2.out" "$tmp/fleet2.out" || {
+    diff "$tmp/ref2.out" "$tmp/fleet2.out" | head -5
+    fail "post-kill sweep differs from single-node reference"
+}
+
+# --- graceful shutdown of the survivors -----------------------------
+for n in 1 2; do
+    eval "port=\$p$n"
+    "$request" --connect "127.0.0.1:$port" --op shutdown \
+        >/dev/null 2>&1
+done
+rc=0
+wait "$pid1" || rc=$?
+wait "$pid2" || rc=$?
+wait "$pid3" 2>/dev/null # reap the killed peer
+pids=""
+[ $rc -eq 0 ] || fail "a surviving node exited nonzero"
+
+echo "fleet_smoke ok: $cells cells, $sims_total sims fleet-wide," \
+    "peer-kill sweep byte-identical"
+exit 0

@@ -3,29 +3,37 @@
  * nsrf_request: command-line client for the nsrf_serve daemon.
  *
  * Builds one protocol request (serve/server.hh), sends it over the
- * daemon's Unix domain socket, and prints the reply.  Submit
- * replies are printed one stable line per cell — the line depends
- * only on the simulation result, never on how it was served — so a
- * cold run and a warm (cache-served) run of the same request
- * byte-compare equal; the cached/merged/rejected summary goes to
- * stderr.
+ * daemon's Unix domain socket (--socket) or a fleet node's TCP
+ * listener (--connect), and prints the reply.  Submit replies are
+ * printed one stable line per cell — the line depends only on the
+ * simulation result, never on how it was served — so a cold run, a
+ * warm (cache-served) run, and a peer-filled fleet run of the same
+ * request byte-compare equal; the cached/merged/rejected summary
+ * goes to stderr.
+ *
+ * Transient failures (connect refused, short read, a shed or
+ * quota-rejected reply carrying retryAfterMs) are retried up to
+ * --retries times with exponential backoff and deterministic
+ * jitter: the delay sequence is a pure function of --retry-seed,
+ * so a scripted run is reproducible.
  *
  *     nsrf_request --socket /tmp/nsrf.sock --op ping
  *     nsrf_request --socket /tmp/nsrf.sock --app all --events 20000
- *     nsrf_request --socket /tmp/nsrf.sock --op stats
+ *     nsrf_request --connect 127.0.0.1:7101 --client sweep1 --app all
  */
 
-#include <cerrno>
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 #include <string>
-#include <sys/socket.h>
-#include <sys/un.h>
+#include <thread>
 #include <unistd.h>
 
+#include "nsrf/common/counter_random.hh"
 #include "nsrf/common/logging.hh"
 #include "nsrf/common/options.hh"
+#include "nsrf/fleet/net.hh"
 #include "nsrf/serve/json_in.hh"
 #include "nsrf/serve/spec.hh"
 #include "nsrf/stats/json.hh"
@@ -38,9 +46,15 @@ namespace
 struct Options
 {
     std::string socket;
+    std::string connect; //!< HOST:PORT alternative to --socket
     std::string op = "submit";
     std::string fingerprint; //!< for --op query
+    std::string client;      //!< quota identity ("" = anonymous)
     unsigned timeoutMs = 120'000;
+    unsigned retries = 3;       //!< attempts beyond the first
+    unsigned retryBaseMs = 50;  //!< first backoff step
+    unsigned retryCapMs = 2'000; //!< backoff ceiling
+    std::uint64_t retrySeed = 0; //!< jitter stream seed
     serve::CellParams cell;
 };
 
@@ -49,9 +63,17 @@ usage()
 {
     std::puts(
         "usage: nsrf_request --socket PATH [options]\n"
-        "  --op submit|ping|query|stats|metrics|shutdown\n"
+        "       nsrf_request --connect HOST:PORT [options]\n"
+        "  --op submit|ping|query|stats|metrics|ring|shutdown\n"
         "  --fingerprint HEX      cache key for --op query\n"
+        "  --client NAME          quota identity for fleet nodes\n"
         "  --timeout-ms N         reply wait bound (default 120000)\n"
+        "  --retries N            extra attempts on transient\n"
+        "                         failure (default 3)\n"
+        "  --retry-base-ms N      first backoff delay (default 50)\n"
+        "  --retry-cap-ms N       backoff ceiling (default 2000)\n"
+        "  --retry-seed N         jitter seed; fixed seed = fixed\n"
+        "                         delay sequence (default 0)\n"
         "submit cell flags (defaults match nsrf_sim):\n"
         "  --app NAME|all --org nsf|segmented|conventional|windowed\n"
         "  --regs N --line W --miss single|live|line --write wa|fow\n"
@@ -66,12 +88,24 @@ parseArgs(int argc, char **argv, Options &opt)
     while (scan.next()) {
         if (scan.is("--socket")) {
             opt.socket = scan.value();
+        } else if (scan.is("--connect")) {
+            opt.connect = scan.value();
         } else if (scan.is("--op")) {
             opt.op = scan.value();
         } else if (scan.is("--fingerprint")) {
             opt.fingerprint = scan.value();
+        } else if (scan.is("--client")) {
+            opt.client = scan.value();
         } else if (scan.is("--timeout-ms")) {
             opt.timeoutMs = scan.u32();
+        } else if (scan.is("--retries")) {
+            opt.retries = scan.u32();
+        } else if (scan.is("--retry-base-ms")) {
+            opt.retryBaseMs = scan.u32();
+        } else if (scan.is("--retry-cap-ms")) {
+            opt.retryCapMs = scan.u32();
+        } else if (scan.is("--retry-seed")) {
+            opt.retrySeed = scan.u64();
         } else if (scan.is("--app")) {
             opt.cell.app = scan.value();
         } else if (scan.is("--org")) {
@@ -140,6 +174,8 @@ buildRequest(const Options &opt)
     json.beginObject();
     json.field("op", opt.op);
     if (opt.op == "submit") {
+        if (!opt.client.empty())
+            json.field("client", opt.client);
         const serve::CellParams &c = opt.cell;
         json.key("cells").beginArray();
         json.beginObject();
@@ -166,79 +202,101 @@ buildRequest(const Options &opt)
     return json.str();
 }
 
-/** One round trip: send @p request, read one reply line. */
+/** One round trip: connect, send @p request, read one reply line. */
+bool
+attemptExchange(const Options &opt, const std::string &request,
+                std::string *reply, std::string *why)
+{
+    auto deadline = fleet::net::deadlineIn(opt.timeoutMs);
+    int fd = -1;
+    if (!opt.connect.empty()) {
+        std::string host;
+        std::uint16_t port = 0;
+        if (!fleet::net::parseHostPort(opt.connect, &host, &port,
+                                       why)) {
+            return false;
+        }
+        fd = fleet::net::connectTcp(host, port, deadline, why);
+    } else {
+        fd = fleet::net::connectUnix(opt.socket, deadline, why);
+    }
+    if (fd < 0)
+        return false;
+
+    bool ok =
+        fleet::net::sendAll(fd, request + "\n", deadline, why);
+    std::string buffer;
+    if (ok) {
+        ok = fleet::net::recvLine(fd, &buffer, reply, 64u << 20,
+                                  deadline, why);
+    }
+    ::close(fd);
+    return ok;
+}
+
+/**
+ * attemptExchange with bounded retry.  Transport-level failures
+ * back off exponentially (base * 2^attempt, capped) plus a
+ * CounterRandom jitter drawn from --retry-seed; a parsed reply that
+ * carries retryAfterMs (quota or load shed) waits at least that
+ * long.  Every delay is deterministic under a fixed seed.
+ */
 bool
 exchange(const Options &opt, const std::string &request,
          std::string *reply)
 {
-    sockaddr_un addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sun_family = AF_UNIX;
-    if (opt.socket.empty() ||
-        opt.socket.size() >= sizeof(addr.sun_path)) {
-        std::fprintf(stderr, "bad socket path\n");
-        return false;
-    }
-    std::memcpy(addr.sun_path, opt.socket.c_str(),
-                opt.socket.size() + 1);
-
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
-        return false;
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        std::fprintf(stderr, "connect %s: %s\n",
-                     opt.socket.c_str(), std::strerror(errno));
-        ::close(fd);
-        return false;
-    }
-    timeval tv;
-    tv.tv_sec = opt.timeoutMs / 1000;
-    tv.tv_usec = static_cast<long>(opt.timeoutMs % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-
-    std::string line = request + "\n";
-    std::size_t sent = 0;
-    while (sent < line.size()) {
-        ssize_t n = ::send(fd, line.data() + sent,
-                           line.size() - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            std::fprintf(stderr, "send: %s\n",
-                         std::strerror(errno));
-            ::close(fd);
+    CounterRandom jitter(opt.retrySeed, rngstream::clientRetry);
+    for (unsigned attempt = 0;; ++attempt) {
+        std::string why;
+        if (attemptExchange(opt, request, reply, &why)) {
+            // A structured retry-after (shed/quota) is transient
+            // too: honor the server's hint, then try again.
+            serve::json::Value parsed;
+            std::string parseWhy;
+            double after = 0.0;
+            if (serve::json::parse(*reply, &parsed, &parseWhy) &&
+                !parsed.getBool("ok", false)) {
+                after = parsed.getNumber("retryAfterMs", 0.0);
+            }
+            if (after <= 0.0)
+                return true;
+            if (attempt >= opt.retries)
+                return true; // caller prints the server's error
+            why = "server asked to retry after " +
+                  std::to_string(static_cast<unsigned>(after)) +
+                  "ms";
+            unsigned floorMs = static_cast<unsigned>(std::min(
+                after, 3.6e6)); // clamp absurd hints to an hour
+            unsigned backoff = std::min<unsigned>(
+                opt.retryCapMs,
+                opt.retryBaseMs << std::min(attempt, 16u));
+            unsigned delay = std::max(floorMs, backoff);
+            delay += static_cast<unsigned>(
+                jitter.uniform(delay / 2 + 1));
+            std::fprintf(stderr,
+                         "attempt %u/%u failed (%s), retrying in "
+                         "%u ms\n",
+                         attempt + 1, opt.retries + 1, why.c_str(),
+                         delay);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+            continue;
+        }
+        if (attempt >= opt.retries) {
+            std::fprintf(stderr, "%s\n", why.c_str());
             return false;
         }
-        sent += static_cast<std::size_t>(n);
+        unsigned delay = std::min<unsigned>(
+            opt.retryCapMs, opt.retryBaseMs << std::min(attempt, 16u));
+        delay += static_cast<unsigned>(
+            jitter.uniform(delay / 2 + 1));
+        std::fprintf(stderr,
+                     "attempt %u/%u failed (%s), retrying in %u ms\n",
+                     attempt + 1, opt.retries + 1, why.c_str(),
+                     delay);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
     }
-
-    reply->clear();
-    char chunk[4096];
-    while (reply->find('\n') == std::string::npos) {
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            std::fprintf(stderr, "recv: %s\n",
-                         std::strerror(errno));
-            ::close(fd);
-            return false;
-        }
-        if (n == 0)
-            break;
-        reply->append(chunk, static_cast<std::size_t>(n));
-    }
-    ::close(fd);
-    std::size_t nl = reply->find('\n');
-    if (nl == std::string::npos) {
-        std::fprintf(stderr, "no reply (daemon gone?)\n");
-        return false;
-    }
-    reply->resize(nl);
-    return true;
 }
 
 /** Stable scalar print: integral doubles as integers, the rest in
@@ -321,7 +379,9 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
-    if (opt.socket.empty()) {
+    if (opt.socket.empty() == opt.connect.empty()) {
+        std::fprintf(stderr,
+                     "need exactly one of --socket and --connect\n");
         usage();
         return 2;
     }
@@ -353,7 +413,7 @@ main(int argc, char **argv)
         std::printf("%s", reply.getString("text", "").c_str());
         return 0;
     }
-    // ping/stats/shutdown/query: the reply itself is the output.
+    // ping/stats/query/ring/shutdown: the reply is the output.
     std::printf("%s\n", reply_line.c_str());
     return 0;
 }

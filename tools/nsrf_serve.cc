@@ -1,6 +1,6 @@
 /**
  * @file
- * nsrf_serve: the sweep-serving daemon.
+ * nsrf_serve: the sweep-serving daemon, single-node or fleet.
  *
  * Binds a Unix domain socket and serves line-delimited JSON
  * requests (serve/server.hh documents the protocol).  Results are
@@ -10,6 +10,16 @@
  *
  *     nsrf_serve --socket /tmp/nsrf.sock --cache /tmp/nsrf-cache
  *     nsrf_request --socket /tmp/nsrf.sock --app all
+ *
+ * With --listen the daemon becomes a fleet node: a TCP listener
+ * (and the optional UDS one) runs on the epoll transport with
+ * priority lanes, per-client quotas, and load shedding; with --ring
+ * it shards result ownership across the named peers by consistent
+ * hashing, fills cache misses from the owning peer, and replicates
+ * fresh results to the replica owners (fleet/node.hh).
+ *
+ *     nsrf_serve --listen 127.0.0.1:7101 --ring ring.json \
+ *                --node-id n1 --cache /tmp/nsrf-cache-n1
  */
 
 #include <csignal>
@@ -19,6 +29,10 @@
 
 #include "nsrf/common/logging.hh"
 #include "nsrf/common/options.hh"
+#include "nsrf/fleet/net.hh"
+#include "nsrf/fleet/node.hh"
+#include "nsrf/fleet/ring.hh"
+#include "nsrf/fleet/transport.hh"
 #include "nsrf/serve/cache.hh"
 #include "nsrf/serve/scheduler.hh"
 #include "nsrf/serve/server.hh"
@@ -41,6 +55,17 @@ struct Options
     std::uint64_t cacheDiskBytes = 0; //!< 0 = unbounded
     unsigned timeoutMs = 120'000;
     std::uint64_t prefixSteps = 0; //!< 0 = cold batches
+
+    // Fleet mode (active when --listen is given).
+    std::string listen;  //!< HOST:PORT; port 0 = ephemeral
+    std::string ring;    //!< ring config path
+    std::string nodeId;  //!< our id in the ring config
+    unsigned replicas = 0; //!< 0 = take the ring config's value
+    double quotaRate = 0.0;
+    double quotaBurst = 0.0;
+    unsigned workers = 2;
+    unsigned peerTimeoutMs = 5'000;
+    std::size_t laneQueueMax = 256;
 };
 
 void
@@ -48,6 +73,8 @@ usage()
 {
     std::puts(
         "usage: nsrf_serve --socket PATH [options]\n"
+        "       nsrf_serve --listen HOST:PORT [--socket PATH] "
+        "[options]\n"
         "  --socket PATH        Unix domain socket to bind\n"
         "  --cache DIR          persist results under DIR (shared\n"
         "                       with nsrf_sim --cache)\n"
@@ -65,16 +92,56 @@ usage()
         "  --prefix-steps N     resume simulated cells from an\n"
         "                       N-instruction prefix snapshot kept\n"
         "                       in the result cache (default 0 =\n"
-        "                       simulate cold)");
+        "                       simulate cold)\n"
+        "fleet mode (--listen enables the TCP/epoll transport):\n"
+        "  --listen HOST:PORT   TCP bind address (port 0 =\n"
+        "                       ephemeral; the choice is printed)\n"
+        "  --ring FILE          consistent-hash ring config; peers\n"
+        "                       fill cache misses for cells they\n"
+        "                       own (fleet/ring.hh documents it)\n"
+        "  --node-id NAME       this node's id in the ring config\n"
+        "  --replicas N         override the ring config's replica\n"
+        "                       count\n"
+        "  --quota RATE[:BURST] per-client token bucket: RATE cells\n"
+        "                       per second, BURST capacity (default\n"
+        "                       burst = rate; 0 disables)\n"
+        "  --workers N          transport worker threads (default 2)\n"
+        "  --peer-timeout-ms N  budget per peer exchange (default\n"
+        "                       5000)\n"
+        "  --lane-queue N       queued requests per priority lane\n"
+        "                       before shedding (default 256)\n"
+        "  (set NSRF_FLEET_POLL=1 to force the poll(2) backend)");
 }
 
 serve::Server *g_server = nullptr;
+fleet::Transport *g_transport = nullptr;
 
 void
 onSignal(int)
 {
+    if (g_transport)
+        g_transport->requestStop();
     if (g_server)
         g_server->requestStop();
+}
+
+/** Parse --quota RATE[:BURST]. */
+void
+parseQuota(const char *text, double *rate, double *burst)
+{
+    char *end = nullptr;
+    *rate = std::strtod(text, &end);
+    if (end == text || *rate < 0.0)
+        nsrf_fatal("bad --quota rate '%s'", text);
+    *burst = *rate;
+    if (*end == ':') {
+        const char *burstText = end + 1;
+        *burst = std::strtod(burstText, &end);
+        if (end == burstText || *burst < 0.0 || *end != '\0')
+            nsrf_fatal("bad --quota burst '%s'", text);
+    } else if (*end != '\0') {
+        nsrf_fatal("bad --quota '%s'", text);
+    }
 }
 
 } // namespace
@@ -105,6 +172,23 @@ main(int argc, char **argv)
             opt.timeoutMs = scan.u32();
         else if (scan.is("--prefix-steps"))
             opt.prefixSteps = scan.u64();
+        else if (scan.is("--listen"))
+            opt.listen = scan.value();
+        else if (scan.is("--ring"))
+            opt.ring = scan.value();
+        else if (scan.is("--node-id"))
+            opt.nodeId = scan.value();
+        else if (scan.is("--replicas"))
+            opt.replicas = scan.u32();
+        else if (scan.is("--quota"))
+            parseQuota(scan.value(), &opt.quotaRate,
+                       &opt.quotaBurst);
+        else if (scan.is("--workers"))
+            opt.workers = scan.u32();
+        else if (scan.is("--peer-timeout-ms"))
+            opt.peerTimeoutMs = scan.u32();
+        else if (scan.is("--lane-queue"))
+            opt.laneQueueMax = scan.u64();
         else if (scan.is("--help") || scan.is("-h")) {
             usage();
             return 0;
@@ -112,7 +196,10 @@ main(int argc, char **argv)
             scan.unknown();
         }
     }
-    if (opt.socket.empty()) {
+    bool fleetMode = !opt.listen.empty();
+    if (!fleetMode && !opt.ring.empty())
+        nsrf_fatal("--ring needs --listen (fleet mode)");
+    if (opt.socket.empty() && !fleetMode) {
         usage();
         return 2;
     }
@@ -145,23 +232,104 @@ main(int argc, char **argv)
     server_config.requestTimeoutMs = opt.timeoutMs;
     serve::Server server(server_config, &cache, &scheduler);
 
+    if (!fleetMode) {
+        std::string why;
+        if (!server.start(&why))
+            nsrf_fatal("cannot serve: %s", why.c_str());
+
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+
+        std::fprintf(stderr, "nsrf_serve: listening on %s (%s)\n",
+                     opt.socket.c_str(),
+                     opt.cache.empty()
+                         ? "memory-only cache"
+                         : ("cache dir " + opt.cache).c_str());
+        int rc = server.serve();
+
+        // Graceful drain: finish queued/in-flight work before
+        // exiting so accepted submits are never dropped.
+        scheduler.drain();
+        std::fprintf(stderr,
+                     "nsrf_serve: drained, final counters:\n%s",
+                     server.metricsText().c_str());
+        return rc;
+    }
+
+    // Fleet mode: the node handles requests, the epoll transport
+    // multiplexes the TCP (and optional UDS) listeners.
+    std::string host;
+    std::uint16_t port = 0;
     std::string why;
-    if (!server.start(&why))
+    if (!fleet::net::parseHostPort(opt.listen, &host, &port, &why))
+        nsrf_fatal("bad --listen: %s", why.c_str());
+    if (host.empty())
+        host = "0.0.0.0";
+
+    fleet::NodeConfig node_config;
+    node_config.nodeId = opt.nodeId;
+    node_config.peerTimeoutMs = opt.peerTimeoutMs;
+    node_config.requestTimeoutMs = opt.timeoutMs;
+    node_config.quota.ratePerSec = opt.quotaRate;
+    node_config.quota.burst = opt.quotaBurst;
+    fleet::Node node(node_config, &cache, &scheduler, &server);
+
+    if (!opt.ring.empty()) {
+        if (opt.nodeId.empty())
+            nsrf_fatal("--ring needs --node-id");
+        fleet::RingConfig ring_config;
+        if (!fleet::loadRingConfig(opt.ring, &ring_config, &why))
+            nsrf_fatal("cannot load ring: %s", why.c_str());
+        if (opt.replicas)
+            ring_config.replicas = opt.replicas;
+        if (!node.setRing(std::move(ring_config), &why))
+            nsrf_fatal("bad ring: %s", why.c_str());
+    }
+
+    server.setStatsHook([&node](stats::JsonWriter &json) {
+        node.appendStats(json);
+    });
+    server.setMetricsHook(
+        [&node](std::string &out) { node.appendMetrics(out); });
+
+    fleet::TransportConfig transport_config;
+    transport_config.tcpHost = host;
+    transport_config.tcpPort = port;
+    transport_config.udsPath = opt.socket;
+    transport_config.workers = opt.workers == 0 ? 1 : opt.workers;
+    transport_config.laneQueueMax = opt.laneQueueMax;
+    fleet::Transport transport(
+        transport_config,
+        [&node](const std::string &line) {
+            return node.handleRequest(line);
+        },
+        [&node](const std::string &line) {
+            return node.admit(line);
+        });
+    node.attachTransport(&transport);
+
+    if (!transport.start(&why))
         nsrf_fatal("cannot serve: %s", why.c_str());
 
-    g_server = &server;
+    g_transport = &transport;
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
 
-    std::fprintf(stderr, "nsrf_serve: listening on %s (%s)\n",
-                 opt.socket.c_str(),
-                 opt.cache.empty()
-                     ? "memory-only cache"
-                     : ("cache dir " + opt.cache).c_str());
-    int rc = server.serve();
+    // The bound port line is load-bearing: with an ephemeral port
+    // the harness parses it to learn where the node landed.
+    std::fprintf(stderr, "nsrf_serve: tcp port %u\n",
+                 static_cast<unsigned>(transport.tcpPort()));
+    std::fprintf(
+        stderr, "nsrf_serve: fleet node %s on %s:%u%s%s (%s)\n",
+        opt.nodeId.empty() ? "-" : opt.nodeId.c_str(),
+        host.c_str(), static_cast<unsigned>(transport.tcpPort()),
+        opt.socket.empty() ? "" : ", uds ",
+        opt.socket.c_str(),
+        opt.cache.empty() ? "memory-only cache"
+                          : ("cache dir " + opt.cache).c_str());
+    int rc = transport.run();
 
-    // Graceful drain: finish queued/in-flight work before exiting
-    // so accepted submits are never dropped.
     scheduler.drain();
     std::fprintf(stderr, "nsrf_serve: drained, final counters:\n%s",
                  server.metricsText().c_str());
