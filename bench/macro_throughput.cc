@@ -25,8 +25,16 @@
  * all lane-steps and solo steps over all wall time — clears what a
  * solo simulator alone cannot.
  *
+ * With --threads > 1 a third section runs: the same lane groups
+ * through a SweepRunner pool of N workers (the jobs-aware group
+ * partitioner splits each group across the threads).  Its simulated
+ * stats are asserted bit-identical to the single-thread lane
+ * section, so the multi-thread scheduler cannot drift from the solo
+ * semantics without failing the bench.
+ *
  *   macro_throughput [--events N] [--reps N] [--lanes N]
- *                    [--json PATH] [--smoke]
+ *                    [--threads N] [--chunk N] [--json PATH]
+ *                    [--smoke]
  *
  * --smoke shrinks the run to a few thousand events for CI and adds
  * a scalar-vs-SIMD cross-check: the bench re-runs itself with
@@ -82,6 +90,7 @@ struct LaneResult
 {
     std::string app;
     unsigned lanes = 0;
+    unsigned threads = 1;         //!< SweepRunner workers used
     std::uint64_t steps = 0;      //!< summed across lanes
     Cycles cycles = 0;            //!< summed across lanes
     double bestSeconds = 0;
@@ -94,6 +103,8 @@ struct Options
     unsigned reps = 3;
     unsigned lines = 256;
     unsigned lanes = 8;
+    unsigned threads = 1;
+    std::size_t chunk = 0;        //!< lane chunk size (0 = default)
     std::string jsonPath = "BENCH_throughput.json";
     bool smoke = false;
 };
@@ -112,6 +123,10 @@ parseOptions(int argc, char **argv)
             opt.lines = scan.u32();
         else if (scan.is("--lanes"))
             opt.lanes = scan.u32();
+        else if (scan.is("--threads"))
+            opt.threads = scan.u32();
+        else if (scan.is("--chunk"))
+            opt.chunk = scan.u64();
         else if (scan.is("--json"))
             opt.jsonPath = scan.value();
         else if (scan.is("--smoke"))
@@ -119,7 +134,8 @@ parseOptions(int argc, char **argv)
         else if (scan.is("--help") || scan.is("-h")) {
             std::printf(
                 "usage: macro_throughput [--events N] [--reps N] "
-                "[--lines N] [--lanes N] [--json PATH] [--smoke]\n"
+                "[--lines N] [--lanes N] [--threads N] [--chunk N] "
+                "[--json PATH] [--smoke]\n"
                 "  --events N  trace events per workload "
                 "(default 2000000)\n"
                 "  --reps N    timed repetitions, best wins "
@@ -127,10 +143,15 @@ parseOptions(int argc, char **argv)
                 "  --lines N   NSF decoder lines (default 256)\n"
                 "  --lanes N   configs per lane-batched group "
                 "(default 8)\n"
+                "  --threads N workers for the threaded lane "
+                "section (default 1 = section skipped)\n"
+                "  --chunk N   events per decoded lane chunk "
+                "(default %zu)\n"
                 "  --json P    results file "
                 "(default BENCH_throughput.json)\n"
                 "  --smoke     tiny run for CI, plus the "
-                "scalar-vs-SIMD stats cross-check\n");
+                "scalar-vs-SIMD stats cross-check\n",
+                sim::SweepRunner::kDefaultLaneChunk);
             std::exit(0);
         } else {
             scan.unknown();
@@ -141,6 +162,7 @@ parseOptions(int argc, char **argv)
         opt.reps = 1;
     }
     nsrf_assert(opt.reps > 0, "need at least one repetition");
+    nsrf_assert(opt.threads > 0, "need at least one thread");
     return opt;
 }
 
@@ -197,7 +219,7 @@ timeWorkload(const workload::BenchmarkProfile &profile,
  */
 LaneResult
 timeLanes(const workload::BenchmarkProfile &profile,
-          const Options &opt)
+          const Options &opt, unsigned threads)
 {
     using regfile::MissPolicy;
     using regfile::WritePolicy;
@@ -231,9 +253,10 @@ timeLanes(const workload::BenchmarkProfile &profile,
     LaneResult out;
     out.app = profile.name;
     out.lanes = opt.lanes;
+    out.threads = threads;
     out.bestSeconds = -1;
 
-    sim::SweepRunner runner(1);
+    sim::SweepRunner runner(threads, opt.chunk);
     for (unsigned rep = 0; rep < opt.reps; ++rep) {
         auto t0 = std::chrono::steady_clock::now();
         auto results = runner.run(cells);
@@ -296,7 +319,8 @@ scalarCrossCheck(const char *self, const Options &opt,
     std::string child_path = opt.jsonPath + ".scalar";
     std::ostringstream cmd;
     cmd << "NSRF_SIMD=scalar '" << self << "' --smoke --lanes "
-        << opt.lanes << " --lines " << opt.lines << " --json '"
+        << opt.lanes << " --lines " << opt.lines << " --threads "
+        << opt.threads << " --chunk " << opt.chunk << " --json '"
         << child_path << "' > /dev/null";
     if (std::system(cmd.str().c_str()) != 0) {
         std::fprintf(stderr,
@@ -393,7 +417,7 @@ main(int argc, char **argv)
     std::vector<LaneResult> lane_results;
     for (const auto &name : mix) {
         const auto &profile = workload::profileByName(name);
-        LaneResult l = timeLanes(profile, opt);
+        LaneResult l = timeLanes(profile, opt, 1);
         std::printf("  %-10s %u lanes     %12llu steps  %8.3fs  "
                     "%10.0f steps/sec\n",
                     l.app.c_str(), l.lanes,
@@ -402,6 +426,51 @@ main(int argc, char **argv)
         total_steps += l.steps;
         total_seconds += l.bestSeconds;
         lane_results.push_back(std::move(l));
+    }
+
+    // Threaded lane section: same cells, a real worker pool.  The
+    // combined trajectory metric stays solo+1-thread (comparable to
+    // the recorded reference); the threaded section reports its own
+    // speedup over the 1-thread lane runs and hard-fails if the
+    // scheduler perturbs any simulated stat.
+    std::vector<LaneResult> lane_mt_results;
+    if (opt.threads > 1) {
+        std::printf("\n");
+        double lanes_1t_seconds = 0, lanes_mt_seconds = 0;
+        for (std::size_t w = 0; w < mix.size(); ++w) {
+            const auto &profile = workload::profileByName(mix[w]);
+            LaneResult l = timeLanes(profile, opt, opt.threads);
+            std::printf("  %-10s %u lanes x%2u %12llu steps  "
+                        "%8.3fs  %10.0f steps/sec\n",
+                        l.app.c_str(), l.lanes, l.threads,
+                        static_cast<unsigned long long>(l.steps),
+                        l.bestSeconds, l.stepsPerSec);
+            const LaneResult &one = lane_results[w];
+            nsrf_assert(l.steps == one.steps &&
+                            l.cycles == one.cycles,
+                        "%u-thread lane run of %s diverged from the "
+                        "1-thread run (%llu/%llu steps, %llu/%llu "
+                        "cycles)",
+                        opt.threads, l.app.c_str(),
+                        static_cast<unsigned long long>(l.steps),
+                        static_cast<unsigned long long>(one.steps),
+                        static_cast<unsigned long long>(l.cycles),
+                        static_cast<unsigned long long>(one.cycles));
+            lanes_1t_seconds += one.bestSeconds;
+            lanes_mt_seconds += l.bestSeconds;
+            lane_mt_results.push_back(std::move(l));
+        }
+        if (lanes_mt_seconds > 0) {
+            std::printf("\n  lane section x%u speedup over 1 "
+                        "thread: %.2fx\n",
+                        opt.threads,
+                        lanes_1t_seconds / lanes_mt_seconds);
+        }
+        bench::verdict(
+            std::to_string(opt.threads) +
+                "-thread lane runs simulate stats bit-identical "
+                "to 1 thread",
+            true); // nsrf_assert above aborts on divergence
     }
 
     double combined =
@@ -430,6 +499,11 @@ main(int argc, char **argv)
     json.field("events_requested", opt.events);
     json.field("reps", opt.reps);
     json.field("lanes_per_group", opt.lanes);
+    json.field("threads", opt.threads);
+    json.field("lane_chunk",
+               std::uint64_t(opt.chunk == 0
+                                 ? sim::SweepRunner::kDefaultLaneChunk
+                                 : opt.chunk));
     json.field("smoke", opt.smoke);
     json.key("workloads").beginArray();
     for (const auto &r : results) {
@@ -443,18 +517,24 @@ main(int argc, char **argv)
         json.endObject();
     }
     json.endArray();
-    json.key("lanes").beginArray();
-    for (const auto &l : lane_results) {
-        json.beginObject();
-        json.field("app", l.app);
-        json.field("lanes", l.lanes);
-        json.field("steps", l.steps);
-        json.field("cycles", l.cycles);
-        json.field("best_seconds", l.bestSeconds);
-        json.field("steps_per_sec", l.stepsPerSec);
-        json.endObject();
-    }
-    json.endArray();
+    auto lane_section = [&](const char *key,
+                            const std::vector<LaneResult> &list) {
+        json.key(key).beginArray();
+        for (const auto &l : list) {
+            json.beginObject();
+            json.field("app", l.app);
+            json.field("lanes", l.lanes);
+            json.field("threads", l.threads);
+            json.field("steps", l.steps);
+            json.field("cycles", l.cycles);
+            json.field("best_seconds", l.bestSeconds);
+            json.field("steps_per_sec", l.stepsPerSec);
+            json.endObject();
+        }
+        json.endArray();
+    };
+    lane_section("lanes", lane_results);
+    lane_section("lanes_mt", lane_mt_results);
     json.field("combined_steps", total_steps);
     json.field("combined_seconds", total_seconds);
     json.field("combined_steps_per_sec", combined);

@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "nsrf/common/random.hh"
 #include "nsrf/mem/memsys.hh"
 #include "nsrf/regfile/factory.hh"
@@ -126,6 +129,50 @@ BM_NsfMissReload(benchmark::State &state)
     }
 }
 
+/**
+ * The SoA hot-state ablation, isolated: the NSF's write-hit
+ * metadata update as one packed byte RMW (the current meta_ layout)
+ * versus the two std::vector<bool> probes it replaced.  Both loops
+ * perform the same architectural work — read the valid bit, set
+ * valid and dirty — over the same slot stream, so the delta is
+ * purely the metadata layout's load/store and masking cost.
+ */
+void
+BM_MetaPackedByte(benchmark::State &state)
+{
+    const std::size_t slots =
+        static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint8_t> meta(slots, 0);
+    Random rng(4);
+    for (auto _ : state) {
+        std::size_t slot = rng.uniform(slots);
+        std::uint8_t m = meta[slot];
+        bool was_valid = (m & 1) != 0;
+        benchmark::DoNotOptimize(was_valid);
+        meta[slot] = static_cast<std::uint8_t>(m | 3);
+        benchmark::DoNotOptimize(meta.data());
+    }
+}
+
+void
+BM_MetaBitVectors(benchmark::State &state)
+{
+    const std::size_t slots =
+        static_cast<std::size_t>(state.range(0));
+    std::vector<bool> valid(slots, false);
+    std::vector<bool> dirty(slots, false);
+    Random rng(4);
+    for (auto _ : state) {
+        std::size_t slot = rng.uniform(slots);
+        bool was_valid = valid[slot];
+        benchmark::DoNotOptimize(was_valid);
+        valid[slot] = true;
+        dirty[slot] = true;
+        benchmark::DoNotOptimize(&valid);
+        benchmark::DoNotOptimize(&dirty);
+    }
+}
+
 constexpr auto conv =
     static_cast<int>(regfile::Organization::Conventional);
 constexpr auto seg =
@@ -140,5 +187,9 @@ BENCHMARK(BM_WriteHit)->Arg(conv)->Arg(seg)->Arg(nsf);
 BENCHMARK(BM_SwitchResident)->Arg(seg)->Arg(nsf);
 BENCHMARK(BM_SwitchThrash)->Arg(seg)->Arg(nsf);
 BENCHMARK(BM_NsfMissReload)->Arg(1)->Arg(2)->Arg(4);
+// 128 slots: the default NSF geometry, everything L1-resident.
+// 65536: a fleet-scale file where the layouts' footprints diverge.
+BENCHMARK(BM_MetaPackedByte)->Arg(128)->Arg(65536);
+BENCHMARK(BM_MetaBitVectors)->Arg(128)->Arg(65536);
 
 BENCHMARK_MAIN();

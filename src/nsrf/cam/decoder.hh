@@ -110,6 +110,14 @@ class AssociativeDecoder
         return index_.find(pack(cid, line_offset));
     }
 
+    /** Cache hint for an upcoming match() of <cid:line_offset>: no
+     * state, counter, or result changes — bit-identity safe. */
+    void
+    prefetchMatch(ContextId cid, RegIndex line_offset) const
+    {
+        index_.prefetch(pack(cid, line_offset));
+    }
+
     /**
      * Program @p line with a tag, binding the register name to it.
      * The line must be free and the tag must not already be mapped.

@@ -87,6 +87,21 @@ class FlatIndex
         return findScalar(key);
     }
 
+    /**
+     * Pull @p key's probe group toward the cache without reading it.
+     * Purely a hint: no table state or counters change, and dropping
+     * the call cannot change any result.  The pipelined lane loop
+     * issues this for the next lane's access while the current lane
+     * executes, overlapping the probe's likely cache miss.
+     */
+    void
+    prefetch(std::uint64_t key) const
+    {
+        std::size_t i = home(key);
+        __builtin_prefetch(&keys_[i]);
+        __builtin_prefetch(&vals_[i]);
+    }
+
     /** The portable probe loop; reference semantics for find(). */
     std::size_t
     findScalar(std::uint64_t key) const

@@ -50,15 +50,17 @@ ReplacementState::ReplacementState(std::size_t slot_count,
       next_(slot_count + 1), prev_(slot_count + 1), rng_(seed)
 {
     nsrf_assert(slot_count > 0, "need at least one slot");
+    nsrf_assert(slot_count + 1 < (std::uint64_t{1} << 32),
+                "slot count overflows 32-bit recency links");
     // Empty list: the sentinel points at itself.
-    next_[slot_count] = slot_count;
-    prev_[slot_count] = slot_count;
+    next_[slot_count] = static_cast<Link>(slot_count);
+    prev_[slot_count] = static_cast<Link>(slot_count);
 }
 
 void
 ReplacementState::moveToBack(std::size_t slot)
 {
-    std::size_t sentinel = held_.size();
+    Link sentinel = static_cast<Link>(held_.size());
     if (held_[slot]) {
         // Repeated hits on the hottest line dominate touch();
         // skip the relink when the slot is already most recent.
@@ -66,11 +68,11 @@ ReplacementState::moveToBack(std::size_t slot)
             return;
         unlink(slot);
     }
-    std::size_t tail = prev_[sentinel];
-    next_[tail] = slot;
+    Link tail = prev_[sentinel];
+    next_[tail] = static_cast<Link>(slot);
     prev_[slot] = tail;
     next_[slot] = sentinel;
-    prev_[sentinel] = slot;
+    prev_[sentinel] = static_cast<Link>(slot);
 }
 
 void

@@ -81,15 +81,15 @@ class ReplacementState
         // Hot path: the slot is held (asserted above), so skip
         // moveToBack's held check; repeated hits on the hottest line
         // are already at the tail.
-        std::size_t sentinel = held_.size();
+        Link sentinel = static_cast<Link>(held_.size());
         if (next_[slot] == sentinel)
             return;
         unlink(slot);
-        std::size_t tail = prev_[sentinel];
-        next_[tail] = slot;
+        Link tail = prev_[sentinel];
+        next_[tail] = static_cast<Link>(slot);
         prev_[slot] = tail;
         next_[slot] = sentinel;
-        prev_[sentinel] = slot;
+        prev_[sentinel] = static_cast<Link>(slot);
         nsrf_audit_hook(auditInvariants(&nsrf_audit_why_));
     }
 
@@ -144,6 +144,11 @@ class ReplacementState
         prev_[next_[slot]] = prev_[slot];
     }
 
+    /** Recency-list link: 32 bits halve the bytes the per-hit LRU
+     * touch() pulls through the cache vs. size_t links.  Slot counts
+     * are bounded by the register-file line count, far below 2^32. */
+    using Link = std::uint32_t;
+
     ReplacementKind kind_;
     std::vector<bool> held_;
     std::size_t heldCount_ = 0;
@@ -153,8 +158,8 @@ class ReplacementState
      * the original O(slots) oldest-stamp scan.  Index slot_count is
      * the sentinel node.
      */
-    std::vector<std::size_t> next_;
-    std::vector<std::size_t> prev_;
+    std::vector<Link> next_;
+    std::vector<Link> prev_;
     /**
      * Random: held slots in ascending index order, so the uniform
      * pick selects the same slot the original full-array scan did.

@@ -93,7 +93,8 @@ struct TestAccess
     static void
     corruptListLink(cam::ReplacementState &repl, std::size_t slot)
     {
-        repl.next_[slot] = slot;
+        repl.next_[slot] =
+            static_cast<cam::ReplacementState::Link>(slot);
     }
 
     /**
@@ -160,9 +161,10 @@ struct TestAccess
         if (line == cam::AssociativeDecoder::npos)
             return false;
         std::size_t slot = rf.slotOf(line, off);
-        if (!rf.valid_[slot] || !rf.dirty_[slot])
+        if (!rf.slotValid(slot) || !rf.slotDirty(slot))
             return false;
-        rf.dirty_[slot] = false;
+        rf.meta_[slot] &= static_cast<std::uint8_t>(
+            ~regfile::NamedStateRegisterFile::kMetaDirty);
         return true;
     }
 
@@ -182,7 +184,7 @@ struct TestAccess
         if (line == cam::AssociativeDecoder::npos)
             return false;
         std::size_t slot = rf.slotOf(line, off);
-        if (!rf.valid_[slot])
+        if (!rf.slotValid(slot))
             return false;
         rf.array_[slot] ^= 0xa5a5a5a5u;
         return true;
@@ -197,7 +199,7 @@ struct TestAccess
     corruptValidBit(regfile::NamedStateRegisterFile &rf,
                     std::size_t slot)
     {
-        rf.valid_[slot] = true;
+        rf.meta_[slot] |= regfile::NamedStateRegisterFile::kMetaValid;
     }
 
     /** Bump the active-register count without activating anything. */

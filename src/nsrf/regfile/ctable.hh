@@ -55,6 +55,19 @@ class Ctable
         return lookup(cid) + off * wordBytes;
     }
 
+    /**
+     * Pull @p cid's translation entry toward the cache.  Purely a
+     * hint (no state or result changes); the pipelined lane loop
+     * issues it for the next lane's context while the current lane
+     * executes.
+     */
+    void
+    prefetch(ContextId cid) const
+    {
+        if (cid < frames_.size())
+            __builtin_prefetch(&frames_[cid]);
+    }
+
     /** @return hardware table capacity. */
     std::size_t capacity() const { return frames_.size(); }
 

@@ -21,8 +21,7 @@ NamedStateRegisterFile::NamedStateRegisterFile(
     nsrf_assert(config.maxRegsPerContext > 0,
                 "contexts need at least one register");
     array_.assign(config.lines * config.regsPerLine, 0);
-    valid_.assign(array_.size(), false);
-    dirty_.assign(array_.size(), false);
+    meta_.assign(array_.size(), 0);
     lineScratch_.reserve(config.lines);
     selectKernels();
 }
@@ -95,12 +94,10 @@ NamedStateRegisterFile::freeContext(ContextId cid)
     for (std::size_t line : lineScratch_) {
         for (unsigned w = 0; w < config_.regsPerLine; ++w) {
             std::size_t slot = line * config_.regsPerLine + w;
-            if (valid_[slot]) {
-                valid_[slot] = false;
+            if (slotValid(slot))
                 --activeCount_;
-            }
-            nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
-            dirty_[slot] = false;
+            nsrf_trace_stmt(if (slotDirty(slot)) --traceDirtyWords_;)
+            meta_[slot] = 0;
         }
         repl_.release(line);
     }
@@ -163,8 +160,8 @@ NamedStateRegisterFile::residentValid(ContextId cid,
                                               config_.regsPerLine);
     if (line == cam::AssociativeDecoder::npos)
         return false;
-    return valid_[line * config_.regsPerLine +
-                  off % config_.regsPerLine];
+    return slotValid(line * config_.regsPerLine +
+                     off % config_.regsPerLine);
 }
 
 unsigned
@@ -209,10 +206,12 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
 
     for (unsigned w = 0; w < config_.regsPerLine; ++w) {
         std::size_t slot = line * config_.regsPerLine + w;
-        if (!valid_[slot])
+        std::uint8_t m = meta_[slot];
+        if (!(m & kMetaValid))
             continue;
         RegIndex off = tag.lineOffset + w;
-        bool must_write = !config_.spillDirtyOnly || dirty_[slot];
+        bool must_write =
+            !config_.spillDirtyOnly || (m & kMetaDirty) != 0;
         if (must_write) {
             Cycles lat = backing_.writeWord(base + off * wordBytes,
                                             array_[slot]);
@@ -226,11 +225,10 @@ NamedStateRegisterFile::evictLine(std::size_t line, AccessResult &res)
         // neighbour pulled in by ReloadLine/FetchOnWrite; spilling it
         // must not promote it to "live", or every future reload of it
         // would be miscounted as live traffic (Fig 10/13).
-        if (dirty_[slot])
+        if (m & kMetaDirty)
             ctx.validInMem[off] = true;
-        valid_[slot] = false;
-        nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
-        dirty_[slot] = false;
+        nsrf_trace_stmt(if (m & kMetaDirty) --traceDirtyWords_;)
+        meta_[slot] = 0;
         --activeCount_;
         --ctx.residentLiveRegs;
     }
@@ -257,7 +255,7 @@ NamedStateRegisterFile::reloadWord(std::size_t line, ContextId cid,
     res.stall += lat + config_.costs.nsfMissExtra;
     std::size_t slot = slotOf(line, off);
     array_[slot] = value;
-    dirty_[slot] = false;
+    meta_[slot] &= static_cast<std::uint8_t>(~kMetaDirty);
     ++res.reloaded;
     ++stats_.regsReloaded;
     if (ctx.validInMem[off])
@@ -307,17 +305,16 @@ NamedStateRegisterFile::freeRegister(ContextId cid, RegIndex off)
     std::size_t line = decoder_.peek(cid, line_off);
     if (line != cam::AssociativeDecoder::npos) {
         std::size_t slot = slotOf(line, off);
-        if (valid_[slot]) {
-            valid_[slot] = false;
-            nsrf_trace_stmt(if (dirty_[slot]) --traceDirtyWords_;)
-            dirty_[slot] = false;
+        if (slotValid(slot)) {
+            nsrf_trace_stmt(if (slotDirty(slot)) --traceDirtyWords_;)
+            meta_[slot] = 0;
             --activeCount_;
             --ctx.residentLiveRegs;
         }
         // If the whole line is now empty, free it with no traffic.
         bool any = false;
         for (unsigned w = 0; w < config_.regsPerLine; ++w)
-            any = any || valid_[line * config_.regsPerLine + w];
+            any = any || slotValid(line * config_.regsPerLine + w);
         if (!any) {
             decoder_.invalidate(line);
             repl_.release(line);
@@ -358,12 +355,12 @@ NamedStateRegisterFile::auditInvariants(std::string *why) const
         if (!decoder_.lineValid(line)) {
             for (unsigned w = 0; w < config_.regsPerLine; ++w) {
                 std::size_t slot = line * config_.regsPerLine + w;
-                if (valid_[slot] || dirty_[slot]) {
+                if (meta_[slot] != 0) {
                     return fail(why,
                                 "free line %zu holds a %s register "
                                 "at word %u",
                                 line,
-                                valid_[slot] ? "valid" : "dirty",
+                                slotValid(slot) ? "valid" : "dirty",
                                 w);
                 }
             }
@@ -403,13 +400,21 @@ NamedStateRegisterFile::auditInvariants(std::string *why) const
         ++lines_of[t.cid];
         for (unsigned w = 0; w < config_.regsPerLine; ++w) {
             std::size_t slot = line * config_.regsPerLine + w;
-            if (dirty_[slot] && !valid_[slot]) {
+            // Cross-check the packed side array itself: only the
+            // valid/dirty bits may ever be set in a meta byte.
+            if ((meta_[slot] & ~(kMetaValid | kMetaDirty)) != 0) {
+                return fail(why,
+                            "line %zu word %u has stray metadata "
+                            "bits 0x%02x",
+                            line, w, meta_[slot]);
+            }
+            if (slotDirty(slot) && !slotValid(slot)) {
                 return fail(why,
                             "line %zu word %u is dirty but not "
                             "valid",
                             line, w);
             }
-            if (!valid_[slot])
+            if (!slotValid(slot))
                 continue;
             ++active;
             ++regs_of[t.cid];
@@ -420,7 +425,7 @@ NamedStateRegisterFile::auditInvariants(std::string *why) const
                             "context's last register",
                             line, w);
             }
-            if (!dirty_[slot]) {
+            if (!slotDirty(slot)) {
                 Addr addr = ctable_.lookup(t.cid) + off * wordBytes;
                 Word in_mem = backing_.memory().peekWord(addr);
                 if (array_[slot] != in_mem) {

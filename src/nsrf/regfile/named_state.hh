@@ -77,6 +77,16 @@ class NamedStateRegisterFile final : public RegisterFile
     void restoreContext(ContextId cid, Addr backing_frame) override;
     std::string describe() const override;
 
+    /** Hint the CAM probe group and Ctable entry of an upcoming
+     * access toward the cache; no state or counters change. */
+    void
+    prefetchHint(ContextId cid, RegIndex off) const override
+    {
+        decoder_.prefetchMatch(
+            cid, config_.regsPerLine == 1 ? off : lineOffsetOf(off));
+        ctable_.prefetch(cid);
+    }
+
     const Config &config() const { return config_; }
 
     /**
@@ -105,6 +115,15 @@ class NamedStateRegisterFile final : public RegisterFile
         write(ContextId cid, RegIndex off, Word value)
         {
             return rf_.writeImpl<MP, WP, true>(cid, off, value);
+        }
+
+        /** One-word lines: the probed line offset IS the register
+         * offset, so the hint skips the line-offset fold. */
+        void
+        prefetchHint(ContextId cid, RegIndex off) const
+        {
+            rf_.decoder_.prefetchMatch(cid, off);
+            rf_.ctable_.prefetch(cid);
         }
 
         AccessResult switchTo(ContextId cid)
@@ -181,6 +200,26 @@ class NamedStateRegisterFile final : public RegisterFile
     };
 
     ContextState &state(ContextId cid);
+
+    /**
+     * Per-register metadata bits, packed one byte per physical slot
+     * in a dense side array (meta_) instead of two std::vector<bool>
+     * bit vectors.  Every event touches these; a byte load plus a
+     * mask beats two bit-vector probes (separate words, masking on
+     * both read and write), and a 64-register line's metadata now
+     * spans one cache line instead of two bit-vector fragments.
+     */
+    static constexpr std::uint8_t kMetaValid = 1u << 0;
+    static constexpr std::uint8_t kMetaDirty = 1u << 1;
+
+    bool slotValid(std::size_t slot) const
+    {
+        return (meta_[slot] & kMetaValid) != 0;
+    }
+    bool slotDirty(std::size_t slot) const
+    {
+        return (meta_[slot] & kMetaDirty) != 0;
+    }
 
     RegIndex lineOffsetOf(RegIndex off) const
     {
@@ -264,8 +303,9 @@ class NamedStateRegisterFile final : public RegisterFile
     cam::ReplacementState repl_;
     Ctable ctable_;
     std::vector<Word> array_;  //!< lines * regsPerLine words
-    std::vector<bool> valid_;  //!< per physical register
-    std::vector<bool> dirty_;  //!< modified since load
+    /** Packed kMetaValid|kMetaDirty byte per physical register (SoA
+     * hot-state; see the accessor comment above). */
+    std::vector<std::uint8_t> meta_;
     std::unordered_map<ContextId, ContextState> contexts_;
     ReadKernel readKernel_ = nullptr;
     WriteKernel writeKernel_ = nullptr;
@@ -302,8 +342,8 @@ NamedStateRegisterFile::state(ContextId cid)
 inline void
 NamedStateRegisterFile::markValid(std::size_t slot, ContextId cid)
 {
-    if (!valid_[slot]) {
-        valid_[slot] = true;
+    if (!slotValid(slot)) {
+        meta_[slot] |= kMetaValid;
         ++activeCount_;
         ContextState &ctx = state(cid);
         if (ctx.residentLiveRegs == 0 && ctx.residentLines == 0) {
@@ -391,7 +431,7 @@ NamedStateRegisterFile::readImpl(ContextId cid, RegIndex off,
         nsrf_trace_hook(emit(trace::Kind::ReadMiss, cid, off, 0));
         line = allocateLine(cid, line_off, res);
         reloadLineImpl<MP, OneWord>(line, cid, line_off, off, res);
-    } else if (!valid_[slotOfT<OneWord>(line, off)]) [[unlikely]] {
+    } else if (!slotValid(slotOfT<OneWord>(line, off))) [[unlikely]] {
         // The line is resident but this register is not (a neighbour
         // allocated the line).  Reload just this word.
         ++stats_.readMisses;
@@ -464,9 +504,20 @@ NamedStateRegisterFile::writeImpl(ContextId cid, RegIndex off,
 
     std::size_t slot = slotOfT<OneWord>(line, off);
     array_[slot] = value;
-    nsrf_trace_stmt(if (!dirty_[slot]) ++traceDirtyWords_;)
-    dirty_[slot] = true;
-    markValid(slot, cid);
+    // One metadata load serves the dirty update and the valid check;
+    // the write-hit path then touches meta_[slot] exactly twice
+    // (load + combined store) instead of four bit-vector probes.
+    std::uint8_t m = meta_[slot];
+    nsrf_trace_stmt(if (!(m & kMetaDirty)) ++traceDirtyWords_;)
+    meta_[slot] = static_cast<std::uint8_t>(m | kMetaValid |
+                                            kMetaDirty);
+    if (!(m & kMetaValid)) [[unlikely]] {
+        ++activeCount_;
+        ContextState &ctx = state(cid);
+        if (ctx.residentLiveRegs == 0 && ctx.residentLines == 0)
+            nsrf_panic("valid register outside any resident line");
+        ++ctx.residentLiveRegs;
+    }
     stats_.stallCycles += res.stall;
     updateOccupancy();
     return res;

@@ -208,6 +208,21 @@ class RegisterFile
     /** @return a short description, e.g. "nsf(128x1,lru)". */
     virtual std::string describe() const = 0;
 
+    /**
+     * Cache hint that <cid:off> will be accessed soon.  Purely a
+     * hint: implementations must not change any state, counter, or
+     * result, so dropping the call is always bit-identical.  The
+     * lane-interleaved sweep loop issues this for the next lane's
+     * pending event while the current lane executes, overlapping the
+     * likely cache misses of the tag probe and translation lookup.
+     */
+    virtual void
+    prefetchHint(ContextId cid, RegIndex off) const
+    {
+        (void)cid;
+        (void)off;
+    }
+
     /** @return currently running context. */
     ContextId currentContext() const { return current_; }
 

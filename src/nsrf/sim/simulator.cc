@@ -334,6 +334,20 @@ TraceSimulator::stepChunk(LoopState &state, const TraceEvent *events,
         // the exported timeline lines up with the model's time base.
         nsrf_trace_hook(setTime(cycles));
 
+        // Hint the next event's first register probe while this one
+        // executes.  The hint may name a stale context when this
+        // event switches — harmless, it is only a cache touch; a
+        // dropped or wasted hint cannot change any result.
+        if (n + 1 < count && current != invalidContext) {
+            const TraceEvent &nx = events[n + 1];
+            if (nx.kind == EventKind::Instr) {
+                if (nx.srcCount > 0)
+                    rf.prefetchHint(current, nx.src[0]);
+                else if (nx.hasDst)
+                    rf.prefetchHint(current, nx.dst);
+            }
+        }
+
         switch (ev.kind) {
           case EventKind::Instr: {
               nsrf_assert(current != invalidContext,
@@ -432,6 +446,27 @@ TraceSimulator::stepChunk(LoopState &state, const TraceEvent *events,
     // events: a break at index n means event n was *not* applied
     // and must be re-delivered on a snapshot resume.
     state.eventsConsumed += n;
+}
+
+void
+TraceSimulator::prefetchFor(const TraceEvent *events,
+                            std::size_t count) const
+{
+    if (loop_.done || loop_.current == invalidContext)
+        return;
+    // A handful of leading events covers the window a hint can help
+    // with; past that the hardware prefetcher (or the chunk's own
+    // in-loop next-event hints) takes over.
+    std::size_t limit = count < 4 ? count : 4;
+    for (std::size_t i = 0; i < limit; ++i) {
+        const TraceEvent &ev = events[i];
+        if (ev.kind != EventKind::Instr)
+            break;
+        for (std::uint8_t s = 0; s < ev.srcCount; ++s)
+            rf_->prefetchHint(loop_.current, ev.src[s]);
+        if (ev.hasDst)
+            rf_->prefetchHint(loop_.current, ev.dst);
+    }
 }
 
 void

@@ -160,6 +160,18 @@ class TraceSimulator
     /** Finalize the register file and collect the chunked run. */
     RunResult finishRun();
 
+    /**
+     * Hint the register-file state the leading events of a chunk
+     * will touch toward the cache.  Purely a hint — no state,
+     * counter, or result changes, so dropping the call is always
+     * bit-identical.  The lane-interleaved sweep loop issues this
+     * for lane i+1's simulator while lane i executes the same
+     * chunk, overlapping the next lane's cold CAM and metadata
+     * misses with the current lane's work.
+     */
+    void prefetchFor(const TraceEvent *events,
+                     std::size_t count) const;
+
     /** @return the register file (valid after construction). */
     regfile::RegisterFile &registerFile() { return *rf_; }
 

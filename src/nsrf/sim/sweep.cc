@@ -141,8 +141,9 @@ parallelFor(unsigned jobs, std::size_t count,
         std::rethrow_exception(error);
 }
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : jobs_(jobs == 0 ? hardwareJobs() : jobs)
+SweepRunner::SweepRunner(unsigned jobs, std::size_t lane_chunk)
+    : jobs_(jobs == 0 ? hardwareJobs() : jobs),
+      laneChunk_(lane_chunk == 0 ? kDefaultLaneChunk : lane_chunk)
 {
 }
 
@@ -151,6 +152,70 @@ SweepRunner::hardwareJobs()
 {
     unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : n;
+}
+
+std::vector<std::vector<std::size_t>>
+partitionSweepUnits(const std::vector<SweepCell> &cells,
+                    unsigned jobs, std::size_t max_group)
+{
+    std::vector<std::vector<std::size_t>> units;
+    std::map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        nsrf_assert(cell.makeGenerator != nullptr,
+                    "sweep cell '%s' has no generator factory",
+                    cell.label.c_str());
+        if (!cell.streamKey.empty() && cell.traceOut.empty()) {
+            auto [it, fresh] =
+                group_of.emplace(cell.streamKey, units.size());
+            if (fresh)
+                units.emplace_back();
+            units[it->second].push_back(i);
+        } else {
+            units.emplace_back(1, i);
+        }
+    }
+
+    // Split one unit in two at lane h, appending the tail as a new
+    // unit.  Lane order within each half is preserved (ascending
+    // cell indices), so the halves are themselves valid groups.
+    // Build the tail before touching `units`: growing it would
+    // invalidate any reference held into the vector.
+    auto split = [&units](std::size_t u) {
+        std::size_t h = (units[u].size() + 1) / 2;
+        std::vector<std::size_t> tail(
+            units[u].begin() + static_cast<std::ptrdiff_t>(h),
+            units[u].end());
+        units[u].resize(h);
+        units.push_back(std::move(tail));
+    };
+
+    // Explicit group-width cap first (tests and benches).
+    if (max_group > 0) {
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            while (units[u].size() > max_group)
+                split(u);
+        }
+    }
+
+    // Jobs-aware splitting: a sweep of a few huge lane groups would
+    // otherwise occupy a few workers and idle the rest.  Halving
+    // the largest group (ties to the lowest unit) is deterministic,
+    // and each split only duplicates stream decoding — lane results
+    // cannot change.
+    unsigned workers =
+        jobs == 0 ? SweepRunner::hardwareJobs() : jobs;
+    while (workers > 1 && units.size() < workers) {
+        std::size_t widest = 0;
+        for (std::size_t u = 1; u < units.size(); ++u) {
+            if (units[u].size() > units[widest].size())
+                widest = u;
+        }
+        if (units[widest].size() < 2)
+            break;
+        split(widest);
+    }
+    return units;
 }
 
 namespace
@@ -183,14 +248,22 @@ runSoloCell(const SweepCell &cell, RunResult &result)
 /**
  * Run a group of cells sharing one event stream as lanes of a
  * single decode pass: the first lane's generator produces each
- * chunk once, and every lane's simulator steps through it.  Lanes
- * that finish early (instruction caps differ per cell) coast while
- * the stream drains for the rest.
+ * chunk once, and every lane's simulator steps through it
+ * lane-major.  Lanes that finish early (instruction caps differ per
+ * cell) coast while the stream drains for the rest.
+ *
+ * While lane i steps a chunk, lane i+1's simulator is asked to
+ * prefetch the state the same chunk's leading events will touch
+ * (CAM probe groups, Ctable entries), overlapping the next lane's
+ * cold misses with the current lane's execution.  The hints change
+ * no state, so the interleaving stays bit-identical to stepping the
+ * lanes back to back.
  */
 void
 runLaneGroup(const std::vector<SweepCell> &cells,
              const std::vector<std::size_t> &lanes,
-             std::vector<RunResult> &results)
+             std::vector<RunResult> &results,
+             std::size_t chunk_capacity)
 {
     auto gen = cells[lanes.front()].makeGenerator();
     std::vector<std::unique_ptr<TraceSimulator>> sims;
@@ -201,17 +274,18 @@ runLaneGroup(const std::vector<SweepCell> &cells,
         sims.back()->beginRun();
     }
 
-    constexpr std::size_t chunk_capacity = 512;
-    TraceEvent chunk[chunk_capacity];
+    std::vector<TraceEvent> chunk(chunk_capacity);
     bool live = true;
     while (live) {
-        std::size_t n = gen->fill(chunk, chunk_capacity);
+        std::size_t n = gen->fill(chunk.data(), chunk_capacity);
         if (n == 0)
             break;
         live = false;
-        for (auto &sim : sims) {
+        for (std::size_t s = 0; s < sims.size(); ++s) {
+            if (s + 1 < sims.size())
+                sims[s + 1]->prefetchFor(chunk.data(), n);
             // Always step every lane: |= would short-circuit.
-            bool more = sim->stepRun(chunk, n);
+            bool more = sims[s]->stepRun(chunk.data(), n);
             live = live || more;
         }
     }
@@ -228,34 +302,18 @@ SweepRunner::run(const std::vector<SweepCell> &cells) const
     if (cells.empty())
         return results;
 
-    // Partition into work units: lane groups keyed by streamKey,
-    // and solo cells (no key, or a timeline capture).  Units — not
-    // cells — are what the pool's workers claim, so a group's lanes
-    // share one worker and one decoded stream.
-    std::vector<std::vector<std::size_t>> units;
-    std::map<std::string, std::size_t> group_of;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const SweepCell &cell = cells[i];
-        nsrf_assert(cell.makeGenerator != nullptr,
-                    "sweep cell '%s' has no generator factory",
-                    cell.label.c_str());
-        if (!cell.streamKey.empty() && cell.traceOut.empty()) {
-            auto [it, fresh] =
-                group_of.emplace(cell.streamKey, units.size());
-            if (fresh)
-                units.emplace_back();
-            units[it->second].push_back(i);
-        } else {
-            units.emplace_back(1, i);
-        }
-    }
+    // Units — not cells — are what the pool's workers claim, so a
+    // group's lanes share one worker and one decoded stream (and a
+    // group split for idle workers re-decodes per sub-group).
+    std::vector<std::vector<std::size_t>> units =
+        partitionSweepUnits(cells, jobs_);
 
     parallelFor(jobs_, units.size(), [&](std::size_t u) {
         const auto &unit = units[u];
         if (unit.size() == 1)
             runSoloCell(cells[unit.front()], results[unit.front()]);
         else
-            runLaneGroup(cells, unit, results);
+            runLaneGroup(cells, unit, results, laneChunk_);
     });
     return results;
 }

@@ -97,15 +97,61 @@ struct SweepCell
     std::string streamKey;
 };
 
+/**
+ * Partition sweep cells into the units a worker pool claims: lane
+ * groups keyed by streamKey, and solo cells (no key, or a timeline
+ * capture).  Each unit is a vector of cell indices; a unit of one
+ * runs solo, larger units run lane-batched over one decoded stream.
+ *
+ * The partition is jobs-aware: when the initial unit count would
+ * leave workers idle, the largest lane groups are split in half
+ * (repeatedly, largest first, ties to the lowest unit) until there
+ * are at least @p jobs units or nothing splittable remains.  Every
+ * sub-group re-decodes the shared stream from its own fresh
+ * generator, and a lane's RunResult depends only on its config and
+ * that stream, so any split of a group is bit-identical to the
+ * unsplit run — the split trades decode duplication for thread
+ * occupancy.  Never splits at jobs <= 1 (0 resolves to the hardware
+ * thread count first).
+ *
+ * @param max_group when > 0, additionally slice every group to at
+ *                  most this many lanes (a test/bench override;
+ *                  0 = no cap).  Applied before the jobs-aware
+ *                  splitting.
+ *
+ * Deterministic given (cells, jobs, max_group): callers that
+ * partition separately (the prefix-restored sweep) see the exact
+ * same units as SweepRunner::run.
+ */
+std::vector<std::vector<std::size_t>>
+partitionSweepUnits(const std::vector<SweepCell> &cells,
+                    unsigned jobs, std::size_t max_group = 0);
+
 /** Work-queue thread pool over sweep cells. */
 class SweepRunner
 {
   public:
-    /** @param jobs worker threads; 0 = one per hardware thread. */
-    explicit SweepRunner(unsigned jobs = 0);
+    /** Events per decoded chunk in the lane-group step loop when no
+     * explicit chunk size is configured. */
+    static constexpr std::size_t kDefaultLaneChunk = 512;
+
+    /**
+     * @param jobs worker threads; 0 = one per hardware thread.
+     * @param lane_chunk events decoded per chunk when stepping a
+     *        lane group (0 = kDefaultLaneChunk).  Any chunk size
+     *        yields bit-identical results — stepRun accepts any
+     *        partition of the stream — so this is purely a
+     *        throughput/footprint knob (chunk bytes vs per-chunk
+     *        loop overhead).
+     */
+    explicit SweepRunner(unsigned jobs = 0,
+                         std::size_t lane_chunk = 0);
 
     /** @return the resolved worker count (>= 1). */
     unsigned jobs() const { return jobs_; }
+
+    /** @return the resolved lane-group chunk size (>= 1). */
+    std::size_t laneChunk() const { return laneChunk_; }
 
     /** @return the hardware thread count (>= 1). */
     static unsigned hardwareJobs();
@@ -119,6 +165,7 @@ class SweepRunner
 
   private:
     unsigned jobs_;
+    std::size_t laneChunk_;
 };
 
 /**

@@ -239,8 +239,13 @@ SnapshotBuilder::addSection(const std::string &name,
 }
 
 std::string
-SnapshotBuilder::finish(const serve::Fingerprint &identity) const
+SnapshotBuilder::finish(const serve::Fingerprint &identity,
+                        unsigned version) const
 {
+    nsrf_assert(version >= kSnapshotVersionMin &&
+                    version <= kSnapshotVersion,
+                "snapshot version %u outside [%u, %u]", version,
+                kSnapshotVersionMin, kSnapshotVersion);
     std::string body;
     for (const auto &[name, payload] : sections_) {
         (void)name;
@@ -249,7 +254,7 @@ SnapshotBuilder::finish(const serve::Fingerprint &identity) const
 
     std::string out;
     out += "nsrfsnap ";
-    appendU64(out, kSnapshotVersion);
+    appendU64(out, version);
     out += ' ';
     appendU64(out, serve::kSchemaVersion);
     out += '\n';
@@ -362,7 +367,7 @@ parseSnapshot(const std::string &bytes, SnapshotView *out,
         !parseU64Token(fields[2], &schema)) {
         return failParse(why, "malformed version line");
     }
-    if (version != kSnapshotVersion)
+    if (version < kSnapshotVersionMin || version > kSnapshotVersion)
         return failParse(why, "snapshot version skew");
     if (schema != serve::kSchemaVersion)
         return failParse(why, "schema version skew");
@@ -440,6 +445,7 @@ parseSnapshot(const std::string &bytes, SnapshotView *out,
     }
 
     SnapshotView view;
+    view.version = static_cast<unsigned>(version);
     view.fingerprint = fingerprint;
     for (const auto &d : descs) {
         std::string payload = bytes.substr(

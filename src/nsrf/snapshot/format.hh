@@ -41,8 +41,17 @@ namespace nsrf::snapshot
 
 /** Container format version (independent of serve::kSchemaVersion,
  * which rides along so generator-semantics bumps also invalidate
- * snapshots). */
-inline constexpr unsigned kSnapshotVersion = 1;
+ * snapshots).  Version history:
+ *   1 — original layout; NSF metadata as nsf.valid + nsf.dirty
+ *       bit vectors
+ *   2 — NSF metadata as one packed nsf.meta vector (bit 0 valid,
+ *       bit 1 dirty), matching the SoA hot-state layout */
+inline constexpr unsigned kSnapshotVersion = 2;
+
+/** Oldest container version the parser still accepts.  Decoders keep
+ * a read path for every version in [min, current]; writers always
+ * emit the current version. */
+inline constexpr unsigned kSnapshotVersionMin = 1;
 
 /** 64-bit FNV-1a over @p size bytes. */
 std::uint64_t fnv1a(const void *data, std::size_t size);
@@ -109,8 +118,14 @@ class SnapshotBuilder
     /** Append one section; names must be unique and blank-free. */
     void addSection(const std::string &name, std::string payload);
 
-    /** @return the complete snapshot bytes for @p identity. */
-    std::string finish(const serve::Fingerprint &identity) const;
+    /**
+     * @return the complete snapshot bytes for @p identity.
+     * @p version must lie in [kSnapshotVersionMin, kSnapshotVersion];
+     * anything but the default exists for the backward-compat tests,
+     * which author genuine old-version containers.
+     */
+    std::string finish(const serve::Fingerprint &identity,
+                       unsigned version = kSnapshotVersion) const;
 
   private:
     std::vector<std::pair<std::string, std::string>> sections_;
@@ -119,6 +134,9 @@ class SnapshotBuilder
 /** A parsed-and-verified snapshot. */
 struct SnapshotView
 {
+    /** Container version the file declared (within the accepted
+     * range); section decoders branch on it for compat reads. */
+    unsigned version = kSnapshotVersion;
     serve::Fingerprint fingerprint;
     /** Section name -> payload, in file order. */
     std::vector<std::pair<std::string, std::string>> sections;

@@ -43,6 +43,33 @@ drainRun(sim::TraceSimulator &sim, sim::TraceGenerator &gen)
     }
 }
 
+/**
+ * Feed @p gen into every lane of @p sims lane-major until all runs
+ * finish or the stream ends, prefetching for lane i+1 while lane i
+ * steps — the same interleaving (and therefore the same
+ * bit-identity argument) as the cold runner's lane-group loop.
+ */
+void
+drainLanes(std::vector<std::unique_ptr<sim::TraceSimulator>> &sims,
+           sim::TraceGenerator &gen, std::size_t chunk_capacity)
+{
+    std::vector<sim::TraceEvent> chunk(chunk_capacity);
+    bool live = true;
+    while (live) {
+        std::size_t n = gen.fill(chunk.data(), chunk_capacity);
+        if (n == 0)
+            break;
+        live = false;
+        for (std::size_t s = 0; s < sims.size(); ++s) {
+            if (s + 1 < sims.size())
+                sims[s + 1]->prefetchFor(chunk.data(), n);
+            // Always step every lane: |= would short-circuit.
+            bool more = sims[s]->stepRun(chunk.data(), n);
+            live = live || more;
+        }
+    }
+}
+
 /** Simulate @p cell's prefix and store its snapshot under @p key. */
 std::string
 capturePrefix(const sim::SweepCell &cell, std::uint64_t prefix_steps,
@@ -101,13 +128,17 @@ PrefixSweepStats
 runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
                    std::uint64_t prefix_steps,
                    const std::vector<sim::SweepCell> &cells,
-                   std::vector<sim::RunResult> *results)
+                   std::vector<sim::RunResult> *results,
+                   std::size_t laneChunk)
 {
     PrefixSweepStats stats;
     stats.cells = cells.size();
     results->assign(cells.size(), sim::RunResult{});
     if (cells.empty())
         return stats;
+    const std::size_t chunk_capacity =
+        laneChunk == 0 ? sim::SweepRunner::kDefaultLaneChunk
+                       : laneChunk;
 
     // Without a store, prefixes still dedup within this call.
     std::unique_ptr<serve::ResultCache> transient;
@@ -118,25 +149,12 @@ runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
         cache = transient.get();
     }
 
-    // Partition exactly as SweepRunner::run does, so the lanes that
-    // batch here are the lanes that batch there.
-    std::vector<std::vector<std::size_t>> units;
-    std::map<std::string, std::size_t> group_of;
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        const sim::SweepCell &cell = cells[i];
-        nsrf_assert(cell.makeGenerator != nullptr,
-                    "sweep cell '%s' has no generator factory",
-                    cell.label.c_str());
-        if (!cell.streamKey.empty() && cell.traceOut.empty()) {
-            auto [it, fresh] =
-                group_of.emplace(cell.streamKey, units.size());
-            if (fresh)
-                units.emplace_back();
-            units[it->second].push_back(i);
-        } else {
-            units.emplace_back(1, i);
-        }
-    }
+    // Partition exactly as SweepRunner::run does (same shared
+    // partitioner, same jobs), so the lanes that batch here are the
+    // lanes that batch there — including any jobs-aware group
+    // splits.
+    std::vector<std::vector<std::size_t>> units =
+        sim::partitionSweepUnits(cells, jobs);
 
     auto eligible = [&](const sim::SweepCell &cell) {
         return prefix_steps > 0 && cell.traceOut.empty() &&
@@ -195,22 +213,7 @@ runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
                             prefix_config));
                     sims.back()->beginRun();
                 }
-                constexpr std::size_t chunk_capacity = 512;
-                sim::TraceEvent chunk[chunk_capacity];
-                bool live = true;
-                while (live) {
-                    std::size_t n =
-                        gen->fill(chunk, chunk_capacity);
-                    if (n == 0)
-                        break;
-                    live = false;
-                    for (auto &sim : sims) {
-                        // Always step every lane: |= would
-                        // short-circuit.
-                        bool more = sim->stepRun(chunk, n);
-                        live = live || more;
-                    }
-                }
+                drainLanes(sims, *gen, chunk_capacity);
                 for (std::size_t m = 0; m < missing.size(); ++m) {
                     std::size_t k = missing[m];
                     snaps[k] = saveSimulator(*sims[m], keys[k]);
@@ -270,20 +273,7 @@ runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
             goCold(unit);
             return;
         }
-        constexpr std::size_t chunk_capacity = 512;
-        sim::TraceEvent chunk[chunk_capacity];
-        bool live = true;
-        while (live) {
-            std::size_t n = gen->fill(chunk, chunk_capacity);
-            if (n == 0)
-                break;
-            live = false;
-            for (auto &sim : sims) {
-                // Always step every lane: |= would short-circuit.
-                bool more = sim->stepRun(chunk, n);
-                live = live || more;
-            }
-        }
+        drainLanes(sims, *gen, chunk_capacity);
         for (std::size_t k = 0; k < unit.size(); ++k) {
             std::uint64_t resumed_at = sims[k]->instructionsRun();
             // A restored lane whose cap equals the prefix is already
@@ -313,7 +303,7 @@ runSweepWithPrefix(serve::ResultCache *cache, unsigned jobs,
         cold_cells.reserve(cold.size());
         for (std::size_t i : cold)
             cold_cells.push_back(cells[i]);
-        sim::SweepRunner runner(jobs);
+        sim::SweepRunner runner(jobs, laneChunk);
         std::vector<sim::RunResult> cold_results =
             runner.run(cold_cells);
         for (std::size_t k = 0; k < cold.size(); ++k)

@@ -63,12 +63,17 @@ struct PrefixSweepStats
  *
  * @param cache snapshot store; nullptr uses a transient in-memory
  *              cache (prefixes then only amortize within one call).
+ * @param laneChunk events decoded per chunk when stepping lane
+ *              groups (0 = SweepRunner::kDefaultLaneChunk).  Like
+ *              the cold runner's knob, any chunk size is
+ *              bit-identical.
  */
 PrefixSweepStats runSweepWithPrefix(
     serve::ResultCache *cache, unsigned jobs,
     std::uint64_t prefixSteps,
     const std::vector<sim::SweepCell> &cells,
-    std::vector<sim::RunResult> *results);
+    std::vector<sim::RunResult> *results,
+    std::size_t laneChunk = 0);
 
 /**
  * Adapt runSweepWithPrefix into a serve::BatchRunner so the serving

@@ -44,8 +44,12 @@ simulatorIdentity(const sim::SimConfig &config,
     sim::SimConfig keyed = config;
     keyed.maxInstructions = 0;
     serve::Provenance marked = provenance;
+    // Key on the oldest *readable* version, not the current one:
+    // bumping the writer while keeping a compat read path must not
+    // orphan every cached prefix snapshot.  Only a compat break
+    // (raising kSnapshotVersionMin) re-addresses the cache.
     marked.emplace_back("snapshot-format",
-                        std::to_string(kSnapshotVersion));
+                        std::to_string(kSnapshotVersionMin));
     return serve::fingerprintCell(keyed, marked);
 }
 
@@ -103,8 +107,9 @@ restoreSimulator(const std::string &bytes,
         !SnapshotAccess::decodeMem(*mem_pay, &mem_img, why) ||
         !SnapshotAccess::decodeCache(*cache_pay, sim->memorySystem(),
                                      &cache_img, why) ||
-        !SnapshotAccess::decodeRegfile(*rf_pay, sim->registerFile(),
-                                       &rf_img, why)) {
+        !SnapshotAccess::decodeRegfile(*rf_pay, view.version,
+                                       sim->registerFile(), &rf_img,
+                                       why)) {
         return false;
     }
 
@@ -161,7 +166,8 @@ restoreRegisterFileBlob(const std::string &bytes,
     if (!payload)
         return false;
     RegfileImage img;
-    if (!SnapshotAccess::decodeRegfile(*payload, *rf, &img, why))
+    if (!SnapshotAccess::decodeRegfile(*payload, view.version, *rf,
+                                       &img, why))
         return false;
     SnapshotAccess::applyRegfile(img, *rf);
     return true;

@@ -683,7 +683,8 @@ checkCtable(const CtableImage &img, std::size_t capacity,
 } // namespace
 
 std::string
-SnapshotAccess::saveRegfile(const regfile::RegisterFile &rf)
+SnapshotAccess::saveRegfile(const regfile::RegisterFile &rf,
+                            unsigned version)
 {
     FieldWriter w;
 
@@ -759,8 +760,23 @@ SnapshotAccess::saveRegfile(const regfile::RegisterFile &rf)
         std::vector<std::uint64_t> array(nsf.array_.begin(),
                                          nsf.array_.end());
         w.u64vec("nsf.array", array);
-        w.u64vec("nsf.valid", fromBools(nsf.valid_));
-        w.u64vec("nsf.dirty", fromBools(nsf.dirty_));
+        if (version >= 2) {
+            std::vector<std::uint64_t> meta(nsf.meta_.begin(),
+                                            nsf.meta_.end());
+            w.u64vec("nsf.meta", meta);
+        } else {
+            // v1 compat writer (tests only): split the packed bytes
+            // back into the original valid/dirty bit vectors.
+            std::vector<std::uint64_t> valid, dirty;
+            valid.reserve(nsf.meta_.size());
+            dirty.reserve(nsf.meta_.size());
+            for (std::uint8_t m : nsf.meta_) {
+                valid.push_back(m & 1);
+                dirty.push_back((m >> 1) & 1);
+            }
+            w.u64vec("nsf.valid", valid);
+            w.u64vec("nsf.dirty", dirty);
+        }
 
         std::vector<std::pair<
             ContextId,
@@ -882,6 +898,7 @@ SnapshotAccess::saveRegfile(const regfile::RegisterFile &rf)
 
 bool
 SnapshotAccess::decodeRegfile(const std::string &payload,
+                              unsigned version,
                               const regfile::RegisterFile &rf,
                               RegfileImage *img, std::string *why)
 {
@@ -955,8 +972,27 @@ SnapshotAccess::decodeRegfile(const std::string &payload,
 
     if (target_family == familyNsf) {
         p.u64vec("nsf.array", &out.array);
-        p.u64vec("nsf.valid", &out.valid);
-        p.u64vec("nsf.dirty", &out.dirty);
+        if (version >= 2) {
+            p.u64vec("nsf.meta", &out.meta);
+        } else {
+            // v1 backward-compat path: the metadata arrived as two
+            // separate bit vectors; fold them into the packed image
+            // so validation and apply see one layout.
+            std::vector<std::uint64_t> valid, dirty;
+            p.u64vec("nsf.valid", &valid);
+            p.u64vec("nsf.dirty", &dirty);
+            if (p.ok()) {
+                if (valid.size() != dirty.size() ||
+                    !isBoolVec(valid) || !isBoolVec(dirty)) {
+                    return failDecode(
+                        why, "regfile section: misshapen v1 "
+                             "valid/dirty vectors");
+                }
+                out.meta.reserve(valid.size());
+                for (std::size_t s = 0; s < valid.size(); ++s)
+                    out.meta.push_back(valid[s] | (dirty[s] << 1));
+            }
+        }
         std::uint64_t ctx_count = 0;
         p.u64("nsf.ctxCount", &ctx_count);
         if (p.ok() && ctx_count > (1u << 24))
@@ -993,15 +1029,15 @@ SnapshotAccess::decodeRegfile(const std::string &payload,
         const std::size_t slots = lines * cfg.regsPerLine;
         constexpr std::uint64_t nil = 0xffffffffull;
 
-        if (out.array.size() != slots || out.valid.size() != slots ||
-            out.dirty.size() != slots || !isBoolVec(out.valid) ||
-            !isBoolVec(out.dirty)) {
+        if (out.array.size() != slots || out.meta.size() != slots) {
             return failDecode(why,
                               "regfile section: misshapen nsf array");
         }
         for (std::size_t s = 0; s < slots; ++s) {
-            if (out.array[s] > u32Max ||
-                (out.dirty[s] != 0 && out.valid[s] == 0)) {
+            // Metadata bytes carry only the valid (bit 0) and dirty
+            // (bit 1) flags, and dirty implies valid.
+            if (out.array[s] > u32Max || out.meta[s] > 3 ||
+                out.meta[s] == 2) {
                 return failDecode(why,
                                   "regfile section: bad nsf slot");
             }
@@ -1135,7 +1171,7 @@ SnapshotAccess::decodeRegfile(const std::string &payload,
         }
         for (std::size_t s = 0; s < slots; ++s) {
             std::size_t line = s / cfg.regsPerLine;
-            if (out.valid[s] == 0)
+            if ((out.meta[s] & 1) == 0)
                 continue;
             if (line_cid[line] == nil) {
                 return failDecode(why, "regfile section: valid "
@@ -1361,8 +1397,9 @@ SnapshotAccess::applyRegfile(const RegfileImage &img,
     if (img.family == familyNsf) {
         auto &nsf = static_cast<regfile::NamedStateRegisterFile &>(rf);
         nsf.array_.assign(img.array.begin(), img.array.end());
-        nsf.valid_ = toBools(img.valid);
-        nsf.dirty_ = toBools(img.dirty);
+        nsf.meta_.resize(img.meta.size());
+        for (std::size_t s = 0; s < img.meta.size(); ++s)
+            nsf.meta_[s] = static_cast<std::uint8_t>(img.meta[s]);
         nsf.contexts_.clear();
         for (const auto &ctx : img.nsfCtxs) {
             regfile::NamedStateRegisterFile::ContextState state;

@@ -30,6 +30,7 @@
 #include "nsrf/mem/memsys.hh"
 #include "nsrf/regfile/regfile.hh"
 #include "nsrf/sim/simulator.hh"
+#include "nsrf/snapshot/format.hh"
 
 namespace nsrf::snapshot
 {
@@ -161,8 +162,9 @@ struct RegfileImage
 
     // Named-state.
     std::vector<std::uint64_t> array;
-    std::vector<std::uint64_t> valid; //!< 0/1 per slot
-    std::vector<std::uint64_t> dirty; //!< 0/1 per slot
+    /** Packed valid|dirty metadata, 0..3 per slot (v2 layout; v1
+     * containers decode their separate bit vectors into this). */
+    std::vector<std::uint64_t> meta;
     struct NsfCtx
     {
         std::uint64_t cid = 0;
@@ -232,7 +234,11 @@ struct SnapshotAccess
     static std::string saveAlloc(const sim::TraceSimulator &sim);
     static std::string saveMem(const mem::MainMemory &memory);
     static std::string saveCache(const mem::MemorySystem &memsys);
-    static std::string saveRegfile(const regfile::RegisterFile &rf);
+    /** @p version selects the container layout to emit; only the
+     * compat tests pass anything but the current version. */
+    static std::string saveRegfile(const regfile::RegisterFile &rf,
+                                   unsigned version =
+                                       kSnapshotVersion);
 
     // --- decode: parse + validate against the (unmodified) target ---
     static bool decodeSim(const std::string &payload,
@@ -246,7 +252,10 @@ struct SnapshotAccess
     static bool decodeCache(const std::string &payload,
                             const mem::MemorySystem &memsys,
                             CacheImage *img, std::string *why);
+    /** @p version is the container version the payload came from;
+     * older versions take the backward-compat parse path. */
     static bool decodeRegfile(const std::string &payload,
+                              unsigned version,
                               const regfile::RegisterFile &rf,
                               RegfileImage *img, std::string *why);
 

@@ -24,7 +24,9 @@
 #include "nsrf/check/fuzz.hh"
 #include "nsrf/serve/fingerprint.hh"
 #include "nsrf/sim/simulator.hh"
+#include "nsrf/snapshot/format.hh"
 #include "nsrf/snapshot/snapshot.hh"
+#include "nsrf/snapshot/state.hh"
 #include "nsrf/workload/parallel.hh"
 #include "nsrf/workload/profile.hh"
 
@@ -233,6 +235,82 @@ TEST(SnapshotDifferential, RestoreAtCapCoasts)
     EXPECT_EQ(warm.instructionsRun(), kPrefix);
     EXPECT_EQ(snapshot::saveSimulator(warm, identity), at_cap);
     expectResultsIdentical(warm.finishRun(), cold_result);
+}
+
+/**
+ * Container-version compatibility: the same paused stack authored
+ * as a genuine v1 container (NSF metadata as separate
+ * nsf.valid/nsf.dirty bit vectors — the pre-SoA layout) must
+ * restore exactly like the current v2 container.  Re-snapshotting
+ * either restored target emits current-version bytes (writers never
+ * emit old layouts), and the continued run stays bit-identical to
+ * the uninterrupted one.
+ */
+TEST(SnapshotDifferential, V1ContainerRestoresLikeV2)
+{
+    const std::uint64_t seed = 3; // an NSF entry: carries meta_
+    sim::SimConfig config = configForSeed(seed);
+    config.maxInstructions = kPrefix + kTail;
+    workload::BenchmarkProfile profile =
+        profileForSeed(seed, config);
+    serve::Fingerprint identity = identityFor(config, seed);
+
+    auto cold_gen = generatorFor(profile);
+    sim::TraceSimulator cold(config);
+    cold.beginRun();
+    drain(cold, *cold_gen);
+    sim::RunResult cold_result = cold.finishRun();
+
+    sim::SimConfig prefix_config = config;
+    prefix_config.maxInstructions = kPrefix;
+    auto prefix_gen = generatorFor(profile);
+    sim::TraceSimulator prefix(prefix_config);
+    prefix.beginRun();
+    drain(prefix, *prefix_gen);
+    ASSERT_EQ(prefix.instructionsRun(), kPrefix);
+    std::string v2_bytes =
+        snapshot::saveSimulator(prefix, identity);
+
+    // Author the identical stack as a v1 container: the section
+    // set saveSimulator emits, with the register file serialized in
+    // the version-1 layout.
+    using snapshot::SnapshotAccess;
+    snapshot::SnapshotBuilder builder;
+    builder.addSection("sim", SnapshotAccess::saveSim(prefix));
+    builder.addSection("alloc", SnapshotAccess::saveAlloc(prefix));
+    builder.addSection(
+        "mem", SnapshotAccess::saveMem(
+                   SnapshotAccess::memsysOf(prefix).memory()));
+    builder.addSection(
+        "dcache",
+        SnapshotAccess::saveCache(SnapshotAccess::memsysOf(prefix)));
+    builder.addSection(
+        "regfile",
+        SnapshotAccess::saveRegfile(
+            SnapshotAccess::regfileOf(prefix), 1));
+    std::string v1_bytes = builder.finish(identity, 1);
+    ASSERT_NE(v1_bytes, v2_bytes); // the layouts genuinely differ
+
+    for (const std::string *bytes : {&v1_bytes, &v2_bytes}) {
+        SCOPED_TRACE(bytes == &v1_bytes ? "v1 container"
+                                        : "v2 container");
+        auto warm_gen = generatorFor(profile);
+        sim::TraceSimulator warm(config);
+        warm.beginRun();
+        std::string why;
+        ASSERT_TRUE(snapshot::restoreSimulator(*bytes, identity,
+                                               &warm, &why))
+            << why;
+        EXPECT_EQ(snapshot::saveSimulator(warm, identity),
+                  v2_bytes);
+        check::AuditReport audit =
+            check::auditRegisterFile(warm.registerFile());
+        EXPECT_TRUE(audit.ok) << audit.why;
+        ASSERT_TRUE(
+            snapshot::skipEvents(*warm_gen, warm.eventsConsumed()));
+        drain(warm, *warm_gen);
+        expectResultsIdentical(warm.finishRun(), cold_result);
+    }
 }
 
 /**

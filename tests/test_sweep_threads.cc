@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Differential tests for the thread-scalable lane engine: RunResults
+ * must be bitwise identical across worker counts, lane counts, lane
+ * chunk sizes, and jobs-aware group splits — for cold sweeps and for
+ * prefix-restored sweeps — and an exception in one unit must drain
+ * the pool and surface, leaving no thread behind.
+ *
+ * The solo reference is the same cells with their streamKeys
+ * cleared, run one cell per unit on a single worker: the classic
+ * one-simulator-one-generator path every other configuration is
+ * promised to reproduce bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nsrf/serve/cache.hh"
+#include "nsrf/sim/sweep.hh"
+#include "nsrf/snapshot/prefix.hh"
+#include "nsrf/workload/parallel.hh"
+#include "nsrf/workload/profile.hh"
+#include "nsrf/workload/sequential.hh"
+
+namespace nsrf
+{
+namespace
+{
+
+constexpr std::uint64_t testEvents = 12'000;
+
+std::unique_ptr<sim::TraceGenerator>
+generatorFor(const workload::BenchmarkProfile &profile,
+             std::uint64_t events)
+{
+    std::uint64_t len =
+        std::min(profile.executedInstructions, events);
+    if (profile.parallel) {
+        return std::make_unique<workload::ParallelWorkload>(profile,
+                                                            len);
+    }
+    return std::make_unique<workload::SequentialWorkload>(profile,
+                                                          len);
+}
+
+/**
+ * A sweep of @p lanes_per_group NSF variants per workload, every
+ * group sharing one event stream, plus one solo (keyless) cell so
+ * the partition always mixes groups and solos.
+ */
+std::vector<sim::SweepCell>
+lanedSweep(unsigned lanes_per_group)
+{
+    using regfile::MissPolicy;
+    using regfile::WritePolicy;
+    static constexpr MissPolicy miss_policies[] = {
+        MissPolicy::ReloadSingle, MissPolicy::ReloadLive,
+        MissPolicy::ReloadLine};
+
+    std::vector<sim::SweepCell> cells;
+    for (const char *app : {"GateSim", "Gamteb"}) {
+        workload::BenchmarkProfile profile =
+            workload::profileByName(app);
+        for (unsigned lane = 0; lane < lanes_per_group; ++lane) {
+            sim::SweepCell cell;
+            cell.label = std::string(app) + "/lane" +
+                         std::to_string(lane);
+            cell.config.rf.org = regfile::Organization::NamedState;
+            cell.config.rf.totalRegs = profile.parallel ? 128 : 80;
+            cell.config.rf.regsPerContext = profile.regsPerContext;
+            cell.config.rf.missPolicy = miss_policies[lane % 3];
+            cell.config.rf.writePolicy =
+                lane % 2 ? WritePolicy::FetchOnWrite
+                         : WritePolicy::WriteAllocate;
+            cell.makeGenerator = [profile]() {
+                return generatorFor(profile, testEvents);
+            };
+            cell.provenance = {{"app", app},
+                               {"lane", std::to_string(lane)}};
+            cell.streamKey = app;
+            cells.push_back(std::move(cell));
+        }
+    }
+    // The keyless straggler.
+    workload::BenchmarkProfile profile =
+        workload::profileByName("RTLSim");
+    sim::SweepCell solo;
+    solo.label = "RTLSim/solo";
+    solo.config.rf.org = regfile::Organization::NamedState;
+    solo.config.rf.totalRegs = 80;
+    solo.config.rf.regsPerContext = profile.regsPerContext;
+    solo.makeGenerator = [profile]() {
+        return generatorFor(profile, testEvents);
+    };
+    solo.provenance = {{"app", "RTLSim"}};
+    cells.push_back(std::move(solo));
+    return cells;
+}
+
+void
+expectSameResult(const sim::RunResult &a, const sim::RunResult &b,
+                 const std::string &label)
+{
+    SCOPED_TRACE(label);
+    EXPECT_EQ(a.regfileDescription, b.regfileDescription);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.regStallCycles, b.regStallCycles);
+    EXPECT_EQ(a.regsSpilled, b.regsSpilled);
+    EXPECT_EQ(a.regsReloaded, b.regsReloaded);
+    EXPECT_EQ(a.liveRegsReloaded, b.liveRegsReloaded);
+    EXPECT_EQ(a.readMisses, b.readMisses);
+    EXPECT_EQ(a.writeMisses, b.writeMisses);
+    EXPECT_EQ(a.cidEvictions, b.cidEvictions);
+    // Bit-identical, not approximately equal: the scheduler must
+    // not change any arithmetic, only who executes it when.
+    EXPECT_EQ(a.meanActiveRegs, b.meanActiveRegs);
+    EXPECT_EQ(a.maxActiveRegs, b.maxActiveRegs);
+    EXPECT_EQ(a.meanResidentContexts, b.meanResidentContexts);
+    EXPECT_EQ(a.meanUtilization, b.meanUtilization);
+    EXPECT_EQ(a.maxUtilization, b.maxUtilization);
+}
+
+/** The solo reference: every cell on its own generator, serially. */
+std::vector<sim::RunResult>
+soloReference(std::vector<sim::SweepCell> cells)
+{
+    for (auto &cell : cells)
+        cell.streamKey.clear();
+    return sim::SweepRunner(1).run(cells);
+}
+
+TEST(SweepThreads, ThreadsLanesChunksMatchSolo)
+{
+    for (unsigned lanes : {1u, 3u, 8u}) {
+        std::vector<sim::SweepCell> cells = lanedSweep(lanes);
+        std::vector<sim::RunResult> solo = soloReference(cells);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            // Odd chunk sizes shear the chunk boundaries against
+            // every event-stream structure; 0 is the default (512).
+            for (std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                      std::size_t{7},
+                                      std::size_t{257}}) {
+                sim::SweepRunner runner(threads, chunk);
+                std::vector<sim::RunResult> got = runner.run(cells);
+                ASSERT_EQ(got.size(), solo.size());
+                for (std::size_t i = 0; i < got.size(); ++i) {
+                    expectSameResult(
+                        got[i], solo[i],
+                        cells[i].label + " t" +
+                            std::to_string(threads) + " c" +
+                            std::to_string(chunk));
+                }
+            }
+        }
+    }
+}
+
+TEST(SweepThreads, PartitionSplitsGroupsForIdleWorkers)
+{
+    std::vector<sim::SweepCell> cells = lanedSweep(8);
+    // 17 cells: two 8-lane groups and a solo.
+
+    // One worker: no splitting, groups stay whole.
+    auto units1 = sim::partitionSweepUnits(cells, 1);
+    ASSERT_EQ(units1.size(), 3u);
+    EXPECT_EQ(units1[0].size(), 8u);
+    EXPECT_EQ(units1[1].size(), 8u);
+    EXPECT_EQ(units1[2].size(), 1u);
+
+    // Eight workers: the largest groups halve until the pool fills.
+    auto units8 = sim::partitionSweepUnits(cells, 8);
+    EXPECT_GE(units8.size(), 8u);
+
+    // Any partition covers every cell exactly once, in ascending
+    // order within each unit (the order lanes step a shared chunk).
+    for (const auto &units : {units1, units8}) {
+        std::vector<bool> seen(cells.size(), false);
+        for (const auto &unit : units) {
+            ASSERT_FALSE(unit.empty());
+            for (std::size_t k = 0; k < unit.size(); ++k) {
+                ASSERT_LT(unit[k], cells.size());
+                EXPECT_FALSE(seen[unit[k]]);
+                seen[unit[k]] = true;
+                if (k > 0)
+                    EXPECT_LT(unit[k - 1], unit[k]);
+            }
+        }
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            EXPECT_TRUE(seen[i]);
+    }
+
+    // Determinism: the same inputs partition the same way.
+    EXPECT_EQ(sim::partitionSweepUnits(cells, 8), units8);
+
+    // The explicit width cap slices groups regardless of jobs.
+    auto capped = sim::partitionSweepUnits(cells, 1, 3);
+    for (const auto &unit : capped)
+        EXPECT_LE(unit.size(), 3u);
+}
+
+TEST(SweepThreads, PrefixRestoredSweepsMatchSolo)
+{
+    constexpr std::uint64_t prefix_steps = 2'000;
+    std::vector<sim::SweepCell> cells = lanedSweep(3);
+    std::vector<sim::RunResult> solo = soloReference(cells);
+
+    serve::ResultCacheConfig cache_config;
+    serve::ResultCache cache(cache_config);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        for (std::size_t chunk :
+             {std::size_t{0}, std::size_t{7}, std::size_t{257}}) {
+            // First pass captures prefixes (cold semantics), later
+            // passes restore them; both must match the solo runs.
+            std::vector<sim::RunResult> got;
+            snapshot::PrefixSweepStats stats =
+                snapshot::runSweepWithPrefix(&cache, threads,
+                                             prefix_steps, cells,
+                                             &got, chunk);
+            EXPECT_EQ(stats.cells, cells.size());
+            ASSERT_EQ(got.size(), solo.size());
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                expectSameResult(got[i], solo[i],
+                                 cells[i].label + " prefix t" +
+                                     std::to_string(threads) + " c" +
+                                     std::to_string(chunk));
+            }
+        }
+    }
+}
+
+/** Throws mid-stream, after producing a few real events. */
+class ThrowingGenerator : public sim::TraceGenerator
+{
+  public:
+    explicit ThrowingGenerator(
+        std::unique_ptr<sim::TraceGenerator> inner)
+        : inner_(std::move(inner))
+    {
+    }
+
+    bool
+    next(sim::TraceEvent &ev) override
+    {
+        if (++produced_ > 100)
+            throw std::runtime_error("generator failure");
+        return inner_->next(ev);
+    }
+
+    void
+    reset() override
+    {
+        produced_ = 0;
+        inner_->reset();
+    }
+
+  private:
+    std::unique_ptr<sim::TraceGenerator> inner_;
+    std::uint64_t produced_ = 0;
+};
+
+TEST(SweepThreads, ExceptionInOneLaneDrainsAndRethrows)
+{
+    for (unsigned threads : {1u, 4u}) {
+        std::vector<sim::SweepCell> cells = lanedSweep(3);
+        // Poison the generator behind one lane group; its stream is
+        // shared by every lane of the group, and the failure must
+        // surface after the pool drains the healthy units.
+        workload::BenchmarkProfile profile =
+            workload::profileByName("GateSim");
+        for (auto &cell : cells) {
+            if (cell.streamKey == "GateSim") {
+                cell.makeGenerator = [profile]() {
+                    return std::make_unique<ThrowingGenerator>(
+                        generatorFor(profile, testEvents));
+                };
+            }
+        }
+        sim::SweepRunner runner(threads);
+        EXPECT_THROW(runner.run(cells), std::runtime_error)
+            << "threads=" << threads;
+    }
+}
+
+} // namespace
+} // namespace nsrf

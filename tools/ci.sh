@@ -18,9 +18,12 @@
 #   4. trace     — NSRF_TRACE=ON build, full suite incl. the
 #                  trace_smoke → Perfetto-validate pipeline
 #   5. asan      — ASan+UBSan build with NSRF_AUDIT=ON, full suite
-#   6. tsan      — TSan build, sweep-runner thread-pool tests plus
-#                  the serve scheduler, daemon smoke, and the
-#                  explorer smoke (prefix-restoring batch runner)
+#   6. tsan      — TSan build, sweep-runner thread-pool tests
+#                  (including the N-thread/L-lane identity suite)
+#                  plus the serve scheduler, daemon smoke, the
+#                  explorer smoke (prefix-restoring batch runner),
+#                  and a 4-thread macrobench smoke whose stats must
+#                  match the 1-thread lane section exactly
 #   7. fuzz      — time-boxed differential fuzz on the audit build
 #   8. snapshot  — time-boxed fuzz with --snapshot-every: the
 #                  register file is serialized, restored into a
@@ -56,9 +59,15 @@ stage "runtime scalar fallback + scalar-vs-SIMD stats cross-check"
 # batch fill and the CAM group probe take their portable paths.  The
 # macrobench smoke then re-runs itself with NSRF_SIMD=scalar and
 # fails unless both kernel sets simulate bit-identical stats.
+# SweepThreads rides along: it pins N-thread/L-lane/odd-chunk sweeps
+# bit-identical to solo, and must hold on the scalar kernels too.
 NSRF_SIMD=scalar ctest --preset release -j "$jobs" \
-    -R 'Philox|CounterRandom|FlatIndex|Workload|workload|Snapshot|SweepPrefix|Explore|explore_smoke'
-./build/bench/macro_throughput --smoke \
+    -R 'Philox|CounterRandom|FlatIndex|Workload|workload|Snapshot|SweepPrefix|SweepThreads|Explore|explore_smoke'
+# --threads 4 adds the lanes-over-4-threads section; the bench
+# asserts its stats match the 1-thread lane section exactly (and the
+# scalar re-run repeats the same check on the portable kernels), so
+# a thread-count-dependent divergence fails this stage.
+./build/bench/macro_throughput --smoke --threads 4 \
     --json build/BENCH_throughput_smoke.json
 
 stage "scalar build (NSRF_SIMD=OFF) + full test suite"
@@ -86,7 +95,8 @@ NSRF_AUDIT_STRIDE=997 ctest --preset asan -j "$jobs"
 stage "tsan build + sweep-runner thread pool + serving daemon"
 cmake --preset tsan > /dev/null
 cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
-    test_serve_scheduler test_cam test_cam_flat_index nsrf_fuzz \
+    test_sweep_threads test_serve_scheduler test_cam \
+    test_cam_flat_index nsrf_fuzz macro_throughput \
     nsrf_serve_cli nsrf_request nsrf_explore_cli \
     test_fleet_transport test_fleet_node
 # The serve scheduler (single-flight dedup, dispatcher handoff) and
@@ -103,7 +113,15 @@ cmake --build --preset tsan -j "$jobs" --target test_sweep_runner \
 # most thread-entangled code in the tree; fleet_smoke drives the
 # whole 3-node ring under TSan, peer kill included.
 ctest --preset tsan -j "$jobs" \
-    -R 'SweepRunner|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex|explore_smoke|FleetTransport|FleetNode|fleet_smoke'
+    -R 'SweepRunner|SweepThreads|sweep_runner|ServeScheduler|ServeServer|serve_smoke|Decoder|FlatIndex|explore_smoke|FleetTransport|FleetNode|fleet_smoke'
+
+stage "tsan macrobench smoke (4 sweep threads, identity-gated)"
+# Drives the real lane engine — thread pool, group splitting,
+# prefetch-pipelined lane loop — under TSan, and the bench's own
+# assert fails the stage if the 4-thread stats diverge from the
+# 1-thread lane section.
+./build-tsan/bench/macro_throughput --smoke --threads 4 \
+    --json build-tsan/BENCH_throughput_smoke.json
 
 stage "tsan fuzz smoke (--jobs exercises the shared work queue)"
 ./build-tsan/tools/nsrf_fuzz --seed 1 --runs 16 --ops 300 --jobs 4

@@ -9,6 +9,10 @@
 #                      exported to every bench, including the no-flag
 #                      ones (table1_benchmarks, validate_synthetic)
 #   NSRF_BENCH_JOBS    worker threads per bench (default: all cores)
+#   NSRF_BENCH_THREADS sweep threads for the macrobench's lane
+#                      section (default: all cores); >1 adds the
+#                      lanes-over-N-threads section, identity-gated
+#                      against the 1-thread run by the bench itself
 #   NSRF_BENCH_CACHE   content-addressed result cache directory; a
 #                      repeated run with the same budget serves every
 #                      sweep cell from the cache with zero
@@ -104,12 +108,34 @@ done
 # It takes --json directly, so the structured result lands in the
 # manifest alongside the figure data and a regression in simulator
 # speed shows up in the same place as a regression in its output.
+# NSRF_BENCH_THREADS > 1 adds the lanes-over-N-threads section; the
+# bench itself asserts the multi-thread stats are bit-identical to
+# the 1-thread lane section, so divergence fails this script.
+threads=${NSRF_BENCH_THREADS:-$(nproc 2>/dev/null || echo 1)}
+case $threads in
+    *[!0-9]* | '' | 0)
+        echo "error: NSRF_BENCH_THREADS='$threads' is not a" \
+             "positive integer" >&2
+        exit 1
+        ;;
+esac
 echo "== macro_throughput =="
 "$build_dir/bench/macro_throughput" \
+    --threads "$threads" \
     --json "$out_dir/macro_throughput.json" \
     > "$out_dir/macro_throughput.txt" \
     2> "$out_dir/macro_throughput.log" || fail "macro_throughput"
 grep -E '^\s*\[(HOLDS|DIFFERS)\]' "$out_dir/macro_throughput.txt" || :
+
+# Register-file microbenches (google-benchmark): per-op costs plus
+# the packed-byte vs bit-vector metadata ablation behind the SoA
+# hot-state layout.  JSON goes in the result set like the rest.
+echo "== micro_regfile =="
+"$build_dir/bench/micro_regfile" \
+    --benchmark_out="$out_dir/micro_regfile.json" \
+    --benchmark_out_format=json \
+    > "$out_dir/micro_regfile.txt" \
+    2> "$out_dir/micro_regfile.log" || fail "micro_regfile"
 
 # Design-space autopilot: explore a 56-point lattice and record the
 # frontier artifact.  The promotion rung is timed twice — resuming
@@ -162,9 +188,10 @@ simd=$(sed -n 's/.*"simd":"\([a-z0-9]*\)".*/\1/p' \
     echo "date: $(date -u +%Y-%m-%dT%H:%M:%SZ)"
     echo "events: ${NSRF_BENCH_EVENTS:-default}"
     echo "jobs: $jobs"
+    echo "threads: $threads"
     echo "simd: ${simd:-unknown}"
     echo "cache: ${NSRF_BENCH_CACHE:-none}"
-    echo "benches: $(($(echo $sweep_benches $plain_benches | wc -w) + 1))"
+    echo "benches: $(($(echo $sweep_benches $plain_benches | wc -w) + 2))"
     echo "explore: fingerprint=${explore_fp:-unknown}" \
          "promotion-speedup=${explore_speedup}x"
 } > "$out_dir/MANIFEST"
